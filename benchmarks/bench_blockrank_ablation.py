@@ -1,0 +1,97 @@
+"""E12: ablation — BlockRank's rank-weighted block graph vs the LMM SiteGraph.
+
+Section 3.2 of the paper contrasts its SiteGraph with the block graph of
+BlockRank (Kamvar et al.): BlockRank weights inter-block edges with the
+local PageRank of the source pages, so the block-level computation depends
+on the local ones and must be serialised; the LMM uses plain SiteLink counts
+so both layers proceed in parallel.  This ablation measures what that design
+choice buys:
+
+* dependency structure (can the site-level weights be computed before the
+  local ranks?),
+* ranking quality on the campus web (farm contamination of the top-15),
+* similarity of the two aggregate rankings to flat PageRank.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.metrics import kendall_tau, top_k_contamination
+from repro.pagerank import blockrank
+from repro.web import flat_pagerank_ranking, layered_docrank
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(campus):
+    graph = campus.docgraph
+    sites = graph.sites()
+    site_index = {site: i for i, site in enumerate(sites)}
+    blocks = [site_index[graph.site_of_document(d)]
+              for d in range(graph.n_documents)]
+
+    flat = flat_pagerank_ranking(graph)
+    layered = layered_docrank(graph)
+    block_approx = blockrank(graph.adjacency(), blocks, refine=False)
+    block_refined = blockrank(graph.adjacency(), blocks, refine=True)
+
+    candidates = {
+        "flat PageRank": (flat.scores_by_doc_id(),
+                          flat.top_k(graph.n_documents), "none"),
+        "LMM layered (parallel)": (layered.scores_by_doc_id(),
+                                   layered.top_k(graph.n_documents),
+                                   "no (counts only)"),
+        "BlockRank approx (serialized)": (block_approx.global_scores,
+                                          block_approx.top_k(graph.n_documents),
+                                          "yes (needs local ranks)"),
+        "BlockRank refined": (block_refined.global_scores,
+                              block_refined.top_k(graph.n_documents),
+                              "yes (needs local ranks)"),
+    }
+    rows = []
+    for name, (scores, ranked, serialized) in candidates.items():
+        rows.append({
+            "method": name,
+            "site_layer_depends_on_local_ranks": serialized,
+            "tau_vs_flat": round(kendall_tau(scores,
+                                             flat.scores_by_doc_id()), 3),
+            "farm_top15": round(top_k_contamination(ranked[:15],
+                                                    campus.farm_doc_ids, 15),
+                                3),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="E12 blockrank ablation")
+def test_e12_ablation_table(benchmark, ablation_rows):
+    rows = benchmark.pedantic(lambda: ablation_rows, rounds=1, iterations=1)
+    write_result("E12_blockrank_ablation", rows,
+                 ["method", "site_layer_depends_on_local_ranks",
+                  "tau_vs_flat", "farm_top15"],
+                 caption="BlockRank vs the LMM layered method on the campus "
+                         "web: the LMM needs no serialisation between layers "
+                         "and is the only aggregate method that removes the "
+                         "farm pages from the top-15.")
+    by_name = {row["method"]: row for row in rows}
+    assert by_name["LMM layered (parallel)"]["farm_top15"] == 0.0
+    assert by_name["BlockRank refined"]["farm_top15"] >= \
+        by_name["LMM layered (parallel)"]["farm_top15"]
+    # BlockRank's refined result is flat PageRank (tau ~ 1): it inherits the
+    # flat ranking's spam susceptibility.
+    assert by_name["BlockRank refined"]["tau_vs_flat"] > 0.95
+
+
+@pytest.mark.benchmark(group="E12 blockrank ablation")
+def test_e12_blockrank_time(benchmark, campus):
+    graph = campus.docgraph
+    sites = graph.sites()
+    site_index = {site: i for i, site in enumerate(sites)}
+    blocks = [site_index[graph.site_of_document(d)]
+              for d in range(graph.n_documents)]
+    benchmark.pedantic(blockrank, args=(graph.adjacency(), blocks),
+                       kwargs={"refine": False}, rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="E12 blockrank ablation")
+def test_e12_layered_time(benchmark, campus):
+    benchmark.pedantic(layered_docrank, args=(campus.docgraph,), rounds=2,
+                       iterations=1)

@@ -1,0 +1,68 @@
+"""E14 (extension ablation): ranking quality under partial crawls.
+
+The paper's crawl was stopped "after it has been running for a period of
+time", i.e. the ranked graph is a partial snapshot.  This ablation crawls the
+synthetic campus web with increasing page budgets (the paper's methodology:
+BFS from the university home page, dynamic pages included) and measures how
+quickly the layered top-15 stabilises towards the full-graph top-15, compared
+with flat PageRank's.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.crawler import crawl_campus
+from repro.metrics import top_k_overlap
+from repro.web import flat_pagerank_ranking, layered_docrank
+
+BUDGETS = [500, 1000, 2000, 4000]
+TOP_K = 15
+
+
+@pytest.fixture(scope="module")
+def coverage_rows(campus):
+    graph = campus.docgraph
+    full_layered = layered_docrank(graph)
+    full_flat = flat_pagerank_ranking(graph)
+    full_layered_urls = full_layered.top_k_urls(TOP_K)
+    full_flat_urls = full_flat.top_k_urls(TOP_K)
+
+    rows = []
+    for budget in BUDGETS:
+        crawl = crawl_campus(graph, max_pages=budget)
+        crawled = crawl.docgraph
+        layered_urls = layered_docrank(crawled).top_k_urls(TOP_K)
+        flat_urls = flat_pagerank_ranking(crawled).top_k_urls(TOP_K)
+        rows.append({
+            "crawl_budget": budget,
+            "fetched_pages": crawl.fetched_pages,
+            "sites_discovered": crawled.n_sites,
+            "layered_top15_agreement": round(
+                top_k_overlap(layered_urls, full_layered_urls, TOP_K), 3),
+            "pagerank_top15_agreement": round(
+                top_k_overlap(flat_urls, full_flat_urls, TOP_K), 3),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="E14 crawl coverage")
+def test_e14_partial_crawl_table(benchmark, coverage_rows):
+    rows = benchmark.pedantic(lambda: coverage_rows, rounds=1, iterations=1)
+    write_result("E14_crawl_coverage", rows,
+                 ["crawl_budget", "fetched_pages", "sites_discovered",
+                  "layered_top15_agreement", "pagerank_top15_agreement"],
+                 caption="Agreement of the partial-crawl top-15 with the "
+                         "full-graph top-15 as the crawl budget grows "
+                         "(extension ablation; BFS crawl from the campus "
+                         "home page, dynamic pages included).")
+    # Larger crawls must never know less about the final layered top list.
+    agreements = [row["layered_top15_agreement"] for row in rows]
+    assert agreements == sorted(agreements)
+    # With the largest budget the layered top-15 is essentially settled.
+    assert agreements[-1] >= 0.8
+
+
+@pytest.mark.benchmark(group="E14 crawl coverage")
+def test_e14_crawl_time(benchmark, campus):
+    benchmark.pedantic(crawl_campus, args=(campus.docgraph,),
+                       kwargs={"max_pages": 2000}, rounds=2, iterations=1)

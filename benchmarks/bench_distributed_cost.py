@@ -1,0 +1,79 @@
+"""E9: traffic and parallel time of the simulated P2P deployment.
+
+The paper's architectural claim (Sections 1.2 and 3.2): the per-site
+DocRanks are computed by individual peers in parallel, the SiteRank is a
+cheap shared resource, and rank aggregation can be performed either at a
+coordinator (flat) or pushed down to super-peers.  This benchmark sweeps the
+number of peers and the two architectures, reporting messages, bytes,
+simulated makespan, and the achieved parallel speed-up — while asserting
+that every configuration returns exactly the centralized ranking.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.distributed import NetworkParameters, distributed_layered_docrank
+from repro.graphgen import generate_synthetic_web
+from repro.web import layered_docrank
+
+PEER_COUNTS = [2, 4, 8, 16, 32]
+NETWORK = NetworkParameters(latency_seconds=0.02,
+                            bandwidth_bytes_per_second=10e6)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = generate_synthetic_web(n_sites=48, n_documents=6000, seed=29)
+    return graph, layered_docrank(graph)
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(workload):
+    graph, centralized = workload
+    rows = []
+    for architecture in ("flat", "super-peer"):
+        for n_peers in PEER_COUNTS:
+            report = distributed_layered_docrank(graph, n_peers=n_peers,
+                                                 architecture=architecture,
+                                                 network=NETWORK)
+            gap = float(np.abs(report.ranking.scores_by_doc_id()
+                               - centralized.scores_by_doc_id()).max())
+            rows.append({
+                "architecture": architecture,
+                "peers": report.n_peers,
+                "messages": report.message_count,
+                "kib_on_wire": round(report.total_bytes / 1024, 1),
+                "makespan_ms": round(report.makespan_seconds * 1000, 1),
+                "parallel_speedup": round(report.parallel_speedup, 2),
+                "max_gap_vs_centralized": gap,
+            })
+    return rows
+
+
+@pytest.mark.benchmark(group="E9 distributed cost")
+def test_e9_peer_sweep_table(benchmark, sweep_rows):
+    rows = benchmark.pedantic(lambda: sweep_rows, rounds=1, iterations=1)
+    write_result("E9_distributed_cost", rows,
+                 ["architecture", "peers", "messages", "kib_on_wire",
+                  "makespan_ms", "parallel_speedup",
+                  "max_gap_vs_centralized"],
+                 caption="Simulated P2P deployment of the layered ranking: "
+                         "traffic and parallel time vs number of peers, for "
+                         "the flat and super-peer architectures.")
+    for row in rows:
+        assert row["max_gap_vs_centralized"] < 1e-9
+    flat = [row for row in rows if row["architecture"] == "flat"]
+    # More peers => more parallelism => the simulated makespan shrinks
+    # (compute-bound regime) or at worst stays flat (latency-bound tail).
+    assert flat[-1]["makespan_ms"] <= flat[0]["makespan_ms"] * 1.1
+
+
+@pytest.mark.benchmark(group="E9 distributed cost")
+@pytest.mark.parametrize("architecture", ["flat", "super-peer"])
+def test_e9_simulation_time(benchmark, workload, architecture):
+    graph, _centralized = workload
+    benchmark.pedantic(distributed_layered_docrank, args=(graph,),
+                       kwargs={"n_peers": 8, "architecture": architecture,
+                               "network": NETWORK},
+                       rounds=2, iterations=1)

@@ -1,0 +1,129 @@
+"""E1–E3: the paper's worked example (Section 2.3, Figure 2).
+
+Regenerates, and checks against the printed values:
+
+* E1 — the local PageRank vectors π1G, π2G, π3G and the phase vectors
+  πY / π̃Y;
+* E2 — Figure 2: the global vectors πW (Approach 1) and π̃W (Approach 2)
+  and their identical ordering 5,7,6,10,8,3,1,2,12,4,11,9;
+* E3 — the decentralized worked values π(2,3)=0.2456 (Approach 3) and
+  π̃(2,3)=0.2541 (Approach 4 == Approach 2).
+
+The timed quantity is the full four-approach computation on the example
+model — the cost contrast between the centralized approaches (which build
+the 12×12 matrix W) and the decentralized ones is visible in the per-group
+timings.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.core import (
+    all_approaches,
+    approach_1,
+    approach_2,
+    approach_3,
+    approach_4,
+    example_lmm,
+    gatekeeper_vectors,
+)
+
+PAPER_PI_W = [0.0682, 0.0547, 0.0596, 0.0499, 0.0545, 0.1073, 0.2281,
+              0.1562, 0.0452, 0.0760, 0.0474, 0.0530]
+PAPER_PI_TILDE_W = [0.0658, 0.0498, 0.0556, 0.0442, 0.0495, 0.1118, 0.2541,
+                    0.1683, 0.0383, 0.0744, 0.0408, 0.0474]
+PAPER_ORDER = [5, 7, 6, 10, 8, 3, 1, 2, 12, 4, 11, 9]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return example_lmm()
+
+
+@pytest.mark.benchmark(group="E1-E3 paper example")
+def test_e1_local_and_phase_vectors(benchmark, model):
+    gatekeepers = benchmark(gatekeeper_vectors, model, 0.85)
+    rows = []
+    paper = {
+        "pi_1G": [0.3054, 0.2312, 0.2582, 0.2052],
+        "pi_2G": [0.1191, 0.2691, 0.6117],
+        "pi_3G": [0.4557, 0.1038, 0.2014, 0.1106, 0.1285],
+    }
+    for index, name in enumerate(["pi_1G", "pi_2G", "pi_3G"]):
+        measured = np.round(gatekeepers[index], 4).tolist()
+        rows.append({"vector": name, "paper": paper[name],
+                     "measured": measured,
+                     "max_abs_diff": float(np.max(np.abs(
+                         np.array(paper[name]) - np.array(measured))))})
+        assert measured == pytest.approx(paper[name], abs=2e-4)
+    write_result("E1_local_vectors", rows,
+                 ["vector", "paper", "measured", "max_abs_diff"],
+                 caption="Per-phase local PageRank (gatekeeper) vectors, "
+                         "paper Section 2.3.2 vs measured.")
+
+
+@pytest.mark.benchmark(group="E1-E3 paper example")
+def test_e2_figure2_approach_1(benchmark, model):
+    result = benchmark(approach_1, model, 0.85)
+    measured = np.round(result.scores, 4).tolist()
+    assert measured == pytest.approx(PAPER_PI_W, abs=2e-4)
+    assert result.rank_positions().tolist() == PAPER_ORDER
+
+
+@pytest.mark.benchmark(group="E1-E3 paper example")
+def test_e2_figure2_approach_2(benchmark, model):
+    result = benchmark(approach_2, model, 0.85)
+    measured = np.round(result.scores, 4).tolist()
+    assert measured == pytest.approx(PAPER_PI_TILDE_W, abs=2e-4)
+    assert result.rank_positions().tolist() == PAPER_ORDER
+
+    rows = []
+    a1 = approach_1(model, 0.85)
+    for index in range(12):
+        rows.append({
+            "state": index + 1,
+            "paper_piW": PAPER_PI_W[index],
+            "measured_piW": round(float(a1.scores[index]), 4),
+            "paper_piW_tilde": PAPER_PI_TILDE_W[index],
+            "measured_piW_tilde": round(float(result.scores[index]), 4),
+            "paper_order": PAPER_ORDER[index],
+            "measured_order": int(result.rank_positions()[index]),
+        })
+    write_result("E2_figure2", rows,
+                 ["state", "paper_piW", "measured_piW", "paper_piW_tilde",
+                  "measured_piW_tilde", "paper_order", "measured_order"],
+                 caption="Figure 2: rank values and ordering of the 12 "
+                         "global system states under Approaches 1 and 2.")
+
+
+@pytest.mark.benchmark(group="E1-E3 paper example")
+def test_e3_decentralized_approaches(benchmark, model):
+    results = benchmark(all_approaches, model, 0.85)
+    a3_value = round(float(results["approach-3"].score_of(1, 2)), 4)
+    a4_value = round(float(results["approach-4"].score_of(1, 2)), 4)
+    assert a3_value == pytest.approx(0.2456, abs=2e-4)
+    assert a4_value == pytest.approx(0.2541, abs=2e-4)
+    rows = [
+        {"approach": "3 (PageRank phase weights)", "paper": 0.2456,
+         "measured": a3_value},
+        {"approach": "4 (Layered Method)", "paper": 0.2541,
+         "measured": a4_value},
+        {"approach": "2 (stationary of W, reference)", "paper": 0.2541,
+         "measured": round(float(results["approach-2"].score_of(1, 2)), 4)},
+    ]
+    write_result("E3_decentralized_values", rows,
+                 ["approach", "paper", "measured"],
+                 caption="Worked value of global state (2,3) under the "
+                         "decentralized approaches (Section 2.3.3).")
+
+
+@pytest.mark.benchmark(group="E1-E3 paper example")
+def test_decentralized_is_cheaper_than_centralized(benchmark, model):
+    """The decentralized Approach 4 never materialises W; on the example it
+    is measurably cheaper than Approach 1 (which runs a 12x12 PageRank)."""
+    def decentralized():
+        return approach_4(model, 0.85)
+
+    result = benchmark(decentralized)
+    assert result.iterations == 0  # no global power method ran

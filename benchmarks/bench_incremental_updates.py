@@ -1,0 +1,93 @@
+"""E13 (extension ablation): incremental ranking maintenance.
+
+Not an experiment of the paper, but a direct consequence of its Partition
+Theorem worth quantifying: when the web changes, the layered ranking can be
+repaired by recomputing only the changed site's local DocRank (plus, for
+inter-site changes, the tiny SiteRank), whereas flat PageRank must re-run
+its global power method.  This ablation measures the work of a single-site
+update versus a full recompute on the campus web.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.pagerank import pagerank
+from repro.web import IncrementalLayeredRanker, layered_docrank
+
+
+@pytest.fixture(scope="module")
+def update_rows(campus):
+    graph = campus.docgraph
+    ranker = IncrementalLayeredRanker(graph)
+    full = ranker.full_rebuild()
+    flat = pagerank(graph.adjacency())
+
+    site = "dept001.campus.edu"
+    intra = ranker.add_link(f"http://{site}/", f"http://{site}/page00001.html")
+    inter = ranker.add_link(f"http://{site}/page00002.html",
+                            "http://dept002.campus.edu/")
+    # After the updates the incremental ranking must equal a fresh pipeline run.
+    gap = float(np.abs(ranker.ranking().scores_by_doc_id()
+                       - layered_docrank(graph).scores_by_doc_id()).max())
+
+    rows = [
+        {"update": "full layered rebuild",
+         "documents_recomputed": full.documents_recomputed,
+         "local_iterations": full.local_iterations,
+         "siterank_recomputed": full.siterank_recomputed,
+         "fraction_of_corpus": round(full.recompute_fraction, 4)},
+        {"update": "flat PageRank recompute (reference)",
+         "documents_recomputed": graph.n_documents,
+         "local_iterations": flat.iterations,
+         "siterank_recomputed": "-",
+         "fraction_of_corpus": 1.0},
+        {"update": "intra-site link added",
+         "documents_recomputed": intra.documents_recomputed,
+         "local_iterations": intra.local_iterations,
+         "siterank_recomputed": intra.siterank_recomputed,
+         "fraction_of_corpus": round(intra.recompute_fraction, 4)},
+        {"update": "inter-site link added",
+         "documents_recomputed": inter.documents_recomputed,
+         "local_iterations": inter.local_iterations,
+         "siterank_recomputed": inter.siterank_recomputed,
+         "fraction_of_corpus": round(inter.recompute_fraction, 4)},
+    ]
+    return rows, gap
+
+
+@pytest.mark.benchmark(group="E13 incremental updates")
+def test_e13_update_cost_table(benchmark, update_rows):
+    rows, gap = update_rows
+    rows = benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    write_result("E13_incremental_updates", rows,
+                 ["update", "documents_recomputed", "local_iterations",
+                  "siterank_recomputed", "fraction_of_corpus"],
+                 caption="Work needed to repair the layered ranking after a "
+                         "single change, versus recomputing from scratch "
+                         "(extension ablation; the incremental result is "
+                         "bit-identical to the full pipeline).")
+    assert gap < 1e-9
+    by_name = {row["update"]: row for row in rows}
+    assert by_name["intra-site link added"]["fraction_of_corpus"] < 0.2
+    assert by_name["inter-site link added"]["documents_recomputed"] == 0
+
+
+@pytest.mark.benchmark(group="E13 incremental updates")
+def test_e13_incremental_update_time(benchmark, campus):
+    graph = campus.docgraph
+    ranker = IncrementalLayeredRanker(graph)
+    counter = iter(range(10_000))
+
+    def one_update():
+        index = next(counter)
+        return ranker.add_link("http://dept003.campus.edu/",
+                               f"http://dept003.campus.edu/page{index:05d}.html")
+
+    benchmark.pedantic(one_update, rounds=5, iterations=1)
+
+
+@pytest.mark.benchmark(group="E13 incremental updates")
+def test_e13_full_rebuild_time(benchmark, campus):
+    benchmark.pedantic(layered_docrank, args=(campus.docgraph,), rounds=2,
+                       iterations=1)

@@ -1,0 +1,85 @@
+"""E8: computation-cost scaling — centralized PageRank vs the layered method.
+
+Section 2.3.3 of the paper contrasts the layered aggregation ("only O(N_P)
+multiplications") with the repeated global matrix-vector products of the
+centralized power method.  For synthetic webs of growing size this benchmark
+measures
+
+* wall-clock time of flat PageRank vs the layered pipeline (both executed on
+  one machine, i.e. the *serial* comparison);
+* the analytical flop counts, including the critical-path flops of a fully
+  distributed deployment (one peer per site), which is where the method's
+  scalability argument lives.
+"""
+
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.distributed import compare_costs
+from repro.web import flat_pagerank_ranking, layered_docrank
+
+
+@pytest.fixture(scope="module")
+def scaling_rows(synthetic_webs):
+    rows = []
+    for n_documents, graph in sorted(synthetic_webs.items()):
+        start = time.perf_counter()
+        flat = flat_pagerank_ranking(graph)
+        flat_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        layered = layered_docrank(graph)
+        layered_seconds = time.perf_counter() - start
+
+        local_iterations = {site: rank.iterations
+                            for site, rank in layered.local_docranks.items()}
+        costs = compare_costs(graph,
+                              centralized_iterations=flat.iterations,
+                              site_iterations=layered.siterank.iterations,
+                              local_iterations=local_iterations)
+        rows.append({
+            "documents": n_documents,
+            "sites": graph.n_sites,
+            "flat_seconds": round(flat_seconds, 3),
+            "layered_seconds": round(layered_seconds, 3),
+            "flat_mflops": round(costs.centralized.total_flops / 1e6, 2),
+            "layered_mflops": round(costs.layered.total_flops / 1e6, 2),
+            "critical_path_mflops": round(
+                costs.layered.critical_path_flops / 1e6, 2),
+            "serial_speedup": round(costs.serial_speedup, 2),
+            "parallel_speedup": round(costs.parallel_speedup, 2),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="E8 scaling")
+def test_e8_cost_scaling_table(benchmark, scaling_rows):
+    rows = benchmark.pedantic(lambda: scaling_rows, rounds=1, iterations=1)
+    write_result("E8_scaling", rows,
+                 ["documents", "sites", "flat_seconds", "layered_seconds",
+                  "flat_mflops", "layered_mflops", "critical_path_mflops",
+                  "serial_speedup", "parallel_speedup"],
+                 caption="Centralized flat PageRank vs the layered method on "
+                         "synthetic webs of growing size (serial wall-clock, "
+                         "analytical flops, and the critical path of a fully "
+                         "distributed deployment).")
+    # Shape: the distributed critical path is far below the centralized
+    # cost, and the advantage grows with the web.
+    assert all(row["parallel_speedup"] > 1.0 for row in rows)
+    assert rows[-1]["parallel_speedup"] >= rows[0]["parallel_speedup"]
+
+
+@pytest.mark.benchmark(group="E8 scaling")
+@pytest.mark.parametrize("n_documents", [1000, 4000, 16000])
+def test_e8_flat_pagerank_time(benchmark, synthetic_webs, n_documents):
+    graph = synthetic_webs[n_documents]
+    benchmark(flat_pagerank_ranking, graph)
+
+
+@pytest.mark.benchmark(group="E8 scaling")
+@pytest.mark.parametrize("n_documents", [1000, 4000, 16000])
+def test_e8_layered_time(benchmark, synthetic_webs, n_documents):
+    graph = synthetic_webs[n_documents]
+    benchmark(layered_docrank, graph)

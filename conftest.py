@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so the test and benchmark suites run even when
+the package has not been installed (the offline environment lacks the
+``wheel`` package needed for ``pip install -e .``; see README for details).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,14 @@
+"""Make the examples runnable from a source checkout without installation.
+
+Each example does ``import _bootstrap`` before importing :mod:`repro`; when
+the package is already installed this is a no-op, otherwise the repository's
+``src/`` directory is added to ``sys.path``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:  # pragma: no cover - trivial path bookkeeping
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Campus-web ranking: reproduce the shape of the paper's Figures 3 and 4.
+
+Generates the synthetic campus web (the stand-in for the 2003 EPFL crawl,
+spam-like agglomerations included), ranks it with flat PageRank and with the
+layered (LMM) method, and prints both top-15 lists side by side together with
+the farm-contamination statistics.  Flat PageRank's list is dominated by the
+"Webdriver" and "javadoc" farm pages; the layered list surfaces the
+authoritative university pages instead.
+
+Run with::
+
+    python examples/campus_web_ranking.py [--sites N] [--documents N]
+"""
+
+import _bootstrap  # noqa: F401
+
+import argparse
+
+from repro.graphgen import generate_campus_web
+from repro.metrics import spam_impact, top_k_overlap
+from repro.web import flat_pagerank_ranking, layered_docrank
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=60,
+                        help="number of web sites (default 60)")
+    parser.add_argument("--documents", type=int, default=6000,
+                        help="number of ordinary documents (default 6000)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="length of the printed top lists (default 15)")
+    args = parser.parse_args()
+
+    campus = generate_campus_web(n_sites=args.sites,
+                                 n_documents=args.documents)
+    graph = campus.docgraph
+    print(f"Synthetic campus web: {graph.n_documents} documents, "
+          f"{graph.n_links} links, {graph.n_sites} sites "
+          f"({len(campus.farm_doc_ids)} farm pages)\n")
+
+    flat = flat_pagerank_ranking(graph)
+    layered = layered_docrank(graph)
+
+    def annotate(doc_id: int) -> str:
+        if doc_id in campus.farm_hub_doc_ids:
+            return "FARM HUB"
+        if doc_id in campus.farm_doc_ids:
+            return "farm"
+        if doc_id in campus.authoritative_doc_ids:
+            return "authoritative"
+        return ""
+
+    print(f"=== Figure 3 analogue: top-{args.top} by flat PageRank ===")
+    for rank, doc_id in enumerate(flat.top_k(args.top), start=1):
+        print(f"{rank:3d}. [{annotate(doc_id):>13}] {graph.document(doc_id).url}")
+
+    print(f"\n=== Figure 4 analogue: top-{args.top} by the LMM layered method ===")
+    for rank, doc_id in enumerate(layered.top_k(args.top), start=1):
+        print(f"{rank:3d}. [{annotate(doc_id):>13}] {graph.document(doc_id).url}")
+
+    flat_stats = spam_impact("flat PageRank", flat.scores_by_doc_id(),
+                             flat.top_k(graph.n_documents),
+                             campus.farm_doc_ids, k=args.top)
+    layered_stats = spam_impact("LMM layered", layered.scores_by_doc_id(),
+                                layered.top_k(graph.n_documents),
+                                campus.farm_doc_ids, k=args.top)
+    print("\n=== Spam impact ===")
+    for stats in (flat_stats, layered_stats):
+        print(f"{stats.method:>14}: farm mass {stats.spam_mass:.3f}, "
+              f"gain over uniform {stats.spam_gain:.2f}x, "
+              f"top-{stats.k} contamination {stats.top_k_contamination:.0%}")
+
+    overlap = top_k_overlap(flat.top_k(args.top), layered.top_k(args.top),
+                            args.top)
+    print(f"\nTop-{args.top} overlap between the two rankings: {overlap:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Crawling a campus web and maintaining its ranking incrementally.
+
+Two workflows a search-engine operator would actually run:
+
+1. **Crawl** — start from the campus home page, follow links breadth-first
+   (dynamic pages included, per-site cap to defuse dynamic-page traps), and
+   rank the crawled snapshot with the layered method.
+2. **Update** — as new pages/links are discovered later, repair the ranking
+   incrementally: only the changed site's local DocRank (and, for inter-site
+   links, the tiny SiteRank) is recomputed, and the result is identical to
+   ranking from scratch.
+
+Run with::
+
+    python examples/crawl_and_update.py [--budget N]
+"""
+
+import _bootstrap  # noqa: F401
+
+import argparse
+
+import numpy as np
+
+from repro.crawler import CrawlPolicy, Crawler, SimulatedWeb
+from repro.graphgen import WEBDRIVER_HOST, generate_campus_web
+from repro.web import IncrementalLayeredRanker, layered_docrank
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=1500,
+                        help="crawl page budget (default 1500)")
+    parser.add_argument("--per-site-cap", type=int, default=200,
+                        help="max pages fetched per site (default 200)")
+    args = parser.parse_args()
+
+    campus = generate_campus_web(n_sites=30, n_documents=2500)
+    true_web = campus.docgraph
+    print(f"ground-truth web: {true_web.n_documents} documents, "
+          f"{true_web.n_sites} sites\n")
+
+    # ---------------- 1. crawl ---------------------------------------- #
+    web = SimulatedWeb(true_web, dynamic_trap_sites={WEBDRIVER_HOST})
+    policy = CrawlPolicy(max_pages=args.budget,
+                         max_pages_per_site=args.per_site_cap)
+    crawl = Crawler(web, policy).crawl()
+    print(f"crawl: fetched {crawl.fetched_pages} pages from "
+          f"{len(crawl.pages_per_site)} sites "
+          f"(stopped: {crawl.stopped_reason}, "
+          f"{crawl.frontier_remaining} URLs still queued)")
+    print(f"  the {WEBDRIVER_HOST} dynamic-page trap was capped at "
+          f"{crawl.pages_per_site.get(WEBDRIVER_HOST, 0)} pages\n")
+
+    ranking = layered_docrank(crawl.docgraph)
+    print("top-10 of the crawled snapshot (layered method):")
+    for rank, url in enumerate(ranking.top_k_urls(10), start=1):
+        print(f"  {rank:2d}. {url}")
+
+    # ---------------- 2. incremental updates -------------------------- #
+    print("\nmaintaining the ranking incrementally:")
+    ranker = IncrementalLayeredRanker(crawl.docgraph)
+    updates = [
+        ("intra-site link",
+         ("http://dept001.campus.edu/", "http://dept001.campus.edu/page00001.html")),
+        ("new page + link",
+         ("http://dept002.campus.edu/", "http://dept002.campus.edu/new-lab.html")),
+        ("inter-site link",
+         ("http://dept003.campus.edu/", "http://www.campus.edu/news/")),
+    ]
+    for label, (source, target) in updates:
+        report = ranker.add_link(source, target)
+        print(f"  {label:>18}: recomputed {report.documents_recomputed} "
+              f"documents ({report.recompute_fraction:.1%} of the corpus), "
+              f"SiteRank recomputed: {report.siterank_recomputed}")
+
+    fresh = layered_docrank(crawl.docgraph)
+    gap = float(np.abs(ranker.ranking().scores_by_doc_id()
+                       - fresh.scores_by_doc_id()).max())
+    print(f"\nincremental ranking vs full recompute: max |diff| = {gap:.2e}")
+
+
+if __name__ == "__main__":
+    main()

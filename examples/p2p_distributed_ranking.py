@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Peer-to-peer deployment: the layered ranking computed by simulated peers.
+
+Generates a synthetic hierarchical web, partitions its sites over a
+configurable number of peers, and runs the distributed ranking protocol in
+both deployment flavours the paper sketches (flat peers reporting to a
+coordinator, and super-peer aggregation).  The script verifies that the
+distributed result is identical to the centralized layered pipeline and
+reports the traffic and the simulated parallel makespan.
+
+Run with::
+
+    python examples/p2p_distributed_ranking.py [--peers N] [--documents N]
+"""
+
+import _bootstrap  # noqa: F401
+
+import argparse
+
+import numpy as np
+
+from repro.distributed import NetworkParameters, distributed_layered_docrank
+from repro.graphgen import generate_synthetic_web
+from repro.web import layered_docrank
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--peers", type=int, default=8)
+    parser.add_argument("--sites", type=int, default=40)
+    parser.add_argument("--documents", type=int, default=4000)
+    parser.add_argument("--latency-ms", type=float, default=20.0)
+    args = parser.parse_args()
+
+    graph = generate_synthetic_web(n_sites=args.sites,
+                                   n_documents=args.documents, seed=13)
+    print(f"Synthetic web: {graph.n_documents} documents over "
+          f"{graph.n_sites} sites\n")
+
+    centralized = layered_docrank(graph)
+    network = NetworkParameters(latency_seconds=args.latency_ms / 1000.0)
+
+    for architecture in ("flat", "super-peer"):
+        report = distributed_layered_docrank(graph, n_peers=args.peers,
+                                             architecture=architecture,
+                                             network=network)
+        difference = float(np.abs(report.ranking.scores_by_doc_id()
+                                  - centralized.scores_by_doc_id()).max())
+        print(f"=== {architecture} architecture, {report.n_peers} peers ===")
+        print(f"  identical to centralized layered ranking: "
+              f"max |diff| = {difference:.2e}")
+        print(f"  messages: {report.message_count} "
+              f"({report.total_bytes / 1024:.1f} KiB on the wire)")
+        for name, count in sorted(report.messages_by_type.items()):
+            kib = report.bytes_by_type[name] / 1024
+            print(f"    {name:>24}: {count:5d} messages, {kib:8.1f} KiB")
+        print(f"  simulated makespan: {report.makespan_seconds * 1000:.1f} ms "
+              f"(serial compute {report.serial_compute_seconds * 1000:.1f} ms, "
+              f"parallel speed-up {report.parallel_speedup:.1f}x)\n")
+
+    print("The SiteRank is tiny compared to the document vectors — it is the "
+          "only globally shared piece of state, which is why the paper "
+          "proposes sharing it among all peers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's 12-state worked example, all four approaches.
+
+Builds the Layered Markov Model of Section 2.3 (three phases with 4, 3 and 5
+sub-states), ranks its global system states with the two centralized
+approaches (PageRank of W, stationary distribution of W) and the two
+decentralized ones (PageRank-weighted and the Layered Method), and prints a
+table in the spirit of the paper's Figure 2.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import _bootstrap  # noqa: F401  (makes the example runnable from a checkout)
+
+import numpy as np
+
+from repro.core import all_approaches, example_lmm, verify_partition_theorem
+
+
+def main() -> None:
+    model = example_lmm()
+    print(f"Layered Markov Model: {model.n_phases} phases, "
+          f"{model.n_global_states} global system states\n")
+
+    results = all_approaches(model, damping=0.85)
+
+    header = (f"{'state':>8} | " + " | ".join(f"{name:>12}"
+                                              for name in results))
+    print(header)
+    print("-" * len(header))
+    labels = model.global_state_labels()
+    for index, (phase, sub_state) in enumerate(model.global_states()):
+        label = f"({labels[index][0]},{sub_state + 1})"
+        row = " | ".join(f"{results[name].scores[index]:12.4f}"
+                         for name in results)
+        print(f"{label:>8} | {row}")
+
+    print("\nRank order (1 = best) per approach:")
+    for name, result in results.items():
+        print(f"  {name}: {result.rank_positions().tolist()}")
+
+    a2 = results["approach-2"].scores
+    a4 = results["approach-4"].scores
+    print(f"\nmax |Approach 2 - Approach 4| = {np.abs(a2 - a4).max():.2e} "
+          "(Corollary 1: they are the same ranking)")
+
+    report = verify_partition_theorem(model)
+    print(f"Partition Theorem verified: {report.holds} "
+          f"(fixed-point residual {report.fixed_point_residual:.2e})")
+
+    top = results["approach-4"].top_k(3)
+    print(f"\nTop-3 global system states (Layered Method): {top}")
+
+
+if __name__ == "__main__":
+    main()

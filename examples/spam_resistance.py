@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Spam resistance: how much rank mass a growing link farm captures.
+
+Starts from a clean synthetic web, injects link farms of increasing size,
+and measures — for flat PageRank and for the LMM layered method — the farm's
+total rank mass, its amplification over a uniform ranking, and its presence
+in the top-15.  This quantifies the paper's claim that "link spamming ... is
+also nicely defeated to a very satisfiable degree" by the layered method.
+
+Run with::
+
+    python examples/spam_resistance.py [--farm-sizes 25 50 100 200]
+"""
+
+import _bootstrap  # noqa: F401
+
+import argparse
+
+import numpy as np
+
+from repro.graphgen import LinkFarmSpec, generate_synthetic_web, inject_link_farm
+from repro.metrics import spam_impact
+from repro.web import flat_pagerank_ranking, layered_docrank
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--farm-sizes", type=int, nargs="+",
+                        default=[25, 50, 100, 200])
+    parser.add_argument("--sites", type=int, default=20)
+    parser.add_argument("--documents", type=int, default=2000)
+    args = parser.parse_args()
+
+    header = (f"{'farm size':>10} | {'method':>14} | {'farm mass':>10} | "
+              f"{'gain':>7} | {'top-15 contamination':>21}")
+    print(header)
+    print("-" * len(header))
+
+    for farm_size in args.farm_sizes:
+        graph = generate_synthetic_web(n_sites=args.sites,
+                                       n_documents=args.documents, seed=17)
+        farm = inject_link_farm(
+            graph, LinkFarmSpec(n_pages=farm_size, hijacked_links=5),
+            rng=np.random.default_rng(farm_size))
+
+        flat = flat_pagerank_ranking(graph)
+        layered = layered_docrank(graph)
+        rows = [
+            spam_impact("flat PageRank", flat.scores_by_doc_id(),
+                        flat.top_k(graph.n_documents), farm.farm_doc_ids),
+            spam_impact("LMM layered", layered.scores_by_doc_id(),
+                        layered.top_k(graph.n_documents), farm.farm_doc_ids),
+        ]
+        for impact in rows:
+            print(f"{farm_size:>10} | {impact.method:>14} | "
+                  f"{impact.spam_mass:>10.4f} | {impact.spam_gain:>7.2f} | "
+                  f"{impact.top_k_contamination:>21.0%}")
+        print("-" * len(header))
+
+    print("\nUnder the layered method the farm's mass stays capped by its "
+          "site's SiteRank, so growing the farm buys the spammer almost "
+          "nothing — exactly the behaviour reported in the paper's "
+          "campus-web experiment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction ships setuptools without
+the ``wheel`` package, so PEP 660 editable installs (which build an editable
+wheel) fail.  Keeping a ``setup.py`` allows the legacy editable path
+(``pip install -e . --no-use-pep517 --no-build-isolation``) and plain
+``python setup.py develop`` to work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

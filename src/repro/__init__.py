@@ -1,0 +1,58 @@
+"""repro — a reproduction of "Using a Layered Markov Model for Distributed
+Web Ranking Computation" (Wu & Aberer, ICDCS 2005).
+
+The package is organised as a set of substrates under a single core
+contribution:
+
+* :mod:`repro.core` — the Layered Markov Model, its four ranking approaches,
+  the Partition Theorem checks, personalisation, and the multi-layer
+  generalisation;
+* :mod:`repro.web` — the web application of the model: DocGraph / SiteGraph,
+  SiteRank, DocRank and the 5-step layered ranking pipeline;
+* :mod:`repro.pagerank` — flat-ranking baselines (PageRank, HITS, BlockRank,
+  accelerated variants);
+* :mod:`repro.markov`, :mod:`repro.linalg` — Markov-chain and stochastic
+  linear-algebra substrates;
+* :mod:`repro.graphgen` — synthetic web-graph generators, including the
+  campus-web generator used in place of the paper's 2003 EPFL crawl;
+* :mod:`repro.distributed` — a simulated peer-to-peer deployment of the
+  layered computation;
+* :mod:`repro.metrics`, :mod:`repro.ir`, :mod:`repro.io` — ranking-comparison
+  metrics, a small IR substrate, and serialisation helpers.
+
+Quickstart::
+
+    from repro.core import example_lmm, layered_ranking
+    result = layered_ranking(example_lmm())
+    print(result.top_k(3))
+"""
+
+from .core import (
+    LayeredMarkovModel,
+    Phase,
+    approach_1,
+    approach_2,
+    approach_3,
+    approach_4,
+    example_lmm,
+    layered_ranking,
+    verify_partition_theorem,
+)
+from .pagerank import hits, pagerank
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LayeredMarkovModel",
+    "Phase",
+    "approach_1",
+    "approach_2",
+    "approach_3",
+    "approach_4",
+    "example_lmm",
+    "layered_ranking",
+    "verify_partition_theorem",
+    "hits",
+    "pagerank",
+    "__version__",
+]

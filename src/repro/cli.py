@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Sub-commands
+------------
+
+``rank``
+    Rank a web graph (URL edge list or a generated synthetic web) with the
+    layered method, flat PageRank, or both, and print the top-k documents.
+
+``generate``
+    Generate a synthetic web (``campus`` or ``hierarchical``) and write it
+    as a lossless DocGraph file (readable by ``rank --format docgraph``).
+
+``compare``
+    Rank a graph with both methods and report their agreement (Kendall tau,
+    top-k overlap) plus, for generated campus webs, the farm contamination
+    of each top list.
+
+``example``
+    Print the paper's 12-state worked example (Figure 2 reproduction).
+
+All numeric output is deterministic for a fixed ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import all_approaches, example_lmm
+from .graphgen import generate_campus_web, generate_synthetic_web
+from .io import read_docgraph, read_url_edgelist, write_docgraph
+from .metrics import kendall_tau, top_k_contamination, top_k_overlap
+from .web import DocGraph, flat_pagerank_ranking, layered_docrank
+
+
+def _load_graph(args: argparse.Namespace) -> DocGraph:
+    """Load or generate the graph a sub-command operates on."""
+    if args.input is not None:
+        if args.format == "edgelist":
+            return read_url_edgelist(args.input)
+        return read_docgraph(args.input)
+    if args.generate == "campus":
+        return generate_campus_web(n_sites=args.sites,
+                                   n_documents=args.documents,
+                                   seed=args.seed).docgraph
+    return generate_synthetic_web(n_sites=args.sites,
+                                  n_documents=args.documents, seed=args.seed)
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", help="path to a graph file")
+    parser.add_argument("--format", choices=["edgelist", "docgraph"],
+                        default="edgelist",
+                        help="input file format (default: edgelist)")
+    parser.add_argument("--generate", choices=["campus", "hierarchical"],
+                        default="hierarchical",
+                        help="synthetic web to generate when no --input")
+    parser.add_argument("--sites", type=int, default=20)
+    parser.add_argument("--documents", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _command_rank(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    print(f"graph: {graph.n_documents} documents, {graph.n_links} links, "
+          f"{graph.n_sites} sites")
+    methods = (["layered", "pagerank"] if args.method == "both"
+               else [args.method])
+    for method in methods:
+        result = (layered_docrank(graph, damping=args.damping)
+                  if method == "layered"
+                  else flat_pagerank_ranking(graph, damping=args.damping))
+        print(f"\ntop-{args.top} by {method}:")
+        for rank, url in enumerate(result.top_k_urls(args.top), start=1):
+            print(f"  {rank:3d}. {url}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.kind == "campus":
+        graph = generate_campus_web(n_sites=args.sites,
+                                    n_documents=args.documents,
+                                    seed=args.seed).docgraph
+    else:
+        graph = generate_synthetic_web(n_sites=args.sites,
+                                       n_documents=args.documents,
+                                       seed=args.seed)
+    write_docgraph(graph, args.output)
+    print(f"wrote {graph.n_documents} documents / {graph.n_links} links "
+          f"({graph.n_sites} sites) to {args.output}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    campus = None
+    if args.input is None and args.generate == "campus":
+        campus = generate_campus_web(n_sites=args.sites,
+                                     n_documents=args.documents,
+                                     seed=args.seed)
+        graph = campus.docgraph
+    else:
+        graph = _load_graph(args)
+    layered = layered_docrank(graph, damping=args.damping)
+    flat = flat_pagerank_ranking(graph, damping=args.damping)
+    tau = kendall_tau(layered.scores_by_doc_id(), flat.scores_by_doc_id())
+    overlap = top_k_overlap(layered.top_k(args.top), flat.top_k(args.top),
+                            args.top)
+    print(f"graph: {graph.n_documents} documents over {graph.n_sites} sites")
+    print(f"Kendall tau (layered vs PageRank): {tau:.3f}")
+    print(f"top-{args.top} overlap: {overlap:.0%}")
+    if campus is not None:
+        for name, result in (("PageRank", flat), ("layered", layered)):
+            contamination = top_k_contamination(result.top_k(args.top),
+                                                campus.farm_doc_ids, args.top)
+            print(f"farm pages in {name} top-{args.top}: {contamination:.0%}")
+    return 0
+
+
+def _command_example(args: argparse.Namespace) -> int:
+    model = example_lmm()
+    results = all_approaches(model, damping=args.damping)
+    print("paper worked example: 3 phases, 12 global system states")
+    for name, result in results.items():
+        rounded = [round(float(score), 4) for score in result.scores]
+        print(f"{name}: {rounded}")
+    print(f"rank order (Approach 2/4): "
+          f"{results['approach-2'].rank_positions().tolist()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Layered Markov Model web ranking (Wu & Aberer, ICDCS 2005)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    rank = subparsers.add_parser("rank", help="rank a web graph")
+    _add_graph_arguments(rank)
+    rank.add_argument("--method", choices=["layered", "pagerank", "both"],
+                      default="layered")
+    rank.add_argument("--top", type=int, default=15)
+    rank.add_argument("--damping", type=float, default=0.85)
+    rank.set_defaults(handler=_command_rank)
+
+    generate = subparsers.add_parser("generate",
+                                     help="generate a synthetic web graph")
+    generate.add_argument("kind", choices=["campus", "hierarchical"])
+    generate.add_argument("output", help="path of the DocGraph file to write")
+    generate.add_argument("--sites", type=int, default=20)
+    generate.add_argument("--documents", type=int, default=2000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.set_defaults(handler=_command_generate)
+
+    compare = subparsers.add_parser(
+        "compare", help="compare the layered ranking with flat PageRank")
+    _add_graph_arguments(compare)
+    compare.add_argument("--top", type=int, default=15)
+    compare.add_argument("--damping", type=float, default=0.85)
+    compare.set_defaults(handler=_command_compare)
+
+    example = subparsers.add_parser(
+        "example", help="print the paper's 12-state worked example")
+    example.add_argument("--damping", type=float, default=0.85)
+    example.set_defaults(handler=_command_example)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""The global transition matrix ``W`` and the centralized approaches (1 & 2).
+
+Under layer-decomposability (Definition 3) the transition probability between
+two global system states is
+
+    ``w_(I,i)(J,j) = y_IJ · u^J_Gj``                      (Equation 3)
+
+independent of the source sub-state ``i`` — so all rows of ``W`` belonging to
+the same source phase are identical.  Lemma 1 shows ``W`` is row-stochastic
+and Lemma 2 that it is primitive whenever ``Y`` is primitive and the
+gatekeeper values are positive.
+
+Two *centralized* ranking approaches operate on ``W``:
+
+* **Approach 1** — apply the full PageRank treatment (maximal irreducibility
+  with damping ``f``, then the power method) to ``W``;
+* **Approach 2** — exploit the primitivity of ``W`` and compute its
+  stationary distribution directly.
+
+Both are "centralized" because the full ``N_P x N_P`` matrix ``W`` must be
+materialised; their decentralised counterparts live in
+:mod:`repro.core.layered_method`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ReducibleMatrixError, ValidationError
+from ..linalg.perron import is_primitive
+from ..linalg.power_iteration import (
+    DEFAULT_MAX_ITER,
+    DEFAULT_TOL,
+    stationary_distribution,
+)
+from ..markov.irreducibility import DEFAULT_DAMPING
+from ..pagerank.pagerank import pagerank_from_stochastic
+from .gatekeeper import GatekeeperMethod, GatekeeperVectors, gatekeeper_vectors
+from .lmm import GlobalState, LayeredMarkovModel
+
+
+@dataclass
+class GlobalRankingResult:
+    """A ranking over the global system states of an LMM.
+
+    Attributes
+    ----------
+    scores:
+        Probability distribution over global states in canonical order.
+    states:
+        The ``(phase index, sub-state index)`` pair of every entry.
+    labels:
+        Human-readable ``(phase name, sub-state label)`` pairs.
+    approach:
+        Which of the paper's four approaches produced this ranking.
+    iterations:
+        Power iterations spent on the *global* matrix (0 for the
+        decentralized approaches, which never build it).
+    local_iterations:
+        Power iterations spent inside phases (per-phase list).
+    """
+
+    scores: np.ndarray
+    states: List[GlobalState]
+    labels: List[Tuple[Hashable, Hashable]]
+    approach: str
+    iterations: int = 0
+    local_iterations: List[int] = field(default_factory=list)
+
+    def score_of(self, phase: int, sub_state: int) -> float:
+        """Score of the global state ``(phase, sub_state)`` (0-based indices)."""
+        for idx, state in enumerate(self.states):
+            if state == (phase, sub_state):
+                return float(self.scores[idx])
+        raise ValidationError(f"unknown global state ({phase}, {sub_state})")
+
+    def ranking(self) -> np.ndarray:
+        """Indices of global states sorted by descending score."""
+        return np.lexsort((np.arange(self.scores.size), -self.scores))
+
+    def rank_positions(self) -> np.ndarray:
+        """1-based rank position of every global state (1 = highest score).
+
+        This is the right-hand column printed next to each vector in the
+        paper's Figure 2.
+        """
+        order = self.ranking()
+        positions = np.empty(self.scores.size, dtype=int)
+        positions[order] = np.arange(1, self.scores.size + 1)
+        return positions
+
+    def top_k(self, k: int) -> List[Tuple[Hashable, Hashable]]:
+        """Labels of the ``k`` best global states, best first."""
+        return [self.labels[int(i)] for i in self.ranking()[:k]]
+
+
+def build_global_matrix(model: LayeredMarkovModel,
+                        alpha: float = DEFAULT_DAMPING, *,
+                        gatekeepers: Optional[GatekeeperVectors] = None,
+                        gatekeeper_method: GatekeeperMethod = "maximal",
+                        tol: float = DEFAULT_TOL,
+                        max_iter: int = DEFAULT_MAX_ITER,
+                        ) -> Tuple[np.ndarray, GatekeeperVectors]:
+    """Materialise the global transition matrix ``W`` (Equation 3).
+
+    Returns the dense ``N_P x N_P`` matrix together with the gatekeeper
+    vectors used to build it (so callers can reuse them without recomputing
+    the local rankings).
+    """
+    if gatekeepers is None:
+        gatekeepers = gatekeeper_vectors(model, alpha,
+                                         method=gatekeeper_method,
+                                         tol=tol, max_iter=max_iter)
+    if len(gatekeepers) != model.n_phases:
+        raise ValidationError(
+            "gatekeeper vectors do not match the model's phases")
+    counts = model.sub_state_counts
+    for phase_idx, vector in enumerate(gatekeepers.vectors):
+        if vector.size != counts[phase_idx]:
+            raise ValidationError(
+                f"gatekeeper vector of phase {phase_idx} has length "
+                f"{vector.size}, expected {counts[phase_idx]}")
+
+    n_global = model.n_global_states
+    phase_of_state = np.concatenate([
+        np.full(count, phase_idx, dtype=int)
+        for phase_idx, count in enumerate(counts)
+    ])
+    # Row pattern for a source phase I: concatenate y_IJ * pi^J_G over J.
+    y = np.asarray(model.phase_transition, dtype=float)
+    row_per_phase = np.vstack([
+        np.concatenate([y[source_phase, target_phase]
+                        * gatekeepers[target_phase]
+                        for target_phase in range(model.n_phases)])
+        for source_phase in range(model.n_phases)
+    ])
+    w = row_per_phase[phase_of_state, :]
+    assert w.shape == (n_global, n_global)
+    return w, gatekeepers
+
+
+def approach_1(model: LayeredMarkovModel, damping: float = DEFAULT_DAMPING, *,
+               alpha: Optional[float] = None,
+               gatekeeper_method: GatekeeperMethod = "maximal",
+               tol: float = DEFAULT_TOL,
+               max_iter: int = DEFAULT_MAX_ITER) -> GlobalRankingResult:
+    """Approach 1: standard PageRank applied to the global matrix ``W``.
+
+    ``W`` is built (centralized step), the maximal-irreducibility adjustment
+    with damping factor *damping* is applied and the power method produces
+    the vector the paper calls ``π_W``.
+
+    Parameters
+    ----------
+    damping:
+        Damping factor ``f`` of the global PageRank run on ``W``.
+    alpha:
+        Adjustable factor used for the per-phase gatekeeper vectors
+        (defaults to *damping*).
+    """
+    if alpha is None:
+        alpha = damping
+    w, gatekeepers = build_global_matrix(model, alpha,
+                                         gatekeeper_method=gatekeeper_method,
+                                         tol=tol, max_iter=max_iter)
+    result = pagerank_from_stochastic(w, damping, tol=tol, max_iter=max_iter)
+    return GlobalRankingResult(
+        scores=result.scores,
+        states=model.global_states(),
+        labels=model.global_state_labels(),
+        approach="approach-1",
+        iterations=result.iterations,
+        local_iterations=list(gatekeepers.iterations),
+    )
+
+
+def approach_2(model: LayeredMarkovModel, alpha: float = DEFAULT_DAMPING, *,
+               gatekeeper_method: GatekeeperMethod = "maximal",
+               require_primitive: bool = True,
+               tol: float = DEFAULT_TOL,
+               max_iter: int = DEFAULT_MAX_ITER) -> GlobalRankingResult:
+    """Approach 2: direct stationary distribution of the primitive ``W``.
+
+    When the phase matrix ``Y`` is primitive, ``W`` is primitive (Lemma 2)
+    and its stationary distribution — the paper's ``π̃_W`` — exists without
+    any further adjustment.
+
+    Parameters
+    ----------
+    require_primitive:
+        When ``True`` (default) a :class:`ReducibleMatrixError` is raised if
+        ``Y`` is not primitive, mirroring the theorem's hypothesis; when
+        ``False`` the stationary distribution is attempted anyway (it may
+        then depend on the starting vector).
+    """
+    if require_primitive and not is_primitive(model.phase_transition):
+        raise ReducibleMatrixError(
+            "Approach 2 requires a primitive phase transition matrix Y; "
+            "either repair Y (e.g. apply maximal irreducibility) or use "
+            "Approach 1")
+    w, gatekeepers = build_global_matrix(model, alpha,
+                                         gatekeeper_method=gatekeeper_method,
+                                         tol=tol, max_iter=max_iter)
+    result = stationary_distribution(w, tol=tol, max_iter=max_iter)
+    return GlobalRankingResult(
+        scores=result.vector,
+        states=model.global_states(),
+        labels=model.global_state_labels(),
+        approach="approach-2",
+        iterations=result.iterations,
+        local_iterations=list(gatekeepers.iterations),
+    )

@@ -1,0 +1,176 @@
+"""The decentralized approaches (3 & 4): the Layered Method (Section 2.3.3).
+
+The Partition Theorem (Theorem 2) says the stationary distribution of the
+global matrix ``W`` factorises:
+
+    ``π̃(I, i) = π̃_Y(I) · π^I_G(i)``
+
+where ``π̃_Y`` is the stationary distribution of the (primitive) phase matrix
+``Y`` and ``π^I_G`` is the local (PageRank) ranking of phase ``I``.  The two
+factors can be computed independently — per phase and once at the phase
+layer — so the global ranking needs no global matrix at all and only
+``O(N_P)`` multiplications to aggregate (the paper's cost claim).
+
+* **Approach 3** uses the *PageRank* of ``Y`` (maximal irreducibility, i.e.
+  damping applied) as the phase weights ``π_Y``;
+* **Approach 4 — the Layered Method** uses the *plain stationary
+  distribution* ``π̃_Y`` of the primitive ``Y`` and is provably identical to
+  the centralized Approach 2 (Corollary 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import ReducibleMatrixError
+from ..linalg.perron import is_primitive
+from ..linalg.power_iteration import (
+    DEFAULT_MAX_ITER,
+    DEFAULT_TOL,
+    stationary_distribution,
+)
+from ..markov.irreducibility import DEFAULT_DAMPING
+from ..pagerank.pagerank import pagerank_from_stochastic
+from .gatekeeper import GatekeeperMethod, GatekeeperVectors, gatekeeper_vectors
+from .global_matrix import GlobalRankingResult
+from .lmm import LayeredMarkovModel
+
+
+@dataclass
+class LayeredRankingResult(GlobalRankingResult):
+    """A :class:`GlobalRankingResult` carrying the layered factors as well.
+
+    Attributes
+    ----------
+    phase_scores:
+        The phase-layer weights used (``π̃_Y`` for Approach 4, ``π_Y`` for
+        Approach 3).
+    local_scores:
+        The per-phase local ranking vectors ``π^I_G``.
+    phase_iterations:
+        Power iterations spent on the phase matrix ``Y``.
+    """
+
+    phase_scores: np.ndarray = field(default_factory=lambda: np.array([]))
+    local_scores: List[np.ndarray] = field(default_factory=list)
+    phase_iterations: int = 0
+
+    def score_within_phase(self, phase: int) -> np.ndarray:
+        """The local ranking vector of one phase."""
+        return self.local_scores[phase]
+
+
+def _compose(model: LayeredMarkovModel, phase_weights: np.ndarray,
+             gatekeepers: GatekeeperVectors, approach: str,
+             phase_iterations: int) -> LayeredRankingResult:
+    """Aggregate phase weights and local rankings into the global vector.
+
+    This is step (3) of the Layered Method — the only step that touches all
+    phases together, and it is a single pass of ``O(N_P)`` multiplications.
+    """
+    scores = np.concatenate([
+        phase_weights[phase_idx] * gatekeepers[phase_idx]
+        for phase_idx in range(model.n_phases)
+    ])
+    return LayeredRankingResult(
+        scores=scores,
+        states=model.global_states(),
+        labels=model.global_state_labels(),
+        approach=approach,
+        iterations=0,
+        local_iterations=list(gatekeepers.iterations),
+        phase_scores=phase_weights,
+        local_scores=list(gatekeepers.vectors),
+        phase_iterations=phase_iterations,
+    )
+
+
+def approach_3(model: LayeredMarkovModel, damping: float = DEFAULT_DAMPING, *,
+               alpha: Optional[float] = None,
+               gatekeepers: Optional[GatekeeperVectors] = None,
+               gatekeeper_method: GatekeeperMethod = "maximal",
+               tol: float = DEFAULT_TOL,
+               max_iter: int = DEFAULT_MAX_ITER) -> LayeredRankingResult:
+    """Approach 3: decentralized ranking with *PageRank* phase weights.
+
+    The phase weights are ``π_Y`` — the PageRank (maximal irreducibility with
+    damping factor *damping*) of the phase matrix ``Y``.  The result is a
+    probability distribution (Theorem 1) but is *not* in general equal to the
+    stationary distribution of ``W``; the paper's worked example shows
+    ``π(2,3) = 0.2456`` versus ``π̃(2,3) = 0.2541``.
+    """
+    if alpha is None:
+        alpha = damping
+    if gatekeepers is None:
+        gatekeepers = gatekeeper_vectors(model, alpha,
+                                         method=gatekeeper_method,
+                                         tol=tol, max_iter=max_iter)
+    phase_result = pagerank_from_stochastic(model.phase_transition, damping,
+                                            tol=tol, max_iter=max_iter)
+    return _compose(model, phase_result.scores, gatekeepers, "approach-3",
+                    phase_result.iterations)
+
+
+def approach_4(model: LayeredMarkovModel, alpha: float = DEFAULT_DAMPING, *,
+               gatekeepers: Optional[GatekeeperVectors] = None,
+               gatekeeper_method: GatekeeperMethod = "maximal",
+               require_primitive: bool = True,
+               tol: float = DEFAULT_TOL,
+               max_iter: int = DEFAULT_MAX_ITER) -> LayeredRankingResult:
+    """Approach 4 (the Layered Method): decentralized and equal to Approach 2.
+
+    The phase weights are the plain stationary distribution ``π̃_Y`` of the
+    primitive phase matrix ``Y``; composed with the local rankings via
+    Theorem 2 this reproduces the stationary distribution of ``W`` exactly,
+    without ever materialising ``W``.
+
+    Parameters
+    ----------
+    alpha:
+        The adjustable factor used for the local (gatekeeper) rankings.
+    require_primitive:
+        Enforce the theorem's hypothesis that ``Y`` is primitive.
+    """
+    if require_primitive and not is_primitive(model.phase_transition):
+        raise ReducibleMatrixError(
+            "the Layered Method requires a primitive phase transition matrix "
+            "Y (Theorem 2); use approach_3, or repair Y first")
+    if gatekeepers is None:
+        gatekeepers = gatekeeper_vectors(model, alpha,
+                                         method=gatekeeper_method,
+                                         tol=tol, max_iter=max_iter)
+    phase_result = stationary_distribution(model.phase_transition,
+                                           start=model.phase_initial,
+                                           tol=tol, max_iter=max_iter)
+    return _compose(model, phase_result.vector, gatekeepers, "approach-4",
+                    phase_result.iterations)
+
+
+#: The paper's preferred name for Approach 4.
+layered_ranking = approach_4
+
+
+def all_approaches(model: LayeredMarkovModel,
+                   damping: float = DEFAULT_DAMPING, *,
+                   tol: float = DEFAULT_TOL,
+                   max_iter: int = DEFAULT_MAX_ITER) -> dict:
+    """Run all four approaches on *model* and return them keyed by name.
+
+    Convenience used by examples and by the Figure 2 reproduction benchmark,
+    which reports all four vectors side by side.
+    """
+    from .global_matrix import approach_1, approach_2
+
+    gatekeepers = gatekeeper_vectors(model, damping, tol=tol,
+                                     max_iter=max_iter)
+    return {
+        "approach-1": approach_1(model, damping, tol=tol, max_iter=max_iter),
+        "approach-2": approach_2(model, damping, tol=tol, max_iter=max_iter),
+        "approach-3": approach_3(model, damping, gatekeepers=gatekeepers,
+                                 tol=tol, max_iter=max_iter),
+        "approach-4": approach_4(model, damping, gatekeepers=gatekeepers,
+                                 tol=tol, max_iter=max_iter),
+    }

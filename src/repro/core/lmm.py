@@ -1,0 +1,298 @@
+"""The Layered Markov Model (Definition 1 of the paper).
+
+A two-layer LMM is the 6-tuple ``(P, Y, vY, O, U, vU)``:
+
+* ``P`` — the set of phases (the upper layer; web *sites* in the IR
+  application), with transition matrix ``Y`` and initial distribution ``vY``;
+* ``O`` — per-phase sets of sub-states (web *documents*), with per-phase
+  transition matrices ``U = {U^1, …, U^NP}`` and initial distributions
+  ``vU = {v^1_U, …}``.
+
+This module defines :class:`Phase` and :class:`LayeredMarkovModel` — plain
+data containers with validation — plus :func:`example_lmm`, which constructs
+the exact 3-phase / 12-state worked example of Section 2.3 whose numbers the
+reproduction benchmarks check against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import (
+    ensure_distribution,
+    ensure_row_stochastic,
+)
+from ..exceptions import DimensionMismatchError, ValidationError
+from ..linalg.stochastic import uniform_distribution
+
+#: A global system state is a (phase index, sub-state index) pair, both
+#: 0-based internally (the paper uses 1-based labels such as "(2,3)").
+GlobalState = Tuple[int, int]
+
+
+@dataclass
+class Phase:
+    """One phase (super-state) of a Layered Markov Model.
+
+    Parameters
+    ----------
+    name:
+        Hashable phase label (e.g. a site hostname).
+    transition:
+        The ``n_I x n_I`` row-stochastic sub-state transition matrix ``U^I``.
+        The paper only requires it to be Markovian — it may be reducible.
+    initial:
+        The initial sub-state distribution ``v^I_U`` (uniform when omitted);
+        this vector is also used as the gatekeeper's outgoing preference in
+        the minimal-irreducibility construction.
+    sub_state_names:
+        Optional labels for the sub-states (e.g. document URLs).
+    """
+
+    name: Hashable
+    transition: np.ndarray
+    initial: Optional[np.ndarray] = None
+    sub_state_names: Optional[Sequence[Hashable]] = None
+
+    def __post_init__(self) -> None:
+        ensure_row_stochastic(self.transition, name=f"phase {self.name!r} transition")
+        n = self.transition.shape[0]
+        if self.initial is None:
+            self.initial = uniform_distribution(n)
+        else:
+            self.initial = ensure_distribution(
+                self.initial, name=f"phase {self.name!r} initial distribution")
+            if self.initial.size != n:
+                raise DimensionMismatchError(
+                    f"phase {self.name!r}: initial distribution has length "
+                    f"{self.initial.size}, expected {n}")
+        if self.sub_state_names is not None:
+            names = list(self.sub_state_names)
+            if len(names) != n:
+                raise DimensionMismatchError(
+                    f"phase {self.name!r}: got {len(names)} sub-state names "
+                    f"for {n} sub-states")
+            if len(set(names)) != n:
+                raise ValidationError(
+                    f"phase {self.name!r}: sub-state names must be unique")
+            self.sub_state_names = names
+
+    @property
+    def n_sub_states(self) -> int:
+        """Number of (non-gatekeeper) sub-states ``n_I``."""
+        return self.transition.shape[0]
+
+    def sub_state_label(self, index: int) -> Hashable:
+        """Label of sub-state ``index`` (the index itself when unnamed)."""
+        if self.sub_state_names is not None:
+            return self.sub_state_names[index]
+        return index
+
+
+@dataclass
+class LayeredMarkovModel:
+    """A two-layer Layered Markov Model (Definition 1).
+
+    Parameters
+    ----------
+    phases:
+        The ordered list of :class:`Phase` objects (``P`` and, through them,
+        ``O``, ``U`` and ``vU``).
+    phase_transition:
+        The ``NP x NP`` row-stochastic phase transition matrix ``Y``.
+    phase_initial:
+        The initial phase distribution ``vY`` (uniform when omitted).
+    """
+
+    phases: List[Phase]
+    phase_transition: np.ndarray
+    phase_initial: Optional[np.ndarray] = None
+    _phase_index: dict = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValidationError("an LMM needs at least one phase")
+        ensure_row_stochastic(self.phase_transition, name="phase transition Y")
+        if self.phase_transition.shape[0] != len(self.phases):
+            raise DimensionMismatchError(
+                f"Y is {self.phase_transition.shape[0]}x"
+                f"{self.phase_transition.shape[1]} but there are "
+                f"{len(self.phases)} phases")
+        if self.phase_initial is None:
+            self.phase_initial = uniform_distribution(len(self.phases))
+        else:
+            self.phase_initial = ensure_distribution(
+                self.phase_initial, name="phase initial distribution vY")
+            if self.phase_initial.size != len(self.phases):
+                raise DimensionMismatchError(
+                    "vY length does not match the number of phases")
+        names = [phase.name for phase in self.phases]
+        if len(set(names)) != len(names):
+            raise ValidationError("phase names must be unique")
+        self._phase_index = {name: i for i, name in enumerate(names)}
+
+    # ------------------------------------------------------------------ #
+    # Sizes and labelling
+    # ------------------------------------------------------------------ #
+    @property
+    def n_phases(self) -> int:
+        """Number of phases ``NP``."""
+        return len(self.phases)
+
+    @property
+    def sub_state_counts(self) -> List[int]:
+        """The list ``[n_1, …, n_NP]``."""
+        return [phase.n_sub_states for phase in self.phases]
+
+    @property
+    def n_global_states(self) -> int:
+        """Total number of global system states ``N_P = Σ_I n_I``."""
+        return sum(self.sub_state_counts)
+
+    def phase_index(self, name: Hashable) -> int:
+        """Index of the phase with the given name."""
+        try:
+            return self._phase_index[name]
+        except KeyError:
+            raise ValidationError(f"unknown phase {name!r}") from None
+
+    def global_states(self) -> List[GlobalState]:
+        """All global system states ``(I, i)`` in canonical (row-major) order.
+
+        The canonical order is the one used throughout the paper's example:
+        phase 1's sub-states first, then phase 2's, and so on.
+        """
+        states: List[GlobalState] = []
+        for phase_idx, phase in enumerate(self.phases):
+            for sub_idx in range(phase.n_sub_states):
+                states.append((phase_idx, sub_idx))
+        return states
+
+    def global_state_labels(self) -> List[Tuple[Hashable, Hashable]]:
+        """Human-readable ``(phase name, sub-state label)`` pairs, canonical order."""
+        labels: List[Tuple[Hashable, Hashable]] = []
+        for phase in self.phases:
+            for sub_idx in range(phase.n_sub_states):
+                labels.append((phase.name, phase.sub_state_label(sub_idx)))
+        return labels
+
+    def global_index(self, phase: int, sub_state: int) -> int:
+        """Flat index of global state ``(phase, sub_state)`` in canonical order."""
+        if not 0 <= phase < self.n_phases:
+            raise ValidationError(f"phase index {phase} out of range")
+        if not 0 <= sub_state < self.phases[phase].n_sub_states:
+            raise ValidationError(
+                f"sub-state index {sub_state} out of range for phase {phase}")
+        return sum(self.sub_state_counts[:phase]) + sub_state
+
+    def state_of_global_index(self, index: int) -> GlobalState:
+        """Inverse of :meth:`global_index`."""
+        if not 0 <= index < self.n_global_states:
+            raise ValidationError(f"global index {index} out of range")
+        for phase_idx, count in enumerate(self.sub_state_counts):
+            if index < count:
+                return (phase_idx, index)
+            index -= count
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def phase_slices(self) -> List[slice]:
+        """Slice of the canonical global ordering occupied by each phase."""
+        slices: List[slice] = []
+        offset = 0
+        for count in self.sub_state_counts:
+            slices.append(slice(offset, offset + count))
+            offset += count
+        return slices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LayeredMarkovModel(n_phases={self.n_phases}, "
+                f"n_global_states={self.n_global_states})")
+
+
+def example_lmm() -> LayeredMarkovModel:
+    """The 3-phase, 12-state worked example of Section 2.3.
+
+    Phase I has 4 sub-states (matrix ``U1``), phase II has 3 (``U2``) and
+    phase III has 5 (``U3``); the phase transition matrix is ``Y``.  The
+    matrices are copied verbatim from the paper, so the reproduction
+    benchmarks can compare the computed vectors against the printed ones
+    (π1G, π2G, π3G, πY, π̃Y, πW, π̃W).
+    """
+    phase_transition = np.array([
+        [0.1, 0.3, 0.6],
+        [0.2, 0.4, 0.4],
+        [0.3, 0.5, 0.2],
+    ])
+    u1 = np.array([
+        [0.3, 0.3, 0.2, 0.2],
+        [0.5, 0.1, 0.1, 0.3],
+        [0.1, 0.2, 0.6, 0.1],
+        [0.4, 0.3, 0.1, 0.2],
+    ])
+    u2 = np.array([
+        [0.2, 0.1, 0.7],
+        [0.1, 0.8, 0.1],
+        [0.05, 0.05, 0.9],
+    ])
+    u3 = np.array([
+        [0.6, 0.02, 0.2, 0.1, 0.08],
+        [0.05, 0.2, 0.5, 0.05, 0.2],
+        [0.4, 0.1, 0.2, 0.1, 0.2],
+        [0.7, 0.1, 0.05, 0.1, 0.05],
+        [0.5, 0.2, 0.1, 0.1, 0.1],
+    ])
+    phases = [
+        Phase(name="I", transition=u1),
+        Phase(name="II", transition=u2),
+        Phase(name="III", transition=u3),
+    ]
+    return LayeredMarkovModel(phases=phases, phase_transition=phase_transition)
+
+
+def random_lmm(n_phases: int, sub_state_counts: Optional[Sequence[int]] = None,
+               *, rng: Optional[np.random.Generator] = None,
+               max_sub_states: int = 8,
+               primitive_phase_matrix: bool = True) -> LayeredMarkovModel:
+    """Sample a random LMM — the workhorse of the property-based tests.
+
+    Parameters
+    ----------
+    n_phases:
+        Number of phases.
+    sub_state_counts:
+        Optional explicit per-phase sub-state counts; random in
+        ``[1, max_sub_states]`` when omitted.
+    primitive_phase_matrix:
+        When ``True`` the sampled ``Y`` is strictly positive and hence
+        primitive (the hypothesis of Theorem 2).
+    """
+    from ..linalg.stochastic import random_stochastic_matrix
+
+    if rng is None:
+        rng = np.random.default_rng()
+    if n_phases < 1:
+        raise ValidationError("n_phases must be at least 1")
+    if sub_state_counts is None:
+        sub_state_counts = [int(rng.integers(1, max_sub_states + 1))
+                            for _ in range(n_phases)]
+    else:
+        sub_state_counts = list(sub_state_counts)
+        if len(sub_state_counts) != n_phases:
+            raise DimensionMismatchError(
+                "sub_state_counts length must equal n_phases")
+
+    phase_transition = random_stochastic_matrix(
+        n_phases, rng=rng,
+        ensure_positive_diagonal=primitive_phase_matrix)
+    if primitive_phase_matrix:
+        # Make Y strictly positive: mix with the uniform matrix.
+        phase_transition = 0.9 * phase_transition + 0.1 / n_phases
+    phases = [
+        Phase(name=f"phase-{index}",
+              transition=random_stochastic_matrix(count, rng=rng))
+        for index, count in enumerate(sub_state_counts)
+    ]
+    return LayeredMarkovModel(phases=phases, phase_transition=phase_transition)

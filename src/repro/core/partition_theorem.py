@@ -1,0 +1,162 @@
+"""Numerical verification utilities for the paper's formal results.
+
+These helpers check, for a concrete :class:`LayeredMarkovModel`, the
+hypotheses and conclusions of:
+
+* **Lemma 1** — the global matrix ``W`` is row-stochastic;
+* **Lemma 2** — ``W`` is primitive when ``Y`` is primitive and the
+  gatekeeper values are positive;
+* **Theorem 1** — the Layered Method's output is a probability distribution;
+* **Theorem 2 / Corollary 1 (Partition Theorem)** — the Layered Method's
+  output equals the stationary distribution of ``W`` (Approach 4 ==
+  Approach 2), i.e. ``W' π̃ = π̃``.
+
+They are used by the property-based test-suite (random LMMs) and by the
+equivalence benchmark E4, and they are also useful to end users who want to
+check the decomposability assumptions on their own models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..linalg.perron import is_primitive
+from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
+from ..linalg.stochastic import is_row_stochastic
+from ..markov.irreducibility import DEFAULT_DAMPING
+from .gatekeeper import GatekeeperVectors, gatekeeper_vectors
+from .global_matrix import approach_2, build_global_matrix
+from .layered_method import approach_4
+from .lmm import LayeredMarkovModel
+
+
+@dataclass
+class PartitionTheoremReport:
+    """Outcome of checking the Partition Theorem on one model.
+
+    Attributes
+    ----------
+    phase_matrix_primitive:
+        Whether ``Y`` is primitive (the theorem's hypothesis).
+    w_row_stochastic:
+        Lemma 1's conclusion.
+    w_primitive:
+        Lemma 2's conclusion.
+    layered_is_distribution:
+        Theorem 1's conclusion (the layered vector sums to 1, entries >= 0).
+    fixed_point_residual:
+        ``‖W' π̃ − π̃‖_1`` — how well the layered vector is a fixed point of
+        ``W'`` (Theorem 2's defining equation).
+    equivalence_residual:
+        ``‖π̃ − stationary(W)‖_1`` — the gap between Approach 4 and
+        Approach 2 (Corollary 1).
+    holds:
+        ``True`` when every check passed within *tolerance*.
+    tolerance:
+        The tolerance used for all checks.
+    """
+
+    phase_matrix_primitive: bool
+    w_row_stochastic: bool
+    w_primitive: bool
+    layered_is_distribution: bool
+    fixed_point_residual: float
+    equivalence_residual: float
+    holds: bool
+    tolerance: float
+
+
+def check_lemma_1(model: LayeredMarkovModel,
+                  alpha: float = DEFAULT_DAMPING) -> bool:
+    """Check that the induced global matrix ``W`` is row-stochastic."""
+    w, _ = build_global_matrix(model, alpha)
+    return is_row_stochastic(w)
+
+
+def check_lemma_2(model: LayeredMarkovModel,
+                  alpha: float = DEFAULT_DAMPING) -> bool:
+    """Check that ``W`` is primitive when ``Y`` is primitive.
+
+    Returns ``True`` vacuously when ``Y`` is not primitive (the lemma's
+    hypothesis fails, so it asserts nothing).
+    """
+    if not is_primitive(model.phase_transition):
+        return True
+    w, _ = build_global_matrix(model, alpha)
+    return is_primitive(w)
+
+
+def check_theorem_1(model: LayeredMarkovModel, alpha: float = DEFAULT_DAMPING,
+                    *, atol: float = 1e-8) -> bool:
+    """Check the Layered Method's output is a probability distribution."""
+    result = approach_4(model, alpha, require_primitive=False)
+    scores = result.scores
+    return bool(scores.min() >= -atol and abs(scores.sum() - 1.0) <= atol)
+
+
+def verify_partition_theorem(model: LayeredMarkovModel,
+                             alpha: float = DEFAULT_DAMPING, *,
+                             tolerance: float = 1e-6,
+                             tol: float = DEFAULT_TOL,
+                             max_iter: int = DEFAULT_MAX_ITER,
+                             gatekeepers: Optional[GatekeeperVectors] = None,
+                             ) -> PartitionTheoremReport:
+    """Run the full battery of checks for the Partition Theorem on *model*.
+
+    Parameters
+    ----------
+    alpha:
+        The adjustable factor used for the local rankings.
+    tolerance:
+        Maximum residual accepted for the fixed-point and equivalence checks
+        (this is a *verification* tolerance, looser than the solver
+        tolerance *tol*).
+    """
+    if gatekeepers is None:
+        gatekeepers = gatekeeper_vectors(model, alpha, tol=tol,
+                                         max_iter=max_iter)
+    phase_primitive = is_primitive(model.phase_transition)
+
+    w, _ = build_global_matrix(model, alpha, gatekeepers=gatekeepers,
+                               tol=tol, max_iter=max_iter)
+    w_stochastic = is_row_stochastic(w)
+    w_primitive = is_primitive(w) if phase_primitive else False
+
+    layered = approach_4(model, alpha, gatekeepers=gatekeepers,
+                         require_primitive=False, tol=tol, max_iter=max_iter)
+    scores = layered.scores
+    is_distribution = bool(scores.min() >= -1e-9
+                           and abs(scores.sum() - 1.0) <= 1e-8)
+
+    # Theorem 2's defining equation: W' π̃ = π̃  (π̃ as a column vector), i.e.
+    # π̃ W = π̃ when π̃ is a row vector.
+    fixed_point_residual = float(np.abs(scores @ w - scores).sum())
+
+    if phase_primitive:
+        centralized = approach_2(model, alpha, tol=tol, max_iter=max_iter)
+        equivalence_residual = float(
+            np.abs(scores - centralized.scores).sum())
+    else:
+        equivalence_residual = float("nan")
+
+    holds = bool(
+        w_stochastic
+        and is_distribution
+        and (not phase_primitive or (
+            w_primitive
+            and fixed_point_residual <= tolerance
+            and equivalence_residual <= tolerance))
+    )
+    return PartitionTheoremReport(
+        phase_matrix_primitive=phase_primitive,
+        w_row_stochastic=w_stochastic,
+        w_primitive=w_primitive,
+        layered_is_distribution=is_distribution,
+        fixed_point_residual=fixed_point_residual,
+        equivalence_residual=equivalence_residual,
+        holds=holds,
+        tolerance=tolerance,
+    )

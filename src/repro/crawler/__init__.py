@@ -1,0 +1,16 @@
+"""Crawler substrate: simulated web serving, frontiers, and the crawler."""
+
+from .crawler import CrawlPolicy, CrawlResult, Crawler, crawl_campus
+from .frontier import BFSFrontier, PriorityFrontier
+from .webserver import FetchResult, SimulatedWeb
+
+__all__ = [
+    "CrawlPolicy",
+    "CrawlResult",
+    "Crawler",
+    "crawl_campus",
+    "BFSFrontier",
+    "PriorityFrontier",
+    "FetchResult",
+    "SimulatedWeb",
+]

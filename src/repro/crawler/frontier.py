@@ -1,0 +1,97 @@
+"""Crawl frontiers: the queue of URLs a crawler still has to visit.
+
+Two disciplines are provided:
+
+* :class:`BFSFrontier` — plain breadth-first order, the discipline the
+  paper's campus crawl effectively used ("let the crawler follow the
+  hyperlinks");
+* :class:`PriorityFrontier` — orders URLs by a caller-supplied priority
+  (e.g. prefer undiscovered sites, or prefer static pages), used by the
+  crawl-coverage ablation.
+
+Both deduplicate URLs: a URL is only ever handed out once, no matter how
+many times it is discovered.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Optional
+
+from ..exceptions import ValidationError
+
+
+class BFSFrontier:
+    """A FIFO frontier with URL deduplication."""
+
+    def __init__(self) -> None:
+        self._queue: deque[str] = deque()
+        self._seen: set[str] = set()
+
+    def add(self, url: str) -> bool:
+        """Add a URL; return ``True`` when it was not seen before."""
+        if url in self._seen:
+            return False
+        self._seen.add(url)
+        self._queue.append(url)
+        return True
+
+    def pop(self) -> str:
+        """Remove and return the next URL to crawl."""
+        if not self._queue:
+            raise ValidationError("frontier is empty")
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def seen_count(self) -> int:
+        """Number of distinct URLs ever added (crawled or still queued)."""
+        return len(self._seen)
+
+
+class PriorityFrontier:
+    """A frontier ordered by a priority function (lower value = sooner).
+
+    Ties are broken by insertion order, making crawls fully deterministic
+    for a deterministic priority function.
+    """
+
+    def __init__(self, priority: Optional[Callable[[str], float]] = None) -> None:
+        self._priority = priority or (lambda _url: 0.0)
+        self._heap: list[tuple[float, int, str]] = []
+        self._seen: set[str] = set()
+        self._counter = 0
+
+    def add(self, url: str) -> bool:
+        """Add a URL; return ``True`` when it was not seen before."""
+        if url in self._seen:
+            return False
+        self._seen.add(url)
+        heapq.heappush(self._heap,
+                       (float(self._priority(url)), self._counter, url))
+        self._counter += 1
+        return True
+
+    def pop(self) -> str:
+        """Remove and return the lowest-priority-value URL."""
+        if not self._heap:
+            raise ValidationError("frontier is empty")
+        _priority, _order, url = heapq.heappop(self._heap)
+        return url
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def seen_count(self) -> int:
+        """Number of distinct URLs ever added (crawled or still queued)."""
+        return len(self._seen)

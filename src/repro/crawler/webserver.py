@@ -1,0 +1,133 @@
+"""A simulated web to crawl.
+
+The paper's experiment starts "from the home page of the university" and
+lets a crawler follow hyperlinks.  We obviously cannot crawl the 2003 EPFL
+web, so :class:`SimulatedWeb` wraps a ground-truth :class:`DocGraph` (for
+example one produced by :mod:`repro.graphgen`) and serves it page by page,
+exactly like an HTTP fetch would: given a URL it returns the page's
+out-links, or a *fetch error* for URLs that do not exist or that the
+simulated server is configured to fail on.
+
+It also models the crawler trap the paper mentions: a site's dynamic pages
+can be configured to keep generating *new* dynamic URLs ("crawling dynamic
+pages often causes an infinite loop"), which the crawler must bound with a
+per-site page budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..exceptions import ValidationError
+from ..web.docgraph import DocGraph
+
+
+@dataclass
+class FetchResult:
+    """Outcome of fetching one URL from the simulated web.
+
+    Attributes
+    ----------
+    url:
+        The fetched URL.
+    ok:
+        Whether the fetch succeeded.
+    out_links:
+        URLs the fetched page links to (empty on failure).
+    site:
+        The page's web site (empty on failure).
+    is_dynamic:
+        Whether the page is dynamically generated.
+    """
+
+    url: str
+    ok: bool
+    out_links: List[str] = field(default_factory=list)
+    site: str = ""
+    is_dynamic: bool = False
+
+
+class SimulatedWeb:
+    """Serves a ground-truth DocGraph to a crawler, one page at a time.
+
+    Parameters
+    ----------
+    docgraph:
+        The true web the simulation serves.
+    failing_urls:
+        URLs that return a failed fetch (simulating timeouts / 5xx).
+    dynamic_trap_sites:
+        Sites whose dynamic pages additionally link to freshly generated
+        dynamic URLs, creating an unbounded crawl unless the crawler caps
+        per-site pages.  ``trap_fanout`` new URLs are generated per fetched
+        dynamic page.
+    trap_fanout:
+        Number of fresh trap URLs emitted per dynamic page of a trap site.
+    """
+
+    def __init__(self, docgraph: DocGraph, *,
+                 failing_urls: Optional[Set[str]] = None,
+                 dynamic_trap_sites: Optional[Set[str]] = None,
+                 trap_fanout: int = 3) -> None:
+        if docgraph.n_documents == 0:
+            raise ValidationError("the simulated web must not be empty")
+        if trap_fanout < 1:
+            raise ValidationError("trap_fanout must be at least 1")
+        self._docgraph = docgraph
+        self._failing = set(failing_urls or ())
+        self._trap_sites = set(dynamic_trap_sites or ())
+        self._trap_fanout = trap_fanout
+        self._trap_counter = 0
+        self.fetch_count = 0
+
+    @property
+    def docgraph(self) -> DocGraph:
+        """The ground-truth graph being served."""
+        return self._docgraph
+
+    def entry_point(self) -> str:
+        """A sensible crawl seed: the first registered document's URL."""
+        return self._docgraph.document(0).url
+
+    def _trap_links(self, site: str) -> List[str]:
+        links = []
+        for _ in range(self._trap_fanout):
+            self._trap_counter += 1
+            url = f"http://{site}/trap?session={self._trap_counter:08d}"
+            links.append(url)
+        return links
+
+    def fetch(self, url: str) -> FetchResult:
+        """Fetch one URL, returning its out-links (or a failure)."""
+        self.fetch_count += 1
+        if url in self._failing:
+            return FetchResult(url=url, ok=False)
+        if "/trap?session=" in url:
+            # A dynamically generated trap page: it exists only because a
+            # previous fetch emitted it, and every fetch of it emits yet more
+            # fresh trap pages — the unbounded loop the paper warns about.
+            site = url.split("/")[2]
+            if site not in self._trap_sites:
+                return FetchResult(url=url, ok=False)
+            return FetchResult(url=url, ok=True,
+                               out_links=self._trap_links(site),
+                               site=site, is_dynamic=True)
+        try:
+            document = self._docgraph.document_by_url(url)
+        except Exception:
+            return FetchResult(url=url, ok=False)
+
+        adjacency = self._docgraph.adjacency()
+        row = adjacency.getrow(document.doc_id)
+        out_links = [self._docgraph.document(int(target)).url
+                     for target in row.indices]
+        if document.is_dynamic and document.site in self._trap_sites:
+            # Dynamic pages of a trap site additionally emit freshly
+            # generated trap URLs; fetching those emits yet more (see the
+            # "/trap?session=" branch above), so the loop never terminates
+            # on its own — only the crawler's budgets can stop it.
+            out_links = out_links + self._trap_links(document.site)
+        return FetchResult(url=url, ok=True, out_links=out_links,
+                           site=document.site,
+                           is_dynamic=document.is_dynamic)

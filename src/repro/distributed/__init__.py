@@ -1,0 +1,63 @@
+"""Simulated peer-to-peer deployment of the layered ranking computation."""
+
+from .coordinator import (
+    COORDINATOR,
+    Architecture,
+    DistributedRankingCoordinator,
+    SimulationReport,
+    distributed_layered_docrank,
+)
+from .cost import (
+    CostBreakdown,
+    CostComparison,
+    centralized_cost,
+    compare_costs,
+    layered_cost,
+    power_method_flops,
+)
+from .messages import (
+    AggregatedRankShard,
+    AssignSitesMessage,
+    ComputeLocalRankRequest,
+    LocalRankResult,
+    Message,
+    MessageLog,
+    SiteLinkSummary,
+    SiteRankAnnouncement,
+)
+from .network import NetworkParameters, SimulatedNetwork
+from .partitioning import (
+    assignment_load,
+    partition_sites,
+    peer_of_site,
+)
+from .peer import Peer, local_work_seconds
+
+__all__ = [
+    "COORDINATOR",
+    "Architecture",
+    "DistributedRankingCoordinator",
+    "SimulationReport",
+    "distributed_layered_docrank",
+    "CostBreakdown",
+    "CostComparison",
+    "centralized_cost",
+    "compare_costs",
+    "layered_cost",
+    "power_method_flops",
+    "AggregatedRankShard",
+    "AssignSitesMessage",
+    "ComputeLocalRankRequest",
+    "LocalRankResult",
+    "Message",
+    "MessageLog",
+    "SiteLinkSummary",
+    "SiteRankAnnouncement",
+    "NetworkParameters",
+    "SimulatedNetwork",
+    "assignment_load",
+    "partition_sites",
+    "peer_of_site",
+    "Peer",
+    "local_work_seconds",
+]

@@ -1,0 +1,336 @@
+"""The coordinator of the distributed layered-ranking protocol.
+
+Two deployment flavours from Section 3.2 of the paper are implemented:
+
+* **flat** — the coordinator (any peer can play this role) gathers SiteLink
+  summaries, computes the (cheap) SiteRank, announces it to all peers as a
+  shared resource, and every peer returns its raw local DocRank vectors; the
+  coordinator performs the final ``π_S(s) · π_D(s)`` weighting;
+* **super-peer** — peers send their local DocRanks nowhere; instead each
+  peer receives the SiteRank announcement, performs the weighting locally
+  and ships a single already-weighted shard, so "rank aggregation is only
+  performed at super-peers" and the coordinator merely concatenates shards.
+
+Both produce the exact same global DocRank as the centralized
+:func:`repro.web.pipeline.layered_docrank` — the property the integration
+tests verify — but with different traffic patterns, which is what the
+distribution-cost benchmark (E9) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional
+
+import numpy as np
+
+from .._validation import normalize_distribution
+from ..exceptions import SimulationError
+from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
+from ..linalg.sparse_utils import coo_from_edges
+from ..markov.irreducibility import DEFAULT_DAMPING
+from ..web.docgraph import DocGraph
+from ..web.pipeline import WebRankingResult
+from ..web.sitegraph import SiteGraph
+from ..web.siterank import SiteRankResult, siterank
+from .messages import (
+    AssignSitesMessage,
+    ComputeLocalRankRequest,
+    SiteRankAnnouncement,
+)
+from .network import NetworkParameters, SimulatedNetwork
+from .partitioning import PartitionPolicy, partition_sites
+from .peer import Peer, local_work_seconds
+
+Architecture = Literal["flat", "super-peer"]
+
+#: Node name of the coordinator in the simulated network.
+COORDINATOR = "coordinator"
+
+
+@dataclass
+class SimulationReport:
+    """Everything a distributed ranking run produced.
+
+    Attributes
+    ----------
+    ranking:
+        The final global DocRank (same type as the centralized pipeline's).
+    siterank:
+        The SiteRank computed by the coordinator.
+    architecture:
+        ``"flat"`` or ``"super-peer"``.
+    n_peers:
+        Number of peers that participated.
+    message_count, total_bytes:
+        Traffic totals.
+    messages_by_type, bytes_by_type:
+        Traffic broken down by message class.
+    makespan_seconds:
+        Simulated wall-clock time of the whole computation (parallel).
+    serial_compute_seconds:
+        Sum of all local computation times — what a single machine doing the
+        same per-site work sequentially would need; the ratio
+        ``serial / makespan`` is the achieved parallel speed-up.
+    coordinator_seconds:
+        Simulated time spent on the coordinator (SiteRank + aggregation).
+    per_peer_compute_seconds:
+        Simulated local computation time per peer.
+    """
+
+    ranking: WebRankingResult
+    siterank: SiteRankResult
+    architecture: Architecture
+    n_peers: int
+    message_count: int
+    total_bytes: int
+    messages_by_type: Dict[str, int]
+    bytes_by_type: Dict[str, int]
+    makespan_seconds: float
+    serial_compute_seconds: float
+    coordinator_seconds: float
+    per_peer_compute_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """``serial_compute_seconds / makespan_seconds`` (>= 1 when parallelism helps)."""
+        if self.makespan_seconds <= 0:
+            return float("inf")
+        return self.serial_compute_seconds / self.makespan_seconds
+
+
+class DistributedRankingCoordinator:
+    """Runs the layered ranking protocol over a simulated peer network.
+
+    Parameters
+    ----------
+    docgraph:
+        The global DocGraph being ranked.  Each peer only reads the local
+        subgraphs of its own sites.
+    n_peers:
+        Number of peers (capped at the number of sites).
+    architecture:
+        ``"flat"`` or ``"super-peer"`` (see module docstring).
+    partition_policy:
+        How sites are assigned to peers.
+    network:
+        Latency/bandwidth parameters of the simulated network.
+    damping / site_damping:
+        Damping factors of the local DocRanks and the SiteRank.
+    """
+
+    def __init__(self, docgraph: DocGraph, *, n_peers: int = 8,
+                 architecture: Architecture = "flat",
+                 partition_policy: PartitionPolicy = "balanced",
+                 network: Optional[NetworkParameters] = None,
+                 damping: float = DEFAULT_DAMPING,
+                 site_damping: Optional[float] = None,
+                 tol: float = DEFAULT_TOL,
+                 max_iter: int = DEFAULT_MAX_ITER) -> None:
+        if docgraph.n_documents == 0:
+            raise SimulationError("cannot rank an empty DocGraph")
+        if architecture not in ("flat", "super-peer"):
+            raise SimulationError(f"unknown architecture {architecture!r}")
+        self.docgraph = docgraph
+        self.architecture: Architecture = architecture
+        self.damping = damping
+        self.site_damping = site_damping if site_damping is not None else damping
+        self.tol = tol
+        self.max_iter = max_iter
+
+        self.assignment = partition_sites(docgraph, n_peers,
+                                          policy=partition_policy)
+        self.network = SimulatedNetwork(
+            parameters=network or NetworkParameters())
+        self.network.register(COORDINATOR)
+        self.peers: Dict[str, Peer] = {}
+        for peer_name, sites in self.assignment.items():
+            self.network.register(peer_name)
+            self.peers[peer_name] = Peer(name=peer_name, docgraph=docgraph,
+                                         sites=sites, damping=damping,
+                                         tol=tol, max_iter=max_iter)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationReport:
+        """Execute the protocol and return the full report."""
+        network = self.network
+        compute_seconds: Dict[str, float] = {name: 0.0 for name in self.peers}
+
+        # Phase 0: the coordinator assigns sites to peers.
+        for peer_name, peer in self.peers.items():
+            network.send(AssignSitesMessage(sender=COORDINATOR,
+                                            recipient=peer_name,
+                                            sites=tuple(peer.sites)))
+
+        # Phase 1a: peers summarise their outgoing SiteLinks.
+        summaries = []
+        for peer_name, peer in self.peers.items():
+            summary = peer.summarize_sitelinks(COORDINATOR)
+            network.send(summary)
+            summaries.append(summary)
+
+        # Phase 1b: *in parallel*, peers compute their local DocRanks.  The
+        # requests are tiny; the heavy lifting happens on the peers.
+        for peer_name, peer in self.peers.items():
+            for site in peer.sites:
+                network.send(ComputeLocalRankRequest(sender=COORDINATOR,
+                                                     recipient=peer_name,
+                                                     site=site,
+                                                     damping=self.damping))
+                _result, seconds = peer.compute_local_rank(site)
+                network.compute(peer_name, seconds)
+                compute_seconds[peer_name] += seconds
+
+        # Phase 2: the coordinator assembles the SiteGraph from the summaries
+        # and computes the SiteRank.  This happens concurrently with phase 1b
+        # in a real deployment; the simulated clocks already model that,
+        # because the coordinator's clock only waits for the (cheap) summary
+        # messages, not for the local computations.
+        sitegraph = self._assemble_sitegraph(summaries)
+        site_result = siterank(sitegraph, self.site_damping, tol=self.tol,
+                               max_iter=self.max_iter)
+        coordinator_work = local_work_seconds(
+            sitegraph.n_sites, int(sitegraph.adjacency.nnz),
+            site_result.iterations)
+        network.compute(COORDINATOR, coordinator_work)
+
+        # Phase 3: aggregation, per architecture.
+        site_scores = site_result.as_dict()
+        if self.architecture == "flat":
+            ranking = self._aggregate_flat(site_result)
+        else:
+            ranking = self._aggregate_superpeer(site_result, site_scores)
+
+        serial = sum(compute_seconds.values()) + coordinator_work
+        return SimulationReport(
+            ranking=ranking,
+            siterank=site_result,
+            architecture=self.architecture,
+            n_peers=len(self.peers),
+            message_count=network.log.count,
+            total_bytes=network.log.total_bytes,
+            messages_by_type=network.log.count_by_type(),
+            bytes_by_type=network.log.bytes_by_type(),
+            makespan_seconds=network.makespan,
+            serial_compute_seconds=serial,
+            coordinator_seconds=network.clock_of(COORDINATOR),
+            per_peer_compute_seconds=compute_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _assemble_sitegraph(self, summaries) -> SiteGraph:
+        """Build the SiteGraph from the peers' SiteLink count summaries."""
+        sites = self.docgraph.sites()
+        index_of_site = {site: i for i, site in enumerate(sites)}
+        edges = []
+        weights = []
+        for summary in summaries:
+            for source, target, count in summary.counts:
+                if source not in index_of_site or target not in index_of_site:
+                    raise SimulationError(
+                        f"summary references unknown site {source!r}->{target!r}")
+                edges.append((index_of_site[source], index_of_site[target]))
+                weights.append(float(count))
+        adjacency = coo_from_edges(edges, len(sites), weights=weights)
+        sizes = self.docgraph.site_sizes()
+        return SiteGraph(sites=sites, adjacency=adjacency,
+                         site_sizes=[sizes[site] for site in sites])
+
+    def _aggregate_flat(self, site_result: SiteRankResult) -> WebRankingResult:
+        """Flat architecture: raw local vectors travel, coordinator weights them."""
+        network = self.network
+        doc_ids: List[int] = []
+        blocks: List[np.ndarray] = []
+        local_results = {}
+        # Peers ship each site's raw local DocRank to the coordinator.
+        for peer_name, peer in self.peers.items():
+            for site in peer.sites:
+                message = peer.local_rank_message(site, COORDINATOR)
+                network.send(message)
+        network.barrier(self.peers.keys(), COORDINATOR)
+        # The coordinator does the Theorem-2 multiplication, site by site, in
+        # the global site order so the output matches the centralized pipeline.
+        for site in self.docgraph.sites():
+            owner = next(peer for peer in self.peers.values()
+                         if site in peer.sites)
+            local = owner.local_results[site]
+            local_results[site] = local
+            doc_ids.extend(local.doc_ids)
+            blocks.append(site_result.score_of(site) * local.scores)
+        scores = normalize_distribution(np.concatenate(blocks),
+                                        name="distributed DocRank")
+        # Aggregation cost: one multiplication per document.
+        network.compute(COORDINATOR,
+                        local_work_seconds(len(doc_ids), 0, 1))
+        urls = [self.docgraph.document(d).url for d in doc_ids]
+        total_iterations = site_result.iterations + sum(
+            r.iterations for r in local_results.values())
+        return WebRankingResult(doc_ids=doc_ids, urls=urls, scores=scores,
+                                method="distributed-flat",
+                                siterank=site_result,
+                                local_docranks=local_results,
+                                iterations=total_iterations)
+
+    def _aggregate_superpeer(self, site_result: SiteRankResult,
+                             site_scores: Dict[str, float]) -> WebRankingResult:
+        """Super-peer architecture: weighting happens on the peers."""
+        network = self.network
+        # The coordinator announces the SiteRank to every peer.
+        announcement_sites = tuple(site_result.sites)
+        announcement_scores = tuple(float(s) for s in site_result.scores)
+        for peer_name in self.peers:
+            network.send(SiteRankAnnouncement(sender=COORDINATOR,
+                                              recipient=peer_name,
+                                              sites=announcement_sites,
+                                              scores=announcement_scores))
+        # Peers weight locally and ship one shard each.
+        shards = {}
+        for peer_name, peer in self.peers.items():
+            network.compute(peer_name, local_work_seconds(
+                sum(len(peer.local_results[s].doc_ids) for s in peer.sites),
+                0, 1))
+            shard = peer.weighted_shard(site_scores, COORDINATOR)
+            network.send(shard)
+            shards[peer_name] = shard
+        network.barrier(self.peers.keys(), COORDINATOR)
+
+        score_by_doc: Dict[int, float] = {}
+        for shard in shards.values():
+            for doc_id, score in zip(shard.doc_ids, shard.scores):
+                score_by_doc[doc_id] = score
+        # Reassemble in the centralized pipeline's (site-major) order.
+        doc_ids: List[int] = []
+        local_results = {}
+        for site in self.docgraph.sites():
+            owner = next(peer for peer in self.peers.values()
+                         if site in peer.sites)
+            local = owner.local_results[site]
+            local_results[site] = local
+            doc_ids.extend(local.doc_ids)
+        scores = normalize_distribution(
+            np.asarray([score_by_doc[d] for d in doc_ids], dtype=float),
+            name="distributed DocRank")
+        urls = [self.docgraph.document(d).url for d in doc_ids]
+        total_iterations = site_result.iterations + sum(
+            r.iterations for r in local_results.values())
+        return WebRankingResult(doc_ids=doc_ids, urls=urls, scores=scores,
+                                method="distributed-super-peer",
+                                siterank=site_result,
+                                local_docranks=local_results,
+                                iterations=total_iterations)
+
+
+def distributed_layered_docrank(docgraph: DocGraph, *, n_peers: int = 8,
+                                architecture: Architecture = "flat",
+                                partition_policy: PartitionPolicy = "balanced",
+                                network: Optional[NetworkParameters] = None,
+                                damping: float = DEFAULT_DAMPING,
+                                tol: float = DEFAULT_TOL,
+                                max_iter: int = DEFAULT_MAX_ITER,
+                                ) -> SimulationReport:
+    """One-call convenience wrapper around :class:`DistributedRankingCoordinator`."""
+    coordinator = DistributedRankingCoordinator(
+        docgraph, n_peers=n_peers, architecture=architecture,
+        partition_policy=partition_policy, network=network, damping=damping,
+        tol=tol, max_iter=max_iter)
+    return coordinator.run()

@@ -1,0 +1,159 @@
+"""Message types of the distributed ranking protocol.
+
+The simulated peer-to-peer deployment (Section 3.2 of the paper: "DocRank
+computations are performed by individual peers … SiteRank could be a shared
+resource among all peers", or super-peer aggregation) exchanges a small set
+of message types.  Each message estimates its own wire size so that the
+network simulator can account for bandwidth, and the benchmarks can report
+bytes-on-the-wire for the distribution-cost experiment (E9).
+
+Sizes are estimates of a compact binary encoding: 8 bytes per float, 4 bytes
+per int, 1 byte per URL character, plus a small fixed header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Fixed per-message header estimate (type tag, ids, lengths).
+HEADER_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of all protocol messages."""
+
+    sender: str
+    recipient: str
+
+    def payload_bytes(self) -> int:
+        """Estimated payload size in bytes (excluding the header)."""
+        return 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated total wire size in bytes."""
+        return HEADER_BYTES + self.payload_bytes()
+
+
+@dataclass(frozen=True)
+class AssignSitesMessage(Message):
+    """Coordinator → peer: which web sites the peer is responsible for."""
+
+    sites: Tuple[str, ...] = ()
+
+    def payload_bytes(self) -> int:
+        return sum(len(site) for site in self.sites) + 4 * len(self.sites)
+
+
+@dataclass(frozen=True)
+class ComputeLocalRankRequest(Message):
+    """Coordinator/super-peer → peer: compute the local DocRank of one site.
+
+    Only the site identifier travels; the peer already holds its own local
+    link structure (it *is* the web server of that site), which is the whole
+    point of the decomposition.
+    """
+
+    site: str = ""
+    damping: float = 0.85
+
+    def payload_bytes(self) -> int:
+        return len(self.site) + 8
+
+
+@dataclass(frozen=True)
+class LocalRankResult(Message):
+    """Peer → aggregator: the local DocRank vector of one site."""
+
+    site: str = ""
+    doc_ids: Tuple[int, ...] = ()
+    scores: Tuple[float, ...] = ()
+    iterations: int = 0
+
+    def payload_bytes(self) -> int:
+        return (len(self.site) + 4 * len(self.doc_ids)
+                + 8 * len(self.scores) + 4)
+
+    def scores_array(self) -> np.ndarray:
+        """The scores as a numpy vector."""
+        return np.asarray(self.scores, dtype=float)
+
+
+@dataclass(frozen=True)
+class SiteLinkSummary(Message):
+    """Peer → coordinator: outgoing SiteLink counts of the peer's sites.
+
+    This is all the coordinator needs to assemble the SiteGraph — link
+    *counts*, never local rank values, which is exactly the property that
+    distinguishes the LMM from BlockRank and keeps the two layers
+    independent.
+    """
+
+    counts: Tuple[Tuple[str, str, int], ...] = ()
+
+    def payload_bytes(self) -> int:
+        return sum(len(source) + len(target) + 4
+                   for source, target, _count in self.counts)
+
+
+@dataclass(frozen=True)
+class SiteRankAnnouncement(Message):
+    """Coordinator → peers: the global SiteRank vector (a shared resource)."""
+
+    sites: Tuple[str, ...] = ()
+    scores: Tuple[float, ...] = ()
+
+    def payload_bytes(self) -> int:
+        return sum(len(site) for site in self.sites) + 8 * len(self.scores)
+
+
+@dataclass(frozen=True)
+class AggregatedRankShard(Message):
+    """Super-peer → coordinator: the site-weighted scores of its sites."""
+
+    doc_ids: Tuple[int, ...] = ()
+    scores: Tuple[float, ...] = ()
+
+    def payload_bytes(self) -> int:
+        return 4 * len(self.doc_ids) + 8 * len(self.scores)
+
+
+@dataclass
+class MessageLog:
+    """Accumulates traffic statistics for a simulation run."""
+
+    messages: List[Message] = field(default_factory=list)
+
+    def record(self, message: Message) -> None:
+        """Append a message to the log."""
+        self.messages.append(message)
+
+    @property
+    def count(self) -> int:
+        """Total number of messages sent."""
+        return len(self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total estimated bytes on the wire."""
+        return sum(message.size_bytes for message in self.messages)
+
+    def count_by_type(self) -> Dict[str, int]:
+        """Number of messages per message class name."""
+        counts: Dict[str, int] = {}
+        for message in self.messages:
+            name = type(message).__name__
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def bytes_by_type(self) -> Dict[str, int]:
+        """Bytes on the wire per message class name."""
+        totals: Dict[str, int] = {}
+        for message in self.messages:
+            name = type(message).__name__
+            totals[name] = totals.get(name, 0) + message.size_bytes
+        return totals

@@ -1,0 +1,121 @@
+"""A simulated network with latency and bandwidth accounting.
+
+The paper never measures a physical network — its claim is architectural
+(the ranking computation decomposes).  The simulator therefore models the
+quantities that matter for judging the decomposition: how many messages
+travel, how many bytes, and how much *simulated time* elapses when local
+computations run in parallel on their peers.
+
+Time model
+----------
+Transferring a message of ``b`` bytes between two distinct nodes costs
+``latency + b / bandwidth`` seconds; a node sending to itself costs nothing.
+Local computation advances only the executing node's clock, so the makespan
+of a round of independent local computations is their maximum, not their sum
+— which is exactly the "widely distributed and thus scalable computation"
+the paper argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..exceptions import SimulationError, ValidationError
+from .messages import Message, MessageLog
+
+
+@dataclass
+class NetworkParameters:
+    """Latency/bandwidth of the simulated network.
+
+    Attributes
+    ----------
+    latency_seconds:
+        One-way message latency.
+    bandwidth_bytes_per_second:
+        Usable bandwidth for payload transfer.
+    """
+
+    latency_seconds: float = 0.02
+    bandwidth_bytes_per_second: float = 10e6
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ValidationError("latency_seconds must be non-negative")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ValidationError("bandwidth must be positive")
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Simulated seconds needed to move *size_bytes* between two nodes."""
+        return self.latency_seconds + size_bytes / self.bandwidth_bytes_per_second
+
+
+@dataclass
+class SimulatedNetwork:
+    """Tracks node clocks and message traffic of a simulated deployment.
+
+    Every participating node has its own clock.  The primitive operations
+    are :meth:`compute` (advance one node's clock by a local-work duration)
+    and :meth:`send` (deliver a message, advancing the recipient to at least
+    the sender's clock plus the transfer time).  The **makespan** — the
+    maximum clock over all nodes — is the simulated wall-clock time of the
+    whole distributed computation.
+    """
+
+    parameters: NetworkParameters = field(default_factory=NetworkParameters)
+    clocks: Dict[str, float] = field(default_factory=dict)
+    log: MessageLog = field(default_factory=MessageLog)
+
+    def register(self, node: str) -> None:
+        """Register a node (idempotent)."""
+        self.clocks.setdefault(node, 0.0)
+
+    def _require(self, node: str) -> None:
+        if node not in self.clocks:
+            raise SimulationError(f"node {node!r} is not registered")
+
+    def compute(self, node: str, seconds: float) -> None:
+        """Advance *node*'s clock by *seconds* of local computation."""
+        self._require(node)
+        if seconds < 0:
+            raise ValidationError("computation time must be non-negative")
+        self.clocks[node] += seconds
+
+    def send(self, message: Message) -> None:
+        """Deliver *message* from its sender to its recipient.
+
+        The recipient cannot proceed before the message arrives, so its
+        clock becomes ``max(recipient clock, sender clock + transfer time)``.
+        """
+        self._require(message.sender)
+        self._require(message.recipient)
+        self.log.record(message)
+        if message.sender == message.recipient:
+            return
+        arrival = (self.clocks[message.sender]
+                   + self.parameters.transfer_time(message.size_bytes))
+        self.clocks[message.recipient] = max(self.clocks[message.recipient],
+                                             arrival)
+
+    def barrier(self, nodes, at_node: str) -> None:
+        """Make *at_node* wait until every node in *nodes* has reached it.
+
+        Models the aggregator waiting for all peers' results; it only
+        advances *at_node*'s clock (the peers' results have already been
+        "sent" with :meth:`send`, which carried their clocks forward).
+        """
+        self._require(at_node)
+        for node in nodes:
+            self._require(node)
+            self.clocks[at_node] = max(self.clocks[at_node], self.clocks[node])
+
+    @property
+    def makespan(self) -> float:
+        """Simulated wall-clock time: the maximum clock over all nodes."""
+        return max(self.clocks.values()) if self.clocks else 0.0
+
+    def clock_of(self, node: str) -> float:
+        """Current simulated clock of one node."""
+        self._require(node)
+        return self.clocks[node]

@@ -1,0 +1,97 @@
+"""Assignment of web sites to peers.
+
+In the idealised deployment every web server is its own peer ("DocRank
+computations are performed by individual peers, which would ideally map to
+Web servers").  In practice a search network has fewer peers than sites, so
+sites must be assigned to peers.  Three policies are provided; the
+distribution-cost benchmark compares them because the assignment controls
+the load balance and therefore the parallel makespan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Literal, Sequence
+
+from ..exceptions import ValidationError
+from ..web.docgraph import DocGraph
+
+PartitionPolicy = Literal["round-robin", "balanced", "one-per-site"]
+
+
+def partition_sites(docgraph: DocGraph, n_peers: int, *,
+                    policy: PartitionPolicy = "balanced",
+                    peer_prefix: str = "peer") -> Dict[str, List[str]]:
+    """Assign every site of *docgraph* to a peer.
+
+    Parameters
+    ----------
+    n_peers:
+        Number of peers; ignored (one peer per site) under
+        ``policy="one-per-site"``.
+    policy:
+        * ``"round-robin"`` — sites dealt to peers in site order;
+        * ``"balanced"`` — greedy longest-processing-time balancing on the
+          number of documents per site, which approximately equalises the
+          local-DocRank work across peers;
+        * ``"one-per-site"`` — the paper's idealised deployment.
+    peer_prefix:
+        Prefix of the generated peer identifiers.
+
+    Returns
+    -------
+    Mapping from peer identifier to the list of site identifiers it owns.
+    Every site is assigned to exactly one peer and no peer list is empty
+    (peers beyond the number of sites are simply not created).
+    """
+    sites = docgraph.sites()
+    if not sites:
+        raise ValidationError("docgraph has no sites to partition")
+
+    if policy == "one-per-site":
+        return {f"{peer_prefix}-{index:04d}": [site]
+                for index, site in enumerate(sites)}
+
+    if n_peers < 1:
+        raise ValidationError("n_peers must be at least 1")
+    n_peers = min(n_peers, len(sites))
+    assignment: Dict[str, List[str]] = {
+        f"{peer_prefix}-{index:04d}": [] for index in range(n_peers)}
+    peer_names = list(assignment.keys())
+
+    if policy == "round-robin":
+        for index, site in enumerate(sites):
+            assignment[peer_names[index % n_peers]].append(site)
+        return assignment
+
+    if policy == "balanced":
+        sizes = docgraph.site_sizes()
+        load = {name: 0 for name in peer_names}
+        # Largest sites first, each to the currently least-loaded peer.
+        for site in sorted(sites, key=lambda s: -sizes[s]):
+            target = min(peer_names, key=lambda name: load[name])
+            assignment[target].append(site)
+            load[target] += sizes[site]
+        return assignment
+
+    raise ValidationError(f"unknown partition policy {policy!r}")
+
+
+def peer_of_site(assignment: Dict[str, List[str]]) -> Dict[str, str]:
+    """Invert a peer→sites assignment into a site→peer mapping."""
+    mapping: Dict[str, str] = {}
+    for peer, sites in assignment.items():
+        for site in sites:
+            if site in mapping:
+                raise ValidationError(
+                    f"site {site!r} assigned to both {mapping[site]!r} and "
+                    f"{peer!r}")
+            mapping[site] = peer
+    return mapping
+
+
+def assignment_load(assignment: Dict[str, List[str]],
+                    docgraph: DocGraph) -> Dict[str, int]:
+    """Number of documents each peer is responsible for."""
+    sizes = docgraph.site_sizes()
+    return {peer: sum(sizes[site] for site in sites)
+            for peer, sites in assignment.items()}

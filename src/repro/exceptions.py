@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input object (matrix, vector, graph, model) failed validation."""
+
+
+class NotStochasticError(ValidationError):
+    """A matrix expected to be row-stochastic is not."""
+
+
+class NotADistributionError(ValidationError):
+    """A vector expected to be a probability distribution is not."""
+
+
+class DimensionMismatchError(ValidationError):
+    """Two objects that must agree in shape do not."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within the iteration budget."""
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class ReducibleMatrixError(ReproError, ValueError):
+    """An operation requiring an irreducible/primitive matrix received one
+    that is reducible (or not primitive) and no adjustment was requested."""
+
+
+class GraphStructureError(ReproError, ValueError):
+    """A web graph (DocGraph / SiteGraph) violates a structural invariant."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The distributed-computation simulator reached an inconsistent state."""
+
+
+class ProtocolError(SimulationError):
+    """A peer received a message that violates the ranking protocol."""

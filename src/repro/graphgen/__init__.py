@@ -1,0 +1,42 @@
+"""Synthetic web-graph generators (substitute for the paper's EPFL crawl)."""
+
+from .campus_web import (
+    JAVADOC_HOST,
+    MAIN_HOST,
+    WEBDRIVER_HOST,
+    CampusWeb,
+    CampusWebConfig,
+    CampusWebGenerator,
+    generate_campus_web,
+)
+from .models import (
+    clique_edges,
+    copying_model_edges,
+    erdos_renyi_edges,
+    power_law_sizes,
+    preferential_attachment_edges,
+    star_edges,
+)
+from .spam import InjectedFarm, LinkFarmSpec, inject_link_farm
+from .synthetic_web import SyntheticWebConfig, generate_synthetic_web
+
+__all__ = [
+    "JAVADOC_HOST",
+    "MAIN_HOST",
+    "WEBDRIVER_HOST",
+    "CampusWeb",
+    "CampusWebConfig",
+    "CampusWebGenerator",
+    "generate_campus_web",
+    "clique_edges",
+    "copying_model_edges",
+    "erdos_renyi_edges",
+    "power_law_sizes",
+    "preferential_attachment_edges",
+    "star_edges",
+    "InjectedFarm",
+    "LinkFarmSpec",
+    "inject_link_farm",
+    "SyntheticWebConfig",
+    "generate_synthetic_web",
+]

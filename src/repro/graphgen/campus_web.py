@@ -1,0 +1,366 @@
+"""The synthetic campus web: our stand-in for the paper's 2003 EPFL crawl.
+
+The paper's empirical section (3.3) ranks a crawl of the EPFL campus web:
+218 web sites, 433,707 pages, dynamic pages included.  Its two findings are
+
+* flat PageRank's top-15 (Figure 3) is dominated by two *agglomerations* of
+  heavily inter-linked pages — dynamic ``research.epfl.ch/research/Webdriver?…``
+  pages (one of them with 17,004 in-links) and a mirrored javadoc tree under
+  ``lamp.epfl.ch/~linuxsoft/java/jdk1.4/docs/`` (6,425 in-links) — i.e.
+  structures indistinguishable from link spam;
+* the layered (LMM) ranking's top-15 (Figure 4) instead surfaces genuinely
+  authoritative university pages (home page, central services, news,
+  faculties), because each agglomeration is confined to a single site and its
+  influence is capped by that site's SiteRank.
+
+We cannot redistribute the EPFL crawl, so :class:`CampusWebGenerator`
+produces a deterministic synthetic campus with the same *structural*
+ingredients at configurable scale:
+
+* a main university site with the authoritative pages of Figure 4
+  (home page, campus map, news, impressum, search, anniversary page…);
+* department/service/lab sites whose sizes follow a power law, each with a
+  home-page hub and internal preferential-attachment links;
+* a **Webdriver farm**: a research database site consisting mostly of
+  dynamic pages that are densely cross-linked and all point at a few hub
+  pages (huge in-degree);
+* a **javadoc farm**: a lab site mirroring API documentation with the same
+  dense cross-linking pattern;
+* realistic cross-site links: every site links to the main home page, the
+  main site links to department home pages, and additional cross links
+  follow site-size preferential attachment.
+
+The generator records which documents belong to farms and which are the
+designated authoritative pages, so the benchmarks can measure "farm mass in
+the top-k" (experiments E5–E7) without re-deriving ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..web.docgraph import DocGraph
+from .models import power_law_sizes, preferential_attachment_edges
+
+
+@dataclass
+class CampusWebConfig:
+    """Parameters of the synthetic campus-web generator.
+
+    The defaults produce a ~6,000-page campus that runs in seconds; the
+    benchmark harness scales ``n_sites`` / ``n_documents`` up when asked.
+
+    Attributes
+    ----------
+    n_sites:
+        Total number of web sites, including the main site and the farm
+        sites (paper: 218).
+    n_documents:
+        Total number of ordinary (non-farm) documents (paper: 433,707 —
+        scaled down by default).
+    webdriver_farm_pages:
+        Number of dynamic pages in the research-database farm.
+    webdriver_hub_pages:
+        Number of farm hub pages that receive links from (almost) every farm
+        page, reproducing the 17,004-in-link pages of Figure 3.
+    javadoc_farm_pages:
+        Number of pages in the javadoc mirror farm.
+    javadoc_hub_pages:
+        Number of javadoc hub pages (e.g. the API index).
+    farm_internal_out_degree:
+        Out-degree of the dense intra-farm cross-linking.
+    intra_out_degree, inter_site_links:
+        Structure of the ordinary sites, as in the synthetic-web generator.
+    external_links_into_farms:
+        Number of links from ordinary pages into each farm (farms are mostly
+        self-referential; only a handful of outside links point at them).
+    seed:
+        Seed of the deterministic random generator.
+    """
+
+    n_sites: int = 60
+    n_documents: int = 6000
+    webdriver_farm_pages: int = 900
+    webdriver_hub_pages: int = 4
+    javadoc_farm_pages: int = 600
+    javadoc_hub_pages: int = 2
+    farm_internal_out_degree: int = 12
+    intra_out_degree: int = 3
+    tree_branching: int = 8
+    home_backlink_fraction: float = 0.3
+    inter_site_links: int = 2500
+    external_links_into_farms: int = 10
+    seed: int = 2003
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 4:
+            raise ValidationError(
+                "n_sites must be at least 4 (main site, two farm sites and "
+                "at least one ordinary site)")
+        if self.n_documents < self.n_sites * 2:
+            raise ValidationError(
+                "n_documents must allow at least two pages per ordinary site")
+        for name in ("webdriver_farm_pages", "javadoc_farm_pages"):
+            if getattr(self, name) < 1:
+                raise ValidationError(f"{name} must be at least 1")
+        if self.webdriver_hub_pages < 1 or self.javadoc_hub_pages < 1:
+            raise ValidationError("farm hub page counts must be at least 1")
+        if self.tree_branching < 1:
+            raise ValidationError("tree_branching must be at least 1")
+        if not 0.0 <= self.home_backlink_fraction <= 1.0:
+            raise ValidationError(
+                "home_backlink_fraction must be in [0, 1]")
+
+
+#: Host of the main university site.
+MAIN_HOST = "www.campus.edu"
+#: Host of the research database (Webdriver) farm.
+WEBDRIVER_HOST = "research.campus.edu"
+#: Host of the lab hosting the javadoc mirror.
+JAVADOC_HOST = "lamp.campus.edu"
+
+#: Authoritative pages of the main site, mirroring the kinds of pages the
+#: paper's Figure 4 surfaces (central place, news, search, impressum, …).
+MAIN_SITE_PAGES = (
+    "/",
+    "/place.html",
+    "/styles/dynastyle.php",
+    "/150/",
+    "/news/",
+    "/impressum.html",
+    "/search/",
+    "/admissions/",
+    "/research-overview/",
+    "/press/",
+)
+
+
+@dataclass
+class CampusWeb:
+    """A generated campus web plus the ground-truth metadata the benchmarks use.
+
+    Attributes
+    ----------
+    docgraph:
+        The generated :class:`~repro.web.docgraph.DocGraph`.
+    farm_doc_ids:
+        Ids of every page belonging to a spam-like farm (hubs included).
+    farm_hub_doc_ids:
+        Ids of the farm hub pages only (the huge-in-degree pages).
+    authoritative_doc_ids:
+        Ids of the designated authoritative pages (main-site pages and the
+        department home pages).
+    farm_sites:
+        Host names of the farm sites.
+    config:
+        The configuration that produced the graph.
+    """
+
+    docgraph: DocGraph
+    farm_doc_ids: Set[int]
+    farm_hub_doc_ids: Set[int]
+    authoritative_doc_ids: Set[int]
+    farm_sites: List[str]
+    config: CampusWebConfig
+    site_home_doc_ids: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_documents(self) -> int:
+        """Total documents including farm pages."""
+        return self.docgraph.n_documents
+
+
+class CampusWebGenerator:
+    """Deterministic generator for :class:`CampusWeb` instances."""
+
+    def __init__(self, config: Optional[CampusWebConfig] = None,
+                 **overrides) -> None:
+        if config is None:
+            config = CampusWebConfig(**overrides)
+        elif overrides:
+            config = CampusWebConfig(**{**config.__dict__, **overrides})
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    def generate(self) -> CampusWeb:
+        """Generate the campus web."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        graph = DocGraph(normalize=False)
+
+        farm_doc_ids: Set[int] = set()
+        farm_hub_doc_ids: Set[int] = set()
+        authoritative: Set[int] = set()
+        site_home: Dict[str, int] = {}
+
+        # ---------------- main university site ------------------------ #
+        main_ids = []
+        for path in MAIN_SITE_PAGES:
+            doc_id = graph.add_document(f"http://{MAIN_HOST}{path}",
+                                        site=MAIN_HOST,
+                                        is_dynamic=path.endswith(".php"))
+            main_ids.append(doc_id)
+            authoritative.add(doc_id)
+        site_home[MAIN_HOST] = main_ids[0]
+        # The main site is fully interlinked through its home page and has a
+        # small internal navigation mesh.
+        for doc_id in main_ids[1:]:
+            graph.add_link_by_id(main_ids[0], doc_id)
+            graph.add_link_by_id(doc_id, main_ids[0])
+        for source in main_ids[1:]:
+            for target in main_ids[1:]:
+                if source != target and rng.random() < 0.4:
+                    graph.add_link_by_id(source, target)
+
+        # ---------------- ordinary department sites -------------------- #
+        n_ordinary = config.n_sites - 3  # main + two farm sites
+        ordinary_sizes = power_law_sizes(
+            n_ordinary, max(config.n_documents - len(main_ids), n_ordinary * 2),
+            rng=rng, minimum=2)
+        ordinary_site_ids: List[List[int]] = []
+        ordinary_hosts: List[str] = []
+        for site_index, size in enumerate(ordinary_sizes):
+            host = f"dept{site_index:03d}.campus.edu"
+            ordinary_hosts.append(host)
+            ids = []
+            for page_index in range(size):
+                path = "/" if page_index == 0 else f"/page{page_index:05d}.html"
+                doc_id = graph.add_document(f"http://{host}{path}", site=host)
+                ids.append(doc_id)
+            ordinary_site_ids.append(ids)
+            site_home[host] = ids[0]
+            authoritative.add(ids[0])  # department home pages are legitimate hubs
+            # A realistic navigation tree: page k hangs under page
+            # (k - 1) // branching, links up to its parent, and only a
+            # fraction of pages carry a "back to home" link.  This keeps
+            # ordinary in-degrees modest so that, as in the paper's crawl,
+            # the densely cross-linked farms stand out under flat PageRank.
+            branching = config.tree_branching
+            for page_index in range(1, size):
+                parent_index = (page_index - 1) // branching
+                graph.add_link_by_id(ids[parent_index], ids[page_index])
+                graph.add_link_by_id(ids[page_index], ids[parent_index])
+                if rng.random() < config.home_backlink_fraction:
+                    graph.add_link_by_id(ids[page_index], ids[0])
+            if size > 1 and config.intra_out_degree > 0:
+                for source, target in preferential_attachment_edges(
+                        size, min(config.intra_out_degree, size - 1), rng=rng):
+                    graph.add_link_by_id(ids[source], ids[target])
+
+        # ---------------- the Webdriver (dynamic page) farm ------------ #
+        webdriver_ids, webdriver_hubs = self._build_farm(
+            graph, rng,
+            host=WEBDRIVER_HOST,
+            n_pages=config.webdriver_farm_pages,
+            n_hubs=config.webdriver_hub_pages,
+            page_url=lambda i: (f"http://{WEBDRIVER_HOST}/research/Webdriver"
+                                f"?LO={i:06d}"),
+            hub_url=lambda i: (f"http://{WEBDRIVER_HOST}/research/Webdriver"
+                               f"?MIval=index{i}"),
+            dynamic=True)
+        farm_doc_ids.update(webdriver_ids)
+        farm_hub_doc_ids.update(webdriver_hubs)
+        site_home[WEBDRIVER_HOST] = next(iter(webdriver_hubs))
+
+        # ---------------- the javadoc mirror farm ---------------------- #
+        javadoc_ids, javadoc_hubs = self._build_farm(
+            graph, rng,
+            host=JAVADOC_HOST,
+            n_pages=config.javadoc_farm_pages,
+            n_hubs=config.javadoc_hub_pages,
+            page_url=lambda i: (f"http://{JAVADOC_HOST}/~linuxsoft/java/jdk1.4/"
+                                f"docs/api/class{i:05d}.html"),
+            hub_url=lambda i: (f"http://{JAVADOC_HOST}/~linuxsoft/java/jdk1.4/"
+                               f"docs/index{i}.html"),
+            dynamic=False)
+        farm_doc_ids.update(javadoc_ids)
+        farm_hub_doc_ids.update(javadoc_hubs)
+        site_home[JAVADOC_HOST] = next(iter(javadoc_hubs))
+
+        # ---------------- cross-site link structure -------------------- #
+        all_ordinary_ids = [doc_id for ids in ordinary_site_ids for doc_id in ids]
+        # Every site home page links to the university home page and back.
+        for host, ids in zip(ordinary_hosts, ordinary_site_ids):
+            graph.add_link_by_id(ids[0], main_ids[0])
+            graph.add_link_by_id(main_ids[0], ids[0])
+        graph.add_link_by_id(site_home[WEBDRIVER_HOST], main_ids[0])
+        graph.add_link_by_id(site_home[JAVADOC_HOST], main_ids[0])
+
+        # Additional cross links between ordinary sites (size-preferential),
+        # with a bias for authoritative main-site pages as targets.
+        site_weights = np.asarray(ordinary_sizes, dtype=float)
+        site_probabilities = site_weights / site_weights.sum()
+        for _ in range(config.inter_site_links):
+            source = int(rng.choice(all_ordinary_ids))
+            if rng.random() < 0.25:
+                target = int(rng.choice(main_ids))
+            else:
+                target_site = int(rng.choice(n_ordinary, p=site_probabilities))
+                target_ids = ordinary_site_ids[target_site]
+                target = (target_ids[0] if rng.random() < 0.6
+                          else int(rng.choice(target_ids)))
+            if graph.site_of_document(source) != graph.site_of_document(target):
+                graph.add_link_by_id(source, target)
+
+        # A handful of genuine outside links into each farm (the farms are
+        # reachable, but their rank mass comes from their internal structure).
+        for hubs in (webdriver_hubs, javadoc_hubs):
+            hub_list = sorted(hubs)
+            for _ in range(config.external_links_into_farms):
+                source = int(rng.choice(all_ordinary_ids))
+                graph.add_link_by_id(source, int(rng.choice(hub_list)))
+
+        return CampusWeb(
+            docgraph=graph,
+            farm_doc_ids=farm_doc_ids,
+            farm_hub_doc_ids=farm_hub_doc_ids,
+            authoritative_doc_ids=authoritative,
+            farm_sites=[WEBDRIVER_HOST, JAVADOC_HOST],
+            config=config,
+            site_home_doc_ids=site_home,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _build_farm(graph: DocGraph, rng: np.random.Generator, *, host: str,
+                    n_pages: int, n_hubs: int, page_url, hub_url,
+                    dynamic: bool) -> tuple[Set[int], Set[int]]:
+        """Create one densely cross-linked agglomeration ("farm") site.
+
+        Every farm page links to every hub page (huge hub in-degree) and to a
+        dense random selection of sibling pages; hubs link back to a sample
+        of pages so the whole farm is strongly connected.
+        """
+        hub_ids = [graph.add_document(hub_url(i), site=host, is_dynamic=dynamic)
+                   for i in range(n_hubs)]
+        page_ids = [graph.add_document(page_url(i), site=host,
+                                       is_dynamic=dynamic)
+                    for i in range(n_pages)]
+        all_ids = hub_ids + page_ids
+        for page in page_ids:
+            for hub in hub_ids:
+                graph.add_link_by_id(page, hub)
+        out_degree = max(1, min(len(all_ids) - 1,
+                                int(rng.integers(6, 18))))
+        for page in page_ids:
+            targets = rng.choice(len(all_ids), size=out_degree, replace=False)
+            for target_index in targets:
+                target = all_ids[int(target_index)]
+                if target != page:
+                    graph.add_link_by_id(page, target)
+        for hub in hub_ids:
+            sample = rng.choice(page_ids, size=min(30, len(page_ids)),
+                                replace=False)
+            for target in sample:
+                graph.add_link_by_id(hub, int(target))
+        return set(all_ids), set(hub_ids)
+
+
+def generate_campus_web(config: Optional[CampusWebConfig] = None,
+                        **overrides) -> CampusWeb:
+    """Convenience wrapper: ``CampusWebGenerator(config, **overrides).generate()``."""
+    return CampusWebGenerator(config, **overrides).generate()

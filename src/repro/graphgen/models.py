@@ -1,0 +1,183 @@
+"""Low-level random-graph models used by the web-graph generators.
+
+These functions generate directed edge lists over integer node ids.  They are
+kept separate from the URL-level generators so that the statistical models
+(Erdős–Rényi, preferential attachment / copying model) can be unit-tested on
+their own and reused by both the synthetic-web and the campus-web builders.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+Edge = Tuple[int, int]
+
+
+def _require_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def erdos_renyi_edges(n: int, edge_probability: float, *,
+                      rng: Optional[np.random.Generator] = None,
+                      allow_self_loops: bool = False) -> List[Edge]:
+    """Directed Erdős–Rényi G(n, p) edge list.
+
+    Every ordered pair ``(i, j)`` is an edge independently with probability
+    *edge_probability*.
+    """
+    if n < 0:
+        raise ValidationError("n must be non-negative")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValidationError("edge_probability must be in [0, 1]")
+    rng = _require_rng(rng)
+    if n == 0 or edge_probability == 0.0:
+        return []
+    mask = rng.random((n, n)) < edge_probability
+    if not allow_self_loops:
+        np.fill_diagonal(mask, False)
+    rows, cols = np.nonzero(mask)
+    return list(zip(rows.tolist(), cols.tolist()))
+
+
+def preferential_attachment_edges(n: int, out_degree: int, *,
+                                  rng: Optional[np.random.Generator] = None,
+                                  seed_nodes: int = 3) -> List[Edge]:
+    """Directed preferential-attachment edges (power-law in-degrees).
+
+    Nodes arrive one at a time; each new node emits *out_degree* links whose
+    targets are chosen proportionally to ``1 + current in-degree``.  This
+    produces the heavy-tailed in-degree distribution characteristic of the
+    web graph, which is what makes a handful of pages dominate flat PageRank.
+    """
+    if n < 1:
+        raise ValidationError("n must be at least 1")
+    if out_degree < 1:
+        raise ValidationError("out_degree must be at least 1")
+    if seed_nodes < 1:
+        raise ValidationError("seed_nodes must be at least 1")
+    rng = _require_rng(rng)
+    seed_nodes = min(seed_nodes, n)
+    edges: List[Edge] = []
+    in_degree = np.zeros(n, dtype=float)
+    # Fully connect the seed clique so early choices are meaningful.
+    for i in range(seed_nodes):
+        for j in range(seed_nodes):
+            if i != j:
+                edges.append((i, j))
+                in_degree[j] += 1
+    for new_node in range(seed_nodes, n):
+        candidates = new_node  # nodes 0 .. new_node-1 exist
+        weights = in_degree[:candidates] + 1.0
+        probabilities = weights / weights.sum()
+        k = min(out_degree, candidates)
+        targets = rng.choice(candidates, size=k, replace=False,
+                             p=probabilities)
+        for target in targets:
+            edges.append((new_node, int(target)))
+            in_degree[int(target)] += 1
+    return edges
+
+
+def copying_model_edges(n: int, out_degree: int, copy_probability: float, *,
+                        rng: Optional[np.random.Generator] = None,
+                        seed_nodes: int = 3) -> List[Edge]:
+    """The copying model of web-graph growth (Kleinberg et al.).
+
+    Each new node picks a random "prototype" among existing nodes and, for
+    each of its *out_degree* link slots, either copies the prototype's
+    corresponding out-link (with probability *copy_probability*) or links to
+    a uniformly random existing node.  The paper's self-similarity argument
+    (Section 2.2, citing Dill et al.) is rooted in exactly this kind of
+    growth process.
+    """
+    if n < 1:
+        raise ValidationError("n must be at least 1")
+    if out_degree < 1:
+        raise ValidationError("out_degree must be at least 1")
+    if not 0.0 <= copy_probability <= 1.0:
+        raise ValidationError("copy_probability must be in [0, 1]")
+    rng = _require_rng(rng)
+    seed_nodes = min(max(seed_nodes, 1), n)
+    edges: List[Edge] = []
+    out_links: List[List[int]] = [[] for _ in range(n)]
+    for i in range(seed_nodes):
+        for j in range(seed_nodes):
+            if i != j:
+                edges.append((i, j))
+                out_links[i].append(j)
+    for new_node in range(seed_nodes, n):
+        prototype = int(rng.integers(0, new_node))
+        prototype_links = out_links[prototype]
+        for slot in range(out_degree):
+            if prototype_links and rng.random() < copy_probability:
+                target = prototype_links[slot % len(prototype_links)]
+            else:
+                target = int(rng.integers(0, new_node))
+            if target == new_node:
+                continue
+            edges.append((new_node, target))
+            out_links[new_node].append(target)
+    return edges
+
+
+def clique_edges(members: List[int], *,
+                 include_self_loops: bool = False) -> List[Edge]:
+    """All-to-all edges among *members* — the structure of a link farm."""
+    edges: List[Edge] = []
+    for source in members:
+        for target in members:
+            if source == target and not include_self_loops:
+                continue
+            edges.append((source, target))
+    return edges
+
+
+def star_edges(hub: int, leaves: List[int], *,
+               bidirectional: bool = True) -> List[Edge]:
+    """Hub-and-spoke edges — the structure of a site home page."""
+    edges: List[Edge] = []
+    for leaf in leaves:
+        if leaf == hub:
+            continue
+        edges.append((hub, leaf))
+        if bidirectional:
+            edges.append((leaf, hub))
+    return edges
+
+
+def power_law_sizes(n: int, total: int, exponent: float = 1.6, *,
+                    minimum: int = 1,
+                    rng: Optional[np.random.Generator] = None) -> List[int]:
+    """Partition *total* items into *n* groups with power-law group sizes.
+
+    Used to assign page counts to sites: the paper's campus web has a few
+    huge sites (research.epfl.ch, lamp.epfl.ch) and a long tail of small
+    ones.  The result always sums exactly to *total* and every group gets at
+    least *minimum* items.
+    """
+    if n < 1:
+        raise ValidationError("n must be at least 1")
+    if total < n * minimum:
+        raise ValidationError(
+            f"total={total} is too small for {n} groups of at least {minimum}")
+    if exponent <= 0:
+        raise ValidationError("exponent must be positive")
+    rng = _require_rng(rng)
+    raw = rng.pareto(exponent, size=n) + 1.0
+    weights = raw / raw.sum()
+    remaining = total - n * minimum
+    sizes = (weights * remaining).astype(int) + minimum
+    # Distribute the rounding remainder one by one to the largest groups.
+    shortfall = total - int(sizes.sum())
+    order = np.argsort(-weights)
+    for index in range(abs(shortfall)):
+        sizes[order[index % n]] += 1 if shortfall > 0 else -1
+    sizes = np.maximum(sizes, minimum)
+    # A final correction pass in case the clamping re-introduced a mismatch.
+    difference = total - int(sizes.sum())
+    sizes[order[0]] += difference
+    return [int(size) for size in sizes]

@@ -1,0 +1,140 @@
+"""Synthetic hierarchical web graphs.
+
+The generator builds a :class:`~repro.web.docgraph.DocGraph` whose structure
+mirrors the hierarchical organisation the paper's model exploits: documents
+are grouped into sites, every site has a home page acting as an internal
+hub, intra-site links dominate, and inter-site links concentrate on home
+pages and follow a site-level preferential-attachment pattern.  It is the
+workload of the scaling, convergence, distribution and equivalence
+benchmarks (E4, E8, E9, E11) where the campus-web specifics (spam farms) are
+not needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..web.docgraph import DocGraph
+from .models import power_law_sizes, preferential_attachment_edges
+
+
+@dataclass
+class SyntheticWebConfig:
+    """Parameters of the synthetic hierarchical web generator.
+
+    Attributes
+    ----------
+    n_sites:
+        Number of web sites.
+    n_documents:
+        Total number of documents across all sites.
+    intra_out_degree:
+        Average number of intra-site links a page emits (besides the home
+        page links).
+    inter_site_links:
+        Total number of cross-site document links.
+    site_size_exponent:
+        Pareto exponent of the site-size distribution (smaller = more skew).
+    homepage_hub:
+        Whether every page links to / is linked from its site's home page.
+    seed:
+        Seed of the deterministic random generator.
+    """
+
+    n_sites: int = 20
+    n_documents: int = 2000
+    intra_out_degree: int = 4
+    inter_site_links: int = 600
+    site_size_exponent: float = 1.6
+    homepage_hub: bool = True
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1:
+            raise ValidationError("n_sites must be at least 1")
+        if self.n_documents < self.n_sites:
+            raise ValidationError(
+                "n_documents must be at least n_sites (one page per site)")
+        if self.intra_out_degree < 0:
+            raise ValidationError("intra_out_degree must be non-negative")
+        if self.inter_site_links < 0:
+            raise ValidationError("inter_site_links must be non-negative")
+
+
+def _site_host(index: int) -> str:
+    return f"site{index:03d}.example.org"
+
+
+def _page_url(site_index: int, page_index: int) -> str:
+    if page_index == 0:
+        return f"http://{_site_host(site_index)}/"
+    return f"http://{_site_host(site_index)}/page{page_index:05d}.html"
+
+
+def generate_synthetic_web(config: Optional[SyntheticWebConfig] = None,
+                           **overrides) -> DocGraph:
+    """Generate a synthetic hierarchical web as a :class:`DocGraph`.
+
+    Keyword overrides are applied on top of *config* (or the defaults), e.g.
+    ``generate_synthetic_web(n_sites=50, n_documents=10_000)``.
+    """
+    if config is None:
+        config = SyntheticWebConfig(**overrides)
+    elif overrides:
+        config = SyntheticWebConfig(**{**config.__dict__, **overrides})
+    rng = np.random.default_rng(config.seed)
+
+    site_sizes = power_law_sizes(config.n_sites, config.n_documents,
+                                 config.site_size_exponent, rng=rng)
+
+    graph = DocGraph(normalize=False)
+    # Register all documents first so ids are deterministic and site-major.
+    site_doc_ids: List[List[int]] = []
+    for site_index, size in enumerate(site_sizes):
+        ids = []
+        for page_index in range(size):
+            doc_id = graph.add_document(
+                _page_url(site_index, page_index),
+                site=_site_host(site_index),
+                is_dynamic=False)
+            ids.append(doc_id)
+        site_doc_ids.append(ids)
+
+    # Intra-site structure: home-page hub plus preferential-attachment links.
+    for site_index, ids in enumerate(site_doc_ids):
+        size = len(ids)
+        home = ids[0]
+        if config.homepage_hub:
+            for doc_id in ids[1:]:
+                graph.add_link_by_id(home, doc_id)
+                graph.add_link_by_id(doc_id, home)
+        if size > 1 and config.intra_out_degree > 0:
+            local_edges = preferential_attachment_edges(
+                size, min(config.intra_out_degree, size - 1), rng=rng)
+            for source, target in local_edges:
+                graph.add_link_by_id(ids[source], ids[target])
+
+    # Inter-site links: source page uniform, target site by preferential
+    # attachment on site size, target page biased towards the home page.
+    site_weights = np.asarray(site_sizes, dtype=float)
+    site_probabilities = site_weights / site_weights.sum()
+    all_ids = [doc_id for ids in site_doc_ids for doc_id in ids]
+    for _ in range(config.inter_site_links):
+        source = int(rng.choice(all_ids))
+        source_site = graph.site_of_document(source)
+        target_site_index = int(rng.choice(config.n_sites,
+                                           p=site_probabilities))
+        if _site_host(target_site_index) == source_site:
+            target_site_index = (target_site_index + 1) % config.n_sites
+        target_ids = site_doc_ids[target_site_index]
+        if rng.random() < 0.7 or len(target_ids) == 1:
+            target = target_ids[0]  # home page
+        else:
+            target = int(rng.choice(target_ids[1:]))
+        graph.add_link_by_id(source, target)
+
+    return graph

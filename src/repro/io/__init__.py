@@ -1,0 +1,32 @@
+"""I/O helpers: edge lists, JSON serialisation, bundled toy datasets."""
+
+from .datasets import SPAMMY_WEB_EDGES, TOY_WEB_EDGES, spammy_web, toy_web
+from .edgelist import (
+    iter_url_edges,
+    read_docgraph,
+    read_url_edgelist,
+    write_docgraph,
+    write_url_edgelist,
+)
+from .serialization import (
+    experiment_rows_to_markdown,
+    load_json,
+    ranking_to_dict,
+    save_json,
+)
+
+__all__ = [
+    "SPAMMY_WEB_EDGES",
+    "TOY_WEB_EDGES",
+    "spammy_web",
+    "toy_web",
+    "iter_url_edges",
+    "read_docgraph",
+    "read_url_edgelist",
+    "write_docgraph",
+    "write_url_edgelist",
+    "experiment_rows_to_markdown",
+    "load_json",
+    "ranking_to_dict",
+    "save_json",
+]

@@ -1,0 +1,68 @@
+"""Bundled small example datasets.
+
+Tiny, hand-written web graphs with a known structure; used by the examples,
+the documentation snippets and many unit tests.  They are defined in code
+(not data files) so the library has no package-data requirements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..web.docgraph import DocGraph
+
+#: A ten-page, three-site toy web.  Site A is a well-connected "university"
+#: style site, site B a small two-page site that links out a lot, and site C
+#: a three-page ring that receives a single external link — a miniature of
+#: the structures the campus-web generator produces at scale.
+TOY_WEB_EDGES: List[Tuple[str, str]] = [
+    # Site A (a.example.org): home, about, research, contact, news
+    ("http://a.example.org/", "http://a.example.org/about.html"),
+    ("http://a.example.org/", "http://a.example.org/research.html"),
+    ("http://a.example.org/", "http://a.example.org/news.html"),
+    ("http://a.example.org/about.html", "http://a.example.org/"),
+    ("http://a.example.org/research.html", "http://a.example.org/"),
+    ("http://a.example.org/news.html", "http://a.example.org/"),
+    ("http://a.example.org/research.html", "http://a.example.org/contact.html"),
+    ("http://a.example.org/contact.html", "http://a.example.org/"),
+    # Site B (b.example.org): home + one page; links to A and C
+    ("http://b.example.org/", "http://b.example.org/links.html"),
+    ("http://b.example.org/links.html", "http://a.example.org/"),
+    ("http://b.example.org/links.html", "http://c.example.org/"),
+    ("http://b.example.org/links.html", "http://b.example.org/"),
+    # Site C (c.example.org): three pages in a ring
+    ("http://c.example.org/", "http://c.example.org/one.html"),
+    ("http://c.example.org/one.html", "http://c.example.org/two.html"),
+    ("http://c.example.org/two.html", "http://c.example.org/"),
+    # Cross links into A from C
+    ("http://c.example.org/two.html", "http://a.example.org/"),
+    ("http://a.example.org/news.html", "http://b.example.org/"),
+]
+
+
+def toy_web() -> DocGraph:
+    """The bundled ten-page, three-site toy web as a :class:`DocGraph`."""
+    return DocGraph.from_edges(TOY_WEB_EDGES)
+
+
+#: Edges of a deliberately spammy two-site web: site "good" is a normal small
+#: site; site "spam" is a five-page clique all pointing at its target page.
+SPAMMY_WEB_EDGES: List[Tuple[str, str]] = [
+    ("http://good.example.org/", "http://good.example.org/a.html"),
+    ("http://good.example.org/a.html", "http://good.example.org/b.html"),
+    ("http://good.example.org/b.html", "http://good.example.org/"),
+    ("http://good.example.org/a.html", "http://spam.example.net/target.html"),
+] + [
+    (f"http://spam.example.net/p{i}.html", f"http://spam.example.net/p{j}.html")
+    for i in range(5) for j in range(5) if i != j
+] + [
+    (f"http://spam.example.net/p{i}.html", "http://spam.example.net/target.html")
+    for i in range(5)
+] + [
+    ("http://spam.example.net/target.html", "http://spam.example.net/p0.html"),
+]
+
+
+def spammy_web() -> DocGraph:
+    """A two-site toy web containing a five-page link farm."""
+    return DocGraph.from_edges(SPAMMY_WEB_EDGES)

@@ -1,0 +1,108 @@
+"""JSON serialisation of rankings and experiment reports.
+
+The benchmark harness writes its measured rows to JSON so EXPERIMENTS.md can
+reference concrete artefacts and so downstream tooling (plotting, regression
+tracking) can consume them without re-running the benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..web.pipeline import WebRankingResult
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert numpy / dataclass values into plain JSON-compatible types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def ranking_to_dict(result: WebRankingResult, *, top_k: int | None = None,
+                    ) -> Dict[str, Any]:
+    """Convert a :class:`WebRankingResult` into a JSON-serialisable dict.
+
+    Parameters
+    ----------
+    top_k:
+        When given, only the best *top_k* entries are included (keeps the
+        files small for large graphs); the full score vector is omitted in
+        that case.
+    """
+    if top_k is not None:
+        if top_k <= 0:
+            raise ValidationError("top_k must be positive")
+        order = result.top_k(top_k)
+        return {
+            "method": result.method,
+            "n_documents": result.n_documents,
+            "iterations": result.iterations,
+            "top": [
+                {"doc_id": doc_id,
+                 "url": result.urls[result.doc_ids.index(doc_id)],
+                 "score": result.score_of(doc_id)}
+                for doc_id in order
+            ],
+        }
+    return {
+        "method": result.method,
+        "n_documents": result.n_documents,
+        "iterations": result.iterations,
+        "doc_ids": list(result.doc_ids),
+        "urls": list(result.urls),
+        "scores": result.scores.tolist(),
+    }
+
+
+def save_json(payload: Any, path: str | os.PathLike) -> None:
+    """Write any library object (dataclasses / numpy included) as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_jsonable(payload), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str | os.PathLike) -> Any:
+    """Read a JSON file written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def experiment_rows_to_markdown(rows: List[Dict[str, Any]],
+                                columns: List[str]) -> str:
+    """Render benchmark rows as a GitHub-flavoured markdown table.
+
+    Used by the benchmark harness to print paper-style tables and by the
+    EXPERIMENTS.md generation helpers.
+    """
+    if not columns:
+        raise ValidationError("columns must not be empty")
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    lines = [header, separator]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

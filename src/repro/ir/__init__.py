@@ -1,0 +1,16 @@
+"""Small IR substrate: vector-space retrieval and query+link combination."""
+
+from .combined import CombinationRule, SearchHit, combined_search
+from .corpus import TOPIC_VOCABULARIES, synthesize_corpus
+from .vector_space import DEFAULT_STOPWORDS, VectorSpaceIndex, tokenize
+
+__all__ = [
+    "CombinationRule",
+    "SearchHit",
+    "combined_search",
+    "TOPIC_VOCABULARIES",
+    "synthesize_corpus",
+    "DEFAULT_STOPWORDS",
+    "VectorSpaceIndex",
+    "tokenize",
+]

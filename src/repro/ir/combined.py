@@ -1,0 +1,128 @@
+"""Combining query-based and link-based rankings.
+
+"Work of combining query-based ranking and link-based ranking will also be
+carried out" — the paper's future work.  We provide the two standard
+combination rules so the examples can show an end-to-end search over a
+synthetic campus web:
+
+* **linear** — ``score = λ · query_score + (1 − λ) · link_score`` after
+  min-max normalising both components over the candidate set;
+* **rank-fusion** (reciprocal rank fusion) — combine the two *orderings*
+  rather than the scores, which is robust to their very different scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .vector_space import VectorSpaceIndex
+
+CombinationRule = Literal["linear", "rrf"]
+
+
+@dataclass
+class SearchHit:
+    """One result of a combined search.
+
+    Attributes
+    ----------
+    doc_id:
+        The document id.
+    combined_score:
+        The final score used for ordering.
+    query_score:
+        The raw vector-space similarity.
+    link_score:
+        The raw link-based (DocRank) score.
+    """
+
+    doc_id: int
+    combined_score: float
+    query_score: float
+    link_score: float
+
+
+def _minmax_normalize(values: np.ndarray) -> np.ndarray:
+    low, high = float(values.min()), float(values.max())
+    if high <= low:
+        return np.zeros_like(values)
+    return (values - low) / (high - low)
+
+
+def combined_search(index: VectorSpaceIndex, query: str,
+                    link_scores_by_doc: Dict[int, float] | np.ndarray, *,
+                    rule: CombinationRule = "linear",
+                    weight: float = 0.5,
+                    k: int = 10,
+                    rrf_constant: float = 60.0) -> List[SearchHit]:
+    """Search with a query and re-rank candidates with link-based scores.
+
+    Parameters
+    ----------
+    index:
+        The vector-space index over the corpus.
+    query:
+        Free-text query.
+    link_scores_by_doc:
+        Link-based ranking scores indexed by document id (a dict or an array
+        positionally indexed by id) — typically
+        :meth:`repro.web.pipeline.WebRankingResult.scores_by_doc_id`.
+    rule:
+        ``"linear"`` or ``"rrf"``.
+    weight:
+        λ of the linear rule: 1.0 = pure text ranking, 0.0 = pure link
+        ranking.
+    k:
+        Number of hits returned.
+    rrf_constant:
+        The usual damping constant of reciprocal rank fusion.
+    """
+    if not 0.0 <= weight <= 1.0:
+        raise ValidationError("weight must be in [0, 1]")
+    if k <= 0:
+        raise ValidationError("k must be positive")
+
+    candidates: List[Tuple[int, float]] = index.search(query)
+    if not candidates:
+        return []
+
+    def link_score_of(doc_id: int) -> float:
+        if isinstance(link_scores_by_doc, dict):
+            return float(link_scores_by_doc.get(doc_id, 0.0))
+        scores = np.asarray(link_scores_by_doc, dtype=float)
+        return float(scores[doc_id]) if 0 <= doc_id < scores.size else 0.0
+
+    doc_ids = [doc_id for doc_id, _score in candidates]
+    query_scores = np.asarray([score for _doc, score in candidates],
+                              dtype=float)
+    link_scores = np.asarray([link_score_of(doc_id) for doc_id in doc_ids],
+                             dtype=float)
+
+    if rule == "linear":
+        combined = (weight * _minmax_normalize(query_scores)
+                    + (1.0 - weight) * _minmax_normalize(link_scores))
+    elif rule == "rrf":
+        query_order = np.argsort(-query_scores, kind="stable")
+        link_order = np.argsort(-link_scores, kind="stable")
+        query_rank = np.empty(len(doc_ids))
+        link_rank = np.empty(len(doc_ids))
+        query_rank[query_order] = np.arange(1, len(doc_ids) + 1)
+        link_rank[link_order] = np.arange(1, len(doc_ids) + 1)
+        combined = (1.0 / (rrf_constant + query_rank)
+                    + 1.0 / (rrf_constant + link_rank))
+    else:
+        raise ValidationError(f"unknown combination rule {rule!r}")
+
+    order = np.lexsort((np.asarray(doc_ids), -combined))
+    hits = []
+    for position in order[:k]:
+        position = int(position)
+        hits.append(SearchHit(doc_id=doc_ids[position],
+                              combined_score=float(combined[position]),
+                              query_score=float(query_scores[position]),
+                              link_score=float(link_scores[position])))
+    return hits

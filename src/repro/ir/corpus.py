@@ -1,0 +1,63 @@
+"""Synthetic text corpora for the combined (query + link) ranking examples.
+
+The paper plans TREC experiments as future work; for the examples and tests
+we only need *some* text attached to the documents of a synthetic web so
+that the vector-space model has something to retrieve.  The generator
+derives a small deterministic bag of words for every document from its URL
+(host, path segments) plus a site-specific topic vocabulary, so queries like
+``"research database"`` naturally match the research site's pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..web.docgraph import DocGraph
+
+#: Topic vocabularies assigned to sites round-robin by site index.
+TOPIC_VOCABULARIES: List[List[str]] = [
+    ["research", "database", "publication", "project", "grant"],
+    ["teaching", "course", "lecture", "exam", "student"],
+    ["admission", "application", "enrol", "bachelor", "master"],
+    ["laboratory", "experiment", "measurement", "instrument", "sensor"],
+    ["library", "archive", "journal", "catalogue", "collection"],
+    ["campus", "building", "map", "restaurant", "transport"],
+    ["software", "documentation", "api", "release", "download"],
+    ["news", "event", "press", "announcement", "anniversary"],
+]
+
+
+def synthesize_corpus(docgraph: DocGraph, *, words_per_document: int = 40,
+                      seed: int = 11,
+                      rng: Optional[np.random.Generator] = None,
+                      ) -> Dict[int, str]:
+    """Generate a ``{doc_id: text}`` corpus for every document of a DocGraph.
+
+    Each document's text mixes (a) tokens derived from its URL, (b) its
+    site's topic vocabulary and (c) a little shared background vocabulary,
+    sampled deterministically from *seed*.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    background = ["university", "page", "information", "contact", "home",
+                  "web", "site", "link", "search", "welcome"]
+    sites = docgraph.sites()
+    topic_of_site = {site: TOPIC_VOCABULARIES[index % len(TOPIC_VOCABULARIES)]
+                     for index, site in enumerate(sites)}
+    corpus: Dict[int, str] = {}
+    for document in docgraph.documents():
+        url_tokens = [token for token in
+                      document.url.replace("http://", "").replace("/", " ")
+                      .replace(".", " ").replace("?", " ").replace("=", " ")
+                      .split() if token]
+        topic = topic_of_site[document.site]
+        words: List[str] = []
+        words.extend(url_tokens[:10])
+        n_topic = max(1, words_per_document // 2)
+        words.extend(rng.choice(topic, size=n_topic).tolist())
+        n_background = max(1, words_per_document - len(words))
+        words.extend(rng.choice(background, size=n_background).tolist())
+        corpus[document.doc_id] = " ".join(words)
+    return corpus

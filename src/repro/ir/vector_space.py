@@ -1,0 +1,143 @@
+"""A small vector-space retrieval model (TF-IDF + cosine similarity).
+
+Section 3 of the paper frames the LMM ranking as the *link-structure* half
+of a search engine: "search engines take into consideration both query-based
+ranking (for example, distances between queries and documents based on the
+Vector Space Model) and link-structure-based ranking".  Combining the two is
+listed as future work.  This substrate provides the query-based half so the
+combination can be exercised by the examples and by the combined-ranking
+module (:mod:`repro.ir.combined`); it is deliberately classic TF-IDF, no
+stemming or stop lists beyond a minimal default.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import ValidationError
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+#: Minimal English stop-word list; enough to keep the toy corpora sensible.
+DEFAULT_STOPWORDS = frozenset({
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has",
+    "he", "in", "is", "it", "its", "of", "on", "or", "that", "the", "to",
+    "was", "were", "will", "with",
+})
+
+
+def tokenize(text: str, *, stopwords=DEFAULT_STOPWORDS) -> List[str]:
+    """Lower-case, split on non-alphanumerics and drop stop words."""
+    if text is None:
+        raise ValidationError("text must not be None")
+    tokens = _TOKEN_PATTERN.findall(text.lower())
+    return [token for token in tokens if token not in stopwords]
+
+
+@dataclass
+class VectorSpaceIndex:
+    """A TF-IDF index over a corpus of documents keyed by document id.
+
+    Build with :meth:`from_corpus`; query with :meth:`search` or
+    :meth:`score` for a single document.
+    """
+
+    doc_ids: List[int]
+    term_frequencies: List[Dict[str, float]]
+    document_frequencies: Dict[str, int] = field(default_factory=dict)
+    norms: List[float] = field(default_factory=list)
+
+    @classmethod
+    def from_corpus(cls, corpus: Dict[int, str], *,
+                    stopwords=DEFAULT_STOPWORDS) -> "VectorSpaceIndex":
+        """Index a ``{doc_id: text}`` corpus."""
+        if not corpus:
+            raise ValidationError("corpus must not be empty")
+        doc_ids = sorted(corpus)
+        term_frequencies: List[Dict[str, float]] = []
+        document_frequencies: Dict[str, int] = {}
+        for doc_id in doc_ids:
+            counts: Dict[str, float] = {}
+            for token in tokenize(corpus[doc_id], stopwords=stopwords):
+                counts[token] = counts.get(token, 0.0) + 1.0
+            term_frequencies.append(counts)
+            for term in counts:
+                document_frequencies[term] = document_frequencies.get(term, 0) + 1
+        index = cls(doc_ids=doc_ids, term_frequencies=term_frequencies,
+                    document_frequencies=document_frequencies)
+        index._compute_norms()
+        return index
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_documents(self) -> int:
+        """Number of indexed documents."""
+        return len(self.doc_ids)
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency of a term."""
+        df = self.document_frequencies.get(term, 0)
+        return math.log((1.0 + self.n_documents) / (1.0 + df)) + 1.0
+
+    def _tfidf_weight(self, doc_index: int, term: str) -> float:
+        tf = self.term_frequencies[doc_index].get(term, 0.0)
+        if tf == 0.0:
+            return 0.0
+        return (1.0 + math.log(tf)) * self.idf(term)
+
+    def _compute_norms(self) -> None:
+        self.norms = []
+        for doc_index in range(self.n_documents):
+            total = sum(self._tfidf_weight(doc_index, term) ** 2
+                        for term in self.term_frequencies[doc_index])
+            self.norms.append(math.sqrt(total))
+
+    # ------------------------------------------------------------------ #
+    def score(self, query: str, doc_id: int, *,
+              stopwords=DEFAULT_STOPWORDS) -> float:
+        """Cosine similarity between *query* and one document."""
+        try:
+            doc_index = self.doc_ids.index(doc_id)
+        except ValueError:
+            raise ValidationError(f"unknown document id {doc_id}") from None
+        return self._score_index(tokenize(query, stopwords=stopwords),
+                                 doc_index)
+
+    def _score_index(self, query_tokens: Sequence[str], doc_index: int) -> float:
+        if not query_tokens:
+            return 0.0
+        query_counts: Dict[str, float] = {}
+        for token in query_tokens:
+            query_counts[token] = query_counts.get(token, 0.0) + 1.0
+        query_weights = {term: (1.0 + math.log(count)) * self.idf(term)
+                         for term, count in query_counts.items()}
+        query_norm = math.sqrt(sum(weight ** 2
+                                   for weight in query_weights.values()))
+        if query_norm == 0.0 or self.norms[doc_index] == 0.0:
+            return 0.0
+        dot = sum(weight * self._tfidf_weight(doc_index, term)
+                  for term, weight in query_weights.items())
+        return dot / (query_norm * self.norms[doc_index])
+
+    def search(self, query: str, *, k: Optional[int] = None,
+               stopwords=DEFAULT_STOPWORDS) -> List[tuple[int, float]]:
+        """Rank all documents against *query*; return ``(doc_id, score)`` pairs.
+
+        Documents with zero similarity are omitted.  When *k* is given only
+        the best *k* results are returned.
+        """
+        tokens = tokenize(query, stopwords=stopwords)
+        results = []
+        for doc_index, doc_id in enumerate(self.doc_ids):
+            similarity = self._score_index(tokens, doc_index)
+            if similarity > 0.0:
+                results.append((doc_id, similarity))
+        results.sort(key=lambda pair: (-pair[1], pair[0]))
+        if k is not None:
+            if k < 0:
+                raise ValidationError("k must be non-negative")
+            results = results[:k]
+        return results

@@ -1,0 +1,158 @@
+"""PageRank as a linear system: Jacobi and Gauss–Seidel solvers.
+
+Langville & Meyer ("Deeper inside PageRank", cited by the paper for the
+maximal/minimal-irreducibility equivalence) observe that the PageRank vector
+also solves the linear system
+
+    ``x (I − f·M) = (1 − f) v``      (up to normalisation)
+
+which opens the door to classical stationary iterative solvers.  We provide
+Jacobi (mathematically identical to the damped power iteration, kept for the
+equivalence test and as a didactic baseline) and Gauss–Seidel (which uses
+already-updated components within a sweep; whether that beats the power
+method depends on the chain's sub-dominant eigenvalue and on the sweep
+ordering — both behaviours are exercised by the tests).  The solvers return
+the same vector as the power method on the maximally-irreducible matrix, a
+property verified for random inputs.
+
+These solvers operate on the *dangling-patched* row-stochastic matrix ``M``;
+for graphs with dangling nodes use
+:func:`repro.linalg.stochastic.transition_matrix` first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import (
+    ensure_distribution,
+    ensure_probability,
+    ensure_row_stochastic,
+    is_sparse,
+)
+from ..exceptions import ConvergenceError, ValidationError
+from .power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
+from .stochastic import uniform_distribution
+
+
+@dataclass
+class LinearSolveResult:
+    """Result of a linear-system PageRank solve."""
+
+    scores: np.ndarray
+    iterations: int
+    converged: bool
+    residuals: List[float] = field(default_factory=list)
+    method: str = "jacobi"
+
+    def top_k(self, k: int) -> List[int]:
+        """The ``k`` highest-scoring indices, best first."""
+        order = np.lexsort((np.arange(self.scores.size), -self.scores))
+        return [int(i) for i in order[:k]]
+
+
+def _prepare(transition, damping, preference):
+    ensure_row_stochastic(transition, name="transition")
+    damping = ensure_probability(damping, name="damping")
+    n = transition.shape[0]
+    if preference is None:
+        v = uniform_distribution(n)
+    else:
+        v = ensure_distribution(preference, name="preference")
+        if v.size != n:
+            raise ValidationError(
+                f"preference has length {v.size}, expected {n}")
+    matrix = (transition.tocsc() if is_sparse(transition)
+              else np.asarray(transition, dtype=float))
+    return matrix, damping, v, n
+
+
+def jacobi_pagerank(transition, damping: float = 0.85,
+                    preference: Optional[np.ndarray] = None, *,
+                    tol: float = DEFAULT_TOL,
+                    max_iter: int = DEFAULT_MAX_ITER) -> LinearSolveResult:
+    """Solve ``x = f·xM + (1−f)·v`` with Jacobi iteration.
+
+    Every component of the new iterate is computed from the *previous*
+    iterate, which makes each sweep identical to one damped power-method
+    step — a fact the test suite verifies.
+    """
+    matrix, damping, v, n = _prepare(transition, damping, preference)
+    x = v.copy()
+    residuals: List[float] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        if is_sparse(matrix):
+            new_x = damping * np.asarray(x @ matrix).ravel() + (1 - damping) * v
+        else:
+            new_x = damping * (x @ matrix) + (1 - damping) * v
+        residual = float(np.abs(new_x - x).sum())
+        residuals.append(residual)
+        x = new_x
+        if residual < tol:
+            converged = True
+            break
+    if not converged:
+        raise ConvergenceError(
+            f"Jacobi iteration did not converge within {max_iter} sweeps",
+            iterations=iterations, residual=residuals[-1])
+    total = x.sum()
+    return LinearSolveResult(scores=x / total if total > 0 else x,
+                             iterations=iterations, converged=converged,
+                             residuals=residuals, method="jacobi")
+
+
+def gauss_seidel_pagerank(transition, damping: float = 0.85,
+                          preference: Optional[np.ndarray] = None, *,
+                          tol: float = DEFAULT_TOL,
+                          max_iter: int = DEFAULT_MAX_ITER,
+                          ) -> LinearSolveResult:
+    """Solve the PageRank linear system with Gauss–Seidel sweeps.
+
+    Component ``j`` of the new iterate uses the already-updated components
+    ``0..j-1`` of the current sweep:
+
+        ``x_j ← [ (1−f)·v_j + f·Σ_{i≠j} x_i M_{ij} ] / (1 − f·M_{jj})``
+
+    Convergence is guaranteed because ``I − f·M'`` is strictly diagonally
+    dominant by columns for ``f < 1``.
+    """
+    matrix, damping, v, n = _prepare(transition, damping, preference)
+    if damping >= 1.0:
+        raise ValidationError("Gauss-Seidel requires damping < 1")
+    # Column access: we need, for each j, the column M[:, j].
+    columns = matrix if is_sparse(matrix) else np.asarray(matrix)
+    x = v.copy()
+    residuals: List[float] = []
+    converged = False
+    iterations = 0
+    diag = (columns.diagonal() if is_sparse(columns)
+            else np.diag(columns)).astype(float)
+    for iterations in range(1, max_iter + 1):
+        previous = x.copy()
+        for j in range(n):
+            if is_sparse(columns):
+                column = columns.getcol(j)
+                dot = float(column.T @ x) - diag[j] * x[j]
+            else:
+                dot = float(columns[:, j] @ x) - diag[j] * x[j]
+            x[j] = ((1 - damping) * v[j] + damping * dot) \
+                / (1.0 - damping * diag[j])
+        residual = float(np.abs(x - previous).sum())
+        residuals.append(residual)
+        if residual < tol:
+            converged = True
+            break
+    if not converged:
+        raise ConvergenceError(
+            f"Gauss-Seidel did not converge within {max_iter} sweeps",
+            iterations=iterations, residual=residuals[-1])
+    total = x.sum()
+    return LinearSolveResult(scores=x / total if total > 0 else x,
+                             iterations=iterations, converged=converged,
+                             residuals=residuals, method="gauss-seidel")

@@ -1,0 +1,172 @@
+"""Perron–Frobenius structure tests: irreducibility, aperiodicity, primitivity.
+
+The paper's theory rests on primitivity: Lemma 2 shows the global matrix
+``W`` is primitive when the phase matrix ``Y`` is primitive and the
+gatekeeper transition values are positive, and Theorem 2 requires ``Y``
+primitive.  These predicates let both the library and its tests check the
+hypotheses explicitly instead of assuming them.
+
+A non-negative square matrix is
+
+* **irreducible** when its directed adjacency graph is strongly connected;
+* **aperiodic** when the gcd of its cycle lengths is 1;
+* **primitive** when it is irreducible *and* aperiodic — equivalently
+  (Meyer, 2000) when some power ``M^p`` is strictly positive.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from .._validation import ensure_nonnegative, ensure_square, is_sparse
+from ..exceptions import ValidationError
+
+
+def _boolean_sparse(matrix) -> sp.csr_matrix:
+    """Return the boolean structure of *matrix* as CSR."""
+    if is_sparse(matrix):
+        structure = matrix.tocsr().copy()
+    else:
+        structure = sp.csr_matrix(np.asarray(matrix, dtype=float))
+    structure.data = np.ones_like(structure.data)
+    structure.eliminate_zeros()
+    return structure
+
+
+def is_irreducible(matrix) -> bool:
+    """Return ``True`` when the matrix's directed graph is strongly connected."""
+    ensure_square(matrix, name="matrix")
+    ensure_nonnegative(matrix, name="matrix")
+    n = matrix.shape[0]
+    if n == 1:
+        # A 1x1 matrix is irreducible iff its single entry is non-zero
+        # (the single state must be able to reach itself).
+        value = matrix[0, 0] if not is_sparse(matrix) else matrix.tocsr()[0, 0]
+        return float(value) > 0.0
+    structure = _boolean_sparse(matrix)
+    n_components, _ = connected_components(structure, directed=True,
+                                           connection="strong")
+    return n_components == 1
+
+
+def period(matrix) -> int:
+    """Return the period of an irreducible non-negative matrix.
+
+    The period is the gcd of the lengths of all directed cycles.  It is
+    computed with a breadth-first labelling: assign every node a level from a
+    root, and fold ``level(u) + 1 - level(v)`` into a running gcd for every
+    edge ``u -> v``.
+
+    Raises
+    ------
+    ValidationError
+        If the matrix is not irreducible (the period of a reducible matrix is
+        not well defined as a single number).
+    """
+    if not is_irreducible(matrix):
+        raise ValidationError("period is only defined for irreducible matrices")
+    structure = _boolean_sparse(matrix)
+    n = structure.shape[0]
+    indptr, indices = structure.indptr, structure.indices
+
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[0] = 0
+    queue = [0]
+    current_gcd = 0
+    while queue:
+        next_queue = []
+        for u in queue:
+            for v in indices[indptr[u]:indptr[u + 1]]:
+                if levels[v] < 0:
+                    levels[v] = levels[u] + 1
+                    next_queue.append(int(v))
+                else:
+                    current_gcd = gcd(current_gcd,
+                                      int(levels[u] + 1 - levels[v]))
+        queue = next_queue
+    # Every edge must be folded in, including those discovered after BFS
+    # finished labelling (tree edges contribute 0 which gcd ignores).
+    rows, cols = structure.nonzero()
+    for u, v in zip(rows, cols):
+        current_gcd = gcd(current_gcd, int(levels[u] + 1 - levels[v]))
+    return abs(current_gcd) if current_gcd != 0 else 1
+
+
+def is_aperiodic(matrix) -> bool:
+    """Return ``True`` when an irreducible matrix has period 1."""
+    return period(matrix) == 1
+
+
+def is_primitive(matrix, *, method: str = "structure",
+                 max_power: Optional[int] = None) -> bool:
+    """Test primitivity of a non-negative square matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Non-negative square matrix (dense or sparse).
+    method:
+        ``"structure"`` (default) tests irreducibility + aperiodicity via the
+        graph structure, which is exact and cheap.  ``"power"`` uses the
+        textbook characterisation ``M^p > 0 for some p`` with the Wielandt
+        bound ``p <= n^2 - 2n + 2``; only sensible for small dense matrices.
+    max_power:
+        Override for the power bound when ``method="power"``.
+    """
+    ensure_square(matrix, name="matrix")
+    ensure_nonnegative(matrix, name="matrix")
+    if method == "structure":
+        if not is_irreducible(matrix):
+            return False
+        return is_aperiodic(matrix)
+    if method == "power":
+        n = matrix.shape[0]
+        bound = max_power if max_power is not None else n * n - 2 * n + 2
+        bound = max(bound, 1)
+        dense = np.asarray(matrix.todense() if is_sparse(matrix) else matrix,
+                           dtype=float)
+        power = np.eye(n)
+        structure = (dense > 0).astype(float)
+        current = np.eye(n)
+        for _ in range(bound):
+            current = (current @ structure > 0).astype(float)
+            if np.all(current > 0):
+                return True
+        del power
+        return False
+    raise ValidationError(f"unknown primitivity test method {method!r}")
+
+
+def is_positive(matrix) -> bool:
+    """Return ``True`` when every entry of *matrix* is strictly positive.
+
+    A positive matrix is always primitive (paper, footnote 2), so this is the
+    quick sufficient check used on the Google-style adjusted matrices.
+    """
+    ensure_square(matrix, name="matrix")
+    if is_sparse(matrix):
+        dense = np.asarray(matrix.todense(), dtype=float)
+    else:
+        dense = np.asarray(matrix, dtype=float)
+    return bool(np.all(dense > 0.0))
+
+
+def spectral_gap(matrix) -> float:
+    """Return ``1 - |lambda_2|`` for a small dense stochastic matrix.
+
+    The spectral gap governs the power method's convergence rate; the
+    convergence benchmark (E11) reports it alongside iteration counts.  Only
+    intended for matrices small enough for a dense eigendecomposition.
+    """
+    dense = np.asarray(matrix.todense() if is_sparse(matrix) else matrix,
+                       dtype=float)
+    values = np.linalg.eigvals(dense)
+    magnitudes = np.sort(np.abs(values))[::-1]
+    if magnitudes.size < 2:
+        return 1.0
+    return float(1.0 - magnitudes[1])

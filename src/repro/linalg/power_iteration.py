@@ -1,0 +1,265 @@
+"""Power iteration for stationary distributions of Markov chains.
+
+This is the numerical workhorse of the whole package: PageRank, SiteRank,
+local DocRanks, and the stationary distribution of the global LMM matrix
+``W`` are all computed by iterating ``x_{k+1} = x_k @ P`` until the change
+between successive iterates falls below a tolerance.
+
+The solver reports a :class:`PowerIterationResult` carrying the full residual
+history so that convergence benchmarks (experiment E11 in DESIGN.md) can be
+produced without re-instrumenting the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import ensure_distribution, is_sparse
+from ..exceptions import ConvergenceError, ValidationError
+from .stochastic import uniform_distribution
+
+#: Default convergence tolerance on the L1 norm of successive iterates.
+DEFAULT_TOL: float = 1e-10
+
+#: Default iteration budget.
+DEFAULT_MAX_ITER: int = 1000
+
+
+@dataclass
+class PowerIterationResult:
+    """Outcome of a power-iteration run.
+
+    Attributes
+    ----------
+    vector:
+        The converged probability distribution (L1-normalised).
+    iterations:
+        Number of iterations actually performed.
+    converged:
+        Whether the tolerance was met within the iteration budget.
+    residuals:
+        L1 distance between successive iterates, one entry per iteration.
+    tolerance:
+        The tolerance the run targeted.
+    """
+
+    vector: np.ndarray
+    iterations: int
+    converged: bool
+    residuals: List[float] = field(default_factory=list)
+    tolerance: float = DEFAULT_TOL
+
+    @property
+    def final_residual(self) -> float:
+        """Residual of the last iteration (``inf`` when no iteration ran)."""
+        return self.residuals[-1] if self.residuals else float("inf")
+
+    def __iter__(self):
+        # Allow ``vector, iterations = result`` style unpacking.
+        yield self.vector
+        yield self.iterations
+
+
+def stationary_distribution(transition, *, start: Optional[np.ndarray] = None,
+                            tol: float = DEFAULT_TOL,
+                            max_iter: int = DEFAULT_MAX_ITER,
+                            raise_on_failure: bool = True,
+                            callback: Optional[Callable[[int, float], None]] = None,
+                            ) -> PowerIterationResult:
+    """Compute the stationary distribution of a row-stochastic matrix.
+
+    The iteration is ``x_{k+1} = x_k P`` where ``x`` is a row vector, i.e.
+    the left principal eigenvector of ``P`` (equivalently the right principal
+    eigenvector of ``P'`` used in the paper's Theorem 2 proof).
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic matrix (dense or sparse).
+    start:
+        Initial distribution; uniform when omitted.
+    tol:
+        L1 convergence tolerance on successive iterates.
+    max_iter:
+        Iteration budget.
+    raise_on_failure:
+        When ``True`` (default) a :class:`ConvergenceError` is raised if the
+        budget is exhausted; when ``False`` the best iterate is returned with
+        ``converged=False``.
+    callback:
+        Optional ``callback(iteration, residual)`` hook invoked after every
+        iteration; used by the convergence benchmarks.
+    """
+    n = transition.shape[0]
+    if transition.shape[0] != transition.shape[1]:
+        raise ValidationError(
+            f"transition matrix must be square, got {transition.shape!r}")
+    if max_iter < 1:
+        raise ValidationError("max_iter must be at least 1")
+    if tol <= 0:
+        raise ValidationError("tol must be positive")
+
+    if start is None:
+        x = uniform_distribution(n)
+    else:
+        x = ensure_distribution(start, name="start").copy()
+        if x.size != n:
+            raise ValidationError(
+                f"start vector has length {x.size}, expected {n}")
+
+    matrix = transition.tocsr() if is_sparse(transition) else np.asarray(
+        transition, dtype=float)
+
+    residuals: List[float] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        if is_sparse(matrix):
+            new_x = np.asarray(x @ matrix).ravel()
+        else:
+            new_x = x @ matrix
+        # Guard against floating point drift away from the simplex.
+        total = new_x.sum()
+        if total > 0:
+            new_x = new_x / total
+        residual = float(np.abs(new_x - x).sum())
+        residuals.append(residual)
+        x = new_x
+        if callback is not None:
+            callback(iterations, residual)
+        if residual < tol:
+            converged = True
+            break
+
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"power iteration did not converge within {max_iter} iterations "
+            f"(last residual {residuals[-1]:.3e}, tol {tol:.3e})",
+            iterations=iterations, residual=residuals[-1])
+
+    return PowerIterationResult(vector=x, iterations=iterations,
+                                converged=converged, residuals=residuals,
+                                tolerance=tol)
+
+
+def stationary_distribution_dangling_aware(
+        link_matrix, damping: float, preference: Optional[np.ndarray] = None,
+        *, dangling_weights: Optional[np.ndarray] = None,
+        tol: float = DEFAULT_TOL, max_iter: int = DEFAULT_MAX_ITER,
+        start: Optional[np.ndarray] = None,
+        callback: Optional[Callable[[int, float], None]] = None,
+        ) -> PowerIterationResult:
+    """Power iteration in the *matrix-free* PageRank form.
+
+    Rather than materialising the dense Google matrix
+    ``M̂ = f M + (1 - f) e v'`` this routine keeps only the sparse
+    link-derived matrix and applies the rank-one teleportation and the
+    dangling-node correction analytically each iteration:
+
+    ``x_{k+1} = f x_k M + f (x_k · d) w + (1 - f) v``
+
+    where ``d`` is the dangling indicator, ``w`` the dangling redistribution
+    distribution and ``v`` the teleportation preference.  This is the form
+    used for the large campus-web benchmarks; for small matrices it agrees
+    with building ``M̂`` explicitly (a property exercised by the tests).
+
+    Parameters
+    ----------
+    link_matrix:
+        Row-normalised link matrix where dangling rows are *all zero*
+        (i.e. the output of
+        :func:`repro.linalg.stochastic.row_normalize` on the raw adjacency).
+    damping:
+        The damping factor ``f``.
+    preference:
+        Teleportation distribution ``v`` (uniform when omitted).
+    dangling_weights:
+        Distribution used to redistribute the mass of dangling rows
+        (defaults to *preference*).
+    """
+    n = link_matrix.shape[0]
+    if not 0.0 <= damping <= 1.0:
+        raise ValidationError("damping must be in [0, 1]")
+    if preference is None:
+        v = uniform_distribution(n)
+    else:
+        v = ensure_distribution(preference, name="preference")
+        if v.size != n:
+            raise ValidationError(
+                f"preference has length {v.size}, expected {n}")
+    if dangling_weights is None:
+        w = v
+    else:
+        w = ensure_distribution(dangling_weights, name="dangling_weights")
+        if w.size != n:
+            raise ValidationError(
+                f"dangling_weights has length {w.size}, expected {n}")
+
+    matrix = link_matrix.tocsr() if is_sparse(link_matrix) else np.asarray(
+        link_matrix, dtype=float)
+    sums = (np.asarray(matrix.sum(axis=1)).ravel() if is_sparse(matrix)
+            else matrix.sum(axis=1))
+    dangling_mask = (sums == 0.0).astype(float)
+
+    if start is None:
+        x = uniform_distribution(n)
+    else:
+        x = ensure_distribution(start, name="start").copy()
+
+    residuals: List[float] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        if is_sparse(matrix):
+            linked = np.asarray(x @ matrix).ravel()
+        else:
+            linked = x @ matrix
+        dangling_mass = float(x @ dangling_mask)
+        new_x = damping * (linked + dangling_mass * w) + (1.0 - damping) * v
+        total = new_x.sum()
+        if total > 0:
+            new_x = new_x / total
+        residual = float(np.abs(new_x - x).sum())
+        residuals.append(residual)
+        x = new_x
+        if callback is not None:
+            callback(iterations, residual)
+        if residual < tol:
+            converged = True
+            break
+
+    if not converged:
+        raise ConvergenceError(
+            f"matrix-free power iteration did not converge within {max_iter} "
+            f"iterations (last residual {residuals[-1]:.3e})",
+            iterations=iterations, residual=residuals[-1])
+
+    return PowerIterationResult(vector=x, iterations=iterations,
+                                converged=converged, residuals=residuals,
+                                tolerance=tol)
+
+
+def principal_eigenvector_dense(matrix) -> np.ndarray:
+    """Exact left principal eigenvector of a small dense stochastic matrix.
+
+    Solves the eigenproblem with :func:`numpy.linalg.eig` and normalises the
+    eigenvector associated with the eigenvalue closest to 1.  Intended only
+    for small matrices in tests and for verifying the iterative solvers.
+    """
+    dense = np.asarray(matrix.todense() if sp.issparse(matrix) else matrix,
+                       dtype=float)
+    values, vectors = np.linalg.eig(dense.T)
+    index = int(np.argmin(np.abs(values - 1.0)))
+    vector = np.real(vectors[:, index])
+    # The eigenvector sign is arbitrary; flip so the entries are non-negative.
+    if vector.sum() < 0:
+        vector = -vector
+    vector = np.clip(vector, 0.0, None)
+    total = vector.sum()
+    if total == 0.0:
+        raise ConvergenceError("principal eigenvector collapsed to zero")
+    return vector / total

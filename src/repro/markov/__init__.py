@@ -1,0 +1,25 @@
+"""Markov-chain substrate: chains, classification, irreducibility adjustments."""
+
+from .chain import MarkovChain
+from .classification import ChainClassification, classify_chain, rank_sinks
+from .irreducibility import (
+    DEFAULT_DAMPING,
+    MinimalIrreducibilityResult,
+    google_matrix,
+    maximal_irreducibility,
+    minimal_irreducibility,
+    minimal_irreducibility_matrix,
+)
+
+__all__ = [
+    "MarkovChain",
+    "ChainClassification",
+    "classify_chain",
+    "rank_sinks",
+    "DEFAULT_DAMPING",
+    "MinimalIrreducibilityResult",
+    "google_matrix",
+    "maximal_irreducibility",
+    "minimal_irreducibility",
+    "minimal_irreducibility_matrix",
+]

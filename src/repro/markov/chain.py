@@ -1,0 +1,208 @@
+"""A small, explicit Markov-chain abstraction.
+
+:class:`MarkovChain` wraps a row-stochastic transition matrix together with
+optional state labels and exposes the operations the ranking layers need:
+stationary distributions, structural predicates (irreducible / aperiodic /
+primitive), k-step evolution and simulation of trajectories.  It is the
+common currency between the generic numerics in :mod:`repro.linalg` and the
+web-specific layers.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import (
+    ensure_distribution,
+    ensure_row_stochastic,
+    is_sparse,
+)
+from ..exceptions import ValidationError
+from ..linalg.perron import is_aperiodic, is_irreducible, is_primitive, period
+from ..linalg.power_iteration import (
+    DEFAULT_MAX_ITER,
+    DEFAULT_TOL,
+    PowerIterationResult,
+    stationary_distribution,
+)
+from ..linalg.stochastic import uniform_distribution
+from .irreducibility import DEFAULT_DAMPING, maximal_irreducibility
+
+
+class MarkovChain:
+    """A finite, discrete-time Markov chain with named states.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic ``n x n`` matrix (dense or scipy sparse).
+    states:
+        Optional sequence of ``n`` hashable state labels; defaults to
+        ``range(n)``.
+    initial:
+        Optional initial distribution; uniform when omitted.
+    """
+
+    def __init__(self, transition, states: Optional[Sequence[Hashable]] = None,
+                 initial: Optional[np.ndarray] = None) -> None:
+        ensure_row_stochastic(transition, name="transition")
+        self._transition = transition
+        n = transition.shape[0]
+        if states is None:
+            states = list(range(n))
+        else:
+            states = list(states)
+            if len(states) != n:
+                raise ValidationError(
+                    f"got {len(states)} state labels for a {n}-state chain")
+            if len(set(states)) != n:
+                raise ValidationError("state labels must be unique")
+        self._states: List[Hashable] = states
+        self._index = {state: i for i, state in enumerate(states)}
+        if initial is None:
+            self._initial = uniform_distribution(n)
+        else:
+            self._initial = ensure_distribution(initial, name="initial")
+            if self._initial.size != n:
+                raise ValidationError(
+                    f"initial distribution has length {self._initial.size}, "
+                    f"expected {n}")
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def transition(self):
+        """The row-stochastic transition matrix (as supplied)."""
+        return self._transition
+
+    @property
+    def states(self) -> List[Hashable]:
+        """The state labels, in matrix order."""
+        return list(self._states)
+
+    @property
+    def initial(self) -> np.ndarray:
+        """The initial distribution."""
+        return self._initial.copy()
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self._transition.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_states
+
+    def index_of(self, state: Hashable) -> int:
+        """Return the matrix index of a state label."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise ValidationError(f"unknown state {state!r}") from None
+
+    def probability(self, source: Hashable, target: Hashable) -> float:
+        """Return the one-step transition probability ``P(source -> target)``."""
+        i, j = self.index_of(source), self.index_of(target)
+        if is_sparse(self._transition):
+            return float(self._transition.tocsr()[i, j])
+        return float(np.asarray(self._transition)[i, j])
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def is_irreducible(self) -> bool:
+        """Whether the chain's graph is strongly connected."""
+        return is_irreducible(self._transition)
+
+    def is_aperiodic(self) -> bool:
+        """Whether the (irreducible) chain has period 1."""
+        return is_aperiodic(self._transition)
+
+    def is_primitive(self) -> bool:
+        """Whether the transition matrix is primitive (irreducible + aperiodic)."""
+        return is_primitive(self._transition)
+
+    def period(self) -> int:
+        """The period of the (irreducible) chain."""
+        return period(self._transition)
+
+    # ------------------------------------------------------------------ #
+    # Distributions
+    # ------------------------------------------------------------------ #
+    def evolve(self, distribution: Optional[np.ndarray] = None,
+               steps: int = 1) -> np.ndarray:
+        """Propagate a distribution ``steps`` times through the chain."""
+        if steps < 0:
+            raise ValidationError("steps must be non-negative")
+        if distribution is None:
+            x = self._initial.copy()
+        else:
+            x = ensure_distribution(distribution, name="distribution").copy()
+            if x.size != self.n_states:
+                raise ValidationError(
+                    f"distribution has length {x.size}, expected {self.n_states}")
+        for _ in range(steps):
+            if is_sparse(self._transition):
+                x = np.asarray(x @ self._transition).ravel()
+            else:
+                x = x @ self._transition
+        return x
+
+    def stationary(self, *, tol: float = DEFAULT_TOL,
+                   max_iter: int = DEFAULT_MAX_ITER) -> PowerIterationResult:
+        """Stationary distribution of the chain via power iteration.
+
+        The chain should be primitive for the result to be unique and
+        independent of the starting vector; that is exactly the condition the
+        paper's Approach 2 / Approach 4 rely on for the phase matrix ``Y``.
+        """
+        return stationary_distribution(self._transition, start=self._initial,
+                                       tol=tol, max_iter=max_iter)
+
+    def pagerank(self, damping: float = DEFAULT_DAMPING,
+                 preference: Optional[np.ndarray] = None, *,
+                 tol: float = DEFAULT_TOL,
+                 max_iter: int = DEFAULT_MAX_ITER) -> PowerIterationResult:
+        """Stationary distribution after the maximal-irreducibility adjustment.
+
+        This is "apply the PageRank algorithm to this chain" in the paper's
+        sense (Approach 1 / Approach 3).
+        """
+        adjusted = maximal_irreducibility(self._transition, damping, preference)
+        return stationary_distribution(adjusted, start=self._initial,
+                                       tol=tol, max_iter=max_iter)
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def simulate(self, steps: int, *, start: Optional[Hashable] = None,
+                 rng: Optional[np.random.Generator] = None) -> List[Hashable]:
+        """Sample a trajectory of ``steps`` transitions.
+
+        Returns the list of visited state labels, of length ``steps + 1``.
+        Mainly used by tests to check empirical visit frequencies against the
+        analytical stationary distribution.
+        """
+        if steps < 0:
+            raise ValidationError("steps must be non-negative")
+        if rng is None:
+            rng = np.random.default_rng()
+        dense = (np.asarray(self._transition.todense())
+                 if is_sparse(self._transition)
+                 else np.asarray(self._transition, dtype=float))
+        if start is None:
+            current = int(rng.choice(self.n_states, p=self._initial))
+        else:
+            current = self.index_of(start)
+        path = [self._states[current]]
+        for _ in range(steps):
+            current = int(rng.choice(self.n_states, p=dense[current]))
+            path.append(self._states[current])
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MarkovChain(n_states={self.n_states}, "
+                f"irreducible={self.is_irreducible()})")

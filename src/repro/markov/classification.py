@@ -1,0 +1,131 @@
+"""Structural classification of Markov chains.
+
+These utilities analyse the *reducible* chains that arise from raw web link
+structure: communicating classes, closed (recurrent) classes, transient
+states, and absorbing states.  They are used by diagnostics and tests to
+demonstrate why the unadjusted web chain fails to have a unique stationary
+distribution — the motivation for the irreducibility adjustments of
+:mod:`repro.markov.irreducibility`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from .._validation import ensure_nonnegative, ensure_square, is_sparse
+
+
+@dataclass
+class ChainClassification:
+    """Decomposition of a chain's states into communicating classes.
+
+    Attributes
+    ----------
+    n_classes:
+        Number of communicating (strongly connected) classes.
+    labels:
+        Array mapping each state to its class id.
+    classes:
+        For each class id, the list of member state indices.
+    closed:
+        For each class id, whether the class is closed (no edges leave it);
+        closed classes are the recurrent classes of a finite chain.
+    transient_states:
+        All states belonging to non-closed classes.
+    absorbing_states:
+        States with a self-loop probability of 1.
+    """
+
+    n_classes: int
+    labels: np.ndarray
+    classes: List[List[int]]
+    closed: List[bool]
+    transient_states: List[int]
+    absorbing_states: List[int]
+
+    @property
+    def is_irreducible(self) -> bool:
+        """A chain is irreducible when it has exactly one communicating class."""
+        return self.n_classes == 1
+
+    @property
+    def recurrent_classes(self) -> List[List[int]]:
+        """The closed communicating classes."""
+        return [members for members, is_closed in zip(self.classes, self.closed)
+                if is_closed]
+
+
+def classify_chain(transition) -> ChainClassification:
+    """Classify the states of a (possibly reducible) non-negative matrix.
+
+    The input does not need to be stochastic — only the zero/non-zero
+    structure matters — so this can be applied directly to raw adjacency
+    matrices of web graphs.
+    """
+    ensure_square(transition, name="transition")
+    ensure_nonnegative(transition, name="transition")
+    n = transition.shape[0]
+    structure = (transition.tocsr() if is_sparse(transition)
+                 else sp.csr_matrix(np.asarray(transition, dtype=float)))
+    structure = structure.copy()
+    structure.data = np.ones_like(structure.data)
+    structure.eliminate_zeros()
+
+    n_classes, labels = connected_components(structure, directed=True,
+                                             connection="strong")
+    classes: List[List[int]] = [[] for _ in range(n_classes)]
+    for state, label in enumerate(labels):
+        classes[int(label)].append(state)
+
+    # A class is closed iff no edge leaves it.
+    closed = [True] * n_classes
+    rows, cols = structure.nonzero()
+    for u, v in zip(rows, cols):
+        if labels[u] != labels[v]:
+            closed[int(labels[u])] = False
+
+    transient_states = [state for state in range(n)
+                        if not closed[int(labels[state])]]
+
+    absorbing_states = []
+    csr = structure
+    dense_diag = (transition.tocsr().diagonal() if is_sparse(transition)
+                  else np.diag(np.asarray(transition, dtype=float)))
+    row_counts = np.diff(csr.indptr)
+    for state in range(n):
+        if row_counts[state] == 1 and dense_diag[state] > 0:
+            absorbing_states.append(state)
+        elif row_counts[state] == 0:
+            # A state with no out-edges at all is absorbing once the dangling
+            # repair adds its self-loop under the "self" policy; we report it
+            # as absorbing because it traps probability mass structurally.
+            absorbing_states.append(state)
+
+    return ChainClassification(
+        n_classes=n_classes,
+        labels=labels,
+        classes=classes,
+        closed=closed,
+        transient_states=transient_states,
+        absorbing_states=absorbing_states,
+    )
+
+
+def rank_sinks(adjacency) -> List[List[int]]:
+    """Return the "rank sinks" of a raw link graph.
+
+    A rank sink is a closed communicating class that is not the whole graph:
+    a group of pages that accumulate random-surfer probability and never give
+    it back.  Their existence is the classical justification for PageRank's
+    teleportation and shows up in the paper's discussion of why the raw web
+    chain is reducible.
+    """
+    classification = classify_chain(adjacency)
+    n = adjacency.shape[0]
+    return [members for members in classification.recurrent_classes
+            if len(members) < n]

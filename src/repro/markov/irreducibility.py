@@ -1,0 +1,183 @@
+"""Irreducibility adjustments for Markov/transition matrices.
+
+PageRank does not compute the stationary distribution of the raw link matrix
+``M`` — the web's chain is reducible — but of an adjusted matrix.  Two
+adjustments appear in the paper (both from Langville & Meyer, "Deeper inside
+PageRank", 2004):
+
+* **maximal irreducibility** (Google's approach, Equation 1 of the paper)::
+
+      M̂ = f · M + (1 - f) · e · v'
+
+  every state teleports to the preference distribution ``v`` with
+  probability ``1 - f``;
+
+* **minimal irreducibility** (used to build the gatekeeper-augmented
+  per-phase matrices ``Û^J`` in Section 2.3.2)::
+
+      Û = [[ α·U        , (1-α)·e ],
+           [ v'         ,    0    ]]
+
+  a single extra state is appended, every original state moves to it with
+  probability ``1 - α`` and it redistributes according to ``v``.
+
+The paper (citing Langville & Meyer) notes the two are equivalent in theory
+and in computational efficiency; the tests verify the equivalence of the
+resulting rankings numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import (
+    ensure_distribution,
+    ensure_probability,
+    ensure_row_stochastic,
+    is_sparse,
+    normalize_distribution,
+)
+from ..exceptions import ValidationError
+from ..linalg.power_iteration import (
+    DEFAULT_MAX_ITER,
+    DEFAULT_TOL,
+    PowerIterationResult,
+    stationary_distribution,
+)
+from ..linalg.stochastic import uniform_distribution
+
+#: Damping factor used throughout the paper's examples and by Google.
+DEFAULT_DAMPING: float = 0.85
+
+
+def maximal_irreducibility(transition, damping: float = DEFAULT_DAMPING,
+                           preference: Optional[np.ndarray] = None) -> np.ndarray:
+    """Return the maximally irreducible (Google) matrix ``M̂``.
+
+    ``M̂ = f M + (1 - f) e v'`` — Equation (1) of the paper, with ``v``
+    the personalisation distribution (uniform by default, reproducing
+    ``(1 - f) / N_D · e e'``).
+
+    The result is dense by construction (the rank-one teleportation term is
+    dense); callers ranking large graphs should use the matrix-free solver
+    :func:`repro.linalg.power_iteration.stationary_distribution_dangling_aware`
+    instead of materialising this matrix.
+    """
+    ensure_row_stochastic(transition, name="transition")
+    damping = ensure_probability(damping, name="damping")
+    n = transition.shape[0]
+    if preference is None:
+        v = uniform_distribution(n)
+    else:
+        v = ensure_distribution(preference, name="preference")
+        if v.size != n:
+            raise ValidationError(
+                f"preference has length {v.size}, expected {n}")
+    dense = np.asarray(transition.todense() if is_sparse(transition)
+                       else transition, dtype=float)
+    return damping * dense + (1.0 - damping) * np.outer(np.ones(n), v)
+
+
+@dataclass
+class MinimalIrreducibilityResult:
+    """The pieces produced by the minimal-irreducibility construction.
+
+    Attributes
+    ----------
+    augmented:
+        The ``(n+1) x (n+1)`` augmented matrix ``Û`` (dense).
+    stationary_full:
+        Stationary distribution of ``Û`` including the virtual state (last
+        position).
+    stationary:
+        Stationary distribution restricted to the original ``n`` states and
+        renormalised to sum to 1 — this is the per-phase vector ``π^J_U`` of
+        the paper, i.e. the gatekeeper transition probabilities ``u^J_Gj``.
+    iterations:
+        Power-iteration count used on the augmented matrix.
+    """
+
+    augmented: np.ndarray
+    stationary_full: np.ndarray
+    stationary: np.ndarray
+    iterations: int
+
+
+def minimal_irreducibility_matrix(transition, alpha: float = DEFAULT_DAMPING,
+                                  preference: Optional[np.ndarray] = None,
+                                  ) -> np.ndarray:
+    """Build the minimally irreducible augmented matrix ``Û``.
+
+    Parameters
+    ----------
+    transition:
+        The original ``n x n`` row-stochastic matrix ``U`` (the paper allows
+        it to be reducible; it only needs to be Markovian).
+    alpha:
+        The adjustable parameter ``0 < α < 1`` of Section 2.3.2.
+    preference:
+        The initial state distribution ``v_U`` of the phase, used as the
+        virtual state's outgoing distribution (uniform by default).
+    """
+    ensure_row_stochastic(transition, name="transition")
+    alpha = ensure_probability(alpha, name="alpha", inclusive=False)
+    n = transition.shape[0]
+    if preference is None:
+        v = uniform_distribution(n)
+    else:
+        v = ensure_distribution(preference, name="preference")
+        if v.size != n:
+            raise ValidationError(
+                f"preference has length {v.size}, expected {n}")
+    dense = np.asarray(transition.todense() if is_sparse(transition)
+                       else transition, dtype=float)
+    augmented = np.zeros((n + 1, n + 1), dtype=float)
+    augmented[:n, :n] = alpha * dense
+    augmented[:n, n] = 1.0 - alpha
+    augmented[n, :n] = v
+    augmented[n, n] = 0.0
+    return augmented
+
+
+def minimal_irreducibility(transition, alpha: float = DEFAULT_DAMPING,
+                           preference: Optional[np.ndarray] = None,
+                           *, tol: float = DEFAULT_TOL,
+                           max_iter: int = DEFAULT_MAX_ITER,
+                           ) -> MinimalIrreducibilityResult:
+    """Apply the minimal-irreducibility construction and rank the real states.
+
+    This performs the exact procedure of Section 2.3.2: build ``Û``, run the
+    power method to its principal eigenvector, drop the virtual (gatekeeper)
+    entry and renormalise.  The returned ``stationary`` vector is what the
+    paper uses as the gatekeeper transition probabilities of a phase.
+    """
+    augmented = minimal_irreducibility_matrix(transition, alpha, preference)
+    result: PowerIterationResult = stationary_distribution(
+        augmented, tol=tol, max_iter=max_iter)
+    full = result.vector
+    restricted = normalize_distribution(full[:-1], name="restricted stationary")
+    return MinimalIrreducibilityResult(
+        augmented=augmented,
+        stationary_full=full,
+        stationary=restricted,
+        iterations=result.iterations,
+    )
+
+
+def google_matrix(adjacency, damping: float = DEFAULT_DAMPING,
+                  preference: Optional[np.ndarray] = None) -> np.ndarray:
+    """Build the dense Google matrix straight from a raw adjacency matrix.
+
+    Convenience composition of
+    :func:`repro.linalg.stochastic.transition_matrix` (with uniform dangling
+    handling) and :func:`maximal_irreducibility` — the ``M̂(G)`` function of
+    the paper.
+    """
+    from ..linalg.stochastic import transition_matrix  # local import: avoid cycle
+
+    stochastic = transition_matrix(adjacency, dangling="uniform")
+    return maximal_irreducibility(stochastic, damping, preference)

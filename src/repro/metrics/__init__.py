@@ -1,0 +1,50 @@
+"""Ranking-comparison metrics: correlations, top-k measures, spam measures."""
+
+from .convergence import ConvergenceTrace, summarize_traces
+from .rank_correlation import (
+    kendall_tau,
+    l1_distance,
+    rank_positions,
+    same_order,
+    spearman_footrule,
+    spearman_rho,
+)
+from .spam_metrics import (
+    SpamImpact,
+    spam_gain,
+    spam_impact,
+    spam_mass,
+    target_rank_position,
+    top_k_contamination,
+)
+from .topk import (
+    average_precision,
+    precision_at_k,
+    reciprocal_rank,
+    top_k_indices,
+    top_k_jaccard,
+    top_k_overlap,
+)
+
+__all__ = [
+    "ConvergenceTrace",
+    "summarize_traces",
+    "kendall_tau",
+    "l1_distance",
+    "rank_positions",
+    "same_order",
+    "spearman_footrule",
+    "spearman_rho",
+    "SpamImpact",
+    "spam_gain",
+    "spam_impact",
+    "spam_mass",
+    "target_rank_position",
+    "top_k_contamination",
+    "average_precision",
+    "precision_at_k",
+    "reciprocal_rank",
+    "top_k_indices",
+    "top_k_jaccard",
+    "top_k_overlap",
+]

@@ -1,0 +1,84 @@
+"""Convergence tracking utilities for the iteration-count benchmarks (E11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+
+@dataclass
+class ConvergenceTrace:
+    """A labelled residual history of one iterative solve.
+
+    Attributes
+    ----------
+    label:
+        Human-readable name (e.g. ``"flat PageRank"`` or
+        ``"SiteRank"``).
+    residuals:
+        L1 residual after each iteration.
+    tolerance:
+        The stopping tolerance the run targeted.
+    """
+
+    label: str
+    residuals: List[float]
+    tolerance: float
+
+    @property
+    def iterations(self) -> int:
+        """Number of iterations performed."""
+        return len(self.residuals)
+
+    def iterations_to(self, tolerance: float) -> int:
+        """First iteration (1-based) at which the residual fell below *tolerance*.
+
+        Returns ``iterations + 1`` when the run never reached it, so the
+        value is still usable for comparisons ("did not converge within the
+        recorded horizon").
+        """
+        if tolerance <= 0:
+            raise ValidationError("tolerance must be positive")
+        for index, residual in enumerate(self.residuals, start=1):
+            if residual < tolerance:
+                return index
+        return self.iterations + 1
+
+    def convergence_rate(self) -> float:
+        """Geometric mean of consecutive residual ratios (≈ |λ₂| of the chain).
+
+        Values close to 1 mean slow convergence; the damping factor bounds
+        the rate of a PageRank run at ``f``.
+        """
+        residuals = np.asarray(self.residuals, dtype=float)
+        residuals = residuals[residuals > 0]
+        if residuals.size < 2:
+            return 0.0
+        ratios = residuals[1:] / residuals[:-1]
+        ratios = ratios[np.isfinite(ratios) & (ratios > 0)]
+        if ratios.size == 0:
+            return 0.0
+        return float(np.exp(np.mean(np.log(ratios))))
+
+
+def summarize_traces(traces: Sequence[ConvergenceTrace],
+                     tolerance: float = 1e-8) -> List[dict]:
+    """Tabulate iteration counts and rates of several traces.
+
+    Returns one dict per trace with keys ``label``, ``iterations``,
+    ``iterations_to_tol`` and ``rate``, ready for printing by the benchmark
+    harness.
+    """
+    rows = []
+    for trace in traces:
+        rows.append({
+            "label": trace.label,
+            "iterations": trace.iterations,
+            "iterations_to_tol": trace.iterations_to(tolerance),
+            "rate": trace.convergence_rate(),
+        })
+    return rows

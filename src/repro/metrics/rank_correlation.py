@@ -1,0 +1,113 @@
+"""Rank-correlation measures between two ranking vectors.
+
+The paper's evaluation compares rankings qualitatively (Figures 3 and 4);
+the benchmark harness additionally reports quantitative agreement between
+methods, for which the standard measures are implemented here: Kendall's
+tau, Spearman's rho, and Spearman's footrule distance.  All functions accept
+either score vectors (higher = better) or explicit orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..exceptions import ValidationError
+
+
+def _as_scores(values) -> np.ndarray:
+    scores = np.asarray(values, dtype=float).ravel()
+    if scores.size == 0:
+        raise ValidationError("ranking vectors must not be empty")
+    return scores
+
+
+def _check_same_length(a: np.ndarray, b: np.ndarray) -> None:
+    if a.size != b.size:
+        raise ValidationError(
+            f"rankings have different lengths ({a.size} vs {b.size})")
+
+
+def kendall_tau(scores_a, scores_b) -> float:
+    """Kendall's tau-b between two score vectors over the same items.
+
+    1 means identical orderings, -1 reversed orderings, 0 no association.
+    """
+    a, b = _as_scores(scores_a), _as_scores(scores_b)
+    _check_same_length(a, b)
+    if a.size == 1:
+        return 1.0
+    tau, _p_value = stats.kendalltau(a, b)
+    if np.isnan(tau):
+        # Happens when one vector is constant: there is no ordering
+        # information to agree or disagree with.
+        return 0.0
+    return float(tau)
+
+
+def spearman_rho(scores_a, scores_b) -> float:
+    """Spearman's rank correlation between two score vectors."""
+    a, b = _as_scores(scores_a), _as_scores(scores_b)
+    _check_same_length(a, b)
+    if a.size == 1:
+        return 1.0
+    rho, _p_value = stats.spearmanr(a, b)
+    if np.isnan(rho):
+        return 0.0
+    return float(rho)
+
+
+def rank_positions(scores) -> np.ndarray:
+    """0-based rank position of every item (0 = highest score).
+
+    Ties are broken by item index, matching the deterministic tie-breaking
+    used by the ranking result classes.
+    """
+    values = _as_scores(scores)
+    order = np.lexsort((np.arange(values.size), -values))
+    positions = np.empty(values.size, dtype=int)
+    positions[order] = np.arange(values.size)
+    return positions
+
+
+def spearman_footrule(scores_a, scores_b, *, normalized: bool = True) -> float:
+    """Spearman's footrule: total displacement between two rankings.
+
+    Parameters
+    ----------
+    normalized:
+        When ``True`` (default) the distance is divided by its maximum
+        possible value, giving a number in ``[0, 1]`` where 0 means the
+        rankings are identical.
+    """
+    a, b = _as_scores(scores_a), _as_scores(scores_b)
+    _check_same_length(a, b)
+    positions_a = rank_positions(a)
+    positions_b = rank_positions(b)
+    distance = float(np.abs(positions_a - positions_b).sum())
+    if not normalized:
+        return distance
+    n = a.size
+    maximum = (n * n) / 2.0 if n % 2 == 0 else (n * n - 1) / 2.0
+    return distance / maximum if maximum > 0 else 0.0
+
+
+def l1_distance(scores_a, scores_b) -> float:
+    """Plain L1 distance between two score vectors (not rank based)."""
+    a, b = _as_scores(scores_a), _as_scores(scores_b)
+    _check_same_length(a, b)
+    return float(np.abs(a - b).sum())
+
+
+def same_order(scores_a, scores_b) -> bool:
+    """Whether two score vectors induce exactly the same ordering.
+
+    This is the check behind the paper's observation that Approach 1 and
+    Approach 2 "rank all system states in an identical order" despite
+    slightly different values.
+    """
+    a, b = _as_scores(scores_a), _as_scores(scores_b)
+    _check_same_length(a, b)
+    return bool(np.array_equal(rank_positions(a), rank_positions(b)))

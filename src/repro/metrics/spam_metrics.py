@@ -1,0 +1,110 @@
+"""Measures of how much rank mass a link farm captures (spam resistance).
+
+The paper claims (Sections 1.3 and 3.3) that the layered method defeats
+link spamming "to a very satisfiable degree" because an agglomeration of
+densely interlinked pages stays confined to its site and is capped by that
+site's SiteRank.  These metrics quantify the claim for the spam-resistance
+benchmark (E7) and the campus-web experiment (E5/E6):
+
+* **spam mass** — total rank probability captured by the farm pages;
+* **spam gain** — spam mass relative to the mass the same number of pages
+  would receive under a uniform ranking (1.0 = no amplification);
+* **top-k contamination** — fraction of the top-k occupied by farm pages;
+* **target boost** — rank position improvement of the promoted target page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .topk import precision_at_k
+
+
+@dataclass
+class SpamImpact:
+    """Spam impact of one ranking method on one graph.
+
+    Attributes
+    ----------
+    method:
+        Name of the ranking method.
+    spam_mass:
+        Total probability mass on farm pages.
+    spam_gain:
+        ``spam_mass / (n_farm / n_total)`` — amplification over uniform.
+    top_k_contamination:
+        Fraction of the top-k list occupied by farm pages.
+    k:
+        The k used for the contamination measure.
+    """
+
+    method: str
+    spam_mass: float
+    spam_gain: float
+    top_k_contamination: float
+    k: int
+
+
+def spam_mass(scores_by_doc: np.ndarray, farm_doc_ids: Iterable[int]) -> float:
+    """Total rank mass of the farm pages.
+
+    *scores_by_doc* must be indexed by document id (use
+    :meth:`repro.web.pipeline.WebRankingResult.scores_by_doc_id`).
+    """
+    scores = np.asarray(scores_by_doc, dtype=float)
+    farm = list(farm_doc_ids)
+    if not farm:
+        return 0.0
+    farm_idx = np.asarray(farm, dtype=int)
+    if farm_idx.max() >= scores.size or farm_idx.min() < 0:
+        raise ValidationError("farm document id out of range")
+    return float(scores[farm_idx].sum())
+
+
+def spam_gain(scores_by_doc: np.ndarray, farm_doc_ids: Iterable[int]) -> float:
+    """Amplification of the farm's mass over a uniform ranking.
+
+    A value of 1 means the farm holds exactly its "fair share"
+    ``n_farm / n_total``; values above 1 mean the link structure inflated
+    it.
+    """
+    scores = np.asarray(scores_by_doc, dtype=float)
+    farm = list(farm_doc_ids)
+    if not farm:
+        return 0.0
+    fair_share = len(set(farm)) / float(scores.size)
+    if fair_share == 0.0:
+        return 0.0
+    return spam_mass(scores, farm) / fair_share
+
+
+def top_k_contamination(ranked_doc_ids: Sequence[int],
+                        farm_doc_ids: Iterable[int], k: int) -> float:
+    """Fraction of the top-k ranked documents that are farm pages."""
+    return precision_at_k(ranked_doc_ids, farm_doc_ids, k)
+
+
+def target_rank_position(ranked_doc_ids: Sequence[int], target: int) -> int:
+    """1-based rank position of the farm's promoted target page."""
+    for position, doc_id in enumerate(ranked_doc_ids, start=1):
+        if doc_id == target:
+            return position
+    raise ValidationError(f"target document {target} not present in ranking")
+
+
+def spam_impact(method: str, scores_by_doc: np.ndarray,
+                ranked_doc_ids: Sequence[int],
+                farm_doc_ids: Set[int], *, k: int = 15) -> SpamImpact:
+    """Bundle all spam measures for one method into a :class:`SpamImpact`."""
+    return SpamImpact(
+        method=method,
+        spam_mass=spam_mass(scores_by_doc, farm_doc_ids),
+        spam_gain=spam_gain(scores_by_doc, farm_doc_ids),
+        top_k_contamination=top_k_contamination(ranked_doc_ids, farm_doc_ids,
+                                                k),
+        k=k,
+    )

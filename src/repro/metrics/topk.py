@@ -1,0 +1,93 @@
+"""Top-k comparison measures.
+
+The paper's Figures 3 and 4 are top-15 lists; the corresponding quantitative
+measures are overlap / Jaccard similarity of top-k sets and precision of a
+top-k list against a set of relevant (e.g. "authoritative" or "farm") items.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+
+def top_k_indices(scores, k: int) -> list:
+    """Indices of the ``k`` largest scores, best first, ties broken by index."""
+    values = np.asarray(scores, dtype=float).ravel()
+    if k < 0:
+        raise ValidationError("k must be non-negative")
+    k = min(k, values.size)
+    order = np.lexsort((np.arange(values.size), -values))
+    return [int(i) for i in order[:k]]
+
+
+def top_k_overlap(list_a: Sequence, list_b: Sequence, k: int) -> float:
+    """Fraction of the top-k of *list_a* also present in the top-k of *list_b*.
+
+    Both arguments are ranked item lists (best first); only their first
+    ``k`` entries are compared.  Symmetric because both prefixes have
+    length ``k``.
+    """
+    if k <= 0:
+        raise ValidationError("k must be positive")
+    prefix_a = set(list_a[:k])
+    prefix_b = set(list_b[:k])
+    if not prefix_a and not prefix_b:
+        return 1.0
+    return len(prefix_a & prefix_b) / float(k)
+
+
+def top_k_jaccard(list_a: Sequence, list_b: Sequence, k: int) -> float:
+    """Jaccard similarity of the two top-k sets."""
+    if k <= 0:
+        raise ValidationError("k must be positive")
+    prefix_a = set(list_a[:k])
+    prefix_b = set(list_b[:k])
+    union = prefix_a | prefix_b
+    if not union:
+        return 1.0
+    return len(prefix_a & prefix_b) / len(union)
+
+
+def precision_at_k(ranked_items: Sequence, relevant: Iterable, k: int) -> float:
+    """Fraction of the first ``k`` ranked items that belong to *relevant*."""
+    if k <= 0:
+        raise ValidationError("k must be positive")
+    relevant_set: Set = set(relevant)
+    prefix = list(ranked_items[:k])
+    if not prefix:
+        return 0.0
+    hits = sum(1 for item in prefix if item in relevant_set)
+    return hits / float(len(prefix))
+
+
+def average_precision(ranked_items: Sequence, relevant: Iterable) -> float:
+    """Average precision of a ranked list against a relevant set.
+
+    Standard IR definition: mean of precision@i over the positions i where a
+    relevant item appears; 0 when the relevant set is empty or never found.
+    """
+    relevant_set: Set = set(relevant)
+    if not relevant_set:
+        return 0.0
+    hits = 0
+    precisions = []
+    for position, item in enumerate(ranked_items, start=1):
+        if item in relevant_set:
+            hits += 1
+            precisions.append(hits / position)
+    if not precisions:
+        return 0.0
+    return float(np.mean(precisions))
+
+
+def reciprocal_rank(ranked_items: Sequence, relevant: Iterable) -> float:
+    """Reciprocal of the rank of the first relevant item (0 when absent)."""
+    relevant_set: Set = set(relevant)
+    for position, item in enumerate(ranked_items, start=1):
+        if item in relevant_set:
+            return 1.0 / position
+    return 0.0

@@ -1,0 +1,147 @@
+"""Kleinberg's HITS algorithm (hubs and authorities).
+
+HITS is the second link-analysis baseline the paper discusses (Section 1.1).
+The paper points out (citing Farahat et al.) that HITS can be unstable —
+its result may depend on the initial seed vector and may assign zero weight
+to whole components.  The implementation below exposes the seed vector so
+that the test suite can demonstrate exactly that instability on a
+disconnected graph, alongside the normal converging behaviour on connected
+graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import is_sparse
+from ..exceptions import ConvergenceError, ValidationError
+
+
+@dataclass
+class HITSResult:
+    """Hub and authority scores produced by HITS.
+
+    Both vectors are normalised to sum to 1 so they can be compared with
+    PageRank-style probability vectors.
+    """
+
+    authorities: np.ndarray
+    hubs: np.ndarray
+    iterations: int
+    converged: bool
+    residuals: List[float] = field(default_factory=list)
+
+    def top_authorities(self, k: int) -> List[int]:
+        """Indices of the ``k`` highest-authority nodes, best first."""
+        order = np.lexsort((np.arange(self.authorities.size), -self.authorities))
+        return [int(i) for i in order[:k]]
+
+    def top_hubs(self, k: int) -> List[int]:
+        """Indices of the ``k`` highest-hub nodes, best first."""
+        order = np.lexsort((np.arange(self.hubs.size), -self.hubs))
+        return [int(i) for i in order[:k]]
+
+
+def hits(adjacency, *, tol: float = 1e-10, max_iter: int = 1000,
+         seed_authorities: Optional[np.ndarray] = None,
+         normalization: str = "l1",
+         raise_on_failure: bool = True) -> HITSResult:
+    """Run the HITS mutual-reinforcement iteration.
+
+    ``a_{k+1} ∝ A' h_k`` and ``h_{k+1} ∝ A a_{k+1}`` where ``A`` is the
+    adjacency matrix.
+
+    Parameters
+    ----------
+    adjacency:
+        Square non-negative adjacency matrix.
+    tol:
+        L1 convergence tolerance on the authority vector.
+    max_iter:
+        Iteration budget.
+    seed_authorities:
+        Initial authority vector (uniform by default).  Exposed because HITS'
+        dependence on the seed is one of the weaknesses the paper notes.
+    normalization:
+        ``"l1"`` (default, sums to 1) or ``"l2"`` (unit Euclidean norm, the
+        original formulation); the final result is always returned
+        L1-normalised for comparability.
+    """
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValidationError(
+            f"adjacency must be square, got {adjacency.shape!r}")
+    n = adjacency.shape[0]
+    if n == 0:
+        raise ValidationError("adjacency must have at least one node")
+    if normalization not in ("l1", "l2"):
+        raise ValidationError(f"unknown normalization {normalization!r}")
+
+    matrix = adjacency.tocsr().astype(float) if is_sparse(adjacency) else \
+        np.asarray(adjacency, dtype=float)
+
+    if seed_authorities is None:
+        authorities = np.full(n, 1.0 / n)
+    else:
+        authorities = np.asarray(seed_authorities, dtype=float).ravel()
+        if authorities.size != n:
+            raise ValidationError(
+                f"seed has length {authorities.size}, expected {n}")
+        if authorities.min() < 0:
+            raise ValidationError("seed must be non-negative")
+        if authorities.sum() == 0:
+            raise ValidationError("seed must not be all zero")
+        authorities = authorities / authorities.sum()
+
+    hubs = np.full(n, 1.0 / n)
+
+    def _norm(vector: np.ndarray) -> np.ndarray:
+        if normalization == "l1":
+            total = vector.sum()
+        else:
+            total = np.linalg.norm(vector)
+        return vector / total if total > 0 else vector
+
+    residuals: List[float] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        # Kleinberg's ordering: hubs are recomputed from the current
+        # authorities first, then authorities from the new hubs.  This makes
+        # the seed authority vector genuinely matter, which is how the test
+        # suite demonstrates the seed-dependence weakness the paper cites.
+        if is_sparse(matrix):
+            new_hubs = np.asarray(matrix @ authorities).ravel()
+        else:
+            new_hubs = matrix @ authorities
+        new_hubs = _norm(new_hubs)
+        if is_sparse(matrix):
+            new_auth = np.asarray(matrix.T @ new_hubs).ravel()
+        else:
+            new_auth = matrix.T @ new_hubs
+        new_auth = _norm(new_auth)
+        residual = float(np.abs(new_auth - authorities).sum()
+                         + np.abs(new_hubs - hubs).sum())
+        residuals.append(residual)
+        authorities, hubs = new_auth, new_hubs
+        if residual < tol:
+            converged = True
+            break
+
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"HITS did not converge within {max_iter} iterations",
+            iterations=iterations, residual=residuals[-1])
+
+    auth_sum = authorities.sum()
+    hub_sum = hubs.sum()
+    return HITSResult(
+        authorities=authorities / auth_sum if auth_sum > 0 else authorities,
+        hubs=hubs / hub_sum if hub_sum > 0 else hubs,
+        iterations=iterations,
+        converged=converged,
+        residuals=residuals,
+    )

@@ -1,0 +1,49 @@
+"""Web application layer: DocGraph, SiteGraph, SiteRank, DocRank, pipeline."""
+
+from .diagnostics import GraphDiagnostics, SiteDiagnostics, diagnose
+from .docgraph import DocGraph, Document
+from .docrank import LocalDocRank, all_local_docranks, local_docrank
+from .incremental import IncrementalLayeredRanker, UpdateReport
+from .pipeline import (
+    WebRankingResult,
+    flat_pagerank_ranking,
+    layered_docrank,
+    lmm_from_docgraph,
+)
+from .sitegraph import SiteGraph, aggregate_sitegraph
+from .siterank import SiteRankResult, siterank
+from .url import (
+    ParsedURL,
+    is_dynamic_url,
+    make_site_extractor,
+    normalize_url,
+    parse_url,
+    site_of,
+)
+
+__all__ = [
+    "GraphDiagnostics",
+    "SiteDiagnostics",
+    "diagnose",
+    "DocGraph",
+    "Document",
+    "IncrementalLayeredRanker",
+    "UpdateReport",
+    "LocalDocRank",
+    "all_local_docranks",
+    "local_docrank",
+    "WebRankingResult",
+    "flat_pagerank_ranking",
+    "layered_docrank",
+    "lmm_from_docgraph",
+    "SiteGraph",
+    "aggregate_sitegraph",
+    "SiteRankResult",
+    "siterank",
+    "ParsedURL",
+    "is_dynamic_url",
+    "make_site_extractor",
+    "normalize_url",
+    "parse_url",
+    "site_of",
+]

@@ -1,0 +1,159 @@
+"""Structural diagnostics of a web graph.
+
+A search-engine operator adopting the layered method wants to know, before
+ranking, what the crawl looks like: how many dangling pages, whether the
+graph has rank sinks, how skewed the in-degree distribution is, which sites
+look like link-farm agglomerations.  These diagnostics are exactly the
+observations Section 3.3 of the paper makes informally ("further
+investigation shows that all of them have a huge in-degree number", "most of
+its originating pages have the same URL prefix").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..exceptions import GraphStructureError
+from ..markov.classification import rank_sinks
+from .docgraph import DocGraph
+from .sitegraph import aggregate_sitegraph
+
+
+@dataclass
+class SiteDiagnostics:
+    """Per-site structural statistics.
+
+    Attributes
+    ----------
+    site:
+        Site identifier.
+    n_documents:
+        Number of documents of the site.
+    internal_links:
+        DocLinks whose both endpoints are in the site.
+    outgoing_links / incoming_links:
+        DocLinks crossing the site boundary, per direction.
+    dynamic_fraction:
+        Fraction of the site's documents that are dynamically generated.
+    insularity:
+        ``internal / (internal + outgoing)`` — how self-referential the
+        site's linking is.  Link-farm agglomerations sit near 1.0.
+    link_density:
+        Internal links per document.
+    """
+
+    site: str
+    n_documents: int
+    internal_links: int
+    outgoing_links: int
+    incoming_links: int
+    dynamic_fraction: float
+    insularity: float
+    link_density: float
+
+
+@dataclass
+class GraphDiagnostics:
+    """Whole-graph structural statistics plus the per-site breakdown."""
+
+    n_documents: int
+    n_links: int
+    n_sites: int
+    n_dangling: int
+    n_rank_sinks: int
+    largest_rank_sink: int
+    max_in_degree: int
+    mean_in_degree: float
+    in_degree_gini: float
+    dynamic_fraction: float
+    sites: List[SiteDiagnostics] = field(default_factory=list)
+
+    def suspicious_sites(self, *, min_documents: int = 20,
+                         min_insularity: float = 0.95,
+                         min_link_density: float = 5.0) -> List[SiteDiagnostics]:
+        """Sites that look like link-farm agglomerations.
+
+        The heuristic flags sites that are large, almost entirely
+        self-referential and densely interlinked — the combination that
+        inflates flat PageRank (Figure 3) and that the layered method caps.
+        """
+        return [site for site in self.sites
+                if site.n_documents >= min_documents
+                and site.insularity >= min_insularity
+                and site.link_density >= min_link_density]
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative vector (0 = equal, →1 = skewed)."""
+    if values.size == 0:
+        return 0.0
+    sorted_values = np.sort(values.astype(float))
+    total = sorted_values.sum()
+    if total == 0:
+        return 0.0
+    n = sorted_values.size
+    cumulative = np.cumsum(sorted_values)
+    return float((n + 1 - 2 * (cumulative / total).sum()) / n)
+
+
+def diagnose(docgraph: DocGraph) -> GraphDiagnostics:
+    """Compute whole-graph and per-site diagnostics for *docgraph*."""
+    if docgraph.n_documents == 0:
+        raise GraphStructureError("cannot diagnose an empty DocGraph")
+    adjacency = docgraph.adjacency()
+    in_degrees = np.asarray(adjacency.sum(axis=0)).ravel()
+    out_degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    sinks = rank_sinks(adjacency)
+
+    site_of_doc = {document.doc_id: document.site
+                   for document in docgraph.documents()}
+    internal: Dict[str, int] = {site: 0 for site in docgraph.sites()}
+    outgoing: Dict[str, int] = {site: 0 for site in docgraph.sites()}
+    incoming: Dict[str, int] = {site: 0 for site in docgraph.sites()}
+    for source, target in docgraph.edges():
+        source_site = site_of_doc[source]
+        target_site = site_of_doc[target]
+        if source_site == target_site:
+            internal[source_site] += 1
+        else:
+            outgoing[source_site] += 1
+            incoming[target_site] += 1
+
+    dynamic_by_site: Dict[str, int] = {site: 0 for site in docgraph.sites()}
+    for document in docgraph.documents():
+        if document.is_dynamic:
+            dynamic_by_site[document.site] += 1
+
+    sites = []
+    for site in docgraph.sites():
+        n_docs = len(docgraph.documents_of_site(site))
+        boundary = internal[site] + outgoing[site]
+        sites.append(SiteDiagnostics(
+            site=site,
+            n_documents=n_docs,
+            internal_links=internal[site],
+            outgoing_links=outgoing[site],
+            incoming_links=incoming[site],
+            dynamic_fraction=dynamic_by_site[site] / n_docs,
+            insularity=(internal[site] / boundary) if boundary else 0.0,
+            link_density=internal[site] / n_docs,
+        ))
+
+    n_dynamic = sum(1 for document in docgraph.documents()
+                    if document.is_dynamic)
+    return GraphDiagnostics(
+        n_documents=docgraph.n_documents,
+        n_links=docgraph.n_links,
+        n_sites=docgraph.n_sites,
+        n_dangling=int(np.sum(out_degrees == 0)),
+        n_rank_sinks=len(sinks),
+        largest_rank_sink=max((len(sink) for sink in sinks), default=0),
+        max_in_degree=int(in_degrees.max()),
+        mean_in_degree=float(in_degrees.mean()),
+        in_degree_gini=_gini(in_degrees),
+        dynamic_fraction=n_dynamic / docgraph.n_documents,
+        sites=sites,
+    )

@@ -1,0 +1,260 @@
+"""The DocGraph: the document-level web graph ``G_D(V_D, E_D)``.
+
+A :class:`DocGraph` stores web documents (identified by URL), the DocLinks
+between them, and the assignment of every document to its web site.  It is
+the input of both the flat PageRank baseline and the layered ranking
+pipeline, and the object the SiteGraph (:mod:`repro.web.sitegraph`) is
+aggregated from.
+
+The class is deliberately an explicit, append-only builder (``add_document``
+/ ``add_link``) rather than a thin wrapper around networkx: the distributed
+simulation needs cheap per-site slicing, and the benchmarks need
+deterministic document indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import GraphStructureError, ValidationError
+from ..linalg.sparse_utils import coo_from_edges, submatrix
+from .url import normalize_url, site_of
+
+
+@dataclass(frozen=True)
+class Document:
+    """One web document.
+
+    Attributes
+    ----------
+    doc_id:
+        Dense integer identifier (index into the adjacency matrix).
+    url:
+        Canonical URL.
+    site:
+        Identifier of the owning web site.
+    is_dynamic:
+        Whether the page is dynamically generated (query string / script
+        extension) — kept because the paper includes dynamic pages on
+        purpose and they dominate its Figure 3.
+    """
+
+    doc_id: int
+    url: str
+    site: str
+    is_dynamic: bool = False
+
+
+class DocGraph:
+    """A directed graph of web documents grouped into web sites.
+
+    Parameters
+    ----------
+    site_extractor:
+        Callable mapping a URL to its site identifier; defaults to the
+        host-based :func:`repro.web.url.site_of`.
+    normalize:
+        Whether to normalise URLs on insertion (recommended; disable only
+        when the caller guarantees canonical identifiers, e.g. synthetic
+        generators).
+    """
+
+    def __init__(self, *, site_extractor: Optional[Callable[[str], str]] = None,
+                 normalize: bool = True) -> None:
+        self._site_extractor = site_extractor or site_of
+        self._normalize = normalize
+        self._documents: List[Document] = []
+        self._id_by_url: Dict[str, int] = {}
+        self._edges: List[Tuple[int, int]] = []
+        self._docs_by_site: Dict[str, List[int]] = {}
+        self._adjacency_cache: Optional[sp.csr_matrix] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_document(self, url: str, *, site: Optional[str] = None,
+                     is_dynamic: Optional[bool] = None) -> int:
+        """Add a document (idempotent) and return its integer id.
+
+        Parameters
+        ----------
+        site:
+            Explicit site identifier; derived from the URL when omitted.
+        is_dynamic:
+            Explicit dynamic-page flag; derived from the URL when omitted.
+        """
+        key = normalize_url(url) if self._normalize else url
+        existing = self._id_by_url.get(key)
+        if existing is not None:
+            return existing
+        if site is None:
+            site = self._site_extractor(key)
+        if is_dynamic is None:
+            from .url import is_dynamic_url
+
+            try:
+                is_dynamic = is_dynamic_url(key)
+            except ValidationError:
+                is_dynamic = False
+        doc_id = len(self._documents)
+        document = Document(doc_id=doc_id, url=key, site=site,
+                            is_dynamic=bool(is_dynamic))
+        self._documents.append(document)
+        self._id_by_url[key] = doc_id
+        self._docs_by_site.setdefault(site, []).append(doc_id)
+        self._adjacency_cache = None
+        return doc_id
+
+    def add_link(self, source_url: str, target_url: str) -> Tuple[int, int]:
+        """Add a DocLink; both endpoints are added if missing.
+
+        Self-links are kept (a page may link to itself), duplicate links are
+        kept as parallel edges and accumulate weight in the adjacency matrix,
+        which is exactly how the paper counts SiteLinks.
+        """
+        source = self.add_document(source_url)
+        target = self.add_document(target_url)
+        self._edges.append((source, target))
+        self._adjacency_cache = None
+        return source, target
+
+    def add_link_by_id(self, source: int, target: int) -> None:
+        """Add a DocLink between two already-registered document ids."""
+        n = len(self._documents)
+        if not (0 <= source < n and 0 <= target < n):
+            raise GraphStructureError(
+                f"link ({source}, {target}) references unknown documents "
+                f"(graph has {n})")
+        self._edges.append((source, target))
+        self._adjacency_cache = None
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[str, str]], *,
+                   site_extractor: Optional[Callable[[str], str]] = None,
+                   normalize: bool = True) -> "DocGraph":
+        """Build a DocGraph from an iterable of ``(source URL, target URL)``."""
+        graph = cls(site_extractor=site_extractor, normalize=normalize)
+        for source, target in edges:
+            graph.add_link(source, target)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_documents(self) -> int:
+        """Number of documents ``N_D``."""
+        return len(self._documents)
+
+    @property
+    def n_links(self) -> int:
+        """Number of DocLinks (counting multiplicity)."""
+        return len(self._edges)
+
+    @property
+    def n_sites(self) -> int:
+        """Number of distinct web sites ``N_S``."""
+        return len(self._docs_by_site)
+
+    def __len__(self) -> int:
+        return self.n_documents
+
+    def __contains__(self, url: str) -> bool:
+        key = normalize_url(url) if self._normalize else url
+        return key in self._id_by_url
+
+    def documents(self) -> Iterator[Document]:
+        """Iterate over all documents in id order."""
+        return iter(self._documents)
+
+    def document(self, doc_id: int) -> Document:
+        """The :class:`Document` with the given id."""
+        if not 0 <= doc_id < len(self._documents):
+            raise GraphStructureError(f"unknown document id {doc_id}")
+        return self._documents[doc_id]
+
+    def document_by_url(self, url: str) -> Document:
+        """The :class:`Document` with the given URL."""
+        key = normalize_url(url) if self._normalize else url
+        doc_id = self._id_by_url.get(key)
+        if doc_id is None:
+            raise GraphStructureError(f"unknown document URL {url!r}")
+        return self._documents[doc_id]
+
+    def urls(self) -> List[str]:
+        """All document URLs in id order."""
+        return [document.url for document in self._documents]
+
+    def sites(self) -> List[str]:
+        """All site identifiers, in first-seen order."""
+        return list(self._docs_by_site.keys())
+
+    def site_of_document(self, doc_id: int) -> str:
+        """Site identifier of a document id."""
+        return self.document(doc_id).site
+
+    def documents_of_site(self, site: str) -> List[int]:
+        """Document ids belonging to a site ("V_d(s)" in the paper)."""
+        if site not in self._docs_by_site:
+            raise GraphStructureError(f"unknown site {site!r}")
+        return list(self._docs_by_site[site])
+
+    def site_sizes(self) -> Dict[str, int]:
+        """``size(s)`` for every site: the number of local documents ``n_s``."""
+        return {site: len(ids) for site, ids in self._docs_by_site.items()}
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All DocLinks as ``(source id, target id)`` pairs."""
+        return list(self._edges)
+
+    # ------------------------------------------------------------------ #
+    # Matrices
+    # ------------------------------------------------------------------ #
+    def adjacency(self) -> sp.csr_matrix:
+        """The ``N_D x N_D`` sparse adjacency (link-count) matrix."""
+        if self.n_documents == 0:
+            raise GraphStructureError("DocGraph is empty")
+        if self._adjacency_cache is None:
+            self._adjacency_cache = coo_from_edges(self._edges,
+                                                   self.n_documents)
+        return self._adjacency_cache
+
+    def local_adjacency(self, site: str) -> Tuple[sp.csr_matrix, List[int]]:
+        """The local subgraph ``G^s_d`` of one site.
+
+        Returns the adjacency matrix restricted to the site's documents
+        (only intra-site links, per the paper's definition of ``E_d(s)``)
+        together with the list of global document ids in local order.
+        """
+        doc_ids = self.documents_of_site(site)
+        local = submatrix(self.adjacency(), doc_ids)
+        return local, doc_ids
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree (number of incoming DocLinks) of every document."""
+        return np.asarray(self.adjacency().sum(axis=0)).ravel()
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree (number of outgoing DocLinks) of every document."""
+        return np.asarray(self.adjacency().sum(axis=1)).ravel()
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.MultiDiGraph` (URLs as node labels)."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        for document in self._documents:
+            graph.add_node(document.url, site=document.site,
+                           is_dynamic=document.is_dynamic)
+        for source, target in self._edges:
+            graph.add_edge(self._documents[source].url,
+                           self._documents[target].url)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DocGraph(n_documents={self.n_documents}, "
+                f"n_links={self.n_links}, n_sites={self.n_sites})")

@@ -1,0 +1,234 @@
+"""The 5-step Layered Method for DocRank (Section 3.2) and the flat baseline.
+
+This is the user-facing entry point of the web application layer: given a
+:class:`~repro.web.docgraph.DocGraph` it
+
+1. (input) takes the global DocGraph ``G_D``,
+2. aggregates the global SiteGraph ``G_S`` (SiteLink counts only),
+3. computes every site's local DocRank ``π_D(s)`` (decentralisable),
+4. computes the SiteRank ``π_S`` of the SiteGraph,
+5. composes the final global DocRank
+   ``DocRank(G_D) = (π_S(s_1)·π_D(s_1)', …, π_S(s_NS)·π_D(s_NS)')'``.
+
+The result is returned as a :class:`WebRankingResult` aligned with the
+DocGraph's document ids, so it can be compared entry-by-entry with the flat
+PageRank baseline (:func:`flat_pagerank_ranking`).
+
+The correspondence with :mod:`repro.core` is direct: the DocGraph induces a
+:class:`~repro.core.lmm.LayeredMarkovModel` whose phases are the sites
+(:func:`lmm_from_docgraph`), and the pipeline is Approach 4 applied to that
+model — a fact the integration tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .._validation import normalize_distribution
+from ..exceptions import GraphStructureError, ValidationError
+from ..core.lmm import LayeredMarkovModel, Phase
+from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
+from ..linalg.stochastic import transition_matrix
+from ..markov.irreducibility import DEFAULT_DAMPING
+from ..pagerank.pagerank import pagerank
+from .docgraph import DocGraph
+from .docrank import LocalDocRank, all_local_docranks
+from .sitegraph import SiteGraph, aggregate_sitegraph
+from .siterank import SiteRankResult, siterank
+
+
+@dataclass
+class WebRankingResult:
+    """A global ranking over all documents of a DocGraph.
+
+    Attributes
+    ----------
+    doc_ids:
+        Document ids in score order position (i.e. ``scores[i]`` is the
+        score of document ``doc_ids[i]``); for the layered method this is
+        site-major order, for the flat baseline it is plain id order.
+    urls:
+        URLs aligned with *doc_ids*.
+    scores:
+        The global ranking distribution.
+    method:
+        ``"layered"`` or ``"pagerank"`` (or a personalised variant).
+    siterank:
+        The SiteRank used (layered method only).
+    local_docranks:
+        The per-site local DocRanks (layered method only).
+    iterations:
+        Total power iterations: for the layered method the sum over sites
+        plus the SiteRank iterations, for the flat baseline the global run.
+    """
+
+    doc_ids: List[int]
+    urls: List[str]
+    scores: np.ndarray
+    method: str
+    siterank: Optional[SiteRankResult] = None
+    local_docranks: Optional[Dict[str, LocalDocRank]] = None
+    iterations: int = 0
+    _position: Dict[int, int] = field(init=False, repr=False,
+                                      default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (len(self.doc_ids) == len(self.urls) == self.scores.size):
+            raise ValidationError("doc_ids, urls and scores must align")
+        self._position = {doc_id: i for i, doc_id in enumerate(self.doc_ids)}
+
+    @property
+    def n_documents(self) -> int:
+        """Number of ranked documents."""
+        return len(self.doc_ids)
+
+    def score_of(self, doc_id: int) -> float:
+        """Global score of a document id."""
+        try:
+            return float(self.scores[self._position[doc_id]])
+        except KeyError:
+            raise ValidationError(f"unknown document id {doc_id}") from None
+
+    def scores_by_doc_id(self) -> np.ndarray:
+        """Scores re-indexed by document id (position ``i`` = document ``i``)."""
+        n = max(self.doc_ids) + 1 if self.doc_ids else 0
+        vector = np.zeros(n, dtype=float)
+        for position, doc_id in enumerate(self.doc_ids):
+            vector[doc_id] = self.scores[position]
+        return vector
+
+    def top_k(self, k: int) -> List[int]:
+        """The ``k`` best document ids, best first."""
+        order = np.lexsort((np.arange(self.scores.size), -self.scores))
+        return [self.doc_ids[int(i)] for i in order[:k]]
+
+    def top_k_urls(self, k: int) -> List[str]:
+        """The ``k`` best document URLs, best first — the paper's Figure 3/4 lists."""
+        order = np.lexsort((np.arange(self.scores.size), -self.scores))
+        return [self.urls[int(i)] for i in order[:k]]
+
+
+def layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
+                    site_damping: Optional[float] = None,
+                    site_preference: Optional[np.ndarray] = None,
+                    document_preferences: Optional[Dict[str, np.ndarray]] = None,
+                    include_site_self_links: bool = False,
+                    tol: float = DEFAULT_TOL,
+                    max_iter: int = DEFAULT_MAX_ITER) -> WebRankingResult:
+    """Run the full 5-step Layered Method for DocRank on a DocGraph.
+
+    Parameters
+    ----------
+    damping:
+        Damping factor of the per-site local DocRanks (the ``α`` of the
+        gatekeeper construction).
+    site_damping:
+        Damping factor of the SiteRank computation (defaults to *damping*).
+    site_preference:
+        Optional site-layer personalisation distribution (over sites in
+        DocGraph site order).
+    document_preferences:
+        Optional per-site document-layer personalisation vectors.
+    include_site_self_links:
+        Whether intra-site links count in the SiteGraph aggregation (see
+        :func:`repro.web.sitegraph.aggregate_sitegraph`).
+    """
+    if docgraph.n_documents == 0:
+        raise GraphStructureError("cannot rank an empty DocGraph")
+    if site_damping is None:
+        site_damping = damping
+
+    # Step 2: aggregate the SiteGraph.
+    sitegraph = aggregate_sitegraph(docgraph,
+                                    include_self_links=include_site_self_links)
+    # Step 3: local DocRanks (decentralisable).
+    local = all_local_docranks(docgraph, damping,
+                               preferences=document_preferences, tol=tol,
+                               max_iter=max_iter)
+    # Step 4: SiteRank.
+    site_result = siterank(sitegraph, site_damping,
+                           preference=site_preference, tol=tol,
+                           max_iter=max_iter)
+    # Step 5: weighted concatenation.
+    doc_ids: List[int] = []
+    scores_blocks: List[np.ndarray] = []
+    for site in sitegraph.sites:
+        local_rank = local[site]
+        doc_ids.extend(local_rank.doc_ids)
+        scores_blocks.append(site_result.score_of(site) * local_rank.scores)
+    scores = np.concatenate(scores_blocks)
+    # The composition is a probability distribution by Theorem 1; renormalise
+    # only to absorb floating point drift.
+    scores = normalize_distribution(scores, name="layered DocRank")
+
+    urls = [docgraph.document(doc_id).url for doc_id in doc_ids]
+    total_iterations = site_result.iterations + sum(
+        rank.iterations for rank in local.values())
+    method = "layered"
+    if site_preference is not None or document_preferences:
+        method = "layered-personalized"
+    return WebRankingResult(doc_ids=doc_ids, urls=urls, scores=scores,
+                            method=method, siterank=site_result,
+                            local_docranks=local,
+                            iterations=total_iterations)
+
+
+def flat_pagerank_ranking(docgraph: DocGraph,
+                          damping: float = DEFAULT_DAMPING, *,
+                          preference: Optional[np.ndarray] = None,
+                          tol: float = DEFAULT_TOL,
+                          max_iter: int = DEFAULT_MAX_ITER) -> WebRankingResult:
+    """The flat (classical PageRank) baseline over the same DocGraph.
+
+    This is the ranking the paper's Figure 3 reports and that Figure 4's
+    layered ranking is compared against.
+    """
+    if docgraph.n_documents == 0:
+        raise GraphStructureError("cannot rank an empty DocGraph")
+    result = pagerank(docgraph.adjacency(), damping=damping,
+                      preference=preference, tol=tol, max_iter=max_iter)
+    doc_ids = list(range(docgraph.n_documents))
+    urls = [docgraph.document(doc_id).url for doc_id in doc_ids]
+    return WebRankingResult(doc_ids=doc_ids, urls=urls, scores=result.scores,
+                            method="pagerank", iterations=result.iterations)
+
+
+def lmm_from_docgraph(docgraph: DocGraph, *,
+                      include_site_self_links: bool = False,
+                      site_damping: float = DEFAULT_DAMPING,
+                      ) -> LayeredMarkovModel:
+    """Build the :class:`LayeredMarkovModel` induced by a DocGraph.
+
+    Phases are the web sites; each phase's sub-state transition matrix is the
+    row-normalised local link matrix (dangling pages jump uniformly within
+    the site); the phase transition matrix is the *primitive* transition
+    matrix ``M̂(G_S)`` of the SiteGraph, which is what Theorem 2 requires.
+
+    The integration tests use this to check that
+    :func:`layered_docrank` coincides with
+    :func:`repro.core.layered_method.approach_4` on the induced model.
+    """
+    from ..markov.irreducibility import maximal_irreducibility
+
+    sitegraph = aggregate_sitegraph(docgraph,
+                                    include_self_links=include_site_self_links)
+    site_transition = transition_matrix(sitegraph.adjacency,
+                                        dangling="uniform")
+    primitive_site_matrix = maximal_irreducibility(site_transition,
+                                                   site_damping)
+    phases = []
+    for site in sitegraph.sites:
+        local_adjacency, doc_ids = docgraph.local_adjacency(site)
+        local_transition = transition_matrix(local_adjacency,
+                                             dangling="uniform")
+        dense = (local_transition.toarray()
+                 if hasattr(local_transition, "toarray")
+                 else np.asarray(local_transition, dtype=float))
+        phases.append(Phase(name=site, transition=dense,
+                            sub_state_names=[docgraph.document(d).url
+                                             for d in doc_ids]))
+    return LayeredMarkovModel(phases=phases,
+                              phase_transition=primitive_site_matrix)

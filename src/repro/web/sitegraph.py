@@ -1,0 +1,142 @@
+"""The SiteGraph: the web graph aggregated at web-site granularity.
+
+Section 3.1 of the paper: "When the SiteGraph is created, to count the number
+of SiteLinks between two sites, we add the number of outgoing edges from any
+node in the first site to any node in the second site."  This module performs
+exactly that aggregation and is careful about the one design decision the
+paper highlights against BlockRank: **only link counts are used**, never the
+local PageRank values, so the SiteGraph can be built (and SiteRank computed)
+before, after, or in parallel with the per-site DocRanks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import GraphStructureError, ValidationError
+from ..linalg.sparse_utils import coo_from_edges
+from .docgraph import DocGraph
+
+
+@dataclass
+class SiteGraph:
+    """The site-level graph ``G_S(V_S, E_S)``.
+
+    Attributes
+    ----------
+    sites:
+        Site identifiers in index order.
+    adjacency:
+        ``N_S x N_S`` sparse matrix; entry ``(I, J)`` is the number of
+        SiteLinks (document-level links) from site ``I`` to site ``J``.
+    site_sizes:
+        Number of documents of each site, aligned with *sites*.
+    include_self_links:
+        Whether intra-site document links were counted on the diagonal.
+    """
+
+    sites: List[str]
+    adjacency: sp.csr_matrix
+    site_sizes: List[int]
+    include_self_links: bool = False
+
+    def __post_init__(self) -> None:
+        if self.adjacency.shape != (len(self.sites), len(self.sites)):
+            raise ValidationError(
+                "SiteGraph adjacency shape does not match the site list")
+        if len(self.site_sizes) != len(self.sites):
+            raise ValidationError(
+                "site_sizes must align with the site list")
+
+    @property
+    def n_sites(self) -> int:
+        """Number of web sites ``N_S``."""
+        return len(self.sites)
+
+    @property
+    def n_sitelinks(self) -> int:
+        """Total number of SiteLinks (sum of all inter-site link counts)."""
+        return int(self.adjacency.sum())
+
+    def site_index(self, site: str) -> int:
+        """Index of a site identifier."""
+        try:
+            return self.sites.index(site)
+        except ValueError:
+            raise GraphStructureError(f"unknown site {site!r}") from None
+
+    def sitelink_count(self, source: str, target: str) -> int:
+        """Number of SiteLinks from *source* to *target*."""
+        i, j = self.site_index(source), self.site_index(target)
+        return int(self.adjacency[i, j])
+
+    def to_networkx(self):
+        """Export to a weighted :class:`networkx.DiGraph`."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for site, size in zip(self.sites, self.site_sizes):
+            graph.add_node(site, size=size)
+        coo = self.adjacency.tocoo()
+        for i, j, weight in zip(coo.row, coo.col, coo.data):
+            graph.add_edge(self.sites[int(i)], self.sites[int(j)],
+                           weight=float(weight))
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SiteGraph(n_sites={self.n_sites}, "
+                f"n_sitelinks={self.n_sitelinks})")
+
+
+def aggregate_sitegraph(docgraph: DocGraph, *,
+                        include_self_links: bool = False,
+                        site_order: Optional[List[str]] = None) -> SiteGraph:
+    """Aggregate a :class:`DocGraph` into its :class:`SiteGraph`.
+
+    Parameters
+    ----------
+    docgraph:
+        The document-level graph.
+    include_self_links:
+        Whether intra-site DocLinks contribute to the SiteGraph's diagonal.
+        The paper's SiteGraph concerns transitions *between* sites, so the
+        default drops them; keeping them (``True``) makes the site-level
+        random walk favour sites with dense internal structure, a variant
+        exercised by the ablation tests.
+    site_order:
+        Optional explicit ordering of the site identifiers (useful to align
+        several aggregations); defaults to the DocGraph's first-seen order.
+    """
+    if docgraph.n_documents == 0:
+        raise GraphStructureError("cannot aggregate an empty DocGraph")
+    if site_order is None:
+        sites = docgraph.sites()
+    else:
+        sites = list(site_order)
+        missing = set(docgraph.sites()) - set(sites)
+        if missing:
+            raise GraphStructureError(
+                f"site_order is missing sites: {sorted(missing)!r}")
+    index_of_site: Dict[str, int] = {site: i for i, site in enumerate(sites)}
+
+    site_of_doc = np.empty(docgraph.n_documents, dtype=np.int64)
+    for document in docgraph.documents():
+        site_of_doc[document.doc_id] = index_of_site[document.site]
+
+    site_edges: List[Tuple[int, int]] = []
+    for source, target in docgraph.edges():
+        source_site = int(site_of_doc[source])
+        target_site = int(site_of_doc[target])
+        if source_site == target_site and not include_self_links:
+            continue
+        site_edges.append((source_site, target_site))
+
+    adjacency = coo_from_edges(site_edges, len(sites))
+    sizes_by_site = docgraph.site_sizes()
+    site_sizes = [sizes_by_site[site] for site in sites]
+    return SiteGraph(sites=sites, adjacency=adjacency, site_sizes=site_sizes,
+                     include_self_links=include_self_links)

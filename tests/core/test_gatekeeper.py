@@ -1,0 +1,104 @@
+"""Tests for repro.core.gatekeeper."""
+
+import numpy as np
+import pytest
+
+from repro.core import Phase, augment_with_gatekeeper, gatekeeper_vector, gatekeeper_vectors
+from repro.exceptions import ValidationError
+from repro.linalg import is_primitive, is_row_stochastic
+
+
+def reducible_phase():
+    # Two disconnected sub-chains: without the gatekeeper this phase's
+    # matrix is reducible, which is exactly the situation the construction
+    # must handle.
+    return Phase(name="reducible", transition=np.array([
+        [0.5, 0.5, 0.0, 0.0],
+        [0.5, 0.5, 0.0, 0.0],
+        [0.0, 0.0, 0.3, 0.7],
+        [0.0, 0.0, 0.6, 0.4],
+    ]))
+
+
+class TestAugmentWithGatekeeper:
+    def test_augmented_shape(self):
+        augmented = augment_with_gatekeeper(reducible_phase(), alpha=0.85)
+        assert augmented.shape == (5, 5)
+
+    def test_augmented_matrix_is_markovian_and_primitive(self):
+        augmented = augment_with_gatekeeper(reducible_phase(), alpha=0.85)
+        assert is_row_stochastic(augmented)
+        assert is_primitive(augmented)
+
+    def test_gatekeeper_connects_to_every_sub_state(self):
+        """Definition 2: the gatekeeper connects to every other sub-state and
+        every other sub-state connects to it."""
+        augmented = augment_with_gatekeeper(reducible_phase(), alpha=0.85)
+        assert np.all(augmented[-1, :-1] > 0)   # gatekeeper -> sub-states
+        assert np.all(augmented[:-1, -1] > 0)   # sub-states -> gatekeeper
+
+    def test_gatekeeper_row_uses_phase_initial(self):
+        phase = Phase(name="p", transition=np.array([[0.5, 0.5], [0.4, 0.6]]),
+                      initial=np.array([0.9, 0.1]))
+        augmented = augment_with_gatekeeper(phase, alpha=0.7)
+        assert np.allclose(augmented[-1, :-1], [0.9, 0.1])
+
+    def test_alpha_scales_original_block(self):
+        phase = Phase(name="p", transition=np.array([[0.5, 0.5], [0.4, 0.6]]))
+        augmented = augment_with_gatekeeper(phase, alpha=0.6)
+        assert np.allclose(augmented[:2, :2], 0.6 * phase.transition)
+        assert np.allclose(augmented[:2, 2], 0.4)
+
+
+class TestGatekeeperVector:
+    def test_sums_to_one_and_positive(self):
+        vector, iterations = gatekeeper_vector(reducible_phase(), 0.85)
+        assert vector.sum() == pytest.approx(1.0)
+        assert vector.min() > 0.0
+        assert iterations >= 1
+
+    def test_minimal_and_maximal_methods_agree(self):
+        phase = reducible_phase()
+        maximal, _ = gatekeeper_vector(phase, 0.85, method="maximal",
+                                       tol=1e-13)
+        minimal, _ = gatekeeper_vector(phase, 0.85, method="minimal",
+                                       tol=1e-13)
+        assert np.allclose(maximal, minimal, atol=1e-7)
+
+    def test_paper_values_phase_2(self, paper_lmm):
+        vector, _ = gatekeeper_vector(paper_lmm.phases[1], 0.85)
+        assert np.allclose(np.round(vector, 4), [0.1191, 0.2691, 0.6117])
+
+    def test_unknown_method_rejected(self, paper_lmm):
+        with pytest.raises(ValidationError):
+            gatekeeper_vector(paper_lmm.phases[0], 0.85, method="other")
+
+    def test_alpha_one_is_rejected_by_minimal_method(self, paper_lmm):
+        with pytest.raises(ValidationError):
+            gatekeeper_vector(paper_lmm.phases[0], 1.0, method="minimal")
+
+    def test_single_sub_state_phase(self):
+        phase = Phase(name="solo", transition=np.array([[1.0]]))
+        vector, _ = gatekeeper_vector(phase, 0.85)
+        assert vector.size == 1
+        assert vector[0] == pytest.approx(1.0)
+
+
+class TestGatekeeperVectors:
+    def test_one_vector_per_phase(self, paper_lmm):
+        gatekeepers = gatekeeper_vectors(paper_lmm, 0.85)
+        assert len(gatekeepers) == 3
+        assert [v.size for v in gatekeepers.vectors] == [4, 3, 5]
+        assert len(gatekeepers.iterations) == 3
+
+    def test_indexing_and_concatenation(self, paper_lmm):
+        gatekeepers = gatekeeper_vectors(paper_lmm, 0.85)
+        concatenated = gatekeepers.concatenated()
+        assert concatenated.size == 12
+        assert np.allclose(concatenated[:4], gatekeepers[0])
+        assert concatenated.sum() == pytest.approx(3.0)  # one per phase
+
+    def test_records_method_and_alpha(self, paper_lmm):
+        gatekeepers = gatekeeper_vectors(paper_lmm, 0.7, method="minimal")
+        assert gatekeepers.method == "minimal"
+        assert gatekeepers.alpha == pytest.approx(0.7)

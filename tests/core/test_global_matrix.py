@@ -1,0 +1,136 @@
+"""Tests for repro.core.global_matrix (W construction, Approaches 1 & 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LayeredMarkovModel,
+    Phase,
+    approach_1,
+    approach_2,
+    build_global_matrix,
+    gatekeeper_vectors,
+)
+from repro.exceptions import ReducibleMatrixError, ValidationError
+from repro.linalg import is_primitive, is_row_stochastic
+
+
+class TestBuildGlobalMatrix:
+    def test_shape_is_total_state_count(self, paper_lmm):
+        w, _ = build_global_matrix(paper_lmm, 0.85)
+        assert w.shape == (12, 12)
+
+    def test_lemma_1_row_stochastic(self, paper_lmm):
+        w, _ = build_global_matrix(paper_lmm, 0.85)
+        assert is_row_stochastic(w)
+
+    def test_lemma_2_primitive(self, paper_lmm):
+        w, _ = build_global_matrix(paper_lmm, 0.85)
+        assert is_primitive(w)
+
+    def test_equation_3_entries(self, paper_lmm):
+        """Spot-check Equation 3 with the paper's own worked entry:
+        w_(3,5)(2,3) = y_32 * u^2_G3 = 0.5 * 0.6117 = 0.3059."""
+        w, gatekeepers = build_global_matrix(paper_lmm, 0.85)
+        source = paper_lmm.global_index(2, 4)   # state 12 = (3,5) 1-based
+        target = paper_lmm.global_index(1, 2)   # state 7 = (2,3) 1-based
+        expected = 0.5 * gatekeepers[1][2]
+        assert w[source, target] == pytest.approx(expected)
+        assert round(w[source, target], 4) == pytest.approx(0.3059)
+
+    def test_rows_of_same_source_phase_are_identical(self, paper_lmm):
+        """Equation 3 does not depend on the source sub-state i, so all rows
+        belonging to one source phase are equal — the paper points this out
+        explicitly."""
+        w, _ = build_global_matrix(paper_lmm, 0.85)
+        slices = paper_lmm.phase_slices()
+        for phase_slice in slices:
+            block = w[phase_slice, :]
+            assert np.allclose(block, block[0])
+
+    def test_reuses_supplied_gatekeepers(self, paper_lmm):
+        gatekeepers = gatekeeper_vectors(paper_lmm, 0.85)
+        w1, returned = build_global_matrix(paper_lmm, 0.85,
+                                           gatekeepers=gatekeepers)
+        assert returned is gatekeepers
+        w2, _ = build_global_matrix(paper_lmm, 0.85)
+        assert np.allclose(w1, w2)
+
+    def test_rejects_mismatched_gatekeepers(self, paper_lmm):
+        from repro.core.gatekeeper import GatekeeperVectors
+
+        bad = GatekeeperVectors(vectors=[np.array([1.0])], method="maximal",
+                                alpha=0.85, iterations=[1])
+        with pytest.raises(ValidationError):
+            build_global_matrix(paper_lmm, 0.85, gatekeepers=bad)
+
+
+class TestApproach1:
+    def test_scores_form_distribution(self, paper_lmm):
+        result = approach_1(paper_lmm, 0.85)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.scores.min() > 0.0
+
+    def test_labels_align_with_states(self, paper_lmm):
+        result = approach_1(paper_lmm, 0.85)
+        assert result.states[6] == (1, 2)
+        assert result.labels[6] == ("II", 2)
+
+    def test_score_lookup(self, paper_lmm):
+        result = approach_1(paper_lmm, 0.85)
+        assert result.score_of(1, 2) == pytest.approx(result.scores[6])
+        with pytest.raises(ValidationError):
+            result.score_of(5, 0)
+
+    def test_iterations_recorded(self, paper_lmm):
+        result = approach_1(paper_lmm, 0.85)
+        assert result.iterations > 0
+        assert len(result.local_iterations) == 3
+
+
+class TestApproach2:
+    def test_scores_form_distribution(self, paper_lmm):
+        result = approach_2(paper_lmm, 0.85)
+        assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_requires_primitive_phase_matrix(self):
+        periodic = LayeredMarkovModel(
+            phases=[Phase(name="A", transition=np.eye(1)),
+                    Phase(name="B", transition=np.eye(1))],
+            phase_transition=np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ReducibleMatrixError):
+            approach_2(periodic, 0.85)
+
+    def test_non_primitive_allowed_when_not_required(self):
+        periodic = LayeredMarkovModel(
+            phases=[Phase(name="A", transition=np.eye(1)),
+                    Phase(name="B", transition=np.eye(1))],
+            phase_transition=np.array([[0.2, 0.8], [0.8, 0.2]]))
+        result = approach_2(periodic, 0.85, require_primitive=False)
+        assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_differs_from_approach_1_in_values_not_order(self, paper_lmm):
+        """The paper: 'apart from minor differences in the absolute values,
+        the two results rank all system states in an identical order'."""
+        a1 = approach_1(paper_lmm, 0.85)
+        a2 = approach_2(paper_lmm, 0.85)
+        assert not np.allclose(a1.scores, a2.scores)
+        assert np.array_equal(a1.rank_positions(), a2.rank_positions())
+
+
+class TestGlobalRankingResultHelpers:
+    def test_rank_positions_are_a_permutation(self, paper_lmm):
+        result = approach_2(paper_lmm, 0.85)
+        positions = result.rank_positions()
+        assert sorted(positions.tolist()) == list(range(1, 13))
+
+    def test_top_k_labels(self, paper_lmm):
+        result = approach_2(paper_lmm, 0.85)
+        top3 = result.top_k(3)
+        assert len(top3) == 3
+        assert top3[0] == ("II", 2)
+
+    def test_ranking_descending(self, paper_lmm):
+        result = approach_2(paper_lmm, 0.85)
+        ordered_scores = result.scores[result.ranking()]
+        assert np.all(np.diff(ordered_scores) <= 1e-15)

@@ -1,0 +1,120 @@
+"""Tests for repro.core.layered_method (Approaches 3 & 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LayeredMarkovModel,
+    Phase,
+    all_approaches,
+    approach_2,
+    approach_3,
+    approach_4,
+    gatekeeper_vectors,
+    layered_ranking,
+)
+from repro.exceptions import ReducibleMatrixError
+from repro.metrics import kendall_tau, same_order
+
+
+class TestApproach3:
+    def test_scores_form_distribution(self, paper_lmm):
+        result = approach_3(paper_lmm, 0.85)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.scores.min() > 0.0
+
+    def test_phase_weights_are_pagerank_of_y(self, paper_lmm):
+        result = approach_3(paper_lmm, 0.85)
+        assert np.allclose(np.round(result.phase_scores, 4),
+                           [0.2315, 0.4015, 0.3670])
+
+    def test_score_factorisation(self, paper_lmm):
+        result = approach_3(paper_lmm, 0.85)
+        for (phase, sub_state), score in zip(result.states, result.scores):
+            expected = (result.phase_scores[phase]
+                        * result.local_scores[phase][sub_state])
+            assert score == pytest.approx(expected)
+
+    def test_never_builds_global_matrix(self, paper_lmm):
+        result = approach_3(paper_lmm, 0.85)
+        assert result.iterations == 0  # no global power iterations
+
+    def test_reuses_precomputed_gatekeepers(self, paper_lmm):
+        gatekeepers = gatekeeper_vectors(paper_lmm, 0.85)
+        a = approach_3(paper_lmm, 0.85, gatekeepers=gatekeepers)
+        b = approach_3(paper_lmm, 0.85)
+        assert np.allclose(a.scores, b.scores)
+
+    def test_works_for_non_primitive_phase_matrix(self):
+        periodic = LayeredMarkovModel(
+            phases=[Phase(name="A", transition=np.eye(1)),
+                    Phase(name="B", transition=np.eye(1))],
+            phase_transition=np.array([[0.0, 1.0], [1.0, 0.0]]))
+        result = approach_3(periodic, 0.85)
+        assert result.scores.sum() == pytest.approx(1.0)
+
+
+class TestApproach4:
+    def test_scores_form_distribution(self, paper_lmm):
+        result = approach_4(paper_lmm, 0.85)
+        assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_phase_weights_are_stationary_distribution_of_y(self, paper_lmm):
+        result = approach_4(paper_lmm, 0.85)
+        assert np.allclose(np.round(result.phase_scores, 4),
+                           [0.2154, 0.4154, 0.3692])
+
+    def test_layered_ranking_alias(self, paper_lmm):
+        assert np.allclose(layered_ranking(paper_lmm, 0.85).scores,
+                           approach_4(paper_lmm, 0.85).scores)
+
+    def test_corollary_1_equivalence_with_approach_2(self, paper_lmm):
+        decentralized = approach_4(paper_lmm, 0.85)
+        centralized = approach_2(paper_lmm, 0.85)
+        assert np.allclose(decentralized.scores, centralized.scores,
+                           atol=1e-8)
+
+    def test_requires_primitive_phase_matrix(self):
+        periodic = LayeredMarkovModel(
+            phases=[Phase(name="A", transition=np.eye(1)),
+                    Phase(name="B", transition=np.eye(1))],
+            phase_transition=np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ReducibleMatrixError):
+            approach_4(periodic, 0.85)
+
+    def test_phase_iterations_recorded(self, paper_lmm):
+        result = approach_4(paper_lmm, 0.85)
+        assert result.phase_iterations > 0
+        assert len(result.local_iterations) == 3
+
+    def test_score_within_phase_accessor(self, paper_lmm):
+        result = approach_4(paper_lmm, 0.85)
+        assert result.score_within_phase(1).size == 3
+
+
+class TestApproachRelationships:
+    def test_approach_3_and_4_differ_in_values(self, paper_lmm):
+        a3 = approach_3(paper_lmm, 0.85)
+        a4 = approach_4(paper_lmm, 0.85)
+        assert not np.allclose(a3.scores, a4.scores)
+
+    def test_approach_3_and_4_strongly_correlated(self, paper_lmm):
+        a3 = approach_3(paper_lmm, 0.85)
+        a4 = approach_4(paper_lmm, 0.85)
+        assert kendall_tau(a3.scores, a4.scores) > 0.9
+
+    def test_all_approaches_returns_four_results(self, paper_lmm):
+        results = all_approaches(paper_lmm, 0.85)
+        assert set(results) == {"approach-1", "approach-2", "approach-3",
+                                "approach-4"}
+        for result in results.values():
+            assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_centralized_and_decentralized_orderings_agree(self, paper_lmm):
+        """On the paper's example all four approaches produce very similar
+        orderings; 1, 2 and 4 in particular are identical."""
+        results = all_approaches(paper_lmm, 0.85)
+        assert same_order(results["approach-1"].scores,
+                          results["approach-2"].scores)
+        assert same_order(results["approach-2"].scores,
+                          results["approach-4"].scores)

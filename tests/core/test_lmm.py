@@ -1,0 +1,178 @@
+"""Tests for repro.core.lmm (the model containers)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LayeredMarkovModel, Phase, example_lmm, random_lmm
+from repro.exceptions import DimensionMismatchError, ValidationError
+
+
+def two_phase_model():
+    return LayeredMarkovModel(
+        phases=[
+            Phase(name="A", transition=np.array([[0.5, 0.5], [0.2, 0.8]])),
+            Phase(name="B", transition=np.array([[1.0]])),
+        ],
+        phase_transition=np.array([[0.6, 0.4], [0.3, 0.7]]),
+    )
+
+
+class TestPhase:
+    def test_defaults_uniform_initial(self):
+        phase = Phase(name="A", transition=np.array([[0.5, 0.5], [0.1, 0.9]]))
+        assert np.allclose(phase.initial, [0.5, 0.5])
+
+    def test_explicit_initial(self):
+        phase = Phase(name="A", transition=np.array([[0.5, 0.5], [0.1, 0.9]]),
+                      initial=np.array([0.9, 0.1]))
+        assert phase.initial[0] == pytest.approx(0.9)
+
+    def test_n_sub_states(self):
+        assert Phase(name="A", transition=np.eye(3)).n_sub_states == 3
+
+    def test_sub_state_labels(self):
+        phase = Phase(name="A", transition=np.eye(2),
+                      sub_state_names=["x", "y"])
+        assert phase.sub_state_label(1) == "y"
+
+    def test_default_labels_are_indices(self):
+        phase = Phase(name="A", transition=np.eye(2))
+        assert phase.sub_state_label(0) == 0
+
+    def test_rejects_non_stochastic_transition(self):
+        with pytest.raises(ValidationError):
+            Phase(name="A", transition=np.array([[0.5, 0.6], [0.1, 0.9]]))
+
+    def test_rejects_bad_initial_length(self):
+        with pytest.raises(DimensionMismatchError):
+            Phase(name="A", transition=np.eye(2), initial=np.array([1.0]))
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(DimensionMismatchError):
+            Phase(name="A", transition=np.eye(2), sub_state_names=["only"])
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ValidationError):
+            Phase(name="A", transition=np.eye(2), sub_state_names=["x", "x"])
+
+
+class TestLayeredMarkovModel:
+    def test_counts(self):
+        model = two_phase_model()
+        assert model.n_phases == 2
+        assert model.sub_state_counts == [2, 1]
+        assert model.n_global_states == 3
+
+    def test_phase_index_lookup(self):
+        model = two_phase_model()
+        assert model.phase_index("B") == 1
+        with pytest.raises(ValidationError):
+            model.phase_index("C")
+
+    def test_global_states_enumeration(self):
+        model = two_phase_model()
+        assert model.global_states() == [(0, 0), (0, 1), (1, 0)]
+
+    def test_global_state_labels(self):
+        model = two_phase_model()
+        assert model.global_state_labels() == [("A", 0), ("A", 1), ("B", 0)]
+
+    def test_global_index_round_trip(self):
+        model = two_phase_model()
+        for flat, state in enumerate(model.global_states()):
+            assert model.global_index(*state) == flat
+            assert model.state_of_global_index(flat) == state
+
+    def test_global_index_bounds(self):
+        model = two_phase_model()
+        with pytest.raises(ValidationError):
+            model.global_index(2, 0)
+        with pytest.raises(ValidationError):
+            model.global_index(0, 5)
+        with pytest.raises(ValidationError):
+            model.state_of_global_index(3)
+
+    def test_phase_slices(self):
+        model = two_phase_model()
+        slices = model.phase_slices()
+        assert slices[0] == slice(0, 2)
+        assert slices[1] == slice(2, 3)
+
+    def test_default_phase_initial_uniform(self):
+        model = two_phase_model()
+        assert np.allclose(model.phase_initial, [0.5, 0.5])
+
+    def test_rejects_empty_phase_list(self):
+        with pytest.raises(ValidationError):
+            LayeredMarkovModel(phases=[], phase_transition=np.eye(1))
+
+    def test_rejects_mismatched_phase_matrix(self):
+        with pytest.raises(DimensionMismatchError):
+            LayeredMarkovModel(
+                phases=[Phase(name="A", transition=np.eye(2))],
+                phase_transition=np.eye(2))
+
+    def test_rejects_non_stochastic_phase_matrix(self):
+        with pytest.raises(ValidationError):
+            LayeredMarkovModel(
+                phases=[Phase(name="A", transition=np.eye(1)),
+                        Phase(name="B", transition=np.eye(1))],
+                phase_transition=np.array([[0.5, 0.6], [0.5, 0.5]]))
+
+    def test_rejects_duplicate_phase_names(self):
+        with pytest.raises(ValidationError):
+            LayeredMarkovModel(
+                phases=[Phase(name="A", transition=np.eye(1)),
+                        Phase(name="A", transition=np.eye(1))],
+                phase_transition=np.array([[0.5, 0.5], [0.5, 0.5]]))
+
+    def test_rejects_bad_phase_initial(self):
+        with pytest.raises(DimensionMismatchError):
+            LayeredMarkovModel(
+                phases=[Phase(name="A", transition=np.eye(1)),
+                        Phase(name="B", transition=np.eye(1))],
+                phase_transition=np.array([[0.5, 0.5], [0.5, 0.5]]),
+                phase_initial=np.array([1.0]))
+
+
+class TestExampleLMM:
+    def test_shape_matches_paper(self, paper_lmm):
+        assert paper_lmm.n_phases == 3
+        assert paper_lmm.sub_state_counts == [4, 3, 5]
+        assert paper_lmm.n_global_states == 12
+
+    def test_matrices_are_the_printed_ones(self, paper_lmm):
+        assert paper_lmm.phase_transition[0, 2] == pytest.approx(0.6)
+        assert paper_lmm.phases[0].transition[1, 0] == pytest.approx(0.5)
+        assert paper_lmm.phases[1].transition[2, 2] == pytest.approx(0.9)
+        assert paper_lmm.phases[2].transition[0, 0] == pytest.approx(0.6)
+
+    def test_fresh_instance_each_call(self):
+        a, b = example_lmm(), example_lmm()
+        assert a is not b
+        a.phase_transition[0, 0] = 0.99
+        assert b.phase_transition[0, 0] == pytest.approx(0.1)
+
+
+class TestRandomLMM:
+    def test_respects_requested_sizes(self, rng):
+        model = random_lmm(4, [2, 3, 1, 5], rng=rng)
+        assert model.sub_state_counts == [2, 3, 1, 5]
+
+    def test_random_sizes_within_bounds(self, rng):
+        model = random_lmm(6, rng=rng, max_sub_states=4)
+        assert all(1 <= count <= 4 for count in model.sub_state_counts)
+
+    def test_primitive_phase_matrix_by_default(self, rng):
+        from repro.linalg import is_primitive
+
+        model = random_lmm(5, rng=rng)
+        assert is_primitive(model.phase_transition)
+
+    def test_rejects_bad_phase_count(self, rng):
+        with pytest.raises(ValidationError):
+            random_lmm(0, rng=rng)
+
+    def test_rejects_mismatched_sizes(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            random_lmm(2, [3], rng=rng)

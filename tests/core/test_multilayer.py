@@ -1,0 +1,133 @@
+"""Tests for repro.core.multilayer (the >2-layer generalisation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HierarchicalLeaf,
+    HierarchicalNode,
+    approach_4,
+    build_three_layer_model,
+    example_lmm,
+    hierarchical_ranking,
+    lmm_to_hierarchical,
+)
+from repro.exceptions import DimensionMismatchError, ValidationError
+
+
+def small_leaf(name="leaf"):
+    return HierarchicalLeaf(name=name,
+                            transition=np.array([[0.5, 0.5], [0.3, 0.7]]))
+
+
+class TestContainers:
+    def test_leaf_counts(self):
+        leaf = small_leaf()
+        assert leaf.n_states == 2
+        assert leaf.n_atomic_states() == 2
+
+    def test_leaf_rejects_non_stochastic(self):
+        with pytest.raises(ValidationError):
+            HierarchicalLeaf(name="x", transition=np.array([[0.5, 0.6],
+                                                            [0.3, 0.7]]))
+
+    def test_leaf_rejects_wrong_name_count(self):
+        with pytest.raises(DimensionMismatchError):
+            HierarchicalLeaf(name="x", transition=np.eye(2),
+                             state_names=["only"])
+
+    def test_node_counts_and_depth(self):
+        node = HierarchicalNode(name="root",
+                                children=[small_leaf("a"), small_leaf("b")],
+                                transition=np.array([[0.5, 0.5], [0.5, 0.5]]))
+        assert node.n_atomic_states() == 4
+        assert node.depth == 2
+
+    def test_nested_depth(self):
+        inner = HierarchicalNode(name="inner",
+                                 children=[small_leaf("a"), small_leaf("b")],
+                                 transition=np.full((2, 2), 0.5))
+        root = HierarchicalNode(name="root", children=[inner, small_leaf("c")],
+                                transition=np.full((2, 2), 0.5))
+        assert root.depth == 3
+        assert root.n_atomic_states() == 6
+
+    def test_node_rejects_empty_children(self):
+        with pytest.raises(ValidationError):
+            HierarchicalNode(name="root", children=[], transition=np.eye(1))
+
+    def test_node_rejects_mismatched_transition(self):
+        with pytest.raises(DimensionMismatchError):
+            HierarchicalNode(name="root", children=[small_leaf()],
+                             transition=np.full((2, 2), 0.5))
+
+
+class TestHierarchicalRanking:
+    def test_two_layer_reduces_to_approach_4(self, paper_lmm):
+        hierarchical = lmm_to_hierarchical(paper_lmm)
+        result = hierarchical_ranking(hierarchical, 0.85)
+        baseline = approach_4(paper_lmm, 0.85)
+        assert np.allclose(result.scores, baseline.scores, atol=1e-8)
+
+    def test_paths_follow_canonical_order(self, paper_lmm):
+        hierarchical = lmm_to_hierarchical(paper_lmm)
+        result = hierarchical_ranking(hierarchical)
+        assert result.paths[0] == ("I", 0)
+        assert result.paths[-1] == ("III", 4)
+        assert len(result.paths) == 12
+
+    def test_leaf_only_model(self):
+        result = hierarchical_ranking(small_leaf())
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.paths == [(0,), (1,)]
+
+    def test_three_layer_model_is_distribution(self):
+        group_transition = np.array([[0.6, 0.4], [0.3, 0.7]])
+        site_transitions = [np.array([[0.5, 0.5], [0.2, 0.8]]),
+                            np.array([[1.0]])]
+        page_transitions = [
+            [np.array([[0.5, 0.5], [0.5, 0.5]]), np.eye(3) * 0 + 1.0 / 3],
+            [np.array([[0.9, 0.1], [0.4, 0.6]])],
+        ]
+        model = build_three_layer_model(group_transition, site_transitions,
+                                        page_transitions)
+        assert model.depth == 3
+        result = hierarchical_ranking(model, 0.85)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.scores.size == model.n_atomic_states()
+        assert result.scores.min() > 0.0
+
+    def test_three_layer_weights_multiply_down_the_tree(self):
+        """With deterministic (single-state) leaves the atomic weight is the
+        product of the layer weights along the path."""
+        group_transition = np.array([[0.5, 0.5], [0.5, 0.5]])
+        site_transitions = [np.full((2, 2), 0.5), np.full((2, 2), 0.5)]
+        page_transitions = [[np.eye(1), np.eye(1)], [np.eye(1), np.eye(1)]]
+        model = build_three_layer_model(group_transition, site_transitions,
+                                        page_transitions)
+        result = hierarchical_ranking(model, 0.85)
+        # Full symmetry: every atomic state has weight 1/4.
+        assert np.allclose(result.scores, 0.25)
+
+    def test_top_k_paths(self, paper_lmm):
+        result = hierarchical_ranking(lmm_to_hierarchical(paper_lmm), 0.85)
+        top = result.top_k(3)
+        assert top[0] == ("II", 2)
+        assert len(top) == 3
+
+    def test_use_stationary_false_uses_pagerank_weights(self, paper_lmm):
+        hierarchical = lmm_to_hierarchical(paper_lmm)
+        stationary = hierarchical_ranking(hierarchical, 0.85,
+                                          use_stationary=True)
+        pagerank_weighted = hierarchical_ranking(hierarchical, 0.85,
+                                                 use_stationary=False)
+        assert not np.allclose(stationary.scores, pagerank_weighted.scores)
+
+    def test_build_three_layer_validates_shapes(self):
+        with pytest.raises(DimensionMismatchError):
+            build_three_layer_model(np.full((2, 2), 0.5), [np.eye(1)],
+                                    [[np.eye(1)]])
+        with pytest.raises(DimensionMismatchError):
+            build_three_layer_model(np.full((2, 2), 0.5),
+                                    [np.eye(1), np.eye(1)],
+                                    [[np.eye(1)], [np.eye(1), np.eye(1)]])

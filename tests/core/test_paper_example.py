@@ -1,0 +1,112 @@
+"""Exact reproduction of every number printed in the paper's Section 2.3.
+
+These tests pin the library to the paper's worked example: the local
+PageRank (gatekeeper) vectors π1G/π2G/π3G, the phase vectors πY and π̃Y, the
+global vectors πW (Approach 1) and π̃W (Approach 2) of Figure 2 with their
+common ordering, and the Approach 3/4 values for state (2,3).  All values
+are compared at the 4-decimal precision the paper prints.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    all_approaches,
+    approach_3,
+    approach_4,
+    gatekeeper_vectors,
+)
+from repro.linalg import stationary_distribution
+from repro.pagerank import pagerank_from_stochastic
+
+#: Figure 2, middle vector (Approach 1, PageRank of W).
+PAPER_PI_W = [0.0682, 0.0547, 0.0596, 0.0499, 0.0545, 0.1073, 0.2281,
+              0.1562, 0.0452, 0.0760, 0.0474, 0.0530]
+#: Figure 2, right vector (Approach 2, stationary distribution of W).
+PAPER_PI_TILDE_W = [0.0658, 0.0498, 0.0556, 0.0442, 0.0495, 0.1118, 0.2541,
+                    0.1683, 0.0383, 0.0744, 0.0408, 0.0474]
+#: Figure 2, the (identical) ordering column of both vectors: the rank
+#: position of each global system state 1..12.
+PAPER_ORDER = [5, 7, 6, 10, 8, 3, 1, 2, 12, 4, 11, 9]
+
+PAPER_PI_1G = [0.3054, 0.2312, 0.2582, 0.2052]
+PAPER_PI_2G = [0.1191, 0.2691, 0.6117]
+PAPER_PI_3G = [0.4557, 0.1038, 0.2014, 0.1106, 0.1285]
+
+PAPER_PI_Y = [0.2315, 0.4015, 0.3670]
+PAPER_PI_TILDE_Y = [0.2154, 0.4154, 0.3692]
+
+
+@pytest.fixture(scope="module")
+def approaches():
+    from repro.core import example_lmm
+
+    return all_approaches(example_lmm(), 0.85)
+
+
+class TestLocalVectors:
+    def test_pi_1g(self, paper_lmm):
+        gatekeepers = gatekeeper_vectors(paper_lmm, 0.85)
+        assert np.allclose(np.round(gatekeepers[0], 4), PAPER_PI_1G)
+
+    def test_pi_2g(self, paper_lmm):
+        gatekeepers = gatekeeper_vectors(paper_lmm, 0.85)
+        assert np.allclose(np.round(gatekeepers[1], 4), PAPER_PI_2G)
+
+    def test_pi_3g(self, paper_lmm):
+        gatekeepers = gatekeeper_vectors(paper_lmm, 0.85)
+        assert np.allclose(np.round(gatekeepers[2], 4), PAPER_PI_3G)
+
+    def test_minimal_irreducibility_gives_the_same_vectors(self, paper_lmm):
+        gatekeepers = gatekeeper_vectors(paper_lmm, 0.85, method="minimal")
+        assert np.allclose(np.round(gatekeepers[0], 4), PAPER_PI_1G, atol=1e-3)
+        assert np.allclose(np.round(gatekeepers[1], 4), PAPER_PI_2G, atol=1e-3)
+        assert np.allclose(np.round(gatekeepers[2], 4), PAPER_PI_3G, atol=1e-3)
+
+
+class TestPhaseVectors:
+    def test_pagerank_of_y(self, paper_lmm):
+        result = pagerank_from_stochastic(paper_lmm.phase_transition, 0.85)
+        assert np.allclose(np.round(result.scores, 4), PAPER_PI_Y)
+
+    def test_stationary_distribution_of_y(self, paper_lmm):
+        result = stationary_distribution(paper_lmm.phase_transition)
+        assert np.allclose(np.round(result.vector, 4), PAPER_PI_TILDE_Y)
+
+
+class TestFigure2:
+    def test_approach_1_vector(self, approaches):
+        assert np.allclose(np.round(approaches["approach-1"].scores, 4),
+                           PAPER_PI_W, atol=2e-4)
+
+    def test_approach_2_vector(self, approaches):
+        assert np.allclose(np.round(approaches["approach-2"].scores, 4),
+                           PAPER_PI_TILDE_W, atol=2e-4)
+
+    def test_approach_1_ordering(self, approaches):
+        assert approaches["approach-1"].rank_positions().tolist() == PAPER_ORDER
+
+    def test_approach_2_ordering(self, approaches):
+        assert approaches["approach-2"].rank_positions().tolist() == PAPER_ORDER
+
+    def test_top_three_states_as_reported(self, approaches):
+        """'the top three (highly ranked) overall system states are number
+        7, 8 and 6, namely (2,3), (3,1) and (2,2)' — 1-based in the paper,
+        0-based here."""
+        top = approaches["approach-2"].top_k(3)
+        assert top == [("II", 2), ("III", 0), ("II", 1)]
+
+
+class TestDecentralizedWorkedValues:
+    def test_approach_3_value_for_state_2_3(self, paper_lmm):
+        result = approach_3(paper_lmm, 0.85)
+        assert round(result.score_of(1, 2), 4) == pytest.approx(0.2456)
+
+    def test_approach_4_value_for_state_2_3(self, paper_lmm):
+        result = approach_4(paper_lmm, 0.85)
+        assert round(result.score_of(1, 2), 4) == pytest.approx(0.2541)
+
+    def test_approach_4_equals_approach_2_on_state_2_3(self, approaches):
+        assert (approaches["approach-4"].score_of(1, 2)
+                == pytest.approx(approaches["approach-2"].score_of(1, 2),
+                                 abs=1e-8))

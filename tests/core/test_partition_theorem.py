@@ -1,0 +1,130 @@
+"""Tests for repro.core.partition_theorem — including the property-based
+verification of Theorem 2 on random Layered Markov Models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LayeredMarkovModel,
+    Phase,
+    approach_2,
+    approach_4,
+    check_lemma_1,
+    check_lemma_2,
+    check_theorem_1,
+    random_lmm,
+    verify_partition_theorem,
+)
+
+
+class TestIndividualChecks:
+    def test_lemma_1_on_paper_example(self, paper_lmm):
+        assert check_lemma_1(paper_lmm, 0.85)
+
+    def test_lemma_2_on_paper_example(self, paper_lmm):
+        assert check_lemma_2(paper_lmm, 0.85)
+
+    def test_theorem_1_on_paper_example(self, paper_lmm):
+        assert check_theorem_1(paper_lmm, 0.85)
+
+    def test_lemma_2_vacuous_for_non_primitive_y(self):
+        periodic = LayeredMarkovModel(
+            phases=[Phase(name="A", transition=np.eye(1)),
+                    Phase(name="B", transition=np.eye(1))],
+            phase_transition=np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert check_lemma_2(periodic, 0.85)
+
+    def test_theorem_1_holds_even_for_non_primitive_y(self):
+        """Theorem 1 only needs the factors to be distributions, so it holds
+        regardless of primitivity (Approach 3 flavour is always defined)."""
+        periodic = LayeredMarkovModel(
+            phases=[Phase(name="A", transition=np.eye(1)),
+                    Phase(name="B", transition=np.eye(1))],
+            phase_transition=np.array([[0.3, 0.7], [0.6, 0.4]]))
+        assert check_theorem_1(periodic, 0.85)
+
+
+class TestVerifyPartitionTheorem:
+    def test_full_report_on_paper_example(self, paper_lmm):
+        report = verify_partition_theorem(paper_lmm, 0.85)
+        assert report.holds
+        assert report.phase_matrix_primitive
+        assert report.w_row_stochastic
+        assert report.w_primitive
+        assert report.layered_is_distribution
+        assert report.fixed_point_residual < 1e-6
+        assert report.equivalence_residual < 1e-6
+
+    def test_report_on_random_models(self, rng):
+        for _ in range(5):
+            model = random_lmm(int(rng.integers(2, 6)), rng=rng)
+            report = verify_partition_theorem(model)
+            assert report.holds, (
+                f"Partition Theorem violated: fixed-point residual "
+                f"{report.fixed_point_residual}, equivalence residual "
+                f"{report.equivalence_residual}")
+
+    def test_non_primitive_phase_matrix_reported(self):
+        periodic = LayeredMarkovModel(
+            phases=[Phase(name="A", transition=np.eye(1)),
+                    Phase(name="B", transition=np.eye(1))],
+            phase_transition=np.array([[0.0, 1.0], [1.0, 0.0]]))
+        report = verify_partition_theorem(periodic)
+        assert not report.phase_matrix_primitive
+        assert report.w_row_stochastic
+        assert np.isnan(report.equivalence_residual)
+        # The layered output is still a distribution even then.
+        assert report.layered_is_distribution
+
+    def test_tolerance_is_respected(self, paper_lmm):
+        strict = verify_partition_theorem(paper_lmm, tolerance=1e-12,
+                                          tol=1e-14)
+        assert strict.tolerance == pytest.approx(1e-12)
+
+
+class TestPartitionTheoremProperties:
+    """Property-based verification of Theorem 2: for random LMMs with a
+    primitive phase matrix, the Layered Method equals the stationary
+    distribution of the induced global matrix W."""
+
+    @given(seed=st.integers(0, 100_000),
+           n_phases=st.integers(1, 6),
+           alpha=st.floats(0.3, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_theorem_2_equivalence(self, seed, n_phases, alpha):
+        model = random_lmm(n_phases, rng=np.random.default_rng(seed),
+                           max_sub_states=6)
+        decentralized = approach_4(model, alpha, tol=1e-12)
+        centralized = approach_2(model, alpha, tol=1e-12)
+        assert np.allclose(decentralized.scores, centralized.scores,
+                           atol=1e-6)
+
+    @given(seed=st.integers(0, 100_000), n_phases=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_layered_output_is_distribution(self, seed, n_phases):
+        model = random_lmm(n_phases, rng=np.random.default_rng(seed),
+                           max_sub_states=6)
+        result = approach_4(model, 0.85)
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)
+        assert result.scores.min() >= 0.0
+
+    @given(seed=st.integers(0, 100_000), n_phases=st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_full_verification_holds(self, seed, n_phases):
+        model = random_lmm(n_phases, rng=np.random.default_rng(seed),
+                           max_sub_states=5)
+        report = verify_partition_theorem(model, tolerance=1e-5)
+        assert report.holds
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_uneven_phase_sizes(self, seed):
+        """Degenerate shapes (single-sub-state phases next to large ones)
+        must not break the factorisation."""
+        rng = np.random.default_rng(seed)
+        model = random_lmm(3, sub_state_counts=[1, int(rng.integers(2, 9)), 1],
+                           rng=rng)
+        report = verify_partition_theorem(model, tolerance=1e-5)
+        assert report.holds

@@ -1,0 +1,131 @@
+"""Tests for repro.core.personalization."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PersonalizationProfile,
+    approach_4,
+    personalized_gatekeeper_vectors,
+    personalized_layered_ranking,
+    personalized_phase_weights,
+)
+from repro.exceptions import ValidationError
+
+
+class TestPersonalizationProfile:
+    def test_empty_profile_has_no_vectors(self, paper_lmm):
+        profile = PersonalizationProfile()
+        assert profile.phase_preference_vector(paper_lmm) is None
+        assert profile.sub_state_preference_vector(paper_lmm, 0) is None
+
+    def test_phase_preference_vector(self, paper_lmm):
+        profile = PersonalizationProfile(phase_preferences={"II": 3.0, "III": 1.0})
+        vector = profile.phase_preference_vector(paper_lmm)
+        assert vector.sum() == pytest.approx(1.0)
+        assert vector[1] == pytest.approx(0.75)
+        assert vector[0] == pytest.approx(0.0)
+
+    def test_background_weight(self, paper_lmm):
+        profile = PersonalizationProfile(phase_preferences={"II": 1.0},
+                                         background=1.0)
+        vector = profile.phase_preference_vector(paper_lmm)
+        assert vector[0] > 0.0
+        assert vector[1] > vector[0]
+
+    def test_sub_state_preference_vector(self, paper_lmm):
+        profile = PersonalizationProfile(
+            sub_state_preferences={"I": np.array([1.0, 0.0, 0.0, 1.0])})
+        vector = profile.sub_state_preference_vector(paper_lmm, 0)
+        assert np.allclose(vector, [0.5, 0.0, 0.0, 0.5])
+        assert profile.sub_state_preference_vector(paper_lmm, 1) is None
+
+    def test_rejects_negative_phase_preference(self, paper_lmm):
+        profile = PersonalizationProfile(phase_preferences={"I": -1.0})
+        with pytest.raises(ValidationError):
+            profile.phase_preference_vector(paper_lmm)
+
+    def test_rejects_wrong_length_sub_state_preference(self, paper_lmm):
+        profile = PersonalizationProfile(
+            sub_state_preferences={"I": np.array([1.0, 2.0])})
+        with pytest.raises(ValidationError):
+            profile.sub_state_preference_vector(paper_lmm, 0)
+
+    def test_unknown_phase_name_raises(self, paper_lmm):
+        profile = PersonalizationProfile(phase_preferences={"missing": 1.0})
+        with pytest.raises(ValidationError):
+            profile.phase_preference_vector(paper_lmm)
+
+
+class TestPersonalizedComponents:
+    def test_document_layer_personalisation_changes_only_that_phase(self, paper_lmm):
+        profile = PersonalizationProfile(
+            sub_state_preferences={"II": np.array([1.0, 0.0, 0.0])})
+        personalised = personalized_gatekeeper_vectors(paper_lmm, profile, 0.85)
+        default = personalized_gatekeeper_vectors(
+            paper_lmm, PersonalizationProfile(), 0.85)
+        assert not np.allclose(personalised[1], default[1])
+        assert np.allclose(personalised[0], default[0])
+        assert np.allclose(personalised[2], default[2])
+
+    def test_document_layer_personalisation_boosts_favoured_document(self, paper_lmm):
+        profile = PersonalizationProfile(
+            sub_state_preferences={"II": np.array([1.0, 0.0, 0.0])})
+        personalised = personalized_gatekeeper_vectors(paper_lmm, profile, 0.85)
+        default = personalized_gatekeeper_vectors(
+            paper_lmm, PersonalizationProfile(), 0.85)
+        assert personalised[1][0] > default[1][0]
+
+    def test_phase_weights_without_preference_are_stationary(self, paper_lmm):
+        weights, _ = personalized_phase_weights(paper_lmm,
+                                                PersonalizationProfile())
+        assert np.allclose(np.round(weights, 4), [0.2154, 0.4154, 0.3692])
+
+    def test_phase_weights_with_preference_shift_towards_favoured_site(self, paper_lmm):
+        profile = PersonalizationProfile(phase_preferences={"I": 1.0})
+        weights, _ = personalized_phase_weights(paper_lmm, profile, 0.85)
+        default, _ = personalized_phase_weights(paper_lmm,
+                                                PersonalizationProfile())
+        assert weights[0] > default[0]
+
+
+class TestPersonalizedLayeredRanking:
+    def test_no_personalisation_equals_approach_4(self, paper_lmm):
+        result = personalized_layered_ranking(paper_lmm,
+                                              PersonalizationProfile(), 0.85)
+        baseline = approach_4(paper_lmm, 0.85)
+        assert np.allclose(result.scores, baseline.scores, atol=1e-9)
+
+    def test_result_is_distribution(self, paper_lmm):
+        profile = PersonalizationProfile(
+            phase_preferences={"I": 2.0},
+            sub_state_preferences={"III": np.array([0, 0, 1, 0, 0])})
+        result = personalized_layered_ranking(paper_lmm, profile, 0.85)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.scores.min() >= 0.0
+
+    def test_site_layer_personalisation_boosts_site_documents(self, paper_lmm):
+        profile = PersonalizationProfile(phase_preferences={"I": 1.0})
+        result = personalized_layered_ranking(paper_lmm, profile, 0.85)
+        baseline = approach_4(paper_lmm, 0.85)
+        boosted_mass = result.scores[0:4].sum()
+        baseline_mass = baseline.scores[0:4].sum()
+        assert boosted_mass > baseline_mass
+
+    def test_document_layer_personalisation_reorders_within_site(self, paper_lmm):
+        profile = PersonalizationProfile(
+            sub_state_preferences={"III": np.array([0.0, 1.0, 0.0, 0.0, 0.0])})
+        result = personalized_layered_ranking(paper_lmm, profile, 0.85)
+        baseline = approach_4(paper_lmm, 0.85)
+        favoured_index = paper_lmm.global_index(2, 1)
+        assert result.scores[favoured_index] > baseline.scores[favoured_index]
+
+    def test_both_layers_at_once(self, paper_lmm):
+        profile = PersonalizationProfile(
+            phase_preferences={"II": 5.0},
+            sub_state_preferences={"II": np.array([1.0, 0.0, 0.0])})
+        result = personalized_layered_ranking(paper_lmm, profile, 0.85)
+        assert result.approach == "personalized-layered"
+        baseline = approach_4(paper_lmm, 0.85)
+        favoured_index = paper_lmm.global_index(1, 0)
+        assert result.scores[favoured_index] > baseline.scores[favoured_index]

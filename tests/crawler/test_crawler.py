@@ -1,0 +1,148 @@
+"""Tests for repro.crawler.crawler."""
+
+import pytest
+
+from repro.crawler import (
+    BFSFrontier,
+    CrawlPolicy,
+    CrawlResult,
+    Crawler,
+    PriorityFrontier,
+    SimulatedWeb,
+    crawl_campus,
+)
+from repro.exceptions import ValidationError
+from repro.web import DocGraph
+
+
+class TestCrawlPolicy:
+    def test_defaults_valid(self):
+        assert CrawlPolicy().max_pages == 1000
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValidationError):
+            CrawlPolicy(max_pages=0)
+
+    def test_rejects_bad_site_cap(self):
+        with pytest.raises(ValidationError):
+            CrawlPolicy(max_pages_per_site=0)
+
+
+class TestCrawlOnToyWeb:
+    def test_full_crawl_recovers_reachable_pages(self, toy_docgraph):
+        result = crawl_campus(toy_docgraph, max_pages=100,
+                              seed_url="http://a.example.org/")
+        # Every page of the toy web is reachable from a's home page.
+        assert result.fetched_pages == toy_docgraph.n_documents
+        assert result.stopped_reason == "exhausted"
+        assert set(result.docgraph.urls()) == set(toy_docgraph.urls())
+
+    def test_crawled_links_are_subset_of_true_links(self, toy_docgraph):
+        result = crawl_campus(toy_docgraph, max_pages=100,
+                              seed_url="http://a.example.org/")
+        true_edges = {(toy_docgraph.document(s).url,
+                       toy_docgraph.document(t).url)
+                      for s, t in toy_docgraph.edges()}
+        crawled_edges = {(result.docgraph.document(s).url,
+                          result.docgraph.document(t).url)
+                         for s, t in result.docgraph.edges()}
+        assert crawled_edges <= true_edges
+
+    def test_page_budget_respected(self, toy_docgraph):
+        result = crawl_campus(toy_docgraph, max_pages=4,
+                              seed_url="http://a.example.org/")
+        assert result.fetched_pages == 4
+        assert result.stopped_reason == "budget"
+        assert result.frontier_remaining > 0
+
+    def test_per_site_cap(self, toy_docgraph):
+        result = crawl_campus(toy_docgraph, max_pages=100,
+                              max_pages_per_site=2,
+                              seed_url="http://a.example.org/")
+        assert max(result.pages_per_site.values()) <= 2
+
+    def test_exclude_dynamic_pages(self):
+        graph = DocGraph()
+        graph.add_link("http://a.org/", "http://a.org/dyn.php?x=1")
+        graph.add_link("http://a.org/dyn.php?x=1", "http://a.org/deep.html")
+        graph.add_link("http://a.org/", "http://a.org/static.html")
+        with_dynamic = crawl_campus(graph, max_pages=50, include_dynamic=True,
+                                    seed_url="http://a.org/")
+        without_dynamic = crawl_campus(graph, max_pages=50,
+                                       include_dynamic=False,
+                                       seed_url="http://a.org/")
+        assert with_dynamic.fetched_pages > without_dynamic.fetched_pages
+        # The page only reachable through the dynamic page stays invisible.
+        assert "http://a.org/deep.html" not in [
+            doc.url for doc in without_dynamic.docgraph.documents()
+            if doc.doc_id in range(without_dynamic.fetched_pages)]
+
+    def test_coverage_property(self, toy_docgraph):
+        result = crawl_campus(toy_docgraph, max_pages=4,
+                              seed_url="http://a.example.org/")
+        assert 0.0 < result.coverage <= 1.0
+
+    def test_failure_abort(self, toy_docgraph):
+        web = SimulatedWeb(toy_docgraph,
+                           failing_urls=set(toy_docgraph.urls()))
+        crawler = Crawler(web, CrawlPolicy(max_pages=10,
+                                           max_fetch_failures=1))
+        result = crawler.crawl("http://a.example.org/")
+        assert result.fetched_pages == 0
+        assert result.stopped_reason == "failures"
+
+
+class TestCrawlTrapsAndRanking:
+    def test_site_cap_defuses_dynamic_trap(self, toy_docgraph):
+        graph = DocGraph()
+        graph.add_link("http://trap.org/index.php?p=1", "http://trap.org/a.html")
+        graph.add_link("http://trap.org/a.html", "http://trap.org/index.php?p=1")
+        web = SimulatedWeb(graph, dynamic_trap_sites={"trap.org"})
+        bounded = Crawler(web, CrawlPolicy(max_pages=200,
+                                           max_pages_per_site=20))
+        result = bounded.crawl("http://trap.org/index.php?p=1")
+        assert result.fetched_pages <= 20
+        assert result.stopped_reason in ("exhausted", "budget")
+
+    def test_unbounded_trap_consumes_whole_budget(self):
+        graph = DocGraph()
+        graph.add_link("http://trap.org/index.php?p=1", "http://trap.org/a.html")
+        web = SimulatedWeb(graph, dynamic_trap_sites={"trap.org"})
+        result = Crawler(web, CrawlPolicy(max_pages=50)).crawl(
+            "http://trap.org/index.php?p=1")
+        assert result.fetched_pages == 50
+        assert result.stopped_reason == "budget"
+
+    def test_priority_frontier_prefers_new_sites(self, small_campus):
+        """Crawling with a 'static pages first' priority yields at least as
+        many distinct sites as plain BFS under the same small budget."""
+        graph = small_campus.docgraph
+        budget = 150
+
+        bfs_result = Crawler(SimulatedWeb(graph),
+                             CrawlPolicy(max_pages=budget),
+                             frontier=BFSFrontier()).crawl()
+        priority = PriorityFrontier(
+            priority=lambda url: 1.0 if "?" in url else 0.0)
+        priority_result = Crawler(SimulatedWeb(graph),
+                                  CrawlPolicy(max_pages=budget),
+                                  frontier=priority).crawl()
+        assert len(priority_result.pages_per_site) >= \
+            len(bfs_result.pages_per_site)
+
+    def test_partial_crawl_is_rankable(self, small_campus):
+        """A partial crawl (like the paper's stopped crawl) still feeds the
+        whole ranking pipeline."""
+        from repro.web import layered_docrank
+
+        result = crawl_campus(small_campus.docgraph, max_pages=300)
+        ranking = layered_docrank(result.docgraph)
+        assert ranking.scores.sum() == pytest.approx(1.0)
+        assert result.docgraph.n_sites >= 2
+
+
+class TestCrawlResultContainer:
+    def test_empty_graph_coverage_zero(self):
+        result = CrawlResult(docgraph=DocGraph(), fetched_pages=0,
+                             failed_fetches=0)
+        assert result.coverage == 0.0

@@ -1,0 +1,73 @@
+"""Tests for repro.crawler.frontier."""
+
+import pytest
+
+from repro.crawler import BFSFrontier, PriorityFrontier
+from repro.exceptions import ValidationError
+
+
+class TestBFSFrontier:
+    def test_fifo_order(self):
+        frontier = BFSFrontier()
+        frontier.add("a")
+        frontier.add("b")
+        frontier.add("c")
+        assert [frontier.pop(), frontier.pop(), frontier.pop()] == ["a", "b", "c"]
+
+    def test_deduplication(self):
+        frontier = BFSFrontier()
+        assert frontier.add("a")
+        assert not frontier.add("a")
+        assert len(frontier) == 1
+        assert frontier.seen_count == 1
+
+    def test_popped_urls_never_return(self):
+        frontier = BFSFrontier()
+        frontier.add("a")
+        frontier.pop()
+        assert not frontier.add("a")
+        assert len(frontier) == 0
+
+    def test_bool_and_len(self):
+        frontier = BFSFrontier()
+        assert not frontier
+        frontier.add("a")
+        assert frontier
+        assert len(frontier) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ValidationError):
+            BFSFrontier().pop()
+
+
+class TestPriorityFrontier:
+    def test_lowest_priority_value_first(self):
+        frontier = PriorityFrontier(priority=len)
+        frontier.add("long-url")
+        frontier.add("abc")
+        frontier.add("medium")
+        assert frontier.pop() == "abc"
+        assert frontier.pop() == "medium"
+
+    def test_ties_broken_by_insertion_order(self):
+        frontier = PriorityFrontier()  # constant priority
+        frontier.add("first")
+        frontier.add("second")
+        assert frontier.pop() == "first"
+
+    def test_deduplication(self):
+        frontier = PriorityFrontier()
+        assert frontier.add("x")
+        assert not frontier.add("x")
+        assert frontier.seen_count == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ValidationError):
+            PriorityFrontier().pop()
+
+    def test_dynamic_pages_last_policy(self):
+        """A realistic priority: crawl static pages before dynamic ones."""
+        frontier = PriorityFrontier(priority=lambda url: 1.0 if "?" in url else 0.0)
+        frontier.add("http://a.org/x?id=1")
+        frontier.add("http://a.org/y.html")
+        assert frontier.pop() == "http://a.org/y.html"

@@ -1,0 +1,90 @@
+"""Tests for repro.crawler.webserver (the simulated web)."""
+
+import pytest
+
+from repro.crawler import SimulatedWeb
+from repro.exceptions import ValidationError
+from repro.web import DocGraph
+
+
+class TestSimulatedWeb:
+    def test_fetch_returns_out_links(self, toy_docgraph):
+        web = SimulatedWeb(toy_docgraph)
+        result = web.fetch("http://a.example.org/")
+        assert result.ok
+        assert result.site == "a.example.org"
+        assert "http://a.example.org/about.html" in result.out_links
+
+    def test_fetch_unknown_url_fails(self, toy_docgraph):
+        web = SimulatedWeb(toy_docgraph)
+        result = web.fetch("http://missing.example.org/")
+        assert not result.ok
+        assert result.out_links == []
+
+    def test_failing_urls_configurable(self, toy_docgraph):
+        web = SimulatedWeb(toy_docgraph,
+                           failing_urls={"http://a.example.org/"})
+        assert not web.fetch("http://a.example.org/").ok
+
+    def test_fetch_count_tracked(self, toy_docgraph):
+        web = SimulatedWeb(toy_docgraph)
+        web.fetch("http://a.example.org/")
+        web.fetch("http://b.example.org/")
+        assert web.fetch_count == 2
+
+    def test_entry_point_is_first_document(self, toy_docgraph):
+        assert SimulatedWeb(toy_docgraph).entry_point() == \
+            toy_docgraph.document(0).url
+
+    def test_rejects_empty_web(self):
+        with pytest.raises(ValidationError):
+            SimulatedWeb(DocGraph())
+
+    def test_dynamic_flag_reported(self):
+        graph = DocGraph()
+        graph.add_link("http://a.org/page.php?id=1", "http://a.org/static.html")
+        web = SimulatedWeb(graph)
+        assert web.fetch("http://a.org/page.php?id=1").is_dynamic
+        assert not web.fetch("http://a.org/static.html").is_dynamic
+
+
+class TestDynamicTraps:
+    def make_trap_web(self):
+        graph = DocGraph()
+        graph.add_link("http://trap.org/search?q=1", "http://trap.org/result?q=2")
+        graph.add_link("http://trap.org/result?q=2", "http://trap.org/search?q=1")
+        return SimulatedWeb(graph, dynamic_trap_sites={"trap.org"},
+                            trap_fanout=2)
+
+    def test_dynamic_page_of_trap_site_emits_fresh_urls(self):
+        web = self.make_trap_web()
+        result = web.fetch("http://trap.org/search?q=1")
+        generated = [url for url in result.out_links if "/trap?session=" in url]
+        assert len(generated) == 2
+
+    def test_generated_trap_pages_keep_generating(self):
+        web = self.make_trap_web()
+        first = web.fetch("http://trap.org/search?q=1")
+        trap_url = next(url for url in first.out_links
+                        if "/trap?session=" in url)
+        second = web.fetch(trap_url)
+        assert second.ok
+        assert second.is_dynamic
+        new_traps = [url for url in second.out_links if "/trap?session=" in url]
+        assert len(new_traps) == 2
+        assert all(url != trap_url for url in new_traps)
+
+    def test_trap_urls_of_non_trap_sites_fail(self, toy_docgraph):
+        web = SimulatedWeb(toy_docgraph)
+        assert not web.fetch("http://a.example.org/trap?session=1").ok
+
+    def test_non_trap_sites_unaffected(self):
+        web = self.make_trap_web()
+        graph = web.docgraph
+        graph.add_link("http://clean.org/a.php?x=1", "http://trap.org/search?q=1")
+        result = web.fetch("http://clean.org/a.php?x=1")
+        assert all("/trap?session=" not in url for url in result.out_links)
+
+    def test_rejects_bad_fanout(self, toy_docgraph):
+        with pytest.raises(ValidationError):
+            SimulatedWeb(toy_docgraph, trap_fanout=0)

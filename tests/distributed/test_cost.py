@@ -1,0 +1,88 @@
+"""Tests for repro.distributed.cost (the analytical cost model)."""
+
+import pytest
+
+from repro.distributed import (
+    centralized_cost,
+    compare_costs,
+    layered_cost,
+    power_method_flops,
+)
+from repro.exceptions import ValidationError
+from repro.web import all_local_docranks, flat_pagerank_ranking, layered_docrank
+
+
+class TestPowerMethodFlops:
+    def test_formula(self):
+        assert power_method_flops(10, 100, 5) == pytest.approx(
+            5 * (2 * 100 + 5 * 10))
+
+    def test_zero_iterations(self):
+        assert power_method_flops(10, 100, 0) == 0.0
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValidationError):
+            power_method_flops(-1, 0, 1)
+
+
+class TestCostBreakdowns:
+    def test_centralized_cost_counts_whole_graph(self, toy_docgraph):
+        flat = flat_pagerank_ranking(toy_docgraph)
+        cost = centralized_cost(toy_docgraph, flat.iterations)
+        assert cost.total_flops == pytest.approx(power_method_flops(
+            toy_docgraph.n_documents, int(toy_docgraph.adjacency().nnz),
+            flat.iterations))
+        assert cost.local_flops_total == 0.0
+
+    def test_layered_cost_splits_work(self, toy_docgraph):
+        layered = layered_docrank(toy_docgraph)
+        local_iterations = {site: rank.iterations
+                            for site, rank in layered.local_docranks.items()}
+        cost = layered_cost(toy_docgraph,
+                            site_iterations=layered.siterank.iterations,
+                            local_iterations=local_iterations)
+        assert cost.local_flops_total > 0
+        assert cost.local_flops_max <= cost.local_flops_total
+        assert cost.global_flops > 0
+        assert cost.aggregation_flops == toy_docgraph.n_documents
+        assert cost.critical_path_flops <= cost.total_flops
+
+    def test_layered_cost_requires_all_sites(self, toy_docgraph):
+        with pytest.raises(ValidationError):
+            layered_cost(toy_docgraph, site_iterations=10,
+                         local_iterations={"a.example.org": 5})
+
+    def test_aggregation_can_be_excluded(self, toy_docgraph):
+        layered = layered_docrank(toy_docgraph)
+        local_iterations = {site: rank.iterations
+                            for site, rank in layered.local_docranks.items()}
+        cost = layered_cost(toy_docgraph,
+                            site_iterations=layered.siterank.iterations,
+                            local_iterations=local_iterations,
+                            include_aggregation=False)
+        assert cost.aggregation_flops == 0.0
+
+
+class TestCostComparison:
+    @pytest.fixture
+    def comparison(self, small_synthetic_web):
+        flat = flat_pagerank_ranking(small_synthetic_web)
+        layered = layered_docrank(small_synthetic_web)
+        local_iterations = {site: rank.iterations
+                            for site, rank in layered.local_docranks.items()}
+        return compare_costs(small_synthetic_web,
+                             centralized_iterations=flat.iterations,
+                             site_iterations=layered.siterank.iterations,
+                             local_iterations=local_iterations)
+
+    def test_parallel_speedup_exceeds_serial_speedup(self, comparison):
+        assert comparison.parallel_speedup >= comparison.serial_speedup
+
+    def test_parallel_speedup_greater_than_one(self, comparison):
+        """The paper's scalability claim: with one peer per site the layered
+        method's critical path is far shorter than the centralized run."""
+        assert comparison.parallel_speedup > 1.0
+
+    def test_breakdowns_carry_strategy_names(self, comparison):
+        assert comparison.centralized.strategy == "centralized-pagerank"
+        assert comparison.layered.strategy == "layered"

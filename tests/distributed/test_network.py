@@ -1,0 +1,109 @@
+"""Tests for repro.distributed.network (the simulated network)."""
+
+import pytest
+
+from repro.distributed import NetworkParameters, SimulatedNetwork
+from repro.distributed.messages import ComputeLocalRankRequest
+from repro.exceptions import SimulationError, ValidationError
+
+
+def request(sender="a", recipient="b"):
+    return ComputeLocalRankRequest(sender=sender, recipient=recipient,
+                                   site="site.org")
+
+
+class TestNetworkParameters:
+    def test_transfer_time_formula(self):
+        params = NetworkParameters(latency_seconds=0.01,
+                                   bandwidth_bytes_per_second=1000)
+        assert params.transfer_time(500) == pytest.approx(0.01 + 0.5)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValidationError):
+            NetworkParameters(latency_seconds=-1)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValidationError):
+            NetworkParameters(bandwidth_bytes_per_second=0)
+
+
+class TestSimulatedNetwork:
+    def make_network(self):
+        network = SimulatedNetwork(parameters=NetworkParameters(
+            latency_seconds=0.1, bandwidth_bytes_per_second=1e6))
+        network.register("a")
+        network.register("b")
+        network.register("c")
+        return network
+
+    def test_compute_advances_single_clock(self):
+        network = self.make_network()
+        network.compute("a", 2.0)
+        assert network.clock_of("a") == pytest.approx(2.0)
+        assert network.clock_of("b") == pytest.approx(0.0)
+
+    def test_parallel_compute_makespan_is_maximum(self):
+        """The defining property of the model: independent local work on
+        different peers does not add up."""
+        network = self.make_network()
+        network.compute("a", 3.0)
+        network.compute("b", 5.0)
+        network.compute("c", 1.0)
+        assert network.makespan == pytest.approx(5.0)
+
+    def test_send_advances_recipient_past_sender(self):
+        network = self.make_network()
+        network.compute("a", 1.0)
+        message = request("a", "b")
+        network.send(message)
+        expected_arrival = 1.0 + network.parameters.transfer_time(
+            message.size_bytes)
+        assert network.clock_of("b") == pytest.approx(expected_arrival)
+
+    def test_send_does_not_rewind_recipient(self):
+        network = self.make_network()
+        network.compute("b", 100.0)
+        network.send(request("a", "b"))
+        assert network.clock_of("b") == pytest.approx(100.0)
+
+    def test_self_send_is_free(self):
+        network = self.make_network()
+        network.compute("a", 1.0)
+        network.send(request("a", "a"))
+        assert network.clock_of("a") == pytest.approx(1.0)
+        assert network.log.count == 1
+
+    def test_messages_are_logged(self):
+        network = self.make_network()
+        network.send(request("a", "b"))
+        network.send(request("b", "c"))
+        assert network.log.count == 2
+        assert network.log.total_bytes > 0
+
+    def test_barrier_waits_for_all(self):
+        network = self.make_network()
+        network.compute("a", 3.0)
+        network.compute("b", 7.0)
+        network.barrier(["a", "b"], at_node="c")
+        assert network.clock_of("c") == pytest.approx(7.0)
+
+    def test_register_is_idempotent(self):
+        network = self.make_network()
+        network.compute("a", 2.0)
+        network.register("a")
+        assert network.clock_of("a") == pytest.approx(2.0)
+
+    def test_unregistered_node_raises(self):
+        network = self.make_network()
+        with pytest.raises(SimulationError):
+            network.compute("ghost", 1.0)
+        with pytest.raises(SimulationError):
+            network.send(request("a", "ghost"))
+
+    def test_negative_compute_time_rejected(self):
+        network = self.make_network()
+        with pytest.raises(ValidationError):
+            network.compute("a", -1.0)
+
+    def test_empty_network_makespan_zero(self):
+        assert SimulatedNetwork().makespan == 0.0

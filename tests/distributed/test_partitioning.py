@@ -1,0 +1,79 @@
+"""Tests for repro.distributed.partitioning."""
+
+import pytest
+
+from repro.distributed import assignment_load, partition_sites, peer_of_site
+from repro.exceptions import ValidationError
+from repro.web import DocGraph
+
+
+class TestPartitionSites:
+    def test_every_site_assigned_exactly_once(self, small_synthetic_web):
+        assignment = partition_sites(small_synthetic_web, 3)
+        assigned = [site for sites in assignment.values() for site in sites]
+        assert sorted(assigned) == sorted(small_synthetic_web.sites())
+
+    def test_balanced_policy_evens_out_load(self, small_synthetic_web):
+        assignment = partition_sites(small_synthetic_web, 3, policy="balanced")
+        load = assignment_load(assignment, small_synthetic_web)
+        values = sorted(load.values())
+        # Greedy LPT keeps the max within 2x of the min for this workload.
+        assert values[-1] <= 2 * max(values[0], 1)
+
+    def test_round_robin_policy_deals_in_order(self, small_synthetic_web):
+        assignment = partition_sites(small_synthetic_web, 4,
+                                     policy="round-robin")
+        sites = small_synthetic_web.sites()
+        peers = sorted(assignment)
+        assert assignment[peers[0]][0] == sites[0]
+        assert assignment[peers[1]][0] == sites[1]
+
+    def test_one_per_site_policy(self, small_synthetic_web):
+        assignment = partition_sites(small_synthetic_web, 2,
+                                     policy="one-per-site")
+        assert len(assignment) == small_synthetic_web.n_sites
+        assert all(len(sites) == 1 for sites in assignment.values())
+
+    def test_more_peers_than_sites_capped(self, toy_docgraph):
+        assignment = partition_sites(toy_docgraph, 10)
+        assert len(assignment) == toy_docgraph.n_sites
+
+    def test_single_peer_gets_everything(self, toy_docgraph):
+        assignment = partition_sites(toy_docgraph, 1)
+        assert len(assignment) == 1
+        only_sites = next(iter(assignment.values()))
+        assert sorted(only_sites) == sorted(toy_docgraph.sites())
+
+    def test_peer_prefix(self, toy_docgraph):
+        assignment = partition_sites(toy_docgraph, 2, peer_prefix="node")
+        assert all(name.startswith("node-") for name in assignment)
+
+    def test_rejects_zero_peers(self, toy_docgraph):
+        with pytest.raises(ValidationError):
+            partition_sites(toy_docgraph, 0)
+
+    def test_rejects_unknown_policy(self, toy_docgraph):
+        with pytest.raises(ValidationError):
+            partition_sites(toy_docgraph, 2, policy="random")
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValidationError):
+            partition_sites(DocGraph(), 2)
+
+
+class TestHelpers:
+    def test_peer_of_site_inversion(self, toy_docgraph):
+        assignment = partition_sites(toy_docgraph, 2)
+        inverted = peer_of_site(assignment)
+        for peer, sites in assignment.items():
+            for site in sites:
+                assert inverted[site] == peer
+
+    def test_peer_of_site_detects_double_assignment(self):
+        with pytest.raises(ValidationError):
+            peer_of_site({"p1": ["a.org"], "p2": ["a.org"]})
+
+    def test_assignment_load_counts_documents(self, toy_docgraph):
+        assignment = partition_sites(toy_docgraph, 1)
+        load = assignment_load(assignment, toy_docgraph)
+        assert sum(load.values()) == toy_docgraph.n_documents

@@ -1,0 +1,111 @@
+"""Tests for repro.graphgen.campus_web — the stand-in for the EPFL crawl."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphgen import (
+    JAVADOC_HOST,
+    MAIN_HOST,
+    WEBDRIVER_HOST,
+    CampusWebConfig,
+    generate_campus_web,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        assert CampusWebConfig().n_sites >= 4
+
+    def test_rejects_too_few_sites(self):
+        with pytest.raises(ValidationError):
+            CampusWebConfig(n_sites=3)
+
+    def test_rejects_too_few_documents(self):
+        with pytest.raises(ValidationError):
+            CampusWebConfig(n_sites=20, n_documents=10)
+
+    def test_rejects_empty_farm(self):
+        with pytest.raises(ValidationError):
+            CampusWebConfig(webdriver_farm_pages=0)
+
+    def test_rejects_bad_backlink_fraction(self):
+        with pytest.raises(ValidationError):
+            CampusWebConfig(home_backlink_fraction=1.5)
+
+
+class TestStructure:
+    def test_site_count_matches_config(self, small_campus, small_campus_config):
+        assert small_campus.docgraph.n_sites == small_campus_config.n_sites
+
+    def test_contains_main_and_farm_sites(self, small_campus):
+        sites = set(small_campus.docgraph.sites())
+        assert MAIN_HOST in sites
+        assert WEBDRIVER_HOST in sites
+        assert JAVADOC_HOST in sites
+        assert small_campus.farm_sites == [WEBDRIVER_HOST, JAVADOC_HOST]
+
+    def test_farm_sizes_match_config(self, small_campus, small_campus_config):
+        webdriver_docs = small_campus.docgraph.documents_of_site(WEBDRIVER_HOST)
+        javadoc_docs = small_campus.docgraph.documents_of_site(JAVADOC_HOST)
+        assert len(webdriver_docs) == (small_campus_config.webdriver_farm_pages
+                                       + small_campus_config.webdriver_hub_pages)
+        assert len(javadoc_docs) == (small_campus_config.javadoc_farm_pages
+                                     + small_campus_config.javadoc_hub_pages)
+
+    def test_farm_ids_belong_to_farm_sites(self, small_campus):
+        for doc_id in small_campus.farm_doc_ids:
+            assert small_campus.docgraph.site_of_document(doc_id) in \
+                small_campus.farm_sites
+
+    def test_farm_hubs_have_huge_in_degree(self, small_campus):
+        """The defining feature of the paper's Figure 3 pages: farm hubs are
+        linked from (almost) every farm page, so their in-degree towers over
+        ordinary pages'."""
+        in_degrees = small_campus.docgraph.in_degrees()
+        ordinary = [doc.doc_id for doc in small_campus.docgraph.documents()
+                    if doc.doc_id not in small_campus.farm_doc_ids
+                    and doc.doc_id not in small_campus.authoritative_doc_ids]
+        hub_min = min(in_degrees[d] for d in small_campus.farm_hub_doc_ids)
+        ordinary_median = float(np.median([in_degrees[d] for d in ordinary]))
+        assert hub_min > 20 * max(ordinary_median, 1.0)
+
+    def test_webdriver_pages_are_dynamic(self, small_campus):
+        webdriver_docs = small_campus.docgraph.documents_of_site(WEBDRIVER_HOST)
+        assert all(small_campus.docgraph.document(d).is_dynamic
+                   for d in webdriver_docs)
+
+    def test_authoritative_pages_include_main_home(self, small_campus):
+        home = small_campus.docgraph.document_by_url(
+            f"http://{MAIN_HOST}/").doc_id
+        assert home in small_campus.authoritative_doc_ids
+
+    def test_site_home_index_covers_all_sites(self, small_campus):
+        for site, doc_id in small_campus.site_home_doc_ids.items():
+            assert small_campus.docgraph.site_of_document(doc_id) == site
+
+    def test_deterministic_for_fixed_seed(self, small_campus_config):
+        a = generate_campus_web(small_campus_config)
+        b = generate_campus_web(small_campus_config)
+        assert a.docgraph.urls() == b.docgraph.urls()
+        assert a.docgraph.edges() == b.docgraph.edges()
+        assert a.farm_doc_ids == b.farm_doc_ids
+
+    def test_every_site_reaches_main_home(self, small_campus):
+        """Every site home links to the university home page, so the main
+        site receives SiteLinks from every other site."""
+        from repro.web import aggregate_sitegraph
+
+        sitegraph = aggregate_sitegraph(small_campus.docgraph)
+        main_index = sitegraph.site_index(MAIN_HOST)
+        incoming = sitegraph.adjacency[:, main_index]
+        n_sources = (np.asarray(incoming.todense()).ravel() > 0).sum()
+        assert n_sources >= sitegraph.n_sites - 1 - len(small_campus.farm_sites)
+
+    def test_overrides_change_scale(self):
+        campus = generate_campus_web(n_sites=8, n_documents=400,
+                                     webdriver_farm_pages=60,
+                                     javadoc_farm_pages=40,
+                                     inter_site_links=200, seed=5)
+        assert campus.docgraph.n_sites == 8
+        assert campus.n_documents > 400  # ordinary docs + farm pages

@@ -1,0 +1,136 @@
+"""Tests for repro.graphgen.models (low-level random graph models)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphgen import (
+    clique_edges,
+    copying_model_edges,
+    erdos_renyi_edges,
+    power_law_sizes,
+    preferential_attachment_edges,
+    star_edges,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_scales_with_probability(self, rng):
+        sparse = erdos_renyi_edges(50, 0.02, rng=rng)
+        dense = erdos_renyi_edges(50, 0.3, rng=rng)
+        assert len(dense) > len(sparse)
+
+    def test_no_self_loops_by_default(self, rng):
+        edges = erdos_renyi_edges(30, 0.5, rng=rng)
+        assert all(source != target for source, target in edges)
+
+    def test_self_loops_allowed_when_requested(self, rng):
+        edges = erdos_renyi_edges(30, 1.0, rng=rng, allow_self_loops=True)
+        assert any(source == target for source, target in edges)
+
+    def test_probability_one_gives_complete_digraph(self, rng):
+        edges = erdos_renyi_edges(10, 1.0, rng=rng)
+        assert len(edges) == 10 * 9
+
+    def test_zero_nodes_or_probability(self, rng):
+        assert erdos_renyi_edges(0, 0.5, rng=rng) == []
+        assert erdos_renyi_edges(10, 0.0, rng=rng) == []
+
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(ValidationError):
+            erdos_renyi_edges(5, 1.5, rng=rng)
+
+
+class TestPreferentialAttachment:
+    def test_edges_stay_in_range(self, rng):
+        edges = preferential_attachment_edges(100, 3, rng=rng)
+        assert all(0 <= s < 100 and 0 <= t < 100 for s, t in edges)
+
+    def test_in_degree_distribution_is_skewed(self, rng):
+        edges = preferential_attachment_edges(400, 3, rng=rng)
+        in_degree = np.zeros(400)
+        for _source, target in edges:
+            in_degree[target] += 1
+        # A heavy-tailed distribution has max >> mean.
+        assert in_degree.max() > 5 * in_degree.mean()
+
+    def test_every_new_node_emits_links(self, rng):
+        out_degree_target = 2
+        edges = preferential_attachment_edges(50, out_degree_target, rng=rng,
+                                              seed_nodes=3)
+        sources = {source for source, _target in edges}
+        assert set(range(3, 50)) <= sources
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValidationError):
+            preferential_attachment_edges(0, 2, rng=rng)
+        with pytest.raises(ValidationError):
+            preferential_attachment_edges(5, 0, rng=rng)
+
+
+class TestCopyingModel:
+    def test_edges_stay_in_range(self, rng):
+        edges = copying_model_edges(100, 3, 0.5, rng=rng)
+        assert all(0 <= s < 100 and 0 <= t < 100 for s, t in edges)
+
+    def test_high_copy_probability_creates_popular_targets(self, rng):
+        edges = copying_model_edges(300, 3, 0.9, rng=rng)
+        in_degree = np.zeros(300)
+        for _source, target in edges:
+            in_degree[target] += 1
+        assert in_degree.max() > 4 * in_degree.mean()
+
+    def test_rejects_bad_copy_probability(self, rng):
+        with pytest.raises(ValidationError):
+            copying_model_edges(10, 2, 1.2, rng=rng)
+
+
+class TestDeterministicStructures:
+    def test_clique_edges_complete(self):
+        edges = clique_edges([3, 5, 7])
+        assert len(edges) == 6
+        assert (3, 5) in edges and (7, 3) in edges
+        assert (3, 3) not in edges
+
+    def test_clique_with_self_loops(self):
+        edges = clique_edges([0, 1], include_self_loops=True)
+        assert (0, 0) in edges and (1, 1) in edges
+
+    def test_star_edges_bidirectional(self):
+        edges = star_edges(0, [1, 2])
+        assert (0, 1) in edges and (1, 0) in edges
+        assert (0, 2) in edges and (2, 0) in edges
+
+    def test_star_edges_one_way(self):
+        edges = star_edges(0, [1, 2], bidirectional=False)
+        assert (0, 1) in edges and (1, 0) not in edges
+
+    def test_star_ignores_hub_in_leaves(self):
+        edges = star_edges(0, [0, 1])
+        assert (0, 0) not in edges
+
+
+class TestPowerLawSizes:
+    def test_sum_is_exact(self, rng):
+        sizes = power_law_sizes(20, 1000, rng=rng)
+        assert sum(sizes) == 1000
+        assert len(sizes) == 20
+
+    def test_minimum_respected(self, rng):
+        sizes = power_law_sizes(10, 500, rng=rng, minimum=5)
+        assert min(sizes) >= 5 or sum(sizes) == 500
+
+    def test_distribution_is_skewed(self, rng):
+        sizes = power_law_sizes(50, 10_000, exponent=1.2, rng=rng)
+        assert max(sizes) > 3 * (10_000 / 50)
+
+    def test_single_group_gets_everything(self, rng):
+        assert power_law_sizes(1, 42, rng=rng) == [42]
+
+    def test_rejects_impossible_total(self, rng):
+        with pytest.raises(ValidationError):
+            power_law_sizes(10, 5, rng=rng)
+
+    def test_rejects_bad_exponent(self, rng):
+        with pytest.raises(ValidationError):
+            power_law_sizes(3, 30, exponent=0.0, rng=rng)

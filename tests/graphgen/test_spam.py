@@ -1,0 +1,117 @@
+"""Tests for repro.graphgen.spam (link-farm injection)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphgen import LinkFarmSpec, inject_link_farm
+from repro.io import toy_web
+
+
+class TestLinkFarmSpec:
+    def test_defaults_valid(self):
+        assert LinkFarmSpec().n_pages == 100
+
+    def test_rejects_zero_pages(self):
+        with pytest.raises(ValidationError):
+            LinkFarmSpec(n_pages=0)
+
+    def test_rejects_more_hosts_than_pages(self):
+        with pytest.raises(ValidationError):
+            LinkFarmSpec(n_pages=3, n_hosts=5)
+
+    def test_rejects_zero_density(self):
+        with pytest.raises(ValidationError):
+            LinkFarmSpec(internal_density=0.0)
+
+    def test_rejects_negative_hijacked_links(self):
+        with pytest.raises(ValidationError):
+            LinkFarmSpec(hijacked_links=-1)
+
+
+class TestInjection:
+    def test_adds_farm_pages(self, rng):
+        graph = toy_web()
+        before = graph.n_documents
+        farm = inject_link_farm(graph, LinkFarmSpec(n_pages=20), rng=rng)
+        assert graph.n_documents == before + 21  # pages + created target
+        assert len(farm.farm_doc_ids) == 21
+
+    def test_all_farm_pages_link_to_target(self, rng):
+        graph = toy_web()
+        farm = inject_link_farm(graph, LinkFarmSpec(n_pages=10), rng=rng)
+        adjacency = graph.adjacency()
+        for doc_id in farm.farm_doc_ids - {farm.target_doc_id}:
+            assert adjacency[doc_id, farm.target_doc_id] >= 1
+
+    def test_full_density_creates_clique(self, rng):
+        graph = toy_web()
+        farm = inject_link_farm(graph,
+                                LinkFarmSpec(n_pages=6, internal_density=1.0),
+                                rng=rng)
+        adjacency = graph.adjacency()
+        members = sorted(farm.farm_doc_ids - {farm.target_doc_id})
+        for source in members:
+            for target in members:
+                if source != target:
+                    assert adjacency[source, target] >= 1
+
+    def test_existing_target_url_reused(self, rng):
+        graph = toy_web()
+        target_url = "http://a.example.org/research.html"
+        target_id = graph.document_by_url(target_url).doc_id
+        farm = inject_link_farm(
+            graph, LinkFarmSpec(n_pages=5, target_url=target_url), rng=rng)
+        assert farm.target_doc_id == target_id
+        assert target_id not in farm.farm_doc_ids  # pre-existing page
+
+    def test_single_host_farm_is_one_site(self, rng):
+        graph = toy_web()
+        farm = inject_link_farm(graph, LinkFarmSpec(n_pages=8, n_hosts=1),
+                                rng=rng)
+        sites = {graph.site_of_document(d) for d in farm.farm_doc_ids}
+        assert len(sites) == 1
+        assert farm.farm_hosts == ["spam-farm.example.net"]
+
+    def test_multi_host_farm_spreads_sites(self, rng):
+        graph = toy_web()
+        farm = inject_link_farm(graph, LinkFarmSpec(n_pages=12, n_hosts=4),
+                                rng=rng)
+        sites = {graph.site_of_document(d) for d in farm.farm_doc_ids
+                 if d != farm.target_doc_id}
+        assert len(sites) == 4
+
+    def test_hijacked_links_recorded(self, rng):
+        graph = toy_web()
+        farm = inject_link_farm(graph,
+                                LinkFarmSpec(n_pages=5, hijacked_links=3),
+                                rng=rng)
+        assert len(farm.hijacked_source_ids) == 3
+        adjacency = graph.adjacency()
+        for source in farm.hijacked_source_ids:
+            assert adjacency[source, farm.target_doc_id] >= 1
+
+    def test_injection_boosts_flat_pagerank_of_target(self, rng):
+        """The attack works against flat PageRank: the farm pushes its
+        target to the very top of the flat ranking and raises its share of
+        rank mass relative to the uniform baseline."""
+        from repro.web import flat_pagerank_ranking
+
+        clean = toy_web()
+        target_url = "http://c.example.org/two.html"
+        target_id = clean.document_by_url(target_url).doc_id
+        before = flat_pagerank_ranking(clean)
+        before_position = before.top_k(before.n_documents).index(target_id)
+        before_share = before.score_of(target_id) * clean.n_documents
+
+        attacked = toy_web()
+        inject_link_farm(attacked,
+                         LinkFarmSpec(n_pages=30, target_url=target_url),
+                         rng=rng)
+        after = flat_pagerank_ranking(attacked)
+        after_position = after.top_k(after.n_documents).index(target_id)
+        after_share = after.score_of(target_id) * attacked.n_documents
+
+        assert after_position <= 1          # the promoted page is now at the top
+        assert after_position < before_position
+        assert after_share > 1.5 * before_share

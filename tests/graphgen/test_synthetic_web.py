@@ -1,0 +1,87 @@
+"""Tests for repro.graphgen.synthetic_web."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphgen import SyntheticWebConfig, generate_synthetic_web
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        config = SyntheticWebConfig()
+        assert config.n_sites > 0
+
+    def test_rejects_zero_sites(self):
+        with pytest.raises(ValidationError):
+            SyntheticWebConfig(n_sites=0)
+
+    def test_rejects_fewer_documents_than_sites(self):
+        with pytest.raises(ValidationError):
+            SyntheticWebConfig(n_sites=10, n_documents=5)
+
+    def test_rejects_negative_links(self):
+        with pytest.raises(ValidationError):
+            SyntheticWebConfig(inter_site_links=-1)
+
+
+class TestGeneration:
+    def test_document_and_site_counts(self, small_synthetic_web):
+        assert small_synthetic_web.n_documents == 300
+        assert small_synthetic_web.n_sites == 8
+
+    def test_deterministic_for_fixed_seed(self):
+        a = generate_synthetic_web(n_sites=5, n_documents=120, seed=4)
+        b = generate_synthetic_web(n_sites=5, n_documents=120, seed=4)
+        assert a.urls() == b.urls()
+        assert a.edges() == b.edges()
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_web(n_sites=5, n_documents=120, seed=4)
+        b = generate_synthetic_web(n_sites=5, n_documents=120, seed=5)
+        assert a.edges() != b.edges()
+
+    def test_every_site_has_home_page(self, small_synthetic_web):
+        for site in small_synthetic_web.sites():
+            assert f"http://{site}/" in small_synthetic_web
+
+    def test_inter_site_links_exist(self, small_synthetic_web):
+        from repro.web import aggregate_sitegraph
+
+        sitegraph = aggregate_sitegraph(small_synthetic_web)
+        assert sitegraph.n_sitelinks > 0
+
+    def test_homepage_hub_structure(self, small_synthetic_web):
+        """With homepage_hub=True every page links to / is reachable from its
+        home page, so local DocRank concentrates on home pages."""
+        from repro.web import local_docrank
+
+        site = small_synthetic_web.sites()[0]
+        result = local_docrank(small_synthetic_web, site)
+        home = small_synthetic_web.document_by_url(f"http://{site}/").doc_id
+        assert result.top_k(1) == [home]
+
+    def test_no_homepage_hub_option(self):
+        graph = generate_synthetic_web(n_sites=4, n_documents=100,
+                                       homepage_hub=False, seed=1)
+        assert graph.n_documents == 100
+
+    def test_config_object_with_overrides(self):
+        config = SyntheticWebConfig(n_sites=4, n_documents=80, seed=9)
+        graph = generate_synthetic_web(config, n_documents=120)
+        assert graph.n_documents == 120
+        assert graph.n_sites == 4
+
+    def test_site_sizes_follow_power_law(self):
+        graph = generate_synthetic_web(n_sites=30, n_documents=3000,
+                                       site_size_exponent=1.2, seed=2)
+        sizes = sorted(graph.site_sizes().values(), reverse=True)
+        assert sizes[0] > 3 * (3000 / 30)
+
+    def test_rankable_end_to_end(self, small_synthetic_web):
+        from repro.web import flat_pagerank_ranking, layered_docrank
+
+        flat = flat_pagerank_ranking(small_synthetic_web)
+        layered = layered_docrank(small_synthetic_web)
+        assert flat.scores.sum() == pytest.approx(1.0)
+        assert layered.scores.sum() == pytest.approx(1.0)

@@ -1,0 +1,141 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise the full path the paper describes: generate a web graph
+→ aggregate the SiteGraph → compute SiteRank and local DocRanks → compose
+the global DocRank — and check the cross-module invariants that no single
+unit test covers (pipeline == core Approach 4 == distributed simulation;
+spam resistance on the campus web; BlockRank ablation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import approach_4
+from repro.distributed import distributed_layered_docrank
+from repro.graphgen import generate_campus_web
+from repro.metrics import (
+    kendall_tau,
+    spam_impact,
+    top_k_contamination,
+)
+from repro.pagerank import blockrank
+from repro.web import (
+    flat_pagerank_ranking,
+    layered_docrank,
+    lmm_from_docgraph,
+)
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return generate_campus_web(n_sites=14, n_documents=1000,
+                               webdriver_farm_pages=180,
+                               javadoc_farm_pages=120,
+                               inter_site_links=600, seed=7)
+
+
+@pytest.fixture(scope="module")
+def campus_rankings(campus):
+    graph = campus.docgraph
+    return {
+        "flat": flat_pagerank_ranking(graph),
+        "layered": layered_docrank(graph),
+    }
+
+
+class TestThreeWaysToTheSameRanking:
+    """Pipeline (web layer), Approach 4 on the induced LMM (core layer) and
+    the distributed simulation must all produce the same global DocRank."""
+
+    def test_pipeline_equals_core(self, campus):
+        graph = campus.docgraph
+        pipeline = layered_docrank(graph)
+        core = approach_4(lmm_from_docgraph(graph), 0.85)
+        assert np.allclose(pipeline.scores, core.scores, atol=1e-7)
+
+    def test_pipeline_equals_distributed(self, campus):
+        graph = campus.docgraph
+        pipeline = layered_docrank(graph)
+        report = distributed_layered_docrank(graph, n_peers=5)
+        assert np.allclose(pipeline.scores_by_doc_id(),
+                           report.ranking.scores_by_doc_id(), atol=1e-9)
+
+
+class TestCampusWebFindings:
+    """The paper's Section 3.3 findings, at reduced scale."""
+
+    def test_flat_top15_contaminated_by_farms(self, campus, campus_rankings):
+        contamination = top_k_contamination(
+            campus_rankings["flat"].top_k(15), campus.farm_doc_ids, 15)
+        assert contamination >= 0.2
+
+    def test_layered_top15_clean(self, campus, campus_rankings):
+        contamination = top_k_contamination(
+            campus_rankings["layered"].top_k(15), campus.farm_doc_ids, 15)
+        assert contamination == 0.0
+
+    def test_layered_top15_dominated_by_authoritative_pages(self, campus,
+                                                            campus_rankings):
+        top = campus_rankings["layered"].top_k(15)
+        authoritative = sum(1 for doc_id in top
+                            if doc_id in campus.authoritative_doc_ids)
+        assert authoritative >= 8
+
+    def test_main_home_page_tops_the_layered_ranking(self, campus,
+                                                     campus_rankings):
+        from repro.graphgen import MAIN_HOST
+
+        home = campus.docgraph.document_by_url(f"http://{MAIN_HOST}/").doc_id
+        assert campus_rankings["layered"].top_k(1) == [home]
+
+    def test_layered_suppresses_farm_mass(self, campus, campus_rankings):
+        graph = campus.docgraph
+        flat = spam_impact("flat", campus_rankings["flat"].scores_by_doc_id(),
+                           campus_rankings["flat"].top_k(graph.n_documents),
+                           campus.farm_doc_ids)
+        layered = spam_impact("layered",
+                              campus_rankings["layered"].scores_by_doc_id(),
+                              campus_rankings["layered"].top_k(graph.n_documents),
+                              campus.farm_doc_ids)
+        assert layered.spam_mass < 0.5 * flat.spam_mass
+        assert layered.spam_gain < 1.0
+
+    def test_rankings_still_positively_correlated(self, campus_rankings):
+        """'Qualitatively comparable': despite the farm demotion the two
+        rankings agree on the bulk of ordinary pages."""
+        tau = kendall_tau(campus_rankings["flat"].scores_by_doc_id(),
+                          campus_rankings["layered"].scores_by_doc_id())
+        assert tau > 0.2
+
+
+class TestBlockRankAblation:
+    """BlockRank (serialised, rank-weighted block graph) vs the LMM
+    (parallel, count-weighted SiteGraph)."""
+
+    def test_blockrank_refined_reproduces_flat_pagerank(self, campus,
+                                                        campus_rankings):
+        graph = campus.docgraph
+        sites = graph.sites()
+        site_index = {site: i for i, site in enumerate(sites)}
+        blocks = [site_index[graph.site_of_document(d)]
+                  for d in range(graph.n_documents)]
+        result = blockrank(graph.adjacency(), blocks, refine=True, tol=1e-10)
+        assert np.allclose(result.global_scores,
+                           campus_rankings["flat"].scores_by_doc_id(),
+                           atol=1e-5)
+
+    def test_blockrank_approximation_inherits_farm_contamination(self, campus):
+        """Because BlockRank weights the block graph with local ranks, the
+        farm site's block weight stays high and its hubs remain highly
+        ranked — unlike under the LMM's count-weighted SiteRank."""
+        graph = campus.docgraph
+        sites = graph.sites()
+        site_index = {site: i for i, site in enumerate(sites)}
+        blocks = [site_index[graph.site_of_document(d)]
+                  for d in range(graph.n_documents)]
+        block_result = blockrank(graph.adjacency(), blocks, refine=False)
+        block_contamination = top_k_contamination(
+            block_result.top_k(15), campus.farm_doc_ids, 15)
+        layered_contamination = top_k_contamination(
+            layered_docrank(graph).top_k(15), campus.farm_doc_ids, 15)
+        assert layered_contamination <= block_contamination

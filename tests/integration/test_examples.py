@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs end-to-end (at reduced scale)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, os.pardir, "examples")
+
+
+def run_example(name: str, *arguments: str) -> subprocess.CompletedProcess:
+    script = os.path.join(EXAMPLES_DIR, name)
+    return subprocess.run([sys.executable, script, *arguments],
+                          capture_output=True, text=True, timeout=600,
+                          cwd=EXAMPLES_DIR)
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Partition Theorem verified: True" in result.stdout
+        assert "approach-4" in result.stdout
+
+    def test_campus_web_ranking(self):
+        result = run_example("campus_web_ranking.py", "--sites", "12",
+                             "--documents", "800")
+        assert result.returncode == 0, result.stderr
+        assert "Figure 3 analogue" in result.stdout
+        assert "Figure 4 analogue" in result.stdout
+        assert "Spam impact" in result.stdout
+
+    def test_p2p_distributed_ranking(self):
+        result = run_example("p2p_distributed_ranking.py", "--peers", "3",
+                             "--sites", "10", "--documents", "400")
+        assert result.returncode == 0, result.stderr
+        assert "identical to centralized layered ranking" in result.stdout
+        assert "super-peer architecture" in result.stdout
+
+    def test_personalized_search(self):
+        result = run_example("personalized_search.py")
+        assert result.returncode == 0, result.stderr
+        assert "site-layer personalisation" in result.stdout
+        assert "combined search" in result.stdout
+
+    def test_spam_resistance(self):
+        result = run_example("spam_resistance.py", "--farm-sizes", "20", "40",
+                             "--sites", "8", "--documents", "400")
+        assert result.returncode == 0, result.stderr
+        assert "flat PageRank" in result.stdout
+        assert "LMM layered" in result.stdout
+
+    def test_crawl_and_update(self):
+        result = run_example("crawl_and_update.py", "--budget", "400")
+        assert result.returncode == 0, result.stderr
+        assert "maintaining the ranking incrementally" in result.stdout
+        assert "max |diff| = 0.00e+00" in result.stdout

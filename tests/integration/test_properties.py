@@ -1,0 +1,114 @@
+"""Cross-module property-based tests on randomly generated web graphs.
+
+Where the unit suites check each module against hand-built fixtures, these
+properties assert the paper's structural invariants on *arbitrary* synthetic
+webs: mass conservation of the layered composition, consistency between the
+web pipeline and the core LMM machinery, SiteGraph aggregation invariants,
+and the equality of the distributed simulation with the centralized result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import approach_4
+from repro.distributed import distributed_layered_docrank
+from repro.graphgen import SyntheticWebConfig, generate_synthetic_web
+from repro.web import (
+    aggregate_sitegraph,
+    flat_pagerank_ranking,
+    layered_docrank,
+    lmm_from_docgraph,
+)
+
+web_configs = st.builds(
+    SyntheticWebConfig,
+    n_sites=st.integers(2, 10),
+    n_documents=st.integers(30, 250),
+    intra_out_degree=st.integers(0, 5),
+    inter_site_links=st.integers(0, 150),
+    homepage_hub=st.booleans(),
+    seed=st.integers(0, 10_000),
+)
+
+
+class TestLayeredRankingInvariants:
+    @given(config=web_configs)
+    @settings(max_examples=25, deadline=None)
+    def test_layered_scores_are_a_distribution(self, config):
+        graph = generate_synthetic_web(config)
+        result = layered_docrank(graph)
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)
+        assert result.scores.min() > 0.0
+        assert sorted(result.doc_ids) == list(range(graph.n_documents))
+
+    @given(config=web_configs)
+    @settings(max_examples=20, deadline=None)
+    def test_site_mass_equals_siterank(self, config):
+        graph = generate_synthetic_web(config)
+        result = layered_docrank(graph)
+        scores = result.scores_by_doc_id()
+        for site in graph.sites():
+            mass = float(sum(scores[d] for d in graph.documents_of_site(site)))
+            assert mass == pytest.approx(result.siterank.score_of(site),
+                                         rel=1e-8, abs=1e-12)
+
+    @given(config=web_configs)
+    @settings(max_examples=12, deadline=None)
+    def test_pipeline_equals_core_approach_4(self, config):
+        graph = generate_synthetic_web(config)
+        pipeline = layered_docrank(graph)
+        core = approach_4(lmm_from_docgraph(graph), 0.85)
+        assert np.allclose(pipeline.scores, core.scores, atol=1e-7)
+
+    @given(config=web_configs, n_peers=st.integers(1, 6),
+           architecture=st.sampled_from(["flat", "super-peer"]))
+    @settings(max_examples=10, deadline=None)
+    def test_distributed_equals_centralized(self, config, n_peers,
+                                            architecture):
+        graph = generate_synthetic_web(config)
+        centralized = layered_docrank(graph)
+        report = distributed_layered_docrank(graph, n_peers=n_peers,
+                                             architecture=architecture)
+        assert np.allclose(report.ranking.scores_by_doc_id(),
+                           centralized.scores_by_doc_id(), atol=1e-9)
+
+
+class TestAggregationInvariants:
+    @given(config=web_configs)
+    @settings(max_examples=25, deadline=None)
+    def test_sitegraph_conserves_interlink_counts(self, config):
+        graph = generate_synthetic_web(config)
+        sitegraph = aggregate_sitegraph(graph)
+        cross_links = sum(
+            1 for source, target in graph.edges()
+            if graph.site_of_document(source) != graph.site_of_document(target))
+        assert sitegraph.n_sitelinks == cross_links
+
+    @given(config=web_configs)
+    @settings(max_examples=25, deadline=None)
+    def test_site_sizes_partition_the_documents(self, config):
+        graph = generate_synthetic_web(config)
+        sitegraph = aggregate_sitegraph(graph)
+        assert sum(sitegraph.site_sizes) == graph.n_documents
+
+
+class TestBaselineInvariants:
+    @given(config=web_configs)
+    @settings(max_examples=15, deadline=None)
+    def test_flat_pagerank_is_a_distribution(self, config):
+        graph = generate_synthetic_web(config)
+        result = flat_pagerank_ranking(graph)
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-8)
+        assert result.scores.min() > 0.0
+
+    @given(config=web_configs, damping=st.floats(0.3, 0.95))
+    @settings(max_examples=12, deadline=None)
+    def test_damping_preserved_across_methods(self, config, damping):
+        """Both rankings remain valid distributions for any damping factor."""
+        graph = generate_synthetic_web(config)
+        layered = layered_docrank(graph, damping=damping)
+        flat = flat_pagerank_ranking(graph, damping=damping)
+        assert layered.scores.sum() == pytest.approx(1.0, abs=1e-8)
+        assert flat.scores.sum() == pytest.approx(1.0, abs=1e-8)

@@ -1,0 +1,55 @@
+"""Tests for repro.io.datasets (bundled toy webs)."""
+
+import pytest
+
+from repro.io import SPAMMY_WEB_EDGES, TOY_WEB_EDGES, spammy_web, toy_web
+
+
+class TestToyWeb:
+    def test_shape(self):
+        graph = toy_web()
+        assert graph.n_documents == 10
+        assert graph.n_sites == 3
+        assert graph.n_links == len(TOY_WEB_EDGES)
+
+    def test_fresh_instance_each_call(self):
+        a, b = toy_web(), toy_web()
+        a.add_link("http://new.org/", "http://a.example.org/")
+        assert b.n_documents == 10
+
+    def test_sites_are_the_three_hosts(self):
+        assert set(toy_web().sites()) == {"a.example.org", "b.example.org",
+                                          "c.example.org"}
+
+    def test_rankable(self):
+        from repro.web import layered_docrank
+
+        result = layered_docrank(toy_web())
+        assert result.scores.sum() == pytest.approx(1.0)
+
+
+class TestSpammyWeb:
+    def test_shape(self):
+        graph = spammy_web()
+        assert graph.n_sites == 2
+        assert graph.n_links == len(SPAMMY_WEB_EDGES)
+
+    def test_contains_target_and_farm(self):
+        graph = spammy_web()
+        assert "http://spam.example.net/target.html" in graph
+        spam_pages = graph.documents_of_site("spam.example.net")
+        assert len(spam_pages) == 6  # 5 farm pages + target
+
+    def test_layered_demotes_the_farm(self):
+        """The miniature version of the paper's claim: under the layered
+        ranking the spam site's total mass is capped by its (low) SiteRank,
+        well below its flat PageRank mass."""
+        from repro.web import flat_pagerank_ranking, layered_docrank
+
+        graph = spammy_web()
+        farm_ids = set(graph.documents_of_site("spam.example.net"))
+        flat = flat_pagerank_ranking(graph).scores_by_doc_id()
+        layered = layered_docrank(graph).scores_by_doc_id()
+        flat_mass = sum(flat[d] for d in farm_ids)
+        layered_mass = sum(layered[d] for d in farm_ids)
+        assert layered_mass < flat_mass

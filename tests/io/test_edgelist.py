@@ -1,0 +1,103 @@
+"""Tests for repro.io.edgelist."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io import (
+    iter_url_edges,
+    read_docgraph,
+    read_url_edgelist,
+    toy_web,
+    write_docgraph,
+    write_url_edgelist,
+)
+
+
+class TestIterUrlEdges:
+    def test_parses_pairs(self):
+        lines = ["http://a.org/ http://b.org/",
+                 "http://b.org/\thttp://c.org/"]
+        assert list(iter_url_edges(lines)) == [
+            ("http://a.org/", "http://b.org/"),
+            ("http://b.org/", "http://c.org/"),
+        ]
+
+    def test_skips_comments_and_blank_lines(self):
+        lines = ["# a comment", "", "   ", "http://a.org/ http://b.org/"]
+        assert len(list(iter_url_edges(lines))) == 1
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(ValidationError):
+            list(iter_url_edges(["http://a.org/ http://b.org/ extra"]))
+
+
+class TestUrlEdgelistRoundTrip:
+    def test_write_then_read(self, tmp_path, toy_docgraph):
+        path = tmp_path / "edges.txt"
+        write_url_edgelist(toy_docgraph, path)
+        loaded = read_url_edgelist(path)
+        assert loaded.n_links == toy_docgraph.n_links
+        assert set(loaded.urls()) == set(toy_docgraph.urls())
+
+    def test_read_applies_custom_site_extractor(self, tmp_path, toy_docgraph):
+        path = tmp_path / "edges.txt"
+        write_url_edgelist(toy_docgraph, path)
+        loaded = read_url_edgelist(path, site_extractor=lambda url: "one-site")
+        assert loaded.n_sites == 1
+
+
+class TestDocGraphRoundTrip:
+    def test_lossless_round_trip(self, tmp_path, spam_docgraph):
+        path = tmp_path / "graph.txt"
+        write_docgraph(spam_docgraph, path)
+        loaded = read_docgraph(path)
+        assert loaded.n_documents == spam_docgraph.n_documents
+        assert loaded.n_links == spam_docgraph.n_links
+        assert loaded.site_sizes() == spam_docgraph.site_sizes()
+        assert (loaded.adjacency() != spam_docgraph.adjacency()).nnz == 0
+
+    def test_preserves_dynamic_flags_and_sites(self, tmp_path):
+        graph = toy_web()
+        graph.add_document("http://x.org/d.php", site="custom", is_dynamic=True)
+        path = tmp_path / "graph.txt"
+        write_docgraph(graph, path)
+        loaded = read_docgraph(path)
+        document = loaded.document_by_url("http://x.org/d.php")
+        assert document.is_dynamic
+        assert document.site == "custom"
+
+    def test_rankings_identical_after_round_trip(self, tmp_path, toy_docgraph):
+        import numpy as np
+
+        from repro.web import layered_docrank
+
+        path = tmp_path / "graph.txt"
+        write_docgraph(toy_docgraph, path)
+        loaded = read_docgraph(path)
+        original = layered_docrank(toy_docgraph).scores_by_doc_id()
+        reloaded = layered_docrank(loaded).scores_by_doc_id()
+        assert np.allclose(original, reloaded)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            read_docgraph(path)
+
+    def test_rejects_malformed_node_record(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("*NODES\nonly-two\tfields\n")
+        with pytest.raises(ValidationError):
+            read_docgraph(path)
+
+    def test_rejects_edge_before_nodes(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\t1\n")
+        with pytest.raises(ValidationError):
+            read_docgraph(path)
+
+    def test_rejects_edge_to_unknown_node(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("*NODES\n0\tsite\t0\thttp://a.org/\n*EDGES\n0\t7\n")
+        with pytest.raises(ValidationError):
+            read_docgraph(path)

@@ -1,0 +1,86 @@
+"""Tests for repro.io.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io import (
+    experiment_rows_to_markdown,
+    load_json,
+    ranking_to_dict,
+    save_json,
+)
+from repro.web import layered_docrank
+
+
+class TestRankingToDict:
+    def test_full_payload(self, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        payload = ranking_to_dict(result)
+        assert payload["method"] == "layered"
+        assert payload["n_documents"] == toy_docgraph.n_documents
+        assert len(payload["scores"]) == toy_docgraph.n_documents
+        assert len(payload["urls"]) == toy_docgraph.n_documents
+
+    def test_top_k_payload(self, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        payload = ranking_to_dict(result, top_k=3)
+        assert len(payload["top"]) == 3
+        assert "scores" not in payload
+        best = payload["top"][0]
+        assert best["score"] == pytest.approx(float(result.scores.max()))
+
+    def test_rejects_non_positive_top_k(self, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        with pytest.raises(ValidationError):
+            ranking_to_dict(result, top_k=0)
+
+
+class TestJsonRoundTrip:
+    def test_numpy_and_dataclass_values(self, tmp_path, toy_docgraph):
+        from repro.metrics import spam_impact
+
+        result = layered_docrank(toy_docgraph)
+        impact = spam_impact("layered", result.scores_by_doc_id(),
+                             result.top_k(5), {0, 1}, k=5)
+        payload = {
+            "vector": np.array([1.0, 2.0]),
+            "count": np.int64(7),
+            "impact": impact,
+            "nested": {"values": (1, 2, 3)},
+        }
+        path = tmp_path / "payload.json"
+        save_json(payload, path)
+        loaded = load_json(path)
+        assert loaded["vector"] == [1.0, 2.0]
+        assert loaded["count"] == 7
+        assert loaded["impact"]["method"] == "layered"
+        assert loaded["nested"]["values"] == [1, 2, 3]
+
+    def test_ranking_round_trip(self, tmp_path, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        path = tmp_path / "ranking.json"
+        save_json(ranking_to_dict(result), path)
+        loaded = load_json(path)
+        assert loaded["method"] == "layered"
+        assert len(loaded["scores"]) == toy_docgraph.n_documents
+
+
+class TestMarkdownTable:
+    def test_renders_header_and_rows(self):
+        rows = [{"method": "pagerank", "mass": 0.5},
+                {"method": "layered", "mass": 0.125}]
+        table = experiment_rows_to_markdown(rows, ["method", "mass"])
+        lines = table.splitlines()
+        assert lines[0] == "| method | mass |"
+        assert lines[1] == "| --- | --- |"
+        assert "| pagerank | 0.5 |" in lines
+        assert "| layered | 0.125 |" in lines
+
+    def test_missing_cells_render_empty(self):
+        table = experiment_rows_to_markdown([{"a": 1}], ["a", "b"])
+        assert "| 1 |  |" in table
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValidationError):
+            experiment_rows_to_markdown([], [])

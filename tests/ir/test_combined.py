@@ -1,0 +1,89 @@
+"""Tests for repro.ir.combined (query + link score combination)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ir import VectorSpaceIndex, combined_search
+
+CORPUS = {
+    0: "research database publication records",
+    1: "research database project",
+    2: "student course catalogue",
+    3: "campus restaurant map",
+}
+#: Link scores: document 1 is far more "authoritative" than document 0.
+LINK_SCORES = {0: 0.05, 1: 0.80, 2: 0.10, 3: 0.05}
+
+
+@pytest.fixture
+def index():
+    return VectorSpaceIndex.from_corpus(CORPUS)
+
+
+class TestLinearCombination:
+    def test_pure_text_weight_follows_query_scores(self, index):
+        hits = combined_search(index, "publication records", LINK_SCORES,
+                               weight=1.0, k=2)
+        assert hits[0].doc_id == 0
+
+    def test_pure_link_weight_follows_link_scores(self, index):
+        hits = combined_search(index, "research database", LINK_SCORES,
+                               weight=0.0, k=2)
+        assert hits[0].doc_id == 1
+
+    def test_balanced_weight_promotes_authoritative_relevant_page(self, index):
+        hits = combined_search(index, "research database", LINK_SCORES,
+                               weight=0.5, k=4)
+        assert hits[0].doc_id == 1
+        returned = {hit.doc_id for hit in hits}
+        assert 3 not in returned  # irrelevant page never retrieved
+
+    def test_hit_carries_both_component_scores(self, index):
+        hits = combined_search(index, "research database", LINK_SCORES, k=1)
+        hit = hits[0]
+        assert hit.query_score > 0.0
+        assert hit.link_score == pytest.approx(LINK_SCORES[hit.doc_id])
+
+    def test_k_limits_results(self, index):
+        assert len(combined_search(index, "research", LINK_SCORES, k=1)) == 1
+
+    def test_no_candidates_returns_empty(self, index):
+        assert combined_search(index, "quantum", LINK_SCORES) == []
+
+    def test_array_link_scores_supported(self, index):
+        scores = np.array([0.05, 0.8, 0.1, 0.05])
+        hits = combined_search(index, "research database", scores, weight=0.0)
+        assert hits[0].doc_id == 1
+
+    def test_rejects_bad_weight(self, index):
+        with pytest.raises(ValidationError):
+            combined_search(index, "research", LINK_SCORES, weight=1.5)
+
+    def test_rejects_bad_k(self, index):
+        with pytest.raises(ValidationError):
+            combined_search(index, "research", LINK_SCORES, k=0)
+
+    def test_rejects_unknown_rule(self, index):
+        with pytest.raises(ValidationError):
+            combined_search(index, "research", LINK_SCORES, rule="max")
+
+
+class TestReciprocalRankFusion:
+    def test_rrf_prefers_items_good_in_both_rankings(self, index):
+        hits = combined_search(index, "research database", LINK_SCORES,
+                               rule="rrf", k=4)
+        assert hits[0].doc_id == 1
+
+    def test_rrf_scores_are_descending(self, index):
+        hits = combined_search(index, "research database publication",
+                               LINK_SCORES, rule="rrf", k=4)
+        scores = [hit.combined_score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rrf_and_linear_agree_on_clear_winner(self, index):
+        linear = combined_search(index, "research database", LINK_SCORES,
+                                 rule="linear", k=1)
+        rrf = combined_search(index, "research database", LINK_SCORES,
+                              rule="rrf", k=1)
+        assert linear[0].doc_id == rrf[0].doc_id

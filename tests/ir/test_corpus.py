@@ -1,0 +1,49 @@
+"""Tests for repro.ir.corpus (synthetic text generation)."""
+
+import pytest
+
+from repro.ir import TOPIC_VOCABULARIES, synthesize_corpus
+
+
+class TestSynthesizeCorpus:
+    def test_one_text_per_document(self, toy_docgraph):
+        corpus = synthesize_corpus(toy_docgraph)
+        assert set(corpus) == set(range(toy_docgraph.n_documents))
+        assert all(isinstance(text, str) and text for text in corpus.values())
+
+    def test_deterministic_for_fixed_seed(self, toy_docgraph):
+        a = synthesize_corpus(toy_docgraph, seed=3)
+        b = synthesize_corpus(toy_docgraph, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self, toy_docgraph):
+        a = synthesize_corpus(toy_docgraph, seed=3)
+        b = synthesize_corpus(toy_docgraph, seed=4)
+        assert a != b
+
+    def test_text_contains_url_derived_tokens(self, toy_docgraph):
+        corpus = synthesize_corpus(toy_docgraph)
+        doc = toy_docgraph.document_by_url("http://a.example.org/research.html")
+        assert "research" in corpus[doc.doc_id]
+
+    def test_documents_of_same_site_share_topic_vocabulary(self, toy_docgraph):
+        corpus = synthesize_corpus(toy_docgraph)
+        site_docs = toy_docgraph.documents_of_site("a.example.org")
+        site_index = toy_docgraph.sites().index("a.example.org")
+        topic = set(TOPIC_VOCABULARIES[site_index % len(TOPIC_VOCABULARIES)])
+        for doc_id in site_docs:
+            tokens = set(corpus[doc_id].split())
+            assert tokens & topic, "expected at least one topic word"
+
+    def test_words_per_document_scales_length(self, toy_docgraph):
+        short = synthesize_corpus(toy_docgraph, words_per_document=10)
+        long = synthesize_corpus(toy_docgraph, words_per_document=80)
+        assert len(long[0].split()) > len(short[0].split())
+
+    def test_searchable_with_vector_space_index(self, toy_docgraph):
+        from repro.ir import VectorSpaceIndex
+
+        corpus = synthesize_corpus(toy_docgraph)
+        index = VectorSpaceIndex.from_corpus(corpus)
+        hits = index.search("research")
+        assert hits, "expected the synthetic corpus to be retrievable"

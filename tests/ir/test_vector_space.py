@@ -1,0 +1,89 @@
+"""Tests for repro.ir.vector_space."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ir import VectorSpaceIndex, tokenize
+
+CORPUS = {
+    0: "research database with publication records",
+    1: "student course catalogue and lecture notes",
+    2: "research project on database systems",
+    3: "campus map and restaurant information",
+}
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello WORLD-42!") == ["hello", "world", "42"]
+
+    def test_stopwords_removed(self):
+        assert "the" not in tokenize("the research of the database")
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_custom_stopwords(self):
+        assert tokenize("alpha beta", stopwords={"alpha"}) == ["beta"]
+
+    def test_rejects_none(self):
+        with pytest.raises(ValidationError):
+            tokenize(None)
+
+
+class TestVectorSpaceIndex:
+    @pytest.fixture
+    def index(self):
+        return VectorSpaceIndex.from_corpus(CORPUS)
+
+    def test_document_count(self, index):
+        assert index.n_documents == 4
+
+    def test_search_finds_relevant_documents(self, index):
+        hits = index.search("research database")
+        hit_ids = [doc_id for doc_id, _score in hits]
+        assert hit_ids[0] in (0, 2)
+        assert 3 not in hit_ids
+
+    def test_scores_are_descending(self, index):
+        hits = index.search("research database publication")
+        scores = [score for _doc, score in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_in_unit_interval(self, index):
+        for doc_id in CORPUS:
+            score = index.score("research database", doc_id)
+            assert 0.0 <= score <= 1.0 + 1e-9
+
+    def test_identical_text_scores_highest(self):
+        index = VectorSpaceIndex.from_corpus({0: "alpha beta", 1: "gamma delta"})
+        assert index.score("alpha beta", 0) > index.score("alpha beta", 1)
+        assert index.score("alpha beta", 0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_idf_penalises_common_terms(self, index):
+        # "research" appears in two documents, "restaurant" in one.
+        assert index.idf("restaurant") > index.idf("research")
+        # Unknown terms get the largest idf of all.
+        assert index.idf("zzzz") > index.idf("restaurant")
+
+    def test_search_k_limits_results(self, index):
+        assert len(index.search("research database systems", k=1)) == 1
+
+    def test_search_no_match_returns_empty(self, index):
+        assert index.search("quantum entanglement") == []
+
+    def test_empty_query_returns_empty(self, index):
+        assert index.search("") == []
+        assert index.score("", 0) == 0.0
+
+    def test_unknown_document_score_raises(self, index):
+        with pytest.raises(ValidationError):
+            index.score("research", 99)
+
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ValidationError):
+            VectorSpaceIndex.from_corpus({})
+
+    def test_rejects_negative_k(self, index):
+        with pytest.raises(ValidationError):
+            index.search("research", k=-1)

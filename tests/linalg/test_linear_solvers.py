@@ -1,0 +1,131 @@
+"""Tests for repro.linalg.linear_solvers (Jacobi / Gauss–Seidel PageRank)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.linalg import (
+    gauss_seidel_pagerank,
+    jacobi_pagerank,
+    stationary_distribution,
+)
+from repro.linalg.stochastic import random_stochastic_matrix, transition_matrix
+from repro.markov.irreducibility import maximal_irreducibility
+
+ADJACENCY = np.array([
+    [0, 1, 1, 0],
+    [0, 0, 1, 1],
+    [1, 0, 0, 0],
+    [0, 1, 0, 0],
+], dtype=float)
+
+
+def reference_pagerank(transition, damping=0.85, preference=None):
+    google = maximal_irreducibility(transition, damping, preference)
+    return stationary_distribution(google, tol=1e-13).vector
+
+
+class TestJacobi:
+    def test_matches_power_method(self):
+        transition = transition_matrix(ADJACENCY)
+        result = jacobi_pagerank(transition, 0.85, tol=1e-12)
+        assert np.allclose(result.scores, reference_pagerank(transition),
+                           atol=1e-8)
+
+    def test_scores_form_distribution(self):
+        transition = transition_matrix(ADJACENCY)
+        result = jacobi_pagerank(transition)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.scores.min() > 0.0
+
+    def test_sparse_input(self):
+        import scipy.sparse as sp
+
+        transition = sp.csr_matrix(transition_matrix(ADJACENCY))
+        result = jacobi_pagerank(transition, tol=1e-12)
+        assert np.allclose(result.scores,
+                           reference_pagerank(transition_matrix(ADJACENCY)),
+                           atol=1e-8)
+
+    def test_personalised_preference(self):
+        transition = transition_matrix(ADJACENCY)
+        preference = np.array([0.7, 0.1, 0.1, 0.1])
+        result = jacobi_pagerank(transition, 0.85, preference, tol=1e-12)
+        assert np.allclose(result.scores,
+                           reference_pagerank(transition, 0.85, preference),
+                           atol=1e-8)
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValidationError):
+            jacobi_pagerank(ADJACENCY)
+
+    def test_non_convergence_raises(self):
+        transition = transition_matrix(ADJACENCY)
+        with pytest.raises(ConvergenceError):
+            jacobi_pagerank(transition, max_iter=1, tol=1e-15)
+
+
+class TestGaussSeidel:
+    def test_matches_power_method(self):
+        transition = transition_matrix(ADJACENCY)
+        result = gauss_seidel_pagerank(transition, 0.85, tol=1e-12)
+        assert np.allclose(result.scores, reference_pagerank(transition),
+                           atol=1e-7)
+
+    def test_converges_even_with_high_damping(self):
+        """With damping close to 1 the system is nearly singular; the sweep
+        must still converge and agree with the power-method reference."""
+        transition = transition_matrix(ADJACENCY)
+        result = gauss_seidel_pagerank(transition, 0.99, tol=1e-10,
+                                       max_iter=20_000)
+        assert result.converged
+        assert np.allclose(result.scores,
+                           reference_pagerank(transition, 0.99), atol=1e-5)
+
+    def test_residuals_shrink_overall(self):
+        transition = transition_matrix(ADJACENCY)
+        result = gauss_seidel_pagerank(transition, 0.9, tol=1e-12)
+        assert result.residuals[-1] < result.residuals[0] * 1e-6
+
+    def test_top_k_helper_and_method_tag(self):
+        transition = transition_matrix(ADJACENCY)
+        result = gauss_seidel_pagerank(transition)
+        assert len(result.top_k(2)) == 2
+        assert result.method == "gauss-seidel"
+
+    def test_personalised_preference(self):
+        transition = transition_matrix(ADJACENCY)
+        preference = np.array([0.0, 0.0, 0.0, 1.0])
+        result = gauss_seidel_pagerank(transition, 0.85, preference,
+                                       tol=1e-12)
+        assert np.allclose(result.scores,
+                           reference_pagerank(transition, 0.85, preference),
+                           atol=1e-7)
+
+    def test_rejects_damping_one(self):
+        transition = transition_matrix(ADJACENCY)
+        with pytest.raises(ValidationError):
+            gauss_seidel_pagerank(transition, damping=1.0)
+
+    def test_rejects_bad_preference_length(self):
+        transition = transition_matrix(ADJACENCY)
+        with pytest.raises(ValidationError):
+            gauss_seidel_pagerank(transition, preference=np.array([1.0]))
+
+
+class TestSolverProperties:
+    @given(seed=st.integers(0, 5000), damping=st.floats(0.2, 0.95),
+           n=st.integers(2, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_all_three_solvers_agree(self, seed, damping, n):
+        transition = random_stochastic_matrix(
+            n, rng=np.random.default_rng(seed))
+        reference = reference_pagerank(transition, damping)
+        jacobi = jacobi_pagerank(transition, damping, tol=1e-12,
+                                 max_iter=20000).scores
+        gauss_seidel = gauss_seidel_pagerank(transition, damping, tol=1e-12,
+                                             max_iter=20000).scores
+        assert np.allclose(jacobi, reference, atol=1e-6)
+        assert np.allclose(gauss_seidel, reference, atol=1e-6)

@@ -1,0 +1,151 @@
+"""Tests for repro.linalg.perron (irreducibility / periodicity / primitivity)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.linalg.perron import (
+    is_aperiodic,
+    is_irreducible,
+    is_positive,
+    is_primitive,
+    period,
+    spectral_gap,
+)
+
+CYCLE_3 = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]], dtype=float)
+REDUCIBLE = np.array([[0.5, 0.5, 0.0], [0.5, 0.5, 0.0], [0.3, 0.3, 0.4]])
+POSITIVE = np.full((3, 3), 1.0 / 3.0)
+
+
+class TestIrreducibility:
+    def test_cycle_is_irreducible(self):
+        assert is_irreducible(CYCLE_3)
+
+    def test_reducible_matrix_detected(self):
+        # State 2 can reach states 0/1 but not vice versa.
+        assert not is_irreducible(REDUCIBLE)
+
+    def test_positive_matrix_is_irreducible(self):
+        assert is_irreducible(POSITIVE)
+
+    def test_single_state_with_self_loop(self):
+        assert is_irreducible(np.array([[1.0]]))
+
+    def test_single_state_without_self_loop(self):
+        assert not is_irreducible(np.array([[0.0]]))
+
+    def test_sparse_input(self):
+        assert is_irreducible(sp.csr_matrix(CYCLE_3))
+
+    def test_disconnected_components(self):
+        block = np.array([[0, 1, 0, 0], [1, 0, 0, 0],
+                          [0, 0, 0, 1], [0, 0, 1, 0]], dtype=float)
+        assert not is_irreducible(block)
+
+    def test_rejects_negative_matrix(self):
+        with pytest.raises(ValidationError):
+            is_irreducible(np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+
+class TestPeriod:
+    def test_cycle_period_equals_length(self):
+        assert period(CYCLE_3) == 3
+
+    def test_two_cycle(self):
+        assert period(np.array([[0.0, 1.0], [1.0, 0.0]])) == 2
+
+    def test_self_loop_gives_period_one(self):
+        matrix = np.array([[0.5, 0.5, 0], [0, 0, 1], [1, 0, 0]], dtype=float)
+        assert period(matrix) == 1
+
+    def test_positive_matrix_period_one(self):
+        assert period(POSITIVE) == 1
+
+    def test_period_of_reducible_matrix_raises(self):
+        with pytest.raises(ValidationError):
+            period(REDUCIBLE)
+
+    def test_chords_reduce_the_period(self):
+        # 4-cycle has period 4; the chord 0->3 creates a 2-cycle with the
+        # existing edge 3->0 (gcd(4, 2) = 2); the chord 0->2 creates a
+        # 3-cycle (gcd(4, 3) = 1).
+        cycle4 = np.zeros((4, 4))
+        for i in range(4):
+            cycle4[i, (i + 1) % 4] = 1.0
+        assert period(cycle4) == 4
+        with_two_cycle = cycle4.copy()
+        with_two_cycle[0, 3] = 1.0
+        assert period(with_two_cycle) == 2
+        with_three_cycle = cycle4.copy()
+        with_three_cycle[0, 2] = 1.0
+        assert period(with_three_cycle) == 1
+
+
+class TestAperiodicityAndPrimitivity:
+    def test_cycle_not_aperiodic(self):
+        assert not is_aperiodic(CYCLE_3)
+
+    def test_positive_matrix_aperiodic(self):
+        assert is_aperiodic(POSITIVE)
+
+    def test_primitive_structure_method(self):
+        assert is_primitive(POSITIVE)
+        assert not is_primitive(CYCLE_3)
+        assert not is_primitive(REDUCIBLE)
+
+    def test_primitive_power_method_agrees(self):
+        for matrix in (POSITIVE, CYCLE_3, REDUCIBLE):
+            assert (is_primitive(matrix, method="power")
+                    == is_primitive(matrix, method="structure"))
+
+    def test_irreducible_but_not_primitive(self):
+        # The 2-cycle is irreducible with period 2, hence not primitive.
+        two_cycle = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert is_irreducible(two_cycle)
+        assert not is_primitive(two_cycle)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError):
+            is_primitive(POSITIVE, method="magic")
+
+    def test_paper_example_phase_matrix_is_primitive(self, paper_lmm):
+        assert is_primitive(paper_lmm.phase_transition)
+
+    def test_google_matrix_always_primitive(self):
+        from repro.linalg.stochastic import random_stochastic_matrix
+        from repro.markov.irreducibility import maximal_irreducibility
+
+        matrix = random_stochastic_matrix(6, rng=np.random.default_rng(3))
+        google = maximal_irreducibility(matrix, 0.85)
+        assert is_primitive(google)
+        assert is_positive(google)
+
+
+class TestPositivity:
+    def test_positive_true(self):
+        assert is_positive(POSITIVE)
+
+    def test_positive_false_with_zero(self):
+        assert not is_positive(CYCLE_3)
+
+    def test_sparse_positive(self):
+        assert is_positive(sp.csr_matrix(POSITIVE))
+
+
+class TestSpectralGap:
+    def test_gap_of_uniform_matrix_is_one(self):
+        assert spectral_gap(POSITIVE) == pytest.approx(1.0, abs=1e-9)
+
+    def test_gap_of_cycle_is_zero(self):
+        assert spectral_gap(CYCLE_3) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gap_bounded_by_damping(self):
+        from repro.linalg.stochastic import random_stochastic_matrix
+        from repro.markov.irreducibility import maximal_irreducibility
+
+        matrix = random_stochastic_matrix(8, rng=np.random.default_rng(9))
+        google = maximal_irreducibility(matrix, 0.85)
+        # |lambda_2| <= damping  =>  gap >= 1 - damping.
+        assert spectral_gap(google) >= 0.15 - 1e-9

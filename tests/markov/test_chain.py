@@ -1,0 +1,153 @@
+"""Tests for repro.markov.chain.MarkovChain."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.markov import MarkovChain
+
+WEATHER = np.array([[0.7, 0.3], [0.4, 0.6]])
+#: Exact stationary distribution of WEATHER: (4/7, 3/7).
+WEATHER_STATIONARY = np.array([4.0 / 7.0, 3.0 / 7.0])
+
+
+class TestConstruction:
+    def test_default_state_labels(self):
+        chain = MarkovChain(WEATHER)
+        assert chain.states == [0, 1]
+
+    def test_custom_state_labels(self):
+        chain = MarkovChain(WEATHER, states=["sunny", "rainy"])
+        assert chain.index_of("rainy") == 1
+
+    def test_len_and_n_states(self):
+        chain = MarkovChain(WEATHER)
+        assert len(chain) == 2
+        assert chain.n_states == 2
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValidationError):
+            MarkovChain(np.array([[0.5, 0.6], [0.5, 0.5]]))
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(ValidationError):
+            MarkovChain(WEATHER, states=["only-one"])
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ValidationError):
+            MarkovChain(WEATHER, states=["a", "a"])
+
+    def test_rejects_bad_initial_length(self):
+        with pytest.raises(ValidationError):
+            MarkovChain(WEATHER, initial=np.array([1.0]))
+
+    def test_rejects_non_distribution_initial(self):
+        with pytest.raises(ValidationError):
+            MarkovChain(WEATHER, initial=np.array([0.5, 0.6]))
+
+    def test_unknown_state_lookup_raises(self):
+        chain = MarkovChain(WEATHER, states=["sunny", "rainy"])
+        with pytest.raises(ValidationError):
+            chain.index_of("snowy")
+
+
+class TestAccessors:
+    def test_transition_probability_lookup(self):
+        chain = MarkovChain(WEATHER, states=["sunny", "rainy"])
+        assert chain.probability("sunny", "rainy") == pytest.approx(0.3)
+
+    def test_initial_defaults_to_uniform(self):
+        chain = MarkovChain(WEATHER)
+        assert np.allclose(chain.initial, [0.5, 0.5])
+
+    def test_initial_copy_is_returned(self):
+        chain = MarkovChain(WEATHER)
+        chain.initial[0] = 99.0  # mutating the copy must not affect the chain
+        assert np.allclose(chain.initial, [0.5, 0.5])
+
+
+class TestStructure:
+    def test_weather_chain_is_primitive(self):
+        chain = MarkovChain(WEATHER)
+        assert chain.is_irreducible()
+        assert chain.is_aperiodic()
+        assert chain.is_primitive()
+        assert chain.period() == 1
+
+    def test_periodic_chain(self):
+        chain = MarkovChain(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert chain.is_irreducible()
+        assert not chain.is_aperiodic()
+        assert chain.period() == 2
+
+    def test_reducible_chain(self):
+        matrix = np.array([[1.0, 0.0], [0.5, 0.5]])
+        chain = MarkovChain(matrix)
+        assert not chain.is_irreducible()
+
+
+class TestDistributions:
+    def test_evolve_one_step(self):
+        chain = MarkovChain(WEATHER)
+        out = chain.evolve(np.array([1.0, 0.0]), steps=1)
+        assert np.allclose(out, [0.7, 0.3])
+
+    def test_evolve_zero_steps_returns_input(self):
+        chain = MarkovChain(WEATHER)
+        start = np.array([0.2, 0.8])
+        assert np.allclose(chain.evolve(start, steps=0), start)
+
+    def test_evolve_uses_initial_by_default(self):
+        chain = MarkovChain(WEATHER, initial=np.array([1.0, 0.0]))
+        assert np.allclose(chain.evolve(steps=1), [0.7, 0.3])
+
+    def test_evolve_rejects_negative_steps(self):
+        with pytest.raises(ValidationError):
+            MarkovChain(WEATHER).evolve(steps=-1)
+
+    def test_stationary_matches_analytic_value(self):
+        chain = MarkovChain(WEATHER)
+        result = chain.stationary(tol=1e-13)
+        assert np.allclose(result.vector, WEATHER_STATIONARY, atol=1e-9)
+
+    def test_stationary_is_fixed_point_of_evolve(self):
+        chain = MarkovChain(WEATHER)
+        pi = chain.stationary(tol=1e-13).vector
+        assert np.allclose(chain.evolve(pi, steps=5), pi, atol=1e-9)
+
+    def test_pagerank_of_primitive_chain_close_to_stationary(self):
+        chain = MarkovChain(WEATHER)
+        pr = chain.pagerank(damping=0.99, tol=1e-13).vector
+        assert np.allclose(pr, WEATHER_STATIONARY, atol=1e-2)
+
+    def test_pagerank_handles_reducible_chain(self):
+        matrix = np.array([[1.0, 0.0], [0.5, 0.5]])
+        chain = MarkovChain(matrix)
+        result = chain.pagerank(damping=0.85)
+        assert result.vector.sum() == pytest.approx(1.0)
+        assert result.vector.min() > 0.0
+
+
+class TestSimulation:
+    def test_trajectory_length(self, rng):
+        chain = MarkovChain(WEATHER, states=["sunny", "rainy"])
+        path = chain.simulate(10, rng=rng)
+        assert len(path) == 11
+        assert set(path) <= {"sunny", "rainy"}
+
+    def test_trajectory_start_state(self, rng):
+        chain = MarkovChain(WEATHER, states=["sunny", "rainy"])
+        path = chain.simulate(5, start="rainy", rng=rng)
+        assert path[0] == "rainy"
+
+    def test_negative_steps_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            MarkovChain(WEATHER).simulate(-1, rng=rng)
+
+    def test_empirical_frequencies_approach_stationary(self):
+        rng = np.random.default_rng(7)
+        chain = MarkovChain(WEATHER, states=["sunny", "rainy"])
+        path = chain.simulate(20_000, rng=rng)
+        frequency_sunny = path.count("sunny") / len(path)
+        assert frequency_sunny == pytest.approx(WEATHER_STATIONARY[0],
+                                                abs=0.02)

@@ -1,0 +1,80 @@
+"""Tests for repro.markov.classification."""
+
+import numpy as np
+import pytest
+
+from repro.markov import classify_chain, rank_sinks
+
+IRREDUCIBLE = np.array([[0.0, 1.0], [1.0, 0.0]])
+
+#: States 0/1 form a closed class; 2 and 3 are transient and drain into it.
+WITH_SINK = np.array([
+    [0.5, 0.5, 0.0, 0.0],
+    [0.5, 0.5, 0.0, 0.0],
+    [0.2, 0.2, 0.3, 0.3],
+    [0.0, 0.5, 0.25, 0.25],
+])
+
+ABSORBING = np.array([
+    [1.0, 0.0, 0.0],
+    [0.3, 0.4, 0.3],
+    [0.0, 0.0, 1.0],
+])
+
+
+class TestClassifyChain:
+    def test_irreducible_chain_single_class(self):
+        result = classify_chain(IRREDUCIBLE)
+        assert result.n_classes == 1
+        assert result.is_irreducible
+        assert result.transient_states == []
+
+    def test_sink_structure(self):
+        result = classify_chain(WITH_SINK)
+        assert not result.is_irreducible
+        assert sorted(result.recurrent_classes[0]) == [0, 1]
+        assert sorted(result.transient_states) == [2, 3]
+
+    def test_closed_flags(self):
+        result = classify_chain(WITH_SINK)
+        closed_members = [sorted(members) for members, closed
+                          in zip(result.classes, result.closed) if closed]
+        assert [0, 1] in closed_members
+
+    def test_class_labels_partition_states(self):
+        result = classify_chain(WITH_SINK)
+        assert sorted(state for members in result.classes
+                      for state in members) == [0, 1, 2, 3]
+
+    def test_absorbing_states(self):
+        result = classify_chain(ABSORBING)
+        assert sorted(result.absorbing_states) == [0, 2]
+
+    def test_state_with_no_out_edges_counts_as_absorbing(self):
+        dangling = np.array([[0.0, 1.0], [0.0, 0.0]])
+        result = classify_chain(dangling)
+        assert 1 in result.absorbing_states
+
+    def test_works_on_raw_adjacency_counts(self):
+        adjacency = np.array([[0, 3, 0], [2, 0, 0], [1, 0, 0]], dtype=float)
+        result = classify_chain(adjacency)
+        assert result.n_classes == 2  # {0,1} strongly connected, {2} apart
+
+
+class TestRankSinks:
+    def test_detects_sink_class(self):
+        sinks = rank_sinks(WITH_SINK)
+        assert len(sinks) == 1
+        assert sorted(sinks[0]) == [0, 1]
+
+    def test_no_sinks_in_irreducible_graph(self):
+        assert rank_sinks(IRREDUCIBLE) == []
+
+    def test_spam_farm_is_a_rank_sink(self, spam_docgraph):
+        """The bundled spammy toy web's farm forms a rank sink: the farm
+        pages plus target are a closed class smaller than the whole graph."""
+        sinks = rank_sinks(spam_docgraph.adjacency())
+        assert sinks, "expected the spam farm to form a rank sink"
+        farm_ids = {doc.doc_id for doc in spam_docgraph.documents()
+                    if doc.site == "spam.example.net"}
+        assert any(set(sink) <= farm_ids for sink in sinks)

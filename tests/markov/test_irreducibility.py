@@ -1,0 +1,148 @@
+"""Tests for repro.markov.irreducibility (maximal & minimal adjustments)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.linalg import is_primitive, is_row_stochastic, stationary_distribution
+from repro.linalg.stochastic import random_stochastic_matrix
+from repro.markov.irreducibility import (
+    google_matrix,
+    maximal_irreducibility,
+    minimal_irreducibility,
+    minimal_irreducibility_matrix,
+)
+
+REDUCIBLE = np.array([
+    [1.0, 0.0, 0.0],
+    [0.5, 0.5, 0.0],
+    [0.0, 0.5, 0.5],
+])
+
+
+class TestMaximalIrreducibility:
+    def test_formula_matches_equation_1(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        damping = 0.85
+        adjusted = maximal_irreducibility(matrix, damping)
+        expected = damping * matrix + (1 - damping) / 2.0
+        assert np.allclose(adjusted, expected)
+
+    def test_result_is_row_stochastic(self):
+        adjusted = maximal_irreducibility(REDUCIBLE, 0.85)
+        assert is_row_stochastic(adjusted)
+
+    def test_result_is_primitive_even_for_reducible_input(self):
+        assert is_primitive(maximal_irreducibility(REDUCIBLE, 0.85))
+
+    def test_damping_one_returns_original(self):
+        matrix = np.array([[0.3, 0.7], [0.6, 0.4]])
+        assert np.allclose(maximal_irreducibility(matrix, 1.0), matrix)
+
+    def test_damping_zero_returns_teleportation_only(self):
+        matrix = np.array([[0.3, 0.7], [0.6, 0.4]])
+        preference = np.array([0.9, 0.1])
+        adjusted = maximal_irreducibility(matrix, 0.0, preference)
+        assert np.allclose(adjusted, np.tile(preference, (2, 1)))
+
+    def test_personalised_teleportation_column(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        preference = np.array([1.0, 0.0])
+        adjusted = maximal_irreducibility(matrix, 0.5, preference)
+        assert adjusted[0, 0] == pytest.approx(0.5)
+        assert adjusted[1, 0] == pytest.approx(1.0)
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValidationError):
+            maximal_irreducibility(REDUCIBLE, 1.5)
+
+    def test_rejects_bad_preference_length(self):
+        with pytest.raises(ValidationError):
+            maximal_irreducibility(REDUCIBLE, 0.85,
+                                   preference=np.array([0.5, 0.5]))
+
+    def test_rejects_non_stochastic_input(self):
+        with pytest.raises(ValidationError):
+            maximal_irreducibility(np.array([[0.2, 0.2], [1.0, 0.0]]), 0.85)
+
+
+class TestMinimalIrreducibilityMatrix:
+    def test_shape_is_n_plus_one(self):
+        augmented = minimal_irreducibility_matrix(REDUCIBLE, 0.85)
+        assert augmented.shape == (4, 4)
+
+    def test_structure_of_augmented_matrix(self):
+        matrix = np.array([[0.3, 0.7], [0.6, 0.4]])
+        alpha = 0.8
+        preference = np.array([0.25, 0.75])
+        augmented = minimal_irreducibility_matrix(matrix, alpha, preference)
+        assert np.allclose(augmented[:2, :2], alpha * matrix)
+        assert np.allclose(augmented[:2, 2], 1 - alpha)
+        assert np.allclose(augmented[2, :2], preference)
+        assert augmented[2, 2] == pytest.approx(0.0)
+
+    def test_augmented_matrix_is_stochastic_and_primitive(self):
+        augmented = minimal_irreducibility_matrix(REDUCIBLE, 0.85)
+        assert is_row_stochastic(augmented)
+        assert is_primitive(augmented)
+
+    def test_rejects_alpha_one(self):
+        with pytest.raises(ValidationError):
+            minimal_irreducibility_matrix(REDUCIBLE, 1.0)
+
+    def test_rejects_alpha_zero(self):
+        with pytest.raises(ValidationError):
+            minimal_irreducibility_matrix(REDUCIBLE, 0.0)
+
+
+class TestMinimalIrreducibility:
+    def test_restricted_vector_is_distribution(self):
+        result = minimal_irreducibility(REDUCIBLE, 0.85)
+        assert result.stationary.sum() == pytest.approx(1.0)
+        assert result.stationary.min() > 0.0
+        assert result.stationary.size == 3
+
+    def test_full_vector_includes_gatekeeper(self):
+        result = minimal_irreducibility(REDUCIBLE, 0.85)
+        assert result.stationary_full.size == 4
+        assert result.stationary_full.sum() == pytest.approx(1.0)
+
+    def test_equivalence_with_maximal_irreducibility(self):
+        """Langville & Meyer: minimal and maximal irreducibility produce the
+        same ranking vector over the original states (the fact the paper
+        relies on in Section 2.3.2)."""
+        for seed in range(5):
+            matrix = random_stochastic_matrix(
+                6, rng=np.random.default_rng(seed))
+            minimal = minimal_irreducibility(matrix, 0.85, tol=1e-13)
+            maximal = stationary_distribution(
+                maximal_irreducibility(matrix, 0.85), tol=1e-13)
+            assert np.allclose(minimal.stationary, maximal.vector, atol=1e-7)
+
+    @given(seed=st.integers(0, 10_000),
+           alpha=st.floats(0.3, 0.95),
+           n=st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_property(self, seed, alpha, n):
+        matrix = random_stochastic_matrix(n, rng=np.random.default_rng(seed))
+        minimal = minimal_irreducibility(matrix, alpha, tol=1e-12,
+                                         max_iter=20_000)
+        maximal = stationary_distribution(
+            maximal_irreducibility(matrix, alpha), tol=1e-12,
+            max_iter=20_000)
+        assert np.allclose(minimal.stationary, maximal.vector, atol=1e-6)
+
+
+class TestGoogleMatrix:
+    def test_from_raw_adjacency(self):
+        adjacency = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=float)
+        google = google_matrix(adjacency, 0.85)
+        assert is_row_stochastic(google)
+        assert is_primitive(google)
+
+    def test_dangling_row_becomes_uniformish(self):
+        adjacency = np.array([[0, 1], [0, 0]], dtype=float)
+        google = google_matrix(adjacency, 0.85)
+        assert np.allclose(google[1], [0.5, 0.5])

@@ -1,0 +1,60 @@
+"""Tests for repro.metrics.convergence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import ConvergenceTrace, summarize_traces
+
+
+class TestConvergenceTrace:
+    def test_iterations_count(self):
+        trace = ConvergenceTrace("x", [0.1, 0.01, 0.001], tolerance=1e-8)
+        assert trace.iterations == 3
+
+    def test_iterations_to_threshold(self):
+        trace = ConvergenceTrace("x", [0.1, 0.01, 0.001, 1e-6], tolerance=1e-8)
+        assert trace.iterations_to(0.05) == 2
+        assert trace.iterations_to(1e-5) == 4
+
+    def test_iterations_to_unreached_threshold(self):
+        trace = ConvergenceTrace("x", [0.1, 0.01], tolerance=1e-8)
+        assert trace.iterations_to(1e-9) == 3  # iterations + 1
+
+    def test_iterations_to_rejects_bad_tolerance(self):
+        trace = ConvergenceTrace("x", [0.1], tolerance=1e-8)
+        with pytest.raises(ValidationError):
+            trace.iterations_to(0.0)
+
+    def test_convergence_rate_of_geometric_sequence(self):
+        residuals = [0.5 ** k for k in range(1, 10)]
+        trace = ConvergenceTrace("geometric", residuals, tolerance=1e-12)
+        assert trace.convergence_rate() == pytest.approx(0.5, abs=1e-9)
+
+    def test_convergence_rate_degenerate_cases(self):
+        assert ConvergenceTrace("x", [], 1e-8).convergence_rate() == 0.0
+        assert ConvergenceTrace("x", [0.1], 1e-8).convergence_rate() == 0.0
+        assert ConvergenceTrace("x", [0.0, 0.0], 1e-8).convergence_rate() == 0.0
+
+    def test_rate_from_real_pagerank_run_bounded_by_damping(self):
+        from repro.pagerank import pagerank
+
+        adjacency = (np.random.default_rng(1).random((40, 40)) < 0.1).astype(float)
+        result = pagerank(adjacency, damping=0.85, tol=1e-12)
+        trace = ConvergenceTrace("pagerank", result.residuals, tolerance=1e-12)
+        assert trace.convergence_rate() <= 0.86
+
+
+class TestSummarizeTraces:
+    def test_rows_structure(self):
+        traces = [ConvergenceTrace("a", [0.1, 0.001], 1e-8),
+                  ConvergenceTrace("b", [0.2, 0.02, 0.002], 1e-8)]
+        rows = summarize_traces(traces, tolerance=0.01)
+        assert [row["label"] for row in rows] == ["a", "b"]
+        assert rows[0]["iterations"] == 2
+        assert rows[0]["iterations_to_tol"] == 2
+        assert rows[1]["iterations_to_tol"] == 3
+        assert all("rate" in row for row in rows)
+
+    def test_empty_input(self):
+        assert summarize_traces([]) == []

@@ -1,0 +1,121 @@
+"""Tests for repro.metrics.rank_correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    kendall_tau,
+    l1_distance,
+    rank_positions,
+    same_order,
+    spearman_footrule,
+    spearman_rho,
+)
+
+ASCENDING = np.array([1.0, 2.0, 3.0, 4.0])
+DESCENDING = np.array([4.0, 3.0, 2.0, 1.0])
+
+
+class TestKendallTau:
+    def test_identical_orderings(self):
+        assert kendall_tau(ASCENDING, ASCENDING) == pytest.approx(1.0)
+
+    def test_reversed_orderings(self):
+        assert kendall_tau(ASCENDING, DESCENDING) == pytest.approx(-1.0)
+
+    def test_scale_invariance(self):
+        assert kendall_tau(ASCENDING, 100 * ASCENDING) == pytest.approx(1.0)
+
+    def test_constant_vector_yields_zero(self):
+        assert kendall_tau(ASCENDING, np.ones(4)) == pytest.approx(0.0)
+
+    def test_single_item(self):
+        assert kendall_tau([1.0], [5.0]) == pytest.approx(1.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            kendall_tau([1.0, 2.0], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            kendall_tau([], [])
+
+
+class TestSpearman:
+    def test_rho_identical(self):
+        assert spearman_rho(ASCENDING, ASCENDING) == pytest.approx(1.0)
+
+    def test_rho_reversed(self):
+        assert spearman_rho(ASCENDING, DESCENDING) == pytest.approx(-1.0)
+
+    def test_footrule_identical_is_zero(self):
+        assert spearman_footrule(ASCENDING, 2 * ASCENDING) == pytest.approx(0.0)
+
+    def test_footrule_reversed_is_one(self):
+        assert spearman_footrule(ASCENDING, DESCENDING) == pytest.approx(1.0)
+
+    def test_footrule_unnormalised(self):
+        distance = spearman_footrule(ASCENDING, DESCENDING, normalized=False)
+        assert distance == pytest.approx(8.0)  # |0-3|+|1-2|+|2-1|+|3-0|
+
+    def test_footrule_bounded(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            a, b = rng.random(7), rng.random(7)
+            assert 0.0 <= spearman_footrule(a, b) <= 1.0
+
+
+class TestRankPositions:
+    def test_positions_of_descending_scores(self):
+        assert list(rank_positions(DESCENDING)) == [0, 1, 2, 3]
+
+    def test_positions_of_ascending_scores(self):
+        assert list(rank_positions(ASCENDING)) == [3, 2, 1, 0]
+
+    def test_ties_broken_by_index(self):
+        assert list(rank_positions(np.array([0.5, 0.5, 0.1]))) == [0, 1, 2]
+
+    def test_positions_are_a_permutation(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(20)
+        assert sorted(rank_positions(scores)) == list(range(20))
+
+
+class TestSameOrderAndL1:
+    def test_same_order_true_for_monotone_transform(self):
+        assert same_order(ASCENDING, np.exp(ASCENDING))
+
+    def test_same_order_false_for_swap(self):
+        assert not same_order(np.array([1.0, 2.0, 3.0]),
+                              np.array([2.0, 1.0, 3.0]))
+
+    def test_l1_distance(self):
+        assert l1_distance([0.25, 0.75], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_l1_distance_zero_for_identical(self):
+        assert l1_distance(ASCENDING, ASCENDING) == 0.0
+
+
+class TestMetricProperties:
+    @given(scores=hnp.arrays(np.float64, st.integers(2, 30),
+                             elements=st.floats(0, 1, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_self_correlation_is_maximal(self, scores):
+        assert kendall_tau(scores, scores) >= 0.999 or \
+            np.allclose(scores, scores[0])
+        assert spearman_footrule(scores, scores) == pytest.approx(0.0)
+
+    @given(scores=hnp.arrays(np.float64, st.integers(2, 30),
+                             elements=st.floats(0, 1, allow_nan=False)),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, scores, seed):
+        other = np.random.default_rng(seed).random(scores.size)
+        assert kendall_tau(scores, other) == pytest.approx(
+            kendall_tau(other, scores), abs=1e-12)
+        assert spearman_footrule(scores, other) == pytest.approx(
+            spearman_footrule(other, scores), abs=1e-12)

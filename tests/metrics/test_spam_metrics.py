@@ -1,0 +1,88 @@
+"""Tests for repro.metrics.spam_metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    spam_gain,
+    spam_impact,
+    spam_mass,
+    target_rank_position,
+    top_k_contamination,
+)
+
+SCORES = np.array([0.4, 0.3, 0.2, 0.05, 0.05])
+FARM = {2, 3}
+
+
+class TestSpamMass:
+    def test_sum_of_farm_scores(self):
+        assert spam_mass(SCORES, FARM) == pytest.approx(0.25)
+
+    def test_empty_farm(self):
+        assert spam_mass(SCORES, set()) == 0.0
+
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(ValidationError):
+            spam_mass(SCORES, {99})
+
+
+class TestSpamGain:
+    def test_fair_share_reference(self):
+        # Farm holds 0.25 of the mass with 2/5 of the pages: gain 0.625.
+        assert spam_gain(SCORES, FARM) == pytest.approx(0.25 / 0.4)
+
+    def test_uniform_scores_give_gain_one(self):
+        uniform = np.full(5, 0.2)
+        assert spam_gain(uniform, FARM) == pytest.approx(1.0)
+
+    def test_inflated_farm_has_gain_above_one(self):
+        inflated = np.array([0.05, 0.05, 0.5, 0.35, 0.05])
+        assert spam_gain(inflated, FARM) > 1.0
+
+    def test_empty_farm(self):
+        assert spam_gain(SCORES, set()) == 0.0
+
+
+class TestContaminationAndPosition:
+    def test_top_k_contamination(self):
+        ranked = [0, 2, 3, 1, 4]
+        assert top_k_contamination(ranked, FARM, 3) == pytest.approx(2 / 3)
+        assert top_k_contamination(ranked, FARM, 1) == pytest.approx(0.0)
+
+    def test_target_rank_position(self):
+        assert target_rank_position([4, 2, 7], 2) == 2
+
+    def test_target_missing_raises(self):
+        with pytest.raises(ValidationError):
+            target_rank_position([1, 2], 9)
+
+
+class TestSpamImpactBundle:
+    def test_bundle_fields(self):
+        ranked = [0, 2, 3, 1, 4]
+        impact = spam_impact("pagerank", SCORES, ranked, FARM, k=3)
+        assert impact.method == "pagerank"
+        assert impact.k == 3
+        assert impact.spam_mass == pytest.approx(0.25)
+        assert impact.top_k_contamination == pytest.approx(2 / 3)
+
+    def test_layered_vs_flat_on_campus_web(self, small_campus):
+        """End-to-end: the layered method assigns the farms much less mass
+        and much less top-15 presence than flat PageRank — the paper's
+        central empirical claim."""
+        from repro.web import flat_pagerank_ranking, layered_docrank
+
+        graph = small_campus.docgraph
+        flat = flat_pagerank_ranking(graph)
+        layered = layered_docrank(graph)
+        flat_impact = spam_impact("pagerank", flat.scores_by_doc_id(),
+                                  flat.top_k(graph.n_documents),
+                                  small_campus.farm_doc_ids, k=15)
+        layered_impact = spam_impact("layered", layered.scores_by_doc_id(),
+                                     layered.top_k(graph.n_documents),
+                                     small_campus.farm_doc_ids, k=15)
+        assert layered_impact.spam_mass < flat_impact.spam_mass
+        assert layered_impact.top_k_contamination <= \
+            flat_impact.top_k_contamination

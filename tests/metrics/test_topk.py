@@ -1,0 +1,93 @@
+"""Tests for repro.metrics.topk."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    average_precision,
+    precision_at_k,
+    reciprocal_rank,
+    top_k_indices,
+    top_k_jaccard,
+    top_k_overlap,
+)
+
+
+class TestTopKIndices:
+    def test_returns_best_first(self):
+        assert top_k_indices([0.1, 0.9, 0.5], 2) == [1, 2]
+
+    def test_k_larger_than_length(self):
+        assert top_k_indices([0.1, 0.9], 10) == [1, 0]
+
+    def test_ties_broken_by_index(self):
+        assert top_k_indices([0.5, 0.5, 0.5], 3) == [0, 1, 2]
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValidationError):
+            top_k_indices([0.1], -1)
+
+
+class TestOverlapAndJaccard:
+    def test_full_overlap(self):
+        assert top_k_overlap([1, 2, 3], [3, 2, 1], 3) == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        assert top_k_overlap([1, 2], [3, 4], 2) == pytest.approx(0.0)
+
+    def test_partial_overlap(self):
+        assert top_k_overlap([1, 2, 3, 4], [3, 5, 6, 1], 4) == pytest.approx(0.5)
+
+    def test_overlap_only_considers_prefix(self):
+        assert top_k_overlap([1, 2, 3], [3, 2, 1], 1) == pytest.approx(0.0)
+
+    def test_jaccard_full_and_empty(self):
+        assert top_k_jaccard([1, 2], [2, 1], 2) == pytest.approx(1.0)
+        assert top_k_jaccard([1, 2], [3, 4], 2) == pytest.approx(0.0)
+
+    def test_jaccard_partial(self):
+        assert top_k_jaccard([1, 2, 3], [1, 4, 5], 3) == pytest.approx(0.2)
+
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValidationError):
+            top_k_overlap([1], [1], 0)
+        with pytest.raises(ValidationError):
+            top_k_jaccard([1], [1], 0)
+
+
+class TestPrecisionAndAveragePrecision:
+    def test_precision_at_k(self):
+        assert precision_at_k([1, 2, 3, 4], {2, 4}, 2) == pytest.approx(0.5)
+        assert precision_at_k([1, 2, 3, 4], {2, 4}, 4) == pytest.approx(0.5)
+        assert precision_at_k([2, 4, 1, 3], {2, 4}, 2) == pytest.approx(1.0)
+
+    def test_precision_with_short_list(self):
+        assert precision_at_k([1], {1, 2}, 5) == pytest.approx(1.0)
+
+    def test_precision_empty_list(self):
+        assert precision_at_k([], {1}, 3) == 0.0
+
+    def test_average_precision_perfect_ranking(self):
+        assert average_precision([1, 2, 3], {1, 2}) == pytest.approx(1.0)
+
+    def test_average_precision_worst_ranking(self):
+        value = average_precision([3, 4, 1], {1})
+        assert value == pytest.approx(1.0 / 3.0)
+
+    def test_average_precision_empty_relevant_set(self):
+        assert average_precision([1, 2], set()) == 0.0
+
+    def test_average_precision_never_found(self):
+        assert average_precision([1, 2], {9}) == 0.0
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank([5, 1, 2], {5}) == pytest.approx(1.0)
+
+    def test_third_position(self):
+        assert reciprocal_rank([1, 2, 5], {5}) == pytest.approx(1.0 / 3.0)
+
+    def test_absent(self):
+        assert reciprocal_rank([1, 2, 3], {9}) == 0.0

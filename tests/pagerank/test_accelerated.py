@@ -1,0 +1,90 @@
+"""Tests for the accelerated PageRank variants (extrapolation, adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pagerank import accelerated_pagerank, adaptive_pagerank, pagerank
+
+WEB = np.array([
+    [0, 1, 1, 0, 0],
+    [1, 0, 1, 0, 0],
+    [0, 1, 0, 1, 0],
+    [0, 0, 1, 0, 1],
+    [1, 0, 0, 0, 0],
+], dtype=float)
+
+
+class TestExtrapolatedPageRank:
+    def test_aitken_matches_plain_pagerank(self):
+        accelerated = accelerated_pagerank(WEB, scheme="aitken", tol=1e-12)
+        plain = pagerank(WEB, tol=1e-12)
+        assert np.allclose(accelerated.scores, plain.scores, atol=1e-6)
+
+    def test_quadratic_matches_plain_pagerank(self):
+        accelerated = accelerated_pagerank(WEB, scheme="quadratic", tol=1e-12)
+        plain = pagerank(WEB, tol=1e-12)
+        assert np.allclose(accelerated.scores, plain.scores, atol=1e-6)
+
+    def test_scores_form_distribution(self):
+        result = accelerated_pagerank(WEB)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.scores.min() > 0.0
+
+    def test_extrapolations_counted(self):
+        result = accelerated_pagerank(WEB, extrapolate_every=5, tol=1e-14)
+        assert result.extrapolations_applied >= 1
+
+    def test_does_not_need_more_iterations_than_plain(self):
+        accelerated = accelerated_pagerank(WEB, damping=0.95,
+                                           extrapolate_every=5, tol=1e-12)
+        plain = pagerank(WEB, damping=0.95, method="sparse", tol=1e-12)
+        assert accelerated.iterations <= plain.iterations + 5
+
+    def test_top_k_helper(self):
+        result = accelerated_pagerank(WEB)
+        assert len(result.top_k(3)) == 3
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValidationError):
+            accelerated_pagerank(WEB, scheme="cubic")
+
+    def test_rejects_bad_extrapolation_interval(self):
+        with pytest.raises(ValidationError):
+            accelerated_pagerank(WEB, extrapolate_every=1)
+
+    def test_personalised_preference_respected(self):
+        preference = np.array([0.6, 0.1, 0.1, 0.1, 0.1])
+        result = accelerated_pagerank(WEB, preference=preference, tol=1e-12)
+        plain = pagerank(WEB, preference=preference, tol=1e-12)
+        assert np.allclose(result.scores, plain.scores, atol=1e-6)
+
+
+class TestAdaptivePageRank:
+    def test_matches_plain_pagerank_with_tight_freeze_tolerance(self):
+        adaptive = adaptive_pagerank(WEB, freeze_tol=1e-12, tol=1e-10)
+        plain = pagerank(WEB, tol=1e-10)
+        assert np.allclose(adaptive.scores, plain.scores, atol=1e-5)
+
+    def test_loose_freezing_still_close(self):
+        adaptive = adaptive_pagerank(WEB, freeze_tol=1e-6, tol=1e-8)
+        plain = pagerank(WEB, tol=1e-10)
+        assert np.allclose(adaptive.scores, plain.scores, atol=1e-3)
+
+    def test_frozen_fraction_is_monotone(self):
+        result = adaptive_pagerank(WEB, freeze_tol=1e-6, tol=1e-8)
+        fractions = result.frozen_fractions
+        assert all(b >= a - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_scores_form_distribution(self):
+        result = adaptive_pagerank(WEB)
+        assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_top_k_helper(self):
+        result = adaptive_pagerank(WEB)
+        top = result.top_k(2)
+        assert len(top) == 2
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValidationError):
+            adaptive_pagerank(WEB, damping=1.2)

@@ -1,0 +1,105 @@
+"""Tests for repro.pagerank.blockrank."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import kendall_tau
+from repro.pagerank import blockrank, pagerank
+
+#: Six pages in two blocks of three; block 0 is strongly interlinked and
+#: receives links from block 1.
+SIX_PAGES = np.array([
+    [0, 1, 1, 0, 0, 0],
+    [1, 0, 1, 0, 0, 0],
+    [1, 1, 0, 1, 0, 0],
+    [1, 0, 0, 0, 1, 0],
+    [0, 0, 0, 1, 0, 1],
+    [1, 0, 0, 0, 1, 0],
+], dtype=float)
+BLOCKS = [0, 0, 0, 1, 1, 1]
+
+
+class TestBlockRank:
+    def test_block_rank_is_distribution(self):
+        result = blockrank(SIX_PAGES, BLOCKS)
+        assert result.block_rank.sum() == pytest.approx(1.0)
+        assert result.block_rank.size == 2
+
+    def test_local_pageranks_are_distributions(self):
+        result = blockrank(SIX_PAGES, BLOCKS)
+        for local in result.local_pageranks:
+            assert local.sum() == pytest.approx(1.0)
+            assert local.size == 3
+
+    def test_approximate_global_is_distribution(self):
+        result = blockrank(SIX_PAGES, BLOCKS)
+        assert result.approximate_global.sum() == pytest.approx(1.0)
+        assert result.approximate_global.min() > 0.0
+
+    def test_refined_result_matches_plain_pagerank(self):
+        """Step 5 refines the approximation with the *standard* global
+        iteration, so the fixed point must be the flat PageRank vector."""
+        refined = blockrank(SIX_PAGES, BLOCKS, refine=True, tol=1e-13)
+        flat = pagerank(SIX_PAGES, tol=1e-13)
+        assert np.allclose(refined.global_scores, flat.scores, atol=1e-7)
+
+    def test_approximation_is_a_warm_start(self):
+        """The approximate vector is closer (in L1) to the true PageRank
+        fixed point than the uniform cold-start vector is — the property
+        BlockRank exploits when refining."""
+        approx = blockrank(SIX_PAGES, BLOCKS, refine=False)
+        flat = pagerank(SIX_PAGES, tol=1e-13)
+        uniform = np.full(6, 1.0 / 6.0)
+        warm_distance = np.abs(approx.approximate_global - flat.scores).sum()
+        cold_distance = np.abs(uniform - flat.scores).sum()
+        assert warm_distance < cold_distance
+
+    def test_unrefined_result_correlates_with_flat_pagerank(self):
+        approx = blockrank(SIX_PAGES, BLOCKS, refine=False)
+        flat = pagerank(SIX_PAGES, tol=1e-13)
+        assert kendall_tau(approx.global_scores, flat.scores) > 0.5
+
+    def test_block_matrix_uses_local_rank_weights(self):
+        """BlockRank's defining feature (and its difference from the LMM's
+        SiteGraph): inter-block edge weights depend on the local PageRank of
+        the *source* pages, so they are not plain link counts."""
+        result = blockrank(SIX_PAGES, BLOCKS, refine=False)
+        # Count-based weight of block1 -> block0 would be 2 (pages 3 and 5
+        # each link once into block 0); the BlockRank weight is a sum of
+        # local-rank-weighted transition probabilities, necessarily <= 1.
+        assert result.block_matrix[1, 0] < 2.0
+        assert result.block_matrix[1, 0] > 0.0
+
+    def test_top_k_helper(self):
+        result = blockrank(SIX_PAGES, BLOCKS)
+        top = result.top_k(3)
+        assert len(top) == 3
+        assert len(set(top)) == 3
+
+    def test_single_block_reduces_to_pagerank(self):
+        result = blockrank(SIX_PAGES, [0] * 6, refine=False, tol=1e-13)
+        flat = pagerank(SIX_PAGES, tol=1e-13)
+        assert np.allclose(result.global_scores, flat.scores, atol=1e-7)
+
+    def test_rejects_wrong_block_length(self):
+        with pytest.raises(ValidationError):
+            blockrank(SIX_PAGES, [0, 0, 1])
+
+    def test_rejects_negative_block_id(self):
+        with pytest.raises(ValidationError):
+            blockrank(SIX_PAGES, [0, 0, 0, 1, 1, -1])
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ValidationError):
+            blockrank(SIX_PAGES, [0, 0, 0, 2, 2, 2])  # block 1 missing
+
+    def test_on_docgraph_sites(self, toy_docgraph):
+        """BlockRank with blocks = web sites runs end-to-end on a DocGraph."""
+        sites = toy_docgraph.sites()
+        site_index = {site: i for i, site in enumerate(sites)}
+        blocks = [site_index[toy_docgraph.site_of_document(d)]
+                  for d in range(toy_docgraph.n_documents)]
+        result = blockrank(toy_docgraph.adjacency(), blocks, refine=True)
+        assert result.global_scores.sum() == pytest.approx(1.0)
+        assert result.block_rank.size == len(sites)

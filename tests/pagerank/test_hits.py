@@ -1,0 +1,124 @@
+"""Tests for repro.pagerank.hits."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.pagerank import hits
+
+#: Two hubs (0, 1) point at two authorities (2, 3); authority 2 also gets a
+#: link from page 3.
+HUBS_AND_AUTHORITIES = np.array([
+    [0, 0, 1, 1],
+    [0, 0, 1, 1],
+    [0, 0, 0, 0],
+    [0, 0, 1, 0],
+], dtype=float)
+
+
+class TestHITSBasics:
+    def test_vectors_are_distributions(self):
+        result = hits(HUBS_AND_AUTHORITIES)
+        assert result.authorities.sum() == pytest.approx(1.0)
+        assert result.hubs.sum() == pytest.approx(1.0)
+
+    def test_authority_ordering(self):
+        result = hits(HUBS_AND_AUTHORITIES)
+        # Page 2 receives links from 0, 1 and 3; page 3 only from 0 and 1.
+        assert result.authorities[2] > result.authorities[3]
+        assert result.top_authorities(1) == [2]
+
+    def test_hub_ordering(self):
+        result = hits(HUBS_AND_AUTHORITIES)
+        # Pages 0 and 1 link to both authorities, page 3 to only one.
+        assert result.hubs[0] > result.hubs[3]
+        assert set(result.top_hubs(2)) == {0, 1}
+
+    def test_pure_authorities_have_zero_hub_score(self):
+        result = hits(HUBS_AND_AUTHORITIES)
+        assert result.hubs[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_networkx_reference(self):
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_edges_from([(0, 2), (0, 3), (1, 2), (1, 3), (3, 2)])
+        nx_hubs, nx_auth = nx.hits(graph, max_iter=1000, tol=1e-12)
+        ours = hits(HUBS_AND_AUTHORITIES, tol=1e-12)
+        for node in range(4):
+            assert ours.authorities[node] == pytest.approx(
+                nx_auth.get(node, 0.0), abs=1e-6)
+            assert ours.hubs[node] == pytest.approx(
+                nx_hubs.get(node, 0.0), abs=1e-6)
+
+    def test_l2_normalisation_gives_same_ordering(self):
+        l1 = hits(HUBS_AND_AUTHORITIES, normalization="l1")
+        l2 = hits(HUBS_AND_AUTHORITIES, normalization="l2")
+        assert np.array_equal(np.argsort(-l1.authorities),
+                              np.argsort(-l2.authorities))
+
+    def test_converged_flag(self):
+        result = hits(HUBS_AND_AUTHORITIES)
+        assert result.converged
+        assert result.iterations == len(result.residuals)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            hits(np.ones((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            hits(np.zeros((0, 0)))
+
+    def test_rejects_bad_normalization(self):
+        with pytest.raises(ValidationError):
+            hits(HUBS_AND_AUTHORITIES, normalization="l3")
+
+    def test_rejects_bad_seed(self):
+        with pytest.raises(ValidationError):
+            hits(HUBS_AND_AUTHORITIES, seed_authorities=np.zeros(4))
+
+    def test_non_convergence_raises_when_requested(self):
+        with pytest.raises(ConvergenceError):
+            hits(HUBS_AND_AUTHORITIES, max_iter=1, tol=1e-15)
+
+    def test_non_convergence_tolerated(self):
+        result = hits(HUBS_AND_AUTHORITIES, max_iter=1, tol=1e-15,
+                      raise_on_failure=False)
+        assert not result.converged
+
+
+class TestHITSInstability:
+    """The weakness of HITS the paper cites (Section 1.1): on a disconnected
+    graph, the result depends on the seed vector and whole components can be
+    assigned zero weight."""
+
+    DISCONNECTED = np.array([
+        # Component A: 0 <-> 1
+        [0, 1, 0, 0],
+        [1, 0, 0, 0],
+        # Component B: 2 <-> 3 (twice as strongly connected internally)
+        [0, 0, 0, 2],
+        [0, 0, 2, 0],
+    ], dtype=float)
+
+    def test_seed_dependence_on_disconnected_graph(self):
+        seed_a = np.array([1.0, 1.0, 0.0, 0.0])
+        seed_b = np.array([0.0, 0.0, 1.0, 1.0])
+        result_a = hits(self.DISCONNECTED, seed_authorities=seed_a)
+        result_b = hits(self.DISCONNECTED, seed_authorities=seed_b)
+        assert not np.allclose(result_a.authorities, result_b.authorities)
+
+    def test_component_starved_to_zero(self):
+        seed = np.array([0.0, 0.0, 1.0, 1.0])
+        result = hits(self.DISCONNECTED, seed_authorities=seed)
+        assert result.authorities[0] == pytest.approx(0.0, abs=1e-9)
+        assert result.authorities[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_pagerank_is_stable_on_the_same_graph(self):
+        """Contrast: PageRank's teleportation keeps every component's pages
+        strictly positive regardless of the start."""
+        from repro.pagerank import pagerank
+
+        result = pagerank(self.DISCONNECTED)
+        assert result.scores.min() > 0.0

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (repro.cli / python -m repro)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rank_defaults(self):
+        args = build_parser().parse_args(["rank"])
+        assert args.method == "layered"
+        assert args.top == 15
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestExampleCommand:
+    def test_prints_all_four_approaches(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        for name in ("approach-1", "approach-2", "approach-3", "approach-4"):
+            assert name in out
+        # The Figure 2 ordering appears verbatim.
+        assert "[5, 7, 6, 10, 8, 3, 1, 2, 12, 4, 11, 9]" in out
+
+
+class TestRankCommand:
+    def test_rank_generated_hierarchical_web(self, capsys):
+        exit_code = main(["rank", "--generate", "hierarchical", "--sites", "6",
+                          "--documents", "200", "--top", "5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "top-5 by layered" in out
+        assert out.count("http://") >= 5
+
+    def test_rank_both_methods(self, capsys):
+        exit_code = main(["rank", "--generate", "hierarchical", "--sites", "5",
+                          "--documents", "150", "--method", "both",
+                          "--top", "3"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "top-3 by layered" in out
+        assert "top-3 by pagerank" in out
+
+    def test_rank_edgelist_input(self, tmp_path, toy_docgraph, capsys):
+        from repro.io import write_url_edgelist
+
+        path = tmp_path / "edges.txt"
+        write_url_edgelist(toy_docgraph, path)
+        exit_code = main(["rank", "--input", str(path), "--top", "3"])
+        assert exit_code == 0
+        assert "a.example.org" in capsys.readouterr().out
+
+
+class TestGenerateAndCompare:
+    def test_generate_then_rank_docgraph(self, tmp_path, capsys):
+        output = tmp_path / "web.graph"
+        assert main(["generate", "hierarchical", str(output), "--sites", "5",
+                     "--documents", "150"]) == 0
+        assert output.exists()
+        capsys.readouterr()
+        assert main(["rank", "--input", str(output), "--format", "docgraph",
+                     "--top", "3"]) == 0
+        assert "http://" in capsys.readouterr().out
+
+    def test_compare_campus_reports_contamination(self, capsys):
+        exit_code = main(["compare", "--generate", "campus", "--sites", "10",
+                          "--documents", "600", "--top", "10"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Kendall tau" in out
+        assert "farm pages in PageRank top-10" in out
+        assert "farm pages in layered top-10" in out
+
+    def test_compare_hierarchical(self, capsys):
+        assert main(["compare", "--generate", "hierarchical", "--sites", "6",
+                     "--documents", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "top-15 overlap" in out
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_repro(self):
+        result = subprocess.run([sys.executable, "-m", "repro", "example"],
+                                capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0
+        assert "approach-4" in result.stdout

@@ -1,0 +1,47 @@
+"""Package-level tests: public API surface and version metadata."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing top-level export {name}"
+
+    def test_quickstart_snippet_from_readme(self):
+        """The snippet shown in the README / package docstring must work."""
+        from repro.core import example_lmm, layered_ranking
+
+        result = layered_ranking(example_lmm())
+        top = result.top_k(3)
+        assert top[0] == ("II", 2)
+
+    def test_subpackages_importable(self):
+        import repro.core
+        import repro.distributed
+        import repro.graphgen
+        import repro.io
+        import repro.ir
+        import repro.linalg
+        import repro.markov
+        import repro.metrics
+        import repro.pagerank
+        import repro.web
+
+        for module in (repro.core, repro.distributed, repro.graphgen,
+                       repro.io, repro.ir, repro.linalg, repro.markov,
+                       repro.metrics, repro.pagerank, repro.web):
+            assert module.__doc__, f"{module.__name__} is missing a docstring"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.web as web
+
+        for module in (core, web):
+            for name in module.__all__:
+                assert hasattr(module, name), (
+                    f"{module.__name__} exports {name} but does not define it")

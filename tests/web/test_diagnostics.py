@@ -1,0 +1,83 @@
+"""Tests for repro.web.diagnostics."""
+
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.web import DocGraph, diagnose
+
+
+class TestWholeGraphDiagnostics:
+    def test_basic_counts(self, toy_docgraph):
+        report = diagnose(toy_docgraph)
+        assert report.n_documents == toy_docgraph.n_documents
+        assert report.n_links == toy_docgraph.n_links
+        assert report.n_sites == toy_docgraph.n_sites
+
+    def test_dangling_count(self):
+        graph = DocGraph()
+        graph.add_link("http://a.org/", "http://a.org/dead-end.html")
+        report = diagnose(graph)
+        assert report.n_dangling == 1
+
+    def test_rank_sink_detection(self, spam_docgraph):
+        report = diagnose(spam_docgraph)
+        assert report.n_rank_sinks >= 1
+        assert report.largest_rank_sink >= 2
+
+    def test_in_degree_statistics(self, small_campus):
+        report = diagnose(small_campus.docgraph)
+        assert report.max_in_degree > 10 * report.mean_in_degree
+        assert 0.0 < report.in_degree_gini < 1.0
+
+    def test_dynamic_fraction(self, small_campus):
+        report = diagnose(small_campus.docgraph)
+        assert 0.0 < report.dynamic_fraction < 1.0
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(GraphStructureError):
+            diagnose(DocGraph())
+
+
+class TestPerSiteDiagnostics:
+    def test_one_entry_per_site(self, toy_docgraph):
+        report = diagnose(toy_docgraph)
+        assert {site.site for site in report.sites} == set(toy_docgraph.sites())
+
+    def test_link_accounting_consistent(self, toy_docgraph):
+        report = diagnose(toy_docgraph)
+        internal = sum(site.internal_links for site in report.sites)
+        outgoing = sum(site.outgoing_links for site in report.sites)
+        incoming = sum(site.incoming_links for site in report.sites)
+        assert internal + outgoing == toy_docgraph.n_links
+        assert outgoing == incoming
+
+    def test_insularity_bounds(self, small_campus):
+        report = diagnose(small_campus.docgraph)
+        for site in report.sites:
+            assert 0.0 <= site.insularity <= 1.0
+
+    def test_farm_sites_have_high_insularity_and_density(self, small_campus):
+        report = diagnose(small_campus.docgraph)
+        by_site = {site.site: site for site in report.sites}
+        for farm_site in small_campus.farm_sites:
+            stats = by_site[farm_site]
+            assert stats.insularity > 0.95
+            assert stats.link_density > 5.0
+
+
+class TestSuspiciousSiteHeuristic:
+    def test_flags_exactly_the_farm_sites(self, small_campus):
+        report = diagnose(small_campus.docgraph)
+        suspicious = {site.site for site in report.suspicious_sites()}
+        assert set(small_campus.farm_sites) <= suspicious
+        # Department sites follow a tree+hub structure and must not be flagged.
+        assert not any(site.startswith("dept") for site in suspicious)
+
+    def test_thresholds_are_configurable(self, small_campus):
+        report = diagnose(small_campus.docgraph)
+        nothing = report.suspicious_sites(min_documents=10 ** 6)
+        assert nothing == []
+        everything = report.suspicious_sites(min_documents=1,
+                                             min_insularity=0.0,
+                                             min_link_density=0.0)
+        assert len(everything) == len(report.sites)

@@ -1,0 +1,154 @@
+"""Tests for repro.web.docgraph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.web import DocGraph
+
+
+class TestDocumentRegistration:
+    def test_add_document_assigns_sequential_ids(self):
+        graph = DocGraph()
+        first = graph.add_document("http://a.org/")
+        second = graph.add_document("http://a.org/x.html")
+        assert (first, second) == (0, 1)
+
+    def test_add_document_is_idempotent(self):
+        graph = DocGraph()
+        a = graph.add_document("http://a.org/page.html")
+        b = graph.add_document("http://A.ORG/page.html")  # same after normalisation
+        assert a == b
+        assert graph.n_documents == 1
+
+    def test_site_derived_from_url(self):
+        graph = DocGraph()
+        graph.add_document("http://research.epfl.ch/x")
+        assert graph.document(0).site == "research.epfl.ch"
+
+    def test_explicit_site_overrides_extractor(self):
+        graph = DocGraph()
+        graph.add_document("http://a.org/x", site="custom-site")
+        assert graph.document(0).site == "custom-site"
+
+    def test_dynamic_flag_derived_and_overridable(self):
+        graph = DocGraph()
+        graph.add_document("http://a.org/d.php")
+        graph.add_document("http://a.org/s.html", is_dynamic=True)
+        assert graph.document(0).is_dynamic
+        assert graph.document(1).is_dynamic
+
+    def test_contains_and_lookup_by_url(self):
+        graph = DocGraph()
+        graph.add_document("http://a.org/x")
+        assert "http://a.org/x" in graph
+        assert "http://a.org/y" not in graph
+        assert graph.document_by_url("http://a.org/x").doc_id == 0
+
+    def test_unknown_lookups_raise(self):
+        graph = DocGraph()
+        graph.add_document("http://a.org/")
+        with pytest.raises(GraphStructureError):
+            graph.document(5)
+        with pytest.raises(GraphStructureError):
+            graph.document_by_url("http://missing.org/")
+        with pytest.raises(GraphStructureError):
+            graph.documents_of_site("missing-site")
+
+    def test_custom_site_extractor(self):
+        graph = DocGraph(site_extractor=lambda url: "everything")
+        graph.add_document("http://a.org/")
+        graph.add_document("http://b.org/")
+        assert graph.n_sites == 1
+
+
+class TestLinks:
+    def test_add_link_registers_endpoints(self):
+        graph = DocGraph()
+        graph.add_link("http://a.org/", "http://b.org/")
+        assert graph.n_documents == 2
+        assert graph.n_links == 1
+        assert graph.edges() == [(0, 1)]
+
+    def test_duplicate_links_accumulate_weight(self):
+        graph = DocGraph()
+        graph.add_link("http://a.org/", "http://b.org/")
+        graph.add_link("http://a.org/", "http://b.org/")
+        assert graph.n_links == 2
+        assert graph.adjacency()[0, 1] == pytest.approx(2.0)
+
+    def test_add_link_by_id_bounds_checked(self):
+        graph = DocGraph()
+        graph.add_document("http://a.org/")
+        with pytest.raises(GraphStructureError):
+            graph.add_link_by_id(0, 3)
+
+    def test_self_link_allowed(self):
+        graph = DocGraph()
+        graph.add_link("http://a.org/", "http://a.org/")
+        assert graph.adjacency()[0, 0] == pytest.approx(1.0)
+
+    def test_from_edges_constructor(self, toy_docgraph):
+        assert toy_docgraph.n_documents == 10
+        assert toy_docgraph.n_sites == 3
+
+
+class TestSiteViews:
+    def test_sites_and_site_sizes(self, toy_docgraph):
+        sizes = toy_docgraph.site_sizes()
+        assert sizes["a.example.org"] == 5
+        assert sizes["b.example.org"] == 2
+        assert sizes["c.example.org"] == 3
+
+    def test_documents_of_site(self, toy_docgraph):
+        ids = toy_docgraph.documents_of_site("b.example.org")
+        assert all(toy_docgraph.site_of_document(d) == "b.example.org"
+                   for d in ids)
+        assert len(ids) == 2
+
+    def test_local_adjacency_restricted_to_intra_site_links(self, toy_docgraph):
+        local, doc_ids = toy_docgraph.local_adjacency("c.example.org")
+        assert local.shape == (3, 3)
+        # The link c/two.html -> a.example.org must not appear locally.
+        total_outgoing = toy_docgraph.adjacency()[doc_ids, :].sum()
+        assert local.sum() < total_outgoing
+
+    def test_site_of_document(self, toy_docgraph):
+        doc = toy_docgraph.document_by_url("http://b.example.org/links.html")
+        assert toy_docgraph.site_of_document(doc.doc_id) == "b.example.org"
+
+
+class TestMatricesAndExports:
+    def test_adjacency_shape_and_counts(self, toy_docgraph):
+        adjacency = toy_docgraph.adjacency()
+        assert adjacency.shape == (10, 10)
+        assert adjacency.sum() == toy_docgraph.n_links
+
+    def test_adjacency_cache_invalidated_by_new_link(self):
+        graph = DocGraph()
+        graph.add_link("http://a.org/", "http://b.org/")
+        first = graph.adjacency().sum()
+        graph.add_link("http://b.org/", "http://a.org/")
+        assert graph.adjacency().sum() == first + 1
+
+    def test_empty_graph_adjacency_raises(self):
+        with pytest.raises(GraphStructureError):
+            DocGraph().adjacency()
+
+    def test_degree_vectors(self, toy_docgraph):
+        in_deg = toy_docgraph.in_degrees()
+        out_deg = toy_docgraph.out_degrees()
+        assert in_deg.sum() == out_deg.sum() == toy_docgraph.n_links
+        home = toy_docgraph.document_by_url("http://a.example.org/")
+        assert in_deg[home.doc_id] >= 4
+
+    def test_networkx_export(self, toy_docgraph):
+        exported = toy_docgraph.to_networkx()
+        assert exported.number_of_nodes() == toy_docgraph.n_documents
+        assert exported.number_of_edges() == toy_docgraph.n_links
+        assert exported.nodes["http://a.example.org/"]["site"] == "a.example.org"
+
+    def test_urls_in_id_order(self, toy_docgraph):
+        urls = toy_docgraph.urls()
+        assert urls[0] == toy_docgraph.document(0).url
+        assert len(urls) == toy_docgraph.n_documents

@@ -1,0 +1,93 @@
+"""Tests for repro.web.docrank (per-site local DocRank)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.web import all_local_docranks, local_docrank
+
+
+class TestLocalDocRank:
+    def test_scores_form_distribution(self, toy_docgraph):
+        result = local_docrank(toy_docgraph, "a.example.org")
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.n_documents == 5
+
+    def test_home_page_ranks_first_locally(self, toy_docgraph):
+        result = local_docrank(toy_docgraph, "a.example.org")
+        home = toy_docgraph.document_by_url("http://a.example.org/").doc_id
+        assert result.top_k(1) == [home]
+
+    def test_score_lookup_by_global_id(self, toy_docgraph):
+        result = local_docrank(toy_docgraph, "a.example.org")
+        home = toy_docgraph.document_by_url("http://a.example.org/").doc_id
+        assert result.score_of(home) == pytest.approx(max(result.scores))
+
+    def test_foreign_document_lookup_raises(self, toy_docgraph):
+        result = local_docrank(toy_docgraph, "a.example.org")
+        foreign = toy_docgraph.document_by_url("http://b.example.org/").doc_id
+        with pytest.raises(ValidationError):
+            result.score_of(foreign)
+
+    def test_only_intra_site_links_matter(self, toy_docgraph):
+        """Adding an incoming link from another site must not change a
+        site's local DocRank — the local computation sees only G^s_d."""
+        before = local_docrank(toy_docgraph, "c.example.org").scores.copy()
+        toy_docgraph.add_link("http://a.example.org/contact.html",
+                              "http://c.example.org/one.html")
+        after = local_docrank(toy_docgraph, "c.example.org").scores
+        assert np.allclose(before, after)
+
+    def test_personalised_local_docrank(self, toy_docgraph):
+        doc_ids = toy_docgraph.documents_of_site("a.example.org")
+        preference = np.zeros(len(doc_ids))
+        preference[-1] = 1.0
+        personalised = local_docrank(toy_docgraph, "a.example.org",
+                                     preference=preference)
+        plain = local_docrank(toy_docgraph, "a.example.org")
+        favoured = doc_ids[-1]
+        assert personalised.score_of(favoured) > plain.score_of(favoured)
+
+    def test_preference_length_validated(self, toy_docgraph):
+        with pytest.raises(ValidationError):
+            local_docrank(toy_docgraph, "a.example.org",
+                          preference=np.array([1.0]))
+
+    def test_single_page_site(self):
+        from repro.web import DocGraph
+
+        graph = DocGraph()
+        graph.add_link("http://solo.org/", "http://other.org/")
+        result = local_docrank(graph, "solo.org")
+        assert result.scores.size == 1
+        assert result.scores[0] == pytest.approx(1.0)
+
+
+class TestAllLocalDocRanks:
+    def test_one_result_per_site(self, toy_docgraph):
+        results = all_local_docranks(toy_docgraph)
+        assert set(results) == set(toy_docgraph.sites())
+
+    def test_each_result_is_distribution(self, toy_docgraph):
+        for site, result in all_local_docranks(toy_docgraph).items():
+            assert result.site == site
+            assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_results_cover_all_documents_exactly_once(self, toy_docgraph):
+        results = all_local_docranks(toy_docgraph)
+        covered = [doc_id for result in results.values()
+                   for doc_id in result.doc_ids]
+        assert sorted(covered) == list(range(toy_docgraph.n_documents))
+
+    def test_per_site_preferences_applied(self, toy_docgraph):
+        doc_ids = toy_docgraph.documents_of_site("c.example.org")
+        preference = np.zeros(len(doc_ids))
+        preference[1] = 1.0
+        results = all_local_docranks(
+            toy_docgraph, preferences={"c.example.org": preference})
+        plain = all_local_docranks(toy_docgraph)
+        favoured = doc_ids[1]
+        assert results["c.example.org"].score_of(favoured) > \
+            plain["c.example.org"].score_of(favoured)
+        assert np.allclose(results["a.example.org"].scores,
+                           plain["a.example.org"].scores)

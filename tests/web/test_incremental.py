@@ -1,0 +1,142 @@
+"""Tests for repro.web.incremental (incremental layered ranking updates)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.io import toy_web
+from repro.web import DocGraph, IncrementalLayeredRanker, layered_docrank
+
+
+def assert_matches_full_recompute(ranker, graph):
+    """The incremental ranking must equal ranking the graph from scratch."""
+    full = layered_docrank(graph)
+    incremental = ranker.ranking()
+    assert np.allclose(incremental.scores_by_doc_id(),
+                       full.scores_by_doc_id(), atol=1e-9)
+
+
+class TestConstruction:
+    def test_initial_ranking_matches_pipeline(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        assert_matches_full_recompute(ranker, graph)
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(GraphStructureError):
+            IncrementalLayeredRanker(DocGraph())
+
+    def test_cached_accessors(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        assert ranker.siterank.scores.sum() == pytest.approx(1.0)
+        assert ranker.local("a.example.org").n_documents == 5
+        with pytest.raises(GraphStructureError):
+            ranker.local("missing.org")
+
+
+class TestIntraSiteUpdates:
+    def test_intra_site_link_recomputes_only_that_site(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        report = ranker.add_link("http://a.example.org/about.html",
+                                 "http://a.example.org/news.html")
+        assert report.recomputed_sites == ["a.example.org"]
+        assert not report.siterank_recomputed
+        assert report.documents_recomputed == 5
+        assert report.recompute_fraction == pytest.approx(0.5)
+        assert_matches_full_recompute(ranker, graph)
+
+    def test_intra_site_update_leaves_other_locals_untouched(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        before = ranker.local("c.example.org").scores.copy()
+        ranker.add_link("http://a.example.org/about.html",
+                        "http://a.example.org/contact.html")
+        assert np.array_equal(before, ranker.local("c.example.org").scores)
+
+    def test_new_document_in_existing_site(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        report = ranker.add_document("http://a.example.org/fresh.html")
+        assert report.recomputed_sites == ["a.example.org"]
+        assert not report.siterank_recomputed
+        assert_matches_full_recompute(ranker, graph)
+
+
+class TestInterSiteUpdates:
+    def test_inter_site_link_recomputes_siterank_only(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        report = ranker.add_link("http://c.example.org/one.html",
+                                 "http://b.example.org/")
+        assert report.siterank_recomputed
+        assert report.recomputed_sites == []          # no local subgraph changed
+        assert report.documents_recomputed == 0
+        assert_matches_full_recompute(ranker, graph)
+
+    def test_inter_site_link_to_new_document(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        report = ranker.add_link("http://a.example.org/",
+                                 "http://b.example.org/brand-new.html")
+        assert "b.example.org" in report.recomputed_sites
+        assert report.siterank_recomputed
+        assert_matches_full_recompute(ranker, graph)
+
+    def test_link_to_entirely_new_site(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        report = ranker.add_link("http://a.example.org/",
+                                 "http://d.example.org/")
+        assert "d.example.org" in report.recomputed_sites
+        assert report.siterank_recomputed
+        assert_matches_full_recompute(ranker, graph)
+
+    def test_new_isolated_site_document(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        report = ranker.add_document("http://e.example.org/")
+        assert report.recomputed_sites == ["e.example.org"]
+        assert report.siterank_recomputed
+        assert_matches_full_recompute(ranker, graph)
+
+
+class TestRefreshAndSavings:
+    def test_refresh_unknown_site_rejected(self):
+        ranker = IncrementalLayeredRanker(toy_web())
+        with pytest.raises(GraphStructureError):
+            ranker.refresh(["nowhere.org"], intersite_changed=False)
+
+    def test_external_mutation_plus_refresh(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        graph.add_link("http://c.example.org/two.html",
+                       "http://c.example.org/one.html")
+        ranker.refresh(["c.example.org"], intersite_changed=False)
+        assert_matches_full_recompute(ranker, graph)
+
+    def test_incremental_work_is_much_smaller_than_full_rebuild(self, small_campus):
+        """On the campus web a single-site change recomputes a small
+        fraction of the corpus — the practical pay-off of the
+        decomposition."""
+        graph = small_campus.docgraph
+        ranker = IncrementalLayeredRanker(graph)
+        site = "dept001.campus.edu"
+        home = f"http://{site}/"
+        report = ranker.add_link(home, f"http://{site}/page00001.html")
+        assert report.recomputed_sites == [site]
+        assert report.recompute_fraction < 0.2
+        full = ranker.full_rebuild()
+        assert full.documents_recomputed == graph.n_documents
+        assert report.local_iterations < full.local_iterations
+
+    def test_sequence_of_mixed_updates_stays_consistent(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        ranker.add_link("http://a.example.org/", "http://c.example.org/one.html")
+        ranker.add_document("http://b.example.org/extra.html")
+        ranker.add_link("http://b.example.org/extra.html",
+                        "http://b.example.org/")
+        ranker.add_link("http://c.example.org/", "http://c.example.org/two.html")
+        assert_matches_full_recompute(ranker, graph)

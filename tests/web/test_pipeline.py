@@ -1,0 +1,160 @@
+"""Tests for repro.web.pipeline (the 5-step layered DocRank and the baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core import approach_4
+from repro.exceptions import GraphStructureError, ValidationError
+from repro.metrics import kendall_tau
+from repro.web import (
+    DocGraph,
+    aggregate_sitegraph,
+    flat_pagerank_ranking,
+    layered_docrank,
+    lmm_from_docgraph,
+)
+
+
+class TestLayeredDocRank:
+    def test_scores_form_distribution(self, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.scores.min() > 0.0
+        assert result.method == "layered"
+
+    def test_covers_every_document_exactly_once(self, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        assert sorted(result.doc_ids) == list(range(toy_docgraph.n_documents))
+        assert len(result.urls) == toy_docgraph.n_documents
+
+    def test_carries_siterank_and_local_docranks(self, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        assert result.siterank is not None
+        assert set(result.local_docranks) == set(toy_docgraph.sites())
+
+    def test_score_factorisation(self, toy_docgraph):
+        """Every document's global score is SiteRank(site) × local DocRank."""
+        result = layered_docrank(toy_docgraph)
+        for doc_id in result.doc_ids:
+            site = toy_docgraph.site_of_document(doc_id)
+            expected = (result.siterank.score_of(site)
+                        * result.local_docranks[site].score_of(doc_id))
+            assert result.score_of(doc_id) == pytest.approx(expected, rel=1e-9)
+
+    def test_site_mass_equals_siterank(self, toy_docgraph):
+        """Summing the final scores of a site's documents recovers that
+        site's SiteRank value — Theorem 1 applied per block."""
+        result = layered_docrank(toy_docgraph)
+        scores_by_doc = result.scores_by_doc_id()
+        for site in toy_docgraph.sites():
+            site_mass = sum(scores_by_doc[d]
+                            for d in toy_docgraph.documents_of_site(site))
+            assert site_mass == pytest.approx(result.siterank.score_of(site),
+                                              rel=1e-9)
+
+    def test_equals_approach_4_on_induced_lmm(self, toy_docgraph):
+        """The pipeline is Approach 4 on the DocGraph-induced LMM."""
+        pipeline = layered_docrank(toy_docgraph)
+        model = lmm_from_docgraph(toy_docgraph)
+        core = approach_4(model, 0.85)
+        # Both are indexed site-major in DocGraph site order.
+        assert np.allclose(pipeline.scores, core.scores, atol=1e-8)
+
+    def test_document_layer_personalisation(self, toy_docgraph):
+        doc_ids = toy_docgraph.documents_of_site("a.example.org")
+        preference = np.zeros(len(doc_ids))
+        preference[2] = 1.0
+        personalised = layered_docrank(
+            toy_docgraph,
+            document_preferences={"a.example.org": preference})
+        plain = layered_docrank(toy_docgraph)
+        favoured = doc_ids[2]
+        assert personalised.score_of(favoured) > plain.score_of(favoured)
+        assert personalised.method == "layered-personalized"
+
+    def test_site_layer_personalisation(self, toy_docgraph):
+        sitegraph = aggregate_sitegraph(toy_docgraph)
+        preference = np.zeros(sitegraph.n_sites)
+        preference[sitegraph.site_index("c.example.org")] = 1.0
+        personalised = layered_docrank(toy_docgraph,
+                                       site_preference=preference)
+        plain = layered_docrank(toy_docgraph)
+        c_home = toy_docgraph.document_by_url("http://c.example.org/").doc_id
+        assert personalised.score_of(c_home) > plain.score_of(c_home)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphStructureError):
+            layered_docrank(DocGraph())
+
+    def test_iterations_accumulated(self, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        local_total = sum(r.iterations for r in result.local_docranks.values())
+        assert result.iterations == result.siterank.iterations + local_total
+
+
+class TestFlatBaseline:
+    def test_scores_form_distribution(self, toy_docgraph):
+        result = flat_pagerank_ranking(toy_docgraph)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.method == "pagerank"
+
+    def test_doc_ids_are_plain_order(self, toy_docgraph):
+        result = flat_pagerank_ranking(toy_docgraph)
+        assert result.doc_ids == list(range(toy_docgraph.n_documents))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphStructureError):
+            flat_pagerank_ranking(DocGraph())
+
+    def test_layered_and_flat_agree_broadly_on_clean_graphs(self, small_synthetic_web):
+        """On a spam-free hierarchical web the two rankings should be
+        strongly positively correlated (the paper calls the layered result
+        'qualitatively comparable')."""
+        layered = layered_docrank(small_synthetic_web).scores_by_doc_id()
+        flat = flat_pagerank_ranking(small_synthetic_web).scores_by_doc_id()
+        assert kendall_tau(layered, flat) > 0.5
+
+
+class TestWebRankingResultHelpers:
+    def test_top_k_and_top_k_urls_consistent(self, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        ids = result.top_k(3)
+        urls = result.top_k_urls(3)
+        assert [toy_docgraph.document(d).url for d in ids] == urls
+
+    def test_scores_by_doc_id_inverse_mapping(self, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        by_id = result.scores_by_doc_id()
+        for position, doc_id in enumerate(result.doc_ids):
+            assert by_id[doc_id] == pytest.approx(result.scores[position])
+
+    def test_unknown_doc_id_raises(self, toy_docgraph):
+        result = layered_docrank(toy_docgraph)
+        with pytest.raises(ValidationError):
+            result.score_of(999)
+
+    def test_alignment_validated(self):
+        from repro.web.pipeline import WebRankingResult
+
+        with pytest.raises(ValidationError):
+            WebRankingResult(doc_ids=[0, 1], urls=["u"],
+                             scores=np.array([0.5, 0.5]), method="x")
+
+
+class TestLmmFromDocGraph:
+    def test_one_phase_per_site(self, toy_docgraph):
+        model = lmm_from_docgraph(toy_docgraph)
+        assert model.n_phases == toy_docgraph.n_sites
+        assert model.n_global_states == toy_docgraph.n_documents
+
+    def test_phase_matrix_is_primitive(self, toy_docgraph):
+        from repro.linalg import is_primitive
+
+        model = lmm_from_docgraph(toy_docgraph)
+        assert is_primitive(model.phase_transition)
+
+    def test_sub_state_names_are_urls(self, toy_docgraph):
+        model = lmm_from_docgraph(toy_docgraph)
+        first_phase = model.phases[0]
+        assert all(name.startswith("http://")
+                   for name in first_phase.sub_state_names)

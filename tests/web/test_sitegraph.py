@@ -1,0 +1,96 @@
+"""Tests for repro.web.sitegraph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphStructureError, ValidationError
+from repro.web import DocGraph, SiteGraph, aggregate_sitegraph
+
+
+class TestAggregation:
+    def test_site_count(self, toy_docgraph):
+        sitegraph = aggregate_sitegraph(toy_docgraph)
+        assert sitegraph.n_sites == 3
+        assert set(sitegraph.sites) == {"a.example.org", "b.example.org",
+                                        "c.example.org"}
+
+    def test_sitelink_counting_rule(self, toy_docgraph):
+        """The paper: 'to count the number of SiteLinks between two sites, we
+        add the number of outgoing edges from any node in the first site to
+        any node in the second site'."""
+        sitegraph = aggregate_sitegraph(toy_docgraph)
+        # b.example.org/links.html links once to a/ and once to c/.
+        assert sitegraph.sitelink_count("b.example.org", "a.example.org") == 1
+        assert sitegraph.sitelink_count("b.example.org", "c.example.org") == 1
+        # a.example.org/news.html links once to b/.
+        assert sitegraph.sitelink_count("a.example.org", "b.example.org") == 1
+        # c.example.org/two.html links once to a/.
+        assert sitegraph.sitelink_count("c.example.org", "a.example.org") == 1
+
+    def test_intra_site_links_excluded_by_default(self, toy_docgraph):
+        sitegraph = aggregate_sitegraph(toy_docgraph)
+        for site in sitegraph.sites:
+            assert sitegraph.sitelink_count(site, site) == 0
+
+    def test_intra_site_links_included_on_request(self, toy_docgraph):
+        sitegraph = aggregate_sitegraph(toy_docgraph, include_self_links=True)
+        assert sitegraph.sitelink_count("a.example.org", "a.example.org") >= 7
+        assert sitegraph.include_self_links
+
+    def test_multiple_parallel_doclinks_accumulate(self):
+        graph = DocGraph()
+        for page in range(3):
+            graph.add_link(f"http://x.org/p{page}.html", "http://y.org/")
+        sitegraph = aggregate_sitegraph(graph)
+        assert sitegraph.sitelink_count("x.org", "y.org") == 3
+
+    def test_site_sizes_align(self, toy_docgraph):
+        sitegraph = aggregate_sitegraph(toy_docgraph)
+        sizes = dict(zip(sitegraph.sites, sitegraph.site_sizes))
+        assert sizes == toy_docgraph.site_sizes()
+
+    def test_total_sitelinks_bounded_by_doclinks(self, toy_docgraph):
+        sitegraph = aggregate_sitegraph(toy_docgraph)
+        assert sitegraph.n_sitelinks <= toy_docgraph.n_links
+
+    def test_explicit_site_order(self, toy_docgraph):
+        order = ["c.example.org", "a.example.org", "b.example.org"]
+        sitegraph = aggregate_sitegraph(toy_docgraph, site_order=order)
+        assert sitegraph.sites == order
+
+    def test_site_order_missing_site_rejected(self, toy_docgraph):
+        with pytest.raises(GraphStructureError):
+            aggregate_sitegraph(toy_docgraph, site_order=["a.example.org"])
+
+    def test_empty_docgraph_rejected(self):
+        with pytest.raises(GraphStructureError):
+            aggregate_sitegraph(DocGraph())
+
+    def test_campus_web_aggregation_scale(self, small_campus):
+        sitegraph = aggregate_sitegraph(small_campus.docgraph)
+        assert sitegraph.n_sites == small_campus.docgraph.n_sites
+        assert sitegraph.n_sitelinks > 0
+
+
+class TestSiteGraphContainer:
+    def test_site_index_lookup(self, toy_docgraph):
+        sitegraph = aggregate_sitegraph(toy_docgraph)
+        assert sitegraph.sites[sitegraph.site_index("b.example.org")] == \
+            "b.example.org"
+        with pytest.raises(GraphStructureError):
+            sitegraph.site_index("missing.org")
+
+    def test_networkx_export(self, toy_docgraph):
+        exported = aggregate_sitegraph(toy_docgraph).to_networkx()
+        assert exported.number_of_nodes() == 3
+        assert exported["b.example.org"]["a.example.org"]["weight"] == 1.0
+
+    def test_shape_validation(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(ValidationError):
+            SiteGraph(sites=["a", "b"], adjacency=sp.csr_matrix((3, 3)),
+                      site_sizes=[1, 1])
+        with pytest.raises(ValidationError):
+            SiteGraph(sites=["a", "b"], adjacency=sp.csr_matrix((2, 2)),
+                      site_sizes=[1])

@@ -1,0 +1,87 @@
+"""Tests for repro.web.siterank."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.web import aggregate_sitegraph, siterank
+
+
+class TestSiteRank:
+    def test_scores_form_distribution(self, toy_docgraph):
+        result = siterank(aggregate_sitegraph(toy_docgraph))
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.scores.min() > 0.0
+
+    def test_most_linked_site_ranks_first(self, toy_docgraph):
+        # Site a.example.org receives SiteLinks from both other sites.
+        result = siterank(aggregate_sitegraph(toy_docgraph))
+        assert result.top_k(1) == ["a.example.org"]
+
+    def test_score_lookup_and_dict(self, toy_docgraph):
+        result = siterank(aggregate_sitegraph(toy_docgraph))
+        as_dict = result.as_dict()
+        assert as_dict["a.example.org"] == pytest.approx(
+            result.score_of("a.example.org"))
+        assert sum(as_dict.values()) == pytest.approx(1.0)
+
+    def test_unknown_site_raises(self, toy_docgraph):
+        result = siterank(aggregate_sitegraph(toy_docgraph))
+        with pytest.raises(ValidationError):
+            result.score_of("nowhere.org")
+
+    def test_siterank_uses_link_counts_not_local_ranks(self):
+        """Doubling every page of a site (and its internal links) must not
+        change the SiteRank as long as the inter-site link counts stay the
+        same — SiteRank depends only on SiteLink counts (unlike BlockRank)."""
+        from repro.web import DocGraph
+
+        def build(extra_internal_pages: int) -> DocGraph:
+            graph = DocGraph()
+            graph.add_link("http://x.org/", "http://y.org/")
+            graph.add_link("http://y.org/", "http://x.org/")
+            graph.add_link("http://y.org/", "http://z.org/")
+            graph.add_link("http://z.org/", "http://x.org/")
+            for page in range(extra_internal_pages):
+                graph.add_link("http://x.org/", f"http://x.org/p{page}.html")
+            return graph
+
+        small = siterank(aggregate_sitegraph(build(0)))
+        large = siterank(aggregate_sitegraph(build(50)))
+        for site in ("x.org", "y.org", "z.org"):
+            assert small.score_of(site) == pytest.approx(large.score_of(site),
+                                                         abs=1e-9)
+
+    def test_personalised_siterank_boosts_preferred_site(self, toy_docgraph):
+        sitegraph = aggregate_sitegraph(toy_docgraph)
+        preference = np.zeros(sitegraph.n_sites)
+        preference[sitegraph.site_index("c.example.org")] = 1.0
+        personalised = siterank(sitegraph, preference=preference)
+        plain = siterank(sitegraph)
+        assert personalised.score_of("c.example.org") > \
+            plain.score_of("c.example.org")
+
+    def test_damping_recorded(self, toy_docgraph):
+        result = siterank(aggregate_sitegraph(toy_docgraph), damping=0.7)
+        assert result.damping == pytest.approx(0.7)
+
+    def test_sites_and_scores_alignment_validated(self):
+        from repro.web.siterank import SiteRankResult
+
+        with pytest.raises(ValidationError):
+            SiteRankResult(sites=["a"], scores=np.array([0.5, 0.5]),
+                           iterations=1)
+
+    def test_campus_main_site_has_high_siterank(self, small_campus):
+        from repro.graphgen import MAIN_HOST
+
+        result = siterank(aggregate_sitegraph(small_campus.docgraph))
+        assert MAIN_HOST in result.top_k(3)
+
+    def test_farm_sites_have_low_siterank(self, small_campus):
+        result = siterank(aggregate_sitegraph(small_campus.docgraph))
+        ranked = result.top_k(result.scores.size)
+        for farm_site in small_campus.farm_sites:
+            # Farm sites receive almost no external SiteLinks, so they must
+            # sit in the lower half of the SiteRank ordering.
+            assert ranked.index(farm_site) > result.scores.size // 2
