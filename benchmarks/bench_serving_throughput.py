@@ -1,0 +1,162 @@
+"""E13: online serving throughput (the :mod:`repro.serving` subsystem).
+
+Three claims are measured on a ≥50k-document synthetic web:
+
+* **top-k** — the sharded heap-merge :class:`TopKEngine` answers global
+  top-10 queries faster than serving from a flat score vector, whether the
+  baseline re-sorts the full vector (``WebRankingResult.top_k``) or fully
+  materialises and sorts all documents (:func:`naive_top_k`);
+* **cache** — on a repeated-query workload the warmed
+  :class:`QueryCache` reaches a ≥90% hit rate and multiplies query
+  throughput accordingly;
+* **consistency** — a :class:`RankingService` attached to an
+  :class:`IncrementalLayeredRanker` returns the same top-k as a
+  from-scratch recomposition after a single-site update applied through
+  the update-notification hook.
+"""
+
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.graphgen import generate_synthetic_web
+from repro.ir import synthesize_corpus
+from repro.serving import (
+    RankingService,
+    ShardedScoreStore,
+    TopKEngine,
+    naive_top_k,
+)
+from repro.web import IncrementalLayeredRanker, layered_docrank
+
+N_DOCUMENTS = 50_000
+N_SITES = 120
+TOP_K = 10
+
+
+@pytest.fixture(scope="module")
+def serving_web():
+    web = generate_synthetic_web(n_sites=N_SITES, n_documents=N_DOCUMENTS,
+                                 seed=13)
+    ranking = layered_docrank(web)
+    store = ShardedScoreStore.from_ranking(ranking, web)
+    return web, ranking, store
+
+
+def _mean_seconds(callable_, repetitions: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        callable_()
+    return (time.perf_counter() - start) / repetitions
+
+
+@pytest.mark.benchmark(group="E13 serving throughput")
+def test_e13_heap_merge_topk_vs_full_sort(benchmark, serving_web):
+    web, ranking, store = serving_web
+    engine = TopKEngine(store)
+
+    answer = benchmark(engine.top_k, TOP_K)
+    assert [d.doc_id for d in answer] == ranking.top_k(TOP_K)
+    assert answer == naive_top_k(store, TOP_K)
+
+    heap_seconds = _mean_seconds(lambda: engine.top_k(TOP_K), 50)
+    flat_sort_seconds = _mean_seconds(lambda: ranking.top_k(TOP_K), 20)
+    naive_seconds = _mean_seconds(lambda: naive_top_k(store, TOP_K), 5)
+
+    rows = [
+        {"engine": "sharded heap merge", "mean_ms": round(heap_seconds * 1e3, 4),
+         "queries_per_s": round(1.0 / heap_seconds)},
+        {"engine": "flat vector re-sort", "mean_ms": round(flat_sort_seconds * 1e3, 4),
+         "queries_per_s": round(1.0 / flat_sort_seconds)},
+        {"engine": "naive materialise+sort", "mean_ms": round(naive_seconds * 1e3, 4),
+         "queries_per_s": round(1.0 / naive_seconds)},
+    ]
+    write_result("E13a_topk_engines", rows,
+                 ["engine", "mean_ms", "queries_per_s"],
+                 caption=f"Top-{TOP_K} query latency over "
+                         f"{web.n_documents} documents / {web.n_sites} "
+                         f"sites: lazy k-way merge over score-ordered "
+                         f"shards vs. full-sort serving.")
+    # The acceptance bar: the heap merge beats naive full-vector sorting.
+    assert heap_seconds < naive_seconds
+    assert heap_seconds < flat_sort_seconds
+
+
+@pytest.mark.benchmark(group="E13 serving throughput")
+def test_e13_cache_hit_rate_on_repeated_workload(benchmark, serving_web):
+    web, ranking, _store = serving_web
+    service = RankingService.from_ranking(
+        ranking, web, corpus=synthesize_corpus(web, seed=13))
+
+    unique_queries = ["research database", "teaching course",
+                      "campus map", "library catalogue",
+                      "software documentation", "news event"]
+    workload = unique_queries * 50          # 300 requests, 6 unique
+
+    def run_workload():
+        return service.query_many(workload, k=TOP_K)
+
+    cold_start = time.perf_counter()
+    answers = run_workload()
+    cold_seconds = time.perf_counter() - cold_start
+    assert len(answers) == len(workload)
+
+    warm_seconds = _mean_seconds(
+        lambda: service.query_many(workload, k=TOP_K), 3)
+    benchmark(run_workload)
+
+    stats = service.cache_stats
+    rows = [{"workload": f"{len(workload)} requests, "
+                         f"{len(unique_queries)} unique",
+             "hit_rate": round(stats.hit_rate, 4),
+             "cold_s": round(cold_seconds, 4),
+             "warm_s": round(warm_seconds, 4),
+             "speedup": round(cold_seconds / warm_seconds, 1)}]
+    write_result("E13b_cache_hit_rate", rows,
+                 ["workload", "hit_rate", "cold_s", "warm_s", "speedup"],
+                 caption="Result-cache effect on a repeated-query workload "
+                         f"over {web.n_documents} documents: hit rate and "
+                         "whole-workload latency, cold vs. warmed cache.")
+    assert stats.hit_rate >= 0.90
+    assert warm_seconds < cold_seconds
+
+
+@pytest.mark.benchmark(group="E13 serving throughput")
+def test_e13_consistency_across_incremental_update(benchmark):
+    web = generate_synthetic_web(n_sites=24, n_documents=3_000, seed=13)
+    ranker = IncrementalLayeredRanker(web)
+    service = RankingService.from_incremental(
+        ranker, corpus=synthesize_corpus(web, seed=13))
+
+    before_served = [d.doc_id for d in service.top(TOP_K)]
+    assert before_served == ranker.ranking().top_k(TOP_K)
+
+    site = web.sites()[0]
+    docs = web.documents_of_site(site)
+    generations = {s: service.store.shard_generation(s)
+                   for s in service.store.sites()}
+
+    def update_and_query():
+        ranker.add_link(web.document(docs[-1]).url, web.document(docs[0]).url)
+        return service.top(TOP_K)
+
+    served = benchmark(update_and_query)
+
+    changed = [s for s in service.store.sites()
+               if service.store.shard_generation(s) != generations[s]]
+    fresh = ranker.ranking().top_k(TOP_K)
+    consistent = [d.doc_id for d in served] == fresh
+
+    rows = [{"check": "single-site update touches one shard",
+             "value": str(changed == [site])},
+            {"check": "served top-k equals from-scratch recomposition",
+             "value": str(consistent)},
+            {"check": "cache invalidations recorded",
+             "value": str(service.cache_stats.invalidations > 0)}]
+    write_result("E13c_incremental_consistency", rows, ["check", "value"],
+                 caption="Serving stays consistent under live incremental "
+                         "updates delivered through the ranker's "
+                         "update-notification hook.")
+    assert changed == [site]
+    assert consistent

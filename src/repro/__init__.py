@@ -18,7 +18,10 @@ contribution:
 * :mod:`repro.distributed` — a simulated peer-to-peer deployment of the
   layered computation;
 * :mod:`repro.metrics`, :mod:`repro.ir`, :mod:`repro.io` — ranking-comparison
-  metrics, a small IR substrate, and serialisation helpers.
+  metrics, a small IR substrate, and serialisation helpers;
+* :mod:`repro.serving` — the online query-serving layer: sharded score
+  store, lazy top-k engine, LRU result cache, the :class:`RankingService`
+  facade and a JSON-over-HTTP endpoint.
 
 Quickstart::
 
@@ -39,8 +42,14 @@ from .core import (
     verify_partition_theorem,
 )
 from .pagerank import hits, pagerank
+from .serving import (
+    QueryCache,
+    RankingService,
+    ShardedScoreStore,
+    TopKEngine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LayeredMarkovModel",
@@ -54,5 +63,9 @@ __all__ = [
     "verify_partition_theorem",
     "hits",
     "pagerank",
+    "QueryCache",
+    "RankingService",
+    "ShardedScoreStore",
+    "TopKEngine",
     "__version__",
 ]

@@ -19,7 +19,17 @@ Sub-commands
 ``example``
     Print the paper's 12-state worked example (Figure 2 reproduction).
 
-All numeric output is deterministic for a fixed ``--seed``.
+``serve``
+    Rank a web graph and expose it over the JSON/HTTP query endpoint
+    (:mod:`repro.serving.httpd`).
+
+``query``
+    Rank a web graph, build the serving stack in-process and answer one or
+    more free-text queries with the combined (text + link) ranking.
+
+All numeric output is deterministic for a fixed ``--seed``.  Errors (bad
+input paths, malformed graph files, invalid parameters) print a message to
+stderr and exit with status 2.
 """
 
 from __future__ import annotations
@@ -28,11 +38,18 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .core import all_approaches, example_lmm
+from .exceptions import ReproError
 from .graphgen import generate_campus_web, generate_synthetic_web
 from .io import read_docgraph, read_url_edgelist, write_docgraph
+from .ir import synthesize_corpus
 from .metrics import kendall_tau, top_k_contamination, top_k_overlap
+from .serving import RankingHTTPServer, RankingService
 from .web import DocGraph, flat_pagerank_ranking, layered_docrank
+
+#: Exit code of anticipated failures (bad paths, malformed inputs).
+EXIT_ERROR = 2
 
 
 def _load_graph(args: argparse.Namespace) -> DocGraph:
@@ -118,6 +135,58 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace):
+    """Rank the selected graph and wrap it in a RankingService."""
+    graph = _load_graph(args)
+    ranking = layered_docrank(graph, damping=args.damping)
+    corpus = synthesize_corpus(graph, seed=args.seed)
+    service = RankingService.from_ranking(ranking, graph, corpus=corpus,
+                                          cache_size=args.cache_size,
+                                          rule=args.rule, weight=args.weight)
+    return graph, service
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    graph, service = _build_service(args)
+    server = RankingHTTPServer(service, host=args.host, port=args.port,
+                               verbose=args.verbose)
+    print(f"graph: {graph.n_documents} documents over {graph.n_sites} sites")
+    print(f"serving on {server.url}  "
+          f"(endpoints: /top /query /score /stats /health)", flush=True)
+    thread = server.start_background()
+    try:
+        if args.duration is not None:
+            thread.join(args.duration)
+        else:  # pragma: no cover - interactive mode
+            while thread.is_alive():
+                thread.join(1.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        server.close()
+    print("server stopped")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    graph, service = _build_service(args)
+    print(f"graph: {graph.n_documents} documents over {graph.n_sites} sites")
+    batches = service.query_many(args.queries, args.top)
+    for text, hits in zip(args.queries, batches):
+        print(f"\ntop-{args.top} for {text!r} ({args.rule} combination):")
+        if not hits:
+            print("  (no matching documents)")
+        for rank, hit in enumerate(hits, start=1):
+            url = service.store.document(hit.doc_id).url
+            print(f"  {rank:3d}. {url}  "
+                  f"combined={hit.combined_score:.4f} "
+                  f"query={hit.query_score:.4f} link={hit.link_score:.6f}")
+    stats = service.cache_stats
+    print(f"\ncache: {stats.hits} hits / {stats.lookups} lookups "
+          f"({stats.hit_rate:.0%} hit rate)")
+    return 0
+
+
 def _command_example(args: argparse.Namespace) -> int:
     model = example_lmm()
     results = all_approaches(model, damping=args.damping)
@@ -135,6 +204,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Layered Markov Model web ranking (Wu & Aberer, ICDCS 2005)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     rank = subparsers.add_parser("rank", help="rank a web graph")
@@ -166,14 +237,55 @@ def build_parser() -> argparse.ArgumentParser:
     example.add_argument("--damping", type=float, default=0.85)
     example.set_defaults(handler=_command_example)
 
+    def _add_serving_arguments(sub: argparse.ArgumentParser) -> None:
+        _add_graph_arguments(sub)
+        sub.add_argument("--damping", type=float, default=0.85)
+        sub.add_argument("--cache-size", type=int, default=1024,
+                         help="capacity of the query result cache")
+        sub.add_argument("--rule", choices=["linear", "rrf"],
+                         default="linear",
+                         help="query/link combination rule")
+        sub.add_argument("--weight", type=float, default=0.5,
+                         help="λ of the linear combination")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve ranking queries over JSON/HTTP")
+    _add_serving_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="bind port (0 picks a free port)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds then exit "
+                            "(default: until interrupted)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log requests to stderr")
+    serve.set_defaults(handler=_command_serve)
+
+    query = subparsers.add_parser(
+        "query", help="answer text queries with combined text+link ranking")
+    _add_serving_arguments(query)
+    query.add_argument("queries", nargs="+", metavar="QUERY",
+                       help="free-text queries (answered as one batch)")
+    query.add_argument("--top", type=int, default=10)
+    query.set_defaults(handler=_command_query)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Anticipated failures — missing or malformed input files, invalid
+    graphs or parameters — print one ``error:`` line to stderr and return
+    :data:`EXIT_ERROR` instead of dumping a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests

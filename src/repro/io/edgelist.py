@@ -92,15 +92,26 @@ def read_docgraph(path: str | os.PathLike) -> DocGraph:
                     raise ValidationError(
                         f"line {line_number}: malformed node record")
                 original_id, site, dynamic, url = fields
+                try:
+                    parsed_id, parsed_dynamic = int(original_id), int(dynamic)
+                except ValueError:
+                    raise ValidationError(
+                        f"line {line_number}: non-numeric node fields "
+                        f"{original_id!r} / {dynamic!r}") from None
                 new_id = graph.add_document(url, site=site,
-                                            is_dynamic=bool(int(dynamic)))
-                id_map[int(original_id)] = new_id
+                                            is_dynamic=bool(parsed_dynamic))
+                id_map[parsed_id] = new_id
             elif section == "edges":
                 fields = line.split("\t")
                 if len(fields) != 2:
                     raise ValidationError(
                         f"line {line_number}: malformed edge record")
-                source, target = int(fields[0]), int(fields[1])
+                try:
+                    source, target = int(fields[0]), int(fields[1])
+                except ValueError:
+                    raise ValidationError(
+                        f"line {line_number}: non-numeric edge fields "
+                        f"{fields[0]!r} / {fields[1]!r}") from None
                 if source not in id_map or target not in id_map:
                     raise ValidationError(
                         f"line {line_number}: edge references unknown node")

@@ -46,6 +46,19 @@ class SearchHit:
     link_score: float
 
 
+def validate_combination(weight: float, k: int) -> None:
+    """Validate combination parameters before any retrieval work is done.
+
+    Shared by :func:`combined_search`, :func:`combine_candidates` and the
+    serving layer (which must reject bad parameters before its cache
+    lookup), so the accepted ranges live in exactly one place.
+    """
+    if not 0.0 <= weight <= 1.0:
+        raise ValidationError("weight must be in [0, 1]")
+    if k <= 0:
+        raise ValidationError("k must be positive")
+
+
 def _minmax_normalize(values: np.ndarray) -> np.ndarray:
     low, high = float(values.min()), float(values.max())
     if high <= low:
@@ -81,12 +94,28 @@ def combined_search(index: VectorSpaceIndex, query: str,
     rrf_constant:
         The usual damping constant of reciprocal rank fusion.
     """
-    if not 0.0 <= weight <= 1.0:
-        raise ValidationError("weight must be in [0, 1]")
-    if k <= 0:
-        raise ValidationError("k must be positive")
+    validate_combination(weight, k)
+    return combine_candidates(index.search(query), link_scores_by_doc,
+                              rule=rule, weight=weight, k=k,
+                              rrf_constant=rrf_constant)
 
-    candidates: List[Tuple[int, float]] = index.search(query)
+
+def combine_candidates(candidates: Sequence[Tuple[int, float]],
+                       link_scores_by_doc: Dict[int, float] | np.ndarray, *,
+                       rule: CombinationRule = "linear",
+                       weight: float = 0.5,
+                       k: int = 10,
+                       rrf_constant: float = 60.0) -> List[SearchHit]:
+    """Combine an already-retrieved candidate set with link-based scores.
+
+    Split out of :func:`combined_search` so callers that retrieve candidates
+    once and reuse them — e.g. the serving layer, which also needs the
+    candidate set to tag cached results — do not pay a second index lookup.
+
+    *candidates* is a ``(doc_id, query_score)`` sequence as returned by
+    :meth:`repro.ir.vector_space.VectorSpaceIndex.search`.
+    """
+    validate_combination(weight, k)
     if not candidates:
         return []
 
@@ -106,8 +135,11 @@ def combined_search(index: VectorSpaceIndex, query: str,
         combined = (weight * _minmax_normalize(query_scores)
                     + (1.0 - weight) * _minmax_normalize(link_scores))
     elif rule == "rrf":
-        query_order = np.argsort(-query_scores, kind="stable")
-        link_order = np.argsort(-link_scores, kind="stable")
+        # Ranks tie-break by ascending doc id (not candidate position), so
+        # the fusion is deterministic and invariant to candidate order.
+        ids = np.asarray(doc_ids)
+        query_order = np.lexsort((ids, -query_scores))
+        link_order = np.lexsort((ids, -link_scores))
         query_rank = np.empty(len(doc_ids))
         link_rank = np.empty(len(doc_ids))
         query_rank[query_order] = np.arange(1, len(doc_ids) + 1)

@@ -28,16 +28,20 @@ def top_k_overlap(list_a: Sequence, list_b: Sequence, k: int) -> float:
     """Fraction of the top-k of *list_a* also present in the top-k of *list_b*.
 
     Both arguments are ranked item lists (best first); only their first
-    ``k`` entries are compared.  Symmetric because both prefixes have
-    length ``k``.
+    ``k`` entries are compared.  The intersection is normalised by the
+    *effective* prefix length ``min(k, |prefix_a|, |prefix_b|)`` — the
+    largest intersection the two prefixes could possibly have — so two
+    identical lists score 1.0 even when they are shorter than ``k``
+    (dividing by ``k`` regardless would deflate the overlap).  Symmetric.
     """
     if k <= 0:
         raise ValidationError("k must be positive")
     prefix_a = set(list_a[:k])
     prefix_b = set(list_b[:k])
-    if not prefix_a and not prefix_b:
-        return 1.0
-    return len(prefix_a & prefix_b) / float(k)
+    effective = min(k, len(prefix_a), len(prefix_b))
+    if effective == 0:
+        return 1.0 if not prefix_a and not prefix_b else 0.0
+    return len(prefix_a & prefix_b) / float(effective)
 
 
 def top_k_jaccard(list_a: Sequence, list_b: Sequence, k: int) -> float:

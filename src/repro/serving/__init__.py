@@ -1,0 +1,53 @@
+"""Online query serving over computed rankings.
+
+The offline half of the package turns a web graph into a global DocRank;
+this subsystem turns that DocRank into a service.  It mirrors the paper's
+partition at serving time:
+
+* :mod:`repro.serving.store` — :class:`ShardedScoreStore`, document scores
+  partitioned by web site with O(1) point lookup and score-ordered shards;
+* :mod:`repro.serving.topk` — :class:`TopKEngine`, global top-k by lazy
+  k-way heap merge over shard orders (no full sort), per-site top-k as a
+  shard-local prefix read;
+* :mod:`repro.serving.cache` — :class:`QueryCache`, a bounded LRU with
+  hit/miss statistics and per-site tagged invalidation;
+* :mod:`repro.serving.service` — :class:`RankingService`, the facade wiring
+  store, engine, cache and the :mod:`repro.ir` text substrate together,
+  including a batched ``query_many`` and a subscription to
+  :class:`~repro.web.incremental.IncrementalLayeredRanker` updates;
+* :mod:`repro.serving.httpd` — :class:`RankingHTTPServer`, a stdlib
+  JSON-over-HTTP endpoint.
+
+Quickstart::
+
+    from repro.graphgen import generate_synthetic_web
+    from repro.ir import synthesize_corpus
+    from repro.serving import RankingService
+    from repro.web import layered_docrank
+
+    web = generate_synthetic_web(n_sites=10, n_documents=500)
+    service = RankingService.from_ranking(layered_docrank(web), web,
+                                          corpus=synthesize_corpus(web))
+    print(service.top(5))
+    print(service.query("research database", k=5))
+"""
+
+from .cache import GLOBAL_TAG, CacheStats, QueryCache
+from .httpd import RankingHTTPServer, RankingRequestHandler, serve_ranking
+from .service import RankingService
+from .store import ScoredDocument, ShardedScoreStore
+from .topk import TopKEngine, naive_top_k
+
+__all__ = [
+    "GLOBAL_TAG",
+    "CacheStats",
+    "QueryCache",
+    "RankingHTTPServer",
+    "RankingRequestHandler",
+    "serve_ranking",
+    "RankingService",
+    "ScoredDocument",
+    "ShardedScoreStore",
+    "TopKEngine",
+    "naive_top_k",
+]

@@ -1,0 +1,167 @@
+"""An LRU result cache with hit/miss statistics and tagged invalidation.
+
+Serving workloads are heavily repetitive (a handful of hot queries dominate
+traffic), so the :class:`~repro.serving.service.RankingService` memoises
+full query results.  The cache is deliberately explicit about consistency:
+every entry carries a set of *tags* — in practice the web sites whose
+scores the result depends on — and an incremental update invalidates by
+tag, evicting exactly the entries the changed site could have altered while
+keeping every other hot result warm.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import ValidationError
+
+#: Tag attached to results that depend on *every* shard (global top-k).
+GLOBAL_TAG: Hashable = ("__all_sites__",)
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's lifetime.
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup outcomes (``get`` calls).
+    evictions:
+        Entries dropped by the LRU policy (capacity pressure).
+    invalidations:
+        Entries dropped explicitly (by key, tag or ``clear``).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / lookups`` (0.0 before the first lookup)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (for the JSON endpoint)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": self.hit_rate}
+
+
+class QueryCache:
+    """A bounded LRU mapping from query keys to served results."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize <= 0:
+            raise ValidationError("maxsize must be positive")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Tuple[Any, Set[Hashable]]]" = \
+            OrderedDict()
+        self._by_tag: Dict[Hashable, Set[Hashable]] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def maxsize(self) -> int:
+        """Capacity bound."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-counting membership test."""
+        return key in self._entries
+
+    def keys(self) -> List[Hashable]:
+        """Current keys, least recently used first."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up a key, counting the hit/miss and refreshing recency."""
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def put(self, key: Hashable, value: Any, *,
+            tags: Iterable[Hashable] = ()) -> None:
+        """Store a result under *key*, tagged for later invalidation."""
+        if key in self._entries:
+            self._unlink(key)
+        tag_set = set(tags)
+        self._entries[key] = (value, tag_set)
+        self._entries.move_to_end(key)
+        for tag in tag_set:
+            self._by_tag.setdefault(tag, set()).add(key)
+        while len(self._entries) > self._maxsize:
+            oldest, _entry = self._entries.popitem(last=False)
+            self._drop_tags(oldest, _entry[1])
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # Invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        if key not in self._entries:
+            return False
+        self._unlink(key)
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_tag(self, tag: Hashable) -> int:
+        """Drop every entry carrying *tag*; returns how many were dropped."""
+        keys = self._by_tag.pop(tag, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in list(keys):
+            if key in self._entries:
+                self._unlink(key)
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def clear(self) -> int:
+        """Drop everything; returns how many entries were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._by_tag.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    def _unlink(self, key: Hashable) -> None:
+        _value, tags = self._entries.pop(key)
+        self._drop_tags(key, tags)
+
+    def _drop_tags(self, key: Hashable, tags: Set[Hashable]) -> None:
+        for tag in tags:
+            members = self._by_tag.get(tag)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    del self._by_tag[tag]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QueryCache(size={len(self)}/{self._maxsize}, "
+                f"hit_rate={self.stats.hit_rate:.2f})")

@@ -1,0 +1,229 @@
+"""A JSON-over-HTTP endpoint for a :class:`~repro.serving.service.RankingService`.
+
+Built on the stdlib :mod:`http.server` (threaded), in the same spirit as
+the simulated web server of :mod:`repro.crawler.webserver`: no third-party
+dependencies, good enough for the examples, the benchmarks and local
+experimentation.
+
+Routes (all ``GET``, all returning ``application/json``):
+
+``/top?k=10[&site=example.org]``
+    Current global (or per-site) top-k documents.
+``/query?q=research+database[&q=more+queries][&k=10][&rule=linear|rrf][&weight=0.5]``
+    Combined text+link search; repeated ``q`` parameters form a batch
+    answered through :meth:`RankingService.query_many`.
+``/score?doc=42``
+    O(1) point lookup of one document's score.
+``/stats``
+    Service / cache statistics.
+``/health``
+    Liveness probe.
+
+Errors are JSON too: ``400`` for bad parameters, ``404`` for unknown paths
+or unknown sites/documents.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..exceptions import GraphStructureError, ValidationError
+from .service import RankingService
+from .store import ScoredDocument
+
+
+def _document_payload(document: ScoredDocument) -> Dict[str, Any]:
+    return {"doc_id": document.doc_id, "url": document.url,
+            "site": document.site, "score": document.score}
+
+
+class _ClientError(Exception):
+    """A request error mapped to a 4xx JSON response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class RankingRequestHandler(BaseHTTPRequestHandler):
+    """Translates HTTP requests into :class:`RankingService` calls."""
+
+    server: "RankingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        split = urlsplit(self.path)
+        params = parse_qs(split.query)
+        try:
+            payload, status = self._route(split.path, params)
+        except _ClientError as error:
+            payload, status = {"error": str(error)}, error.status
+        except (ValidationError, GraphStructureError) as error:
+            payload, status = {"error": str(error)}, 400
+        self._respond(status, payload)
+
+    def _route(self, path: str,
+               params: Dict[str, List[str]]) -> Tuple[Dict[str, Any], int]:
+        service = self.server.service
+        if path == "/health":
+            return {"status": "ok"}, 200
+        if path == "/stats":
+            return service.stats(), 200
+        if path == "/top":
+            k = self._int_param(params, "k", default=10)
+            site = self._str_param(params, "site")
+            try:
+                documents = service.top(k, site=site)
+            except GraphStructureError as error:
+                raise _ClientError(404, str(error)) from None
+            return {"k": k, "site": site,
+                    "results": [_document_payload(d) for d in documents]}, 200
+        if path == "/query":
+            queries = params.get("q")
+            if not queries:
+                raise _ClientError(400, "missing required parameter 'q'")
+            k = self._int_param(params, "k", default=10)
+            rule = self._str_param(params, "rule")
+            if rule not in (None, "linear", "rrf"):
+                raise _ClientError(400, f"unknown rule {rule!r}")
+            weight = self._float_param(params, "weight")
+            batches = service.query_many(queries, k, rule=rule, weight=weight)
+            results = [{"query": text,
+                        "hits": [self._hit_payload(service, hit)
+                                 for hit in hits]}
+                       for text, hits in zip(queries, batches)]
+            return {"k": k, "results": results}, 200
+        if path == "/score":
+            doc_id = self._int_param(params, "doc", required=True)
+            document = service.describe(doc_id)
+            if document is None:
+                raise _ClientError(404, f"unknown document id {doc_id}")
+            return _document_payload(document), 200
+        raise _ClientError(404, f"unknown path {path!r}")
+
+    @staticmethod
+    def _hit_payload(service: RankingService, hit) -> Dict[str, Any]:
+        payload = {"doc_id": hit.doc_id,
+                   "combined_score": hit.combined_score,
+                   "query_score": hit.query_score,
+                   "link_score": hit.link_score}
+        record = service.describe(hit.doc_id)
+        if record is not None:
+            payload["url"] = record.url
+            payload["site"] = record.site
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Parameter parsing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _str_param(params: Dict[str, List[str]],
+                   name: str) -> Optional[str]:
+        values = params.get(name)
+        return values[-1] if values else None
+
+    @classmethod
+    def _int_param(cls, params: Dict[str, List[str]], name: str, *,
+                   default: Optional[int] = None,
+                   required: bool = False) -> Optional[int]:
+        raw = cls._str_param(params, name)
+        if raw is None:
+            if required:
+                raise _ClientError(400, f"missing required parameter {name!r}")
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise _ClientError(400,
+                               f"parameter {name!r} must be an integer, "
+                               f"got {raw!r}") from None
+
+    @classmethod
+    def _float_param(cls, params: Dict[str, List[str]],
+                     name: str) -> Optional[float]:
+        raw = cls._str_param(params, name)
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            raise _ClientError(400,
+                               f"parameter {name!r} must be a number, "
+                               f"got {raw!r}") from None
+
+    # ------------------------------------------------------------------ #
+    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+
+class RankingHTTPServer(ThreadingHTTPServer):
+    """A threaded HTTP server bound to one :class:`RankingService`.
+
+    Parameters
+    ----------
+    service:
+        The service answering the requests.
+    host / port:
+        Bind address; ``port=0`` picks a free ephemeral port (the bound
+        port is available as :attr:`port`).
+    verbose:
+        Whether to log requests to stderr (off by default — the examples
+        and tests hammer the endpoint).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, service: RankingService, *, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), RankingRequestHandler)
+
+    @property
+    def host(self) -> str:
+        """Bound host."""
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (useful with ``port=0``)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    def start_background(self) -> threading.Thread:
+        """Serve forever from a daemon thread; returns the thread."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="repro-serving", daemon=True)
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        self.shutdown()
+        self.server_close()
+
+
+def serve_ranking(service: RankingService, *, host: str = "127.0.0.1",
+                  port: int = 0, verbose: bool = False) -> RankingHTTPServer:
+    """Convenience constructor: build a server and start it in the background."""
+    server = RankingHTTPServer(service, host=host, port=port, verbose=verbose)
+    server.start_background()
+    return server

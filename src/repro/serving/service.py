@@ -1,0 +1,334 @@
+"""The :class:`RankingService` facade: one object that serves ranking queries.
+
+It wires together the pieces the rest of the package computes offline:
+
+* a :class:`~repro.serving.store.ShardedScoreStore` holding the current
+  global DocRank partitioned by site,
+* a :class:`~repro.serving.topk.TopKEngine` answering global / per-site
+  top-k by lazy k-way merge,
+* a :class:`~repro.serving.cache.QueryCache` memoising full results with
+  per-site tags,
+* optionally a :class:`~repro.ir.vector_space.VectorSpaceIndex` plus the
+  :mod:`repro.ir.combined` rules, so free-text queries are answered by the
+  paper's future-work combination of query-based and link-based ranking.
+
+Attached to an :class:`~repro.web.incremental.IncrementalLayeredRanker`
+(:meth:`RankingService.attach` or :meth:`RankingService.from_incremental`),
+the service subscribes to update notifications: a site-local change
+replaces only that site's shard and invalidates only the cache entries
+tagged with the site (plus global top-k entries), while a SiteRank change
+rebuilds all shards — exactly mirroring the incremental-maintenance
+granularity of the ranking itself.
+
+One deliberate asymmetry: the subscription keeps *scores* current, but the
+text index is built once — documents added after construction are served
+by :meth:`RankingService.top` yet stay invisible to free-text queries
+until :meth:`RankingService.refresh_index` is called with a corpus that
+covers them (link analysis knows about a new page immediately; its text
+only after re-indexing).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import ValidationError
+from ..ir.combined import (
+    CombinationRule,
+    SearchHit,
+    combine_candidates,
+    validate_combination,
+)
+from ..ir.vector_space import VectorSpaceIndex
+from ..web.docgraph import DocGraph
+from ..web.incremental import IncrementalLayeredRanker, UpdateReport
+from ..web.pipeline import WebRankingResult
+from .cache import GLOBAL_TAG, CacheStats, QueryCache
+from .store import ScoredDocument, ShardedScoreStore
+from .topk import TopKEngine
+
+
+class RankingService:
+    """Serves top-k and free-text ranking queries over a computed DocRank.
+
+    Parameters
+    ----------
+    store:
+        The sharded score store to serve from.
+    index:
+        Optional text index; without one only :meth:`top` queries are
+        available and :meth:`query` raises.
+    cache_size:
+        Capacity of the LRU result cache.
+    rule, weight, rrf_constant:
+        Defaults of the query/link combination (see
+        :func:`repro.ir.combined.combined_search`).
+    """
+
+    def __init__(self, store: ShardedScoreStore, *,
+                 index: Optional[VectorSpaceIndex] = None,
+                 cache_size: int = 1024,
+                 rule: CombinationRule = "linear",
+                 weight: float = 0.5,
+                 rrf_constant: float = 60.0) -> None:
+        self._store = store
+        self._engine = TopKEngine(store)
+        self._cache = QueryCache(maxsize=cache_size)
+        self._index = index
+        self._rule: CombinationRule = rule
+        self._weight = weight
+        self._rrf_constant = rrf_constant
+        self._ranker: Optional[IncrementalLayeredRanker] = None
+        #: {doc_id: score} view handed to the combination rules; kept in
+        #: lockstep with the store and refreshed on shard updates.
+        self._link_scores: Optional[Dict[int, float]] = None
+        self.queries_served = 0
+        # The HTTP endpoint serves from multiple threads while incremental
+        # updates mutate the store; one coarse lock keeps every read
+        # consistent with in-flight shard replacements.
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_ranking(cls, ranking: WebRankingResult, docgraph: DocGraph, *,
+                     corpus: Optional[Dict[int, str]] = None,
+                     index: Optional[VectorSpaceIndex] = None,
+                     **kwargs) -> "RankingService":
+        """Build a service from an offline ranking result.
+
+        *corpus* is an optional ``{doc_id: text}`` mapping (e.g. from
+        :func:`repro.ir.corpus.synthesize_corpus`); when given, a
+        vector-space index is built so free-text queries work.  Pass
+        *index* instead to reuse an already-built one (not both).
+        """
+        if corpus is not None and index is not None:
+            raise ValidationError("pass either corpus or index, not both")
+        store = ShardedScoreStore.from_ranking(ranking, docgraph)
+        if corpus is not None:
+            index = VectorSpaceIndex.from_corpus(corpus)
+        return cls(store, index=index, **kwargs)
+
+    @classmethod
+    def from_incremental(cls, ranker: IncrementalLayeredRanker, *,
+                         corpus: Optional[Dict[int, str]] = None,
+                         **kwargs) -> "RankingService":
+        """Build a service over a live incremental ranker and attach to it."""
+        service = cls.from_ranking(ranker.ranking(), ranker.docgraph,
+                                   corpus=corpus, **kwargs)
+        service.attach(ranker)
+        return service
+
+    # ------------------------------------------------------------------ #
+    # Incremental-update subscription
+    # ------------------------------------------------------------------ #
+    def attach(self, ranker: IncrementalLayeredRanker) -> None:
+        """Subscribe to a ranker's update notifications."""
+        if self._ranker is not None:
+            raise ValidationError("service is already attached to a ranker")
+        self._ranker = ranker
+        ranker.subscribe(self._on_update)
+
+    def detach(self) -> None:
+        """Stop following the attached ranker (no-op when unattached)."""
+        if self._ranker is not None:
+            self._ranker.unsubscribe(self._on_update)
+            self._ranker = None
+
+    def _on_update(self, report: UpdateReport) -> None:
+        """Repair shards and cache after an incremental ranking update."""
+        with self._lock:
+            self._apply_update(report)
+
+    def _apply_update(self, report: UpdateReport) -> None:
+        ranker = self._ranker
+        assert ranker is not None
+        docgraph = ranker.docgraph
+        if report.siterank_recomputed:
+            # Every site's composed score changed: rebuild all shards and
+            # drop shards of sites that no longer exist (append-only graphs
+            # never hit the latter, but the store should not trust that).
+            sites: Iterable[str] = docgraph.sites()
+            for stale in set(self._store.sites()) - set(sites):
+                self._store.drop_site(stale)
+            self._cache.clear()
+            self._link_scores = None  # rebuilt lazily from the fresh shards
+        else:
+            sites = report.recomputed_sites
+            for site in sites:
+                self._cache.invalidate_tag(site)
+            # Any global top-k may admit documents of a changed site.
+            self._cache.invalidate_tag(GLOBAL_TAG)
+        for site in sites:
+            self._rebuild_shard(site)
+
+    def _rebuild_shard(self, site: str) -> None:
+        ranker = self._ranker
+        assert ranker is not None
+        local = ranker.local(site)
+        site_score = ranker.siterank.score_of(site)
+        urls = [ranker.docgraph.document(doc_id).url
+                for doc_id in local.doc_ids]
+        scores = site_score * local.scores
+        self._store.update_site(site, local.doc_ids, urls, scores)
+        if self._link_scores is not None:
+            for doc_id, score in zip(local.doc_ids, scores):
+                self._link_scores[doc_id] = float(score)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def top(self, k: int, *, site: Optional[str] = None
+            ) -> Tuple[ScoredDocument, ...]:
+        """The current global (or per-site) top-k, served through the cache.
+
+        Results are tuples (here and in :meth:`query`) so callers cannot
+        mutate the cached entry that later hits are served from.
+        """
+        # Validate before the cache lookup so rejected requests do not
+        # pollute the hit/miss statistics.
+        if k < 0:
+            raise ValidationError("k must be non-negative")
+        key = ("top", k, site)
+        with self._lock:
+            if site is not None:
+                self._store.shard_size(site)  # raises on unknown sites
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.queries_served += 1
+                return cached
+            result = tuple(self._engine.top_k(k, site=site))
+            self._cache.put(key, result,
+                            tags=(GLOBAL_TAG,) if site is None else (site,))
+            self.queries_served += 1
+            return result
+
+    def query(self, text: str, k: int = 10, *,
+              rule: Optional[CombinationRule] = None,
+              weight: Optional[float] = None) -> Tuple[SearchHit, ...]:
+        """Answer a free-text query with combined query+link ranking.
+
+        The result is cached, tagged with the sites of *all* retrieved
+        candidates (not just the returned hits): a changed site can alter
+        the min-max normalisation — and hence the combined order — through
+        any candidate, so any such change must invalidate the entry.
+        """
+        if self._index is None:
+            raise ValidationError(
+                "this service has no text index; build it with a corpus")
+        rule = self._rule if rule is None else rule
+        weight = self._weight if weight is None else weight
+        # Same checks combine_candidates would apply, but before the cache
+        # lookup so rejected requests do not pollute the hit/miss statistics.
+        if rule not in ("linear", "rrf"):
+            raise ValidationError(f"unknown combination rule {rule!r}")
+        validate_combination(weight, k)
+        key = ("query", text, k, rule, weight)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.queries_served += 1
+                return cached
+            candidates = self._index.search(text)
+            hits = tuple(combine_candidates(
+                candidates, self._current_link_scores(), rule=rule,
+                weight=weight, k=k, rrf_constant=self._rrf_constant))
+            tags = {self._store.site_of(doc_id)
+                    for doc_id, _score in candidates if doc_id in self._store}
+            self._cache.put(key, hits, tags=tags)
+            self.queries_served += 1
+            return hits
+
+    def query_many(self, texts: Sequence[str], k: int = 10, *,
+                   rule: Optional[CombinationRule] = None,
+                   weight: Optional[float] = None
+                   ) -> List[Tuple[SearchHit, ...]]:
+        """Answer a batch of free-text queries.
+
+        Duplicate queries in the batch are computed once — the repeats are
+        served from the result cache — and the link-score view is
+        materialised once for the whole batch rather than per query.
+        """
+        with self._lock:
+            self._current_link_scores()  # materialise once for the batch
+        return [self.query(text, k, rule=rule, weight=weight)
+                for text in texts]
+
+    def score_of(self, doc_id: int) -> float:
+        """Point lookup of one document's current global score (O(1))."""
+        with self._lock:
+            return self._store.score_of(doc_id)
+
+    def refresh_index(self, corpus: Dict[int, str]) -> None:
+        """Rebuild the text index from a fresh ``{doc_id: text}`` corpus.
+
+        The incremental subscription keeps shards and link scores current,
+        but the text index is a one-time build — call this after adding
+        documents whose text should become searchable.  All cached query
+        results are dropped (any of them could now retrieve differently).
+        """
+        with self._lock:
+            self._index = VectorSpaceIndex.from_corpus(corpus)
+            self._cache.clear()
+
+    def describe(self, doc_id: int) -> Optional[ScoredDocument]:
+        """Locked point lookup of one document's record (None if unknown).
+
+        The HTTP handlers use this instead of reaching into
+        :attr:`store` directly, so reads cannot race an in-flight shard
+        replacement.
+        """
+        with self._lock:
+            if doc_id not in self._store:
+                return None
+            return self._store.document(doc_id)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> ShardedScoreStore:
+        """The underlying sharded score store."""
+        return self._store
+
+    @property
+    def engine(self) -> TopKEngine:
+        """The top-k engine."""
+        return self._engine
+
+    @property
+    def cache(self) -> QueryCache:
+        """The result cache."""
+        return self._cache
+
+    @property
+    def index(self) -> Optional[VectorSpaceIndex]:
+        """The text index (``None`` for link-only services)."""
+        return self._index
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss statistics of the result cache."""
+        return self._cache.stats
+
+    def stats(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of the service's state."""
+        with self._lock:
+            return {
+                "documents": self._store.n_documents,
+                "shards": self._store.n_shards,
+                "generation": self._store.generation,
+                "queries_served": self.queries_served,
+                "cache_entries": len(self._cache),
+                "cache": self._cache.stats.as_dict(),
+                "has_text_index": self._index is not None,
+                "attached_to_ranker": self._ranker is not None,
+            }
+
+    # ------------------------------------------------------------------ #
+    def _current_link_scores(self) -> Dict[int, float]:
+        if self._link_scores is None:
+            self._link_scores = self._store.link_scores()
+        return self._link_scores

@@ -1,0 +1,247 @@
+"""Sharded storage of a computed global DocRank for online serving.
+
+The Partition Theorem decomposes the global DocRank into a tiny SiteRank
+plus independent per-site local vectors; :class:`ShardedScoreStore` mirrors
+that decomposition at serving time.  Scores are partitioned into one shard
+per web site, so
+
+* a point lookup (``score_of``) is a single dictionary access, O(1);
+* each shard keeps its documents in score order (a materialised per-shard
+  top-k heap), so the :class:`~repro.serving.topk.TopKEngine` can answer
+  global top-k queries by a lazy k-way merge instead of a full sort;
+* an incremental update that touched one site replaces exactly one shard
+  (``update_site``) and leaves every other shard — and every cached result
+  that does not involve the site — untouched.
+
+The store is deliberately decoupled from how the ranking was computed: it
+can be filled from a centralized :class:`~repro.web.pipeline.WebRankingResult`,
+from the shards of the distributed coordinator, or incrementally from an
+:class:`~repro.web.incremental.IncrementalLayeredRanker` (the
+:class:`~repro.serving.service.RankingService` does the latter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphStructureError, ValidationError
+from ..web.docgraph import DocGraph
+from ..web.pipeline import WebRankingResult
+
+
+@dataclass(frozen=True)
+class ScoredDocument:
+    """One document as served to a client.
+
+    Attributes
+    ----------
+    doc_id:
+        Global document id.
+    url:
+        Canonical URL.
+    site:
+        Owning web site (the shard the document lives in).
+    score:
+        Current global ranking score.
+    """
+
+    doc_id: int
+    url: str
+    site: str
+    score: float
+
+
+class _Shard:
+    """One site's slice of the score vector, kept in score order."""
+
+    __slots__ = ("site", "doc_ids", "urls", "scores", "order", "generation")
+
+    def __init__(self, site: str, doc_ids: List[int], urls: List[str],
+                 scores: np.ndarray, generation: int) -> None:
+        self.site = site
+        self.doc_ids = doc_ids
+        self.urls = urls
+        self.scores = scores
+        # Descending by score, ties broken by ascending doc id — the same
+        # deterministic order WebRankingResult.top_k uses.
+        tie_break = np.asarray(doc_ids)
+        self.order = np.lexsort((tie_break, -scores))
+        self.generation = generation
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def document_at(self, position: int) -> ScoredDocument:
+        index = int(self.order[position])
+        return ScoredDocument(doc_id=self.doc_ids[index], url=self.urls[index],
+                              site=self.site, score=float(self.scores[index]))
+
+    def iter_descending(self) -> Iterator[ScoredDocument]:
+        for position in range(len(self.order)):
+            yield self.document_at(position)
+
+
+class ShardedScoreStore:
+    """Document scores partitioned by web site with O(1) point lookup."""
+
+    def __init__(self) -> None:
+        self._shards: Dict[str, _Shard] = {}
+        #: doc_id -> (site, url, score); the O(1) lookup structure.
+        self._entries: Dict[int, Tuple[str, str, float]] = {}
+        self._generation = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_ranking(cls, ranking: WebRankingResult,
+                     docgraph: DocGraph) -> "ShardedScoreStore":
+        """Partition a computed global ranking by the DocGraph's sites."""
+        store = cls()
+        by_site: Dict[str, Tuple[List[int], List[str], List[float]]] = {}
+        for position, doc_id in enumerate(ranking.doc_ids):
+            site = docgraph.site_of_document(doc_id)
+            doc_ids, urls, scores = by_site.setdefault(site, ([], [], []))
+            doc_ids.append(doc_id)
+            urls.append(ranking.urls[position])
+            scores.append(float(ranking.scores[position]))
+        for site, (doc_ids, urls, scores) in by_site.items():
+            store.update_site(site, doc_ids, urls,
+                              np.asarray(scores, dtype=float))
+        return store
+
+    def update_site(self, site: str, doc_ids: Sequence[int],
+                    urls: Sequence[str], scores) -> int:
+        """Replace (or create) one site's shard; returns its new generation.
+
+        The replaced shard's documents are removed first, so a shard may
+        shrink or grow — e.g. after documents were added to the site through
+        the incremental ranker.
+        """
+        scores = np.asarray(scores, dtype=float).ravel()
+        if not (len(doc_ids) == len(urls) == scores.size):
+            raise ValidationError("doc_ids, urls and scores must align")
+        if scores.size and not np.all(np.isfinite(scores)):
+            raise ValidationError(f"shard {site!r} has non-finite scores")
+        if len(set(doc_ids)) != len(doc_ids):
+            raise ValidationError(f"shard {site!r} has duplicate document ids")
+        old = self._shards.get(site)
+        # Validate ownership before mutating anything, so a rejected update
+        # leaves the store untouched (the old shard's own documents are
+        # free to reappear in the replacement).
+        replaced = set(old.doc_ids) if old is not None else frozenset()
+        for doc_id in doc_ids:
+            if doc_id in self._entries and doc_id not in replaced:
+                owner = self._entries[doc_id][0]
+                raise GraphStructureError(
+                    f"document {doc_id} already belongs to shard {owner!r}")
+        if old is not None:
+            for doc_id in old.doc_ids:
+                del self._entries[doc_id]
+        self._generation += 1
+        shard = _Shard(site, list(doc_ids), list(urls), scores,
+                       self._generation)
+        self._shards[site] = shard
+        for index, doc_id in enumerate(shard.doc_ids):
+            self._entries[doc_id] = (site, shard.urls[index],
+                                     float(scores[index]))
+        return shard.generation
+
+    def drop_site(self, site: str) -> None:
+        """Remove one site's shard entirely."""
+        shard = self._shard(site)
+        for doc_id in shard.doc_ids:
+            del self._entries[doc_id]
+        del self._shards[site]
+        self._generation += 1
+
+    # ------------------------------------------------------------------ #
+    # Point lookups (O(1))
+    # ------------------------------------------------------------------ #
+    def score_of(self, doc_id: int) -> float:
+        """Global score of a document id (O(1))."""
+        return self._entry(doc_id)[2]
+
+    def site_of(self, doc_id: int) -> str:
+        """Owning site of a document id (O(1))."""
+        return self._entry(doc_id)[0]
+
+    def document(self, doc_id: int) -> ScoredDocument:
+        """The full :class:`ScoredDocument` record of an id (O(1))."""
+        site, url, score = self._entry(doc_id)
+        return ScoredDocument(doc_id=doc_id, url=url, site=site, score=score)
+
+    def link_scores(self) -> Dict[int, float]:
+        """``{doc_id: score}`` over all shards, for the combined ranking.
+
+        Built on demand (and after that kept consistent by ``update_site``),
+        this is the *link_scores_by_doc* argument the
+        :mod:`repro.ir.combined` rules expect.
+        """
+        return {doc_id: entry[2] for doc_id, entry in self._entries.items()}
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._entries
+
+    # ------------------------------------------------------------------ #
+    # Shard access
+    # ------------------------------------------------------------------ #
+    def sites(self) -> List[str]:
+        """All shard identifiers, in first-seen order."""
+        return list(self._shards)
+
+    @property
+    def n_documents(self) -> int:
+        """Total documents across all shards."""
+        return len(self._entries)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (sites)."""
+        return len(self._shards)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every shard replacement."""
+        return self._generation
+
+    def shard_generation(self, site: str) -> int:
+        """Generation stamp of one shard (when it was last replaced)."""
+        return self._shard(site).generation
+
+    def shard_size(self, site: str) -> int:
+        """Number of documents in one shard."""
+        return len(self._shard(site))
+
+    def shard_top(self, site: str, k: int) -> List[ScoredDocument]:
+        """The best ``k`` documents of one site, best first."""
+        if k < 0:
+            raise ValidationError("k must be non-negative")
+        shard = self._shard(site)
+        return [shard.document_at(position)
+                for position in range(min(k, len(shard)))]
+
+    def iter_shard_descending(self, site: str) -> Iterator[ScoredDocument]:
+        """Lazily iterate one shard's documents in descending score order."""
+        return self._shard(site).iter_descending()
+
+    # ------------------------------------------------------------------ #
+    def _shard(self, site: str) -> _Shard:
+        try:
+            return self._shards[site]
+        except KeyError:
+            raise GraphStructureError(f"unknown shard {site!r}") from None
+
+    def _entry(self, doc_id: int) -> Tuple[str, str, float]:
+        try:
+            return self._entries[doc_id]
+        except KeyError:
+            raise ValidationError(f"unknown document id {doc_id}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedScoreStore(n_shards={self.n_shards}, "
+                f"n_documents={self.n_documents}, "
+                f"generation={self.generation})")

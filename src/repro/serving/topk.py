@@ -1,0 +1,86 @@
+"""Top-k answering over a :class:`~repro.serving.store.ShardedScoreStore`.
+
+A global top-k query does **not** need the global score vector sorted: every
+shard is already in score order, so the answer is the first ``k`` elements
+of a k-way merge over the shard heads.  :class:`TopKEngine` performs that
+merge lazily with :func:`heapq.merge` — it materialises only the ``k``
+consumed results plus one candidate per shard, O(S + k·log S) work for S
+shards, versus the O(N·log N) full sort a flat score vector would need.
+This is the serving-time payoff of the paper's partition: the per-site
+order is maintained shard-locally, and only the cheap merge is global.
+
+:func:`naive_top_k` is the full-sort baseline the throughput benchmark
+compares against (and the tests use as an oracle).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import islice
+from typing import List, Optional, Tuple
+
+from ..exceptions import ValidationError
+from .store import ScoredDocument, ShardedScoreStore
+
+
+def _merge_key(document: ScoredDocument) -> Tuple[float, int]:
+    # Descending score, ties broken by ascending doc id — matching
+    # WebRankingResult.top_k's deterministic order.
+    return (-document.score, document.doc_id)
+
+
+class TopKEngine:
+    """Answers global and per-site top-k queries over a sharded store."""
+
+    def __init__(self, store: ShardedScoreStore) -> None:
+        self._store = store
+
+    @property
+    def store(self) -> ShardedScoreStore:
+        """The underlying score store."""
+        return self._store
+
+    def top_k(self, k: int, *, site: Optional[str] = None
+              ) -> List[ScoredDocument]:
+        """The best ``k`` documents, best first.
+
+        Parameters
+        ----------
+        k:
+            Number of results (fewer are returned when the corpus — or the
+            selected site — is smaller).
+        site:
+            Restrict the query to one site's shard; per-site answers are a
+            pure shard-local prefix read, no merge at all.
+        """
+        if k < 0:
+            raise ValidationError("k must be non-negative")
+        if site is not None:
+            return self._store.shard_top(site, k)
+        iterators = [self._store.iter_shard_descending(shard)
+                     for shard in self._store.sites()]
+        merged = heapq.merge(*iterators, key=_merge_key)
+        return list(islice(merged, k))
+
+    def top_k_ids(self, k: int, *, site: Optional[str] = None) -> List[int]:
+        """Document ids of :meth:`top_k`."""
+        return [document.doc_id for document in self.top_k(k, site=site)]
+
+    def top_k_urls(self, k: int, *, site: Optional[str] = None) -> List[str]:
+        """URLs of :meth:`top_k`."""
+        return [document.url for document in self.top_k(k, site=site)]
+
+
+def naive_top_k(store: ShardedScoreStore, k: int) -> List[ScoredDocument]:
+    """Full-sort baseline: gather every document, sort, slice.
+
+    O(N·log N) per query regardless of ``k`` — what serving from a flat
+    score vector costs, and what the throughput benchmark shows the lazy
+    merge beating.
+    """
+    if k < 0:
+        raise ValidationError("k must be non-negative")
+    everything = [document for site in store.sites()
+                  for document in store.iter_shard_descending(site)]
+    everything.sort(key=_merge_key)
+    return everything[:k]

@@ -22,7 +22,7 @@ decomposition: any change invalidates the single global vector.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
@@ -72,6 +72,11 @@ class UpdateReport:
         return self.documents_recomputed / self.documents_total
 
 
+#: Signature of an update-notification callback (see
+#: :meth:`IncrementalLayeredRanker.subscribe`).
+UpdateListener = Callable[[UpdateReport], None]
+
+
 class IncrementalLayeredRanker:
     """Maintains a layered DocRank over a mutable :class:`DocGraph`.
 
@@ -95,7 +100,36 @@ class IncrementalLayeredRanker:
         self._max_iter = max_iter
         self._local: Dict[str, LocalDocRank] = {}
         self._siterank: Optional[SiteRankResult] = None
+        self._listeners: List[UpdateListener] = []
         self.full_rebuild()
+
+    # ------------------------------------------------------------------ #
+    # Update notifications
+    # ------------------------------------------------------------------ #
+    def subscribe(self, listener: UpdateListener) -> UpdateListener:
+        """Register a callback invoked after every completed update.
+
+        The listener receives the :class:`UpdateReport` of each
+        :meth:`refresh` / :meth:`full_rebuild` (and therefore of every
+        ``add_*`` mutation) once the cached factors are consistent again —
+        the hook the serving layer uses to invalidate exactly the affected
+        shards and cache entries.  Returns the listener so the call can be
+        used as a decorator.
+        """
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: UpdateListener) -> None:
+        """Remove a previously registered listener (no-op when absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, report: UpdateReport) -> UpdateReport:
+        for listener in list(self._listeners):
+            listener(report)
+        return report
 
     # ------------------------------------------------------------------ #
     # Full and partial recomputation
@@ -105,7 +139,7 @@ class IncrementalLayeredRanker:
         self._siterank = self._compute_siterank()
         self._local = {site: self._compute_local(site)
                        for site in self._docgraph.sites()}
-        return UpdateReport(
+        return self._notify(UpdateReport(
             recomputed_sites=list(self._local),
             siterank_recomputed=True,
             local_iterations=sum(rank.iterations
@@ -113,7 +147,7 @@ class IncrementalLayeredRanker:
             siterank_iterations=self._siterank.iterations,
             documents_recomputed=self._docgraph.n_documents,
             documents_total=self._docgraph.n_documents,
-        )
+        ))
 
     def refresh(self, changed_sites: Iterable[str], *,
                 intersite_changed: bool) -> UpdateReport:
@@ -148,14 +182,14 @@ class IncrementalLayeredRanker:
             self._siterank = self._compute_siterank()
             siterank_iterations = self._siterank.iterations
 
-        return UpdateReport(
+        return self._notify(UpdateReport(
             recomputed_sites=sorted(changed),
             siterank_recomputed=siterank_recomputed,
             local_iterations=local_iterations,
             siterank_iterations=siterank_iterations,
             documents_recomputed=documents_recomputed,
             documents_total=self._docgraph.n_documents,
-        )
+        ))
 
     # ------------------------------------------------------------------ #
     # Mutation helpers
@@ -186,6 +220,11 @@ class IncrementalLayeredRanker:
     # ------------------------------------------------------------------ #
     # Reading the current ranking
     # ------------------------------------------------------------------ #
+    @property
+    def docgraph(self) -> DocGraph:
+        """The (mutable) DocGraph the ranker maintains a ranking over."""
+        return self._docgraph
+
     def ranking(self) -> WebRankingResult:
         """Compose the cached factors into the current global DocRank."""
         assert self._siterank is not None

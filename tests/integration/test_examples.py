@@ -52,6 +52,14 @@ class TestExampleScripts:
         assert "flat PageRank" in result.stdout
         assert "LMM layered" in result.stdout
 
+    def test_online_query_service(self):
+        result = run_example("online_query_service.py", "--sites", "8",
+                             "--documents", "300")
+        assert result.returncode == 0, result.stderr
+        assert "HTTP endpoint up on http://127.0.0.1:" in result.stdout
+        assert "hit rate" in result.stdout
+        assert "consistent after incremental update: True" in result.stdout
+
     def test_crawl_and_update(self):
         result = run_example("crawl_and_update.py", "--budget", "400")
         assert result.returncode == 0, result.stderr

@@ -101,3 +101,15 @@ class TestDocGraphRoundTrip:
         path.write_text("*NODES\n0\tsite\t0\thttp://a.org/\n*EDGES\n0\t7\n")
         with pytest.raises(ValidationError):
             read_docgraph(path)
+
+    def test_rejects_non_numeric_node_fields(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("*NODES\nx\tsite\t0\thttp://a.org/\n")
+        with pytest.raises(ValidationError):
+            read_docgraph(path)
+
+    def test_rejects_non_numeric_edge_fields(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("*NODES\n0\tsite\t0\thttp://a.org/\n*EDGES\n0\ty\n")
+        with pytest.raises(ValidationError):
+            read_docgraph(path)

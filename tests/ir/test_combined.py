@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.ir import VectorSpaceIndex, combined_search
+from repro.ir import VectorSpaceIndex, combine_candidates, combined_search
 
 CORPUS = {
     0: "research database publication records",
@@ -87,3 +87,64 @@ class TestReciprocalRankFusion:
         rrf = combined_search(index, "research database", LINK_SCORES,
                               rule="rrf", k=1)
         assert linear[0].doc_id == rrf[0].doc_id
+
+
+class TestCombineCandidatesEdgeCases:
+    """Edge cases of the candidate-level combination entry point."""
+
+    def test_empty_candidate_set_returns_empty(self):
+        assert combine_candidates([], LINK_SCORES) == []
+        assert combine_candidates([], LINK_SCORES, rule="rrf") == []
+
+    def test_combined_search_delegates_to_combine_candidates(self, index):
+        candidates = index.search("research database")
+        direct = combine_candidates(candidates, LINK_SCORES, k=4)
+        via_search = combined_search(index, "research database",
+                                     LINK_SCORES, k=4)
+        assert direct == via_search
+
+    def test_lambda_one_is_pure_query_order(self):
+        candidates = [(0, 0.9), (1, 0.5), (2, 0.1)]
+        hits = combine_candidates(candidates, {0: 0.0, 1: 0.0, 2: 1.0},
+                                  weight=1.0, k=3)
+        assert [hit.doc_id for hit in hits] == [0, 1, 2]
+        assert hits[0].combined_score == pytest.approx(1.0)
+        assert hits[-1].combined_score == pytest.approx(0.0)
+
+    def test_lambda_zero_is_pure_link_order(self):
+        candidates = [(0, 0.9), (1, 0.5), (2, 0.1)]
+        hits = combine_candidates(candidates, {0: 0.1, 1: 0.7, 2: 0.9},
+                                  weight=0.0, k=3)
+        assert [hit.doc_id for hit in hits] == [2, 1, 0]
+
+    def test_degenerate_constant_components_tie_break_by_doc_id(self):
+        # Min-max normalisation of a constant vector is all-zero, so every
+        # combined score ties; the order must fall back to ascending doc id.
+        candidates = [(7, 0.4), (3, 0.4), (5, 0.4)]
+        hits = combine_candidates(candidates, {3: 0.2, 5: 0.2, 7: 0.2}, k=3)
+        assert [hit.doc_id for hit in hits] == [3, 5, 7]
+
+    def test_rrf_tie_breaking_is_deterministic(self):
+        candidates = [(9, 0.5), (1, 0.5), (4, 0.5)]
+        link = {1: 0.3, 4: 0.3, 9: 0.3}
+        first = combine_candidates(candidates, link, rule="rrf", k=3)
+        second = combine_candidates(candidates, link, rule="rrf", k=3)
+        assert first == second
+        # All-tied inputs rank by ascending doc id, regardless of the
+        # order the candidates arrived in.
+        assert [hit.doc_id for hit in first] == [1, 4, 9]
+        permuted = combine_candidates(list(reversed(candidates)), link,
+                                      rule="rrf", k=3)
+        assert [hit.doc_id for hit in permuted] == [1, 4, 9]
+
+    def test_rrf_ignores_score_scales(self):
+        # RRF combines orderings, so rescaling either component must not
+        # change the result.
+        candidates = [(0, 0.9), (1, 0.5), (2, 0.1)]
+        link = {0: 0.1, 1: 0.7, 2: 0.9}
+        scaled = [(doc, score * 1000.0) for doc, score in candidates]
+        link_scaled = {doc: score * 1e-6 for doc, score in link.items()}
+        assert ([h.doc_id for h in
+                 combine_candidates(candidates, link, rule="rrf", k=3)]
+                == [h.doc_id for h in
+                    combine_candidates(scaled, link_scaled, rule="rrf", k=3)])

@@ -42,6 +42,26 @@ class TestOverlapAndJaccard:
     def test_overlap_only_considers_prefix(self):
         assert top_k_overlap([1, 2, 3], [3, 2, 1], 1) == pytest.approx(0.0)
 
+    def test_overlap_of_identical_short_lists_is_one(self):
+        # Regression: lists shorter than k used to be divided by k anyway,
+        # deflating the score of two identical 3-item lists at k=10 to 0.3.
+        assert top_k_overlap([1, 2, 3], [1, 2, 3], 10) == pytest.approx(1.0)
+
+    def test_overlap_short_lists_normalized_by_effective_prefix(self):
+        # Effective prefix length is min(k, |a|, |b|) = 2: one shared item
+        # out of a possible two.
+        assert top_k_overlap([1, 2], [2, 9, 8], 10) == pytest.approx(0.5)
+
+    def test_overlap_one_empty_list_is_zero(self):
+        assert top_k_overlap([], [1, 2], 5) == pytest.approx(0.0)
+
+    def test_overlap_both_empty_is_one(self):
+        assert top_k_overlap([], [], 5) == pytest.approx(1.0)
+
+    def test_overlap_full_prefixes_unchanged(self):
+        # The fix must not alter the k-length-prefix behaviour.
+        assert top_k_overlap([1, 2, 3, 4], [3, 5, 6, 1], 4) == pytest.approx(0.5)
+
     def test_jaccard_full_and_empty(self):
         assert top_k_jaccard([1, 2], [2, 1], 2) == pytest.approx(1.0)
         assert top_k_jaccard([1, 2], [3, 4], 2) == pytest.approx(0.0)

@@ -1,0 +1,97 @@
+"""Tests for repro.serving.cache (QueryCache)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serving import QueryCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = QueryCache(maxsize=4)
+        assert cache.get("q") is None
+        cache.put("q", [1, 2, 3])
+        assert cache.get("q") == [1, 2, 3]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_contains_does_not_count(self):
+        cache = QueryCache()
+        cache.put("q", 1)
+        assert "q" in cache
+        assert "other" not in cache
+        assert cache.stats.lookups == 0
+
+    def test_hit_rate_zero_before_lookups(self):
+        assert QueryCache().stats.hit_rate == 0.0
+
+    def test_rejects_non_positive_maxsize(self):
+        with pytest.raises(ValidationError):
+            QueryCache(maxsize=0)
+
+    def test_put_overwrites(self):
+        cache = QueryCache()
+        cache.put("q", 1)
+        cache.put("q", 2)
+        assert cache.get("q") == 2
+        assert len(cache) == 1
+
+
+class TestLRUEviction:
+    def test_evicts_least_recently_used(self):
+        cache = QueryCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" is now oldest
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_size_never_exceeds_maxsize(self):
+        cache = QueryCache(maxsize=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.keys() == [7, 8, 9]
+
+
+class TestInvalidation:
+    def test_invalidate_key(self):
+        cache = QueryCache()
+        cache.put("q", 1)
+        assert cache.invalidate("q") is True
+        assert cache.invalidate("q") is False
+        assert "q" not in cache
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_tag_drops_only_tagged(self):
+        cache = QueryCache()
+        cache.put("q1", 1, tags={"siteA"})
+        cache.put("q2", 2, tags={"siteA", "siteB"})
+        cache.put("q3", 3, tags={"siteB"})
+        assert cache.invalidate_tag("siteA") == 2
+        assert "q1" not in cache and "q2" not in cache
+        assert "q3" in cache
+
+    def test_invalidate_unknown_tag_is_noop(self):
+        cache = QueryCache()
+        cache.put("q", 1, tags={"x"})
+        assert cache.invalidate_tag("y") == 0
+        assert "q" in cache
+
+    def test_tag_index_survives_eviction(self):
+        cache = QueryCache(maxsize=1)
+        cache.put("old", 1, tags={"t"})
+        cache.put("new", 2, tags={"t"})   # evicts "old"
+        assert cache.invalidate_tag("t") == 1
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = QueryCache()
+        cache.put("a", 1, tags={"t"})
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.invalidate_tag("t") == 0

@@ -1,0 +1,259 @@
+"""Tests for repro.serving.service (RankingService)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphgen import generate_synthetic_web
+from repro.ir import VectorSpaceIndex, combined_search, synthesize_corpus
+from repro.serving import RankingService
+from repro.web import IncrementalLayeredRanker, layered_docrank
+
+
+@pytest.fixture
+def web():
+    return generate_synthetic_web(n_sites=8, n_documents=300, seed=3)
+
+
+@pytest.fixture
+def service(web):
+    ranking = layered_docrank(web)
+    return RankingService.from_ranking(ranking, web,
+                                       corpus=synthesize_corpus(web))
+
+
+class TestTop:
+    def test_top_matches_offline_ranking(self, web, service):
+        ranking = layered_docrank(web)
+        assert [d.doc_id for d in service.top(10)] == ranking.top_k(10)
+
+    def test_repeat_top_is_a_cache_hit(self, service):
+        service.top(10)
+        misses = service.cache_stats.misses
+        service.top(10)
+        assert service.cache_stats.hits == 1
+        assert service.cache_stats.misses == misses
+
+    def test_site_top_served_and_cached_separately(self, web, service):
+        site = web.sites()[0]
+        by_site = service.top(5, site=site)
+        assert all(d.site == site for d in by_site)
+        assert service.top(5, site=site) == by_site
+        assert service.cache_stats.hits == 1
+
+
+class TestTextQueries:
+    def test_query_matches_combined_search(self, web, service):
+        ranking = layered_docrank(web)
+        expected = combined_search(service.index, "research database",
+                                   ranking.scores_by_doc_id(), k=5)
+        hits = service.query("research database", k=5)
+        assert [h.doc_id for h in hits] == [h.doc_id for h in expected]
+
+    def test_query_without_index_raises(self, web):
+        service = RankingService.from_ranking(layered_docrank(web), web)
+        with pytest.raises(ValidationError):
+            service.query("anything")
+
+    def test_from_ranking_rejects_corpus_and_index_together(self, web):
+        corpus = synthesize_corpus(web)
+        index = VectorSpaceIndex.from_corpus(corpus)
+        with pytest.raises(ValidationError):
+            RankingService.from_ranking(layered_docrank(web), web,
+                                        corpus=corpus, index=index)
+
+    def test_from_ranking_accepts_prebuilt_index(self, web):
+        index = VectorSpaceIndex.from_corpus(synthesize_corpus(web))
+        service = RankingService.from_ranking(layered_docrank(web), web,
+                                              index=index)
+        assert service.query("research database", k=3)
+
+    def test_rejected_query_does_not_pollute_stats(self, service):
+        from repro.exceptions import GraphStructureError
+
+        with pytest.raises(ValidationError):
+            service.query("research", weight=7.0)
+        with pytest.raises(GraphStructureError):
+            service.top(3, site="nowhere.example.org")
+        assert service.cache_stats.lookups == 0
+
+    def test_repeat_query_is_a_cache_hit(self, service):
+        first = service.query("research database", k=5)
+        again = service.query("research database", k=5)
+        assert again == first
+        assert service.cache_stats.hits == 1
+
+    def test_distinct_parameters_are_distinct_entries(self, service):
+        service.query("research database", k=5)
+        service.query("research database", k=7)
+        service.query("research database", k=5, rule="rrf")
+        assert service.cache_stats.misses == 3
+
+    def test_query_many_deduplicates_batch(self, service):
+        texts = ["research database", "teaching course", "research database"]
+        answers = service.query_many(texts, k=4)
+        assert len(answers) == 3
+        assert answers[0] == answers[2]
+        # Two unique computations; the in-batch repeat and a later
+        # identical batch are all served from the cache.
+        assert service.cache_stats.misses == 2
+        assert service.cache_stats.hits == 1
+        assert service.query_many(texts, k=4) == answers
+        assert service.cache_stats.misses == 2
+        assert service.cache_stats.hits == 4
+
+    def test_no_match_query_returns_empty(self, service):
+        assert service.query("zzz qqq nonexistent") == ()
+
+    def test_results_are_immutable_tuples(self, service):
+        # Cached entries must be immune to caller mutation.
+        assert isinstance(service.top(5), tuple)
+        assert isinstance(service.query("research database", k=3), tuple)
+
+
+class TestIncrementalInvalidation:
+    def test_service_follows_single_site_update(self, web):
+        ranker = IncrementalLayeredRanker(web)
+        service = RankingService.from_incremental(
+            ranker, corpus=synthesize_corpus(web))
+        before = [d.doc_id for d in service.top(10)]
+        assert before == ranker.ranking().top_k(10)
+
+        # An intra-site link: only that site's shard may change.
+        site = web.sites()[0]
+        docs = web.documents_of_site(site)
+        source = web.document(docs[-1]).url
+        target = web.document(docs[0]).url
+        generations = {s: service.store.shard_generation(s)
+                       for s in service.store.sites()}
+        report = ranker.add_link(source, target)
+        assert report.recomputed_sites == [site]
+        assert not report.siterank_recomputed
+
+        # Exactly one shard was replaced.
+        changed = [s for s in service.store.sites()
+                   if service.store.shard_generation(s) != generations[s]]
+        assert changed == [site]
+        # And the served answer equals a from-scratch recomposition.
+        assert [d.doc_id for d in service.top(10)] == ranker.ranking().top_k(10)
+
+    def test_update_invalidates_affected_entries_only(self, web):
+        ranker = IncrementalLayeredRanker(web)
+        service = RankingService.from_incremental(
+            ranker, corpus=synthesize_corpus(web))
+        site_a, site_b = web.sites()[0], web.sites()[1]
+        service.top(5)                      # global entry
+        service.top(5, site=site_a)         # changed-site entry
+        service.top(5, site=site_b)         # unrelated entry
+        docs = web.documents_of_site(site_a)
+        ranker.add_link(web.document(docs[0]).url, web.document(docs[1]).url)
+        assert ("top", 5, site_b) in service.cache
+        assert ("top", 5, site_a) not in service.cache
+        assert ("top", 5, None) not in service.cache
+
+    def test_intersite_update_clears_cache(self, web):
+        ranker = IncrementalLayeredRanker(web)
+        service = RankingService.from_incremental(
+            ranker, corpus=synthesize_corpus(web))
+        service.top(5)
+        site_a, site_b = web.sites()[:2]
+        source = web.document(web.documents_of_site(site_a)[0]).url
+        target = web.document(web.documents_of_site(site_b)[0]).url
+        report = ranker.add_link(source, target)
+        assert report.siterank_recomputed
+        assert len(service.cache) == 0
+        assert [d.doc_id for d in service.top(10)] == ranker.ranking().top_k(10)
+
+    def test_text_query_consistent_after_update(self, web):
+        ranker = IncrementalLayeredRanker(web)
+        corpus = synthesize_corpus(web)
+        service = RankingService.from_incremental(ranker, corpus=corpus)
+        service.query("research database", k=5)
+        site = web.sites()[0]
+        docs = web.documents_of_site(site)
+        ranker.add_link(web.document(docs[2]).url, web.document(docs[0]).url)
+        hits = service.query("research database", k=5)
+        fresh = RankingService.from_ranking(ranker.ranking(),
+                                            ranker.docgraph, corpus=corpus)
+        expected = fresh.query("research database", k=5)
+        assert [h.doc_id for h in hits] == [h.doc_id for h in expected]
+
+    def test_refresh_index_makes_new_documents_searchable(self, web):
+        ranker = IncrementalLayeredRanker(web)
+        corpus = synthesize_corpus(web)
+        service = RankingService.from_incremental(ranker, corpus=corpus)
+        url = "http://site000.example.org/zebra-telescope.html"
+        ranker.add_document(url)
+        doc_id = web.document_by_url(url).doc_id
+        # Link side sees the new document immediately...
+        assert service.score_of(doc_id) > 0.0
+        # ...but the text side only after re-indexing.
+        assert service.query("zebra telescope") == ()
+        corpus[doc_id] = "zebra telescope observatory"
+        service.refresh_index(corpus)
+        assert [h.doc_id for h in service.query("zebra telescope")] == [doc_id]
+
+    def test_double_attach_rejected(self, web):
+        ranker = IncrementalLayeredRanker(web)
+        service = RankingService.from_incremental(ranker)
+        with pytest.raises(ValidationError):
+            service.attach(ranker)
+
+    def test_detach_stops_updates(self, web):
+        ranker = IncrementalLayeredRanker(web)
+        service = RankingService.from_incremental(ranker)
+        service.detach()
+        generation = service.store.generation
+        docs = web.documents_of_site(web.sites()[0])
+        ranker.add_link(web.document(docs[0]).url, web.document(docs[1]).url)
+        assert service.store.generation == generation
+
+
+class TestConcurrency:
+    def test_queries_race_safely_with_live_updates(self, web):
+        import threading
+
+        ranker = IncrementalLayeredRanker(web)
+        service = RankingService.from_incremental(
+            ranker, corpus=synthesize_corpus(web))
+        errors = []
+        stop = threading.Event()
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    service.top(5)
+                    service.query("research database", k=3)
+                    service.stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            for _ in range(10):
+                site = web.sites()[0]
+                docs = web.documents_of_site(site)
+                ranker.add_link(web.document(docs[0]).url,
+                                web.document(docs[1]).url)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30)
+        assert errors == []
+        assert [d.doc_id for d in service.top(10)] == ranker.ranking().top_k(10)
+
+
+class TestIntrospection:
+    def test_stats_snapshot(self, web, service):
+        service.top(3)
+        stats = service.stats()
+        assert stats["documents"] == web.n_documents
+        assert stats["shards"] == web.n_sites
+        assert stats["queries_served"] == 1
+        assert stats["has_text_index"] is True
+        assert stats["attached_to_ranker"] is False
+
+    def test_score_of_point_lookup(self, web, service):
+        ranking = layered_docrank(web)
+        assert service.score_of(0) == pytest.approx(ranking.score_of(0))

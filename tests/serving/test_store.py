@@ -1,0 +1,164 @@
+"""Tests for repro.serving.store (ShardedScoreStore)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphStructureError, ValidationError
+from repro.serving import ShardedScoreStore
+from repro.web import layered_docrank
+
+
+@pytest.fixture
+def ranked_toy(toy_docgraph):
+    return toy_docgraph, layered_docrank(toy_docgraph)
+
+
+@pytest.fixture
+def store(ranked_toy):
+    graph, ranking = ranked_toy
+    return ShardedScoreStore.from_ranking(ranking, graph)
+
+
+class TestFromRanking:
+    def test_one_shard_per_site(self, store, toy_docgraph):
+        assert sorted(store.sites()) == sorted(toy_docgraph.sites())
+        assert store.n_shards == toy_docgraph.n_sites
+
+    def test_all_documents_present(self, store, toy_docgraph):
+        assert store.n_documents == toy_docgraph.n_documents
+        for document in toy_docgraph.documents():
+            assert document.doc_id in store
+
+    def test_scores_match_ranking(self, store, ranked_toy):
+        _graph, ranking = ranked_toy
+        for doc_id in ranking.doc_ids:
+            assert store.score_of(doc_id) == pytest.approx(
+                ranking.score_of(doc_id))
+
+    def test_document_record_carries_url_and_site(self, store, toy_docgraph):
+        document = toy_docgraph.document(0)
+        record = store.document(0)
+        assert record.url == document.url
+        assert record.site == document.site
+        assert store.site_of(0) == document.site
+
+    def test_shard_sizes_match_sites(self, store, toy_docgraph):
+        for site, size in toy_docgraph.site_sizes().items():
+            assert store.shard_size(site) == size
+
+
+class TestLookupErrors:
+    def test_unknown_document_raises(self, store):
+        with pytest.raises(ValidationError):
+            store.score_of(99999)
+
+    def test_unknown_shard_raises(self, store):
+        with pytest.raises(GraphStructureError):
+            store.shard_top("nowhere.example.org", 3)
+
+
+class TestShardOrder:
+    def test_shard_top_is_descending(self, store):
+        for site in store.sites():
+            top = store.shard_top(site, 100)
+            scores = [document.score for document in top]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_iter_descending_matches_shard_top(self, store):
+        for site in store.sites():
+            lazy = list(store.iter_shard_descending(site))
+            assert lazy == store.shard_top(site, len(lazy))
+
+    def test_ties_broken_by_doc_id(self):
+        store = ShardedScoreStore()
+        store.update_site("s", [5, 2, 9], ["u5", "u2", "u9"],
+                          [0.3, 0.3, 0.3])
+        assert [d.doc_id for d in store.shard_top("s", 3)] == [2, 5, 9]
+
+
+class TestUpdateSite:
+    def test_replaces_scores_and_bumps_generation(self, store):
+        site = store.sites()[0]
+        before = store.shard_generation(site)
+        top = store.shard_top(site, store.shard_size(site))
+        doc_ids = [d.doc_id for d in top]
+        urls = [d.url for d in top]
+        new_scores = np.linspace(1.0, 2.0, len(doc_ids))
+        store.update_site(site, doc_ids, urls, new_scores)
+        assert store.shard_generation(site) > before
+        assert store.score_of(doc_ids[-1]) == pytest.approx(2.0)
+        # Best document of the shard is now the one given the largest score.
+        assert store.shard_top(site, 1)[0].doc_id == doc_ids[-1]
+
+    def test_shard_may_grow(self, store):
+        site = store.sites()[0]
+        top = store.shard_top(site, store.shard_size(site))
+        doc_ids = [d.doc_id for d in top] + [4242]
+        urls = [d.url for d in top] + ["http://new.example.org/"]
+        scores = [d.score for d in top] + [0.5]
+        store.update_site(site, doc_ids, urls, scores)
+        assert store.score_of(4242) == pytest.approx(0.5)
+        assert store.site_of(4242) == site
+
+    def test_rejects_document_owned_by_other_shard(self, store):
+        site_a, site_b = store.sites()[:2]
+        stolen = store.shard_top(site_b, 1)[0]
+        top = store.shard_top(site_a, store.shard_size(site_a))
+        with pytest.raises(GraphStructureError):
+            store.update_site(site_a,
+                              [d.doc_id for d in top] + [stolen.doc_id],
+                              [d.url for d in top] + [stolen.url],
+                              [d.score for d in top] + [stolen.score])
+
+    def test_rejected_update_leaves_store_untouched(self, store):
+        # Regression: the ownership check used to run after the old
+        # shard's entries were deleted, so a failed update corrupted the
+        # store (lookups broken, retries crashing).
+        site_a, site_b = store.sites()[:2]
+        stolen = store.shard_top(site_b, 1)[0]
+        top = store.shard_top(site_a, store.shard_size(site_a))
+        generation = store.generation
+        with pytest.raises(GraphStructureError):
+            store.update_site(site_a, [stolen.doc_id], [stolen.url],
+                              [stolen.score])
+        assert store.generation == generation
+        for document in top:
+            assert document.doc_id in store
+            assert store.score_of(document.doc_id) == pytest.approx(
+                document.score)
+        # A subsequent valid replacement still works.
+        store.update_site(site_a, [d.doc_id for d in top],
+                          [d.url for d in top], [d.score for d in top])
+        assert store.shard_size(site_a) == len(top)
+
+    def test_rejects_misaligned_inputs(self):
+        store = ShardedScoreStore()
+        with pytest.raises(ValidationError):
+            store.update_site("s", [1, 2], ["a"], [0.1, 0.2])
+
+    def test_rejects_non_finite_scores(self):
+        store = ShardedScoreStore()
+        with pytest.raises(ValidationError):
+            store.update_site("s", [1], ["a"], [float("nan")])
+
+    def test_rejects_duplicate_doc_ids_in_one_shard(self):
+        store = ShardedScoreStore()
+        with pytest.raises(ValidationError):
+            store.update_site("s", [1, 1], ["a", "b"], [0.5, 0.4])
+
+    def test_drop_site_removes_documents(self, store):
+        site = store.sites()[0]
+        doc_ids = [d.doc_id for d in store.shard_top(site, 100)]
+        store.drop_site(site)
+        assert site not in store.sites()
+        for doc_id in doc_ids:
+            assert doc_id not in store
+
+
+class TestLinkScores:
+    def test_link_scores_cover_everything(self, store, ranked_toy):
+        _graph, ranking = ranked_toy
+        link_scores = store.link_scores()
+        assert len(link_scores) == store.n_documents
+        assert link_scores[ranking.doc_ids[0]] == pytest.approx(
+            float(ranking.scores[0]))

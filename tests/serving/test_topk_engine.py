@@ -1,0 +1,82 @@
+"""Tests for repro.serving.topk (TopKEngine and the naive baseline)."""
+
+import pytest
+
+from repro.exceptions import GraphStructureError, ValidationError
+from repro.graphgen import generate_synthetic_web
+from repro.serving import ShardedScoreStore, TopKEngine, naive_top_k
+from repro.web import layered_docrank
+
+
+@pytest.fixture(scope="module")
+def served_web():
+    web = generate_synthetic_web(n_sites=10, n_documents=400, seed=5)
+    ranking = layered_docrank(web)
+    store = ShardedScoreStore.from_ranking(ranking, web)
+    return web, ranking, store, TopKEngine(store)
+
+
+class TestGlobalTopK:
+    def test_matches_ranking_top_k(self, served_web):
+        _web, ranking, _store, engine = served_web
+        for k in (1, 5, 25, 100):
+            assert engine.top_k_ids(k) == ranking.top_k(k)
+
+    def test_matches_naive_full_sort(self, served_web):
+        _web, _ranking, store, engine = served_web
+        assert engine.top_k(40) == naive_top_k(store, 40)
+
+    def test_k_zero_returns_empty(self, served_web):
+        *_ignored, engine = served_web
+        assert engine.top_k(0) == []
+
+    def test_k_beyond_corpus_returns_everything(self, served_web):
+        web, _ranking, _store, engine = served_web
+        everything = engine.top_k(web.n_documents + 50)
+        assert len(everything) == web.n_documents
+
+    def test_negative_k_rejected(self, served_web):
+        *_ignored, engine = served_web
+        with pytest.raises(ValidationError):
+            engine.top_k(-1)
+
+    def test_results_are_descending(self, served_web):
+        *_ignored, engine = served_web
+        scores = [d.score for d in engine.top_k(50)]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSiteTopK:
+    def test_site_results_belong_to_site(self, served_web):
+        web, *_ignored, engine = served_web
+        site = web.sites()[0]
+        for document in engine.top_k(10, site=site):
+            assert document.site == site
+
+    def test_site_top_k_matches_global_filter(self, served_web):
+        web, _ranking, _store, engine = served_web
+        site = web.sites()[2]
+        global_order = [d.doc_id for d in engine.top_k(web.n_documents)
+                        if d.site == site]
+        assert engine.top_k_ids(5, site=site) == global_order[:5]
+
+    def test_unknown_site_raises(self, served_web):
+        *_ignored, engine = served_web
+        with pytest.raises(GraphStructureError):
+            engine.top_k(3, site="nowhere.example.org")
+
+
+class TestDeterminism:
+    def test_ties_broken_by_doc_id(self):
+        store = ShardedScoreStore()
+        store.update_site("a", [3, 1], ["u3", "u1"], [0.25, 0.25])
+        store.update_site("b", [2, 0], ["u2", "u0"], [0.25, 0.25])
+        engine = TopKEngine(store)
+        assert engine.top_k_ids(4) == [0, 1, 2, 3]
+        assert [d.doc_id for d in naive_top_k(store, 4)] == [0, 1, 2, 3]
+
+    def test_urls_align_with_ids(self, served_web):
+        web, *_ignored, engine = served_web
+        ids = engine.top_k_ids(5)
+        urls = engine.top_k_urls(5)
+        assert urls == [web.document(doc_id).url for doc_id in ids]

@@ -5,7 +5,8 @@ import sys
 
 import pytest
 
-from repro.cli import build_parser, main
+import repro
+from repro.cli import EXIT_ERROR, build_parser, main
 
 
 class TestParser:
@@ -21,6 +22,56 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8000
+        assert args.duration is None
+        assert args.rule == "linear"
+
+    def test_query_requires_a_query(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
+
+class TestErrorExitCodes:
+    def test_rank_missing_input_path(self, capsys):
+        assert main(["rank", "--input", "/no/such/file.txt"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_missing_input_path(self, capsys):
+        assert main(["compare", "--input", "/no/such/file.txt"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_missing_input_path(self, capsys):
+        assert main(["query", "--input", "/no/such/file.txt",
+                     "research"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_generate_unwritable_output_path(self, capsys):
+        assert main(["generate", "hierarchical", "/no/such/dir/out.graph",
+                     "--sites", "3", "--documents", "30"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_rank_malformed_docgraph_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.graph"
+        bad.write_text("this is not a docgraph\n")
+        assert main(["rank", "--input", str(bad),
+                     "--format", "docgraph"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_rank_docgraph_with_non_numeric_fields(self, tmp_path, capsys):
+        bad = tmp_path / "bad-id.graph"
+        bad.write_text("*NODES\nx\tsiteA\t0\thttp://a.example.org/1\n")
+        assert main(["rank", "--input", str(bad),
+                     "--format", "docgraph"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
 
 
 class TestExampleCommand:
@@ -86,6 +137,70 @@ class TestGenerateAndCompare:
                      "--documents", "200"]) == 0
         out = capsys.readouterr().out
         assert "top-15 overlap" in out
+
+
+class TestQueryCommand:
+    def test_query_generated_web(self, capsys):
+        exit_code = main(["query", "--generate", "hierarchical", "--sites",
+                          "6", "--documents", "150", "--top", "3",
+                          "research database"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "top-3 for 'research database'" in out
+        assert "combined=" in out
+        assert "cache:" in out
+
+    def test_query_batch_answers_every_query(self, capsys):
+        exit_code = main(["query", "--generate", "hierarchical", "--sites",
+                          "5", "--documents", "120", "--top", "2",
+                          "research database", "teaching course"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "top-2 for 'research database'" in out
+        assert "top-2 for 'teaching course'" in out
+
+    def test_query_rrf_rule(self, capsys):
+        exit_code = main(["query", "--generate", "hierarchical", "--sites",
+                          "5", "--documents", "120", "--rule", "rrf",
+                          "--top", "2", "research"])
+        assert exit_code == 0
+        assert "(rrf combination)" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_for_a_short_duration(self, capsys):
+        exit_code = main(["serve", "--generate", "hierarchical", "--sites",
+                          "5", "--documents", "100", "--port", "0",
+                          "--duration", "0.2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "serving on http://127.0.0.1:" in out
+        assert "server stopped" in out
+
+    def test_serve_answers_requests_while_up(self):
+        import json
+        import re
+        import urllib.request
+
+        from repro.graphgen import generate_synthetic_web
+        from repro.ir import synthesize_corpus
+        from repro.serving import RankingService, RankingHTTPServer
+        from repro.web import layered_docrank
+
+        # Drive the same stack the serve command wires together.
+        web = generate_synthetic_web(n_sites=5, n_documents=100, seed=7)
+        service = RankingService.from_ranking(layered_docrank(web), web,
+                                              corpus=synthesize_corpus(web))
+        server = RankingHTTPServer(service, port=0)
+        server.start_background()
+        try:
+            with urllib.request.urlopen(server.url + "/top?k=3",
+                                        timeout=10) as response:
+                payload = json.load(response)
+            assert len(payload["results"]) == 3
+            assert re.match(r"http://", payload["results"][0]["url"])
+        finally:
+            server.close()
 
 
 class TestModuleInvocation:

@@ -30,18 +30,21 @@ class TestPublicAPI:
         import repro.markov
         import repro.metrics
         import repro.pagerank
+        import repro.serving
         import repro.web
 
         for module in (repro.core, repro.distributed, repro.graphgen,
                        repro.io, repro.ir, repro.linalg, repro.markov,
-                       repro.metrics, repro.pagerank, repro.web):
+                       repro.metrics, repro.pagerank, repro.serving,
+                       repro.web):
             assert module.__doc__, f"{module.__name__} is missing a docstring"
 
     def test_subpackage_exports_resolve(self):
         import repro.core as core
+        import repro.serving as serving
         import repro.web as web
 
-        for module in (core, web):
+        for module in (core, serving, web):
             for name in module.__all__:
                 assert hasattr(module, name), (
                     f"{module.__name__} exports {name} but does not define it")

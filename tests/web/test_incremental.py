@@ -140,3 +140,50 @@ class TestRefreshAndSavings:
                         "http://b.example.org/")
         ranker.add_link("http://c.example.org/", "http://c.example.org/two.html")
         assert_matches_full_recompute(ranker, graph)
+
+
+class TestUpdateNotifications:
+    def test_subscriber_sees_every_update_report(self):
+        ranker = IncrementalLayeredRanker(toy_web())
+        reports = []
+        ranker.subscribe(reports.append)
+        expected = ranker.add_link("http://a.example.org/",
+                                   "http://a.example.org/two.html")
+        assert reports == [expected]
+        ranker.full_rebuild()
+        assert len(reports) == 2
+        assert reports[1].siterank_recomputed
+
+    def test_listener_runs_after_state_is_consistent(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        seen = []
+
+        @ranker.subscribe
+        def listener(report):
+            # The cached factors must already reflect the update.
+            seen.append(ranker.ranking().scores_by_doc_id())
+
+        ranker.add_link("http://a.example.org/", "http://a.example.org/two.html")
+        full = layered_docrank(graph)
+        assert np.allclose(seen[0], full.scores_by_doc_id(), atol=1e-9)
+
+    def test_unsubscribe_stops_notifications(self):
+        ranker = IncrementalLayeredRanker(toy_web())
+        reports = []
+        ranker.subscribe(reports.append)
+        ranker.unsubscribe(reports.append)
+        ranker.add_document("http://a.example.org/fresh.html")
+        assert reports == []
+
+    def test_unsubscribe_unknown_listener_is_noop(self):
+        ranker = IncrementalLayeredRanker(toy_web())
+        ranker.unsubscribe(lambda report: None)
+
+    def test_multiple_listeners_all_notified(self):
+        ranker = IncrementalLayeredRanker(toy_web())
+        first, second = [], []
+        ranker.subscribe(first.append)
+        ranker.subscribe(second.append)
+        ranker.add_document("http://b.example.org/fresh.html")
+        assert len(first) == len(second) == 1
