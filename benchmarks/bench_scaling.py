@@ -16,7 +16,7 @@ import time
 
 import pytest
 
-from conftest import write_result
+from conftest import SCALING_SIZES, write_result
 from repro.distributed import compare_costs
 from repro.web import flat_pagerank_ranking, layered_docrank
 
@@ -72,14 +72,14 @@ def test_e8_cost_scaling_table(benchmark, scaling_rows):
 
 
 @pytest.mark.benchmark(group="E8 scaling")
-@pytest.mark.parametrize("n_documents", [1000, 4000, 16000])
+@pytest.mark.parametrize("n_documents", SCALING_SIZES)
 def test_e8_flat_pagerank_time(benchmark, synthetic_webs, n_documents):
     graph = synthetic_webs[n_documents]
     benchmark(flat_pagerank_ranking, graph)
 
 
 @pytest.mark.benchmark(group="E8 scaling")
-@pytest.mark.parametrize("n_documents", [1000, 4000, 16000])
+@pytest.mark.parametrize("n_documents", SCALING_SIZES)
 def test_e8_layered_time(benchmark, synthetic_webs, n_documents):
     graph = synthetic_webs[n_documents]
     benchmark(layered_docrank, graph)

@@ -29,6 +29,15 @@ from repro.io import experiment_rows_to_markdown, save_json  # noqa: E402
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "results")
 
+#: Smoke mode (``REPRO_BENCH_SMOKE=1``): shrink benchmark inputs so the CI
+#: step finishes in seconds while still executing every code path — shape
+#: assertions (e.g. "parallel beats serial by 2x") are relaxed, scheduling
+#: regressions (wrong results, broken executors) still fail the build.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Web sizes the E8 scaling benchmark sweeps (shrunk in smoke mode).
+SCALING_SIZES = [250, 500, 1000] if SMOKE else [1000, 4000, 16000]
+
 
 def write_result(experiment_id: str, rows: List[Dict], columns: List[str],
                  *, caption: str = "") -> str:
@@ -62,9 +71,8 @@ def campus():
 @pytest.fixture(scope="session")
 def synthetic_webs():
     """Synthetic hierarchical webs of increasing size for the scaling bench."""
-    sizes = [1000, 4000, 16000]
     return {
         n: generate_synthetic_web(n_sites=max(8, n // 250), n_documents=n,
                                   seed=31)
-        for n in sizes
+        for n in SCALING_SIZES
     }

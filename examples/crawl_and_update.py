@@ -77,7 +77,11 @@ def main() -> None:
     fresh = layered_docrank(crawl.docgraph)
     gap = float(np.abs(ranker.ranking().scores_by_doc_id()
                        - fresh.scores_by_doc_id()).max())
-    print(f"\nincremental ranking vs full recompute: max |diff| = {gap:.2e}")
+    # Refreshes are warm-started from the previous stationary vectors, so
+    # the repaired ranking agrees with a from-scratch run to solver
+    # tolerance (not bitwise — both are within tol of the true fixed point).
+    print(f"\nincremental ranking vs full recompute: max |diff| = {gap:.2e} "
+          f"(within tolerance: {gap < 1e-9})")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,95 @@
+"""Walkthrough of the parallel execution engine (repro.engine).
+
+The paper's decentralisability theorem says every site's local DocRank is
+independent of every other site's and of the SiteRank.  This example shows
+the three ways the repository exploits that:
+
+1. the one-liner — ``layered_docrank(web, n_jobs=N)``;
+2. the explicit route — build a :class:`RankingPlan`, execute it on
+   different backends, and verify the scores are bitwise identical;
+3. warm starts — resume power iterations from the previous stationary
+   vectors and watch the iteration counts collapse.
+
+Run with::
+
+    python examples/parallel_ranking.py --sites 40 --documents 4000 --jobs 4
+"""
+
+import argparse
+import os
+import time
+
+import _bootstrap  # noqa: F401  (src/ path setup)
+import numpy as np
+
+from repro.engine import (
+    ProcessExecutor,
+    RankingPlan,
+    SerialExecutor,
+    ThreadedExecutor,
+    WarmStartState,
+)
+from repro.graphgen import generate_synthetic_web
+from repro.web import IncrementalLayeredRanker, layered_docrank
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=40)
+    parser.add_argument("--documents", type=int, default=4000)
+    parser.add_argument("--jobs", type=int,
+                        default=max(2, min(4, os.cpu_count() or 1)))
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    web = generate_synthetic_web(n_sites=args.sites,
+                                 n_documents=args.documents, seed=args.seed)
+    print(f"web: {web.n_documents} documents over {web.n_sites} sites")
+
+    # 1. The one-liner: n_jobs > 1 runs steps 3 and 4 of the layered
+    #    method on a process pool; the result is identical to serial.
+    serial = layered_docrank(web)
+    parallel = layered_docrank(web, n_jobs=args.jobs)
+    print(f"\nlayered_docrank(n_jobs={args.jobs}) identical to serial: "
+          f"{np.array_equal(serial.scores, parallel.scores)}")
+
+    # 2. The explicit route: one plan, three backends.
+    plan = RankingPlan.from_docgraph(web)
+    print(f"\nplan: {plan.n_sites} per-site tasks + 1 SiteRank task, "
+          "executed concurrently, composed at the barrier")
+    for executor in (SerialExecutor(), ThreadedExecutor(args.jobs),
+                     ProcessExecutor(args.jobs)):
+        with executor:
+            executor.warmup()  # absorb pool start-up outside the timing
+            start = time.perf_counter()
+            execution = plan.execute(executor=executor)
+            seconds = time.perf_counter() - start
+        identical = np.array_equal(execution.siterank.scores,
+                                   serial.siterank.scores)
+        print(f"  {executor.name:>8} ({executor.n_jobs} workers): "
+              f"{seconds:.3f}s, {execution.total_iterations} iterations, "
+              f"SiteRank identical: {identical}")
+
+    # 3. Warm starts: the second execution resumes from the first one's
+    #    converged vectors.
+    warm = WarmStartState()
+    cold = plan.execute(warm=warm)
+    resumed = plan.execute(warm=warm)
+    print(f"\nwarm start: cold run {cold.total_iterations} iterations, "
+          f"resumed run {resumed.total_iterations}")
+
+    # The same machinery powers incremental maintenance: a refresh after a
+    # small change is warm-started and touches only the changed site.
+    ranker = IncrementalLayeredRanker(web, n_jobs=args.jobs)
+    site = web.sites()[0]
+    docs = web.documents_of_site(site)
+    report = ranker.add_link(web.document(docs[-1]).url,
+                             web.document(docs[0]).url)
+    print(f"incremental repair of {site!r}: "
+          f"{report.local_iterations} warm iterations, "
+          f"{report.recompute_fraction:.1%} of the corpus recomputed")
+    ranker.close()
+
+
+if __name__ == "__main__":
+    main()

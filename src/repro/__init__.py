@@ -17,6 +17,9 @@ contribution:
   campus-web generator used in place of the paper's 2003 EPFL crawl;
 * :mod:`repro.distributed` — a simulated peer-to-peer deployment of the
   layered computation;
+* :mod:`repro.engine` — the parallel execution engine: serial / threaded /
+  process executors and the :class:`RankingPlan` task graph every compute
+  layer schedules its rank work through;
 * :mod:`repro.metrics`, :mod:`repro.ir`, :mod:`repro.io` — ranking-comparison
   metrics, a small IR substrate, and serialisation helpers;
 * :mod:`repro.serving` — the online query-serving layer: sharded score
@@ -41,6 +44,13 @@ from .core import (
     layered_ranking,
     verify_partition_theorem,
 )
+from .engine import (
+    ProcessExecutor,
+    RankingPlan,
+    SerialExecutor,
+    ThreadedExecutor,
+    WarmStartState,
+)
 from .pagerank import hits, pagerank
 from .serving import (
     QueryCache,
@@ -61,6 +71,11 @@ __all__ = [
     "example_lmm",
     "layered_ranking",
     "verify_partition_theorem",
+    "ProcessExecutor",
+    "RankingPlan",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "WarmStartState",
     "hits",
     "pagerank",
     "QueryCache",

@@ -27,9 +27,12 @@ Sub-commands
     Rank a web graph, build the serving stack in-process and answer one or
     more free-text queries with the combined (text + link) ranking.
 
-All numeric output is deterministic for a fixed ``--seed``.  Errors (bad
-input paths, malformed graph files, invalid parameters) print a message to
-stderr and exit with status 2.
+All numeric output is deterministic for a fixed ``--seed``.  The graph
+sub-commands accept ``--jobs N`` to run the layered rank computation on a
+process pool of N workers (through :mod:`repro.engine`); the default of 1
+keeps the serial reference path and N > 1 produces identical scores.
+Errors (bad input paths, malformed graph files, invalid parameters) print
+a message to stderr and exit with status 2.
 """
 
 from __future__ import annotations
@@ -77,6 +80,10 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sites", type=int, default=20)
     parser.add_argument("--documents", type=int, default=2000)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the layered rank "
+                             "computation (default: 1, serial — results "
+                             "are identical for any N)")
 
 
 def _command_rank(args: argparse.Namespace) -> int:
@@ -86,7 +93,8 @@ def _command_rank(args: argparse.Namespace) -> int:
     methods = (["layered", "pagerank"] if args.method == "both"
                else [args.method])
     for method in methods:
-        result = (layered_docrank(graph, damping=args.damping)
+        result = (layered_docrank(graph, damping=args.damping,
+                                  n_jobs=args.jobs)
                   if method == "layered"
                   else flat_pagerank_ranking(graph, damping=args.damping))
         print(f"\ntop-{args.top} by {method}:")
@@ -119,7 +127,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         graph = campus.docgraph
     else:
         graph = _load_graph(args)
-    layered = layered_docrank(graph, damping=args.damping)
+    layered = layered_docrank(graph, damping=args.damping, n_jobs=args.jobs)
     flat = flat_pagerank_ranking(graph, damping=args.damping)
     tau = kendall_tau(layered.scores_by_doc_id(), flat.scores_by_doc_id())
     overlap = top_k_overlap(layered.top_k(args.top), flat.top_k(args.top),
@@ -138,7 +146,7 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _build_service(args: argparse.Namespace):
     """Rank the selected graph and wrap it in a RankingService."""
     graph = _load_graph(args)
-    ranking = layered_docrank(graph, damping=args.damping)
+    ranking = layered_docrank(graph, damping=args.damping, n_jobs=args.jobs)
     corpus = synthesize_corpus(graph, seed=args.seed)
     service = RankingService.from_ranking(ranking, graph, corpus=corpus,
                                           cache_size=args.cache_size,

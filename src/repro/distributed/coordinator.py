@@ -25,6 +25,8 @@ from typing import Dict, List, Literal, Optional
 import numpy as np
 
 from .._validation import normalize_distribution
+from ..engine.executor import Executor, resolve_executor
+from ..engine.plan import execute_tasks, site_tasks_for
 from ..exceptions import SimulationError
 from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
 from ..linalg.sparse_utils import coo_from_edges
@@ -76,6 +78,13 @@ class SimulationReport:
         Simulated time spent on the coordinator (SiteRank + aggregation).
     per_peer_compute_seconds:
         Simulated local computation time per peer.
+    measured_wall_seconds:
+        *Measured* wall-clock of the per-site rank batch as executed by the
+        engine on this machine — the empirical companion to the modeled
+        ``makespan_seconds``, since both are derived from the same
+        :class:`~repro.engine.plan.RankingPlan` tasks.
+    executor_name:
+        Engine backend that executed the batch.
     """
 
     ranking: WebRankingResult
@@ -90,6 +99,8 @@ class SimulationReport:
     serial_compute_seconds: float
     coordinator_seconds: float
     per_peer_compute_seconds: Dict[str, float] = field(default_factory=dict)
+    measured_wall_seconds: float = 0.0
+    executor_name: str = "serial"
 
     @property
     def parallel_speedup(self) -> float:
@@ -117,6 +128,12 @@ class DistributedRankingCoordinator:
         Latency/bandwidth parameters of the simulated network.
     damping / site_damping:
         Damping factors of the local DocRanks and the SiteRank.
+    executor / n_jobs:
+        Engine backend the per-site rank batch is *actually* executed on
+        (serial by default).  The batch is the same step-3 task list
+        (:func:`repro.engine.plan.site_tasks_for`) the cost model is
+        priced from, so modeled makespan and measured wall-clock describe
+        one and the same schedule.
     """
 
     def __init__(self, docgraph: DocGraph, *, n_peers: int = 8,
@@ -126,7 +143,9 @@ class DistributedRankingCoordinator:
                  damping: float = DEFAULT_DAMPING,
                  site_damping: Optional[float] = None,
                  tol: float = DEFAULT_TOL,
-                 max_iter: int = DEFAULT_MAX_ITER) -> None:
+                 max_iter: int = DEFAULT_MAX_ITER,
+                 executor: Optional[Executor] = None,
+                 n_jobs: Optional[int] = None) -> None:
         if docgraph.n_documents == 0:
             raise SimulationError("cannot rank an empty DocGraph")
         if architecture not in ("flat", "super-peer"):
@@ -137,7 +156,15 @@ class DistributedRankingCoordinator:
         self.site_damping = site_damping if site_damping is not None else damping
         self.tol = tol
         self.max_iter = max_iter
+        self._executor_spec = (executor, n_jobs)
 
+        # The shared source of truth: the step-3 task objects the engine
+        # executes are the ones the cost model charges simulated seconds
+        # for.  (Only the per-site half of a RankingPlan is built — the
+        # protocol derives its SiteRank from the peers' SiteLink summaries
+        # in phase 2, never from a locally aggregated SiteGraph.)
+        self.site_tasks = site_tasks_for(docgraph, damping, tol=tol,
+                                         max_iter=max_iter)
         self.assignment = partition_sites(docgraph, n_peers,
                                           policy=partition_policy)
         self.network = SimulatedNetwork(
@@ -170,16 +197,36 @@ class DistributedRankingCoordinator:
             summaries.append(summary)
 
         # Phase 1b: *in parallel*, peers compute their local DocRanks.  The
-        # requests are tiny; the heavy lifting happens on the peers.
-        for peer_name, peer in self.peers.items():
-            for site in peer.sites:
-                network.send(ComputeLocalRankRequest(sender=COORDINATOR,
-                                                     recipient=peer_name,
-                                                     site=site,
-                                                     damping=self.damping))
-                _result, seconds = peer.compute_local_rank(site)
-                network.compute(peer_name, seconds)
-                compute_seconds[peer_name] += seconds
+        # requests are tiny; the heavy lifting happens on the peers.  The
+        # work units are the shared step-3 engine tasks: the engine
+        # executes them (measured wall-clock) while the simulated clocks
+        # are charged the cost model's price for the same tasks.
+        task_of_site = {task.site: task for task in self.site_tasks}
+        schedule = [(peer_name, task_of_site[site])
+                    for peer_name, peer in self.peers.items()
+                    for site in peer.sites]
+        for peer_name, task in schedule:
+            network.send(ComputeLocalRankRequest(sender=COORDINATOR,
+                                                 recipient=peer_name,
+                                                 site=task.site,
+                                                 damping=self.damping))
+        executor, n_jobs = self._executor_spec
+        resolved, owned = resolve_executor(executor, n_jobs)
+        try:
+            # Spin up any worker pool outside the timed region, so the
+            # measured wall-clock describes the batch, not pool start-up.
+            resolved.warmup()
+            results, measured_wall = execute_tasks(
+                [task for _peer, task in schedule], executor=resolved)
+            executor_name = resolved.name
+        finally:
+            if owned:
+                resolved.close()
+        for (peer_name, task), result in zip(schedule, results):
+            seconds = self.peers[peer_name].adopt_local_rank(
+                task.site, result, task.nnz)
+            network.compute(peer_name, seconds)
+            compute_seconds[peer_name] += seconds
 
         # Phase 2: the coordinator assembles the SiteGraph from the summaries
         # and computes the SiteRank.  This happens concurrently with phase 1b
@@ -215,6 +262,8 @@ class DistributedRankingCoordinator:
             serial_compute_seconds=serial,
             coordinator_seconds=network.clock_of(COORDINATOR),
             per_peer_compute_seconds=compute_seconds,
+            measured_wall_seconds=measured_wall,
+            executor_name=executor_name,
         )
 
     # ------------------------------------------------------------------ #
@@ -238,38 +287,33 @@ class DistributedRankingCoordinator:
 
     def _aggregate_flat(self, site_result: SiteRankResult) -> WebRankingResult:
         """Flat architecture: raw local vectors travel, coordinator weights them."""
+        from ..web.pipeline import compose_ranking
+
         network = self.network
-        doc_ids: List[int] = []
-        blocks: List[np.ndarray] = []
-        local_results = {}
         # Peers ship each site's raw local DocRank to the coordinator.
         for peer_name, peer in self.peers.items():
             for site in peer.sites:
                 message = peer.local_rank_message(site, COORDINATOR)
                 network.send(message)
         network.barrier(self.peers.keys(), COORDINATOR)
-        # The coordinator does the Theorem-2 multiplication, site by site, in
-        # the global site order so the output matches the centralized pipeline.
-        for site in self.docgraph.sites():
-            owner = next(peer for peer in self.peers.values()
-                         if site in peer.sites)
-            local = owner.local_results[site]
-            local_results[site] = local
-            doc_ids.extend(local.doc_ids)
-            blocks.append(site_result.score_of(site) * local.scores)
-        scores = normalize_distribution(np.concatenate(blocks),
-                                        name="distributed DocRank")
-        # Aggregation cost: one multiplication per document.
-        network.compute(COORDINATOR,
-                        local_work_seconds(len(doc_ids), 0, 1))
-        urls = [self.docgraph.document(d).url for d in doc_ids]
+        # The coordinator does the Theorem-2 multiplication through the same
+        # step-5 composition as the centralized pipeline (global site order,
+        # identical floating point operations).
+        local_results = {
+            site: next(peer for peer in self.peers.values()
+                       if site in peer.sites).local_results[site]
+            for site in self.docgraph.sites()
+        }
         total_iterations = site_result.iterations + sum(
             r.iterations for r in local_results.values())
-        return WebRankingResult(doc_ids=doc_ids, urls=urls, scores=scores,
-                                method="distributed-flat",
-                                siterank=site_result,
-                                local_docranks=local_results,
-                                iterations=total_iterations)
+        ranking = compose_ranking(self.docgraph, self.docgraph.sites(),
+                                  site_result, local_results,
+                                  method="distributed-flat",
+                                  iterations=total_iterations)
+        # Aggregation cost: one multiplication per document.
+        network.compute(COORDINATOR,
+                        local_work_seconds(ranking.n_documents, 0, 1))
+        return ranking
 
     def _aggregate_superpeer(self, site_result: SiteRankResult,
                              site_scores: Dict[str, float]) -> WebRankingResult:
@@ -327,10 +371,12 @@ def distributed_layered_docrank(docgraph: DocGraph, *, n_peers: int = 8,
                                 damping: float = DEFAULT_DAMPING,
                                 tol: float = DEFAULT_TOL,
                                 max_iter: int = DEFAULT_MAX_ITER,
+                                executor: Optional[Executor] = None,
+                                n_jobs: Optional[int] = None,
                                 ) -> SimulationReport:
     """One-call convenience wrapper around :class:`DistributedRankingCoordinator`."""
     coordinator = DistributedRankingCoordinator(
         docgraph, n_peers=n_peers, architecture=architecture,
         partition_policy=partition_policy, network=network, damping=damping,
-        tol=tol, max_iter=max_iter)
+        tol=tol, max_iter=max_iter, executor=executor, n_jobs=n_jobs)
     return coordinator.run()

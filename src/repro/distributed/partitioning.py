@@ -32,7 +32,12 @@ def partition_sites(docgraph: DocGraph, n_peers: int, *,
         * ``"round-robin"`` — sites dealt to peers in site order;
         * ``"balanced"`` — greedy longest-processing-time balancing on the
           number of documents per site, which approximately equalises the
-          local-DocRank work across peers;
+          local-DocRank work across peers.  The classic LPT guarantee
+          bounds the imbalance: every peer's document load satisfies
+          ``load <= total_documents / n_peers + max_site_size``, because
+          a site is only ever placed on the currently least-loaded peer
+          (whose load is at most the average at that moment).  The
+          partitioning tests enforce this bound as an invariant;
         * ``"one-per-site"`` — the paper's idealised deployment.
     peer_prefix:
         Prefix of the generated peer identifiers.

@@ -118,6 +118,26 @@ class Peer:
                                      result.iterations)
         return result, seconds
 
+    def adopt_local_rank(self, site: str, result: LocalDocRank,
+                         nnz: int) -> float:
+        """Install a local DocRank the execution engine computed for this peer.
+
+        The coordinator schedules every peer's step-3 tasks through one
+        engine batch (see
+        :class:`~repro.distributed.coordinator.DistributedRankingCoordinator`);
+        the result is handed back to the owning peer here so subsequent
+        message construction (:meth:`local_rank_message`,
+        :meth:`weighted_shard`) behaves exactly as if the peer had computed
+        it itself.  Returns the cost-model seconds the simulated clock must
+        be charged for the run.
+        """
+        if site not in self.sites:
+            raise SimulationError(
+                f"peer {self.name!r} handed a rank for site {site!r} "
+                "it does not own")
+        self.local_results[site] = result
+        return local_work_seconds(result.n_documents, nnz, result.iterations)
+
     def local_rank_message(self, site: str, recipient: str) -> LocalRankResult:
         """Package a previously computed local DocRank for transmission."""
         if site not in self.local_results:

@@ -1,0 +1,63 @@
+"""Parallel execution engine for the layered ranking computation.
+
+The paper proves the layered decomposition is *decentralizable*: per-site
+DocRanks are mutually independent and independent of the SiteRank.  This
+package turns that theorem into scheduling machinery shared by every
+compute layer of the repository:
+
+* :mod:`repro.engine.executor` — the :class:`Executor` protocol with
+  serial, thread-pool and process-pool backends;
+* :mod:`repro.engine.plan` — the :class:`RankingPlan` task graph encoding
+  the 5-step layered method (concurrent steps 3/4, composing barrier at
+  step 5);
+* :mod:`repro.engine.warm` — warm-start state so power iterations resume
+  from previously converged vectors instead of restarting from uniform.
+
+The centralized pipeline (:func:`repro.web.pipeline.layered_docrank`), the
+incremental ranker, the distributed simulator and the serving layer all
+schedule their work through this package; the determinism-guard tests pin
+down that every backend produces bitwise-identical rankings.
+"""
+
+from .executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    default_n_jobs,
+    make_executor,
+    resolve_executor,
+)
+from .plan import (
+    LocalRankTask,
+    PlanExecution,
+    RankingPlan,
+    SiteRankTask,
+    execute_site_tasks,
+    execute_tasks,
+    run_task,
+    site_tasks_for,
+)
+from .warm import WarmStartState, align_warm_start
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "default_n_jobs",
+    "make_executor",
+    "resolve_executor",
+    "LocalRankTask",
+    "PlanExecution",
+    "RankingPlan",
+    "SiteRankTask",
+    "execute_site_tasks",
+    "execute_tasks",
+    "run_task",
+    "site_tasks_for",
+    "WarmStartState",
+    "align_warm_start",
+]

@@ -1,0 +1,256 @@
+"""Execution backends of the parallel ranking engine.
+
+The paper's central claim is that the layered decomposition makes the
+global ranking *decentralizable*: every site's local DocRank is independent
+of every other site's and of the SiteRank (Section 3.2), so step 3 and
+step 4 of the layered method are embarrassingly parallel.  An
+:class:`Executor` is the package's single abstraction over *how* that
+independent work is scheduled:
+
+* :class:`SerialExecutor` — runs tasks in submission order on the calling
+  thread; the deterministic reference every other backend must match
+  bit-for-bit;
+* :class:`ThreadedExecutor` — a thread pool; effective when the work
+  releases the GIL (large sparse/dense matrix products) or is I/O bound;
+* :class:`ProcessExecutor` — a process pool; sidesteps the GIL entirely
+  and is the backend that realises wall-clock speedup for the many small
+  per-site power-method runs of a real web.
+
+All backends preserve submission order in their results, so any
+composition performed after the barrier (step 5 of the layered method)
+is independent of scheduling — the property the determinism-guard tests
+pin down.
+
+Executors are context managers; :func:`resolve_executor` turns the
+user-facing ``executor=`` / ``n_jobs=`` parameter pair that the compute
+layers expose into a concrete backend.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple, TypeVar, runtime_checkable
+
+from ..exceptions import ValidationError
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def default_n_jobs() -> int:
+    """Worker count used when ``n_jobs`` is omitted: one per available CPU."""
+    return os.cpu_count() or 1
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Protocol of an execution backend.
+
+    An executor maps a callable over a batch of independent task payloads
+    and returns the results *in submission order*.  ``map`` is a barrier:
+    it returns only once every task of the batch has completed, which is
+    exactly the synchronisation point step 5 of the layered method needs.
+    """
+
+    #: Human-readable backend identifier (``"serial"`` / ``"threaded"`` /
+    #: ``"process"``), surfaced in reports and benchmarks.
+    name: str
+
+    #: Number of workers the backend schedules onto.
+    n_jobs: int
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+        """Apply *fn* to every item; results align with *items*."""
+        ...
+
+    def warmup(self) -> None:
+        """Start any worker pool now instead of lazily at the first map.
+
+        Pool start-up (thread creation, worker process spawn) otherwise
+        lands inside the first batch's wall-clock; callers that *measure*
+        batches — the benchmarks and the distributed simulator — warm up
+        first so timings describe the work, not the pool.
+        """
+        ...
+
+    def close(self) -> None:
+        """Release any worker pool; the executor must not be used afterwards."""
+        ...
+
+
+class _BaseExecutor:
+    """Shared context-manager plumbing of the concrete executors."""
+
+    name = "base"
+    n_jobs = 1
+
+    def warmup(self) -> None:
+        pass
+
+    def close(self) -> None:  # pragma: no cover - overridden where non-trivial
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_jobs={self.n_jobs})"
+
+
+class SerialExecutor(_BaseExecutor):
+    """Run every task on the calling thread, in submission order.
+
+    This is the default backend everywhere: it adds no overhead, keeps
+    tracebacks trivial, and its output defines the reference results the
+    parallel backends are tested against.
+    """
+
+    name = "serial"
+    n_jobs = 1
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+        return [fn(item) for item in items]
+
+
+class ThreadedExecutor(_BaseExecutor):
+    """Schedule tasks onto a lazily-created thread pool.
+
+    Threads share the interpreter, so speedup depends on the work
+    releasing the GIL (numpy/scipy matrix products do for non-trivial
+    sizes).  Tasks need not be picklable, which makes this the backend of
+    choice for in-process callbacks such as the serving layer's shard
+    rebuilds.
+    """
+
+    name = "threaded"
+
+    def __init__(self, n_jobs: Optional[int] = None) -> None:
+        if n_jobs is not None and n_jobs < 1:
+            raise ValidationError("n_jobs must be at least 1")
+        self.n_jobs = n_jobs if n_jobs is not None else default_n_jobs()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    def warmup(self) -> None:
+        self._ensure_pool()
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+        return list(self._ensure_pool().map(fn, items))
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        # Fail fast after close(): silently recreating the pool would leak
+        # threads nobody is left to shut down.
+        if self._closed:
+            raise ValidationError("executor is closed")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.n_jobs)
+        return self._pool
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(_BaseExecutor):
+    """Schedule tasks onto a lazily-created process pool.
+
+    Each worker is a separate interpreter, so the per-site power-method
+    runs execute truly concurrently regardless of the GIL.  Task payloads
+    and the mapped callable must be picklable — the engine's task types
+    (:mod:`repro.engine.plan`) are plain dataclasses over numpy/scipy
+    containers for exactly this reason.
+
+    The batch is split into contiguous chunks to amortise pickling
+    overhead; chunking never reorders results.
+    """
+
+    name = "process"
+
+    def __init__(self, n_jobs: Optional[int] = None) -> None:
+        if n_jobs is not None and n_jobs < 1:
+            raise ValidationError("n_jobs must be at least 1")
+        self.n_jobs = n_jobs if n_jobs is not None else default_n_jobs()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    def warmup(self) -> None:
+        # Run one trivial round trip so the workers actually exist (the
+        # pool object alone spawns processes lazily on first use).
+        list(self._ensure_pool().map(abs, [-1]))
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+        items = list(items)
+        if self._closed:
+            raise ValidationError("executor is closed")
+        if not items:
+            return []
+        chunksize = max(1, len(items) // (4 * self.n_jobs))
+        return list(self._ensure_pool().map(fn, items, chunksize=chunksize))
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        # Fail fast after close(): silently recreating the pool would leak
+        # worker processes nobody is left to shut down.
+        if self._closed:
+            raise ValidationError("executor is closed")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
+        return self._pool
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: Backend names accepted by :func:`resolve_executor`.
+BACKENDS = ("serial", "threaded", "process")
+
+
+def make_executor(backend: str, n_jobs: Optional[int] = None) -> Executor:
+    """Instantiate a backend by name (``"serial"``/``"threaded"``/``"process"``)."""
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "threaded":
+        return ThreadedExecutor(n_jobs)
+    if backend == "process":
+        return ProcessExecutor(n_jobs)
+    raise ValidationError(
+        f"unknown executor backend {backend!r}; expected one of {BACKENDS}")
+
+
+def resolve_executor(executor: Optional[Executor] = None,
+                     n_jobs: Optional[int] = None, *,
+                     backend: str = "process") -> Tuple[Executor, bool]:
+    """Resolve the ``executor=`` / ``n_jobs=`` parameter pair of the compute layers.
+
+    Precedence:
+
+    * an explicit *executor* wins (*n_jobs* must then be omitted);
+    * ``n_jobs`` of ``None``/``1`` selects the serial reference backend —
+      existing callers that pass neither parameter keep their exact
+      behaviour and determinism;
+    * ``n_jobs > 1`` creates a *backend* executor (process pool by
+      default, the backend that beats the GIL for rank computation) owned
+      by the caller.
+
+    Returns
+    -------
+    ``(executor, owned)`` where *owned* tells the caller whether it is
+    responsible for closing the executor after use.
+    """
+    if executor is not None:
+        if n_jobs is not None:
+            raise ValidationError("pass either executor or n_jobs, not both")
+        return executor, False
+    if n_jobs is None or n_jobs == 1:
+        return SerialExecutor(), True
+    if n_jobs < 1:
+        raise ValidationError("n_jobs must be at least 1")
+    return make_executor(backend, n_jobs), True

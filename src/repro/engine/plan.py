@@ -1,0 +1,318 @@
+"""The :class:`RankingPlan`: the layered method as an explicit task graph.
+
+The 5-step layered method (Section 3.2 of the paper) has a fixed dependency
+structure that every compute layer of this package used to re-implement as
+its own serial loop:
+
+1. *input* — the global DocGraph ``G_D``;
+2. *aggregate* — build the SiteGraph ``G_S`` (cheap, serial);
+3. *local DocRanks* — one task per site, mutually independent;
+4. *SiteRank* — one task, independent of every step-3 task (this is the
+   decisive difference from BlockRank, whose aggregation consumes the
+   local values);
+5. *compose* — the ``π_S(s) · π_D(s)`` weighting at the barrier where
+   steps 3 and 4 join.
+
+A :class:`RankingPlan` materialises steps 3 and 4 as picklable task objects
+(:class:`LocalRankTask`, :class:`SiteRankTask`) and executes them through
+any :class:`~repro.engine.executor.Executor` in a single batch — the
+barrier of the batch *is* the step-5 synchronisation point.  Because the
+tasks are value-only, the same plan is the unit of scheduling for the
+centralized pipeline, the incremental ranker's refresh batches, the
+distributed simulator's peers, and the scaling benchmarks.
+
+Warm starts plug in at construction: a :class:`~repro.engine.warm.WarmStartState`
+seeds each task with the previously converged vector so power iterations
+resume instead of restarting from uniform.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import GraphStructureError, ValidationError
+from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
+from ..markov.irreducibility import DEFAULT_DAMPING
+from ..web.docgraph import DocGraph
+from ..web.docrank import LocalDocRank, solve_local_docrank
+from ..web.sitegraph import SiteGraph, aggregate_sitegraph
+from ..web.siterank import SiteRankResult, siterank
+from .executor import Executor, resolve_executor
+from .warm import WarmStartState
+
+
+@dataclass(frozen=True)
+class LocalRankTask:
+    """Step 3: one site's local DocRank as a self-contained unit of work.
+
+    The task carries the already-extracted local subgraph instead of a
+    DocGraph reference, so it is cheap to pickle and independent of any
+    shared mutable state — the property that lets every backend schedule
+    it freely.
+    """
+
+    site: str
+    adjacency: object  #: the site's local (intra-site) link matrix
+    doc_ids: Tuple[int, ...]
+    damping: float = DEFAULT_DAMPING
+    preference: Optional[np.ndarray] = None
+    tol: float = DEFAULT_TOL
+    max_iter: int = DEFAULT_MAX_ITER
+    start: Optional[np.ndarray] = None
+
+    @property
+    def n_documents(self) -> int:
+        """Number of documents the task ranks."""
+        return len(self.doc_ids)
+
+    @property
+    def nnz(self) -> int:
+        """Non-zeros of the local link matrix (cost-model input)."""
+        return int(self.adjacency.nnz)
+
+    def run(self) -> LocalDocRank:
+        """Execute the task on the calling thread."""
+        return solve_local_docrank(self.site, self.adjacency,
+                                   list(self.doc_ids), self.damping,
+                                   preference=self.preference, tol=self.tol,
+                                   max_iter=self.max_iter, start=self.start)
+
+
+@dataclass(frozen=True)
+class SiteRankTask:
+    """Step 4: the SiteRank of the aggregated SiteGraph.
+
+    Runs concurrently with every :class:`LocalRankTask` — the SiteGraph is
+    built from link *counts* only, never from local rank values, which is
+    exactly why the paper's method parallelises where BlockRank cannot.
+    """
+
+    sitegraph: SiteGraph
+    damping: float = DEFAULT_DAMPING
+    preference: Optional[np.ndarray] = None
+    tol: float = DEFAULT_TOL
+    max_iter: int = DEFAULT_MAX_ITER
+    start: Optional[np.ndarray] = None
+
+    def run(self) -> SiteRankResult:
+        """Execute the task on the calling thread."""
+        return siterank(self.sitegraph, self.damping,
+                        preference=self.preference, tol=self.tol,
+                        max_iter=self.max_iter, start=self.start)
+
+
+#: Union of the engine's task types.
+RankTask = Union[LocalRankTask, SiteRankTask]
+
+
+def run_task(task: RankTask):
+    """Execute one engine task (module-level so process pools can pickle it)."""
+    return task.run()
+
+
+def execute_tasks(tasks: Sequence[RankTask], *,
+                  executor: Optional[Executor] = None,
+                  n_jobs: Optional[int] = None) -> Tuple[list, float]:
+    """Run a batch of tasks through an executor; a barrier with timing.
+
+    Returns ``(results, wall_seconds)`` with results aligned to *tasks*.
+    The measured wall-clock is what the scaling benchmarks and the
+    distributed simulator report next to their modeled costs.
+    """
+    resolved, owned = resolve_executor(executor, n_jobs)
+    started = time.perf_counter()
+    try:
+        results = resolved.map(run_task, list(tasks))
+    finally:
+        if owned:
+            resolved.close()
+    return results, time.perf_counter() - started
+
+
+def site_tasks_for(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
+                   sites: Optional[Sequence[str]] = None,
+                   preferences: Optional[Dict[str, np.ndarray]] = None,
+                   tol: float = DEFAULT_TOL,
+                   max_iter: int = DEFAULT_MAX_ITER,
+                   warm: Optional[WarmStartState] = None,
+                   ) -> List[LocalRankTask]:
+    """Build the step-3 task list for (a subset of) a DocGraph's sites.
+
+    The local subgraphs are extracted eagerly so the returned tasks carry
+    no DocGraph reference; *warm* seeds each task's start vector from the
+    previously converged one.
+    """
+    preferences = preferences or {}
+    if sites is None:
+        sites = docgraph.sites()
+    tasks = []
+    for site in sites:
+        adjacency, doc_ids = docgraph.local_adjacency(site)
+        start = warm.local_start(site, doc_ids) if warm is not None else None
+        tasks.append(LocalRankTask(site=site, adjacency=adjacency,
+                                   doc_ids=tuple(doc_ids), damping=damping,
+                                   preference=preferences.get(site),
+                                   tol=tol, max_iter=max_iter, start=start))
+    return tasks
+
+
+def execute_site_tasks(tasks: Sequence[LocalRankTask], *,
+                       executor: Optional[Executor] = None,
+                       n_jobs: Optional[int] = None) -> List[LocalDocRank]:
+    """Run step-3 tasks only (no SiteRank), preserving submission order."""
+    results, _seconds = execute_tasks(tasks, executor=executor, n_jobs=n_jobs)
+    return results
+
+
+@dataclass
+class PlanExecution:
+    """Everything one :meth:`RankingPlan.execute` run produced.
+
+    Attributes
+    ----------
+    local:
+        Per-site local DocRanks, keyed by site, in plan (site) order.
+    siterank:
+        The SiteRank computed at step 4.
+    wall_seconds:
+        Measured wall-clock of the concurrent step-3/step-4 batch.
+    executor_name:
+        Backend that executed the batch (``"serial"``/``"threaded"``/…).
+    n_tasks:
+        Number of tasks in the batch (sites + 1).
+    """
+
+    local: Dict[str, LocalDocRank]
+    siterank: SiteRankResult
+    wall_seconds: float
+    executor_name: str
+    n_tasks: int
+
+    @property
+    def total_iterations(self) -> int:
+        """Power iterations summed over every task of the batch."""
+        return self.siterank.iterations + sum(
+            rank.iterations for rank in self.local.values())
+
+
+class RankingPlan:
+    """The layered method's step-3/4/5 dependency graph over one DocGraph.
+
+    Construction performs the cheap serial steps (step 2's SiteGraph
+    aggregation and the per-site subgraph extraction); :meth:`execute`
+    dispatches the concurrent steps through an executor and returns at the
+    step-5 barrier.  The plan itself is immutable once built, so one plan
+    can be executed on several backends — the determinism-guard tests do
+    exactly that and require bitwise-identical results.
+    """
+
+    def __init__(self, sitegraph: SiteGraph,
+                 site_tasks: Sequence[LocalRankTask],
+                 siterank_task: SiteRankTask) -> None:
+        task_sites = [task.site for task in site_tasks]
+        if sorted(task_sites) != sorted(sitegraph.sites):
+            raise ValidationError(
+                "site tasks must cover exactly the SiteGraph's sites")
+        self.sitegraph = sitegraph
+        self.site_tasks = list(site_tasks)
+        self.siterank_task = siterank_task
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_docgraph(cls, docgraph: DocGraph,
+                      damping: float = DEFAULT_DAMPING, *,
+                      site_damping: Optional[float] = None,
+                      site_preference: Optional[np.ndarray] = None,
+                      document_preferences: Optional[Dict[str, np.ndarray]] = None,
+                      include_site_self_links: bool = False,
+                      tol: float = DEFAULT_TOL,
+                      max_iter: int = DEFAULT_MAX_ITER,
+                      warm: Optional[WarmStartState] = None) -> "RankingPlan":
+        """Build the plan for a DocGraph (steps 1–2 happen here, serially)."""
+        if docgraph.n_documents == 0:
+            raise GraphStructureError("cannot plan over an empty DocGraph")
+        if site_damping is None:
+            site_damping = damping
+        sitegraph = aggregate_sitegraph(
+            docgraph, include_self_links=include_site_self_links)
+        tasks = site_tasks_for(docgraph, damping,
+                               preferences=document_preferences,
+                               tol=tol, max_iter=max_iter, warm=warm)
+        site_start = (warm.siterank_start(sitegraph.sites)
+                      if warm is not None else None)
+        siterank_task = SiteRankTask(sitegraph=sitegraph, damping=site_damping,
+                                     preference=site_preference, tol=tol,
+                                     max_iter=max_iter, start=site_start)
+        return cls(sitegraph, tasks, siterank_task)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_sites(self) -> int:
+        """Number of step-3 tasks."""
+        return len(self.site_tasks)
+
+    @property
+    def n_tasks(self) -> int:
+        """Total tasks of the concurrent batch (sites + the SiteRank)."""
+        return len(self.site_tasks) + 1
+
+    def task_for(self, site: str) -> LocalRankTask:
+        """The step-3 task of one site."""
+        for task in self.site_tasks:
+            if task.site == site:
+                return task
+        raise ValidationError(f"plan has no task for site {site!r}")
+
+    def with_warm_state(self, warm: WarmStartState) -> "RankingPlan":
+        """A copy of this plan re-seeded from *warm* (tasks otherwise equal)."""
+        tasks = [replace(task,
+                         start=warm.local_start(task.site, task.doc_ids))
+                 for task in self.site_tasks]
+        siterank_task = replace(
+            self.siterank_task,
+            start=warm.siterank_start(self.sitegraph.sites))
+        return RankingPlan(self.sitegraph, tasks, siterank_task)
+
+    # ------------------------------------------------------------------ #
+    def execute(self, *, executor: Optional[Executor] = None,
+                n_jobs: Optional[int] = None,
+                warm: Optional[WarmStartState] = None) -> PlanExecution:
+        """Run steps 3 and 4 concurrently; return at the step-5 barrier.
+
+        The SiteRank task is submitted *first* so that on parallel
+        backends the single site-level computation overlaps the per-site
+        work instead of trailing it.  Results are keyed back to their
+        tasks by position, so scheduling order never affects the output.
+
+        When *warm* is given, the execution also records every converged
+        vector back into it, making consecutive executions resume from
+        each other.
+        """
+        plan = self if warm is None else self.with_warm_state(warm)
+        resolved, owned = resolve_executor(executor, n_jobs)
+        batch: List[RankTask] = [plan.siterank_task, *plan.site_tasks]
+        started = time.perf_counter()
+        try:
+            results = resolved.map(run_task, batch)
+        finally:
+            if owned:
+                resolved.close()
+        wall_seconds = time.perf_counter() - started
+        site_result: SiteRankResult = results[0]
+        local = {task.site: result
+                 for task, result in zip(plan.site_tasks, results[1:])}
+        if warm is not None:
+            for site, rank in local.items():
+                warm.record_local(site, rank.doc_ids, rank.scores)
+            warm.record_siterank(site_result.sites, site_result.scores)
+        return PlanExecution(local=local, siterank=site_result,
+                             wall_seconds=wall_seconds,
+                             executor_name=resolved.name,
+                             n_tasks=len(batch))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RankingPlan(n_sites={self.n_sites})"

@@ -1,0 +1,139 @@
+"""Warm-start state for resumable power iterations.
+
+Power iteration converges from any starting distribution, but the number of
+iterations it needs is governed by the distance between the start vector and
+the stationary vector.  After a small change to a site's link structure the
+new local DocRank is close to the old one, so seeding the solver with the
+previous stationary vector makes refreshes converge in a fraction of the
+cold-start iterations — the practical payoff the incremental-update
+benchmark (E14) measures.
+
+:func:`align_warm_start` handles the bookkeeping that makes a cached vector
+safe to reuse: document sets drift between refreshes (pages are added), so
+the previous probability mass is mapped by document id and any new document
+starts from the uniform share before the vector is renormalised.
+:class:`WarmStartState` is the engine-level container for these vectors;
+:class:`~repro.web.incremental.IncrementalLayeredRanker` keeps equivalent
+state in its own result cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def align_warm_start(previous_doc_ids: Sequence[int],
+                     previous_vector: np.ndarray,
+                     doc_ids: Sequence[int]) -> Optional[np.ndarray]:
+    """Re-align a previously converged vector onto a (possibly changed) id set.
+
+    Parameters
+    ----------
+    previous_doc_ids:
+        Document ids the cached vector was computed over, in vector order.
+    previous_vector:
+        The cached stationary distribution.
+    doc_ids:
+        Document ids of the upcoming computation, in vector order.
+
+    Returns
+    -------
+    A probability distribution over *doc_ids* that reuses the cached mass
+    (documents unknown to the cache receive the uniform share ``1/n``), or
+    ``None`` when nothing can be reused — the caller then cold-starts.
+    """
+    doc_ids = list(doc_ids)
+    if not doc_ids:
+        return None
+    previous_vector = np.asarray(previous_vector, dtype=float).ravel()
+    if len(previous_doc_ids) != previous_vector.size:
+        return None
+    if list(previous_doc_ids) == doc_ids:
+        # Unchanged document set: reuse the converged vector as-is.
+        return previous_vector.copy()
+    mass_of = {doc_id: float(value)
+               for doc_id, value in zip(previous_doc_ids, previous_vector)}
+    if not any(doc_id in mass_of for doc_id in doc_ids):
+        return None
+    uniform = 1.0 / len(doc_ids)
+    start = np.asarray([mass_of.get(doc_id, uniform) for doc_id in doc_ids],
+                       dtype=float)
+    total = start.sum()
+    if total <= 0.0 or not np.isfinite(total):
+        return None
+    return start / total
+
+
+class WarmStartState:
+    """Cached stationary vectors a :class:`~repro.engine.plan.RankingPlan` resumes from.
+
+    The state holds one vector per site (keyed by the site identifier,
+    together with the document ids it was computed over) plus the SiteRank
+    vector (with its site list).  It is deliberately value-only — no graph
+    references — so a single state object can be carried across plan
+    executions, shipped between processes, or discarded wholesale.
+    """
+
+    def __init__(self) -> None:
+        self._site_vectors: Dict[str, Tuple[Tuple[int, ...], np.ndarray]] = {}
+        self._siterank: Optional[Tuple[Tuple[str, ...], np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    # Recording converged vectors
+    # ------------------------------------------------------------------ #
+    def record_local(self, site: str, doc_ids: Sequence[int],
+                     vector: np.ndarray) -> None:
+        """Remember one site's converged local DocRank."""
+        self._site_vectors[site] = (tuple(doc_ids),
+                                    np.asarray(vector, dtype=float).copy())
+
+    def record_siterank(self, sites: Sequence[str],
+                        vector: np.ndarray) -> None:
+        """Remember the converged SiteRank."""
+        self._siterank = (tuple(sites),
+                          np.asarray(vector, dtype=float).copy())
+
+    def forget_site(self, site: str) -> None:
+        """Drop one site's cached vector (no-op when absent)."""
+        self._site_vectors.pop(site, None)
+
+    # ------------------------------------------------------------------ #
+    # Producing start vectors
+    # ------------------------------------------------------------------ #
+    def local_start(self, site: str,
+                    doc_ids: Sequence[int]) -> Optional[np.ndarray]:
+        """Start vector for one site's local DocRank (``None`` → cold start)."""
+        cached = self._site_vectors.get(site)
+        if cached is None:
+            return None
+        previous_doc_ids, vector = cached
+        return align_warm_start(previous_doc_ids, vector, doc_ids)
+
+    def siterank_start(self, sites: Sequence[str]) -> Optional[np.ndarray]:
+        """Start vector for the SiteRank (``None`` → cold start).
+
+        Site identifiers play the role document ids play for the local
+        vectors: mass is carried over by identifier, new sites get the
+        uniform share.
+        """
+        if self._siterank is None:
+            return None
+        previous_sites, vector = self._siterank
+        return align_warm_start(previous_sites, vector, sites)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_sites(self) -> int:
+        """Number of sites with a cached local vector."""
+        return len(self._site_vectors)
+
+    @property
+    def has_siterank(self) -> bool:
+        """Whether a SiteRank vector is cached."""
+        return self._siterank is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WarmStartState(n_sites={self.n_sites}, "
+                f"has_siterank={self.has_siterank})")

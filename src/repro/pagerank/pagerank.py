@@ -74,7 +74,8 @@ def pagerank(adjacency, damping: float = DEFAULT_DAMPING,
              preference: Optional[np.ndarray] = None, *,
              tol: float = DEFAULT_TOL, max_iter: int = DEFAULT_MAX_ITER,
              method: str = "auto",
-             dangling: str = "uniform") -> PageRankResult:
+             dangling: str = "uniform",
+             start: Optional[np.ndarray] = None) -> PageRankResult:
     """Compute PageRank of a directed (weighted) link graph.
 
     Parameters
@@ -95,6 +96,11 @@ def pagerank(adjacency, damping: float = DEFAULT_DAMPING,
         Dangling-node policy for the dense path (the sparse path always
         redistributes dangling mass to the preference vector, which matches
         the ``"uniform"`` policy when no preference is given).
+    start:
+        Optional starting distribution for the power iteration (uniform by
+        default).  Seeding with a previously converged vector — the
+        warm-start path of :mod:`repro.engine` — cuts the iteration count
+        after small graph changes without affecting the fixed point.
 
     Returns
     -------
@@ -121,11 +127,13 @@ def pagerank(adjacency, damping: float = DEFAULT_DAMPING,
                                        preference=preference
                                        if dangling == "preference" else None)
         google = maximal_irreducibility(stochastic, damping, preference)
-        result = stationary_distribution(google, tol=tol, max_iter=max_iter)
+        result = stationary_distribution(google, tol=tol, max_iter=max_iter,
+                                         start=start)
     else:
         link = row_normalize(adjacency)
         result = stationary_distribution_dangling_aware(
-            link, damping, preference, tol=tol, max_iter=max_iter)
+            link, damping, preference, tol=tol, max_iter=max_iter,
+            start=start)
 
     return PageRankResult(scores=result.vector, iterations=result.iterations,
                           converged=result.converged,

@@ -33,6 +33,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..engine.executor import Executor, SerialExecutor
 from ..exceptions import ValidationError
 from ..ir.combined import (
     CombinationRule,
@@ -47,6 +48,18 @@ from ..web.pipeline import WebRankingResult
 from .cache import GLOBAL_TAG, CacheStats, QueryCache
 from .store import ScoredDocument, ShardedScoreStore
 from .topk import TopKEngine
+
+
+def _weight_shard(payload):
+    """Compute one invalidated shard's refreshed scores (engine task).
+
+    Module-level and value-only (site identifier, ids, URLs, the local
+    vector and its SiteRank weight) so any executor backend — including a
+    process pool — can run it; the store mutation stays on the calling
+    thread under the service lock.
+    """
+    site, doc_ids, urls, local_scores, site_score = payload
+    return site, doc_ids, urls, site_score * local_scores
 
 
 class RankingService:
@@ -64,6 +77,12 @@ class RankingService:
     rule, weight, rrf_constant:
         Defaults of the query/link combination (see
         :func:`repro.ir.combined.combined_search`).
+    executor:
+        Optional :class:`repro.engine.Executor` the shard-rebuild work of
+        incremental updates is dispatched through; serial by default.  A
+        SiteRank change invalidates *every* shard, so a parallel backend
+        shortens exactly the window during which queries block on the
+        service lock.
     """
 
     def __init__(self, store: ShardedScoreStore, *,
@@ -71,9 +90,11 @@ class RankingService:
                  cache_size: int = 1024,
                  rule: CombinationRule = "linear",
                  weight: float = 0.5,
-                 rrf_constant: float = 60.0) -> None:
+                 rrf_constant: float = 60.0,
+                 executor: Optional[Executor] = None) -> None:
         self._store = store
         self._engine = TopKEngine(store)
+        self._executor: Executor = executor or SerialExecutor()
         self._cache = QueryCache(maxsize=cache_size)
         self._index = index
         self._rule: CombinationRule = rule
@@ -161,20 +182,29 @@ class RankingService:
                 self._cache.invalidate_tag(site)
             # Any global top-k may admit documents of a changed site.
             self._cache.invalidate_tag(GLOBAL_TAG)
-        for site in sites:
-            self._rebuild_shard(site)
+        # Rebuild every invalidated shard as one engine batch: the weighted
+        # score vectors are computed concurrently (they are independent per
+        # site — the same property the ranking computation itself exploits),
+        # then installed serially in site order so store generations stay
+        # deterministic.
+        payloads = [self._shard_payload(site) for site in sites]
+        for site, doc_ids, urls, scores in self._executor.map(_weight_shard,
+                                                              payloads):
+            self._install_shard(site, doc_ids, urls, scores)
 
-    def _rebuild_shard(self, site: str) -> None:
+    def _shard_payload(self, site: str):
         ranker = self._ranker
         assert ranker is not None
         local = ranker.local(site)
-        site_score = ranker.siterank.score_of(site)
         urls = [ranker.docgraph.document(doc_id).url
                 for doc_id in local.doc_ids]
-        scores = site_score * local.scores
-        self._store.update_site(site, local.doc_ids, urls, scores)
+        return (site, list(local.doc_ids), urls, local.scores,
+                ranker.siterank.score_of(site))
+
+    def _install_shard(self, site: str, doc_ids, urls, scores) -> None:
+        self._store.update_site(site, doc_ids, urls, scores)
         if self._link_scores is not None:
-            for doc_id, score in zip(local.doc_ids, scores):
+            for doc_id, score in zip(doc_ids, scores):
                 self._link_scores[doc_id] = float(score)
 
     # ------------------------------------------------------------------ #

@@ -72,11 +72,41 @@ class LocalDocRank:
         return [self.doc_ids[int(i)] for i in order[:k]]
 
 
+def solve_local_docrank(site: str, local_adjacency, doc_ids: List[int],
+                        damping: float = DEFAULT_DAMPING, *,
+                        preference: Optional[np.ndarray] = None,
+                        tol: float = DEFAULT_TOL,
+                        max_iter: int = DEFAULT_MAX_ITER,
+                        start: Optional[np.ndarray] = None) -> LocalDocRank:
+    """Solve one site's local DocRank from its already-extracted subgraph.
+
+    This is the pure computational kernel shared by :func:`local_docrank`
+    and the execution engine's per-site tasks
+    (:class:`repro.engine.plan.LocalRankTask`): it touches no
+    :class:`DocGraph`, only the picklable ``(adjacency, doc_ids)`` pair, so
+    it can run unchanged on the calling thread, a pool thread, or a worker
+    process.
+    """
+    if preference is not None:
+        preference = np.asarray(preference, dtype=float)
+        if preference.size != len(doc_ids):
+            raise ValidationError(
+                f"preference for site {site!r} has length {preference.size}, "
+                f"expected {len(doc_ids)}")
+    result = pagerank(local_adjacency, damping=damping, preference=preference,
+                      tol=tol, max_iter=max_iter,
+                      method="dense" if len(doc_ids) <= 2000 else "sparse",
+                      start=start)
+    return LocalDocRank(site=site, doc_ids=list(doc_ids),
+                        scores=result.scores, iterations=result.iterations)
+
+
 def local_docrank(docgraph: DocGraph, site: str,
                   damping: float = DEFAULT_DAMPING, *,
                   preference: Optional[np.ndarray] = None,
                   tol: float = DEFAULT_TOL,
-                  max_iter: int = DEFAULT_MAX_ITER) -> LocalDocRank:
+                  max_iter: int = DEFAULT_MAX_ITER,
+                  start: Optional[np.ndarray] = None) -> LocalDocRank:
     """Compute the local DocRank of a single site.
 
     Parameters
@@ -88,36 +118,42 @@ def local_docrank(docgraph: DocGraph, site: str,
     preference:
         Optional personalisation distribution over the site's documents (in
         local order) — document-layer personalisation of Section 3.2.
+    start:
+        Optional warm-start distribution in local order (e.g. the site's
+        previously converged vector); uniform when omitted.
     """
     local_adjacency, doc_ids = docgraph.local_adjacency(site)
-    if preference is not None:
-        preference = np.asarray(preference, dtype=float)
-        if preference.size != len(doc_ids):
-            raise ValidationError(
-                f"preference for site {site!r} has length {preference.size}, "
-                f"expected {len(doc_ids)}")
-    result = pagerank(local_adjacency, damping=damping, preference=preference,
-                      tol=tol, max_iter=max_iter,
-                      method="dense" if len(doc_ids) <= 2000 else "sparse")
-    return LocalDocRank(site=site, doc_ids=list(doc_ids),
-                        scores=result.scores, iterations=result.iterations)
+    return solve_local_docrank(site, local_adjacency, doc_ids, damping,
+                               preference=preference, tol=tol,
+                               max_iter=max_iter, start=start)
 
 
 def all_local_docranks(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
                        preferences: Optional[Dict[str, np.ndarray]] = None,
                        tol: float = DEFAULT_TOL,
                        max_iter: int = DEFAULT_MAX_ITER,
-                       ) -> Dict[str, LocalDocRank]:
+                       executor=None, n_jobs: Optional[int] = None,
+                       warm=None) -> Dict[str, LocalDocRank]:
     """Compute the local DocRank of every site of a DocGraph.
 
-    In a deployment each of these runs on its own peer; here they run in a
-    loop.  The distributed simulator calls :func:`local_docrank` per peer
-    instead.
+    The per-site computations are mutually independent (the paper's
+    decentralisability claim), so they are dispatched through the execution
+    engine: pass ``n_jobs`` or an ``executor`` to run them concurrently;
+    the default remains a serial in-order run with identical results.
+
+    Parameters
+    ----------
+    executor / n_jobs:
+        Execution backend selection, resolved by
+        :func:`repro.engine.resolve_executor` (serial when both omitted).
+    warm:
+        Optional :class:`repro.engine.WarmStartState` supplying previously
+        converged vectors to resume from.
     """
+    from ..engine.plan import execute_site_tasks, site_tasks_for
+
     preferences = preferences or {}
-    return {
-        site: local_docrank(docgraph, site, damping,
-                            preference=preferences.get(site), tol=tol,
-                            max_iter=max_iter)
-        for site in docgraph.sites()
-    }
+    tasks = site_tasks_for(docgraph, damping, preferences=preferences,
+                           tol=tol, max_iter=max_iter, warm=warm)
+    results = execute_site_tasks(tasks, executor=executor, n_jobs=n_jobs)
+    return {result.site: result for result in results}

@@ -35,9 +35,9 @@ from ..linalg.stochastic import transition_matrix
 from ..markov.irreducibility import DEFAULT_DAMPING
 from ..pagerank.pagerank import pagerank
 from .docgraph import DocGraph
-from .docrank import LocalDocRank, all_local_docranks
+from .docrank import LocalDocRank
 from .sitegraph import SiteGraph, aggregate_sitegraph
-from .siterank import SiteRankResult, siterank
+from .siterank import SiteRankResult
 
 
 @dataclass
@@ -111,14 +111,50 @@ class WebRankingResult:
         return [self.urls[int(i)] for i in order[:k]]
 
 
+def compose_ranking(docgraph: DocGraph, sites: List[str],
+                    site_result: SiteRankResult,
+                    local: Dict[str, LocalDocRank], *,
+                    method: str, iterations: int = 0) -> WebRankingResult:
+    """Step 5: the ``π_S(s) · π_D(s)`` weighted concatenation.
+
+    Shared by the centralized pipeline, the incremental ranker and the
+    distributed coordinator's flat aggregation, so those layers compose in
+    the same (site-major) order with the same floating point operations.
+    (The super-peer architecture deliberately composes on the peers and
+    only reassembles shards at the coordinator.)
+    """
+    doc_ids: List[int] = []
+    scores_blocks: List[np.ndarray] = []
+    for site in sites:
+        local_rank = local[site]
+        doc_ids.extend(local_rank.doc_ids)
+        scores_blocks.append(site_result.score_of(site) * local_rank.scores)
+    # The composition is a probability distribution by Theorem 1; renormalise
+    # only to absorb floating point drift.
+    scores = normalize_distribution(np.concatenate(scores_blocks),
+                                    name="layered DocRank")
+    urls = [docgraph.document(doc_id).url for doc_id in doc_ids]
+    return WebRankingResult(doc_ids=doc_ids, urls=urls, scores=scores,
+                            method=method, siterank=site_result,
+                            local_docranks=local, iterations=iterations)
+
+
 def layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
                     site_damping: Optional[float] = None,
                     site_preference: Optional[np.ndarray] = None,
                     document_preferences: Optional[Dict[str, np.ndarray]] = None,
                     include_site_self_links: bool = False,
                     tol: float = DEFAULT_TOL,
-                    max_iter: int = DEFAULT_MAX_ITER) -> WebRankingResult:
+                    max_iter: int = DEFAULT_MAX_ITER,
+                    executor=None, n_jobs: Optional[int] = None,
+                    warm=None) -> WebRankingResult:
     """Run the full 5-step Layered Method for DocRank on a DocGraph.
+
+    The method is executed as a :class:`repro.engine.RankingPlan`: step 3's
+    per-site DocRank tasks and step 4's SiteRank task run as one concurrent
+    batch, and step 5 composes at the batch's barrier.  The default
+    (serial) backend performs exactly the operations the historical serial
+    loop performed, in the same order.
 
     Parameters
     ----------
@@ -135,45 +171,35 @@ def layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
     include_site_self_links:
         Whether intra-site links count in the SiteGraph aggregation (see
         :func:`repro.web.sitegraph.aggregate_sitegraph`).
+    executor / n_jobs:
+        Execution backend for the concurrent batch, resolved by
+        :func:`repro.engine.resolve_executor`; serial when both omitted,
+        a process pool of ``n_jobs`` workers when ``n_jobs > 1``.
+    warm:
+        Optional :class:`repro.engine.WarmStartState` to resume power
+        iterations from (and record the converged vectors into).
     """
+    from ..engine.plan import RankingPlan
+
     if docgraph.n_documents == 0:
         raise GraphStructureError("cannot rank an empty DocGraph")
-    if site_damping is None:
-        site_damping = damping
 
-    # Step 2: aggregate the SiteGraph.
-    sitegraph = aggregate_sitegraph(docgraph,
-                                    include_self_links=include_site_self_links)
-    # Step 3: local DocRanks (decentralisable).
-    local = all_local_docranks(docgraph, damping,
-                               preferences=document_preferences, tol=tol,
-                               max_iter=max_iter)
-    # Step 4: SiteRank.
-    site_result = siterank(sitegraph, site_damping,
-                           preference=site_preference, tol=tol,
-                           max_iter=max_iter)
-    # Step 5: weighted concatenation.
-    doc_ids: List[int] = []
-    scores_blocks: List[np.ndarray] = []
-    for site in sitegraph.sites:
-        local_rank = local[site]
-        doc_ids.extend(local_rank.doc_ids)
-        scores_blocks.append(site_result.score_of(site) * local_rank.scores)
-    scores = np.concatenate(scores_blocks)
-    # The composition is a probability distribution by Theorem 1; renormalise
-    # only to absorb floating point drift.
-    scores = normalize_distribution(scores, name="layered DocRank")
+    # Steps 1–2 (input + SiteGraph aggregation) happen at plan build time;
+    # steps 3–4 run concurrently inside execute(); step 5 composes below.
+    plan = RankingPlan.from_docgraph(
+        docgraph, damping, site_damping=site_damping,
+        site_preference=site_preference,
+        document_preferences=document_preferences,
+        include_site_self_links=include_site_self_links,
+        tol=tol, max_iter=max_iter)
+    execution = plan.execute(executor=executor, n_jobs=n_jobs, warm=warm)
 
-    urls = [docgraph.document(doc_id).url for doc_id in doc_ids]
-    total_iterations = site_result.iterations + sum(
-        rank.iterations for rank in local.values())
     method = "layered"
     if site_preference is not None or document_preferences:
         method = "layered-personalized"
-    return WebRankingResult(doc_ids=doc_ids, urls=urls, scores=scores,
-                            method=method, siterank=site_result,
-                            local_docranks=local,
-                            iterations=total_iterations)
+    return compose_ranking(docgraph, plan.sitegraph.sites, execution.siterank,
+                           execution.local, method=method,
+                           iterations=execution.total_iterations)
 
 
 def flat_pagerank_ranking(docgraph: DocGraph,

@@ -70,7 +70,8 @@ class SiteRankResult:
 def siterank(sitegraph: SiteGraph, damping: float = DEFAULT_DAMPING, *,
              preference: Optional[np.ndarray] = None,
              tol: float = DEFAULT_TOL,
-             max_iter: int = DEFAULT_MAX_ITER) -> SiteRankResult:
+             max_iter: int = DEFAULT_MAX_ITER,
+             start: Optional[np.ndarray] = None) -> SiteRankResult:
     """Compute the SiteRank of a SiteGraph.
 
     Parameters
@@ -83,9 +84,13 @@ def siterank(sitegraph: SiteGraph, damping: float = DEFAULT_DAMPING, *,
     preference:
         Optional personalisation distribution over sites — this is exactly
         where site-layer personalisation (Section 3.2) plugs in.
+    start:
+        Optional warm-start distribution in site order (e.g. a previously
+        converged SiteRank); uniform when omitted.
     """
     result = pagerank(sitegraph.adjacency, damping=damping,
                       preference=preference, tol=tol, max_iter=max_iter,
-                      method="dense" if sitegraph.n_sites <= 2000 else "sparse")
+                      method="dense" if sitegraph.n_sites <= 2000 else "sparse",
+                      start=start)
     return SiteRankResult(sites=list(sitegraph.sites), scores=result.scores,
                           iterations=result.iterations, damping=damping)

@@ -112,6 +112,39 @@ class TestTrafficAccounting:
                    in report.per_peer_compute_seconds.values())
 
 
+class TestEngineScheduling:
+    """The coordinator executes the shared RankingPlan through the engine."""
+
+    def test_engine_tasks_cover_every_site(self, small_synthetic_web):
+        coordinator = DistributedRankingCoordinator(small_synthetic_web,
+                                                    n_peers=3)
+        assert sorted(task.site for task in coordinator.site_tasks) == \
+            sorted(small_synthetic_web.sites())
+
+    def test_report_carries_measured_wall_clock(self, toy_docgraph):
+        report = distributed_layered_docrank(toy_docgraph, n_peers=2)
+        assert report.measured_wall_seconds > 0.0
+        assert report.executor_name == "serial"
+
+    def test_parallel_execution_matches_serial(self, small_synthetic_web):
+        serial = distributed_layered_docrank(small_synthetic_web, n_peers=4)
+        parallel = distributed_layered_docrank(small_synthetic_web, n_peers=4,
+                                               n_jobs=2)
+        assert parallel.executor_name == "process"
+        assert np.array_equal(parallel.ranking.scores, serial.ranking.scores)
+        # The simulated cost model is independent of the real backend.
+        assert parallel.makespan_seconds == serial.makespan_seconds
+        assert parallel.serial_compute_seconds == serial.serial_compute_seconds
+
+    def test_adopted_results_feed_the_protocol_messages(self, toy_docgraph):
+        coordinator = DistributedRankingCoordinator(toy_docgraph, n_peers=2)
+        report = coordinator.run()
+        for peer in coordinator.peers.values():
+            for site in peer.sites:
+                assert site in peer.local_results
+        assert report.ranking.scores.sum() == pytest.approx(1.0)
+
+
 class TestValidation:
     def test_empty_graph_rejected(self):
         with pytest.raises(SimulationError):

@@ -61,6 +61,65 @@ class TestPartitionSites:
             partition_sites(DocGraph(), 2)
 
 
+class TestInvariants:
+    """Structural invariants every policy must uphold on every input."""
+
+    @pytest.mark.parametrize("policy", ["round-robin", "balanced",
+                                        "one-per-site"])
+    @pytest.mark.parametrize("n_peers", [1, 3, 7])
+    def test_every_site_assigned_exactly_once(self, small_synthetic_web,
+                                              policy, n_peers):
+        assignment = partition_sites(small_synthetic_web, n_peers,
+                                     policy=policy)
+        assigned = [site for sites in assignment.values() for site in sites]
+        assert sorted(assigned) == sorted(small_synthetic_web.sites())
+        assert len(set(assigned)) == len(assigned)
+
+    @pytest.mark.parametrize("policy", ["round-robin", "balanced",
+                                        "one-per-site"])
+    def test_no_peer_is_empty(self, small_synthetic_web, policy):
+        assignment = partition_sites(small_synthetic_web, 5, policy=policy)
+        assert all(sites for sites in assignment.values())
+
+    @pytest.mark.parametrize("n_peers", [2, 3, 5, 8])
+    def test_balanced_load_within_documented_bound(self, small_synthetic_web,
+                                                   n_peers):
+        """The docstring's LPT guarantee: load <= average + max site size."""
+        assignment = partition_sites(small_synthetic_web, n_peers,
+                                     policy="balanced")
+        load = assignment_load(assignment, small_synthetic_web)
+        sizes = small_synthetic_web.site_sizes()
+        bound = (small_synthetic_web.n_documents / len(assignment)
+                 + max(sizes.values()))
+        assert max(load.values()) <= bound
+
+    @pytest.mark.parametrize("policy", ["round-robin", "balanced"])
+    def test_more_peers_than_sites_caps_at_site_count(self,
+                                                      small_synthetic_web,
+                                                      policy):
+        n_sites = small_synthetic_web.n_sites
+        assignment = partition_sites(small_synthetic_web, n_sites + 50,
+                                     policy=policy)
+        assert len(assignment) == n_sites
+        assert all(len(sites) == 1 for sites in assignment.values())
+
+    @pytest.mark.parametrize("policy", ["round-robin", "balanced",
+                                        "one-per-site"])
+    def test_single_site_graph(self, policy):
+        graph = DocGraph.from_edges([
+            ("http://only.example.org/", "http://only.example.org/a.html"),
+            ("http://only.example.org/a.html", "http://only.example.org/"),
+        ])
+        assignment = partition_sites(graph, 4, policy=policy)
+        assert len(assignment) == 1
+        assert next(iter(assignment.values())) == ["only.example.org"]
+
+    def test_deterministic_for_identical_input(self, small_synthetic_web):
+        first = partition_sites(small_synthetic_web, 3, policy="balanced")
+        second = partition_sites(small_synthetic_web, 3, policy="balanced")
+        assert first == second
+
+
 class TestHelpers:
     def test_peer_of_site_inversion(self, toy_docgraph):
         assignment = partition_sites(toy_docgraph, 2)

@@ -1,0 +1,152 @@
+"""Tests for repro.engine.executor (execution backends)."""
+
+import pytest
+
+from repro.engine import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    default_n_jobs,
+    make_executor,
+    resolve_executor,
+)
+from repro.exceptions import ValidationError
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        executor = SerialExecutor()
+        assert executor.map(abs, [-3, 1, -2]) == [3, 1, 2]
+
+    def test_map_empty_batch(self):
+        assert SerialExecutor().map(abs, []) == []
+
+    def test_metadata(self):
+        executor = SerialExecutor()
+        assert executor.name == "serial"
+        assert executor.n_jobs == 1
+        assert isinstance(executor, Executor)
+
+    def test_close_is_idempotent(self):
+        executor = SerialExecutor()
+        executor.close()
+        executor.close()
+
+
+class TestThreadedExecutor:
+    def test_map_preserves_order(self):
+        with ThreadedExecutor(2) as executor:
+            assert executor.map(abs, list(range(-10, 0))) == list(range(10, 0, -1))
+
+    def test_pool_is_reused_across_batches(self):
+        with ThreadedExecutor(2) as executor:
+            executor.map(abs, [-1])
+            pool = executor._pool
+            executor.map(abs, [-2])
+            assert executor._pool is pool
+
+    def test_defaults_to_cpu_count(self):
+        assert ThreadedExecutor().n_jobs == default_n_jobs()
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValidationError):
+            ThreadedExecutor(0)
+
+    def test_map_after_close_fails_fast(self):
+        # Silently recreating the pool would leak threads nobody shuts down.
+        executor = ThreadedExecutor(1)
+        executor.map(abs, [-1])
+        executor.close()
+        with pytest.raises(ValidationError):
+            executor.map(abs, [-4])
+
+    def test_warmup_creates_the_pool(self):
+        with ThreadedExecutor(1) as executor:
+            assert executor._pool is None
+            executor.warmup()
+            assert executor._pool is not None
+
+
+class TestProcessExecutor:
+    def test_map_preserves_order(self):
+        # ``abs`` is picklable by reference; the engine's real task types
+        # are exercised in test_plan.py / test_determinism.py.
+        with ProcessExecutor(2) as executor:
+            assert executor.map(abs, [-5, 2, -1]) == [5, 2, 1]
+
+    def test_empty_batch_creates_no_pool(self):
+        executor = ProcessExecutor(2)
+        assert executor.map(abs, []) == []
+        assert executor._pool is None
+
+    def test_map_after_close_fails_fast(self):
+        executor = ProcessExecutor(1)
+        executor.close()
+        with pytest.raises(ValidationError):
+            executor.map(abs, [-1])
+
+    def test_serial_warmup_is_a_noop(self):
+        SerialExecutor().warmup()
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValidationError):
+            ProcessExecutor(-1)
+
+    def test_metadata(self):
+        executor = ProcessExecutor(3)
+        assert executor.name == "process"
+        assert executor.n_jobs == 3
+        executor.close()
+
+
+class TestMakeExecutor:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_known_backends(self, backend):
+        executor = make_executor(backend, 1)
+        assert executor.name == backend
+        executor.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            make_executor("gpu")
+
+
+class TestResolveExecutor:
+    def test_defaults_to_serial(self):
+        executor, owned = resolve_executor()
+        assert executor.name == "serial"
+        assert owned
+
+    def test_n_jobs_one_is_serial(self):
+        executor, owned = resolve_executor(n_jobs=1)
+        assert executor.name == "serial"
+        assert owned
+
+    def test_n_jobs_many_is_a_process_pool(self):
+        executor, owned = resolve_executor(n_jobs=2)
+        assert executor.name == "process"
+        assert executor.n_jobs == 2
+        assert owned
+        executor.close()
+
+    def test_explicit_executor_is_not_owned(self):
+        mine = SerialExecutor()
+        executor, owned = resolve_executor(mine)
+        assert executor is mine
+        assert not owned
+
+    def test_executor_and_n_jobs_are_exclusive(self):
+        with pytest.raises(ValidationError):
+            resolve_executor(SerialExecutor(), n_jobs=2)
+
+    def test_rejects_non_positive_n_jobs(self):
+        with pytest.raises(ValidationError):
+            resolve_executor(n_jobs=0)
+
+    def test_backend_override(self):
+        executor, owned = resolve_executor(n_jobs=2, backend="threaded")
+        assert executor.name == "threaded"
+        assert owned
+        executor.close()

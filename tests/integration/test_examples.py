@@ -64,4 +64,12 @@ class TestExampleScripts:
         result = run_example("crawl_and_update.py", "--budget", "400")
         assert result.returncode == 0, result.stderr
         assert "maintaining the ranking incrementally" in result.stdout
-        assert "max |diff| = 0.00e+00" in result.stdout
+        assert "within tolerance: True" in result.stdout
+
+    def test_parallel_ranking(self):
+        result = run_example("parallel_ranking.py", "--sites", "10",
+                             "--documents", "400", "--jobs", "2")
+        assert result.returncode == 0, result.stderr
+        assert "identical to serial: True" in result.stdout
+        assert "SiteRank identical: True" in result.stdout
+        assert "warm start: cold run" in result.stdout

@@ -39,6 +39,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["query"])
 
+    @pytest.mark.parametrize("argv", [["rank"], ["compare"], ["serve"],
+                                      ["query", "q"]])
+    def test_jobs_defaults_to_serial(self, argv):
+        assert build_parser().parse_args(argv).jobs == 1
+
 
 class TestErrorExitCodes:
     def test_rank_missing_input_path(self, capsys):
@@ -92,6 +97,14 @@ class TestRankCommand:
         out = capsys.readouterr().out
         assert "top-5 by layered" in out
         assert out.count("http://") >= 5
+
+    def test_rank_with_jobs_matches_serial_output(self, capsys):
+        argv = ["rank", "--generate", "hierarchical", "--sites", "6",
+                "--documents", "200", "--top", "5"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
 
     def test_rank_both_methods(self, capsys):
         exit_code = main(["rank", "--generate", "hierarchical", "--sites", "5",

@@ -3,9 +3,17 @@
 import numpy as np
 import pytest
 
+from repro.engine import ThreadedExecutor
 from repro.exceptions import GraphStructureError
 from repro.io import toy_web
-from repro.web import DocGraph, IncrementalLayeredRanker, layered_docrank
+from repro.web import (
+    DocGraph,
+    IncrementalLayeredRanker,
+    aggregate_sitegraph,
+    layered_docrank,
+    local_docrank,
+    siterank,
+)
 
 
 def assert_matches_full_recompute(ranker, graph):
@@ -139,6 +147,91 @@ class TestRefreshAndSavings:
         ranker.add_link("http://b.example.org/extra.html",
                         "http://b.example.org/")
         ranker.add_link("http://c.example.org/", "http://c.example.org/two.html")
+        assert_matches_full_recompute(ranker, graph)
+
+
+class TestWarmStart:
+    """Refreshes resume power iteration from the cached stationary vectors."""
+
+    def test_local_refresh_beats_cold_start_iterations(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        report = ranker.add_link("http://a.example.org/about.html",
+                                 "http://a.example.org/news.html")
+        # A cold solver on the *same* mutated subgraph needs many more
+        # iterations than the warm-started refresh did.
+        cold = local_docrank(graph, "a.example.org")
+        assert 0 < report.local_iterations < cold.iterations
+        assert_matches_full_recompute(ranker, graph)
+
+    def test_siterank_refresh_beats_cold_start_iterations(self, small_campus):
+        # One extra inter-site link barely moves the SiteRank of a web with
+        # hundreds of SiteLinks, so the warm start pays off.  (On a 3-site
+        # toy graph the same change is a *large* relative perturbation and
+        # warm starting legitimately cannot help.)
+        graph = small_campus.docgraph
+        ranker = IncrementalLayeredRanker(graph)
+        report = ranker.add_link("http://dept001.campus.edu/page00002.html",
+                                 "http://dept002.campus.edu/")
+        cold = siterank(aggregate_sitegraph(graph))
+        assert 0 < report.siterank_iterations < cold.iterations
+        assert_matches_full_recompute(ranker, graph)
+
+    def test_whole_graph_warm_refresh_beats_cold_rebuild(self, small_campus):
+        graph = small_campus.docgraph
+        ranker = IncrementalLayeredRanker(graph)
+        cold = ranker.full_rebuild()
+        warm = ranker.refresh(graph.sites(), intersite_changed=True)
+        assert warm.local_iterations < cold.local_iterations
+        assert warm.siterank_iterations < cold.siterank_iterations
+
+    def test_full_rebuild_stays_cold(self):
+        """full_rebuild is the honest from-scratch baseline: repeating it
+        must cost the same iterations, never inherit cached vectors."""
+        ranker = IncrementalLayeredRanker(toy_web())
+        first = ranker.full_rebuild()
+        second = ranker.full_rebuild()
+        assert second.local_iterations == first.local_iterations
+        assert second.siterank_iterations == first.siterank_iterations
+
+    def test_warm_start_survives_document_growth(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        # Adding a page changes the site's dimension; the cached mass is
+        # re-aligned by document id and the result must still be correct.
+        ranker.add_document("http://a.example.org/fresh.html")
+        ranker.add_link("http://a.example.org/fresh.html",
+                        "http://a.example.org/news.html")
+        assert_matches_full_recompute(ranker, graph)
+
+
+class TestEngineIntegration:
+    def test_parallel_ranker_matches_serial(self):
+        serial = IncrementalLayeredRanker(toy_web())
+        with ThreadedExecutor(2) as executor:
+            parallel = IncrementalLayeredRanker(toy_web(), executor=executor)
+            assert np.array_equal(serial.ranking().scores_by_doc_id(),
+                                  parallel.ranking().scores_by_doc_id())
+            serial.add_link("http://a.example.org/",
+                            "http://c.example.org/one.html")
+            parallel.add_link("http://a.example.org/",
+                              "http://c.example.org/one.html")
+            assert np.array_equal(serial.ranking().scores_by_doc_id(),
+                                  parallel.ranking().scores_by_doc_id())
+
+    def test_n_jobs_ranker_matches_serial(self):
+        serial = IncrementalLayeredRanker(toy_web())
+        with IncrementalLayeredRanker(toy_web(), n_jobs=2) as parallel:
+            assert np.array_equal(serial.ranking().scores_by_doc_id(),
+                                  parallel.ranking().scores_by_doc_id())
+
+    def test_multi_site_refresh_is_one_batch(self):
+        graph = toy_web()
+        ranker = IncrementalLayeredRanker(graph)
+        report = ranker.refresh(["a.example.org", "c.example.org"],
+                                intersite_changed=True)
+        assert report.recomputed_sites == ["a.example.org", "c.example.org"]
+        assert report.siterank_recomputed
         assert_matches_full_recompute(ranker, graph)
 
 
