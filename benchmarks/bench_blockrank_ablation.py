@@ -15,10 +15,9 @@ choice buys:
 
 import pytest
 
-from conftest import write_result
+from conftest import flat_pagerank_ranking, layered_docrank, write_result
 from repro.metrics import kendall_tau, top_k_contamination
 from repro.pagerank import blockrank
-from repro.web import flat_pagerank_ranking, layered_docrank
 
 
 @pytest.fixture(scope="module")

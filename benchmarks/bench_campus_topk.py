@@ -15,9 +15,8 @@ list contains none and is dominated by the designated authoritative pages.
 
 import pytest
 
-from conftest import write_result
+from conftest import flat_pagerank_ranking, layered_docrank, write_result
 from repro.metrics import top_k_contamination
-from repro.web import flat_pagerank_ranking, layered_docrank
 
 TOP_K = 15
 

@@ -10,10 +10,9 @@ with flat PageRank's.
 
 import pytest
 
-from conftest import write_result
+from conftest import flat_pagerank_ranking, layered_docrank, write_result
 from repro.crawler import crawl_campus
 from repro.metrics import top_k_overlap
-from repro.web import flat_pagerank_ranking, layered_docrank
 
 BUDGETS = [500, 1000, 2000, 4000]
 TOP_K = 15

@@ -12,10 +12,15 @@ that every configuration returns exactly the centralized ranking.
 import numpy as np
 import pytest
 
-from conftest import write_result
-from repro.distributed import NetworkParameters, distributed_layered_docrank
+from conftest import layered_docrank, write_result
+from repro.distributed import NetworkParameters
+from repro.distributed.coordinator import DistributedRankingCoordinator
 from repro.graphgen import generate_synthetic_web
-from repro.web import layered_docrank
+
+
+def _run_distributed(docgraph, **kwargs):
+    """Run the protocol via the coordinator (not the 1.x shim)."""
+    return DistributedRankingCoordinator(docgraph, **kwargs).run()
 
 PEER_COUNTS = [2, 4, 8, 16, 32]
 NETWORK = NetworkParameters(latency_seconds=0.02,
@@ -34,7 +39,7 @@ def sweep_rows(workload):
     rows = []
     for architecture in ("flat", "super-peer"):
         for n_peers in PEER_COUNTS:
-            report = distributed_layered_docrank(graph, n_peers=n_peers,
+            report = _run_distributed(graph, n_peers=n_peers,
                                                  architecture=architecture,
                                                  network=NETWORK)
             gap = float(np.abs(report.ranking.scores_by_doc_id()
@@ -73,7 +78,7 @@ def test_e9_peer_sweep_table(benchmark, sweep_rows):
 @pytest.mark.parametrize("architecture", ["flat", "super-peer"])
 def test_e9_simulation_time(benchmark, workload, architecture):
     graph, _centralized = workload
-    benchmark.pedantic(distributed_layered_docrank, args=(graph,),
+    benchmark.pedantic(_run_distributed, args=(graph,),
                        kwargs={"n_peers": 8, "architecture": architecture,
                                "network": NETWORK},
                        rounds=2, iterations=1)

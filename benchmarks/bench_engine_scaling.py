@@ -27,10 +27,9 @@ import time
 import numpy as np
 import pytest
 
-from conftest import SMOKE, write_result
+from conftest import IncrementalLayeredRanker, SMOKE, layered_docrank, write_result
 from repro.engine import ProcessExecutor, SerialExecutor, ThreadedExecutor
 from repro.graphgen import generate_synthetic_web
-from repro.web import IncrementalLayeredRanker, layered_docrank
 
 #: Size of the benchmark web (acceptance target: >= 200 sites / >= 50k docs;
 #: 500 documents per site keeps each task heavy enough to amortise the

@@ -11,9 +11,8 @@ update versus a full recompute on the campus web.
 import numpy as np
 import pytest
 
-from conftest import write_result
+from conftest import IncrementalLayeredRanker, layered_docrank, write_result
 from repro.pagerank import pagerank
-from repro.web import IncrementalLayeredRanker, layered_docrank
 
 
 @pytest.fixture(scope="module")

@@ -13,9 +13,9 @@ campus-web ranking for a user interested in one department and measures
 import numpy as np
 import pytest
 
-from conftest import write_result
+from conftest import layered_docrank, write_result
 from repro.metrics import kendall_tau, top_k_contamination
-from repro.web import aggregate_sitegraph, layered_docrank
+from repro.web import aggregate_sitegraph
 
 
 @pytest.fixture(scope="module")

@@ -18,10 +18,9 @@ what carries the resistance.
 
 import pytest
 
-from conftest import write_result
+from conftest import layered_docrank, write_result
 from repro.core import default_scheme_catalog, layered_docrank_with_schemes
 from repro.metrics import kendall_tau, spam_mass, top_k_contamination
-from repro.web import layered_docrank
 
 
 @pytest.fixture(scope="module")

@@ -16,9 +16,8 @@ import time
 
 import pytest
 
-from conftest import SCALING_SIZES, write_result
+from conftest import SCALING_SIZES, flat_pagerank_ranking, layered_docrank, write_result
 from repro.distributed import compare_costs
-from repro.web import flat_pagerank_ranking, layered_docrank
 
 
 @pytest.fixture(scope="module")

@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from conftest import write_result
+from conftest import IncrementalLayeredRanker, layered_docrank, write_result
 from repro.graphgen import generate_synthetic_web
 from repro.ir import synthesize_corpus
 from repro.serving import (
@@ -28,7 +28,6 @@ from repro.serving import (
     TopKEngine,
     naive_top_k,
 )
-from repro.web import IncrementalLayeredRanker, layered_docrank
 
 N_DOCUMENTS = 50_000
 N_SITES = 120

@@ -14,10 +14,9 @@ the farm), while the layered farm mass stays essentially flat and far lower.
 import numpy as np
 import pytest
 
-from conftest import write_result
+from conftest import flat_pagerank_ranking, layered_docrank, write_result
 from repro.graphgen import LinkFarmSpec, generate_synthetic_web, inject_link_farm
 from repro.metrics import spam_impact
-from repro.web import flat_pagerank_ranking, layered_docrank
 
 FARM_SIZES = [25, 50, 100, 200, 400]
 

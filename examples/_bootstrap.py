@@ -3,6 +3,11 @@
 Each example does ``import _bootstrap`` before importing :mod:`repro`; when
 the package is already installed this is a no-op, otherwise the repository's
 ``src/`` directory is added to ``sys.path``.
+
+The module also centralises smoke mode: with ``REPRO_BENCH_SMOKE=1`` in the
+environment (the CI examples-smoke job sets it) every example shrinks its
+default problem size via :func:`scaled` so the whole directory runs in
+seconds while still exercising the full code paths.
 """
 
 import os
@@ -12,3 +17,11 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                     "src")
 if _SRC not in sys.path:  # pragma: no cover - trivial path bookkeeping
     sys.path.insert(0, _SRC)
+
+#: True when the CI smoke job (REPRO_BENCH_SMOKE=1) runs the examples.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def scaled(default, smoke):
+    """*default* normally; *smoke* under ``REPRO_BENCH_SMOKE=1``."""
+    return smoke if SMOKE else default

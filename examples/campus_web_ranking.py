@@ -14,19 +14,20 @@ Run with::
 """
 
 import _bootstrap  # noqa: F401
+from _bootstrap import scaled
 
 import argparse
 
+from repro.api import Ranker, RankingConfig
 from repro.graphgen import generate_campus_web
 from repro.metrics import spam_impact, top_k_overlap
-from repro.web import flat_pagerank_ranking, layered_docrank
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--sites", type=int, default=60,
+    parser.add_argument("--sites", type=int, default=scaled(60, 12),
                         help="number of web sites (default 60)")
-    parser.add_argument("--documents", type=int, default=6000,
+    parser.add_argument("--documents", type=int, default=scaled(6000, 800),
                         help="number of ordinary documents (default 6000)")
     parser.add_argument("--top", type=int, default=15,
                         help="length of the printed top lists (default 15)")
@@ -39,8 +40,10 @@ def main() -> None:
           f"{graph.n_links} links, {graph.n_sites} sites "
           f"({len(campus.farm_doc_ids)} farm pages)\n")
 
-    flat = flat_pagerank_ranking(graph)
-    layered = layered_docrank(graph)
+    # One declarative config drives both runs; only the method differs.
+    config = RankingConfig(executor="auto")
+    flat = Ranker(config.replace(method="flat")).fit(graph)
+    layered = Ranker(config.replace(method="layered")).fit(graph)
 
     def annotate(doc_id: int) -> str:
         if doc_id in campus.farm_hub_doc_ids:

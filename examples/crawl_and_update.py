@@ -17,25 +17,27 @@ Run with::
 """
 
 import _bootstrap  # noqa: F401
+from _bootstrap import scaled
 
 import argparse
 
 import numpy as np
 
+from repro.api import Ranker, RankingConfig
 from repro.crawler import CrawlPolicy, Crawler, SimulatedWeb
 from repro.graphgen import WEBDRIVER_HOST, generate_campus_web
-from repro.web import IncrementalLayeredRanker, layered_docrank
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--budget", type=int, default=1500,
+    parser.add_argument("--budget", type=int, default=scaled(1500, 400),
                         help="crawl page budget (default 1500)")
     parser.add_argument("--per-site-cap", type=int, default=200,
                         help="max pages fetched per site (default 200)")
     args = parser.parse_args()
 
-    campus = generate_campus_web(n_sites=30, n_documents=2500)
+    campus = generate_campus_web(n_sites=scaled(30, 12),
+                                 n_documents=scaled(2500, 800))
     true_web = campus.docgraph
     print(f"ground-truth web: {true_web.n_documents} documents, "
           f"{true_web.n_sites} sites\n")
@@ -52,14 +54,15 @@ def main() -> None:
     print(f"  the {WEBDRIVER_HOST} dynamic-page trap was capped at "
           f"{crawl.pages_per_site.get(WEBDRIVER_HOST, 0)} pages\n")
 
-    ranking = layered_docrank(crawl.docgraph)
+    api = Ranker(RankingConfig(method="layered"))
+    ranking = api.fit(crawl.docgraph)
     print("top-10 of the crawled snapshot (layered method):")
     for rank, url in enumerate(ranking.top_k_urls(10), start=1):
         print(f"  {rank:2d}. {url}")
 
     # ---------------- 2. incremental updates -------------------------- #
     print("\nmaintaining the ranking incrementally:")
-    ranker = IncrementalLayeredRanker(crawl.docgraph)
+    ranker = api.incremental(crawl.docgraph)
     updates = [
         ("intra-site link",
          ("http://dept001.campus.edu/", "http://dept001.campus.edu/page00001.html")),
@@ -74,7 +77,7 @@ def main() -> None:
               f"documents ({report.recompute_fraction:.1%} of the corpus), "
               f"SiteRank recomputed: {report.siterank_recomputed}")
 
-    fresh = layered_docrank(crawl.docgraph)
+    fresh = api.fit(crawl.docgraph)
     gap = float(np.abs(ranker.ranking().scores_by_doc_id()
                        - fresh.scores_by_doc_id()).max())
     # Refreshes are warm-started from the previous stationary vectors, so
@@ -82,6 +85,8 @@ def main() -> None:
     # tolerance (not bitwise — both are within tol of the true fixed point).
     print(f"\nincremental ranking vs full recompute: max |diff| = {gap:.2e} "
           f"(within tolerance: {gap < 1e-9})")
+    if not gap < 1e-9:
+        raise SystemExit("incremental maintenance diverged from recompute")
 
 
 if __name__ == "__main__":

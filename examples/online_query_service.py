@@ -26,16 +26,18 @@ import argparse
 import json
 import urllib.request
 
+from _bootstrap import scaled
+
+from repro.api import Ranker, RankingConfig
 from repro.graphgen import generate_synthetic_web
 from repro.ir import synthesize_corpus
-from repro.serving import RankingHTTPServer, RankingService
-from repro.web import IncrementalLayeredRanker
+from repro.serving import RankingHTTPServer
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--sites", type=int, default=12)
-    parser.add_argument("--documents", type=int, default=600)
+    parser.add_argument("--sites", type=int, default=scaled(12, 8))
+    parser.add_argument("--documents", type=int, default=scaled(600, 300))
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args()
 
@@ -44,9 +46,12 @@ def main() -> None:
     print(f"web: {web.n_documents} documents, {web.n_links} links, "
           f"{web.n_sites} sites")
 
-    ranker = IncrementalLayeredRanker(web)
-    service = RankingService.from_incremental(
-        ranker, corpus=synthesize_corpus(web, seed=args.seed))
+    # One declarative config builds the whole serving stack: the facade
+    # constructs the incremental ranker and attaches the service to it.
+    api = Ranker(RankingConfig(method="layered", cache_size=1024))
+    ranker = api.incremental(web)
+    service = api.serve(incremental=ranker,
+                        corpus=synthesize_corpus(web, seed=args.seed))
     print(f"service: {service.store.n_shards} shards, "
           f"{service.store.n_documents} documents "
           f"(one shard per site, as the Partition Theorem prescribes)\n")
@@ -104,6 +109,8 @@ def main() -> None:
     print(f"  served top-5 after update:   {served}")
     print(f"  from-scratch recomposition:  {fresh}")
     print(f"  consistent after incremental update: {served == fresh}")
+    if served != fresh:
+        raise SystemExit("served top-k diverged from recomposition")
 
     server.close()
     print("\nserver stopped")

@@ -14,21 +14,22 @@ Run with::
 """
 
 import _bootstrap  # noqa: F401
+from _bootstrap import scaled
 
 import argparse
 
 import numpy as np
 
-from repro.distributed import NetworkParameters, distributed_layered_docrank
+from repro.api import Ranker, RankingConfig
+from repro.distributed import NetworkParameters
 from repro.graphgen import generate_synthetic_web
-from repro.web import layered_docrank
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--peers", type=int, default=8)
-    parser.add_argument("--sites", type=int, default=40)
-    parser.add_argument("--documents", type=int, default=4000)
+    parser.add_argument("--peers", type=int, default=scaled(8, 3))
+    parser.add_argument("--sites", type=int, default=scaled(40, 10))
+    parser.add_argument("--documents", type=int, default=scaled(4000, 400))
     parser.add_argument("--latency-ms", type=float, default=20.0)
     args = parser.parse_args()
 
@@ -37,18 +38,23 @@ def main() -> None:
     print(f"Synthetic web: {graph.n_documents} documents over "
           f"{graph.n_sites} sites\n")
 
-    centralized = layered_docrank(graph)
+    # One config, two deployment modes: the same Ranker fits the
+    # centralized pipeline and drives the peer simulation.
+    ranker = Ranker(RankingConfig(method="layered", n_peers=args.peers))
+    centralized = ranker.fit(graph)
     network = NetworkParameters(latency_seconds=args.latency_ms / 1000.0)
 
     for architecture in ("flat", "super-peer"):
-        report = distributed_layered_docrank(graph, n_peers=args.peers,
-                                             architecture=architecture,
-                                             network=network)
+        report = ranker.distributed(graph, architecture=architecture,
+                                    network=network)
         difference = float(np.abs(report.ranking.scores_by_doc_id()
                                   - centralized.scores_by_doc_id()).max())
         print(f"=== {architecture} architecture, {report.n_peers} peers ===")
         print(f"  identical to centralized layered ranking: "
               f"max |diff| = {difference:.2e}")
+        if not difference < 1e-9:
+            raise SystemExit(f"{architecture} ranking diverged from "
+                             "the centralized pipeline")
         print(f"  messages: {report.message_count} "
               f"({report.total_bytes / 1024:.1f} KiB on the wire)")
         for name, count in sorted(report.messages_by_type.items()):

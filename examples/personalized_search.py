@@ -21,9 +21,10 @@ import _bootstrap  # noqa: F401
 
 import numpy as np
 
+from repro.api import Ranker, RankingConfig
 from repro.io import toy_web
 from repro.ir import VectorSpaceIndex, combined_search, synthesize_corpus
-from repro.web import aggregate_sitegraph, layered_docrank
+from repro.web import aggregate_sitegraph
 
 
 def print_ranking(title: str, result, graph, k: int = 5) -> None:
@@ -36,14 +37,17 @@ def print_ranking(title: str, result, graph, k: int = 5) -> None:
 
 def main() -> None:
     graph = toy_web()
-    baseline = layered_docrank(graph)
+    # The facade forwards personalisation vectors straight to the layered
+    # method, so one Ranker covers the baseline and both personalised runs.
+    ranker = Ranker(RankingConfig(method="layered"))
+    baseline = ranker.fit(graph)
     print_ranking("baseline layered DocRank", baseline, graph)
 
     # Site-layer personalisation: boost c.example.org.
     sitegraph = aggregate_sitegraph(graph)
     site_preference = np.zeros(sitegraph.n_sites)
     site_preference[sitegraph.site_index("c.example.org")] = 1.0
-    site_personalised = layered_docrank(graph, site_preference=site_preference)
+    site_personalised = ranker.fit(graph, site_preference=site_preference)
     print_ranking("site-layer personalisation (prefers c.example.org)",
                   site_personalised, graph)
 
@@ -52,7 +56,7 @@ def main() -> None:
     research = graph.document_by_url("http://a.example.org/research.html")
     document_preference = np.zeros(len(a_docs))
     document_preference[a_docs.index(research.doc_id)] = 1.0
-    doc_personalised = layered_docrank(
+    doc_personalised = ranker.fit(
         graph, document_preferences={"a.example.org": document_preference})
     print_ranking("document-layer personalisation (prefers the research page)",
                   doc_personalised, graph)

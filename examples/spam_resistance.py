@@ -13,22 +13,23 @@ Run with::
 """
 
 import _bootstrap  # noqa: F401
+from _bootstrap import scaled
 
 import argparse
 
 import numpy as np
 
+from repro.api import Ranker, RankingConfig
 from repro.graphgen import LinkFarmSpec, generate_synthetic_web, inject_link_farm
 from repro.metrics import spam_impact
-from repro.web import flat_pagerank_ranking, layered_docrank
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--farm-sizes", type=int, nargs="+",
-                        default=[25, 50, 100, 200])
-    parser.add_argument("--sites", type=int, default=20)
-    parser.add_argument("--documents", type=int, default=2000)
+                        default=scaled([25, 50, 100, 200], [20, 40]))
+    parser.add_argument("--sites", type=int, default=scaled(20, 8))
+    parser.add_argument("--documents", type=int, default=scaled(2000, 400))
     args = parser.parse_args()
 
     header = (f"{'farm size':>10} | {'method':>14} | {'farm mass':>10} | "
@@ -43,8 +44,8 @@ def main() -> None:
             graph, LinkFarmSpec(n_pages=farm_size, hijacked_links=5),
             rng=np.random.default_rng(farm_size))
 
-        flat = flat_pagerank_ranking(graph)
-        layered = layered_docrank(graph)
+        flat = Ranker(RankingConfig(method="flat")).fit(graph)
+        layered = Ranker(RankingConfig(method="layered")).fit(graph)
         rows = [
             spam_impact("flat PageRank", flat.scores_by_doc_id(),
                         flat.top_k(graph.n_documents), farm.farm_doc_ids),

@@ -24,13 +24,20 @@ contribution:
   metrics, a small IR substrate, and serialisation helpers;
 * :mod:`repro.serving` — the online query-serving layer: sharded score
   store, lazy top-k engine, LRU result cache, the :class:`RankingService`
-  facade and a JSON-over-HTTP endpoint.
+  facade and a JSON-over-HTTP endpoint;
+* :mod:`repro.api` — the unified public surface: the declarative
+  :class:`RankingConfig`, the pluggable method registry, and the
+  :class:`Ranker` facade whose adapters drive all of the above from one
+  config object.
 
 Quickstart::
 
-    from repro.core import example_lmm, layered_ranking
-    result = layered_ranking(example_lmm())
-    print(result.top_k(3))
+    from repro import Ranker, RankingConfig
+    from repro.graphgen import generate_synthetic_web
+
+    web = generate_synthetic_web(n_sites=10, n_documents=500)
+    result = Ranker(RankingConfig(method="layered")).fit(web)
+    print(result.top_k_urls(3))
 """
 
 from .core import (
@@ -59,9 +66,22 @@ from .serving import (
     TopKEngine,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+from .api import (  # noqa: E402  (api imports the layers above)
+    Ranker,
+    RankingConfig,
+    RankingResult,
+    available_methods,
+    register_method,
+)
 
 __all__ = [
+    "Ranker",
+    "RankingConfig",
+    "RankingResult",
+    "available_methods",
+    "register_method",
     "LayeredMarkovModel",
     "Phase",
     "approach_1",

@@ -1,0 +1,52 @@
+"""Warn-once deprecation plumbing for the pre-1.2 entry points.
+
+As of 1.2, :mod:`repro.api` replaces the kwargs-heavy legacy entry
+points — ``layered_docrank(docgraph, damping, executor=, n_jobs=, warm=)``,
+direct ``IncrementalLayeredRanker(...)`` construction, and friends — with a
+declarative :class:`~repro.api.RankingConfig` plus one
+:class:`~repro.api.Ranker` facade.  The old entry points keep working for
+one more minor release (removal scheduled for 1.3), but announce their
+replacement through this module.
+
+Each entry point warns exactly once per process: the warning is a
+migration nudge, not a log line, and a tight loop over ``layered_docrank``
+should not drown the caller in repeats.  This module deliberately imports
+nothing from the rest of the package so any layer can use it without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_WARNED: Set[str] = set()
+
+
+def warn_deprecated(name: str, replacement: str, *,
+                    stacklevel: int = 3) -> None:
+    """Emit one :class:`DeprecationWarning` for *name* per process.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the deprecated entry point (also the once-per-process
+        deduplication key).
+    replacement:
+        What callers should migrate to, mentioned verbatim in the message.
+    stacklevel:
+        Passed to :func:`warnings.warn` so the warning points at the
+        caller of the shim, not at the shim itself.
+    """
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated and will be removed in a future release; "
+        f"use {replacement} instead",
+        DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which entry points already warned (test isolation hook)."""
+    _WARNED.clear()

@@ -102,6 +102,28 @@ def ensure_distribution(vector, *, atol: float = DEFAULT_ATOL,
     return arr
 
 
+def ensure_damping(value, *, name: str = "damping") -> float:
+    """Validate a damping factor: a number strictly between 0 and 1.
+
+    Shared by the CLI (``--damping``) and the declarative config
+    (``RankingConfig.damping``/``site_damping``).  Adds non-numeric-input
+    coercion on top of :func:`ensure_probability`, which owns the actual
+    open-interval range rule.
+    """
+    try:
+        damping = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"{name} must be a number strictly between 0 and 1, "
+            f"got {value!r}") from None
+    try:
+        return ensure_probability(damping, name=name, inclusive=False)
+    except ValidationError:
+        raise ValidationError(
+            f"{name} must be strictly between 0 and 1, got {value!r}"
+        ) from None
+
+
 def ensure_probability(value: float, *, name: str = "value",
                        inclusive: bool = True) -> float:
     """Validate that a scalar lies in [0, 1] (or (0, 1) when not inclusive)."""

@@ -1,0 +1,66 @@
+"""The unified public API: declarative config, method registry, one facade.
+
+The package's primary surface as of 1.2.  Three pieces:
+
+* :class:`RankingConfig` — a validated, frozen, serialisable description
+  of a whole ranking deployment (method, damping, tolerance, executor
+  backend, warm-start policy, serving/distributed options) with JSON and
+  TOML round-trip via :mod:`repro.io`;
+* the **method registry** — ranking algorithms as discoverable plugins
+  (:func:`register_method` / :func:`available_methods`); the built-ins
+  ``"layered"``, ``"flat"`` (alias ``"pagerank"``), ``"blockrank"`` and
+  ``"hits"`` register themselves on import;
+* :class:`Ranker` — the fluent facade: ``Ranker(config).fit(docgraph)``
+  returns a unified :class:`RankingResult` (scores, ``top_k``,
+  provenance, timings), and the ``.incremental()`` / ``.distributed()`` /
+  ``.serve()`` adapters construct the incremental ranker, the peer
+  simulation, and the query service from the same config.
+
+Quickstart::
+
+    from repro.api import Ranker, RankingConfig
+    from repro.graphgen import generate_synthetic_web
+
+    web = generate_synthetic_web(n_sites=10, n_documents=500)
+    result = Ranker(RankingConfig(method="layered", executor="auto")).fit(web)
+    print(result.top_k_urls(5))
+
+The pre-1.2 entry points (``repro.web.layered_docrank`` and friends) keep
+working for one more minor release behind :class:`DeprecationWarning`
+shims; they are scheduled for removal in 1.3.
+"""
+
+from .config import (
+    ARCHITECTURE_CHOICES,
+    EXECUTOR_CHOICES,
+    PARTITION_POLICY_CHOICES,
+    RULE_CHOICES,
+    RankingConfig,
+)
+from .registry import (
+    RankingMethod,
+    available_methods,
+    get_method,
+    register_method,
+    resolve_method_name,
+    unregister_method,
+)
+from . import methods as _builtin_methods  # noqa: F401  (registers built-ins)
+from .ranker import Ranker
+from .result import RankingResult
+
+__all__ = [
+    "ARCHITECTURE_CHOICES",
+    "EXECUTOR_CHOICES",
+    "PARTITION_POLICY_CHOICES",
+    "RULE_CHOICES",
+    "RankingConfig",
+    "RankingMethod",
+    "available_methods",
+    "get_method",
+    "register_method",
+    "resolve_method_name",
+    "unregister_method",
+    "Ranker",
+    "RankingResult",
+]

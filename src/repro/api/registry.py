@@ -1,0 +1,127 @@
+"""The pluggable ranking-method registry.
+
+Ranking algorithms used to be hard-coded call sites: the CLI dispatched on
+``--method`` strings, the benchmarks imported each algorithm by hand, and
+adding a scheme meant touching every layer.  The registry turns them into
+discoverable plugins with one shared signature::
+
+    @register_method("my-scheme")
+    def my_scheme(docgraph, config, *, executor=None, n_jobs=None,
+                  warm=None, **options):
+        ...
+        return WebRankingResult(...)
+
+Every method receives the :class:`~repro.web.docgraph.DocGraph` to rank and
+the :class:`~repro.api.RankingConfig` driving the run; the keyword
+arguments carry the engine backend (resolved by the caller from the
+config), optional warm-start state, and any method-specific extras the
+caller forwarded (e.g. personalisation vectors for the layered method).
+Methods that have no use for a given keyword simply ignore it.
+
+The built-in methods — ``"layered"``, ``"flat"`` (alias ``"pagerank"``),
+``"blockrank"``, ``"hits"`` — are registered by :mod:`repro.api.methods`
+at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..exceptions import ValidationError
+
+#: Signature every registered method implements:
+#: ``fn(docgraph, config, *, executor=None, n_jobs=None, warm=None, **options)``
+#: returning a :class:`~repro.web.pipeline.WebRankingResult`.
+RankingMethod = Callable[..., object]
+
+_REGISTRY: Dict[str, RankingMethod] = {}
+
+#: Alias name -> canonical name (e.g. ``"pagerank"`` -> ``"flat"``).
+_ALIASES: Dict[str, str] = {}
+
+
+def register_method(name: str, *, aliases: tuple = (),
+                    uses_engine: bool = True
+                    ) -> Callable[[RankingMethod], RankingMethod]:
+    """Class of decorators that add a ranking method to the registry.
+
+    Parameters
+    ----------
+    name:
+        Canonical method name (the value of ``RankingConfig.method``).
+    aliases:
+        Additional names resolving to the same method.
+    uses_engine:
+        Whether the method schedules work through the execution engine
+        (i.e. honours the ``executor``/``n_jobs`` keywords).  Single-
+        vector methods that run inline should pass ``False`` so the
+        facade neither builds an executor for them nor records one in
+        the result's provenance.
+
+    Raises
+    ------
+    ValidationError
+        If *name* (or an alias) is already registered — shadowing an
+        existing method silently is exactly the kind of action-at-a-
+        distance the registry exists to prevent.
+    """
+    if not name or not isinstance(name, str):
+        raise ValidationError("method name must be a non-empty string")
+
+    def decorator(fn: RankingMethod) -> RankingMethod:
+        for candidate in (name, *aliases):
+            if candidate in _REGISTRY or candidate in _ALIASES:
+                raise ValidationError(
+                    f"ranking method {candidate!r} is already registered; "
+                    f"unregister it first to replace it")
+        fn.uses_engine = uses_engine
+        _REGISTRY[name] = fn
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return fn
+
+    return decorator
+
+
+def unregister_method(name: str) -> None:
+    """Remove a method or alias name; no-op when absent.
+
+    Exists so tests and downstream plugins can replace a method without
+    tripping the duplicate-registration guard.  Given a canonical name,
+    the method and every alias pointing at it are removed; given an alias,
+    only that alias is removed (the canonical method survives).
+    """
+    if name in _ALIASES:
+        del _ALIASES[name]
+        return
+    _REGISTRY.pop(name, None)
+    for alias in [a for a, target in _ALIASES.items() if target == name]:
+        del _ALIASES[alias]
+
+
+def resolve_method_name(name: str) -> str:
+    """Canonicalise *name* through the alias table (no existence check)."""
+    return _ALIASES.get(name, name)
+
+
+def get_method(name: str) -> RankingMethod:
+    """Look up a registered method by name or alias.
+
+    Raises
+    ------
+    ValidationError
+        If no such method exists; the message lists what is available so a
+        typo in a config file is a one-glance fix.
+    """
+    canonical = resolve_method_name(name)
+    try:
+        return _REGISTRY[canonical]
+    except KeyError:
+        raise ValidationError(
+            f"unknown ranking method {name!r}; available methods: "
+            f"{', '.join(available_methods())}") from None
+
+
+def available_methods() -> List[str]:
+    """Sorted canonical names of every registered method."""
+    return sorted(_REGISTRY)

@@ -4,55 +4,230 @@ Sub-commands
 ------------
 
 ``rank``
-    Rank a web graph (URL edge list or a generated synthetic web) with the
-    layered method, flat PageRank, or both, and print the top-k documents.
+    Rank a web graph (URL edge list or a generated synthetic web) with any
+    registered ranking method and print the top-k documents.  The run can
+    be driven entirely by a config file: ``repro rank --config ranking.toml``.
 
 ``generate``
     Generate a synthetic web (``campus`` or ``hierarchical``) and write it
     as a lossless DocGraph file (readable by ``rank --format docgraph``).
 
 ``compare``
-    Rank a graph with both methods and report their agreement (Kendall tau,
-    top-k overlap) plus, for generated campus webs, the farm contamination
-    of each top list.
+    Rank a graph with both the layered method and flat PageRank and report
+    their agreement (Kendall tau, top-k overlap) plus, for generated campus
+    webs, the farm contamination of each top list.
 
 ``example``
     Print the paper's 12-state worked example (Figure 2 reproduction).
 
 ``serve``
     Rank a web graph and expose it over the JSON/HTTP query endpoint
-    (:mod:`repro.serving.httpd`).
+    (:mod:`repro.serving.httpd`).  ``--state PATH`` persists the engine's
+    warm-start vectors so a restarted server resumes its power iterations
+    from the previous run.
 
 ``query``
     Rank a web graph, build the serving stack in-process and answer one or
     more free-text queries with the combined (text + link) ranking.
 
+``config``
+    Inspect (``config show``) and validate (``config validate PATH``)
+    declarative ranking configs (:class:`repro.api.RankingConfig`, JSON or
+    TOML).
+
+Every ranking sub-command is a thin shell over :class:`repro.api.Ranker`:
+CLI flags build (or override) a :class:`~repro.api.RankingConfig`, and the
+facade does the rest.  Flags given explicitly on the command line win over
+values from ``--config``; config-file values win over built-in defaults.
+
 All numeric output is deterministic for a fixed ``--seed``.  The graph
-sub-commands accept ``--jobs N`` to run the layered rank computation on a
-process pool of N workers (through :mod:`repro.engine`); the default of 1
-keeps the serial reference path and N > 1 produces identical scores.
-Errors (bad input paths, malformed graph files, invalid parameters) print
-a message to stderr and exit with status 2.
+sub-commands accept ``--jobs N`` to run the rank computation on a process
+pool of N workers, or ``--jobs auto`` to let the engine pick a backend
+from its cost model; the default of 1 keeps the serial reference path and
+every backend produces identical scores.  Errors — bad input paths,
+malformed graph or config files, invalid parameter values — print one
+``error:`` line to stderr and exit with status 2 (argument *syntax* the
+parser itself cannot read still produces argparse's usage message, also
+with status 2).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from . import __version__
+from .api import Ranker, RankingConfig, available_methods, resolve_method_name
 from .core import all_approaches, example_lmm
-from .exceptions import ReproError
+from .exceptions import ReproError, ValidationError
 from .graphgen import generate_campus_web, generate_synthetic_web
 from .io import read_docgraph, read_url_edgelist, write_docgraph
 from .ir import synthesize_corpus
 from .metrics import kendall_tau, top_k_contamination, top_k_overlap
-from .serving import RankingHTTPServer, RankingService
-from .web import DocGraph, flat_pagerank_ranking, layered_docrank
+from .serving import RankingHTTPServer
+from .web import DocGraph
 
-#: Exit code of anticipated failures (bad paths, malformed inputs).
+#: Exit code of anticipated failures (bad paths, malformed inputs/values).
 EXIT_ERROR = 2
+
+#: Parser defaults, also used by the config merge as a fallback when the
+#: explicit-flag record is unavailable (handlers invoked outside main()).
+#: Derived from RankingConfig so the CLI cannot drift from the library.
+_CONFIG_DEFAULTS = RankingConfig()
+DEFAULT_DAMPING_ARG = _CONFIG_DEFAULTS.damping
+DEFAULT_JOBS_ARG = 1
+DEFAULT_CACHE_SIZE_ARG = _CONFIG_DEFAULTS.cache_size
+DEFAULT_RULE_ARG = _CONFIG_DEFAULTS.rule
+DEFAULT_WEIGHT_ARG = _CONFIG_DEFAULTS.weight
+
+#: Option strings whose presence on the command line makes them override a
+#: --config file (mapped to their argparse dest names).
+_OVERRIDE_FLAGS = {
+    "--method": "method",
+    "--damping": "damping",
+    "--jobs": "jobs",
+    "--cache-size": "cache_size",
+    "--rule": "rule",
+    "--weight": "weight",
+}
+
+
+def _explicit_flags(argv) -> set:
+    """Dest names of override flags literally present on the command line.
+
+    Comparing parsed values against parser defaults cannot distinguish
+    ``--damping 0.85`` (explicit, must beat the config file) from the flag
+    being absent (config file wins), so the merge needs the raw argv.
+    Both ``--flag value`` and ``--flag=value`` spellings are recognised;
+    the parsers are built with ``allow_abbrev=False`` so an abbreviated
+    spelling cannot slip past this scan.
+    """
+    explicit = set()
+    for token in argv:
+        if not isinstance(token, str):
+            continue
+        if token == "--":
+            break  # everything after the separator is positional
+        if token.startswith("--"):
+            dest = _OVERRIDE_FLAGS.get(token.split("=", 1)[0])
+            if dest is not None:
+                explicit.add(dest)
+    return explicit
+
+
+def _is_explicit(args: argparse.Namespace, dest: str, default) -> bool:
+    """Whether *dest* should override a --config file value."""
+    explicit = getattr(args, "_explicit", None)
+    if explicit is not None:
+        return dest in explicit
+    # Fallback for handlers driven outside main(): a value that differs
+    # from the parser default must have been given explicitly.
+    return getattr(args, dest) != default
+
+
+# --------------------------------------------------------------------- #
+# Centralised argument validation (uniform one-line errors, exit code 2)
+# --------------------------------------------------------------------- #
+def _parse_jobs(value) -> object:
+    """Normalise ``--jobs`` to a positive int or ``"auto"``.
+
+    Delegates the accepted grammar to the engine's
+    :func:`~repro.engine.executor.normalize_n_jobs`; this wrapper only
+    converts the CLI's string form to an int first.
+    """
+    from .engine.executor import normalize_n_jobs
+
+    parsed = value
+    if isinstance(value, str) and value != "auto":
+        try:
+            parsed = int(value)
+        except ValueError:
+            pass  # normalize_n_jobs produces the canonical error
+    try:
+        return normalize_n_jobs(parsed, name="--jobs")
+    except ValidationError:
+        raise ValidationError(
+            f"--jobs must be a positive integer or 'auto', got {value!r}"
+        ) from None
+
+
+def _parse_damping(value) -> float:
+    """Normalise ``--damping`` to a float in the open interval (0, 1)."""
+    from ._validation import ensure_damping
+
+    return ensure_damping(value, name="--damping")
+
+
+def _validate_args(args: argparse.Namespace) -> None:
+    """Semantic validation shared by every sub-command.
+
+    Runs before the handler so all value errors — whether argparse could
+    have caught them or not — take the same path: one ``error:`` line on
+    stderr and exit code :data:`EXIT_ERROR`.  Parsed values are written
+    back onto *args* (``--jobs``/``--damping`` arrive as strings so that
+    malformed numbers land here instead of in argparse's usage dump).
+    """
+    if hasattr(args, "jobs"):
+        args.jobs = _parse_jobs(args.jobs)
+    if hasattr(args, "damping"):
+        args.damping = _parse_damping(args.damping)
+    if getattr(args, "top", 1) < 1:
+        raise ValidationError(f"--top must be at least 1, got {args.top}")
+    if hasattr(args, "weight") and not 0.0 <= args.weight <= 1.0:
+        raise ValidationError(
+            f"--weight must be between 0 and 1, got {args.weight}")
+    if getattr(args, "cache_size", 1) < 1:
+        raise ValidationError(
+            f"--cache-size must be at least 1, got {args.cache_size}")
+
+
+# --------------------------------------------------------------------- #
+# Config assembly
+# --------------------------------------------------------------------- #
+def _ranking_config(args: argparse.Namespace, **extra) -> RankingConfig:
+    """Build the effective RankingConfig for a sub-command.
+
+    Precedence (lowest to highest): built-in defaults, the ``--config``
+    file, CLI flags given explicitly on the command line, *extra*.
+    """
+    if getattr(args, "config", None):
+        config = RankingConfig.load(args.config)
+    else:
+        config = RankingConfig()
+    changes = {}
+    if hasattr(args, "damping") and _is_explicit(args, "damping",
+                                                 DEFAULT_DAMPING_ARG):
+        changes["damping"] = args.damping
+    if hasattr(args, "jobs") and _is_explicit(args, "jobs", DEFAULT_JOBS_ARG):
+        if args.jobs == "auto":
+            # Preserve the config file's n_jobs as a worker cap on the
+            # adaptive pools — except an n_jobs of 1, which spelled
+            # "serial", not "cap the pools at one worker".
+            changes.update(executor="auto")
+            if config.n_jobs == 1:
+                changes.update(n_jobs=None)
+        elif args.jobs == 1:
+            changes.update(executor="serial", n_jobs=None)
+        else:
+            # An explicit worker count adjusts the config's pooled backend
+            # rather than replacing it: a file saying executor="threaded"
+            # keeps threads, only the worker count changes.  Process is
+            # the default only when the config has no pooled backend.
+            executor = (config.executor if config.executor != "serial"
+                        else "process")
+            changes.update(executor=executor, n_jobs=args.jobs)
+    if hasattr(args, "cache_size") and _is_explicit(args, "cache_size",
+                                                    DEFAULT_CACHE_SIZE_ARG):
+        changes["cache_size"] = args.cache_size
+    if hasattr(args, "rule") and _is_explicit(args, "rule", DEFAULT_RULE_ARG):
+        changes["rule"] = args.rule
+    if hasattr(args, "weight") and _is_explicit(args, "weight",
+                                                DEFAULT_WEIGHT_ARG):
+        changes["weight"] = args.weight
+    changes.update(extra)  # *extra* is the handler's word: highest precedence
+    return config.replace(**changes) if changes else config
 
 
 def _load_graph(args: argparse.Namespace) -> DocGraph:
@@ -80,23 +255,31 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sites", type=int, default=20)
     parser.add_argument("--documents", type=int, default=2000)
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes for the layered rank "
-                             "computation (default: 1, serial — results "
-                             "are identical for any N)")
+    parser.add_argument("--jobs", default=DEFAULT_JOBS_ARG, metavar="N",
+                        help="worker processes for the rank computation "
+                             "(default: 1, serial; 'auto' lets the engine "
+                             "pick a backend — results are identical "
+                             "either way)")
+    parser.add_argument("--config", metavar="PATH",
+                        help="RankingConfig file (.json or .toml) driving "
+                             "the run; explicit flags override it")
 
 
 def _command_rank(args: argparse.Namespace) -> int:
+    config = _ranking_config(args)
     graph = _load_graph(args)
     print(f"graph: {graph.n_documents} documents, {graph.n_links} links, "
           f"{graph.n_sites} sites")
-    methods = (["layered", "pagerank"] if args.method == "both"
-               else [args.method])
+    if args.method == "both":
+        methods = ["layered", "pagerank"]
+    elif _is_explicit(args, "method", "layered"):
+        methods = [args.method]
+    else:
+        # --method left at its default: defer to the config file's method
+        # (which itself defaults to "layered").
+        methods = [config.method]
     for method in methods:
-        result = (layered_docrank(graph, damping=args.damping,
-                                  n_jobs=args.jobs)
-                  if method == "layered"
-                  else flat_pagerank_ranking(graph, damping=args.damping))
+        result = Ranker(config.replace(method=method)).fit(graph)
         print(f"\ntop-{args.top} by {method}:")
         for rank, url in enumerate(result.top_k_urls(args.top), start=1):
             print(f"  {rank:3d}. {url}")
@@ -119,6 +302,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
+    config = _ranking_config(args)
     campus = None
     if args.input is None and args.generate == "campus":
         campus = generate_campus_web(n_sites=args.sites,
@@ -127,8 +311,8 @@ def _command_compare(args: argparse.Namespace) -> int:
         graph = campus.docgraph
     else:
         graph = _load_graph(args)
-    layered = layered_docrank(graph, damping=args.damping, n_jobs=args.jobs)
-    flat = flat_pagerank_ranking(graph, damping=args.damping)
+    layered = Ranker(config.replace(method="layered")).fit(graph)
+    flat = Ranker(config.replace(method="pagerank")).fit(graph)
     tau = kendall_tau(layered.scores_by_doc_id(), flat.scores_by_doc_id())
     overlap = top_k_overlap(layered.top_k(args.top), flat.top_k(args.top),
                             args.top)
@@ -145,17 +329,30 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 def _build_service(args: argparse.Namespace):
     """Rank the selected graph and wrap it in a RankingService."""
+    state_path = getattr(args, "state", None)
+    config = _ranking_config(args, warm_start=True) if state_path \
+        else _ranking_config(args)
+    if state_path and resolve_method_name(config.method) != "layered":
+        # Only the layered method records/consumes warm-start vectors; a
+        # silent no-op state file would falsely promise resumption.
+        raise ValidationError(
+            f"--state requires the layered method (method="
+            f"{config.method!r} records no warm-start vectors)")
     graph = _load_graph(args)
-    ranking = layered_docrank(graph, damping=args.damping, n_jobs=args.jobs)
+    ranker = Ranker(config)
+    if state_path and os.path.exists(state_path):
+        ranker.load_state(state_path)
+        print(f"resuming power iterations from {state_path}")
+    ranker.fit(graph)
+    if state_path:
+        ranker.save_state(state_path)
     corpus = synthesize_corpus(graph, seed=args.seed)
-    service = RankingService.from_ranking(ranking, graph, corpus=corpus,
-                                          cache_size=args.cache_size,
-                                          rule=args.rule, weight=args.weight)
-    return graph, service
+    service = ranker.serve(corpus=corpus)
+    return graph, service, config
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    graph, service = _build_service(args)
+    graph, service, _config = _build_service(args)
     server = RankingHTTPServer(service, host=args.host, port=args.port,
                                verbose=args.verbose)
     print(f"graph: {graph.n_documents} documents over {graph.n_sites} sites")
@@ -177,11 +374,12 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    graph, service = _build_service(args)
+    graph, service, config = _build_service(args)
     print(f"graph: {graph.n_documents} documents over {graph.n_sites} sites")
     batches = service.query_many(args.queries, args.top)
     for text, hits in zip(args.queries, batches):
-        print(f"\ntop-{args.top} for {text!r} ({args.rule} combination):")
+        # config.rule, not args.rule: a --config file may set the rule.
+        print(f"\ntop-{args.top} for {text!r} ({config.rule} combination):")
         if not hits:
             print("  (no matching documents)")
         for rank, hit in enumerate(hits, start=1):
@@ -207,25 +405,52 @@ def _command_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_config_show(args: argparse.Namespace) -> int:
+    if args.config:
+        config = RankingConfig.load(args.config)
+        print(f"# effective config from {args.config}")
+    else:
+        config = RankingConfig()
+        print("# built-in defaults (repro.api.RankingConfig())")
+    print(f"# registered methods: {', '.join(available_methods())}")
+    print(config.to_toml(), end="")
+    return 0
+
+
+def _command_config_validate(args: argparse.Namespace) -> int:
+    config = RankingConfig.load(args.path)
+    config.require_method()  # unknown methods must fail validation too
+    print(f"ok: {args.path} is a valid ranking config "
+          f"(method={config.method!r}, executor={config.executor!r})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for tests)."""
+    # allow_abbrev=False everywhere: an abbreviated flag (--dampi) must not
+    # parse silently, both for predictability and because the config merge
+    # identifies explicit flags by their full option strings.
     parser = argparse.ArgumentParser(
-        prog="repro",
+        prog="repro", allow_abbrev=False,
         description="Layered Markov Model web ranking (Wu & Aberer, ICDCS 2005)")
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    rank = subparsers.add_parser("rank", help="rank a web graph")
+    rank = subparsers.add_parser("rank", allow_abbrev=False, help="rank a web graph")
     _add_graph_arguments(rank)
-    rank.add_argument("--method", choices=["layered", "pagerank", "both"],
-                      default="layered")
+    rank.add_argument("--method",
+                      choices=[*available_methods(), "pagerank", "both"],
+                      default="layered",
+                      help="registered ranking method, or 'both' for "
+                           "layered + pagerank side by side (when omitted, "
+                           "a --config file's method applies)")
     rank.add_argument("--top", type=int, default=15)
-    rank.add_argument("--damping", type=float, default=0.85)
+    rank.add_argument("--damping", default=DEFAULT_DAMPING_ARG)
     rank.set_defaults(handler=_command_rank)
 
     generate = subparsers.add_parser("generate",
-                                     help="generate a synthetic web graph")
+                                     allow_abbrev=False, help="generate a synthetic web graph")
     generate.add_argument("kind", choices=["campus", "hierarchical"])
     generate.add_argument("output", help="path of the DocGraph file to write")
     generate.add_argument("--sites", type=int, default=20)
@@ -234,30 +459,31 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(handler=_command_generate)
 
     compare = subparsers.add_parser(
-        "compare", help="compare the layered ranking with flat PageRank")
+        "compare", allow_abbrev=False, help="compare the layered ranking with flat PageRank")
     _add_graph_arguments(compare)
     compare.add_argument("--top", type=int, default=15)
-    compare.add_argument("--damping", type=float, default=0.85)
+    compare.add_argument("--damping", default=DEFAULT_DAMPING_ARG)
     compare.set_defaults(handler=_command_compare)
 
     example = subparsers.add_parser(
-        "example", help="print the paper's 12-state worked example")
-    example.add_argument("--damping", type=float, default=0.85)
+        "example", allow_abbrev=False, help="print the paper's 12-state worked example")
+    example.add_argument("--damping", default=DEFAULT_DAMPING_ARG)
     example.set_defaults(handler=_command_example)
 
     def _add_serving_arguments(sub: argparse.ArgumentParser) -> None:
         _add_graph_arguments(sub)
-        sub.add_argument("--damping", type=float, default=0.85)
-        sub.add_argument("--cache-size", type=int, default=1024,
+        sub.add_argument("--damping", default=DEFAULT_DAMPING_ARG)
+        sub.add_argument("--cache-size", type=int,
+                         default=DEFAULT_CACHE_SIZE_ARG,
                          help="capacity of the query result cache")
         sub.add_argument("--rule", choices=["linear", "rrf"],
-                         default="linear",
+                         default=DEFAULT_RULE_ARG,
                          help="query/link combination rule")
-        sub.add_argument("--weight", type=float, default=0.5,
+        sub.add_argument("--weight", type=float, default=DEFAULT_WEIGHT_ARG,
                          help="λ of the linear combination")
 
     serve = subparsers.add_parser(
-        "serve", help="serve ranking queries over JSON/HTTP")
+        "serve", allow_abbrev=False, help="serve ranking queries over JSON/HTTP")
     _add_serving_arguments(serve)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000,
@@ -265,17 +491,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None,
                        help="serve for N seconds then exit "
                             "(default: until interrupted)")
+    serve.add_argument("--state", metavar="PATH",
+                       help="warm-start state file: loaded on startup when "
+                            "present, written after ranking, so a restarted "
+                            "server resumes its power iterations")
     serve.add_argument("--verbose", action="store_true",
                        help="log requests to stderr")
     serve.set_defaults(handler=_command_serve)
 
     query = subparsers.add_parser(
-        "query", help="answer text queries with combined text+link ranking")
+        "query", allow_abbrev=False, help="answer text queries with combined text+link ranking")
     _add_serving_arguments(query)
     query.add_argument("queries", nargs="+", metavar="QUERY",
                        help="free-text queries (answered as one batch)")
     query.add_argument("--top", type=int, default=10)
     query.set_defaults(handler=_command_query)
+
+    config = subparsers.add_parser(
+        "config", allow_abbrev=False, help="inspect and validate ranking configs")
+    config_sub = config.add_subparsers(dest="config_command", required=True)
+    show = config_sub.add_parser(
+        "show", allow_abbrev=False, help="print the effective config as TOML")
+    show.add_argument("--config", metavar="PATH",
+                      help="config file to show (built-in defaults when "
+                           "omitted)")
+    show.set_defaults(handler=_command_config_show)
+    validate = config_sub.add_parser(
+        "validate", allow_abbrev=False, help="check a config file and exit 0 if it is usable")
+    validate.add_argument("path", help="config file (.json or .toml)")
+    validate.set_defaults(handler=_command_config_validate)
 
     return parser
 
@@ -284,12 +528,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
     Anticipated failures — missing or malformed input files, invalid
-    graphs or parameters — print one ``error:`` line to stderr and return
-    :data:`EXIT_ERROR` instead of dumping a traceback.
+    graphs, configs or parameter values — print one ``error:`` line to
+    stderr and return :data:`EXIT_ERROR` instead of dumping a traceback.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    args._explicit = _explicit_flags(sys.argv[1:] if argv is None else argv)
     try:
+        _validate_args(args)
         return args.handler(args)
     except (OSError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)

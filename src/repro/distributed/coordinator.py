@@ -25,7 +25,7 @@ from typing import Dict, List, Literal, Optional
 import numpy as np
 
 from .._validation import normalize_distribution
-from ..engine.executor import Executor, resolve_executor
+from ..engine.executor import Executor, resolve_executor, warmup_for
 from ..engine.plan import execute_tasks, site_tasks_for
 from ..exceptions import SimulationError
 from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
@@ -215,9 +215,9 @@ class DistributedRankingCoordinator:
         try:
             # Spin up any worker pool outside the timed region, so the
             # measured wall-clock describes the batch, not pool start-up.
-            resolved.warmup()
-            results, measured_wall = execute_tasks(
-                [task for _peer, task in schedule], executor=resolved)
+            batch = [task for _peer, task in schedule]
+            warmup_for(resolved, batch)
+            results, measured_wall = execute_tasks(batch, executor=resolved)
             executor_name = resolved.name
         finally:
             if owned:
@@ -374,7 +374,18 @@ def distributed_layered_docrank(docgraph: DocGraph, *, n_peers: int = 8,
                                 executor: Optional[Executor] = None,
                                 n_jobs: Optional[int] = None,
                                 ) -> SimulationReport:
-    """One-call convenience wrapper around :class:`DistributedRankingCoordinator`."""
+    """One-call convenience wrapper around :class:`DistributedRankingCoordinator`.
+
+    Deprecated 1.x entry point: prefer
+    ``repro.api.Ranker(config).distributed(docgraph)``, which builds the
+    coordinator from the same declarative config that drives every other
+    deployment mode.  This shim forwards unchanged (and warns once per
+    process) for one release.
+    """
+    from .._deprecation import warn_deprecated
+
+    warn_deprecated("repro.distributed.distributed_layered_docrank",
+                    "repro.api.Ranker(config).distributed(docgraph)")
     coordinator = DistributedRankingCoordinator(
         docgraph, n_peers=n_peers, architecture=architecture,
         partition_policy=partition_policy, network=network, damping=damping,

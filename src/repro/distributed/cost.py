@@ -21,16 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..engine.adaptive import power_method_flops  # noqa: F401  (re-export)
 from ..exceptions import ValidationError
 from ..web.docgraph import DocGraph
 from ..web.sitegraph import aggregate_sitegraph
-
-
-def power_method_flops(n: int, nnz: int, iterations: int) -> float:
-    """Estimated flops of an ``iterations``-step power method run."""
-    if n < 0 or nnz < 0 or iterations < 0:
-        raise ValidationError("n, nnz and iterations must be non-negative")
-    return float(iterations) * (2.0 * nnz + 5.0 * n)
 
 
 @dataclass

@@ -11,7 +11,10 @@ compute layer of the repository:
   the 5-step layered method (concurrent steps 3/4, composing barrier at
   step 5);
 * :mod:`repro.engine.warm` — warm-start state so power iterations resume
-  from previously converged vectors instead of restarting from uniform.
+  from previously converged vectors instead of restarting from uniform;
+* :mod:`repro.engine.adaptive` — cost-model-driven backend selection:
+  ``n_jobs="auto"`` prices each batch (task nnz × expected iterations) and
+  picks serial / threaded / process per batch.
 
 The centralized pipeline (:func:`repro.web.pipeline.layered_docrank`), the
 incremental ranker, the distributed simulator and the serving layer all
@@ -19,6 +22,15 @@ schedule their work through this package; the determinism-guard tests pin
 down that every backend produces bitwise-identical rankings.
 """
 
+from .adaptive import (
+    AutoExecutor,
+    auto_executor,
+    batch_flops,
+    expected_iterations,
+    power_method_flops,
+    select_backend,
+    task_flops,
+)
 from .executor import (
     BACKENDS,
     Executor,
@@ -27,7 +39,9 @@ from .executor import (
     ThreadedExecutor,
     default_n_jobs,
     make_executor,
+    normalize_n_jobs,
     resolve_executor,
+    warmup_for,
 )
 from .plan import (
     LocalRankTask,
@@ -42,6 +56,13 @@ from .plan import (
 from .warm import WarmStartState, align_warm_start
 
 __all__ = [
+    "AutoExecutor",
+    "auto_executor",
+    "batch_flops",
+    "expected_iterations",
+    "power_method_flops",
+    "select_backend",
+    "task_flops",
     "BACKENDS",
     "Executor",
     "ProcessExecutor",
@@ -49,7 +70,9 @@ __all__ = [
     "ThreadedExecutor",
     "default_n_jobs",
     "make_executor",
+    "normalize_n_jobs",
     "resolve_executor",
+    "warmup_for",
     "LocalRankTask",
     "PlanExecution",
     "RankingPlan",

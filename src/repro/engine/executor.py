@@ -43,6 +43,23 @@ def default_n_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def normalize_n_jobs(value, *, name: str = "n_jobs"):
+    """The single source of truth for what an ``n_jobs`` value may be.
+
+    Returns the value as a positive ``int`` or the string ``"auto"``;
+    raises :class:`ValidationError` otherwise.  The CLI (``--jobs``), the
+    declarative config (``RankingConfig.n_jobs``) and
+    :func:`resolve_executor` all funnel through this so the accepted
+    grammar and its error message cannot drift apart.
+    """
+    if value == "auto":
+        return "auto"
+    if isinstance(value, int) and not isinstance(value, bool) and value >= 1:
+        return value
+    raise ValidationError(
+        f"{name} must be a positive integer or 'auto', got {value!r}")
+
+
 @runtime_checkable
 class Executor(Protocol):
     """Protocol of an execution backend.
@@ -64,13 +81,15 @@ class Executor(Protocol):
         """Apply *fn* to every item; results align with *items*."""
         ...
 
-    def warmup(self) -> None:
+    def warmup(self, tasks: Optional[Sequence] = None) -> None:
         """Start any worker pool now instead of lazily at the first map.
 
         Pool start-up (thread creation, worker process spawn) otherwise
         lands inside the first batch's wall-clock; callers that *measure*
         batches — the benchmarks and the distributed simulator — warm up
-        first so timings describe the work, not the pool.
+        first so timings describe the work, not the pool.  *tasks* (the
+        batch about to run) lets adaptive backends warm only the pool
+        that batch will actually use; fixed backends ignore it.
         """
         ...
 
@@ -85,7 +104,7 @@ class _BaseExecutor:
     name = "base"
     n_jobs = 1
 
-    def warmup(self) -> None:
+    def warmup(self, tasks: Optional[Sequence] = None) -> None:
         pass
 
     def close(self) -> None:  # pragma: no cover - overridden where non-trivial
@@ -135,7 +154,7 @@ class ThreadedExecutor(_BaseExecutor):
         self._pool: Optional[ThreadPoolExecutor] = None
         self._closed = False
 
-    def warmup(self) -> None:
+    def warmup(self, tasks: Optional[Sequence] = None) -> None:
         self._ensure_pool()
 
     def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
@@ -179,7 +198,7 @@ class ProcessExecutor(_BaseExecutor):
         self._pool: Optional[ProcessPoolExecutor] = None
         self._closed = False
 
-    def warmup(self) -> None:
+    def warmup(self, tasks: Optional[Sequence] = None) -> None:
         # Run one trivial round trip so the workers actually exist (the
         # pool object alone spawns processes lazily on first use).
         list(self._ensure_pool().map(abs, [-1]))
@@ -209,6 +228,31 @@ class ProcessExecutor(_BaseExecutor):
             self._pool = None
 
 
+def warmup_for(executor: "Executor", tasks: Sequence) -> None:
+    """Warm an executor for a pending batch, tolerating older executors.
+
+    The 1.1 Executor protocol's ``warmup()`` took no arguments; 1.2 added
+    the optional batch so adaptive backends warm only the pool the batch
+    will use.  Callers that hold an *arbitrary* executor (the distributed
+    coordinator accepts user-supplied ones) go through this helper, which
+    falls back to the zero-argument spelling for pre-1.2 implementations.
+    The spelling is chosen by signature inspection, not by catching
+    ``TypeError`` — a ``TypeError`` raised *inside* a warmup body must
+    propagate, not silently degrade to a no-warmup retry.
+    """
+    import inspect
+
+    try:
+        accepts_batch = bool(
+            inspect.signature(executor.warmup).parameters)
+    except (TypeError, ValueError):  # builtins/C callables: assume current
+        accepts_batch = True
+    if accepts_batch:
+        executor.warmup(tasks)
+    else:
+        executor.warmup()
+
+
 #: Backend names accepted by :func:`resolve_executor`.
 BACKENDS = ("serial", "threaded", "process")
 
@@ -236,6 +280,10 @@ def resolve_executor(executor: Optional[Executor] = None,
     * ``n_jobs`` of ``None``/``1`` selects the serial reference backend —
       existing callers that pass neither parameter keep their exact
       behaviour and determinism;
+    * ``n_jobs="auto"`` selects the adaptive backend
+      (:class:`~repro.engine.adaptive.AutoExecutor`), which prices every
+      batch with the plan's cost model and picks serial / threaded /
+      process per batch;
     * ``n_jobs > 1`` creates a *backend* executor (process pool by
       default, the backend that beats the GIL for rank computation) owned
       by the caller.
@@ -251,6 +299,8 @@ def resolve_executor(executor: Optional[Executor] = None,
         return executor, False
     if n_jobs is None or n_jobs == 1:
         return SerialExecutor(), True
-    if n_jobs < 1:
-        raise ValidationError("n_jobs must be at least 1")
+    n_jobs = normalize_n_jobs(n_jobs)
+    if n_jobs == "auto":
+        from .adaptive import AutoExecutor
+        return AutoExecutor(), True
     return make_executor(backend, n_jobs), True

@@ -19,9 +19,11 @@ state in its own result cache.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..exceptions import ValidationError
 
 
 def align_warm_start(previous_doc_ids: Sequence[int],
@@ -122,6 +124,62 @@ class WarmStartState:
             return None
         previous_sites, vector = self._siterank
         return align_warm_start(previous_sites, vector, sites)
+
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.io.save_warm_state / load_warm_state)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable snapshot of every cached vector.
+
+        The snapshot is value-only (ids and floats), so a restarted
+        process can rebuild the state with :meth:`from_dict` and resume
+        power iterations from the previous run's vectors.
+        """
+        return {
+            "sites": {
+                site: {"doc_ids": list(doc_ids), "vector": vector.tolist()}
+                for site, (doc_ids, vector) in self._site_vectors.items()
+            },
+            "siterank": None if self._siterank is None else {
+                "sites": list(self._siterank[0]),
+                "vector": self._siterank[1].tolist(),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WarmStartState":
+        """Rebuild a state from a :meth:`to_dict` snapshot."""
+        if not isinstance(payload, dict) or not isinstance(
+                payload.get("sites"), dict):
+            raise ValidationError(
+                "warm-start snapshot must be a dict with a 'sites' table")
+        state = cls()
+        for site, entry in payload["sites"].items():
+            try:
+                doc_ids = [int(doc_id) for doc_id in entry["doc_ids"]]
+                vector = np.asarray(entry["vector"], dtype=float)
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValidationError(
+                    f"malformed warm-start entry for site {site!r}: {error}"
+                ) from None
+            if len(doc_ids) != vector.size:
+                raise ValidationError(
+                    f"warm-start entry for site {site!r} has "
+                    f"{len(doc_ids)} doc_ids but {vector.size} values")
+            state.record_local(site, doc_ids, vector)
+        siterank = payload.get("siterank")
+        if siterank is not None:
+            try:
+                sites = [str(site) for site in siterank["sites"]]
+                vector = np.asarray(siterank["vector"], dtype=float)
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValidationError(
+                    f"malformed warm-start SiteRank entry: {error}") from None
+            if len(sites) != vector.size:
+                raise ValidationError(
+                    "warm-start SiteRank entry has mismatched lengths")
+            state.record_siterank(sites, vector)
+        return state
 
     # ------------------------------------------------------------------ #
     @property

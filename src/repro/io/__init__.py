@@ -1,5 +1,13 @@
-"""I/O helpers: edge lists, JSON serialisation, bundled toy datasets."""
+"""I/O helpers: edge lists, JSON/TOML serialisation, bundled toy datasets."""
 
+from .config_io import (
+    CONFIG_SUFFIXES,
+    TOML_READ_AVAILABLE,
+    dumps_toml,
+    load_config_mapping,
+    loads_toml,
+    save_config_mapping,
+)
 from .datasets import SPAMMY_WEB_EDGES, TOY_WEB_EDGES, spammy_web, toy_web
 from .edgelist import (
     iter_url_edges,
@@ -11,11 +19,19 @@ from .edgelist import (
 from .serialization import (
     experiment_rows_to_markdown,
     load_json,
+    load_warm_state,
     ranking_to_dict,
     save_json,
+    save_warm_state,
 )
 
 __all__ = [
+    "CONFIG_SUFFIXES",
+    "TOML_READ_AVAILABLE",
+    "dumps_toml",
+    "load_config_mapping",
+    "loads_toml",
+    "save_config_mapping",
     "SPAMMY_WEB_EDGES",
     "TOY_WEB_EDGES",
     "spammy_web",
@@ -27,6 +43,8 @@ __all__ = [
     "write_url_edgelist",
     "experiment_rows_to_markdown",
     "load_json",
+    "load_warm_state",
     "ranking_to_dict",
     "save_json",
+    "save_warm_state",
 ]

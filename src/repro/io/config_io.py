@@ -1,0 +1,114 @@
+"""Reading and writing flat configuration mappings as JSON or TOML.
+
+:class:`repro.api.RankingConfig` is a flat mapping of scalars, so its
+on-disk form needs only a tiny subset of each format: JSON via the stdlib,
+TOML read via :mod:`tomllib` (Python >= 3.11) and written by a minimal
+emitter below (the stdlib can parse TOML but not produce it).  ``None``
+values are omitted on write — TOML has no null, and an absent key already
+means "use the default" for both formats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping
+
+from ..exceptions import ValidationError
+
+try:  # Python >= 3.11 stdlib, with the tomli backport as the 3.10 fallback;
+    # gated so interpreters with neither degrade to JSON-only.
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on Python <= 3.10
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ImportError:
+        tomllib = None  # type: ignore[assignment]
+
+#: Whether TOML configs can be read on this interpreter (writing always
+#: works — the emitter below is self-contained).
+TOML_READ_AVAILABLE = tomllib is not None
+
+#: File suffixes recognised by :func:`load_config_mapping` / :func:`save_config_mapping`.
+CONFIG_SUFFIXES = (".json", ".toml")
+
+
+def _toml_value(key: str, value: Any) -> str:
+    """Render one scalar as a TOML literal."""
+    if isinstance(value, bool):  # bool first: bool is a subclass of int
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)  # JSON string escaping is valid TOML
+    raise ValidationError(
+        f"cannot write key {key!r} to TOML: unsupported value type "
+        f"{type(value).__name__}")
+
+
+def dumps_toml(mapping: Mapping[str, Any]) -> str:
+    """Serialise a flat mapping of scalars as a TOML document.
+
+    ``None`` values are skipped (TOML has no null; a missing key means
+    "default").  Nested mappings are not supported — the config surface is
+    deliberately flat so it round-trips through both formats identically.
+    """
+    lines = []
+    for key, value in mapping.items():
+        if value is None:
+            continue
+        lines.append(f"{key} = {_toml_value(key, value)}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_toml(text: str) -> Dict[str, Any]:
+    """Parse a TOML document into a plain dict."""
+    if tomllib is None:  # pragma: no cover - Python <= 3.10 without tomli
+        raise ValidationError(
+            "reading TOML requires Python >= 3.11 (tomllib) or the tomli "
+            "package; use the JSON config format instead")
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as error:
+        raise ValidationError(f"malformed TOML: {error}") from None
+
+
+def save_config_mapping(mapping: Mapping[str, Any],
+                        path: str | os.PathLike) -> None:
+    """Write a flat config mapping to *path*, format chosen by suffix."""
+    suffix = os.path.splitext(os.fspath(path))[1].lower()
+    if suffix == ".toml":
+        payload = dumps_toml(mapping)
+    elif suffix == ".json":
+        payload = json.dumps({key: value for key, value in mapping.items()
+                              if value is not None},
+                             indent=2, sort_keys=True) + "\n"
+    else:
+        raise ValidationError(
+            f"unknown config format {suffix!r} for {os.fspath(path)!r}; "
+            f"expected one of {CONFIG_SUFFIXES}")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def load_config_mapping(path: str | os.PathLike) -> Dict[str, Any]:
+    """Read a flat config mapping from *path*, format chosen by suffix."""
+    suffix = os.path.splitext(os.fspath(path))[1].lower()
+    if suffix not in CONFIG_SUFFIXES:
+        raise ValidationError(
+            f"unknown config format {suffix!r} for {os.fspath(path)!r}; "
+            f"expected one of {CONFIG_SUFFIXES}")
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if suffix == ".toml":
+        mapping = loads_toml(text)
+    else:
+        try:
+            mapping = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValidationError(f"malformed JSON: {error}") from None
+    if not isinstance(mapping, dict):
+        raise ValidationError(
+            f"config file {os.fspath(path)!r} must contain a table/object, "
+            f"got {type(mapping).__name__}")
+    return mapping

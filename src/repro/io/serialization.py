@@ -84,6 +84,28 @@ def load_json(path: str | os.PathLike) -> Any:
         return json.load(handle)
 
 
+def save_warm_state(state, path: str | os.PathLike) -> None:
+    """Persist a :class:`~repro.engine.warm.WarmStartState` as JSON.
+
+    A restarted process can :func:`load_warm_state` the file and resume
+    power iterations from the previous run's converged vectors — the
+    ``repro serve --state`` startup path and
+    :meth:`repro.api.Ranker.save_state` both write this format.
+    """
+    save_json(state.to_dict(), path)
+
+
+def load_warm_state(path: str | os.PathLike):
+    """Read a :func:`save_warm_state` file back into a ``WarmStartState``."""
+    from ..engine.warm import WarmStartState
+
+    payload = load_json(path)
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"warm-state file {os.fspath(path)!r} must contain a JSON object")
+    return WarmStartState.from_dict(payload)
+
+
 def experiment_rows_to_markdown(rows: List[Dict[str, Any]],
                                 columns: List[str]) -> str:
     """Render benchmark rows as a GitHub-flavoured markdown table.

@@ -101,6 +101,11 @@ class RankingService:
         self._weight = weight
         self._rrf_constant = rrf_constant
         self._ranker: Optional[IncrementalLayeredRanker] = None
+        #: Whether close() should also close the attached ranker / the
+        #: executor (set by owners that built them on the service's
+        #: behalf, e.g. repro.api.Ranker.serve).
+        self._owns_ranker = False
+        self._owns_executor = False
         #: {doc_id: score} view handed to the combination rules; kept in
         #: lockstep with the store and refreshed on shard updates.
         self._link_scores: Optional[Dict[int, float]] = None
@@ -153,10 +158,39 @@ class RankingService:
         ranker.subscribe(self._on_update)
 
     def detach(self) -> None:
-        """Stop following the attached ranker (no-op when unattached)."""
+        """Stop following the attached ranker (no-op when unattached).
+
+        A ranker the service *owns* (built on its behalf by
+        :meth:`repro.api.Ranker.serve` with ``incremental=True``) is also
+        closed: after detaching, the service was its only handle, and an
+        orphaned ranker would leak its engine worker pool.
+        """
         if self._ranker is not None:
-            self._ranker.unsubscribe(self._on_update)
+            ranker, owned = self._ranker, self._owns_ranker
+            ranker.unsubscribe(self._on_update)
             self._ranker = None
+            self._owns_ranker = False
+            if owned:
+                ranker.close()
+
+    def close(self) -> None:
+        """Detach (closing any owned ranker) and release any owned executor.
+
+        A service whose shard-rebuild executor was built on its behalf is
+        the only handle to that pool; closing the service shuts it down.
+        Safe to call on any service — without owned resources this is
+        just :meth:`detach`.
+        """
+        self.detach()
+        if self._owns_executor:
+            self._executor.close()
+            self._owns_executor = False
+
+    def __enter__(self) -> "RankingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _on_update(self, report: UpdateReport) -> None:
         """Repair shards and cache after an incremental ranking update."""

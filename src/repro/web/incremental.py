@@ -83,11 +83,30 @@ class IncrementalLayeredRanker:
     with :meth:`ranking`.
     """
 
-    def __init__(self, docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
-                 site_damping: Optional[float] = None,
-                 tol: float = DEFAULT_TOL,
-                 max_iter: int = DEFAULT_MAX_ITER,
-                 executor=None, n_jobs: Optional[int] = None) -> None:
+    def __init__(self, *args, **kwargs) -> None:
+        # Direct construction is the deprecated 1.x spelling; the facade
+        # (repro.api.Ranker.incremental) builds through _create below and
+        # does not warn.  Both forward verbatim to _init, which carries
+        # the one authoritative signature.
+        from .._deprecation import warn_deprecated
+
+        warn_deprecated("constructing repro.web.IncrementalLayeredRanker directly",
+                        "repro.api.Ranker(config).incremental(docgraph)")
+        self._init(*args, **kwargs)
+
+    @classmethod
+    def _create(cls, *args, **kwargs) -> "IncrementalLayeredRanker":
+        """Build a ranker without the direct-construction deprecation warning."""
+        self = cls.__new__(cls)
+        self._init(*args, **kwargs)
+        return self
+
+    def _init(self, docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
+              site_damping: Optional[float] = None,
+              include_site_self_links: bool = False,
+              tol: float = DEFAULT_TOL,
+              max_iter: int = DEFAULT_MAX_ITER,
+              executor=None, n_jobs: Optional[int] = None) -> None:
         from ..engine.executor import resolve_executor
 
         if docgraph.n_documents == 0:
@@ -96,6 +115,7 @@ class IncrementalLayeredRanker:
         self._docgraph = docgraph
         self._damping = damping
         self._site_damping = site_damping if site_damping is not None else damping
+        self._include_site_self_links = include_site_self_links
         self._tol = tol
         self._max_iter = max_iter
         # All (re)computations — the initial build, refresh batches and
@@ -162,6 +182,7 @@ class IncrementalLayeredRanker:
 
         plan = RankingPlan.from_docgraph(
             self._docgraph, self._damping, site_damping=self._site_damping,
+            include_site_self_links=self._include_site_self_links,
             tol=self._tol, max_iter=self._max_iter)
         execution = plan.execute(executor=self._executor)
         self._siterank = execution.siterank
@@ -317,7 +338,9 @@ class IncrementalLayeredRanker:
         from ..engine.plan import SiteRankTask
         from ..engine.warm import align_warm_start
 
-        sitegraph = aggregate_sitegraph(self._docgraph)
+        sitegraph = aggregate_sitegraph(
+            self._docgraph,
+            include_self_links=self._include_site_self_links)
         start = (align_warm_start(self._siterank.sites,
                                   self._siterank.scores, sitegraph.sites)
                  if self._siterank is not None else None)

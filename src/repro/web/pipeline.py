@@ -139,15 +139,15 @@ def compose_ranking(docgraph: DocGraph, sites: List[str],
                             local_docranks=local, iterations=iterations)
 
 
-def layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
-                    site_damping: Optional[float] = None,
-                    site_preference: Optional[np.ndarray] = None,
-                    document_preferences: Optional[Dict[str, np.ndarray]] = None,
-                    include_site_self_links: bool = False,
-                    tol: float = DEFAULT_TOL,
-                    max_iter: int = DEFAULT_MAX_ITER,
-                    executor=None, n_jobs: Optional[int] = None,
-                    warm=None) -> WebRankingResult:
+def _layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
+                     site_damping: Optional[float] = None,
+                     site_preference: Optional[np.ndarray] = None,
+                     document_preferences: Optional[Dict[str, np.ndarray]] = None,
+                     include_site_self_links: bool = False,
+                     tol: float = DEFAULT_TOL,
+                     max_iter: int = DEFAULT_MAX_ITER,
+                     executor=None, n_jobs: Optional[int] = None,
+                     warm=None) -> WebRankingResult:
     """Run the full 5-step Layered Method for DocRank on a DocGraph.
 
     The method is executed as a :class:`repro.engine.RankingPlan`: step 3's
@@ -202,11 +202,40 @@ def layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
                            iterations=execution.total_iterations)
 
 
-def flat_pagerank_ranking(docgraph: DocGraph,
-                          damping: float = DEFAULT_DAMPING, *,
-                          preference: Optional[np.ndarray] = None,
-                          tol: float = DEFAULT_TOL,
-                          max_iter: int = DEFAULT_MAX_ITER) -> WebRankingResult:
+def layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
+                    site_damping: Optional[float] = None,
+                    site_preference: Optional[np.ndarray] = None,
+                    document_preferences: Optional[Dict[str, np.ndarray]] = None,
+                    include_site_self_links: bool = False,
+                    tol: float = DEFAULT_TOL,
+                    max_iter: int = DEFAULT_MAX_ITER,
+                    executor=None, n_jobs: Optional[int] = None,
+                    warm=None) -> WebRankingResult:
+    """Deprecated 1.x entry point for :func:`_layered_docrank`.
+
+    Use ``repro.api.Ranker(RankingConfig(method="layered")).fit(docgraph)``
+    instead — the facade produces bitwise-identical scores from a single
+    declarative config object.  This shim forwards unchanged (and warns
+    once per process) for one release.
+    """
+    from .._deprecation import warn_deprecated
+
+    warn_deprecated("repro.web.layered_docrank",
+                    "repro.api.Ranker(config).fit(docgraph)")
+    return _layered_docrank(
+        docgraph, damping, site_damping=site_damping,
+        site_preference=site_preference,
+        document_preferences=document_preferences,
+        include_site_self_links=include_site_self_links,
+        tol=tol, max_iter=max_iter, executor=executor, n_jobs=n_jobs,
+        warm=warm)
+
+
+def _flat_pagerank_ranking(docgraph: DocGraph,
+                           damping: float = DEFAULT_DAMPING, *,
+                           preference: Optional[np.ndarray] = None,
+                           tol: float = DEFAULT_TOL,
+                           max_iter: int = DEFAULT_MAX_ITER) -> WebRankingResult:
     """The flat (classical PageRank) baseline over the same DocGraph.
 
     This is the ranking the paper's Figure 3 reports and that Figure 4's
@@ -220,6 +249,25 @@ def flat_pagerank_ranking(docgraph: DocGraph,
     urls = [docgraph.document(doc_id).url for doc_id in doc_ids]
     return WebRankingResult(doc_ids=doc_ids, urls=urls, scores=result.scores,
                             method="pagerank", iterations=result.iterations)
+
+
+def flat_pagerank_ranking(docgraph: DocGraph,
+                          damping: float = DEFAULT_DAMPING, *,
+                          preference: Optional[np.ndarray] = None,
+                          tol: float = DEFAULT_TOL,
+                          max_iter: int = DEFAULT_MAX_ITER) -> WebRankingResult:
+    """Deprecated 1.x entry point for :func:`_flat_pagerank_ranking`.
+
+    Use ``repro.api.Ranker(RankingConfig(method="flat")).fit(docgraph)``
+    instead.  This shim forwards unchanged (and warns once per process)
+    for one release.
+    """
+    from .._deprecation import warn_deprecated
+
+    warn_deprecated("repro.web.flat_pagerank_ranking",
+                    'repro.api.Ranker(RankingConfig(method="flat")).fit(docgraph)')
+    return _flat_pagerank_ranking(docgraph, damping, preference=preference,
+                                  tol=tol, max_iter=max_iter)
 
 
 def lmm_from_docgraph(docgraph: DocGraph, *,

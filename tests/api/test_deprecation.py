@@ -1,0 +1,93 @@
+"""Tests for the 1.x deprecation shims: they warn exactly once and still work."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro._deprecation import reset_deprecation_warnings
+from repro.api import Ranker, RankingConfig
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    """Each test observes the warn-once behaviour from a clean slate."""
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def record_deprecations(callable_, *args, **kwargs):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = callable_(*args, **kwargs)
+    return value, [w for w in caught
+                   if issubclass(w.category, DeprecationWarning)]
+
+
+class TestShimsWarnExactlyOnce:
+    def test_layered_docrank(self, toy_docgraph):
+        from repro.web import layered_docrank
+
+        def call_twice():
+            layered_docrank(toy_docgraph)
+            return layered_docrank(toy_docgraph)
+
+        result, caught = record_deprecations(call_twice)
+        assert len(caught) == 1
+        assert "repro.api.Ranker" in str(caught[0].message)
+        assert result.method == "layered"
+
+    def test_flat_pagerank_ranking(self, toy_docgraph):
+        from repro.web import flat_pagerank_ranking
+
+        def call_twice():
+            flat_pagerank_ranking(toy_docgraph)
+            return flat_pagerank_ranking(toy_docgraph)
+
+        _result, caught = record_deprecations(call_twice)
+        assert len(caught) == 1
+
+    def test_incremental_direct_construction(self, toy_docgraph):
+        from repro.web import IncrementalLayeredRanker
+
+        def construct_twice():
+            IncrementalLayeredRanker(toy_docgraph).close()
+            ranker = IncrementalLayeredRanker(toy_docgraph)
+            ranker.close()
+            return ranker
+
+        _ranker, caught = record_deprecations(construct_twice)
+        assert len(caught) == 1
+        assert "incremental" in str(caught[0].message)
+
+    def test_distributed_layered_docrank(self, toy_docgraph):
+        from repro.distributed import distributed_layered_docrank
+
+        def call_twice():
+            distributed_layered_docrank(toy_docgraph, n_peers=2)
+            return distributed_layered_docrank(toy_docgraph, n_peers=2)
+
+        _report, caught = record_deprecations(call_twice)
+        assert len(caught) == 1
+
+
+class TestShimsStillWork:
+    def test_legacy_results_match_facade(self, toy_docgraph):
+        from repro.web import layered_docrank
+
+        _, _caught = record_deprecations(lambda: None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = layered_docrank(toy_docgraph)
+        modern = Ranker(RankingConfig()).fit(toy_docgraph)
+        assert np.array_equal(legacy.scores, modern.scores)
+
+    def test_facade_paths_never_warn(self, toy_docgraph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ranker = Ranker(RankingConfig())
+            ranker.fit(toy_docgraph)
+            ranker.incremental(toy_docgraph).close()
+            ranker.distributed(toy_docgraph, n_peers=2)
+            ranker.serve(docgraph=toy_docgraph)

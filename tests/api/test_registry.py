@@ -1,0 +1,95 @@
+"""Tests for the pluggable ranking-method registry."""
+
+import pytest
+
+from repro.api import (
+    Ranker,
+    RankingConfig,
+    available_methods,
+    get_method,
+    register_method,
+    resolve_method_name,
+    unregister_method,
+)
+from repro.exceptions import ValidationError
+
+
+class TestBuiltins:
+    def test_all_four_builtins_registered(self):
+        assert {"layered", "flat", "blockrank", "hits"} <= set(
+            available_methods())
+
+    def test_pagerank_is_an_alias_of_flat(self):
+        assert resolve_method_name("pagerank") == "flat"
+        assert get_method("pagerank") is get_method("flat")
+
+    def test_aliases_do_not_appear_in_available_methods(self):
+        assert "pagerank" not in available_methods()
+
+
+class TestErrors:
+    def test_unknown_method_lists_available(self):
+        with pytest.raises(ValidationError) as excinfo:
+            get_method("quantumrank")
+        message = str(excinfo.value)
+        assert "quantumrank" in message
+        assert "layered" in message
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            @register_method("layered")
+            def shadow(docgraph, config, **kwargs):  # pragma: no cover
+                raise AssertionError("must never be registered")
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            @register_method("brand-new", aliases=("pagerank",))
+            def clash(docgraph, config, **kwargs):  # pragma: no cover
+                raise AssertionError("must never be registered")
+        # The failed registration must not leave the canonical name behind.
+        assert "brand-new" not in available_methods()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            register_method("")
+
+    def test_unregister_unknown_is_noop(self):
+        unregister_method("never-existed")
+
+    def test_unregister_alias_frees_only_the_alias(self):
+        unregister_method("pagerank")
+        try:
+            with pytest.raises(ValidationError):
+                get_method("pagerank")
+            assert callable(get_method("flat"))  # canonical method survives
+
+            @register_method("pagerank")
+            def replacement(docgraph, config, **kwargs):  # pragma: no cover
+                raise AssertionError("never called")
+
+            assert get_method("pagerank") is replacement
+        finally:
+            unregister_method("pagerank")
+            from repro.api.registry import _ALIASES
+            _ALIASES["pagerank"] = "flat"  # restore the built-in alias
+
+
+class TestCustomMethods:
+    def test_register_run_unregister(self, toy_docgraph):
+        from repro.web.pipeline import _flat_pagerank_ranking
+
+        @register_method("reversed-flat", aliases=("rflat",))
+        def reversed_flat(docgraph, config, **kwargs):
+            result = _flat_pagerank_ranking(docgraph, config.damping)
+            result.method = "reversed-flat"
+            return result
+
+        try:
+            assert "reversed-flat" in available_methods()
+            result = Ranker(RankingConfig(method="rflat")).fit(toy_docgraph)
+            assert result.method == "reversed-flat"
+        finally:
+            unregister_method("reversed-flat")
+        assert "reversed-flat" not in available_methods()
+        with pytest.raises(ValidationError):
+            get_method("rflat")  # the alias must be gone too

@@ -1,0 +1,92 @@
+"""Tests for warm-start state persistence (repro.io + Ranker.save/load_state)."""
+
+import numpy as np
+import pytest
+
+from repro.api import Ranker, RankingConfig
+from repro.engine import WarmStartState
+from repro.exceptions import ValidationError
+from repro.io import load_warm_state, save_warm_state
+
+
+class TestWarmStateDictRoundTrip:
+    def test_round_trip_preserves_vectors(self):
+        state = WarmStartState()
+        state.record_local("a", [3, 1, 4], np.asarray([0.2, 0.3, 0.5]))
+        state.record_siterank(["a", "b"], np.asarray([0.6, 0.4]))
+        clone = WarmStartState.from_dict(state.to_dict())
+        assert clone.n_sites == 1
+        assert clone.has_siterank
+        np.testing.assert_array_equal(clone.local_start("a", [3, 1, 4]),
+                                      [0.2, 0.3, 0.5])
+        np.testing.assert_array_equal(clone.siterank_start(["a", "b"]),
+                                      [0.6, 0.4])
+
+    def test_empty_state_round_trips(self):
+        clone = WarmStartState.from_dict(WarmStartState().to_dict())
+        assert clone.n_sites == 0
+        assert not clone.has_siterank
+
+    @pytest.mark.parametrize("payload", [
+        [],
+        {},
+        {"sites": []},
+        {"sites": {"a": [0.5, 0.5]}},
+        {"sites": {"a": {"doc_ids": [1, 2], "vector": [1.0]}}},
+        {"sites": {"a": {"vector": [1.0]}}},
+        {"sites": {}, "siterank": {}},
+        {"sites": {}, "siterank": {"sites": ["a"]}},
+        {"sites": {}, "siterank": {"sites": ["a"], "vector": [0.5, 0.5]}},
+    ])
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(ValidationError):
+            WarmStartState.from_dict(payload)
+
+
+class TestFilePersistence:
+    def test_save_load_file(self, tmp_path):
+        state = WarmStartState()
+        state.record_local("s", [0, 1], np.asarray([0.25, 0.75]))
+        path = tmp_path / "warm.json"
+        save_warm_state(state, path)
+        loaded = load_warm_state(path)
+        np.testing.assert_array_equal(loaded.local_start("s", [0, 1]),
+                                      [0.25, 0.75])
+
+    def test_non_object_file_rejected(self, tmp_path):
+        path = tmp_path / "warm.json"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValidationError):
+            load_warm_state(path)
+
+
+class TestRankerStatePersistence:
+    def test_save_requires_warm_start(self, tmp_path, toy_docgraph):
+        ranker = Ranker(RankingConfig())
+        ranker.fit(toy_docgraph)
+        with pytest.raises(ValidationError, match="warm_start"):
+            ranker.save_state(tmp_path / "warm.json")
+
+    def test_restart_resumes_iterations(self, tmp_path, small_synthetic_web):
+        path = tmp_path / "warm.json"
+        first = Ranker(RankingConfig(warm_start=True))
+        cold = first.fit(small_synthetic_web)
+        first.save_state(path)
+
+        # A "restarted process": a fresh Ranker that only has the file.
+        second = Ranker(RankingConfig()).load_state(path)
+        resumed = second.fit(small_synthetic_web)
+        assert resumed.iterations < cold.iterations / 2
+        assert np.allclose(resumed.scores_by_doc_id(),
+                           cold.scores_by_doc_id(), atol=1e-8)
+
+    def test_load_state_enables_saving(self, tmp_path, toy_docgraph):
+        path = tmp_path / "warm.json"
+        seeding = Ranker(RankingConfig(warm_start=True))
+        seeding.fit(toy_docgraph)
+        seeding.save_state(path)
+
+        ranker = Ranker(RankingConfig()).load_state(path)
+        ranker.fit(toy_docgraph)
+        ranker.save_state(path)  # allowed: loading state opted in
+        assert load_warm_state(path).n_sites == toy_docgraph.n_sites

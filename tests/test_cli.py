@@ -7,6 +7,11 @@ import pytest
 
 import repro
 from repro.cli import EXIT_ERROR, build_parser, main
+from repro.io import TOML_READ_AVAILABLE
+
+requires_toml = pytest.mark.skipif(
+    not TOML_READ_AVAILABLE,
+    reason="TOML reading needs tomllib (Python >= 3.11) or tomli")
 
 
 class TestParser:
@@ -179,6 +184,16 @@ class TestQueryCommand:
         assert exit_code == 0
         assert "(rrf combination)" in capsys.readouterr().out
 
+    @requires_toml
+    def test_query_labels_the_configs_rule(self, tmp_path, capsys):
+        path = tmp_path / "ranking.toml"
+        path.write_text('rule = "rrf"\n')
+        exit_code = main(["query", "--generate", "hierarchical", "--sites",
+                          "5", "--documents", "120", "--config", str(path),
+                          "--top", "2", "research"])
+        assert exit_code == 0
+        assert "(rrf combination)" in capsys.readouterr().out
+
 
 class TestServeCommand:
     def test_serve_for_a_short_duration(self, capsys):
@@ -214,6 +229,248 @@ class TestServeCommand:
             assert re.match(r"http://", payload["results"][0]["url"])
         finally:
             server.close()
+
+
+class TestUniformValidationErrors:
+    """--jobs / --damping value errors: one-line message, exit code 2."""
+
+    @pytest.mark.parametrize("argv", [
+        ["rank", "--jobs", "0"],
+        ["rank", "--jobs", "-2"],
+        ["rank", "--jobs", "many"],
+        ["compare", "--jobs", "0"],
+        ["serve", "--jobs", "x"],
+        ["query", "--jobs", "0", "q"],
+        ["rank", "--damping", "1.5"],
+        ["rank", "--damping", "0"],
+        ["rank", "--damping", "abc"],
+        ["example", "--damping", "2"],
+        ["serve", "--damping", "-1"],
+        ["query", "--damping", "nan", "q"],
+        ["rank", "--top", "0"],
+        ["query", "--weight", "1.5", "q"],
+        ["serve", "--cache-size", "0"],
+    ])
+    def test_exit_code_2_and_one_line_message(self, argv, capsys):
+        assert main(argv) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_abbreviated_flags_are_rejected(self):
+        # allow_abbrev=False: --dampi must not silently parse as --damping
+        # (it would also slip past the explicit-flag config merge).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["rank", "--dampi", "0.9"])
+        assert excinfo.value.code == 2
+
+    def test_jobs_auto_accepted(self, capsys):
+        argv = ["rank", "--generate", "hierarchical", "--sites", "5",
+                "--documents", "120", "--top", "3"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "auto"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+
+class TestConfigCommand:
+    def test_show_prints_defaults_as_toml(self, capsys):
+        assert main(["config", "show"]) == 0
+        out = capsys.readouterr().out
+        assert 'method = "layered"' in out
+        assert "# registered methods:" in out
+
+    @requires_toml
+    def test_show_reads_a_file(self, tmp_path, capsys):
+        path = tmp_path / "ranking.toml"
+        path.write_text('method = "hits"\ndamping = 0.7\n')
+        assert main(["config", "show", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert 'method = "hits"' in out
+        assert "damping = 0.7" in out
+
+    @requires_toml
+    def test_validate_accepts_a_good_config(self, tmp_path, capsys):
+        path = tmp_path / "ranking.toml"
+        path.write_text('method = "layered"\nexecutor = "auto"\n')
+        assert main(["config", "validate", str(path)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("content", [
+        'method = "no-such-method"\n',          # unregistered method
+        'damping = 1.5\n',                       # out-of-range value
+        'dampling = 0.9\n',                      # unknown key (typo)
+        'method = [broken\n',                    # malformed TOML
+    ])
+    @requires_toml
+    def test_validate_rejects_bad_configs(self, tmp_path, content, capsys):
+        path = tmp_path / "ranking.toml"
+        path.write_text(content)
+        assert main(["config", "validate", str(path)]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_validate_missing_file(self, capsys):
+        assert main(["config", "validate", "/no/such.toml"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRankWithConfigFile:
+    @requires_toml
+    def test_rank_uses_the_config_files_method(self, tmp_path, capsys):
+        path = tmp_path / "ranking.toml"
+        path.write_text('method = "hits"\n')
+        assert main(["rank", "--config", str(path), "--generate",
+                     "hierarchical", "--sites", "5", "--documents", "120",
+                     "--top", "3"]) == 0
+        assert "top-3 by hits" in capsys.readouterr().out
+
+    @requires_toml
+    def test_explicit_method_flag_overrides_config(self, tmp_path, capsys):
+        path = tmp_path / "ranking.toml"
+        path.write_text('method = "hits"\n')
+        assert main(["rank", "--config", str(path), "--method", "pagerank",
+                     "--generate", "hierarchical", "--sites", "5",
+                     "--documents", "120", "--top", "3"]) == 0
+        assert "top-3 by pagerank" in capsys.readouterr().out
+
+    @requires_toml
+    def test_config_driven_run_matches_flag_driven_run(self, tmp_path,
+                                                       capsys):
+        argv = ["rank", "--generate", "hierarchical", "--sites", "5",
+                "--documents", "120", "--top", "5"]
+        assert main(argv) == 0
+        flag_out = capsys.readouterr().out
+        path = tmp_path / "ranking.toml"
+        path.write_text('method = "layered"\nexecutor = "process"\n'
+                        'n_jobs = 2\n')
+        assert main(argv + ["--config", str(path)]) == 0
+        assert capsys.readouterr().out == flag_out
+
+    def test_rank_with_missing_config_file(self, capsys):
+        assert main(["rank", "--config", "/no/such.toml"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_jobs_auto_preserves_the_configs_worker_cap(self, tmp_path):
+        from repro.cli import _ranking_config
+
+        path = tmp_path / "ranking.json"
+        path.write_text('{"executor": "process", "n_jobs": 4}\n')
+        args = build_parser().parse_args(
+            ["rank", "--config", str(path), "--jobs", "auto"])
+        args._explicit = {"jobs"}
+        args.jobs = "auto"
+        config = _ranking_config(args)
+        assert (config.executor, config.n_jobs) == ("auto", 4)
+
+    def test_explicit_jobs_keeps_the_configs_pooled_backend(self, tmp_path):
+        # --jobs N adjusts the worker count without replacing a config
+        # file's non-serial backend kind.
+        from repro.cli import _ranking_config
+
+        path = tmp_path / "ranking.json"
+        path.write_text('{"executor": "threaded", "n_jobs": 4}\n')
+        args = build_parser().parse_args(
+            ["rank", "--config", str(path), "--jobs", "8"])
+        args._explicit = {"jobs"}
+        args.jobs = 8
+        config = _ranking_config(args)
+        assert (config.executor, config.n_jobs) == ("threaded", 8)
+
+    @requires_toml
+    def test_explicit_default_valued_flags_override_config(self, tmp_path,
+                                                           capsys):
+        # --method layered / --damping 0.85 equal the parser defaults but
+        # are given explicitly, so they must beat the config file.
+        path = tmp_path / "ranking.toml"
+        path.write_text('method = "hits"\ndamping = 0.5\n')
+        base = ["rank", "--generate", "hierarchical", "--sites", "5",
+                "--documents", "120", "--top", "3"]
+        assert main(base) == 0
+        default_out = capsys.readouterr().out
+        assert main(base + ["--config", str(path), "--method", "layered",
+                            "--damping", "0.85"]) == 0
+        assert capsys.readouterr().out == default_out
+
+    @requires_toml
+    def test_flag_lookalike_after_separator_is_not_explicit(self, tmp_path,
+                                                            capsys):
+        # A positional after "--" that spells an option name ("--weight" as
+        # the literal query text) must not mark that option explicit, which
+        # would silently discard the config file's value.
+        path = tmp_path / "ranking.toml"
+        path.write_text('weight = 0.8\n')
+        base = ["query", "--generate", "hierarchical", "--sites", "5",
+                "--documents", "120", "--top", "2"]
+        assert main(base + ["--weight", "0.8", "--", "--weight"]) == 0
+        reference = capsys.readouterr().out
+        assert main(base + ["--config", str(path), "--", "--weight"]) == 0
+        assert capsys.readouterr().out == reference
+
+    @requires_toml
+    def test_omitted_flags_defer_to_config(self, tmp_path, capsys):
+        path = tmp_path / "ranking.toml"
+        path.write_text('damping = 0.5\n')
+        base = ["rank", "--generate", "hierarchical", "--sites", "5",
+                "--documents", "120", "--top", "3"]
+        assert main(base + ["--damping", "0.5"]) == 0
+        explicit_out = capsys.readouterr().out
+        assert main(base + ["--config", str(path)]) == 0
+        assert capsys.readouterr().out == explicit_out
+
+
+class TestServeStatePersistence:
+    def test_state_file_written_and_resumed(self, tmp_path, capsys):
+        state = tmp_path / "warm.json"
+        argv = ["serve", "--generate", "hierarchical", "--sites", "5",
+                "--documents", "100", "--port", "0", "--duration", "0.1",
+                "--state", str(state)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "resuming power iterations" not in first
+        assert state.exists()
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert f"resuming power iterations from {state}" in second
+        assert "server stopped" in second
+
+    @requires_toml
+    def test_state_with_non_layered_method_is_rejected(self, tmp_path,
+                                                       capsys):
+        path = tmp_path / "ranking.toml"
+        path.write_text('method = "flat"\n')
+        assert main(["serve", "--generate", "hierarchical", "--sites", "4",
+                     "--documents", "80", "--port", "0", "--duration",
+                     "0.05", "--config", str(path),
+                     "--state", str(tmp_path / "warm.json")]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "layered" in err
+
+    def test_corrupted_state_file_is_a_one_line_error(self, tmp_path,
+                                                      capsys):
+        state = tmp_path / "warm.json"
+        state.write_text('{"sites": {}, "siterank": {}}\n')
+        assert main(["serve", "--generate", "hierarchical", "--sites", "4",
+                     "--documents", "80", "--port", "0", "--duration",
+                     "0.05", "--state", str(state)]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_resumed_state_actually_cuts_iterations(self, tmp_path):
+        from repro.api import Ranker, RankingConfig
+        from repro.graphgen import generate_synthetic_web
+
+        state = tmp_path / "warm.json"
+        assert main(["serve", "--generate", "hierarchical", "--sites", "5",
+                     "--documents", "100", "--port", "0", "--duration",
+                     "0.05", "--state", str(state)]) == 0
+        web = generate_synthetic_web(n_sites=5, n_documents=100, seed=7)
+        cold = Ranker(RankingConfig()).fit(web)
+        resumed = Ranker(RankingConfig()).load_state(state).fit(web)
+        assert resumed.iterations < cold.iterations / 2
 
 
 class TestModuleInvocation:
