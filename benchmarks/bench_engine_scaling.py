@@ -7,9 +7,14 @@ This benchmark quantifies the two practical payoffs on a synthetic web of
 
 * **executor scaling** — wall-clock of the full layered pipeline on the
   serial, threaded and process backends, with the hard requirement that
-  all three produce *bitwise identical* scores (speedup must never buy a
-  different ranking).  The process backend is expected to beat serial by
-  >= 2x when enough CPUs are available;
+  all of them produce *bitwise identical* scores (speedup must never buy
+  a different ranking).  The process backend is expected to beat serial
+  by >= 2x when enough CPUs are available;
+* **dispatch transport** — the process backend is measured twice: with
+  the 1.2 ship-by-value pickle transport and with the zero-copy
+  shared-memory arena (:mod:`repro.engine.arena`).  Each row records the
+  ``dispatch_bytes`` the batch serialised; the arena must cut them by at
+  least 10x on this web (they are O(refs), not O(matrices));
 * **warm starts** — total power iterations of an
   :class:`~repro.web.incremental.IncrementalLayeredRanker` refresh seeded
   from the previous stationary vectors versus the cold full rebuild, which
@@ -56,20 +61,26 @@ def engine_web():
 def executor_rows(engine_web):
     rows = []
     scores = {}
-    executors = [SerialExecutor(), ThreadedExecutor(N_WORKERS),
-                 ProcessExecutor(N_WORKERS)]
-    for executor in executors:
+    executors = [
+        ("serial", SerialExecutor()),
+        ("threaded", ThreadedExecutor(N_WORKERS)),
+        ("process-pickle", ProcessExecutor(N_WORKERS, use_arena=False)),
+        ("process-arena", ProcessExecutor(N_WORKERS)),
+    ]
+    for label, executor in executors:
         with executor:
             executor.warmup()  # exclude pool start-up from the timing
             start = time.perf_counter()
             result = layered_docrank(engine_web, executor=executor)
             seconds = time.perf_counter() - start
-        scores[executor.name] = result.scores
+        scores[label] = result.scores
         rows.append({
-            "executor": executor.name,
+            "executor": label,
             "workers": executor.n_jobs,
             "seconds": round(seconds, 3),
             "iterations": result.iterations,
+            "transport": executor.last_transport,
+            "dispatch_bytes": executor.last_dispatch_bytes,
         })
     serial_seconds = rows[0]["seconds"]
     for row in rows:
@@ -85,18 +96,38 @@ def test_e14_executor_speedup_table(benchmark, executor_rows):
     rows = benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
     write_result("E14_engine_scaling", rows,
                  ["executor", "workers", "seconds", "iterations",
-                  "speedup_vs_serial"],
+                  "transport", "dispatch_bytes", "speedup_vs_serial"],
                  caption=f"Layered pipeline on {N_SITES} sites / "
                          f"{N_DOCUMENTS} documents per execution backend "
                          f"({os.cpu_count()} CPUs visible; scores are "
-                         "bitwise identical across backends).")
+                         "bitwise identical across backends; "
+                         "dispatch_bytes = payload bytes serialised to "
+                         "reach the pool's workers).")
     # Correctness is unconditional: parallelism must not change the ranking.
-    assert np.array_equal(scores["serial"], scores["threaded"])
-    assert np.array_equal(scores["serial"], scores["process"])
+    for label in ("threaded", "process-pickle", "process-arena"):
+        assert np.array_equal(scores["serial"], scores[label]), \
+            f"{label} diverged from the serial reference"
     by_name = {row["executor"]: row for row in rows}
     if ENFORCE_SPEEDUP:
-        assert by_name["process"]["speedup_vs_serial"] >= 2.0, \
+        assert by_name["process-arena"]["speedup_vs_serial"] >= 2.0, \
             "process pool failed the 2x speedup acceptance target"
+
+
+@pytest.mark.benchmark(group="E14 engine scaling")
+def test_e14_arena_cuts_dispatch_bytes_10x(benchmark, executor_rows):
+    rows, _scores = executor_rows
+    rows = benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    by_name = {row["executor"]: row for row in rows}
+    pickle_bytes = by_name["process-pickle"]["dispatch_bytes"]
+    arena_bytes = by_name["process-arena"]["dispatch_bytes"]
+    assert by_name["process-pickle"]["transport"] == "pickle"
+    assert by_name["process-arena"]["transport"] == "arena"
+    # The acceptance target of the shared-memory transport: dispatch cost
+    # no longer scales with the matrices, so it must drop by >= 10x even
+    # at smoke scale (the gap only widens on the full 100k-document web).
+    assert arena_bytes * 10 <= pickle_bytes, \
+        (f"arena transport only cut dispatch from {pickle_bytes} to "
+         f"{arena_bytes} bytes (< 10x)")
 
 
 @pytest.fixture(scope="module")

@@ -119,15 +119,30 @@ class Ranker:
         wall_seconds = time.perf_counter() - started
         result = RankingResult(
             ranking=ranking, config=self.config, wall_seconds=wall_seconds,
-            provenance=self._provenance(docgraph, uses_engine=uses_engine))
+            provenance=self._provenance(docgraph, uses_engine=uses_engine,
+                                        engine_executor=executor))
         self._docgraph = docgraph
         self._result = result
         return result
 
     def _provenance(self, docgraph: DocGraph, *,
-                    uses_engine: bool = True) -> Dict[str, Any]:
+                    uses_engine: bool = True,
+                    engine_executor=None) -> Dict[str, Any]:
         from .. import __version__
 
+        if not uses_engine:
+            transport, dispatched = "inline", 0
+        elif engine_executor is None:  # serial reference backend
+            transport, dispatched = "in-process", 0
+        else:
+            # What the run *actually* shipped to engine workers: 0 bytes
+            # for in-process backends, the pickled payloads or (tiny)
+            # arena refs for the process pool — the number the transport
+            # benchmarks compare.
+            transport = str(getattr(engine_executor, "last_transport",
+                                    "in-process"))
+            dispatched = int(getattr(engine_executor,
+                                     "total_dispatch_bytes", 0))
         return {
             "method": resolve_method_name(self.config.method),
             # Inline methods never touch the engine, whatever the config
@@ -135,6 +150,8 @@ class Ranker:
             "executor": self.config.executor if uses_engine else "inline",
             "n_jobs": self.config.n_jobs if uses_engine else None,
             "warm_start": self.config.warm_start,
+            "transport": transport,
+            "dispatch_bytes": dispatched,
             "n_documents": docgraph.n_documents,
             "n_sites": docgraph.n_sites,
             "repro_version": __version__,

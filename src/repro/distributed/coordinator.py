@@ -85,6 +85,14 @@ class SimulationReport:
         :class:`~repro.engine.plan.RankingPlan` tasks.
     executor_name:
         Engine backend that executed the batch.
+    dispatch_bytes:
+        Bytes the engine serialised to dispatch the per-site batch to its
+        workers (0 for in-process backends).  Under the shared-memory
+        arena transport this stays small however large the web is; under
+        the 1.2 pickle transport it scaled with the matrices.
+    transport:
+        How the batch's payloads reached the engine's workers
+        (``"in-process"`` / ``"pickle"`` / ``"arena"``).
     """
 
     ranking: WebRankingResult
@@ -101,6 +109,8 @@ class SimulationReport:
     per_peer_compute_seconds: Dict[str, float] = field(default_factory=dict)
     measured_wall_seconds: float = 0.0
     executor_name: str = "serial"
+    dispatch_bytes: int = 0
+    transport: str = "in-process"
 
     @property
     def parallel_speedup(self) -> float:
@@ -219,6 +229,12 @@ class DistributedRankingCoordinator:
             warmup_for(resolved, batch)
             results, measured_wall = execute_tasks(batch, executor=resolved)
             executor_name = resolved.name
+            # Peers are simulated against the engine's shared arena: on a
+            # process backend the batch above shipped ArenaRefs, not
+            # matrices — record what actually crossed the pool boundary.
+            dispatch = int(getattr(resolved, "last_dispatch_bytes", 0))
+            transport = str(getattr(resolved, "last_transport",
+                                    "in-process"))
         finally:
             if owned:
                 resolved.close()
@@ -264,6 +280,8 @@ class DistributedRankingCoordinator:
             per_peer_compute_seconds=compute_seconds,
             measured_wall_seconds=measured_wall,
             executor_name=executor_name,
+            dispatch_bytes=dispatch,
+            transport=transport,
         )
 
     # ------------------------------------------------------------------ #

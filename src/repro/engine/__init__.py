@@ -14,7 +14,12 @@ compute layer of the repository:
   from previously converged vectors instead of restarting from uniform;
 * :mod:`repro.engine.adaptive` — cost-model-driven backend selection:
   ``n_jobs="auto"`` prices each batch (task nnz × expected iterations) and
-  picks serial / threaded / process per batch.
+  picks serial / threaded / process per batch;
+* :mod:`repro.engine.arena` — zero-copy shared-memory transport: the
+  process backend lays each batch's CSR buffers into one
+  ``SharedMemory`` segment (a :class:`GraphArena`) and ships only tiny
+  :class:`ArenaRef` addresses, so dispatch cost no longer scales with the
+  web's size.
 
 The centralized pipeline (:func:`repro.web.pipeline.layered_docrank`), the
 incremental ranker, the distributed simulator and the serving layer all
@@ -22,6 +27,16 @@ schedule their work through this package; the determinism-guard tests pin
 down that every backend produces bitwise-identical rankings.
 """
 
+from .arena import (
+    ArenaRef,
+    GraphArena,
+    SharedSiteGraph,
+    dispatch_bytes,
+    live_segments,
+    resolve_csr,
+    resolve_vector,
+    share_batch,
+)
 from .adaptive import (
     AutoExecutor,
     auto_executor,
@@ -56,6 +71,14 @@ from .plan import (
 from .warm import WarmStartState, align_warm_start
 
 __all__ = [
+    "ArenaRef",
+    "GraphArena",
+    "SharedSiteGraph",
+    "dispatch_bytes",
+    "live_segments",
+    "resolve_csr",
+    "resolve_vector",
+    "share_batch",
     "AutoExecutor",
     "auto_executor",
     "batch_flops",

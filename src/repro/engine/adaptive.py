@@ -45,8 +45,14 @@ def power_method_flops(n: int, nnz: int, iterations: int) -> float:
 #: Estimated flops below which pool dispatch costs more than the batch.
 SERIAL_FLOPS_THRESHOLD = 2e7
 
-#: Estimated flops above which worker-process spawn + pickling pays off.
-PROCESS_FLOPS_THRESHOLD = 5e8
+#: Estimated flops above which worker-process spawn pays off.
+#:
+#: Re-priced for the zero-copy arena transport (:mod:`repro.engine.arena`):
+#: the process backend no longer pays a per-nnz pickle penalty to ship each
+#: site's adjacency — workers attach to the shared segment instead — so its
+#: remaining fixed costs (worker spawn, per-task dispatch) amortise roughly
+#: 3x earlier than under the 1.2 ship-by-value transport (5e8).
+PROCESS_FLOPS_THRESHOLD = 1.5e8
 
 
 def expected_iterations(damping: float, tol: float, max_iter: int) -> int:
@@ -146,6 +152,11 @@ class AutoExecutor:
         self.n_jobs = n_jobs if n_jobs is not None else default_n_jobs()
         #: Backend the most recent batch actually ran on (introspection).
         self.last_backend: Optional[str] = None
+        #: Dispatch accounting mirrored from the delegate that ran the
+        #: most recent batch (see repro.engine.executor._BaseExecutor).
+        self.last_transport = "in-process"
+        self.last_dispatch_bytes = 0
+        self.total_dispatch_bytes = 0
         self._delegates: dict = {}
         self._closed = False
 
@@ -171,7 +182,13 @@ class AutoExecutor:
         items = list(items)
         backend = select_backend(items)
         self.last_backend = backend
-        return self._delegate(backend).map(fn, items)
+        delegate = self._delegate(backend)
+        results = delegate.map(fn, items)
+        self.last_transport = getattr(delegate, "last_transport",
+                                      "in-process")
+        self.last_dispatch_bytes = getattr(delegate, "last_dispatch_bytes", 0)
+        self.total_dispatch_bytes += self.last_dispatch_bytes
+        return results
 
     def warmup(self, tasks: Optional[Sequence] = None) -> None:
         """Pre-spawn the delegate a batch will use.

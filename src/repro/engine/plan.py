@@ -37,10 +37,21 @@ import numpy as np
 from ..exceptions import GraphStructureError, ValidationError
 from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
 from ..markov.irreducibility import DEFAULT_DAMPING
+from ..linalg.sparse_utils import csr_arena_nbytes
 from ..web.docgraph import DocGraph
 from ..web.docrank import LocalDocRank, solve_local_docrank
 from ..web.sitegraph import SiteGraph, aggregate_sitegraph
 from ..web.siterank import SiteRankResult, siterank
+from .arena import (
+    ALIGNMENT,
+    ArenaRef,
+    SharedSiteGraph,
+    resolve_matrix,
+    resolve_vector,
+    resolve_vector_payload,
+    share_vector,
+    vector_arena_nbytes,
+)
 from .executor import Executor, resolve_executor
 from .warm import WarmStartState
 
@@ -50,36 +61,72 @@ class LocalRankTask:
     """Step 3: one site's local DocRank as a self-contained unit of work.
 
     The task carries the already-extracted local subgraph instead of a
-    DocGraph reference, so it is cheap to pickle and independent of any
-    shared mutable state — the property that lets every backend schedule
-    it freely.
+    DocGraph reference, so it is independent of any shared mutable state —
+    the property that lets every backend schedule it freely.  ``adjacency``
+    is either the CSR matrix itself (in-process backends read it directly)
+    or an :class:`~repro.engine.arena.ArenaRef` addressing the same buffers
+    in a shared-memory arena — the zero-copy form the process backend
+    dispatches, resolved lazily in the worker by :meth:`run`.
     """
 
     site: str
-    adjacency: object  #: the site's local (intra-site) link matrix
-    doc_ids: Tuple[int, ...]
+    adjacency: object  #: local link matrix: CSR, or an ArenaRef to one
+    doc_ids: object  #: tuple of global ids, or an ArenaRef to the id vector
     damping: float = DEFAULT_DAMPING
-    preference: Optional[np.ndarray] = None
+    preference: object = None  #: optional vector, or an ArenaRef to one
     tol: float = DEFAULT_TOL
     max_iter: int = DEFAULT_MAX_ITER
-    start: Optional[np.ndarray] = None
+    start: object = None  #: optional vector, or an ArenaRef to one
 
     @property
     def n_documents(self) -> int:
         """Number of documents the task ranks."""
+        if isinstance(self.doc_ids, ArenaRef):
+            return self.doc_ids.data_count
         return len(self.doc_ids)
 
     @property
     def nnz(self) -> int:
-        """Non-zeros of the local link matrix (cost-model input)."""
+        """Non-zeros of the local link matrix (cost-model input).
+
+        Works without attaching: an :class:`~repro.engine.arena.ArenaRef`
+        records its nnz, so shared tasks price exactly like unshared ones.
+        """
         return int(self.adjacency.nnz)
 
+    # -------------------------------------------------------------- #
+    # Shared-memory transport hooks (see repro.engine.arena)
+    # -------------------------------------------------------------- #
+    def __arena_bytes__(self) -> int:
+        if isinstance(self.adjacency, ArenaRef):
+            return 0
+        return (csr_arena_nbytes(self.adjacency)
+                + 8 * len(self.doc_ids) + ALIGNMENT
+                + vector_arena_nbytes(self.preference, self.start))
+
+    def __arena_share__(self, arena) -> "LocalRankTask":
+        if isinstance(self.adjacency, ArenaRef):
+            return self
+        return replace(
+            self,
+            adjacency=arena.add_csr(self.adjacency),
+            doc_ids=arena.add_vector(np.asarray(self.doc_ids,
+                                                dtype=np.int64)),
+            preference=share_vector(arena, self.preference),
+            start=share_vector(arena, self.start))
+
     def run(self) -> LocalDocRank:
-        """Execute the task on the calling thread."""
-        return solve_local_docrank(self.site, self.adjacency,
-                                   list(self.doc_ids), self.damping,
-                                   preference=self.preference, tol=self.tol,
-                                   max_iter=self.max_iter, start=self.start)
+        """Execute the task on the calling thread (attaching shared buffers)."""
+        doc_ids = self.doc_ids
+        if isinstance(doc_ids, ArenaRef):
+            doc_ids = [int(d) for d in resolve_vector(doc_ids)]
+        else:
+            doc_ids = list(doc_ids)
+        return solve_local_docrank(
+            self.site, resolve_matrix(self.adjacency), doc_ids, self.damping,
+            preference=resolve_vector_payload(self.preference),
+            tol=self.tol, max_iter=self.max_iter,
+            start=resolve_vector_payload(self.start))
 
 
 @dataclass(frozen=True)
@@ -89,20 +136,44 @@ class SiteRankTask:
     Runs concurrently with every :class:`LocalRankTask` — the SiteGraph is
     built from link *counts* only, never from local rank values, which is
     exactly why the paper's method parallelises where BlockRank cannot.
+    ``sitegraph`` is either the :class:`~repro.web.sitegraph.SiteGraph`
+    itself or a :class:`~repro.engine.arena.SharedSiteGraph` whose
+    adjacency lives in a shared-memory arena.
     """
 
-    sitegraph: SiteGraph
+    sitegraph: object  #: SiteGraph, or a SharedSiteGraph over an arena
     damping: float = DEFAULT_DAMPING
-    preference: Optional[np.ndarray] = None
+    preference: object = None  #: optional vector, or an ArenaRef to one
     tol: float = DEFAULT_TOL
     max_iter: int = DEFAULT_MAX_ITER
-    start: Optional[np.ndarray] = None
+    start: object = None  #: optional vector, or an ArenaRef to one
+
+    # -------------------------------------------------------------- #
+    # Shared-memory transport hooks (see repro.engine.arena)
+    # -------------------------------------------------------------- #
+    def __arena_bytes__(self) -> int:
+        if isinstance(self.sitegraph, SharedSiteGraph):
+            return 0
+        return (csr_arena_nbytes(self.sitegraph.adjacency)
+                + vector_arena_nbytes(self.preference, self.start))
+
+    def __arena_share__(self, arena) -> "SiteRankTask":
+        if isinstance(self.sitegraph, SharedSiteGraph):
+            return self
+        return replace(self,
+                       sitegraph=arena.add_sitegraph(self.sitegraph),
+                       preference=share_vector(arena, self.preference),
+                       start=share_vector(arena, self.start))
 
     def run(self) -> SiteRankResult:
-        """Execute the task on the calling thread."""
-        return siterank(self.sitegraph, self.damping,
-                        preference=self.preference, tol=self.tol,
-                        max_iter=self.max_iter, start=self.start)
+        """Execute the task on the calling thread (attaching shared buffers)."""
+        sitegraph = self.sitegraph
+        if isinstance(sitegraph, SharedSiteGraph):
+            sitegraph = sitegraph.resolve()
+        return siterank(sitegraph, self.damping,
+                        preference=resolve_vector_payload(self.preference),
+                        tol=self.tol, max_iter=self.max_iter,
+                        start=resolve_vector_payload(self.start))
 
 
 #: Union of the engine's task types.

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from dataclasses import asdict, is_dataclass
 from typing import Any, Dict, List
 
@@ -71,11 +72,43 @@ def ranking_to_dict(result: WebRankingResult, *, top_k: int | None = None,
     }
 
 
-def save_json(payload: Any, path: str | os.PathLike) -> None:
-    """Write any library object (dataclasses / numpy included) as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(_jsonable(payload), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+def save_json(payload: Any, path: str | os.PathLike, *,
+              atomic: bool = False) -> None:
+    """Write any library object (dataclasses / numpy included) as JSON.
+
+    With ``atomic=True`` the payload is written to a sibling temporary
+    file, flushed to disk, and renamed over *path* in one
+    :func:`os.replace` step — so a crash mid-save can never leave a torn
+    file behind: readers see either the complete previous contents or the
+    complete new ones.  State files that a restarted process must be able
+    to trust (:func:`save_warm_state`, ``repro serve --state``) use this.
+    """
+    if not atomic:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_jsonable(payload), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return
+    path = os.fspath(path)
+    # The temporary must live in the target's directory (os.replace is
+    # only atomic within one filesystem) and carry a unique name
+    # (mkstemp), so concurrent savers of the same path each write their
+    # own complete file and the last rename wins — never an interleaving.
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                    prefix=os.path.basename(path) + ".tmp.")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(_jsonable(payload), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_json(path: str | os.PathLike) -> Any:
@@ -91,8 +124,12 @@ def save_warm_state(state, path: str | os.PathLike) -> None:
     power iterations from the previous run's converged vectors — the
     ``repro serve --state`` startup path and
     :meth:`repro.api.Ranker.save_state` both write this format.
+
+    The write is write-then-rename (``atomic=True``): a crash mid-save
+    leaves the previous state file intact instead of a torn one the next
+    startup would refuse to parse.
     """
-    save_json(state.to_dict(), path)
+    save_json(state.to_dict(), path, atomic=True)
 
 
 def load_warm_state(path: str | os.PathLike):

@@ -95,6 +95,54 @@ def submatrix(matrix, indices: Sequence[int]):
     return np.asarray(matrix)[np.ix_(idx, idx)]
 
 
+def csr_from_buffers(data, indices, indptr,
+                     shape: Tuple[int, int]) -> sp.csr_matrix:
+    """Build a CSR matrix over *externally owned* buffers, without copying.
+
+    This is the attach side of the engine's shared-memory graph transport
+    (:mod:`repro.engine.arena`): ``data`` / ``indices`` / ``indptr`` are
+    numpy views over a mapped :class:`~multiprocessing.shared_memory.SharedMemory`
+    segment, and the returned matrix reads them in place.  The caller owns
+    the buffers' lifetime; scipy operations that would mutate the matrix
+    copy first (the views are handed over read-only).
+
+    The three arrays must already be in canonical CSR form — this function
+    validates consistency (lengths, monotone ``indptr``) but never sorts
+    or deduplicates, since that would write into memory it does not own.
+    """
+    n_rows, n_cols = int(shape[0]), int(shape[1])
+    if n_rows < 0 or n_cols < 0:
+        raise ValidationError("shape must be non-negative")
+    data = np.asarray(data)
+    indices = np.asarray(indices)
+    indptr = np.asarray(indptr)
+    if indptr.size != n_rows + 1:
+        raise ValidationError(
+            f"indptr has length {indptr.size}, expected {n_rows + 1}")
+    if data.size != indices.size:
+        raise ValidationError(
+            f"data ({data.size}) and indices ({indices.size}) must align")
+    if indptr.size and int(indptr[-1]) != data.size:
+        raise ValidationError(
+            f"indptr[-1] is {int(indptr[-1])} but there are {data.size} "
+            f"stored entries")
+    return sp.csr_matrix((data, indices, indptr), shape=(n_rows, n_cols),
+                         copy=False)
+
+
+def csr_arena_nbytes(matrix, *, alignment: int = 16) -> int:
+    """Bytes a CSR matrix occupies in a shared-memory arena.
+
+    The sum of the three CSR array payloads plus one *alignment* slack per
+    array (the arena aligns every array start).  Used both to size arena
+    segments and as the by-value cost of shipping the matrix through
+    pickle instead.
+    """
+    csr = matrix.tocsr()
+    return (int(csr.data.nbytes) + int(csr.indices.nbytes)
+            + int(csr.indptr.nbytes) + 3 * alignment)
+
+
 def block_diagonal(blocks: Sequence) -> sp.csr_matrix:
     """Assemble square blocks into a block-diagonal sparse matrix.
 

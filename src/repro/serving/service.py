@@ -31,8 +31,16 @@ only after re-indexing).
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..engine.arena import (
+    resolve_vector_payload,
+    share_vector,
+    vector_arena_nbytes,
+)
 from ..engine.executor import Executor, SerialExecutor
 from ..exceptions import ValidationError
 from ..ir.combined import (
@@ -50,16 +58,40 @@ from .store import ScoredDocument, ShardedScoreStore
 from .topk import TopKEngine
 
 
-def _weight_shard(payload):
-    """Compute one invalidated shard's refreshed scores (engine task).
+@dataclass(frozen=True)
+class _ShardRebuildJob:
+    """One invalidated shard's rebuild input (engine payload).
 
-    Module-level and value-only (site identifier, ids, URLs, the local
-    vector and its SiteRank weight) so any executor backend — including a
-    process pool — can run it; the store mutation stays on the calling
-    thread under the service lock.
+    Module-level, immutable and value-only (site identifier, ids, URLs,
+    the local vector and its SiteRank weight) so any executor backend —
+    including a process pool — can run it.  On the process backend the
+    local score vector rides the engine's zero-copy shared-memory arena
+    (:mod:`repro.engine.arena`) instead of pickle: the job implements the
+    arena's share hooks, and :func:`_weight_shard` attaches the vector in
+    the worker.
     """
-    site, doc_ids, urls, local_scores, site_score = payload
-    return site, doc_ids, urls, site_score * local_scores
+
+    site: str
+    doc_ids: Tuple[int, ...]
+    urls: Tuple[str, ...]
+    local_scores: object  #: numpy vector, or an ArenaRef to one
+    site_score: float
+
+    # Shared-memory transport hooks (see repro.engine.arena).
+    def __arena_bytes__(self) -> int:
+        return vector_arena_nbytes(self.local_scores)
+
+    def __arena_share__(self, arena) -> "_ShardRebuildJob":
+        return replace(self,
+                       local_scores=share_vector(arena, self.local_scores))
+
+
+def _weight_shard(job: _ShardRebuildJob):
+    """Compute one invalidated shard's refreshed scores (engine task)."""
+    local_scores = np.asarray(resolve_vector_payload(job.local_scores),
+                              dtype=float)
+    return job.site, list(job.doc_ids), list(job.urls), \
+        job.site_score * local_scores
 
 
 class RankingService:
@@ -79,10 +111,12 @@ class RankingService:
         :func:`repro.ir.combined.combined_search`).
     executor:
         Optional :class:`repro.engine.Executor` the shard-rebuild work of
-        incremental updates is dispatched through; serial by default.  A
-        SiteRank change invalidates *every* shard, so a parallel backend
-        shortens exactly the window during which queries block on the
-        service lock.
+        incremental updates is dispatched through; serial by default.
+        Rebuilds are double-buffered — queries are served from the old
+        shards for their whole duration and only wait for the final
+        pointer swap — so the executor choice decides how quickly fresh
+        scores become visible, not query latency.  A process backend
+        ships the local vectors through the engine's shared-memory arena.
     """
 
     def __init__(self, store: ShardedScoreStore, *,
@@ -111,9 +145,12 @@ class RankingService:
         self._link_scores: Optional[Dict[int, float]] = None
         self.queries_served = 0
         # The HTTP endpoint serves from multiple threads while incremental
-        # updates mutate the store; one coarse lock keeps every read
-        # consistent with in-flight shard replacements.
+        # updates replace the store; the coarse read lock is held by
+        # queries and — only for the pointer swap — by rebuilds, so reads
+        # are always consistent yet never wait out a rebuild.
         self._lock = threading.RLock()
+        # Serialises whole rebuilds against each other (see _on_update).
+        self._rebuild_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -193,8 +230,24 @@ class RankingService:
         self.close()
 
     def _on_update(self, report: UpdateReport) -> None:
-        """Repair shards and cache after an incremental ranking update."""
-        with self._lock:
+        """Repair shards and cache after an incremental ranking update.
+
+        Double-buffered: the invalidated shards are recomputed and
+        installed into a *copy* of the current store
+        (:meth:`~repro.serving.store.ShardedScoreStore.rebuilt`) while
+        queries keep being answered from the live one — the service lock
+        is taken only at the very end, for the pointer swap and the cache
+        invalidation.  On a process-pool executor the local score vectors
+        reach the workers through the engine's shared-memory arena
+        (:class:`_ShardRebuildJob`), so even the rebuild's dispatch cost
+        is independent of shard sizes.
+
+        ``_rebuild_lock`` serialises whole rebuilds against each other
+        (two interleaved rebuilds could otherwise each copy the same base
+        store and the second swap would silently drop the first's
+        shards); queries never take it.
+        """
+        with self._rebuild_lock:
             self._apply_update(report)
 
     def _apply_update(self, report: UpdateReport) -> None:
@@ -205,41 +258,46 @@ class RankingService:
             # Every site's composed score changed: rebuild all shards and
             # drop shards of sites that no longer exist (append-only graphs
             # never hit the latter, but the store should not trust that).
-            sites: Iterable[str] = docgraph.sites()
-            for stale in set(self._store.sites()) - set(sites):
-                self._store.drop_site(stale)
-            self._cache.clear()
-            self._link_scores = None  # rebuilt lazily from the fresh shards
+            sites = list(docgraph.sites())
+            drop = set(self._store.sites()) - set(sites)
         else:
-            sites = report.recomputed_sites
-            for site in sites:
-                self._cache.invalidate_tag(site)
-            # Any global top-k may admit documents of a changed site.
-            self._cache.invalidate_tag(GLOBAL_TAG)
+            sites = list(report.recomputed_sites)
+            drop = set()
         # Rebuild every invalidated shard as one engine batch: the weighted
         # score vectors are computed concurrently (they are independent per
         # site — the same property the ranking computation itself exploits),
-        # then installed serially in site order so store generations stay
-        # deterministic.
-        payloads = [self._shard_payload(site) for site in sites]
-        for site, doc_ids, urls, scores in self._executor.map(_weight_shard,
-                                                              payloads):
-            self._install_shard(site, doc_ids, urls, scores)
+        # then installed into the back-buffer store in site order so shard
+        # generations stay deterministic.
+        jobs = [self._shard_job(site) for site in sites]
+        weighted = self._executor.map(_weight_shard, jobs)
+        replacements = {site: (doc_ids, urls, scores)
+                        for site, doc_ids, urls, scores in weighted}
+        rebuilt = self._store.rebuilt(replacements, drop=drop)
+        with self._lock:
+            self._store = rebuilt
+            self._engine = TopKEngine(rebuilt)
+            if report.siterank_recomputed:
+                self._cache.clear()
+                self._link_scores = None  # rebuilt lazily from fresh shards
+            else:
+                for site in sites:
+                    self._cache.invalidate_tag(site)
+                # Any global top-k may admit documents of a changed site.
+                self._cache.invalidate_tag(GLOBAL_TAG)
+                if self._link_scores is not None:
+                    for site, (doc_ids, _urls, scores) in replacements.items():
+                        for doc_id, score in zip(doc_ids, scores):
+                            self._link_scores[doc_id] = float(score)
 
-    def _shard_payload(self, site: str):
+    def _shard_job(self, site: str) -> _ShardRebuildJob:
         ranker = self._ranker
         assert ranker is not None
         local = ranker.local(site)
-        urls = [ranker.docgraph.document(doc_id).url
-                for doc_id in local.doc_ids]
-        return (site, list(local.doc_ids), urls, local.scores,
-                ranker.siterank.score_of(site))
-
-    def _install_shard(self, site: str, doc_ids, urls, scores) -> None:
-        self._store.update_site(site, doc_ids, urls, scores)
-        if self._link_scores is not None:
-            for doc_id, score in zip(doc_ids, scores):
-                self._link_scores[doc_id] = float(score)
+        urls = tuple(ranker.docgraph.document(doc_id).url
+                     for doc_id in local.doc_ids)
+        return _ShardRebuildJob(site=site, doc_ids=tuple(local.doc_ids),
+                                urls=urls, local_scores=local.scores,
+                                site_score=ranker.siterank.score_of(site))
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -23,7 +23,7 @@ from the shards of the distributed coordinator, or incrementally from an
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -157,6 +157,36 @@ class ShardedScoreStore:
             del self._entries[doc_id]
         del self._shards[site]
         self._generation += 1
+
+    def rebuilt(self, replacements: Dict[str, Tuple[Sequence[int],
+                                                    Sequence[str], object]],
+                *, drop: Iterable[str] = ()) -> "ShardedScoreStore":
+        """A *new* store with the given shards replaced — the back buffer.
+
+        This is the double-buffering primitive of the serving layer's
+        incremental updates: the (potentially long) rebuild of invalidated
+        shards happens on this copy while readers keep querying the old
+        store, and the :class:`~repro.serving.service.RankingService`
+        then swaps its store pointer under the service lock — the only
+        moment queries wait.
+
+        Untouched shards are *shared* with this store (a ``_Shard`` is
+        never mutated after construction, so sharing is safe), and the
+        generation counter continues from this store's, preserving the
+        deterministic per-shard generation sequence ``update_site`` in
+        place would have produced: drops first, then replacements in the
+        order *replacements* iterates.
+        """
+        clone = ShardedScoreStore()
+        clone._shards = dict(self._shards)
+        clone._entries = dict(self._entries)
+        clone._generation = self._generation
+        for site in drop:
+            if site in clone._shards:
+                clone.drop_site(site)
+        for site, (doc_ids, urls, scores) in replacements.items():
+            clone.update_site(site, doc_ids, urls, scores)
+        return clone
 
     # ------------------------------------------------------------------ #
     # Point lookups (O(1))

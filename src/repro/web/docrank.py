@@ -139,7 +139,10 @@ def all_local_docranks(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
     The per-site computations are mutually independent (the paper's
     decentralisability claim), so they are dispatched through the execution
     engine: pass ``n_jobs`` or an ``executor`` to run them concurrently;
-    the default remains a serial in-order run with identical results.
+    the default remains a serial in-order run with identical results.  A
+    process backend ships the per-site matrices through the engine's
+    shared-memory arena (one segment per batch, attached zero-copy by the
+    workers) rather than pickling them.
 
     Parameters
     ----------

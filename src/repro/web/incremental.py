@@ -203,8 +203,10 @@ class IncrementalLayeredRanker:
 
         All changed sites (plus, when needed, the SiteRank) are submitted
         to the engine as *one* batch, so a multi-site change is repaired
-        concurrently on parallel executors; every power iteration is
-        warm-started from the site's previously converged vector.
+        concurrently on parallel executors (with the matrices riding the
+        engine's shared-memory arena on a process backend); every power
+        iteration is warm-started from the site's previously converged
+        vector.
 
         Parameters
         ----------

@@ -154,7 +154,11 @@ def _layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
     per-site DocRank tasks and step 4's SiteRank task run as one concurrent
     batch, and step 5 composes at the batch's barrier.  The default
     (serial) backend performs exactly the operations the historical serial
-    loop performed, in the same order.
+    loop performed, in the same order.  On a process backend the run
+    builds one shared-memory :class:`~repro.engine.arena.GraphArena` for
+    the batch — every site's local adjacency and the SiteGraph are laid
+    into it once, workers attach zero-copy, and the arena is unlinked at
+    the barrier — so dispatch cost does not scale with the web's size.
 
     Parameters
     ----------

@@ -16,7 +16,8 @@ from repro.core import (
     layered_docrank_with_schemes,
 )
 from repro.exceptions import GraphStructureError
-from repro.web import DocGraph, aggregate_sitegraph, layered_docrank
+from repro.web import DocGraph, aggregate_sitegraph
+from repro.web.pipeline import _layered_docrank as layered_docrank
 
 
 class TestLocalSchemes:

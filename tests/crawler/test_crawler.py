@@ -133,10 +133,10 @@ class TestCrawlTrapsAndRanking:
     def test_partial_crawl_is_rankable(self, small_campus):
         """A partial crawl (like the paper's stopped crawl) still feeds the
         whole ranking pipeline."""
-        from repro.web import layered_docrank
+        from repro.api import Ranker
 
         result = crawl_campus(small_campus.docgraph, max_pages=300)
-        ranking = layered_docrank(result.docgraph)
+        ranking = Ranker().fit(result.docgraph).ranking
         assert ranking.scores.sum() == pytest.approx(1.0)
         assert result.docgraph.n_sites >= 2
 

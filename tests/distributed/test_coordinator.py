@@ -6,10 +6,15 @@ import pytest
 from repro.distributed import (
     DistributedRankingCoordinator,
     NetworkParameters,
-    distributed_layered_docrank,
 )
 from repro.exceptions import SimulationError
-from repro.web import DocGraph, layered_docrank
+from repro.web import DocGraph
+from repro.web.pipeline import _layered_docrank as layered_docrank
+
+
+def distributed_layered_docrank(graph, **options):
+    """Warn-free spelling of the deprecated one-call convenience wrapper."""
+    return DistributedRankingCoordinator(graph, **options).run()
 
 
 class TestProtocolCorrectness:

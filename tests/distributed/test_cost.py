@@ -8,8 +8,17 @@ from repro.distributed import (
     layered_cost,
     power_method_flops,
 )
+from repro.api import Ranker, RankingConfig
 from repro.exceptions import ValidationError
-from repro.web import all_local_docranks, flat_pagerank_ranking, layered_docrank
+from repro.web import all_local_docranks
+
+
+def layered_docrank(graph):
+    return Ranker(RankingConfig(method="layered")).fit(graph).ranking
+
+
+def flat_pagerank_ranking(graph):
+    return Ranker(RankingConfig(method="flat")).fit(graph).ranking
 
 
 class TestPowerMethodFlops:

@@ -14,7 +14,8 @@ import numpy as np
 import pytest
 
 from repro.engine import ProcessExecutor, SerialExecutor, ThreadedExecutor
-from repro.web import DocGraph, layered_docrank
+from repro.web import DocGraph
+from repro.web.pipeline import _layered_docrank as layered_docrank
 
 #: The worked example's matrices (Section 2.3, Figure 2) scaled by 100 into
 #: integer link counts: entry (i, j) becomes that many parallel DocLinks, so

@@ -14,7 +14,8 @@ from repro.engine import (
     site_tasks_for,
 )
 from repro.exceptions import GraphStructureError, ValidationError
-from repro.web import DocGraph, layered_docrank, local_docrank, siterank
+from repro.web import DocGraph, local_docrank, siterank
+from repro.web.pipeline import _layered_docrank as layered_docrank
 
 
 class TestPlanConstruction:

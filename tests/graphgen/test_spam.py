@@ -95,7 +95,10 @@ class TestInjection:
         """The attack works against flat PageRank: the farm pushes its
         target to the very top of the flat ranking and raises its share of
         rank mass relative to the uniform baseline."""
-        from repro.web import flat_pagerank_ranking
+        from repro.api import Ranker, RankingConfig
+
+        def flat_pagerank_ranking(graph):
+            return Ranker(RankingConfig(method="flat")).fit(graph).ranking
 
         clean = toy_web()
         target_url = "http://c.example.org/two.html"

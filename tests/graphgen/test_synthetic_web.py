@@ -79,9 +79,10 @@ class TestGeneration:
         assert sizes[0] > 3 * (3000 / 30)
 
     def test_rankable_end_to_end(self, small_synthetic_web):
-        from repro.web import flat_pagerank_ranking, layered_docrank
+        from repro.api import Ranker, RankingConfig
 
-        flat = flat_pagerank_ranking(small_synthetic_web)
-        layered = layered_docrank(small_synthetic_web)
+        flat = Ranker(RankingConfig(method="flat")).fit(small_synthetic_web)
+        layered = Ranker(RankingConfig(method="layered")).fit(
+            small_synthetic_web)
         assert flat.scores.sum() == pytest.approx(1.0)
         assert layered.scores.sum() == pytest.approx(1.0)

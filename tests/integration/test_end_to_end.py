@@ -10,8 +10,8 @@ spam resistance on the campus web; BlockRank ablation).
 import numpy as np
 import pytest
 
+from repro.api import Ranker, RankingConfig
 from repro.core import approach_4
-from repro.distributed import distributed_layered_docrank
 from repro.graphgen import generate_campus_web
 from repro.metrics import (
     kendall_tau,
@@ -19,11 +19,22 @@ from repro.metrics import (
     top_k_contamination,
 )
 from repro.pagerank import blockrank
-from repro.web import (
-    flat_pagerank_ranking,
-    layered_docrank,
-    lmm_from_docgraph,
-)
+from repro.web import lmm_from_docgraph
+
+
+# End-to-end runs go through the 2.x facade (the deprecated 1.x shims are
+# exercised only by tests/api/test_deprecation.py).
+def layered_docrank(graph):
+    return Ranker(RankingConfig(method="layered")).fit(graph).ranking
+
+
+def flat_pagerank_ranking(graph):
+    return Ranker(RankingConfig(method="flat")).fit(graph).ranking
+
+
+def distributed_layered_docrank(graph, **overrides):
+    return Ranker(RankingConfig(method="layered")).distributed(graph,
+                                                               **overrides)
 
 
 @pytest.fixture(scope="module")

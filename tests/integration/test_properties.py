@@ -12,15 +12,27 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import Ranker, RankingConfig
 from repro.core import approach_4
-from repro.distributed import distributed_layered_docrank
 from repro.graphgen import SyntheticWebConfig, generate_synthetic_web
-from repro.web import (
-    aggregate_sitegraph,
-    flat_pagerank_ranking,
-    layered_docrank,
-    lmm_from_docgraph,
-)
+from repro.web import aggregate_sitegraph, lmm_from_docgraph
+
+
+# End-to-end runs go through the 2.x facade (the deprecated 1.x shims are
+# exercised only by tests/api/test_deprecation.py).
+def layered_docrank(graph, damping=0.85):
+    return Ranker(RankingConfig(method="layered",
+                                damping=damping)).fit(graph).ranking
+
+
+def flat_pagerank_ranking(graph, damping=0.85):
+    return Ranker(RankingConfig(method="flat",
+                                damping=damping)).fit(graph).ranking
+
+
+def distributed_layered_docrank(graph, **overrides):
+    return Ranker(RankingConfig(method="layered")).distributed(graph,
+                                                               **overrides)
 
 web_configs = st.builds(
     SyntheticWebConfig,

@@ -22,9 +22,9 @@ class TestToyWeb:
                                           "c.example.org"}
 
     def test_rankable(self):
-        from repro.web import layered_docrank
+        from repro.api import Ranker
 
-        result = layered_docrank(toy_web())
+        result = Ranker().fit(toy_web())
         assert result.scores.sum() == pytest.approx(1.0)
 
 
@@ -44,12 +44,14 @@ class TestSpammyWeb:
         """The miniature version of the paper's claim: under the layered
         ranking the spam site's total mass is capped by its (low) SiteRank,
         well below its flat PageRank mass."""
-        from repro.web import flat_pagerank_ranking, layered_docrank
+        from repro.api import Ranker, RankingConfig
 
         graph = spammy_web()
         farm_ids = set(graph.documents_of_site("spam.example.net"))
-        flat = flat_pagerank_ranking(graph).scores_by_doc_id()
-        layered = layered_docrank(graph).scores_by_doc_id()
+        flat = Ranker(RankingConfig(method="flat")).fit(
+            graph).scores_by_doc_id()
+        layered = Ranker(RankingConfig(method="layered")).fit(
+            graph).scores_by_doc_id()
         flat_mass = sum(flat[d] for d in farm_ids)
         layered_mass = sum(layered[d] for d in farm_ids)
         assert layered_mass < flat_mass

@@ -69,13 +69,13 @@ class TestDocGraphRoundTrip:
     def test_rankings_identical_after_round_trip(self, tmp_path, toy_docgraph):
         import numpy as np
 
-        from repro.web import layered_docrank
+        from repro.api import Ranker
 
         path = tmp_path / "graph.txt"
         write_docgraph(toy_docgraph, path)
         loaded = read_docgraph(path)
-        original = layered_docrank(toy_docgraph).scores_by_doc_id()
-        reloaded = layered_docrank(loaded).scores_by_doc_id()
+        original = Ranker().fit(toy_docgraph).scores_by_doc_id()
+        reloaded = Ranker().fit(loaded).scores_by_doc_id()
         assert np.allclose(original, reloaded)
 
     def test_rejects_empty_file(self, tmp_path):

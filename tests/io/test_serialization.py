@@ -10,7 +10,11 @@ from repro.io import (
     ranking_to_dict,
     save_json,
 )
-from repro.web import layered_docrank
+from repro.api import Ranker
+
+
+def layered_docrank(graph):
+    return Ranker().fit(graph).ranking
 
 
 class TestRankingToDict:
@@ -64,6 +68,64 @@ class TestJsonRoundTrip:
         loaded = load_json(path)
         assert loaded["method"] == "layered"
         assert len(loaded["scores"]) == toy_docgraph.n_documents
+
+
+class TestAtomicSave:
+    """save_warm_state is write-then-rename: a crash mid-save can never
+    leave a torn state file behind."""
+
+    def test_atomic_save_round_trips(self, tmp_path):
+        path = tmp_path / "state.json"
+        save_json({"value": 1}, path, atomic=True)
+        assert load_json(path) == {"value": 1}
+        # Overwrite through the same path: still the new contents, and no
+        # temporary litter left next to the target.
+        save_json({"value": 2}, path, atomic=True)
+        assert load_json(path) == {"value": 2}
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_crash_mid_save_preserves_previous_contents(self, tmp_path,
+                                                        monkeypatch):
+        import json as json_module
+
+        path = tmp_path / "state.json"
+        save_json({"value": "original"}, path, atomic=True)
+
+        def torn_dump(payload, handle, **kwargs):
+            handle.write('{"value": "to')  # half a document, then crash
+            raise OSError("disk full")
+
+        monkeypatch.setattr(json_module, "dump", torn_dump)
+        with pytest.raises(OSError, match="disk full"):
+            save_json({"value": "torn"}, path, atomic=True)
+        monkeypatch.undo()
+        # The previous complete contents survived, and the temporary was
+        # cleaned up.
+        assert load_json(path) == {"value": "original"}
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_warm_state_save_is_atomic(self, tmp_path, toy_docgraph,
+                                       monkeypatch):
+        from repro.api import Ranker, RankingConfig
+        from repro.io import load_warm_state, save_warm_state
+
+        ranker = Ranker(RankingConfig(warm_start=True))
+        ranker.fit(toy_docgraph)
+        path = tmp_path / "warm.json"
+        ranker.save_state(path)
+        before = load_warm_state(path).to_dict()
+
+        import json as json_module
+
+        def torn_dump(payload, handle, **kwargs):
+            handle.write('{"sites": ')
+            raise OSError("disk full")
+
+        monkeypatch.setattr(json_module, "dump", torn_dump)
+        with pytest.raises(OSError):
+            save_warm_state(ranker.warm_state, path)
+        monkeypatch.undo()
+        assert load_warm_state(path).to_dict() == before
 
 
 class TestMarkdownTable:

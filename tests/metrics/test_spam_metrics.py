@@ -72,11 +72,11 @@ class TestSpamImpactBundle:
         """End-to-end: the layered method assigns the farms much less mass
         and much less top-15 presence than flat PageRank — the paper's
         central empirical claim."""
-        from repro.web import flat_pagerank_ranking, layered_docrank
+        from repro.api import Ranker, RankingConfig
 
         graph = small_campus.docgraph
-        flat = flat_pagerank_ranking(graph)
-        layered = layered_docrank(graph)
+        flat = Ranker(RankingConfig(method="flat")).fit(graph).ranking
+        layered = Ranker(RankingConfig(method="layered")).fit(graph).ranking
         flat_impact = spam_impact("pagerank", flat.scores_by_doc_id(),
                                   flat.top_k(graph.n_documents),
                                   small_campus.farm_doc_ids, k=15)

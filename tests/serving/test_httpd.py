@@ -6,10 +6,14 @@ import urllib.request
 
 import pytest
 
+from repro.api import Ranker
 from repro.graphgen import generate_synthetic_web
 from repro.ir import synthesize_corpus
 from repro.serving import RankingHTTPServer, RankingService, serve_ranking
-from repro.web import layered_docrank
+
+
+def layered_docrank(web):
+    return Ranker().fit(web).ranking
 
 
 @pytest.fixture(scope="module")

@@ -3,14 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.api import Ranker
 from repro.exceptions import GraphStructureError, ValidationError
 from repro.serving import ShardedScoreStore
-from repro.web import layered_docrank
 
 
 @pytest.fixture
 def ranked_toy(toy_docgraph):
-    return toy_docgraph, layered_docrank(toy_docgraph)
+    return toy_docgraph, Ranker().fit(toy_docgraph).ranking
 
 
 @pytest.fixture

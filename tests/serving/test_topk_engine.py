@@ -2,16 +2,16 @@
 
 import pytest
 
+from repro.api import Ranker
 from repro.exceptions import GraphStructureError, ValidationError
 from repro.graphgen import generate_synthetic_web
 from repro.serving import ShardedScoreStore, TopKEngine, naive_top_k
-from repro.web import layered_docrank
 
 
 @pytest.fixture(scope="module")
 def served_web():
     web = generate_synthetic_web(n_sites=10, n_documents=400, seed=5)
-    ranking = layered_docrank(web)
+    ranking = Ranker().fit(web).ranking
     store = ShardedScoreStore.from_ranking(ranking, web)
     return web, ranking, store, TopKEngine(store)
 

@@ -210,14 +210,14 @@ class TestServeCommand:
         import re
         import urllib.request
 
+        from repro.api import Ranker
         from repro.graphgen import generate_synthetic_web
         from repro.ir import synthesize_corpus
         from repro.serving import RankingService, RankingHTTPServer
-        from repro.web import layered_docrank
 
         # Drive the same stack the serve command wires together.
         web = generate_synthetic_web(n_sites=5, n_documents=100, seed=7)
-        service = RankingService.from_ranking(layered_docrank(web), web,
+        service = RankingService.from_ranking(Ranker().fit(web).ranking, web,
                                               corpus=synthesize_corpus(web))
         server = RankingHTTPServer(service, port=0)
         server.start_background()

@@ -6,14 +6,15 @@ import pytest
 from repro.engine import ThreadedExecutor
 from repro.exceptions import GraphStructureError
 from repro.io import toy_web
-from repro.web import (
-    DocGraph,
-    IncrementalLayeredRanker,
-    aggregate_sitegraph,
-    layered_docrank,
-    local_docrank,
-    siterank,
-)
+from repro.web import DocGraph, aggregate_sitegraph, local_docrank, siterank
+
+# White-box tests of this module use the implementation spellings, not the
+# deprecated 1.x shims (the suite runs with DeprecationWarning-as-error);
+# _create is the facade's warn-free construction path.
+from repro.web.incremental import IncrementalLayeredRanker as _ILR
+from repro.web.pipeline import _layered_docrank as layered_docrank
+
+IncrementalLayeredRanker = _ILR._create
 
 
 def assert_matches_full_recompute(ranker, graph):

@@ -6,13 +6,12 @@ import pytest
 from repro.core import approach_4
 from repro.exceptions import GraphStructureError, ValidationError
 from repro.metrics import kendall_tau
-from repro.web import (
-    DocGraph,
-    aggregate_sitegraph,
-    flat_pagerank_ranking,
-    layered_docrank,
-    lmm_from_docgraph,
-)
+from repro.web import DocGraph, aggregate_sitegraph, lmm_from_docgraph
+
+# White-box tests of this module use the implementation spellings, not the
+# deprecated 1.x shims (the suite runs with DeprecationWarning-as-error).
+from repro.web.pipeline import _flat_pagerank_ranking as flat_pagerank_ranking
+from repro.web.pipeline import _layered_docrank as layered_docrank
 
 
 class TestLayeredDocRank:
