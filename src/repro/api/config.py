@@ -62,6 +62,11 @@ class RankingConfig:
         Convergence tolerance and iteration budget of the power methods.
     include_site_self_links:
         Whether intra-site links count in the SiteGraph aggregation.
+    batch_sites:
+        Whether the engine fuses small sites into block-diagonal batched
+        tasks solved by one power iteration with per-site convergence
+        freezing (:mod:`repro.linalg.block_solver`) — the default;
+        ``False`` opts out to the historical one-task-per-site path.
     executor:
         Engine backend: ``"serial"`` (reference), ``"threaded"``,
         ``"process"``, or ``"auto"`` (cost-model selection per batch).
@@ -86,6 +91,7 @@ class RankingConfig:
     tol: float = DEFAULT_TOL
     max_iter: int = DEFAULT_MAX_ITER
     include_site_self_links: bool = False
+    batch_sites: bool = True
     executor: str = "serial"
     n_jobs: Optional[Union[int, str]] = None
     warm_start: bool = False
@@ -119,6 +125,8 @@ class RankingConfig:
                  f"max_iter must be a positive integer, got {self.max_iter!r}")
         _require(isinstance(self.include_site_self_links, bool),
                  "include_site_self_links must be a boolean")
+        _require(isinstance(self.batch_sites, bool),
+                 "batch_sites must be a boolean")
         _require(self.executor in EXECUTOR_CHOICES,
                  f"executor must be one of {EXECUTOR_CHOICES}, "
                  f"got {self.executor!r}")

@@ -243,7 +243,8 @@ class Ranker:
                 site_damping=self.config.site_damping,
                 include_site_self_links=self.config.include_site_self_links,
                 tol=self.config.tol, max_iter=self.config.max_iter,
-                executor=executor, n_jobs=n_jobs)
+                executor=executor, n_jobs=n_jobs,
+                batch_sites=self.config.batch_sites)
         except BaseException:
             if owned:
                 executor.close()
@@ -327,7 +328,8 @@ class Ranker:
 
         serving_kwargs = dict(cache_size=self.config.cache_size,
                               rule=self.config.rule,
-                              weight=self.config.weight)
+                              weight=self.config.weight,
+                              batch_sites=self.config.batch_sites)
         # A pooled config also parallelises the service's shard rebuilds
         # (the window during which queries block on the service lock).
         # Distinct from any executor fit()/incremental() builds below, but

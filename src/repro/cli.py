@@ -405,6 +405,28 @@ def _command_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_calibrate(args: argparse.Namespace) -> int:
+    from .engine.calibrate import calibrate
+
+    profile = calibrate(quick=args.quick, n_jobs=args.jobs_int)
+    print(f"measured on {profile.machine} ({profile.cpu_count} CPUs), "
+          f"{profile.measured_at}")
+    print(f"dense cutoff:                      {profile.dense_cutoff} docs")
+    print(f"serial -> threaded threshold:      "
+          f"{profile.serial_flops_threshold:.3g} flops")
+    print(f"threaded -> process threshold:     "
+          f"{profile.process_flops_threshold:.3g} flops")
+    print(f"batched serial -> pool threshold:  "
+          f"{profile.batched_serial_flops_threshold:.3g} flops")
+    print(f"batched pool -> process threshold: "
+          f"{profile.batched_process_flops_threshold:.3g} flops")
+    if args.output:
+        profile.save(args.output)
+        print(f"profile written to {args.output} (activate it with "
+              f"REPRO_CALIBRATION={args.output})")
+    return 0
+
+
 def _command_config_show(args: argparse.Namespace) -> int:
     if args.config:
         config = RankingConfig.load(args.config)
@@ -506,6 +528,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="free-text queries (answered as one batch)")
     query.add_argument("--top", type=int, default=10)
     query.set_defaults(handler=_command_query)
+
+    calibrate = subparsers.add_parser(
+        "calibrate", allow_abbrev=False,
+        help="measure the engine's performance cut-offs on this machine")
+    calibrate.add_argument("--output", metavar="PATH",
+                           help="write the measured profile as JSON "
+                                "(loadable via the REPRO_CALIBRATION "
+                                "environment variable)")
+    calibrate.add_argument("--quick", action="store_true",
+                           help="shrunk measurement sizes (seconds instead "
+                                "of minutes; coarser cut-offs)")
+    calibrate.add_argument("--jobs", type=int, default=None, dest="jobs_int",
+                           help="worker count for the pooled backends "
+                                "(default: one per CPU)")
+    calibrate.set_defaults(handler=_command_calibrate)
 
     config = subparsers.add_parser(
         "config", allow_abbrev=False, help="inspect and validate ranking configs")

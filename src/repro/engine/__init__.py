@@ -46,6 +46,14 @@ from .adaptive import (
     select_backend,
     task_flops,
 )
+from .calibrate import (
+    CalibrationProfile,
+    activate_profile,
+    active_profile,
+    deactivate_profile,
+    dense_cutoff,
+)
+from .calibrate import calibrate as run_calibration
 from .executor import (
     BACKENDS,
     Executor,
@@ -59,10 +67,15 @@ from .executor import (
     warmup_for,
 )
 from .plan import (
+    BATCH_SITE_MAX_DOCS,
+    BATCH_TARGET_DOCS,
+    BatchedSiteTask,
     LocalRankTask,
     PlanExecution,
     RankingPlan,
     SiteRankTask,
+    batch_site_tasks,
+    collect_site_results,
     execute_site_tasks,
     execute_tasks,
     run_task,
@@ -86,6 +99,12 @@ __all__ = [
     "power_method_flops",
     "select_backend",
     "task_flops",
+    "CalibrationProfile",
+    "activate_profile",
+    "active_profile",
+    "run_calibration",
+    "deactivate_profile",
+    "dense_cutoff",
     "BACKENDS",
     "Executor",
     "ProcessExecutor",
@@ -96,10 +115,15 @@ __all__ = [
     "normalize_n_jobs",
     "resolve_executor",
     "warmup_for",
+    "BATCH_SITE_MAX_DOCS",
+    "BATCH_TARGET_DOCS",
+    "BatchedSiteTask",
     "LocalRankTask",
     "PlanExecution",
     "RankingPlan",
     "SiteRankTask",
+    "batch_site_tasks",
+    "collect_site_results",
     "execute_site_tasks",
     "execute_tasks",
     "run_task",

@@ -54,6 +54,22 @@ SERIAL_FLOPS_THRESHOLD = 2e7
 #: 3x earlier than under the 1.2 ship-by-value transport (5e8).
 PROCESS_FLOPS_THRESHOLD = 1.5e8
 
+#: Serial cut-off for batches dominated by fused
+#: :class:`~repro.engine.plan.BatchedSiteTask` payloads.  What made pools
+#: attractive at 2e7 flops was not the linear algebra but the thousands of
+#: Python-level per-site solver loops a pool could overlap; the fused
+#: block-diagonal kernel (:mod:`repro.linalg.block_solver`) removes that
+#: interpreter overhead entirely, so the serial backend stays the cheapest
+#: choice roughly an order of magnitude longer.
+BATCHED_SERIAL_FLOPS_THRESHOLD = 2e8
+
+#: Process cut-off for fused batches.  A batched batch contains only a
+#: handful of large tasks, so a process pool has little to overlap, pays
+#: the worker spawn, and its per-task wins are bounded by the (few) fused
+#: SpMV streams — threads, which share the packed CSR without any
+#: transport at all, displace processes for most small-site workloads.
+BATCHED_PROCESS_FLOPS_THRESHOLD = 1.5e9
+
 
 def expected_iterations(damping: float, tol: float, max_iter: int) -> int:
     """Estimated power iterations to reach *tol* at convergence rate *damping*.
@@ -96,17 +112,45 @@ def batch_flops(tasks: Sequence) -> float:
     return sum(task_flops(task) for task in tasks)
 
 
+def _batched_fraction(tasks: Sequence, total: float) -> float:
+    """Share of a batch's flops carried by fused batched-site payloads."""
+    if total <= 0.0:
+        return 0.0
+    fused = sum(task_flops(task) for task in tasks
+                if getattr(task, "is_fused_batch", False))
+    return fused / total
+
+
 def select_backend(tasks: Sequence, *,
-                   serial_threshold: float = SERIAL_FLOPS_THRESHOLD,
-                   process_threshold: float = PROCESS_FLOPS_THRESHOLD) -> str:
+                   serial_threshold: Optional[float] = None,
+                   process_threshold: Optional[float] = None) -> str:
     """Choose ``"serial"`` / ``"threaded"`` / ``"process"`` for a batch.
 
     A batch of fewer than two tasks is always serial — there is nothing to
-    overlap — regardless of its size.
+    overlap — regardless of its size.  Batches whose flops are carried
+    mostly by fused :class:`~repro.engine.plan.BatchedSiteTask` payloads
+    are priced against the *batched* cut-offs (the fused kernel already
+    amortises the per-site overhead a pool would have hidden), which
+    displaces the process backend for most small-site workloads.  Explicit
+    thresholds win; otherwise the active
+    :class:`~repro.engine.calibrate.CalibrationProfile` (when one is
+    loaded) supplies measured values, falling back to the module
+    constants.
     """
     if len(tasks) < 2:
         return "serial"
     cost = batch_flops(tasks)
+    if serial_threshold is None or process_threshold is None:
+        from .calibrate import batched_flop_thresholds, flop_thresholds
+
+        if _batched_fraction(tasks, cost) >= 0.5:
+            default_serial, default_process = batched_flop_thresholds()
+        else:
+            default_serial, default_process = flop_thresholds()
+        if serial_threshold is None:
+            serial_threshold = default_serial
+        if process_threshold is None:
+            process_threshold = default_process
     if cost < serial_threshold:
         return "serial"
     if cost < process_threshold:

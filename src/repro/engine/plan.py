@@ -29,12 +29,14 @@ resume instead of restarting from uniform.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..exceptions import GraphStructureError, ValidationError
+from ..linalg.block_solver import PackedBlocks, pack_blocks, solve_blocks
 from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
 from ..markov.irreducibility import DEFAULT_DAMPING
 from ..linalg.sparse_utils import csr_arena_nbytes
@@ -176,8 +178,180 @@ class SiteRankTask:
                         start=resolve_vector_payload(self.start))
 
 
+#: Sites at or below this many documents ride a fused batched task by
+#: default; larger sites keep their dedicated :class:`LocalRankTask` (their
+#: linear algebra dominates, so fusing buys nothing and would serialise
+#: work a pool could overlap).
+BATCH_SITE_MAX_DOCS = 512
+
+#: Target total documents per fused batch.  One giant batch would pin all
+#: small-site work to a single task; chunking at this size keeps enough
+#: independent fused tasks for the pooled backends to overlap while still
+#: amortising the per-site interpreter overhead thousands of times over.
+BATCH_TARGET_DOCS = 25_000
+
+
+@dataclass(frozen=True)
+class BatchedSiteTask:
+    """Step 3 for *many small sites* as one fused unit of work.
+
+    The constituent sites' local adjacencies are packed into a single
+    block-diagonal CSR at construction (:func:`repro.linalg.block_solver.pack_blocks`)
+    and solved by one fused power iteration with per-site convergence
+    freezing (:func:`repro.linalg.block_solver.solve_blocks`) — thousands
+    of Python-level solver loops become a handful of large SpMVs per
+    sweep.  Like :class:`LocalRankTask` the payload is value-only and
+    picklable; on the process backend the *packed* buffers (one CSR, one
+    id vector, one offset vector, optional packed start/preference
+    vectors) ride the shared-memory arena as a single family of refs
+    instead of per-site buffers.
+    """
+
+    sites: Tuple[str, ...]
+    adjacency: object  #: packed block-diagonal CSR, or an ArenaRef to one
+    offsets: object  #: int64 block boundaries (len sites+1), or an ArenaRef
+    doc_ids: object  #: int64 concatenated global ids, or an ArenaRef
+    damping: float = DEFAULT_DAMPING
+    preference: object = None  #: packed vector, or an ArenaRef, or None
+    tol: float = DEFAULT_TOL
+    max_iter: int = DEFAULT_MAX_ITER
+    start: object = None  #: packed vector, or an ArenaRef, or None
+
+    #: Marker the adaptive cost model keys on to re-price fused batches
+    #: (duck-typed so :mod:`repro.engine.adaptive` needs no import).
+    is_fused_batch = True
+
+    @property
+    def n_sites(self) -> int:
+        """Number of fused sites."""
+        return len(self.sites)
+
+    @property
+    def n_documents(self) -> int:
+        """Total documents across the fused sites (cost-model input)."""
+        if isinstance(self.doc_ids, ArenaRef):
+            return self.doc_ids.data_count
+        return int(len(self.doc_ids))
+
+    @property
+    def nnz(self) -> int:
+        """Non-zeros of the packed block-diagonal matrix."""
+        return int(self.adjacency.nnz)
+
+    # -------------------------------------------------------------- #
+    # Shared-memory transport hooks (see repro.engine.arena)
+    # -------------------------------------------------------------- #
+    def __arena_bytes__(self) -> int:
+        if isinstance(self.adjacency, ArenaRef):
+            return 0
+        return (csr_arena_nbytes(self.adjacency)
+                + 8 * (self.n_documents + self.n_sites + 1) + 2 * ALIGNMENT
+                + vector_arena_nbytes(self.preference, self.start))
+
+    def __arena_share__(self, arena) -> "BatchedSiteTask":
+        if isinstance(self.adjacency, ArenaRef):
+            return self
+        return replace(
+            self,
+            adjacency=arena.add_csr(self.adjacency),
+            offsets=arena.add_vector(np.asarray(self.offsets,
+                                                dtype=np.int64)),
+            doc_ids=arena.add_vector(np.asarray(self.doc_ids,
+                                                dtype=np.int64)),
+            preference=share_vector(arena, self.preference),
+            start=share_vector(arena, self.start))
+
+    def run(self) -> List[LocalDocRank]:
+        """Solve every fused site; results in :attr:`sites` order."""
+        offsets = np.asarray(resolve_vector_payload(self.offsets),
+                             dtype=np.int64)
+        doc_ids = np.asarray(resolve_vector_payload(self.doc_ids),
+                             dtype=np.int64)
+        packed = PackedBlocks(
+            matrix=resolve_matrix(self.adjacency), offsets=offsets,
+            start=resolve_vector_payload(self.start),
+            preference=resolve_vector_payload(self.preference))
+        solved = solve_blocks(packed, self.damping, tol=self.tol,
+                              max_iter=self.max_iter)
+        results = []
+        for index, site in enumerate(self.sites):
+            ids = doc_ids[offsets[index]:offsets[index + 1]]
+            results.append(LocalDocRank(
+                site=site, doc_ids=[int(doc_id) for doc_id in ids],
+                scores=solved.vectors[index],
+                iterations=int(solved.iterations[index])))
+        return results
+
+    @classmethod
+    def from_tasks(cls, tasks: Sequence[LocalRankTask]) -> "BatchedSiteTask":
+        """Fuse per-site tasks (which must share damping/tol/max_iter)."""
+        if not tasks:
+            raise ValidationError("cannot batch zero site tasks")
+        head = tasks[0]
+        for task in tasks[1:]:
+            if (task.damping, task.tol, task.max_iter) != \
+                    (head.damping, head.tol, head.max_iter):
+                raise ValidationError(
+                    "batched site tasks must share damping, tol and "
+                    "max_iter")
+        packed = pack_blocks([(task.adjacency, task.start, task.preference)
+                              for task in tasks])
+        doc_ids = np.concatenate([
+            np.asarray(task.doc_ids, dtype=np.int64) for task in tasks])
+        return cls(sites=tuple(task.site for task in tasks),
+                   adjacency=packed.matrix, offsets=packed.offsets,
+                   doc_ids=doc_ids, damping=head.damping,
+                   preference=packed.preference, tol=head.tol,
+                   max_iter=head.max_iter, start=packed.start)
+
+
+def batch_site_tasks(tasks: Sequence[LocalRankTask], *,
+                     max_docs: int = BATCH_SITE_MAX_DOCS,
+                     target_docs: int = BATCH_TARGET_DOCS
+                     ) -> List["RankTask"]:
+    """Group small-site tasks into fused :class:`BatchedSiteTask` payloads.
+
+    Sites with at most *max_docs* documents are fused (grouped by their
+    solver parameters, chunked at *target_docs* total documents so pooled
+    backends keep parallelism across batches); larger sites — and tasks
+    whose buffers already live in an arena — pass through untouched.  The
+    returned list mixes fused and dedicated tasks; callers key results
+    back by site, so ordering between the two kinds is irrelevant.
+    """
+    if max_docs < 0 or target_docs < 1:
+        raise ValidationError(
+            "max_docs must be non-negative and target_docs positive")
+    passthrough: List[RankTask] = []
+    groups: "OrderedDict[tuple, List[LocalRankTask]]" = OrderedDict()
+    for task in tasks:
+        if (task.n_documents > max_docs
+                or isinstance(task.adjacency, ArenaRef)):
+            passthrough.append(task)
+            continue
+        key = (task.damping, task.tol, task.max_iter)
+        groups.setdefault(key, []).append(task)
+
+    fused: List[RankTask] = []
+    for grouped in groups.values():
+        chunk: List[LocalRankTask] = []
+        chunk_docs = 0
+        for task in grouped:
+            if chunk and chunk_docs + task.n_documents > target_docs:
+                fused.append(BatchedSiteTask.from_tasks(chunk))
+                chunk, chunk_docs = [], 0
+            chunk.append(task)
+            chunk_docs += task.n_documents
+        if len(chunk) == 1:
+            # A fused batch of one site has nothing to amortise; keep the
+            # dedicated task (and its bitwise-reference code path).
+            passthrough.append(chunk[0])
+        elif chunk:
+            fused.append(BatchedSiteTask.from_tasks(chunk))
+    return [*fused, *passthrough]
+
+
 #: Union of the engine's task types.
-RankTask = Union[LocalRankTask, SiteRankTask]
+RankTask = Union[LocalRankTask, SiteRankTask, BatchedSiteTask]
 
 
 def run_task(task: RankTask):
@@ -233,10 +407,37 @@ def site_tasks_for(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
 
 def execute_site_tasks(tasks: Sequence[LocalRankTask], *,
                        executor: Optional[Executor] = None,
-                       n_jobs: Optional[int] = None) -> List[LocalDocRank]:
-    """Run step-3 tasks only (no SiteRank), preserving submission order."""
-    results, _seconds = execute_tasks(tasks, executor=executor, n_jobs=n_jobs)
-    return results
+                       n_jobs: Optional[int] = None,
+                       batch_sites: bool = True) -> List[LocalDocRank]:
+    """Run step-3 tasks only (no SiteRank), preserving submission order.
+
+    With *batch_sites* (the default) small sites are fused into
+    block-diagonal :class:`BatchedSiteTask` payloads before dispatch; the
+    returned list is still aligned with *tasks*.  ``batch_sites=False``
+    keeps the historical one-task-per-site path (the bitwise reference).
+    """
+    tasks = list(tasks)
+    payload: Sequence[RankTask] = (batch_site_tasks(tasks) if batch_sites
+                                   else tasks)
+    results, _seconds = execute_tasks(payload, executor=executor,
+                                      n_jobs=n_jobs)
+    if not batch_sites:
+        return results
+    by_site = collect_site_results(payload, results)
+    return [by_site[task.site] for task in tasks]
+
+
+def collect_site_results(payload: Sequence["RankTask"],
+                         results: Sequence) -> Dict[str, LocalDocRank]:
+    """Key a mixed fused/dedicated batch's results back by site."""
+    by_site: Dict[str, LocalDocRank] = {}
+    for task, result in zip(payload, results):
+        if isinstance(task, BatchedSiteTask):
+            for rank in result:
+                by_site[rank.site] = rank
+        else:
+            by_site[task.site] = result
+    return by_site
 
 
 @dataclass
@@ -254,7 +455,9 @@ class PlanExecution:
     executor_name:
         Backend that executed the batch (``"serial"``/``"threaded"``/…).
     n_tasks:
-        Number of tasks in the batch (sites + 1).
+        Number of task payloads actually dispatched — with site batching
+        (the default) fused :class:`BatchedSiteTask` payloads count once,
+        so this is typically far below ``n_sites + 1``.
     """
 
     local: Dict[str, LocalDocRank]
@@ -283,7 +486,8 @@ class RankingPlan:
 
     def __init__(self, sitegraph: SiteGraph,
                  site_tasks: Sequence[LocalRankTask],
-                 siterank_task: SiteRankTask) -> None:
+                 siterank_task: SiteRankTask, *,
+                 batch_sites: bool = True) -> None:
         task_sites = [task.site for task in site_tasks]
         if sorted(task_sites) != sorted(sitegraph.sites):
             raise ValidationError(
@@ -291,6 +495,9 @@ class RankingPlan:
         self.sitegraph = sitegraph
         self.site_tasks = list(site_tasks)
         self.siterank_task = siterank_task
+        #: Whether execute() fuses small sites into block-diagonal batches
+        #: (:func:`batch_site_tasks`); ``False`` is the per-site opt-out.
+        self.batch_sites = bool(batch_sites)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -302,7 +509,8 @@ class RankingPlan:
                       include_site_self_links: bool = False,
                       tol: float = DEFAULT_TOL,
                       max_iter: int = DEFAULT_MAX_ITER,
-                      warm: Optional[WarmStartState] = None) -> "RankingPlan":
+                      warm: Optional[WarmStartState] = None,
+                      batch_sites: bool = True) -> "RankingPlan":
         """Build the plan for a DocGraph (steps 1–2 happen here, serially)."""
         if docgraph.n_documents == 0:
             raise GraphStructureError("cannot plan over an empty DocGraph")
@@ -318,7 +526,7 @@ class RankingPlan:
         siterank_task = SiteRankTask(sitegraph=sitegraph, damping=site_damping,
                                      preference=site_preference, tol=tol,
                                      max_iter=max_iter, start=site_start)
-        return cls(sitegraph, tasks, siterank_task)
+        return cls(sitegraph, tasks, siterank_task, batch_sites=batch_sites)
 
     # ------------------------------------------------------------------ #
     @property
@@ -346,7 +554,8 @@ class RankingPlan:
         siterank_task = replace(
             self.siterank_task,
             start=warm.siterank_start(self.sitegraph.sites))
-        return RankingPlan(self.sitegraph, tasks, siterank_task)
+        return RankingPlan(self.sitegraph, tasks, siterank_task,
+                           batch_sites=self.batch_sites)
 
     # ------------------------------------------------------------------ #
     def execute(self, *, executor: Optional[Executor] = None,
@@ -358,6 +567,9 @@ class RankingPlan:
         backends the single site-level computation overlaps the per-site
         work instead of trailing it.  Results are keyed back to their
         tasks by position, so scheduling order never affects the output.
+        When the plan batches sites (the default), small sites are fused
+        into block-diagonal :class:`BatchedSiteTask` payloads at dispatch
+        time and their results spliced back per site.
 
         When *warm* is given, the execution also records every converged
         vector back into it, making consecutive executions resume from
@@ -365,7 +577,10 @@ class RankingPlan:
         """
         plan = self if warm is None else self.with_warm_state(warm)
         resolved, owned = resolve_executor(executor, n_jobs)
-        batch: List[RankTask] = [plan.siterank_task, *plan.site_tasks]
+        site_payload: List[RankTask] = (
+            batch_site_tasks(plan.site_tasks) if plan.batch_sites
+            else list(plan.site_tasks))
+        batch: List[RankTask] = [plan.siterank_task, *site_payload]
         started = time.perf_counter()
         try:
             results = resolved.map(run_task, batch)
@@ -374,8 +589,8 @@ class RankingPlan:
                 resolved.close()
         wall_seconds = time.perf_counter() - started
         site_result: SiteRankResult = results[0]
-        local = {task.site: result
-                 for task, result in zip(plan.site_tasks, results[1:])}
+        by_site = collect_site_results(site_payload, results[1:])
+        local = {task.site: by_site[task.site] for task in plan.site_tasks}
         if warm is not None:
             for site, rank in local.items():
                 warm.record_local(site, rank.doc_ids, rank.scores)

@@ -6,6 +6,12 @@ Perron–Frobenius structure tests.  Higher layers (:mod:`repro.pagerank`,
 :mod:`repro.core`, :mod:`repro.web`) build on these primitives.
 """
 
+from .block_solver import (
+    BlockSolveResult,
+    PackedBlocks,
+    pack_blocks,
+    solve_blocks,
+)
 from .linear_solvers import (
     LinearSolveResult,
     gauss_seidel_pagerank,
@@ -48,6 +54,10 @@ from .stochastic import (
 )
 
 __all__ = [
+    "BlockSolveResult",
+    "PackedBlocks",
+    "pack_blocks",
+    "solve_blocks",
     "LinearSolveResult",
     "gauss_seidel_pagerank",
     "jacobi_pagerank",

@@ -1,0 +1,371 @@
+"""Batched power iteration over a block-diagonal matrix of small chains.
+
+The layered method's step 3 solves one tiny PageRank problem per web site.
+Each of those problems is cheap; what is expensive on a realistic web is
+running *thousands* of them through a Python-level power-iteration loop —
+per-site interpreter overhead dominates the linear algebra by an order of
+magnitude.  This module removes that overhead by exploiting a trivial
+identity: the power iteration of ``B`` mutually independent chains is the
+power iteration of their block-diagonal direct sum.  Packing the per-site
+``(adjacency, start, preference)`` triples into one block-diagonal CSR
+turns ``B`` interpreter loops of tiny sparse products into a handful of
+large fused SpMVs per sweep, with the per-block teleportation, dangling
+correction, normalisation and residual computed vectorised via
+:func:`numpy.add.reduceat` over the block offsets.
+
+Convergence is still *per block*: each sweep computes every block's own L1
+residual, and blocks that have met the tolerance are **frozen** — their
+vector is fixed at its converged value and their rows are compacted out of
+the active matrix, so late-converging sites never drag the whole batch.
+This is the adaptive-PageRank idea (:mod:`repro.pagerank.adaptive`) applied
+across sites instead of across pages.
+
+Numerics match the per-site solvers: every block runs the damped update
+
+``x⁺_b = f·(x_b·L_b + (x_b·d_b)·u_b) + (1 − f)·v_b``
+
+(``L_b`` the row-normalised link matrix, ``d_b`` the dangling indicator,
+``u_b`` the uniform dangling redistribution — the per-site dense path's
+``dangling="uniform"`` policy — and ``v_b`` the teleport preference),
+followed by per-block renormalisation and the per-block L1 residual test,
+exactly the operations :func:`repro.linalg.power_iteration.stationary_distribution`
+performs on the materialised Google matrix of each block.  The two code
+paths therefore track each other to floating-point rounding; at a solver
+tolerance of ``tol`` either path stops within ``tol·f/(1-f)`` of the true
+stationary vector, so equality assertions between them are made at a
+tolerance a couple of orders looser than ``tol`` (the batched-equivalence
+tests and benchmark E15 run both paths at ``1e-13`` and assert agreement
+within ``1e-12``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import ensure_distribution, ensure_probability
+from ..exceptions import ConvergenceError, ValidationError
+from .power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
+from .stochastic import row_normalize
+
+
+@dataclass
+class PackedBlocks:
+    """A batch of independent chains packed into one block-diagonal CSR.
+
+    Attributes
+    ----------
+    matrix:
+        Block-diagonal raw adjacency (weights, not yet normalised); block
+        ``b`` occupies rows/columns ``offsets[b]:offsets[b+1]``.
+    offsets:
+        ``int64`` block boundaries, length ``n_blocks + 1``.
+    start:
+        Optional concatenated start distributions (each block's slice sums
+        to 1); uniform per block when ``None``.
+    preference:
+        Optional concatenated teleport distributions; uniform per block
+        when ``None``.
+    """
+
+    matrix: sp.csr_matrix
+    offsets: np.ndarray
+    start: Optional[np.ndarray] = None
+    preference: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        if self.offsets.ndim != 1 or self.offsets.size < 2:
+            raise ValidationError("offsets must hold at least one block")
+        if int(self.offsets[0]) != 0:
+            raise ValidationError("offsets must start at 0")
+        if np.any(np.diff(self.offsets) <= 0):
+            raise ValidationError("blocks must be non-empty and offsets "
+                                  "strictly increasing")
+        n = int(self.offsets[-1])
+        if self.matrix.shape != (n, n):
+            raise ValidationError(
+                f"packed matrix has shape {self.matrix.shape!r}, expected "
+                f"({n}, {n}) from the offsets")
+        for name in ("start", "preference"):
+            vector = getattr(self, name)
+            if vector is not None and np.asarray(vector).size != n:
+                raise ValidationError(
+                    f"{name} has length {np.asarray(vector).size}, "
+                    f"expected {n}")
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of packed blocks."""
+        return self.offsets.size - 1
+
+    @property
+    def n_rows(self) -> int:
+        """Total rows across all blocks."""
+        return int(self.offsets[-1])
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Per-block row counts."""
+        return np.diff(self.offsets)
+
+    def block_slice(self, block: int) -> slice:
+        """The row range of one block."""
+        return slice(int(self.offsets[block]), int(self.offsets[block + 1]))
+
+
+def pack_blocks(blocks: Sequence) -> PackedBlocks:
+    """Pack per-chain ``(adjacency, start, preference)`` triples.
+
+    Each element of *blocks* is either a square adjacency matrix or a
+    ``(adjacency, start, preference)`` triple whose ``start`` /
+    ``preference`` entries may be ``None`` (uniform).  Start and preference
+    vectors are validated per block exactly like the per-site solvers
+    validate theirs, then concatenated; when no block supplies one the
+    concatenated vector is omitted entirely.
+    """
+    if not blocks:
+        raise ValidationError("blocks must not be empty")
+    matrices: List[sp.csr_matrix] = []
+    starts: List[Optional[np.ndarray]] = []
+    preferences: List[Optional[np.ndarray]] = []
+    sizes: List[int] = []
+    for index, block in enumerate(blocks):
+        if isinstance(block, tuple):
+            if len(block) != 3:
+                raise ValidationError(
+                    f"block {index} must be (adjacency, start, preference), "
+                    f"got a {len(block)}-tuple")
+            adjacency, start, preference = block
+        else:
+            adjacency, start, preference = block, None, None
+        if adjacency.shape[0] != adjacency.shape[1]:
+            raise ValidationError(
+                f"block {index} adjacency must be square, "
+                f"got {adjacency.shape!r}")
+        n = int(adjacency.shape[0])
+        if n == 0:
+            raise ValidationError(f"block {index} is empty")
+        matrices.append(sp.csr_matrix(adjacency, dtype=float))
+        sizes.append(n)
+        for store, vector, name in ((starts, start, "start"),
+                                    (preferences, preference, "preference")):
+            if vector is None:
+                store.append(None)
+                continue
+            vector = ensure_distribution(vector, name=f"block {index} {name}")
+            if vector.size != n:
+                raise ValidationError(
+                    f"block {index} {name} has length {vector.size}, "
+                    f"expected {n}")
+            store.append(vector)
+
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    matrix = (matrices[0] if len(matrices) == 1
+              else sp.block_diag(matrices, format="csr"))
+    return PackedBlocks(matrix=matrix.tocsr(), offsets=offsets,
+                        start=_concat_optional(starts, sizes),
+                        preference=_concat_optional(preferences, sizes))
+
+
+def _concat_optional(vectors: Sequence[Optional[np.ndarray]],
+                     sizes: Sequence[int]) -> Optional[np.ndarray]:
+    """Concatenate optional per-block vectors (uniform fill; None when all absent)."""
+    if all(vector is None for vector in vectors):
+        return None
+    return np.concatenate([
+        np.full(size, 1.0 / size) if vector is None else vector
+        for vector, size in zip(vectors, sizes)])
+
+
+@dataclass
+class BlockSolveResult:
+    """Outcome of one fused multi-block power-iteration run.
+
+    Attributes
+    ----------
+    vectors:
+        Per-block stationary distributions, in block order.
+    iterations:
+        Sweep index at which each block froze (its individual iteration
+        count — the fused run performs ``max(iterations)`` sweeps).
+    converged:
+        Whether each block met the tolerance within the budget.
+    final_residuals:
+        Each block's L1 residual at its last update.
+    sweeps:
+        Fused iterations the batch executed.
+    active_history:
+        Number of still-active (unfrozen) blocks entering each sweep —
+        the freezing diagnostic benchmark E15 plots.
+    residuals:
+        Per-block residual histories; only populated when the solver ran
+        with ``record_residuals=True`` (off by default: the engine's hot
+        paths need no per-iteration appends).
+    tolerance:
+        The tolerance the run targeted.
+    """
+
+    vectors: List[np.ndarray]
+    iterations: np.ndarray
+    converged: np.ndarray
+    final_residuals: np.ndarray
+    sweeps: int
+    active_history: List[int] = field(default_factory=list)
+    residuals: Optional[List[List[float]]] = None
+    tolerance: float = DEFAULT_TOL
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of solved blocks."""
+        return len(self.vectors)
+
+    @property
+    def total_iterations(self) -> int:
+        """Per-block iteration counts summed (comparable to per-site runs)."""
+        return int(self.iterations.sum())
+
+
+def solve_blocks(packed: PackedBlocks, damping: float, *,
+                 tol: float = DEFAULT_TOL,
+                 max_iter: int = DEFAULT_MAX_ITER,
+                 record_residuals: bool = False,
+                 raise_on_failure: bool = True) -> BlockSolveResult:
+    """Run one fused damped power iteration over every packed block.
+
+    Parameters
+    ----------
+    packed:
+        The block-diagonal batch (see :func:`pack_blocks`).
+    damping:
+        Damping factor ``f`` shared by every block.
+    tol:
+        Per-block L1 convergence tolerance; a block freezes (stops being
+        updated, and is compacted out of the active matrix) the sweep its
+        own residual first drops below this.
+    max_iter:
+        Sweep budget; blocks still active when it is exhausted are
+        reported unconverged (or raise, per *raise_on_failure*).
+    record_residuals:
+        Keep each block's full residual history.  Off by default — the
+        history is a per-sweep list append the engine's hot paths do not
+        want to pay; benchmarks switch it on.
+    raise_on_failure:
+        Raise :class:`~repro.exceptions.ConvergenceError` when any block
+        exhausts the budget (mirrors the per-site solvers); when false the
+        best iterate is returned with ``converged=False`` for that block.
+    """
+    damping = ensure_probability(damping, name="damping")
+    if tol <= 0:
+        raise ValidationError("tol must be positive")
+    if max_iter < 1:
+        raise ValidationError("max_iter must be at least 1")
+
+    n_blocks = packed.n_blocks
+    n_total = packed.n_rows
+    sizes = packed.sizes.copy()
+    offsets = packed.offsets.copy()
+
+    link = row_normalize(packed.matrix).tocsr()
+    row_sums = np.asarray(link.sum(axis=1)).ravel()
+    dangling = (row_sums == 0.0).astype(float)
+    # Uniform-within-block dangling redistribution and (default) teleport —
+    # the same policies the per-site dense path applies.
+    uniform = np.repeat(1.0 / sizes, sizes)
+    teleport = (uniform if packed.preference is None
+                else np.asarray(packed.preference, dtype=float).copy())
+    if packed.start is None:
+        x = uniform.copy()
+    else:
+        x = np.asarray(packed.start, dtype=float).copy()
+
+    # Frozen blocks are compacted out of the active row set, but columns
+    # keep their original positions (CSR row gathering is cheap; column
+    # slicing is not): each sweep's SpMV produces a full-width vector and
+    # ``entry_ids`` gathers the active entries back out of it.
+    entry_ids = np.arange(n_total, dtype=np.int64)
+    block_ids = np.arange(n_blocks, dtype=np.int64)
+
+    vectors: List[Optional[np.ndarray]] = [None] * n_blocks
+    iterations = np.zeros(n_blocks, dtype=np.int64)
+    converged = np.zeros(n_blocks, dtype=bool)
+    final_residuals = np.full(n_blocks, np.inf)
+    history: Optional[List[List[float]]] = (
+        [[] for _ in range(n_blocks)] if record_residuals else None)
+    active_history: List[int] = []
+
+    sweeps = 0
+    while block_ids.size and sweeps < max_iter:
+        sweeps += 1
+        active_history.append(int(block_ids.size))
+        starts = offsets[:-1]
+
+        linked = np.asarray(x @ link).ravel()[entry_ids]
+        dangling_mass = np.add.reduceat(x * dangling, starts)
+        new_x = (damping * (linked + np.repeat(dangling_mass, sizes) * uniform)
+                 + (1.0 - damping) * teleport)
+        totals = np.add.reduceat(new_x, starts)
+        # Guard against floating point drift away from the simplex (a
+        # per-block echo of the per-site solver's ``total > 0`` guard).
+        new_x = new_x / np.repeat(np.where(totals > 0.0, totals, 1.0), sizes)
+        residuals = np.add.reduceat(np.abs(new_x - x), starts)
+        x = new_x
+
+        if history is not None:
+            for block, residual in zip(block_ids, residuals):
+                history[block].append(float(residual))
+        final_residuals[block_ids] = residuals
+        iterations[block_ids] = sweeps
+
+        frozen = residuals < tol
+        if not frozen.any():
+            continue
+        for position in np.flatnonzero(frozen):
+            block = int(block_ids[position])
+            converged[block] = True
+            vectors[block] = x[offsets[position]:offsets[position + 1]].copy()
+        # Compact every still-active block's rows (and per-entry state) so
+        # the next sweep's SpMV only touches unconverged sites.
+        keep_blocks = ~frozen
+        keep_entries = np.repeat(keep_blocks, sizes)
+        block_ids = block_ids[keep_blocks]
+        sizes = sizes[keep_blocks]
+        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        x = x[keep_entries]
+        dangling = dangling[keep_entries]
+        uniform = uniform[keep_entries]
+        teleport = teleport[keep_entries]
+        entry_ids = entry_ids[keep_entries]
+        link = link[keep_entries]
+
+    # Blocks that never froze keep their best iterate.
+    for position, block in enumerate(block_ids):
+        vectors[int(block)] = x[offsets[position]:offsets[position + 1]].copy()
+
+    if block_ids.size and raise_on_failure:
+        worst = int(block_ids[int(np.argmax(
+            final_residuals[block_ids]))])
+        raise ConvergenceError(
+            f"{block_ids.size} of {n_blocks} blocks did not converge within "
+            f"{max_iter} iterations (worst: block {worst} at residual "
+            f"{final_residuals[worst]:.3e}, tol {tol:.3e})",
+            iterations=max_iter, residual=float(final_residuals[worst]))
+
+    return BlockSolveResult(
+        vectors=[vector for vector in vectors],  # type: ignore[misc]
+        iterations=iterations, converged=converged,
+        final_residuals=final_residuals, sweeps=sweeps,
+        active_history=active_history, residuals=history, tolerance=tol)
+
+
+__all__ = [
+    "BlockSolveResult",
+    "PackedBlocks",
+    "pack_blocks",
+    "solve_blocks",
+]

@@ -42,7 +42,10 @@ class PowerIterationResult:
     converged:
         Whether the tolerance was met within the iteration budget.
     residuals:
-        L1 distance between successive iterates, one entry per iteration.
+        L1 distance between successive iterates, one entry per iteration
+        (empty when the run recorded no history —
+        ``record_residuals=False`` — in which case only the final residual
+        is kept, in :attr:`last_residual`).
     tolerance:
         The tolerance the run targeted.
     """
@@ -52,11 +55,18 @@ class PowerIterationResult:
     converged: bool
     residuals: List[float] = field(default_factory=list)
     tolerance: float = DEFAULT_TOL
+    #: Residual of the final iteration, tracked even when the per-iteration
+    #: history is not recorded (``record_residuals=False``).
+    last_residual: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.residuals and not np.isfinite(self.last_residual):
+            self.last_residual = self.residuals[-1]
 
     @property
     def final_residual(self) -> float:
         """Residual of the last iteration (``inf`` when no iteration ran)."""
-        return self.residuals[-1] if self.residuals else float("inf")
+        return self.last_residual
 
     def __iter__(self):
         # Allow ``vector, iterations = result`` style unpacking.
@@ -69,6 +79,7 @@ def stationary_distribution(transition, *, start: Optional[np.ndarray] = None,
                             max_iter: int = DEFAULT_MAX_ITER,
                             raise_on_failure: bool = True,
                             callback: Optional[Callable[[int, float], None]] = None,
+                            record_residuals: bool = True,
                             ) -> PowerIterationResult:
     """Compute the stationary distribution of a row-stochastic matrix.
 
@@ -93,6 +104,11 @@ def stationary_distribution(transition, *, start: Optional[np.ndarray] = None,
     callback:
         Optional ``callback(iteration, residual)`` hook invoked after every
         iteration; used by the convergence benchmarks.
+    record_residuals:
+        Whether to keep the full residual history (default).  The engine's
+        hot paths — which only consume the converged vector and the
+        iteration count — pass ``False`` to skip the per-iteration list
+        append; the final residual is always tracked either way.
     """
     n = transition.shape[0]
     if transition.shape[0] != transition.shape[1]:
@@ -115,6 +131,7 @@ def stationary_distribution(transition, *, start: Optional[np.ndarray] = None,
         transition, dtype=float)
 
     residuals: List[float] = []
+    residual = float("inf")
     converged = False
     iterations = 0
     for iterations in range(1, max_iter + 1):
@@ -127,7 +144,8 @@ def stationary_distribution(transition, *, start: Optional[np.ndarray] = None,
         if total > 0:
             new_x = new_x / total
         residual = float(np.abs(new_x - x).sum())
-        residuals.append(residual)
+        if record_residuals:
+            residuals.append(residual)
         x = new_x
         if callback is not None:
             callback(iterations, residual)
@@ -138,12 +156,12 @@ def stationary_distribution(transition, *, start: Optional[np.ndarray] = None,
     if not converged and raise_on_failure:
         raise ConvergenceError(
             f"power iteration did not converge within {max_iter} iterations "
-            f"(last residual {residuals[-1]:.3e}, tol {tol:.3e})",
-            iterations=iterations, residual=residuals[-1])
+            f"(last residual {residual:.3e}, tol {tol:.3e})",
+            iterations=iterations, residual=residual)
 
     return PowerIterationResult(vector=x, iterations=iterations,
                                 converged=converged, residuals=residuals,
-                                tolerance=tol)
+                                tolerance=tol, last_residual=residual)
 
 
 def stationary_distribution_dangling_aware(
@@ -152,6 +170,7 @@ def stationary_distribution_dangling_aware(
         tol: float = DEFAULT_TOL, max_iter: int = DEFAULT_MAX_ITER,
         start: Optional[np.ndarray] = None,
         callback: Optional[Callable[[int, float], None]] = None,
+        record_residuals: bool = True,
         ) -> PowerIterationResult:
     """Power iteration in the *matrix-free* PageRank form.
 
@@ -211,6 +230,7 @@ def stationary_distribution_dangling_aware(
         x = ensure_distribution(start, name="start").copy()
 
     residuals: List[float] = []
+    residual = float("inf")
     converged = False
     iterations = 0
     for iterations in range(1, max_iter + 1):
@@ -224,7 +244,8 @@ def stationary_distribution_dangling_aware(
         if total > 0:
             new_x = new_x / total
         residual = float(np.abs(new_x - x).sum())
-        residuals.append(residual)
+        if record_residuals:
+            residuals.append(residual)
         x = new_x
         if callback is not None:
             callback(iterations, residual)
@@ -235,12 +256,12 @@ def stationary_distribution_dangling_aware(
     if not converged:
         raise ConvergenceError(
             f"matrix-free power iteration did not converge within {max_iter} "
-            f"iterations (last residual {residuals[-1]:.3e})",
-            iterations=iterations, residual=residuals[-1])
+            f"iterations (last residual {residual:.3e})",
+            iterations=iterations, residual=residual)
 
     return PowerIterationResult(vector=x, iterations=iterations,
                                 converged=converged, residuals=residuals,
-                                tolerance=tol)
+                                tolerance=tol, last_residual=residual)
 
 
 def principal_eigenvector_dense(matrix) -> np.ndarray:

@@ -20,6 +20,7 @@ from .spam_metrics import (
 from .topk import (
     average_precision,
     precision_at_k,
+    rankings_equivalent,
     reciprocal_rank,
     top_k_indices,
     top_k_jaccard,
@@ -43,6 +44,7 @@ __all__ = [
     "top_k_contamination",
     "average_precision",
     "precision_at_k",
+    "rankings_equivalent",
     "reciprocal_rank",
     "top_k_indices",
     "top_k_jaccard",

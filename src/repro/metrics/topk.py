@@ -24,6 +24,41 @@ def top_k_indices(scores, k: int) -> list:
     return [int(i) for i in order[:k]]
 
 
+def rankings_equivalent(ranked_a: Sequence, ranked_b: Sequence,
+                        score_of, *, atol: float = 0.0) -> bool:
+    """Whether two rankings are identical up to genuinely tied items.
+
+    Two solvers computing the same scores through different (equally
+    valid) floating-point orderings can land exactly-tied items one ULP
+    apart, flipping the deterministic index tie-break between them; such
+    permutations carry no ranking information.  This predicate accepts two
+    rankings as *identical* when every positional disagreement is confined
+    to items whose scores (per *score_of*, a callable or mapping) agree
+    within *atol* — covering both tied items swapping places and, for
+    truncated top-k lists, tied items trading membership across the k-cut.
+    With ``atol=0`` only *exactly* tied items may disagree.  Used by the
+    batched-solver equivalence tests and benchmark E15.
+    """
+    if atol < 0:
+        raise ValidationError("atol must be non-negative")
+    if len(ranked_a) != len(ranked_b):
+        return False
+    # A ranking never repeats an item.  (Full multiset equality would be
+    # wrong here: truncated top-k lists of tied items may legitimately
+    # hold different members — but a duplicate is always a defect.)
+    if len(set(ranked_a)) != len(ranked_a) or \
+            len(set(ranked_b)) != len(ranked_b):
+        return False
+    lookup = score_of.__getitem__ if hasattr(score_of, "__getitem__") \
+        else score_of
+    for item_a, item_b in zip(ranked_a, ranked_b):
+        if item_a == item_b:
+            continue
+        if abs(float(lookup(item_a)) - float(lookup(item_b))) > atol:
+            return False
+    return True
+
+
 def top_k_overlap(list_a: Sequence, list_b: Sequence, k: int) -> float:
     """Fraction of the top-k of *list_a* also present in the top-k of *list_b*.
 

@@ -75,7 +75,8 @@ def pagerank(adjacency, damping: float = DEFAULT_DAMPING,
              tol: float = DEFAULT_TOL, max_iter: int = DEFAULT_MAX_ITER,
              method: str = "auto",
              dangling: str = "uniform",
-             start: Optional[np.ndarray] = None) -> PageRankResult:
+             start: Optional[np.ndarray] = None,
+             record_residuals: bool = True) -> PageRankResult:
     """Compute PageRank of a directed (weighted) link graph.
 
     Parameters
@@ -91,7 +92,9 @@ def pagerank(adjacency, damping: float = DEFAULT_DAMPING,
         Power-method stopping parameters.
     method:
         ``"dense"`` materialises the Google matrix; ``"sparse"`` uses the
-        matrix-free iteration; ``"auto"`` picks dense below 2000 nodes.
+        matrix-free iteration; ``"auto"`` picks dense below the calibrated
+        cut-off (:func:`repro.engine.calibrate.dense_cutoff`, 2000 nodes
+        unless a measured profile is active).
     dangling:
         Dangling-node policy for the dense path (the sparse path always
         redistributes dangling mass to the preference vector, which matches
@@ -101,6 +104,11 @@ def pagerank(adjacency, damping: float = DEFAULT_DAMPING,
         default).  Seeding with a previously converged vector — the
         warm-start path of :mod:`repro.engine` — cuts the iteration count
         after small graph changes without affecting the fixed point.
+    record_residuals:
+        Whether the result carries the per-iteration residual history
+        (default).  The engine's hot paths pass ``False``: they discard
+        the history anyway, so recording it is a per-iteration list
+        append for nothing.
 
     Returns
     -------
@@ -118,7 +126,11 @@ def pagerank(adjacency, damping: float = DEFAULT_DAMPING,
                 f"preference has length {preference.size}, expected {n}")
 
     if method == "auto":
-        method = "dense" if n <= 2000 else "sparse"
+        # Lazy import: this module sits below repro.engine in the layering
+        # and only needs the calibrated cut-off at call time.
+        from ..engine.calibrate import dense_cutoff
+
+        method = "dense" if n <= dense_cutoff() else "sparse"
     if method not in ("dense", "sparse"):
         raise ValidationError(f"unknown method {method!r}")
 
@@ -128,12 +140,13 @@ def pagerank(adjacency, damping: float = DEFAULT_DAMPING,
                                        if dangling == "preference" else None)
         google = maximal_irreducibility(stochastic, damping, preference)
         result = stationary_distribution(google, tol=tol, max_iter=max_iter,
-                                         start=start)
+                                         start=start,
+                                         record_residuals=record_residuals)
     else:
         link = row_normalize(adjacency)
         result = stationary_distribution_dangling_aware(
             link, damping, preference, tol=tol, max_iter=max_iter,
-            start=start)
+            start=start, record_residuals=record_residuals)
 
     return PageRankResult(scores=result.vector, iterations=result.iterations,
                           converged=result.converged,

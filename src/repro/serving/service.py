@@ -94,6 +94,69 @@ def _weight_shard(job: _ShardRebuildJob):
         job.site_score * local_scores
 
 
+#: Shards at or below this many documents ride one fused rebuild job —
+#: the serving-layer echo of the engine's batched-site path (the per-job
+#: dispatch overhead, not the numpy multiply, dominates small shards).
+BATCH_SHARD_MAX_DOCS = 512
+
+
+@dataclass(frozen=True)
+class _ShardRebuildBatch:
+    """Many small shards' rebuild inputs fused into one engine payload.
+
+    The per-site local score vectors are packed into a single
+    concatenated vector (``offsets`` holds the block boundaries), so on a
+    process backend the whole batch ships one arena vector — one packed
+    segment family instead of per-site buffers — and the worker runs one
+    vectorised multiply for every fused shard.
+    """
+
+    sites: Tuple[str, ...]
+    doc_ids: Tuple[Tuple[int, ...], ...]
+    urls: Tuple[Tuple[str, ...], ...]
+    offsets: Tuple[int, ...]
+    local_scores: object  #: packed numpy vector, or an ArenaRef to one
+    site_scores: Tuple[float, ...]
+
+    # Shared-memory transport hooks (see repro.engine.arena).
+    def __arena_bytes__(self) -> int:
+        return vector_arena_nbytes(self.local_scores)
+
+    def __arena_share__(self, arena) -> "_ShardRebuildBatch":
+        return replace(self,
+                       local_scores=share_vector(arena, self.local_scores))
+
+    @classmethod
+    def from_jobs(cls, jobs: Sequence[_ShardRebuildJob]
+                  ) -> "_ShardRebuildBatch":
+        offsets = [0]
+        for job in jobs:
+            offsets.append(offsets[-1] + len(job.doc_ids))
+        return cls(sites=tuple(job.site for job in jobs),
+                   doc_ids=tuple(job.doc_ids for job in jobs),
+                   urls=tuple(job.urls for job in jobs),
+                   offsets=tuple(offsets),
+                   local_scores=np.concatenate([
+                       np.asarray(job.local_scores, dtype=float)
+                       for job in jobs]),
+                   site_scores=tuple(job.site_score for job in jobs))
+
+
+def _weight_shard_batch(batch) -> List[tuple]:
+    """Compute every fused shard's refreshed scores (engine task)."""
+    if isinstance(batch, _ShardRebuildJob):
+        return [_weight_shard(batch)]
+    packed = np.asarray(resolve_vector_payload(batch.local_scores),
+                        dtype=float)
+    results = []
+    for index, site in enumerate(batch.sites):
+        scores = packed[batch.offsets[index]:batch.offsets[index + 1]]
+        results.append((site, list(batch.doc_ids[index]),
+                        list(batch.urls[index]),
+                        batch.site_scores[index] * scores))
+    return results
+
+
 class RankingService:
     """Serves top-k and free-text ranking queries over a computed DocRank.
 
@@ -125,10 +188,14 @@ class RankingService:
                  rule: CombinationRule = "linear",
                  weight: float = 0.5,
                  rrf_constant: float = 60.0,
-                 executor: Optional[Executor] = None) -> None:
+                 executor: Optional[Executor] = None,
+                 batch_sites: bool = True) -> None:
         self._store = store
         self._engine = TopKEngine(store)
         self._executor: Executor = executor or SerialExecutor()
+        #: Whether rebuilds fuse small shards into one packed job (the
+        #: serving echo of the engine's batched-site path).
+        self._batch_sites = bool(batch_sites)
         self._cache = QueryCache(maxsize=cache_size)
         self._index = index
         self._rule: CombinationRule = rule
@@ -269,7 +336,29 @@ class RankingService:
         # then installed into the back-buffer store in site order so shard
         # generations stay deterministic.
         jobs = [self._shard_job(site) for site in sites]
-        weighted = self._executor.map(_weight_shard, jobs)
+        if self._batch_sites:
+            # Small shards fuse into one packed job (their per-job
+            # dispatch would dominate the numpy multiply); large shards
+            # keep dedicated jobs a parallel executor can overlap.
+            small = [job for job in jobs
+                     if len(job.doc_ids) <= BATCH_SHARD_MAX_DOCS]
+            large = [job for job in jobs
+                     if len(job.doc_ids) > BATCH_SHARD_MAX_DOCS]
+            payload: List[object] = list(large)
+            if len(small) > 1:
+                payload.append(_ShardRebuildBatch.from_jobs(small))
+            else:
+                payload.extend(small)
+            flattened = [entry for batch in
+                         self._executor.map(_weight_shard_batch, payload)
+                         for entry in batch]
+            # The fused payload reorders sites (large jobs first); restore
+            # site order so shard generations stay deterministic and
+            # identical to the unbatched path's.
+            by_site = {entry[0]: entry for entry in flattened}
+            weighted = [by_site[site] for site in sites]
+        else:
+            weighted = self._executor.map(_weight_shard, jobs)
         replacements = {site: (doc_ids, urls, scores)
                         for site, doc_ids, urls, scores in weighted}
         rebuilt = self._store.rebuilt(replacements, drop=drop)

@@ -67,8 +67,26 @@ class LocalDocRank:
             ) from None
 
     def top_k(self, k: int) -> List[int]:
-        """The ``k`` best documents of the site (global ids), best first."""
-        order = np.lexsort((np.arange(self.scores.size), -self.scores))
+        """The ``k`` best documents of the site (global ids), best first.
+
+        For ``k ≪ n`` (the serving layer's per-shard rebuild pattern) this
+        avoids a full ``O(n log n)`` sort: an ``O(n)`` partition finds the
+        k-th score, only the candidates at or above it are sorted, and
+        ties are broken by local position exactly like the historical full
+        ``np.lexsort`` — including ties *across* the cut, which the
+        candidate set keeps in full so the deterministic tie-break decides
+        them, not the partition's arbitrary placement.
+        """
+        n = self.scores.size
+        if k <= 0:
+            return []
+        if k < n:
+            cutoff = np.partition(self.scores, n - k)[n - k]
+            candidates = np.flatnonzero(self.scores >= cutoff)
+            order = candidates[np.lexsort((candidates,
+                                           -self.scores[candidates]))]
+        else:
+            order = np.lexsort((np.arange(n), -self.scores))
         return [self.doc_ids[int(i)] for i in order[:k]]
 
 
@@ -87,16 +105,22 @@ def solve_local_docrank(site: str, local_adjacency, doc_ids: List[int],
     it can run unchanged on the calling thread, a pool thread, or a worker
     process.
     """
+    from ..engine.calibrate import dense_cutoff
+
     if preference is not None:
         preference = np.asarray(preference, dtype=float)
         if preference.size != len(doc_ids):
             raise ValidationError(
                 f"preference for site {site!r} has length {preference.size}, "
                 f"expected {len(doc_ids)}")
+    # The dense/sparse switch is the calibrated cut-off (historically the
+    # hardcoded 2000); residual histories stay off — this is an engine hot
+    # path and LocalDocRank does not carry them anyway.
     result = pagerank(local_adjacency, damping=damping, preference=preference,
                       tol=tol, max_iter=max_iter,
-                      method="dense" if len(doc_ids) <= 2000 else "sparse",
-                      start=start)
+                      method="dense" if len(doc_ids) <= dense_cutoff()
+                      else "sparse",
+                      start=start, record_residuals=False)
     return LocalDocRank(site=site, doc_ids=list(doc_ids),
                         scores=result.scores, iterations=result.iterations)
 
@@ -133,7 +157,8 @@ def all_local_docranks(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
                        tol: float = DEFAULT_TOL,
                        max_iter: int = DEFAULT_MAX_ITER,
                        executor=None, n_jobs: Optional[int] = None,
-                       warm=None) -> Dict[str, LocalDocRank]:
+                       warm=None,
+                       batch_sites: bool = True) -> Dict[str, LocalDocRank]:
     """Compute the local DocRank of every site of a DocGraph.
 
     The per-site computations are mutually independent (the paper's
@@ -152,11 +177,18 @@ def all_local_docranks(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
     warm:
         Optional :class:`repro.engine.WarmStartState` supplying previously
         converged vectors to resume from.
+    batch_sites:
+        Fuse small sites into block-diagonal batched tasks solved by one
+        power iteration with per-site convergence freezing
+        (:mod:`repro.linalg.block_solver`) — the default, and the path
+        that makes many-small-sites webs fast.  ``False`` keeps the
+        historical one-solver-per-site reference path.
     """
     from ..engine.plan import execute_site_tasks, site_tasks_for
 
     preferences = preferences or {}
     tasks = site_tasks_for(docgraph, damping, preferences=preferences,
                            tol=tol, max_iter=max_iter, warm=warm)
-    results = execute_site_tasks(tasks, executor=executor, n_jobs=n_jobs)
+    results = execute_site_tasks(tasks, executor=executor, n_jobs=n_jobs,
+                                 batch_sites=batch_sites)
     return {result.site: result for result in results}

@@ -106,7 +106,8 @@ class IncrementalLayeredRanker:
               include_site_self_links: bool = False,
               tol: float = DEFAULT_TOL,
               max_iter: int = DEFAULT_MAX_ITER,
-              executor=None, n_jobs: Optional[int] = None) -> None:
+              executor=None, n_jobs: Optional[int] = None,
+              batch_sites: bool = True) -> None:
         from ..engine.executor import resolve_executor
 
         if docgraph.n_documents == 0:
@@ -118,6 +119,9 @@ class IncrementalLayeredRanker:
         self._include_site_self_links = include_site_self_links
         self._tol = tol
         self._max_iter = max_iter
+        #: Whether refresh batches (and the initial build) fuse small sites
+        #: into block-diagonal batched tasks (repro.linalg.block_solver).
+        self._batch_sites = bool(batch_sites)
         # All (re)computations — the initial build, refresh batches and
         # full rebuilds — are dispatched through one engine executor, so a
         # ranker over many sites repairs a multi-site change concurrently.
@@ -183,7 +187,8 @@ class IncrementalLayeredRanker:
         plan = RankingPlan.from_docgraph(
             self._docgraph, self._damping, site_damping=self._site_damping,
             include_site_self_links=self._include_site_self_links,
-            tol=self._tol, max_iter=self._max_iter)
+            tol=self._tol, max_iter=self._max_iter,
+            batch_sites=self._batch_sites)
         execution = plan.execute(executor=self._executor)
         self._siterank = execution.siterank
         self._local = dict(execution.local)
@@ -216,7 +221,11 @@ class IncrementalLayeredRanker:
             Whether any link between two different sites was added or
             removed (requires a SiteRank recomputation).
         """
-        from ..engine.plan import execute_tasks
+        from ..engine.plan import (
+            batch_site_tasks,
+            collect_site_results,
+            execute_tasks,
+        )
 
         changed: Set[str] = set(changed_sites)
         known_sites = set(self._docgraph.sites())
@@ -229,7 +238,13 @@ class IncrementalLayeredRanker:
         ordered = sorted(changed)
 
         siterank_recomputed = bool(intersite_changed or new_sites)
-        tasks = [self._local_task(site) for site in ordered]
+        site_tasks = [self._local_task(site) for site in ordered]
+        # The changed-site set rides the same batched path as a full plan:
+        # small sites fuse into block-diagonal tasks, large ones keep
+        # dedicated tasks a parallel backend can overlap.
+        site_payload = (batch_site_tasks(site_tasks) if self._batch_sites
+                        else site_tasks)
+        tasks = list(site_payload)
         if siterank_recomputed:
             # Prepend so the site-level task overlaps the per-site work on
             # parallel backends (mirroring RankingPlan.execute).
@@ -242,9 +257,11 @@ class IncrementalLayeredRanker:
             self._siterank = results.pop(0)
             siterank_iterations = self._siterank.iterations
 
+        by_site = collect_site_results(site_payload, results)
         local_iterations = 0
         documents_recomputed = 0
-        for site, rank in zip(ordered, results):
+        for site in ordered:
+            rank = by_site[site]
             self._local[site] = rank
             local_iterations += rank.iterations
             documents_recomputed += rank.n_documents

@@ -147,7 +147,7 @@ def _layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
                      tol: float = DEFAULT_TOL,
                      max_iter: int = DEFAULT_MAX_ITER,
                      executor=None, n_jobs: Optional[int] = None,
-                     warm=None) -> WebRankingResult:
+                     warm=None, batch_sites: bool = True) -> WebRankingResult:
     """Run the full 5-step Layered Method for DocRank on a DocGraph.
 
     The method is executed as a :class:`repro.engine.RankingPlan`: step 3's
@@ -182,6 +182,10 @@ def _layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
     warm:
         Optional :class:`repro.engine.WarmStartState` to resume power
         iterations from (and record the converged vectors into).
+    batch_sites:
+        Fuse small sites into block-diagonal batched tasks
+        (:class:`repro.engine.plan.BatchedSiteTask`), the default;
+        ``False`` opts out to the historical one-task-per-site path.
     """
     from ..engine.plan import RankingPlan
 
@@ -195,7 +199,7 @@ def _layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
         site_preference=site_preference,
         document_preferences=document_preferences,
         include_site_self_links=include_site_self_links,
-        tol=tol, max_iter=max_iter)
+        tol=tol, max_iter=max_iter, batch_sites=batch_sites)
     execution = plan.execute(executor=executor, n_jobs=n_jobs, warm=warm)
 
     method = "layered"
@@ -214,7 +218,7 @@ def layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
                     tol: float = DEFAULT_TOL,
                     max_iter: int = DEFAULT_MAX_ITER,
                     executor=None, n_jobs: Optional[int] = None,
-                    warm=None) -> WebRankingResult:
+                    warm=None, batch_sites: bool = True) -> WebRankingResult:
     """Deprecated 1.x entry point for :func:`_layered_docrank`.
 
     Use ``repro.api.Ranker(RankingConfig(method="layered")).fit(docgraph)``
@@ -232,7 +236,7 @@ def layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
         document_preferences=document_preferences,
         include_site_self_links=include_site_self_links,
         tol=tol, max_iter=max_iter, executor=executor, n_jobs=n_jobs,
-        warm=warm)
+        warm=warm, batch_sites=batch_sites)
 
 
 def _flat_pagerank_ranking(docgraph: DocGraph,

@@ -88,9 +88,12 @@ def siterank(sitegraph: SiteGraph, damping: float = DEFAULT_DAMPING, *,
         Optional warm-start distribution in site order (e.g. a previously
         converged SiteRank); uniform when omitted.
     """
+    from ..engine.calibrate import dense_cutoff
+
     result = pagerank(sitegraph.adjacency, damping=damping,
                       preference=preference, tol=tol, max_iter=max_iter,
-                      method="dense" if sitegraph.n_sites <= 2000 else "sparse",
-                      start=start)
+                      method="dense" if sitegraph.n_sites <= dense_cutoff()
+                      else "sparse",
+                      start=start, record_residuals=False)
     return SiteRankResult(sites=list(sitegraph.sites), scores=result.scores,
                           iterations=result.iterations, damping=damping)

@@ -53,8 +53,10 @@ class TestPlanConstruction:
 
 
 class TestPlanExecution:
-    def test_matches_the_direct_computation(self, toy_docgraph):
-        plan = RankingPlan.from_docgraph(toy_docgraph)
+    def test_unbatched_matches_the_direct_computation(self, toy_docgraph):
+        # batch_sites=False is the per-site opt-out: one task per site,
+        # bitwise identical to calling the solvers directly.
+        plan = RankingPlan.from_docgraph(toy_docgraph, batch_sites=False)
         execution = plan.execute()
         for site in toy_docgraph.sites():
             direct = local_docrank(toy_docgraph, site)
@@ -62,14 +64,36 @@ class TestPlanExecution:
         direct_site = siterank(plan.sitegraph)
         assert np.array_equal(execution.siterank.scores, direct_site.scores)
 
-    def test_execution_metadata(self, toy_docgraph):
+    def test_batched_default_matches_the_direct_computation(self, toy_docgraph):
+        # The default plan fuses the toy web's small sites into one
+        # block-diagonal task; scores agree with the per-site solvers to
+        # floating-point rounding (the batched-equivalence tests pin the
+        # tolerance contract down on bigger webs).
         plan = RankingPlan.from_docgraph(toy_docgraph)
+        assert plan.batch_sites
+        execution = plan.execute()
+        for site in toy_docgraph.sites():
+            direct = local_docrank(toy_docgraph, site)
+            assert np.allclose(execution.local[site].scores, direct.scores,
+                               atol=1e-12, rtol=0.0)
+        direct_site = siterank(plan.sitegraph)
+        assert np.array_equal(execution.siterank.scores, direct_site.scores)
+
+    def test_execution_metadata(self, toy_docgraph):
+        plan = RankingPlan.from_docgraph(toy_docgraph, batch_sites=False)
         execution = plan.execute()
         assert execution.executor_name == "serial"
         assert execution.n_tasks == plan.n_tasks
         assert execution.wall_seconds >= 0.0
         assert execution.total_iterations == execution.siterank.iterations + \
             sum(r.iterations for r in execution.local.values())
+
+    def test_batched_execution_dispatches_fewer_tasks(self, toy_docgraph):
+        plan = RankingPlan.from_docgraph(toy_docgraph)
+        execution = plan.execute()
+        # All three tiny sites fuse into one payload (+ the SiteRank task).
+        assert execution.n_tasks == 2
+        assert plan.n_tasks == toy_docgraph.n_sites + 1
 
     def test_run_task_dispatches_both_task_types(self, toy_docgraph):
         plan = RankingPlan.from_docgraph(toy_docgraph)

@@ -1,0 +1,173 @@
+"""Tests for repro.linalg.block_solver (fused multi-block power iteration)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.linalg import (
+    PackedBlocks,
+    pack_blocks,
+    solve_blocks,
+    stationary_distribution,
+)
+from repro.linalg.stochastic import transition_matrix
+from repro.markov.irreducibility import maximal_irreducibility
+
+DAMPING = 0.85
+
+
+def _random_adjacency(rng, n, density=0.4, dangling=False):
+    dense = (rng.random((n, n)) < density).astype(float)
+    if dangling and n > 1:
+        dense[0, :] = 0.0
+    return sp.csr_matrix(dense)
+
+
+def _reference_solve(adjacency, *, preference=None, start=None,
+                     tol=1e-10, max_iter=1000):
+    """The per-site dense path: materialised Google matrix + power iteration."""
+    stochastic = transition_matrix(adjacency, dangling="uniform")
+    google = maximal_irreducibility(stochastic, DAMPING, preference)
+    return stationary_distribution(google, tol=tol, max_iter=max_iter,
+                                   start=start)
+
+
+class TestPackBlocks:
+    def test_packs_offsets_and_block_diagonal(self, rng):
+        blocks = [_random_adjacency(rng, n) for n in (3, 5, 2)]
+        packed = pack_blocks(blocks)
+        assert packed.n_blocks == 3
+        assert packed.n_rows == 10
+        assert list(packed.offsets) == [0, 3, 8, 10]
+        assert list(packed.sizes) == [3, 5, 2]
+        dense = packed.matrix.toarray()
+        assert np.array_equal(dense[0:3, 0:3], blocks[0].toarray())
+        assert np.array_equal(dense[3:8, 3:8], blocks[1].toarray())
+        # Off-diagonal coupling must be structurally zero.
+        assert packed.matrix.nnz == sum(b.nnz for b in blocks)
+
+    def test_accepts_triples_with_optional_vectors(self, rng):
+        a = _random_adjacency(rng, 3)
+        b = _random_adjacency(rng, 2)
+        start = np.array([0.5, 0.25, 0.25])
+        packed = pack_blocks([(a, start, None), (b, None, None)])
+        # The block without a start receives the uniform share.
+        assert np.allclose(packed.start, [0.5, 0.25, 0.25, 0.5, 0.5])
+        assert packed.preference is None
+
+    def test_rejects_empty_batch_and_empty_blocks(self, rng):
+        with pytest.raises(ValidationError):
+            pack_blocks([])
+        with pytest.raises(ValidationError):
+            pack_blocks([sp.csr_matrix((0, 0))])
+
+    def test_rejects_non_square_and_bad_vectors(self, rng):
+        with pytest.raises(ValidationError):
+            pack_blocks([sp.csr_matrix(np.ones((2, 3)))])
+        a = _random_adjacency(rng, 3)
+        with pytest.raises(ValidationError):
+            pack_blocks([(a, np.array([0.5, 0.5]), None)])
+
+    def test_packed_blocks_validation(self, rng):
+        matrix = _random_adjacency(rng, 4)
+        with pytest.raises(ValidationError):
+            PackedBlocks(matrix=matrix, offsets=np.array([0, 2, 2, 4]))
+        with pytest.raises(ValidationError):
+            PackedBlocks(matrix=matrix, offsets=np.array([1, 4]))
+        with pytest.raises(ValidationError):
+            PackedBlocks(matrix=matrix, offsets=np.array([0, 5]))
+
+
+class TestSolveBlocks:
+    def test_matches_per_block_reference(self, rng):
+        blocks = [_random_adjacency(rng, n, dangling=(n % 2 == 0))
+                  for n in (1, 2, 7, 4, 12)]
+        result = solve_blocks(pack_blocks(blocks), DAMPING, tol=1e-13)
+        assert result.n_blocks == len(blocks)
+        for index, adjacency in enumerate(blocks):
+            reference = _reference_solve(adjacency, tol=1e-13)
+            assert np.allclose(result.vectors[index], reference.vector,
+                               atol=1e-12, rtol=0.0)
+            assert result.vectors[index].sum() == pytest.approx(1.0)
+        assert result.converged.all()
+
+    def test_blocks_freeze_independently(self, rng):
+        # A single-node block converges in one sweep; a larger block needs
+        # many — the early block's iteration count must reflect its own
+        # convergence, not the batch's.
+        fast = sp.csr_matrix(np.ones((1, 1)))
+        slow = _random_adjacency(rng, 30, density=0.15)
+        result = solve_blocks(pack_blocks([fast, slow]), DAMPING)
+        assert result.iterations[0] < result.iterations[1]
+        assert result.sweeps == result.iterations.max()
+        # The active set shrinks after the fast block freezes.
+        assert result.active_history[0] == 2
+        assert result.active_history[-1] == 1
+
+    def test_iteration_counts_match_per_block_runs(self, rng):
+        blocks = [_random_adjacency(rng, n) for n in (4, 9, 6)]
+        result = solve_blocks(pack_blocks(blocks), DAMPING)
+        for index, adjacency in enumerate(blocks):
+            reference = _reference_solve(adjacency)
+            assert abs(int(result.iterations[index])
+                       - reference.iterations) <= 1
+
+    def test_preference_and_start_honoured(self, rng):
+        adjacency = _random_adjacency(rng, 6)
+        preference = np.zeros(6)
+        preference[2] = 1.0
+        reference = _reference_solve(adjacency, preference=preference,
+                                     tol=1e-13)
+        packed = pack_blocks([(adjacency, None, preference),
+                              (_random_adjacency(rng, 3), None, None)])
+        result = solve_blocks(packed, DAMPING, tol=1e-13)
+        assert np.allclose(result.vectors[0], reference.vector, atol=1e-12)
+        # Warm-starting from the solution converges almost immediately.
+        warm = pack_blocks([(adjacency, result.vectors[0], preference)])
+        resumed = solve_blocks(warm, DAMPING, tol=1e-13)
+        assert resumed.iterations[0] <= 2
+
+    def test_all_dangling_block(self):
+        adjacency = sp.csr_matrix((3, 3), dtype=float)
+        result = solve_blocks(pack_blocks([adjacency]), DAMPING)
+        assert np.allclose(result.vectors[0], np.full(3, 1.0 / 3.0))
+
+    def test_residual_history_off_by_default(self, rng):
+        packed = pack_blocks([_random_adjacency(rng, 5)])
+        plain = solve_blocks(packed, DAMPING)
+        assert plain.residuals is None
+        assert np.isfinite(plain.final_residuals).all()
+        recorded = solve_blocks(packed, DAMPING, record_residuals=True)
+        assert len(recorded.residuals[0]) == recorded.iterations[0]
+        assert recorded.residuals[0][-1] == recorded.final_residuals[0]
+        assert recorded.residuals[0][-1] < recorded.tolerance
+
+    def test_exhausted_budget_raises_or_degrades(self, rng):
+        packed = pack_blocks([_random_adjacency(rng, 20, density=0.2)])
+        with pytest.raises(ConvergenceError):
+            solve_blocks(packed, DAMPING, max_iter=2)
+        result = solve_blocks(packed, DAMPING, max_iter=2,
+                              raise_on_failure=False)
+        assert not result.converged[0]
+        assert result.iterations[0] == 2
+        assert result.vectors[0].sum() == pytest.approx(1.0)
+
+    def test_parameter_validation(self, rng):
+        packed = pack_blocks([_random_adjacency(rng, 3)])
+        with pytest.raises(ValidationError):
+            solve_blocks(packed, 1.5)
+        with pytest.raises(ValidationError):
+            solve_blocks(packed, DAMPING, tol=0.0)
+        with pytest.raises(ValidationError):
+            solve_blocks(packed, DAMPING, max_iter=0)
+
+    def test_many_tiny_blocks(self, rng):
+        blocks = [_random_adjacency(rng, int(rng.integers(1, 4)))
+                  for _ in range(100)]
+        result = solve_blocks(pack_blocks(blocks), DAMPING, tol=1e-13)
+        for index, adjacency in enumerate(blocks):
+            reference = _reference_solve(adjacency, tol=1e-13)
+            assert np.allclose(result.vectors[index], reference.vector,
+                               atol=1e-12, rtol=0.0)
+        assert result.total_iterations == int(result.iterations.sum())

@@ -7,6 +7,7 @@ from repro.exceptions import ValidationError
 from repro.metrics import (
     average_precision,
     precision_at_k,
+    rankings_equivalent,
     reciprocal_rank,
     top_k_indices,
     top_k_jaccard,
@@ -111,3 +112,46 @@ class TestReciprocalRank:
 
     def test_absent(self):
         assert reciprocal_rank([1, 2, 3], {9}) == 0.0
+
+
+class TestRankingsEquivalent:
+    SCORES = {1: 0.5, 2: 0.3, 3: 0.3, 4: 0.1}
+
+    def test_identical_lists(self):
+        assert rankings_equivalent([1, 2, 3], [1, 2, 3], self.SCORES)
+
+    def test_tied_swap_accepted(self):
+        assert rankings_equivalent([1, 2, 3], [1, 3, 2], self.SCORES,
+                                   atol=1e-12)
+
+    def test_tied_membership_trade_across_the_cut(self):
+        # Top-2 of {1, 2, 3, 4} may end either of the 0.3-tied docs last.
+        assert rankings_equivalent([1, 2], [1, 3], self.SCORES, atol=1e-12)
+
+    def test_non_tied_swap_rejected(self):
+        assert not rankings_equivalent([2, 1, 3], [1, 2, 3], self.SCORES,
+                                       atol=1e-12)
+
+    def test_zero_atol_still_accepts_exact_ties(self):
+        assert rankings_equivalent([1, 2, 3], [1, 3, 2], self.SCORES)
+        assert not rankings_equivalent([1, 2, 4], [1, 4, 2], self.SCORES)
+
+    def test_length_mismatch_rejected(self):
+        assert not rankings_equivalent([1, 2], [1], self.SCORES, atol=1.0)
+
+    def test_callable_score_lookup(self):
+        assert rankings_equivalent([2, 3], [3, 2],
+                                   lambda item: self.SCORES[item],
+                                   atol=1e-12)
+
+    def test_duplicate_entries_rejected(self):
+        # A ranking never repeats an item; a duplicated doc must not pass
+        # as "equivalent" just because it ties the doc it displaced.
+        assert not rankings_equivalent([1, 2, 3], [1, 3, 3], self.SCORES,
+                                       atol=1e-12)
+        assert not rankings_equivalent([1, 3, 3], [1, 2, 3], self.SCORES,
+                                       atol=1e-12)
+
+    def test_negative_atol_rejected(self):
+        with pytest.raises(ValidationError):
+            rankings_equivalent([1], [1], self.SCORES, atol=-1.0)

@@ -262,6 +262,101 @@ class TestEngineShardRebuild:
             assert generations == sorted(generations)
 
 
+class TestBatchedShardRebuild:
+    """Small shards fuse into one packed rebuild job (batch_sites)."""
+
+    def _mutate(self, web, ranker):
+        sites = web.sites()
+        source = web.document(web.documents_of_site(sites[0])[0]).url
+        target = web.document(web.documents_of_site(sites[1])[0]).url
+        ranker.add_link(source, target)
+
+    def test_batched_rebuild_matches_unbatched_service(self, web):
+        batched_ranker = IncrementalLayeredRanker(web)
+        batched = RankingService.from_incremental(batched_ranker)
+        assert batched._batch_sites
+        plain_web = generate_synthetic_web(n_sites=8, n_documents=300,
+                                           seed=3)
+        plain_ranker = IncrementalLayeredRanker(plain_web)
+        plain = RankingService.from_incremental(plain_ranker,
+                                                batch_sites=False)
+        self._mutate(web, batched_ranker)
+        self._mutate(plain_web, plain_ranker)
+        assert [d.doc_id for d in batched.top(20)] == \
+            [d.doc_id for d in plain.top(20)]
+        assert [d.score for d in batched.top(20)] == \
+            [d.score for d in plain.top(20)]
+
+    def test_rebuild_dispatches_one_fused_job_for_small_shards(self, web):
+        recorded = []
+
+        class RecordingExecutor:
+            name = "recording"
+            n_jobs = 1
+
+            def map(self, fn, items):
+                recorded.append(list(items))
+                return [fn(item) for item in items]
+
+            def warmup(self, tasks=None):
+                pass
+
+            def close(self):
+                pass
+
+        ranker = IncrementalLayeredRanker(web)
+        service = RankingService.from_incremental(
+            ranker, executor=RecordingExecutor())
+        self._mutate(web, ranker)
+        from repro.serving.service import _ShardRebuildBatch
+
+        assert recorded, "the rebuild never reached the executor"
+        # Every shard of this web is small, so the whole rebuild ships as
+        # a single fused payload carrying one packed score vector.
+        (payload,) = recorded[-1]
+        assert isinstance(payload, _ShardRebuildBatch)
+        assert sorted(payload.sites) == sorted(web.sites())
+        assert payload.offsets[-1] == web.n_documents
+
+    def test_large_shards_keep_dedicated_jobs(self, web, monkeypatch):
+        import repro.serving.service as service_module
+
+        recorded = []
+
+        class RecordingExecutor:
+            name = "recording"
+            n_jobs = 1
+
+            def map(self, fn, items):
+                recorded.append(list(items))
+                return [fn(item) for item in items]
+
+            def warmup(self, tasks=None):
+                pass
+
+            def close(self):
+                pass
+
+        monkeypatch.setattr(service_module, "BATCH_SHARD_MAX_DOCS", 30)
+        ranker = IncrementalLayeredRanker(web)
+        service = RankingService.from_incremental(ranker,
+                                                  executor=RecordingExecutor())
+        self._mutate(web, ranker)
+        payload = recorded[-1]
+        fused = [job for job in payload
+                 if isinstance(job, service_module._ShardRebuildBatch)]
+        dedicated = [job for job in payload
+                     if isinstance(job, service_module._ShardRebuildJob)]
+        assert fused and dedicated
+        assert all(len(job.doc_ids) > 30 for job in dedicated)
+        # Even though the fused payload reorders sites (large jobs first),
+        # shards must still be installed in site order so generations stay
+        # deterministic and identical to the unbatched path's.
+        generations = [service.store.shard_generation(s)
+                       for s in web.sites()]
+        assert generations == sorted(generations)
+
+
 class TestDoubleBufferedRebuild:
     """Shard rebuilds must not hold the service lock: queries keep being
     answered from the previous shards and only wait for the pointer swap."""
