@@ -191,3 +191,31 @@ def test_e14_pipeline_time(benchmark, engine_web, backend):
         benchmark.pedantic(layered_docrank, args=(engine_web,),
                            kwargs={"executor": executor},
                            rounds=1 if SMOKE else 2, iterations=1)
+
+
+@pytest.mark.benchmark(group="E14 engine scaling")
+def test_e14_trace_export(benchmark, engine_web):
+    """Export a span trace of one fit; CI uploads the JSON artifact."""
+    import json
+
+    from conftest import RESULTS_DIR
+    from repro import obs
+    from repro.api import Ranker
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "E14_trace.json")
+    result = benchmark.pedantic(
+        lambda: Ranker().fit(engine_web, trace=path),
+        rounds=1, iterations=1)
+
+    with open(path, encoding="utf-8") as handle:
+        trace = json.load(handle)
+    assert trace["version"] == 1
+    names = {span["name"] for span in trace["spans"]}
+    assert {obs.PHASE_FIT, obs.PHASE_PLAN_BUILD, obs.PHASE_PLAN_EXECUTE,
+            obs.PHASE_PLAN_COMPOSE} <= names
+    # the trace's fit.total span agrees with the result's own timing
+    fit_span = next(span for span in trace["spans"]
+                    if span["name"] == obs.PHASE_FIT)
+    assert fit_span["seconds"] == pytest.approx(
+        result.timings[obs.PHASE_FIT], rel=0.05)

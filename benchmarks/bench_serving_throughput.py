@@ -13,13 +13,22 @@ Three claims are measured on a ≥50k-document synthetic web:
   :class:`IncrementalLayeredRanker` returns the same top-k as a
   from-scratch recomposition after a single-site update applied through
   the update-notification hook.
+
+A fourth check rides along for CI: the HTTP front-end's observability
+surface (``/metrics`` Prometheus exposition and the ``/healthz`` probe)
+is scraped over a real socket and the payloads validated, so a malformed
+exposition line fails the build.  In smoke mode (``REPRO_BENCH_SMOKE=1``)
+the web shrinks so the whole module runs in CI.
 """
 
+import json
 import time
+import urllib.request
 
 import pytest
 
-from conftest import IncrementalLayeredRanker, layered_docrank, write_result
+from conftest import SMOKE, IncrementalLayeredRanker, layered_docrank, write_result
+from repro import obs
 from repro.graphgen import generate_synthetic_web
 from repro.ir import synthesize_corpus
 from repro.serving import (
@@ -27,10 +36,11 @@ from repro.serving import (
     ShardedScoreStore,
     TopKEngine,
     naive_top_k,
+    serve_ranking,
 )
 
-N_DOCUMENTS = 50_000
-N_SITES = 120
+N_DOCUMENTS = 3_000 if SMOKE else 50_000
+N_SITES = 24 if SMOKE else 120
 TOP_K = 10
 
 
@@ -159,3 +169,46 @@ def test_e13_consistency_across_incremental_update(benchmark):
                          "update-notification hook.")
     assert changed == [site]
     assert consistent
+
+
+@pytest.mark.benchmark(group="E13 serving throughput")
+def test_e13_metrics_scrape(benchmark, serving_web):
+    """Scrape /metrics and /healthz over a real socket; validate both."""
+    web, ranking, _store = serving_web
+    service = RankingService.from_ranking(
+        ranking, web, corpus=synthesize_corpus(web, seed=13))
+    server = serve_ranking(service)
+    try:
+        def scrape(path):
+            with urllib.request.urlopen(server.url + path,
+                                        timeout=10) as response:
+                return response.read().decode("utf-8")
+
+        scrape(f"/top?k={TOP_K}")       # populate request metrics
+        scrape("/query?q=research+database")
+        exposition = benchmark(scrape, "/metrics")
+        obs.validate_exposition(exposition)     # malformed text raises
+        health = json.loads(scrape("/healthz"))
+    finally:
+        server.close()
+
+    lines = [line for line in exposition.splitlines()
+             if line and not line.startswith("#")]
+    families = {line.split("{")[0].split(" ")[0] for line in lines}
+    rows = [{"check": "exposition validates", "value": "True",
+             "detail": f"{len(lines)} samples, {len(families)} series"},
+            {"check": "healthz status ok",
+             "value": str(health["status"] == "ok"),
+             "detail": f"generation={health['generation']}, "
+                       f"shards={health['shards']}"},
+            {"check": "serving samples exported",
+             "value": str("repro_serving_queries_served_total" in families),
+             "detail": "scrape-time collector"}]
+    write_result("E13d_metrics_scrape", rows, ["check", "value", "detail"],
+                 caption="The /metrics Prometheus exposition and /healthz "
+                         "probe scraped from a live RankingHTTPServer "
+                         f"serving {web.n_documents} documents.")
+    assert health["status"] == "ok"
+    assert health["shards"] == web.n_sites
+    assert "repro_http_requests_total" in families
+    assert "repro_serving_queries_served_total" in families

@@ -22,6 +22,9 @@ contribution:
   layer schedules its rank work through;
 * :mod:`repro.metrics`, :mod:`repro.ir`, :mod:`repro.io` — ranking-comparison
   metrics, a small IR substrate, and serialisation helpers;
+* :mod:`repro.obs` — dependency-free telemetry: the process-local metrics
+  registry, trace spans, Prometheus text exposition and the
+  cross-process delta merge the engine uses;
 * :mod:`repro.serving` — the online query-serving layer: sharded score
   store, lazy top-k engine, LRU result cache, the :class:`RankingService`
   facade and a JSON-over-HTTP endpoint;
@@ -66,7 +69,7 @@ from .serving import (
     TopKEngine,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .api import (  # noqa: E402  (api imports the layers above)
     Ranker,

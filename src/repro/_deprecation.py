@@ -5,7 +5,7 @@ points — ``layered_docrank(docgraph, damping, executor=, n_jobs=, warm=)``,
 direct ``IncrementalLayeredRanker(...)`` construction, and friends — with a
 declarative :class:`~repro.api.RankingConfig` plus one
 :class:`~repro.api.Ranker` facade.  The old entry points keep working for
-one more minor release (removal scheduled for 1.3), but announce their
+one more minor release (removal scheduled for 1.4), but announce their
 replacement through this module.
 
 Each entry point warns exactly once per process: the warning is a

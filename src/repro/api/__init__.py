@@ -27,7 +27,7 @@ Quickstart::
 
 The pre-1.2 entry points (``repro.web.layered_docrank`` and friends) keep
 working for one more minor release behind :class:`DeprecationWarning`
-shims; they are scheduled for removal in 1.3.
+shims; they are scheduled for removal in 1.4.
 """
 
 from .config import (

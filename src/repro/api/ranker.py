@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Optional, Tuple, Union
 
+from .. import obs
 from ..engine.executor import Executor, default_n_jobs, make_executor
 from ..engine.warm import WarmStartState
 from ..exceptions import ValidationError
@@ -90,12 +91,18 @@ class Ranker:
     # ------------------------------------------------------------------ #
     # One-shot fitting
     # ------------------------------------------------------------------ #
-    def fit(self, docgraph: DocGraph, **method_options: Any) -> RankingResult:
+    def fit(self, docgraph: DocGraph, *, trace: Optional[str] = None,
+            **method_options: Any) -> RankingResult:
         """Rank *docgraph* with the configured method.
 
         *method_options* are forwarded to the registered method — e.g.
         ``site_preference=`` / ``document_preferences=`` for the layered
         method, ``refine=False`` for BlockRank.
+
+        *trace* opts into span-history collection for this call and writes
+        the trace JSON (:mod:`repro.obs.trace` schema) to that path when
+        the fit finishes.  Tracing state active before the call is
+        restored afterwards.
 
         Returns the unified :class:`~repro.api.RankingResult`; the same
         object is retained on the ranker (:attr:`result_`) so the
@@ -109,16 +116,30 @@ class Ranker:
             # Single-vector methods run inline: building a pool for them
             # would waste a spawn and misdescribe the run's provenance.
             executor, n_jobs, owned = None, None, False
+        previous_tracer = obs.current_tracer()
+        tracer = obs.enable_tracing() if trace is not None else None
         started = time.perf_counter()
         try:
-            ranking = method(docgraph, self.config, executor=executor,
-                             n_jobs=n_jobs, warm=self._warm, **method_options)
+            with obs.span(obs.PHASE_FIT):
+                ranking = method(docgraph, self.config, executor=executor,
+                                 n_jobs=n_jobs, warm=self._warm,
+                                 **method_options)
         finally:
             if owned:
                 executor.close()
+            if tracer is not None:
+                if previous_tracer is not None:
+                    obs.enable_tracing(previous_tracer)
+                else:
+                    obs.disable_tracing()
         wall_seconds = time.perf_counter() - started
+        if tracer is not None:
+            tracer.export(trace)
+        timings = dict(getattr(ranking, "timings", None) or {})
+        timings[obs.PHASE_FIT] = wall_seconds
         result = RankingResult(
             ranking=ranking, config=self.config, wall_seconds=wall_seconds,
+            timings=timings,
             provenance=self._provenance(docgraph, uses_engine=uses_engine,
                                         engine_executor=executor))
         self._docgraph = docgraph
@@ -143,7 +164,7 @@ class Ranker:
                                     "in-process"))
             dispatched = int(getattr(engine_executor,
                                      "total_dispatch_bytes", 0))
-        return {
+        provenance = {
             "method": resolve_method_name(self.config.method),
             # Inline methods never touch the engine, whatever the config
             # says — record how the scores were actually produced.
@@ -156,6 +177,15 @@ class Ranker:
             "n_sites": docgraph.n_sites,
             "repro_version": __version__,
         }
+        # The adaptive backend's decision records (backend chosen, priced
+        # flops, measured wall) make the calibration model auditable from
+        # the result alone.
+        decisions = getattr(engine_executor, "decisions", None)
+        if decisions:
+            provenance["auto_decisions"] = [dict(d) for d in decisions]
+        if obs.enabled():
+            provenance["metrics"] = obs.snapshot(include_collected=False)
+        return provenance
 
     @property
     def result_(self) -> RankingResult:

@@ -36,6 +36,11 @@ class RankingResult:
     config: RankingConfig
     wall_seconds: float = 0.0
     provenance: Dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock seconds per phase, keyed by the canonical phase names of
+    #: :mod:`repro.obs` (``plan.build`` / ``plan.execute`` /
+    #: ``plan.compose`` plus ``fit.total`` for the whole call).
+    #: ``wall_seconds`` is the back-compat alias of ``timings["fit.total"]``.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Delegated score-reading surface
@@ -99,6 +104,7 @@ class RankingResult:
             "ranking": ranking_to_dict(self.ranking, top_k=top_k),
             "config": self.config.to_dict(),
             "wall_seconds": self.wall_seconds,
+            "timings": dict(self.timings),
             "provenance": dict(self.provenance),
         }
 

@@ -35,6 +35,12 @@ Sub-commands
     declarative ranking configs (:class:`repro.api.RankingConfig`, JSON or
     TOML).
 
+``stats``
+    Rank a graph and print the telemetry snapshot (:mod:`repro.obs`) the
+    run produced — solver runs/iterations, per-phase timings, engine task
+    and dispatch counters — as a table or (``--prometheus``) in Prometheus
+    text exposition format.
+
 Every ranking sub-command is a thin shell over :class:`repro.api.Ranker`:
 CLI flags build (or override) a :class:`~repro.api.RankingConfig`, and the
 facade does the rest.  Flags given explicitly on the command line win over
@@ -279,10 +285,13 @@ def _command_rank(args: argparse.Namespace) -> int:
         # (which itself defaults to "layered").
         methods = [config.method]
     for method in methods:
-        result = Ranker(config.replace(method=method)).fit(graph)
+        result = Ranker(config.replace(method=method)).fit(
+            graph, trace=args.trace)
         print(f"\ntop-{args.top} by {method}:")
         for rank, url in enumerate(result.top_k_urls(args.top), start=1):
             print(f"  {rank:3d}. {url}")
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
     return 0
 
 
@@ -354,10 +363,11 @@ def _build_service(args: argparse.Namespace):
 def _command_serve(args: argparse.Namespace) -> int:
     graph, service, _config = _build_service(args)
     server = RankingHTTPServer(service, host=args.host, port=args.port,
-                               verbose=args.verbose)
+                               verbose=args.verbose or args.access_log)
     print(f"graph: {graph.n_documents} documents over {graph.n_sites} sites")
     print(f"serving on {server.url}  "
-          f"(endpoints: /top /query /score /stats /health)", flush=True)
+          f"(endpoints: /top /query /score /stats /health /healthz "
+          f"/metrics)", flush=True)
     thread = server.start_background()
     try:
         if args.duration is not None:
@@ -427,6 +437,25 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stats(args: argparse.Namespace) -> int:
+    from . import obs
+
+    config = _ranking_config(args)
+    graph = _load_graph(args)
+    result = Ranker(config).fit(graph)
+    print(f"graph: {graph.n_documents} documents over {graph.n_sites} sites")
+    print(f"ranked by {result.method!r} in {result.wall_seconds:.3f}s "
+          f"({result.iterations} power iterations)")
+    timings = ", ".join(f"{name}={seconds:.3f}s"
+                        for name, seconds in sorted(result.timings.items()))
+    print(f"timings: {timings}\n")
+    if args.prometheus:
+        print(obs.render_prometheus(), end="")
+    else:
+        print(obs.render_table())
+    return 0
+
+
 def _command_config_show(args: argparse.Namespace) -> int:
     if args.config:
         config = RankingConfig.load(args.config)
@@ -469,6 +498,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "a --config file's method applies)")
     rank.add_argument("--top", type=int, default=15)
     rank.add_argument("--damping", default=DEFAULT_DAMPING_ARG)
+    rank.add_argument("--trace", metavar="PATH", default=None,
+                      help="write the run's span trace as JSON "
+                           "(repro.obs trace schema)")
     rank.set_defaults(handler=_command_rank)
 
     generate = subparsers.add_parser("generate",
@@ -519,6 +551,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "server resumes its power iterations")
     serve.add_argument("--verbose", action="store_true",
                        help="log requests to stderr")
+    serve.add_argument("--access-log", action="store_true",
+                       dest="access_log",
+                       help="structured access log (method, path, status, "
+                            "duration_ms) on the repro.serving logger")
     serve.set_defaults(handler=_command_serve)
 
     query = subparsers.add_parser(
@@ -543,6 +579,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker count for the pooled backends "
                                 "(default: one per CPU)")
     calibrate.set_defaults(handler=_command_calibrate)
+
+    stats = subparsers.add_parser(
+        "stats", allow_abbrev=False,
+        help="rank a graph and print the run's telemetry snapshot")
+    _add_graph_arguments(stats)
+    stats.add_argument("--damping", default=DEFAULT_DAMPING_ARG)
+    stats.add_argument("--prometheus", action="store_true",
+                       help="print the Prometheus text exposition instead "
+                            "of the snapshot table")
+    stats.set_defaults(handler=_command_stats)
 
     config = subparsers.add_parser(
         "config", allow_abbrev=False, help="inspect and validate ranking configs")

@@ -119,6 +119,23 @@ class SimulationReport:
             return float("inf")
         return self.serial_compute_seconds / self.makespan_seconds
 
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Phase timings keyed by the canonical :mod:`repro.obs` phase names.
+
+        ``plan.execute`` is the *measured* wall-clock of the engine batch
+        (the back-compat alias ``measured_wall_seconds`` remains the
+        primary field for one release); the ``sim.*`` keys carry the
+        modeled network-simulation times that have no centralized
+        counterpart.
+        """
+        return {
+            "plan.execute": self.measured_wall_seconds,
+            "sim.makespan": self.makespan_seconds,
+            "sim.serial_compute": self.serial_compute_seconds,
+            "sim.coordinator": self.coordinator_seconds,
+        }
+
 
 class DistributedRankingCoordinator:
     """Runs the layered ranking protocol over a simulated peer network.

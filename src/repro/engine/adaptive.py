@@ -23,8 +23,11 @@ results — every backend is bitwise-deterministic — only wall-clock.
 from __future__ import annotations
 
 import math
+from collections import deque
+from time import perf_counter
 from typing import Optional, Sequence
 
+from .. import obs
 from ..exceptions import ValidationError
 from .executor import Executor, default_n_jobs, make_executor
 
@@ -201,6 +204,11 @@ class AutoExecutor:
         self.last_transport = "in-process"
         self.last_dispatch_bytes = 0
         self.total_dispatch_bytes = 0
+        #: Decision provenance: one record per batch (backend chosen, the
+        #: priced flop estimate, and the measured wall) so the calibration
+        #: model can be audited.  Bounded; surfaced through
+        #: ``RankingResult.provenance["auto_decisions"]``.
+        self.decisions: deque = deque(maxlen=64)
         self._delegates: dict = {}
         self._closed = False
 
@@ -227,11 +235,20 @@ class AutoExecutor:
         backend = select_backend(items)
         self.last_backend = backend
         delegate = self._delegate(backend)
+        priced = batch_flops(items)
+        started = perf_counter()
         results = delegate.map(fn, items)
+        wall = perf_counter() - started
         self.last_transport = getattr(delegate, "last_transport",
                                       "in-process")
         self.last_dispatch_bytes = getattr(delegate, "last_dispatch_bytes", 0)
         self.total_dispatch_bytes += self.last_dispatch_bytes
+        self.decisions.append({"backend": backend, "priced_flops": priced,
+                               "n_tasks": len(items),
+                               "wall_seconds": wall})
+        obs.inc("engine_auto_decisions_total", backend=backend)
+        obs.observe("engine_auto_batch_flops", priced, backend=backend)
+        obs.observe("engine_auto_batch_seconds", wall, backend=backend)
         return results
 
     def warmup(self, tasks: Optional[Sequence] = None) -> None:

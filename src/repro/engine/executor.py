@@ -30,13 +30,66 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Protocol, Sequence, Tuple, TypeVar, runtime_checkable
 
+from .. import obs
 from ..exceptions import ValidationError
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+class _WorkerResult:
+    """A task result travelling back with the worker's telemetry delta."""
+
+    def __init__(self, result, delta) -> None:
+        self.result = result
+        self.delta = delta
+
+
+class _InstrumentedCall:
+    """Wraps the mapped callable with per-task telemetry.
+
+    Records queue wait (time between dispatch and the task starting,
+    ``time.monotonic`` is system-wide on Linux so the parent's dispatch
+    stamp is comparable inside a worker process) and execute time, both
+    labelled by the payload's task type.  With ``capture=True`` (the
+    process backend) the wrapper also checkpoints the worker-side registry
+    before the task and ships the delta back inside a
+    :class:`_WorkerResult`, which the parent merges — process-backend runs
+    report the same counters as serial ones.  Picklable by construction:
+    plain attributes, module-level class.
+    """
+
+    def __init__(self, fn: Callable, dispatched_at: float,
+                 capture: bool) -> None:
+        self.fn = fn
+        self.dispatched_at = dispatched_at
+        self.capture = capture
+
+    def __call__(self, item):
+        started = time.monotonic()
+        mark = obs.registry().checkpoint() if self.capture else None
+        result = self.fn(item)
+        ended = time.monotonic()
+        kind = type(item).__name__
+        obs.inc("engine_tasks_total", kind=kind)
+        obs.observe("engine_task_queue_wait_seconds",
+                    max(0.0, started - self.dispatched_at), kind=kind)
+        obs.observe("engine_task_execute_seconds", ended - started,
+                    kind=kind)
+        if mark is not None:
+            return _WorkerResult(result, obs.registry().delta_since(mark))
+        return result
+
+
+def _maybe_instrument(fn: Callable, *, capture: bool) -> Callable:
+    """The per-task telemetry wrapper, or *fn* itself when obs is off."""
+    if not obs.enabled():
+        return fn
+    return _InstrumentedCall(fn, time.monotonic(), capture)
 
 
 def default_n_jobs() -> int:
@@ -149,6 +202,7 @@ class SerialExecutor(_BaseExecutor):
     n_jobs = 1
 
     def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+        fn = _maybe_instrument(fn, capture=False)
         return [fn(item) for item in items]
 
 
@@ -175,6 +229,7 @@ class ThreadedExecutor(_BaseExecutor):
         self._ensure_pool()
 
     def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+        fn = _maybe_instrument(fn, capture=False)
         return list(self._ensure_pool().map(fn, items))
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -269,13 +324,33 @@ class ProcessExecutor(_BaseExecutor):
         self.last_transport = "arena" if arena is not None else "pickle"
         self.last_dispatch_bytes = dispatch_bytes(shipped)
         self.total_dispatch_bytes += self.last_dispatch_bytes
+        obs.inc("engine_dispatches_total", transport=self.last_transport)
+        obs.inc("engine_dispatch_bytes_total",
+                float(self.last_dispatch_bytes),
+                transport=self.last_transport)
+        obs.observe("engine_dispatch_bytes",
+                    float(self.last_dispatch_bytes),
+                    transport=self.last_transport)
+        wrapped = _maybe_instrument(fn, capture=True)
         chunksize = max(1, len(items) // (4 * self.n_jobs))
         try:
-            return list(self._ensure_pool().map(fn, shipped,
-                                                chunksize=chunksize))
+            raw = list(self._ensure_pool().map(wrapped, shipped,
+                                               chunksize=chunksize))
         finally:
             if arena is not None:
                 arena.dispose()
+        if wrapped is fn:
+            return raw
+        # Merge each worker's telemetry delta, then unwrap its result.
+        registry = obs.registry()
+        results: List[_R] = []
+        for entry in raw:
+            if isinstance(entry, _WorkerResult):
+                registry.merge(entry.delta)
+                results.append(entry.result)
+            else:  # worker had telemetry disabled locally
+                results.append(entry)
+        return results
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         # Fail fast after close(): silently recreating the pool would leak

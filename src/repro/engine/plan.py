@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from ..exceptions import GraphStructureError, ValidationError
 from ..linalg.block_solver import PackedBlocks, pack_blocks, solve_blocks
 from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
@@ -516,16 +517,18 @@ class RankingPlan:
             raise GraphStructureError("cannot plan over an empty DocGraph")
         if site_damping is None:
             site_damping = damping
-        sitegraph = aggregate_sitegraph(
-            docgraph, include_self_links=include_site_self_links)
-        tasks = site_tasks_for(docgraph, damping,
-                               preferences=document_preferences,
-                               tol=tol, max_iter=max_iter, warm=warm)
-        site_start = (warm.siterank_start(sitegraph.sites)
-                      if warm is not None else None)
-        siterank_task = SiteRankTask(sitegraph=sitegraph, damping=site_damping,
-                                     preference=site_preference, tol=tol,
-                                     max_iter=max_iter, start=site_start)
+        with obs.span(obs.PHASE_PLAN_BUILD):
+            sitegraph = aggregate_sitegraph(
+                docgraph, include_self_links=include_site_self_links)
+            tasks = site_tasks_for(docgraph, damping,
+                                   preferences=document_preferences,
+                                   tol=tol, max_iter=max_iter, warm=warm)
+            site_start = (warm.siterank_start(sitegraph.sites)
+                          if warm is not None else None)
+            siterank_task = SiteRankTask(sitegraph=sitegraph,
+                                         damping=site_damping,
+                                         preference=site_preference, tol=tol,
+                                         max_iter=max_iter, start=site_start)
         return cls(sitegraph, tasks, siterank_task, batch_sites=batch_sites)
 
     # ------------------------------------------------------------------ #
@@ -581,9 +584,13 @@ class RankingPlan:
             batch_site_tasks(plan.site_tasks) if plan.batch_sites
             else list(plan.site_tasks))
         batch: List[RankTask] = [plan.siterank_task, *site_payload]
+        obs.inc("plan_executions_total", executor=resolved.name)
+        obs.observe("plan_batch_tasks", float(len(batch)),
+                    executor=resolved.name)
         started = time.perf_counter()
         try:
-            results = resolved.map(run_task, batch)
+            with obs.span(obs.PHASE_PLAN_EXECUTE):
+                results = resolved.map(run_task, batch)
         finally:
             if owned:
                 resolved.close()

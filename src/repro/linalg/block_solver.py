@@ -46,6 +46,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from .._validation import ensure_distribution, ensure_probability
 from ..exceptions import ConvergenceError, ValidationError
 from .power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
@@ -355,6 +356,25 @@ def solve_blocks(packed: PackedBlocks, damping: float, *,
             f"{max_iter} iterations (worst: block {worst} at residual "
             f"{final_residuals[worst]:.3e}, tol {tol:.3e})",
             iterations=max_iter, residual=float(final_residuals[worst]))
+
+    # Telemetry is recorded once per run, after the sweep loop — the fused
+    # kernel itself carries no instrumentation.
+    if obs.enabled():
+        worst_residual = (float(final_residuals.max())
+                          if final_residuals.size else 0.0)
+        obs.record_solver("block", int(iterations.sum()), worst_residual,
+                          bool(converged.all()))
+        obs.inc("block_solver_runs_total")
+        obs.inc("block_solver_blocks_total", float(n_blocks))
+        obs.inc("block_solver_sweeps_total", float(sweeps))
+        obs.observe("block_solver_sweeps", float(sweeps))
+        # Sites frozen during each sweep: the drop in active-block count
+        # between consecutive sweep entries (the last sweep freezes down
+        # to whatever remained unconverged).
+        remaining = [*active_history[1:], int(block_ids.size)]
+        for entering, left in zip(active_history, remaining):
+            obs.observe("block_solver_frozen_per_sweep",
+                        float(entering - left))
 
     return BlockSolveResult(
         vectors=[vector for vector in vectors],  # type: ignore[misc]

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from .._validation import ensure_distribution, is_sparse
 from ..exceptions import ConvergenceError, ValidationError
 from .stochastic import uniform_distribution
@@ -159,6 +160,9 @@ def stationary_distribution(transition, *, start: Optional[np.ndarray] = None,
             f"(last residual {residual:.3e}, tol {tol:.3e})",
             iterations=iterations, residual=residual)
 
+    # Telemetry is recorded once per run, after the loop — the hot loop
+    # itself carries no instrumentation.
+    obs.record_solver("power", iterations, residual, converged)
     return PowerIterationResult(vector=x, iterations=iterations,
                                 converged=converged, residuals=residuals,
                                 tolerance=tol, last_residual=residual)
@@ -259,6 +263,7 @@ def stationary_distribution_dangling_aware(
             f"iterations (last residual {residual:.3e})",
             iterations=iterations, residual=residual)
 
+    obs.record_solver("power_dangling", iterations, residual, converged)
     return PowerIterationResult(vector=x, iterations=iterations,
                                 converged=converged, residuals=residuals,
                                 tolerance=tol, last_residual=residual)

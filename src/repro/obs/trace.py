@@ -1,0 +1,175 @@
+"""Lightweight trace spans for :mod:`repro.obs`.
+
+A *span* is a named, possibly nested timing scope::
+
+    with obs.span("plan.execute"):
+        ...
+
+Two sinks exist, both optional:
+
+* the **phase histogram** — every finished span records its duration into
+  the ``phase_seconds`` histogram of the process registry (cheap, on by
+  default with the rest of the counters);
+* the **span history** — when a :class:`Tracer` is active (opt-in via
+  :func:`enable_tracing` or ``Ranker.fit(trace=...)``), finished spans are
+  appended to it with start/end offsets, nesting depth, parent name and
+  thread, and the whole history exports to JSON.
+
+When telemetry is disabled *and* no tracer is active, :func:`span` returns
+a single preallocated null scope — entering a span allocates nothing, so
+the solver and executor hot paths pay only one branch.
+
+Trace JSON schema (``version`` 1)::
+
+    {
+      "version": 1,
+      "unit": "seconds",
+      "spans": [
+        {"name": "fit.total", "start": 0.0, "end": 1.25,
+         "seconds": 1.25, "parent": null, "depth": 0,
+         "thread": "MainThread"},
+        ...
+      ]
+    }
+
+``start`` / ``end`` are offsets from the tracer's creation (monotonic
+clock), not wall-clock timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "current_tracer",
+    "span",
+]
+
+
+class Tracer:
+    """Collects finished spans; thread-safe; exports to JSON."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._t0 = perf_counter()
+        self.spans: List[Dict[str, Any]] = []
+
+    def record(self, name: str, started: float, ended: float,
+               parent: Optional[str], depth: int) -> None:
+        """Append one finished span (times are raw ``perf_counter`` values)."""
+        entry = {
+            "name": name,
+            "start": started - self._t0,
+            "end": ended - self._t0,
+            "seconds": ended - started,
+            "parent": parent,
+            "depth": depth,
+            "thread": threading.current_thread().name,
+        }
+        with self._lock:
+            self.spans.append(entry)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The trace as a JSON-serialisable dict (schema version 1)."""
+        with self._lock:
+            spans = list(self.spans)
+        return {"version": 1, "unit": "seconds", "spans": spans}
+
+    def export(self, path: str) -> None:
+        """Write :meth:`to_json` to *path* as indented JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2)
+            handle.write("\n")
+
+
+# The active tracer (None = span history off) and the per-thread span
+# stack used to reconstruct parent/depth for nested scopes.
+_TRACER: Optional[Tracer] = None
+_STACK = threading.local()
+
+
+def enable_tracing(tracer: Optional[Tracer] = None) -> Tracer:
+    """Activate span-history collection; returns the active tracer."""
+    global _TRACER
+    if tracer is None:
+        tracer = Tracer()
+    _TRACER = tracer
+    return tracer
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Deactivate span history; returns the tracer that was active."""
+    global _TRACER
+    tracer, _TRACER = _TRACER, None
+    return tracer
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The active :class:`Tracer`, or ``None``."""
+    return _TRACER
+
+
+class _Span:
+    """A live span scope; ``seconds`` holds the duration after exit."""
+
+    __slots__ = ("name", "_started", "seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._started = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = getattr(_STACK, "frames", None)
+        if stack is None:
+            stack = _STACK.frames = []
+        stack.append(self.name)
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        ended = perf_counter()
+        self.seconds = ended - self._started
+        stack = _STACK.frames
+        stack.pop()
+        from . import _record_phase  # late import: obs package init order
+        _record_phase(self.name, self.seconds)
+        tracer = _TRACER
+        if tracer is not None:
+            parent = stack[-1] if stack else None
+            tracer.record(self.name, self._started, ended, parent,
+                          len(stack))
+
+
+class _NullSpan:
+    """The disabled-path span: a shared, allocation-free no-op scope."""
+
+    __slots__ = ()
+    name = ""
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, *, enabled: bool = True) -> Any:
+    """A context manager timing one named phase.
+
+    Returns the shared null scope when *enabled* is false (the caller
+    passes the package-level telemetry switch) and no tracer is active.
+    """
+    if not enabled and _TRACER is None:
+        return _NULL_SPAN
+    return _Span(name)

@@ -33,7 +33,12 @@ Quickstart::
 """
 
 from .cache import GLOBAL_TAG, CacheStats, QueryCache
-from .httpd import RankingHTTPServer, RankingRequestHandler, serve_ranking
+from .httpd import (
+    RankingHTTPServer,
+    RankingRequestHandler,
+    enable_access_log,
+    serve_ranking,
+)
 from .service import RankingService
 from .store import ScoredDocument, ShardedScoreStore
 from .topk import TopKEngine, naive_top_k
@@ -44,6 +49,7 @@ __all__ = [
     "QueryCache",
     "RankingHTTPServer",
     "RankingRequestHandler",
+    "enable_access_log",
     "serve_ranking",
     "RankingService",
     "ScoredDocument",

@@ -15,25 +15,68 @@ Routes (all ``GET``, all returning ``application/json``):
 ``/score?doc=42``
     O(1) point lookup of one document's score.
 ``/stats``
-    Service / cache statistics.
+    Service / cache / engine statistics.
 ``/health``
     Liveness probe.
+``/healthz``
+    Structured health: store generation, shard count, uptime.
+``/metrics``
+    The process telemetry registry (:mod:`repro.obs`) in Prometheus text
+    exposition format — the one non-JSON route.
 
 Errors are JSON too: ``400`` for bad parameters, ``404`` for unknown paths
 or unknown sites/documents.
+
+Every request is timed into the ``http_request_seconds`` histogram and
+counted in ``http_requests_total`` (labelled by endpoint and status), and
+emits a structured access line (method, path, status, duration_ms) on the
+``repro.serving`` logger — silent by default (the logger sits at
+``WARNING``), enabled with :func:`enable_access_log` or
+``repro serve --access-log``.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from time import monotonic, perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from .. import obs
 from ..exceptions import GraphStructureError, ValidationError
 from .service import RankingService
 from .store import ScoredDocument
+
+#: The serving access/error logger.  Pinned to WARNING at import so the
+#: per-request INFO access lines stay silent even under a root logger
+#: configured at INFO; :func:`enable_access_log` opts in.
+ACCESS_LOGGER = logging.getLogger("repro.serving")
+ACCESS_LOGGER.setLevel(logging.WARNING)
+
+#: Endpoints the per-request metrics label by path; anything else (404s,
+#: scanners) is folded into ``other`` to bound label cardinality.
+_KNOWN_ENDPOINTS = frozenset(
+    {"/health", "/healthz", "/stats", "/top", "/query", "/score",
+     "/metrics"})
+
+
+def enable_access_log(stream=None) -> logging.Logger:
+    """Switch the ``repro.serving`` access log on (one line per request).
+
+    Sets the logger to ``INFO`` and attaches a stderr (or *stream*)
+    handler if it has none.  Returns the logger.
+    """
+    ACCESS_LOGGER.setLevel(logging.INFO)
+    if not ACCESS_LOGGER.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(message)s"))
+        ACCESS_LOGGER.addHandler(handler)
+    return ACCESS_LOGGER
 
 
 def _document_payload(document: ScoredDocument) -> Dict[str, Any]:
@@ -57,21 +100,50 @@ class RankingRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        started = perf_counter()
         split = urlsplit(self.path)
         params = parse_qs(split.query)
+        status = 500
         try:
-            payload, status = self._route(split.path, params)
-        except _ClientError as error:
-            payload, status = {"error": str(error)}, error.status
-        except (ValidationError, GraphStructureError) as error:
-            payload, status = {"error": str(error)}, 400
-        self._respond(status, payload)
+            if split.path == "/metrics":
+                # The one non-JSON route: the telemetry registry in
+                # Prometheus text exposition format.
+                status = 200
+                self._respond_text(status, obs.render_prometheus(),
+                                   content_type="text/plain; "
+                                                "version=0.0.4; "
+                                                "charset=utf-8")
+            else:
+                try:
+                    payload, status = self._route(split.path, params)
+                except _ClientError as error:
+                    payload, status = {"error": str(error)}, error.status
+                except (ValidationError, GraphStructureError) as error:
+                    payload, status = {"error": str(error)}, 400
+                self._respond(status, payload)
+        finally:
+            duration = perf_counter() - started
+            endpoint = (split.path if split.path in _KNOWN_ENDPOINTS
+                        else "other")
+            obs.inc("http_requests_total", path=endpoint,
+                    status=str(status))
+            obs.observe("http_request_seconds", duration, path=endpoint)
+            ACCESS_LOGGER.info("%s %s %d %.2fms", self.command, self.path,
+                               status, duration * 1000.0)
 
     def _route(self, path: str,
                params: Dict[str, List[str]]) -> Tuple[Dict[str, Any], int]:
         service = self.server.service
         if path == "/health":
             return {"status": "ok"}, 200
+        if path == "/healthz":
+            store = service.store
+            return {"status": "ok",
+                    "generation": store.generation,
+                    "shards": store.n_shards,
+                    "documents": store.n_documents,
+                    "queries_served": service.queries_served,
+                    "uptime_seconds": self.server.uptime_seconds}, 200
         if path == "/stats":
             return service.stats(), 200
         if path == "/top":
@@ -165,9 +237,26 @@ class RankingRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _respond_text(self, status: int, text: str, *,
+                      content_type: str = "text/plain; charset=utf-8"
+                      ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_request(self, code="-", size="-") -> None:
+        # The per-request access line (with duration) is emitted by
+        # do_GET; the default per-response line here would duplicate it.
+        pass
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if self.server.verbose:  # pragma: no cover - log formatting
-            super().log_message(format, *args)
+        # http.server internals route errors here; surface them through
+        # the structured serving logger instead of bare stderr.
+        ACCESS_LOGGER.warning("%s - %s", self.address_string(),
+                              format % args)
 
 
 class RankingHTTPServer(ThreadingHTTPServer):
@@ -181,8 +270,14 @@ class RankingHTTPServer(ThreadingHTTPServer):
         Bind address; ``port=0`` picks a free ephemeral port (the bound
         port is available as :attr:`port`).
     verbose:
-        Whether to log requests to stderr (off by default — the examples
-        and tests hammer the endpoint).
+        Switches the ``repro.serving`` access log on (one structured line
+        per request to stderr, see :func:`enable_access_log`).  Off by
+        default — the examples and tests hammer the endpoint.
+
+    While the server lives, a collector is registered with the telemetry
+    registry so ``/metrics`` scrapes also expose the service's own state
+    (cache hit rate, store generation, uptime) without double accounting;
+    :meth:`close` removes it.
     """
 
     daemon_threads = True
@@ -191,7 +286,48 @@ class RankingHTTPServer(ThreadingHTTPServer):
                  port: int = 0, verbose: bool = False) -> None:
         self.service = service
         self.verbose = verbose
+        self.started_at = monotonic()
+        if verbose:
+            enable_access_log()
+        obs.registry().add_collector(self._collect_serving_samples)
         super().__init__((host, port), RankingRequestHandler)
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the server object was created."""
+        return monotonic() - self.started_at
+
+    def _collect_serving_samples(self) -> Iterable[Tuple[str, str,
+                                                         Dict[str, str],
+                                                         float]]:
+        """Scrape-time samples of the service's own counters."""
+        stats = self.service.stats()
+        cache = stats["cache"]
+        engine = stats["engine"]
+        return [
+            ("counter", "serving_queries_served_total", {},
+             float(stats["queries_served"])),
+            ("counter", "serving_cache_hits_total", {},
+             float(cache["hits"])),
+            ("counter", "serving_cache_misses_total", {},
+             float(cache["misses"])),
+            ("counter", "serving_cache_evictions_total", {},
+             float(cache["evictions"])),
+            ("counter", "serving_cache_invalidations_total", {},
+             float(cache["invalidations"])),
+            ("gauge", "serving_cache_hit_rate", {},
+             float(cache["hit_rate"])),
+            ("gauge", "serving_cache_entries", {},
+             float(stats["cache_entries"])),
+            ("gauge", "serving_store_generation", {},
+             float(stats["generation"])),
+            ("gauge", "serving_store_shards", {}, float(stats["shards"])),
+            ("gauge", "serving_store_documents", {},
+             float(stats["documents"])),
+            ("gauge", "serving_uptime_seconds", {}, self.uptime_seconds),
+            ("counter", "serving_rebuild_dispatch_bytes_total", {},
+             float(engine["dispatch_bytes"])),
+        ]
 
     @property
     def host(self) -> str:
@@ -216,7 +352,8 @@ class RankingHTTPServer(ThreadingHTTPServer):
         return thread
 
     def close(self) -> None:
-        """Stop serving and release the socket."""
+        """Stop serving, release the socket and drop the metrics collector."""
+        obs.registry().remove_collector(self._collect_serving_samples)
         self.shutdown()
         self.server_close()
 

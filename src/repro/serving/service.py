@@ -32,10 +32,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..engine.arena import (
     resolve_vector_payload,
     share_vector,
@@ -211,6 +213,11 @@ class RankingService:
         #: lockstep with the store and refreshed on shard updates.
         self._link_scores: Optional[Dict[int, float]] = None
         self.queries_served = 0
+        #: Rebuild accounting, surfaced in stats()["engine"] and /metrics.
+        self.rebuilds = 0
+        self.shards_rebuilt = 0
+        self.swap_count = 0
+        self.last_rebuild_seconds = 0.0
         # The HTTP endpoint serves from multiple threads while incremental
         # updates replace the store; the coarse read lock is held by
         # queries and — only for the pointer swap — by rebuilds, so reads
@@ -318,6 +325,7 @@ class RankingService:
             self._apply_update(report)
 
     def _apply_update(self, report: UpdateReport) -> None:
+        rebuild_started = perf_counter()
         ranker = self._ranker
         assert ranker is not None
         docgraph = ranker.docgraph
@@ -377,6 +385,15 @@ class RankingService:
                     for site, (doc_ids, _urls, scores) in replacements.items():
                         for doc_id, score in zip(doc_ids, scores):
                             self._link_scores[doc_id] = float(score)
+            self.swap_count += 1
+        rebuild_seconds = perf_counter() - rebuild_started
+        self.rebuilds += 1
+        self.shards_rebuilt += len(sites)
+        self.last_rebuild_seconds = rebuild_seconds
+        obs.inc("serving_rebuilds_total")
+        obs.inc("serving_shards_rebuilt_total", float(len(sites)))
+        obs.inc("serving_swaps_total")
+        obs.observe("serving_rebuild_seconds", rebuild_seconds)
 
     def _shard_job(self, site: str) -> _ShardRebuildJob:
         ranker = self._ranker
@@ -525,7 +542,14 @@ class RankingService:
         return self._cache.stats
 
     def stats(self) -> Dict[str, object]:
-        """A JSON-serialisable snapshot of the service's state."""
+        """A JSON-serialisable snapshot of the service's state.
+
+        One dict aggregating store state (top-level keys, unchanged since
+        1.2), cache counters (``"cache"``) and the rebuild engine's
+        counters (``"engine"``: executor backend, transport, cumulative
+        dispatch bytes, rebuild/swap counts and the last rebuild's
+        duration).
+        """
         with self._lock:
             return {
                 "documents": self._store.n_documents,
@@ -536,6 +560,19 @@ class RankingService:
                 "cache": self._cache.stats.as_dict(),
                 "has_text_index": self._index is not None,
                 "attached_to_ranker": self._ranker is not None,
+                "engine": {
+                    "executor": self._executor.name,
+                    "transport": str(getattr(self._executor,
+                                             "last_transport",
+                                             "in-process")),
+                    "dispatch_bytes": int(getattr(self._executor,
+                                                  "total_dispatch_bytes",
+                                                  0)),
+                    "rebuilds": self.rebuilds,
+                    "shards_rebuilt": self.shards_rebuilt,
+                    "swaps": self.swap_count,
+                    "last_rebuild_seconds": self.last_rebuild_seconds,
+                },
             }
 
     # ------------------------------------------------------------------ #

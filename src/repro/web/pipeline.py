@@ -23,10 +23,12 @@ model — a fact the integration tests verify.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from .._validation import normalize_distribution
 from ..exceptions import GraphStructureError, ValidationError
 from ..core.lmm import LayeredMarkovModel, Phase
@@ -63,6 +65,11 @@ class WebRankingResult:
     iterations:
         Total power iterations: for the layered method the sum over sites
         plus the SiteRank iterations, for the flat baseline the global run.
+    timings:
+        Wall-clock seconds per phase, keyed by the canonical phase names
+        of :mod:`repro.obs` (``plan.build`` for steps 1–2,
+        ``plan.execute`` for steps 3–4, ``plan.compose`` for step 5).
+        Empty for rankings built outside the layered pipeline.
     """
 
     doc_ids: List[int]
@@ -72,6 +79,7 @@ class WebRankingResult:
     siterank: Optional[SiteRankResult] = None
     local_docranks: Optional[Dict[str, LocalDocRank]] = None
     iterations: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
     _position: Dict[int, int] = field(init=False, repr=False,
                                       default_factory=dict)
 
@@ -194,20 +202,31 @@ def _layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
 
     # Steps 1–2 (input + SiteGraph aggregation) happen at plan build time;
     # steps 3–4 run concurrently inside execute(); step 5 composes below.
+    build_started = perf_counter()
     plan = RankingPlan.from_docgraph(
         docgraph, damping, site_damping=site_damping,
         site_preference=site_preference,
         document_preferences=document_preferences,
         include_site_self_links=include_site_self_links,
         tol=tol, max_iter=max_iter, batch_sites=batch_sites)
+    build_seconds = perf_counter() - build_started
     execution = plan.execute(executor=executor, n_jobs=n_jobs, warm=warm)
 
     method = "layered"
     if site_preference is not None or document_preferences:
         method = "layered-personalized"
-    return compose_ranking(docgraph, plan.sitegraph.sites, execution.siterank,
-                           execution.local, method=method,
-                           iterations=execution.total_iterations)
+    compose_started = perf_counter()
+    with obs.span(obs.PHASE_PLAN_COMPOSE):
+        result = compose_ranking(docgraph, plan.sitegraph.sites,
+                                 execution.siterank, execution.local,
+                                 method=method,
+                                 iterations=execution.total_iterations)
+    result.timings = {
+        obs.PHASE_PLAN_BUILD: build_seconds,
+        obs.PHASE_PLAN_EXECUTE: execution.wall_seconds,
+        obs.PHASE_PLAN_COMPOSE: perf_counter() - compose_started,
+    }
+    return result
 
 
 def layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,

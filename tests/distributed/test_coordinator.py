@@ -131,6 +131,16 @@ class TestEngineScheduling:
         assert report.measured_wall_seconds > 0.0
         assert report.executor_name == "serial"
 
+    def test_timings_use_canonical_phase_keys(self, toy_docgraph):
+        report = distributed_layered_docrank(toy_docgraph, n_peers=2)
+        timings = report.timings
+        # the measured engine batch shares the pipeline's phase name;
+        # the modeled simulation times keep their own sim.* keys
+        assert timings["plan.execute"] == report.measured_wall_seconds
+        assert timings["sim.makespan"] == report.makespan_seconds
+        assert timings["sim.serial_compute"] == report.serial_compute_seconds
+        assert timings["sim.coordinator"] == report.coordinator_seconds
+
     def test_parallel_execution_matches_serial(self, small_synthetic_web):
         serial = distributed_layered_docrank(small_synthetic_web, n_peers=4)
         parallel = distributed_layered_docrank(small_synthetic_web, n_peers=4,

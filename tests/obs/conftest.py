@@ -1,0 +1,22 @@
+"""Shared fixtures for the telemetry tests.
+
+The registry is process-global, so every test starts from a clean slate
+and leaves recording in its default (enabled, untraced) state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.reset()
+    obs.enable()
+    obs.disable_tracing()
+    yield
+    obs.reset()
+    obs.enable()
+    obs.disable_tracing()

@@ -1,0 +1,111 @@
+"""End-to-end telemetry: fit() instrumentation and worker-delta merging."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.api import Ranker, RankingConfig
+
+#: Counters that must be identical however the engine dispatches the work
+#: (the task list and the numerics do not depend on the backend).
+_DETERMINISTIC_COUNTERS = (
+    "solver_runs_total",
+    "solver_iterations_total",
+    "engine_tasks_total",
+    "block_solver_runs_total",
+    "block_solver_blocks_total",
+    "block_solver_sweeps_total",
+)
+
+
+def _deterministic_counters():
+    snap = obs.snapshot(include_collected=False)
+    return {(entry["name"], tuple(sorted(entry["labels"].items()))):
+            entry["value"]
+            for entry in snap["counters"]
+            if entry["name"] in _DETERMINISTIC_COUNTERS}
+
+
+class TestFitInstrumentation:
+    def test_timings_use_canonical_phase_keys(self, toy_docgraph):
+        result = Ranker().fit(toy_docgraph)
+        assert set(result.timings) == {
+            obs.PHASE_PLAN_BUILD, obs.PHASE_PLAN_EXECUTE,
+            obs.PHASE_PLAN_COMPOSE, obs.PHASE_FIT,
+        }
+        assert all(seconds >= 0.0 for seconds in result.timings.values())
+        # wall_seconds stays the back-compat alias of fit.total
+        assert result.wall_seconds == result.timings[obs.PHASE_FIT]
+        assert result.ranking.timings[obs.PHASE_PLAN_BUILD] == \
+            result.timings[obs.PHASE_PLAN_BUILD]
+        assert "timings" in result.to_dict()
+
+    def test_provenance_carries_metrics_snapshot(self, toy_docgraph):
+        result = Ranker().fit(toy_docgraph)
+        metrics = result.provenance["metrics"]
+        assert {entry["name"] for entry in metrics["counters"]} >= {
+            "solver_runs_total", "engine_tasks_total",
+            "plan_executions_total"}
+        assert any(entry["name"] == "phase_seconds"
+                   for entry in metrics["histograms"])
+
+    def test_disabled_telemetry_drops_metrics_from_provenance(
+            self, toy_docgraph):
+        obs.disable()
+        result = Ranker().fit(toy_docgraph)
+        assert "metrics" not in result.provenance
+        # timings stay available: they are plain clock reads, not telemetry
+        assert obs.PHASE_FIT in result.timings
+        assert obs.snapshot() == {"counters": [], "gauges": [],
+                                  "histograms": []}
+
+    def test_fit_trace_exports_span_history(self, toy_docgraph, tmp_path):
+        path = tmp_path / "trace.json"
+        Ranker().fit(toy_docgraph, trace=str(path))
+        trace = json.loads(path.read_text())
+        assert trace["version"] == 1
+        names = {span["name"] for span in trace["spans"]}
+        assert names >= {obs.PHASE_FIT, obs.PHASE_PLAN_BUILD,
+                         obs.PHASE_PLAN_EXECUTE, obs.PHASE_PLAN_COMPOSE}
+        fit_span = next(s for s in trace["spans"]
+                        if s["name"] == obs.PHASE_FIT)
+        assert fit_span["parent"] is None
+        # tracing is torn down again after the call
+        assert obs.current_tracer() is None
+
+    def test_solver_counters_recorded(self, toy_docgraph):
+        Ranker().fit(toy_docgraph)
+        registry = obs.registry()
+        assert registry.counter_value("solver_runs_total",
+                                      solver="power") >= 1.0
+        assert registry.counter_value("solver_iterations_total",
+                                      solver="power") >= 1.0
+        assert registry.counter_value("block_solver_runs_total") >= 1.0
+
+
+class TestWorkerDeltaMerge:
+    def test_process_backend_reports_serial_counters(self, toy_docgraph):
+        serial = Ranker(RankingConfig(executor="serial")).fit(toy_docgraph)
+        expected = _deterministic_counters()
+        assert expected, "serial run recorded no deterministic counters"
+
+        obs.reset()
+        process = Ranker(RankingConfig(executor="process",
+                                       n_jobs=2)).fit(toy_docgraph)
+        assert _deterministic_counters() == expected
+
+        # the merge carried the task timing observations across too
+        snap = obs.snapshot(include_collected=False)
+        waits = [h for h in snap["histograms"]
+                 if h["name"] == "engine_task_queue_wait_seconds"]
+        assert sum(h["count"] for h in waits) >= 1
+        # and the rankings themselves agree
+        assert process.top_k(5) == serial.top_k(5)
+
+    def test_process_backend_counts_dispatches(self, toy_docgraph):
+        Ranker(RankingConfig(executor="process", n_jobs=2)).fit(toy_docgraph)
+        snap = obs.snapshot(include_collected=False)
+        dispatches = [entry for entry in snap["counters"]
+                      if entry["name"] == "engine_dispatches_total"]
+        assert sum(entry["value"] for entry in dispatches) >= 1

@@ -1,0 +1,90 @@
+"""Tests for the Prometheus text exposition and its validator."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, escape_label_value, validate_exposition
+
+
+class TestEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a\\b') == 'a\\\\b'
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value('two\nlines') == 'two\\nlines'
+
+    def test_escaped_values_render_and_validate(self):
+        registry = MetricsRegistry()
+        registry.inc("weird_total", path='/a"b\\c\nd')
+        text = registry.to_prometheus()
+        validate_exposition(text)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert "\n\n" not in text.replace("\\n", "")  # one line per sample
+
+
+class TestExposition:
+    def test_prefix_and_types(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total", solver="power")
+        registry.set_gauge("residual", 1e-9)
+        registry.observe("wait_seconds", 0.003)
+        text = registry.to_prometheus()
+        validate_exposition(text)
+        assert "# TYPE repro_runs_total counter" in text
+        assert 'repro_runs_total{solver="power"} 1' in text
+        assert "# TYPE repro_residual gauge" in text
+        assert "# TYPE repro_wait_seconds histogram" in text
+        assert 'repro_wait_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_wait_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("h_seconds", (0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            registry.observe("h_seconds", value)
+        text = registry.to_prometheus()
+        validate_exposition(text)
+        assert 'repro_h_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_h_seconds_bucket{le="1"} 2' in text
+        assert 'repro_h_seconds_bucket{le="+Inf"} 3' in text
+
+    def test_infinite_gauge_renders(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("worst_residual", float("inf"))
+        text = registry.to_prometheus()
+        validate_exposition(text)
+        assert "repro_worst_residual +Inf" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestValidator:
+    def test_rejects_empty_and_unterminated(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_exposition("")
+        with pytest.raises(ValueError, match="newline"):
+            validate_exposition("x 1")
+
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            validate_exposition("not a sample line\n")
+        with pytest.raises(ValueError, match="malformed sample"):
+            validate_exposition('bad{unquoted=oops} 1\n')
+
+    def test_rejects_bad_type_declaration(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            validate_exposition("# TYPE x flimflam\nx 1\n")
+
+    def test_rejects_undeclared_sample_when_types_present(self):
+        payload = "# HELP a repro counter\n# TYPE a counter\na 1\nb 2\n"
+        with pytest.raises(ValueError, match="no TYPE"):
+            validate_exposition(payload)
+
+    def test_accepts_histogram_family_suffixes(self):
+        payload = ("# HELP h repro histogram\n"
+                   "# TYPE h histogram\n"
+                   'h_bucket{le="1"} 1\n'
+                   'h_bucket{le="+Inf"} 2\n'
+                   "h_sum 1.5\n"
+                   "h_count 2\n")
+        validate_exposition(payload)

@@ -1,0 +1,81 @@
+"""Tests for trace spans, the phase histogram sink, and JSON export."""
+
+import json
+import time
+
+from repro import obs
+
+
+class TestSpans:
+    def test_span_feeds_phase_histogram(self):
+        with obs.span("unit.test"):
+            time.sleep(0.002)
+        snap = obs.snapshot()
+        (entry,) = [h for h in snap["histograms"]
+                    if h["name"] == "phase_seconds"]
+        assert entry["labels"] == {"phase": "unit.test"}
+        assert entry["count"] == 1
+        assert entry["sum"] >= 0.002
+
+    def test_disabled_span_is_shared_null_scope(self):
+        obs.disable()
+        assert obs.span("a") is obs.span("b")
+        with obs.span("a"):
+            pass
+        assert obs.snapshot()["histograms"] == []
+
+    def test_span_measures_duration(self):
+        with obs.span("timed") as scope:
+            time.sleep(0.005)
+        assert scope.seconds >= 0.005
+
+
+class TestTracer:
+    def test_nesting_records_parent_and_depth(self):
+        tracer = obs.enable_tracing()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.disable_tracing()
+        trace = tracer.to_json()
+        assert trace["version"] == 1
+        assert trace["unit"] == "seconds"
+        by_name = {s["name"]: s for s in trace["spans"]}
+        assert by_name["inner"]["parent"] == "outer"
+        assert by_name["inner"]["depth"] == 1
+        assert by_name["outer"]["parent"] is None
+        assert by_name["outer"]["depth"] == 0
+        # inner finishes first (spans close inside-out)
+        assert trace["spans"][0]["name"] == "inner"
+
+    def test_tracer_overrides_disabled_telemetry(self):
+        # An explicit tracer still collects spans with counters off.
+        obs.disable()
+        tracer = obs.enable_tracing()
+        with obs.span("only.traced"):
+            pass
+        obs.disable_tracing()
+        assert [s["name"] for s in tracer.spans] == ["only.traced"]
+        # ...but the phase histogram stayed off.
+        obs.enable()
+        assert obs.snapshot()["histograms"] == []
+
+    def test_export_writes_schema(self, tmp_path):
+        tracer = obs.enable_tracing()
+        with obs.span("exported"):
+            pass
+        obs.disable_tracing()
+        path = tmp_path / "trace.json"
+        tracer.export(str(path))
+        trace = json.loads(path.read_text())
+        assert trace["version"] == 1
+        (span,) = trace["spans"]
+        assert set(span) == {"name", "start", "end", "seconds", "parent",
+                             "depth", "thread"}
+        assert span["end"] >= span["start"] >= 0.0
+
+    def test_disable_returns_active_tracer(self):
+        tracer = obs.enable_tracing()
+        assert obs.current_tracer() is tracer
+        assert obs.disable_tracing() is tracer
+        assert obs.current_tracer() is None

@@ -473,6 +473,41 @@ class TestServeStatePersistence:
         assert resumed.iterations < cold.iterations / 2
 
 
+class TestStatsCommand:
+    def test_stats_renders_nonempty_snapshot(self, capsys):
+        assert main(["stats", "--generate", "hierarchical", "--sites", "5",
+                     "--documents", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "solver_runs_total" in out
+        assert "timings:" in out and "fit.total" in out
+
+    def test_stats_prometheus_output_validates(self, capsys):
+        from repro import obs
+
+        assert main(["stats", "--generate", "hierarchical", "--sites", "5",
+                     "--documents", "150", "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        exposition = out[out.index("# HELP"):]
+        obs.validate_exposition(exposition)
+        assert "repro_phase_seconds_bucket" in exposition
+
+
+class TestRankTrace:
+    def test_rank_trace_writes_span_json(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["rank", "--generate", "hierarchical", "--sites", "5",
+                     "--documents", "150", "--top", "3",
+                     "--trace", str(trace)]) == 0
+        assert f"trace written to {trace}" in capsys.readouterr().out
+        payload = json.loads(trace.read_text())
+        assert payload["version"] == 1
+        assert {span["name"] for span in payload["spans"]} >= {
+            "fit.total", "plan.build", "plan.execute", "plan.compose"}
+
+
 class TestModuleInvocation:
     def test_python_dash_m_repro(self):
         result = subprocess.run([sys.executable, "-m", "repro", "example"],
