@@ -1,0 +1,141 @@
+"""E17 (extension): fused multi-vector (SpMM) personalisation solves.
+
+Personalised ranking asks for K preference vectors — one per audience
+segment — over the *same* site graphs.  The naive path runs the block
+solver K times, re-streaming every CSR block per segment; the fused path
+packs an (n_rows x K) preference matrix into one
+:class:`~repro.linalg.block_solver.PackedBlocks` batch and advances all K
+columns with a single SpMM per sweep, freezing each (block, column) the
+sweep it converges (:mod:`repro.linalg.block_solver`).  This benchmark
+measures that amortisation for K in {1, 8, 32} on the many-small-sites
+synthetic web and the campus web:
+
+* **speedup** — wall time of one fused K-column solve vs K sequential
+  single-vector solves of the same blocks.  The acceptance target is a
+  >= 3x speedup at K=32 on the many-small-sites web (relaxed to >= 1.5x
+  at the smaller smoke-mode K; correctness assertions always apply);
+* **equality** — both paths run at a solver tolerance of 1e-13, which
+  bounds either result within ``tol·f/(1-f)`` of the fixed point, so
+  every per-segment column must agree within atol 1e-12 with the
+  per-vector reference;
+* **K=1 parity** — a single-vector batch dispatches to the verbatim
+  single-vector loop, so the K=1 row documents that the fused path adds
+  no overhead when nobody personalises.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import SMOKE, write_result
+from repro.graphgen import generate_synthetic_web
+from repro.linalg.block_solver import pack_blocks, solve_blocks
+
+#: Damping factor shared by both timed paths (the pipeline default).
+DAMPING = 0.85
+
+#: Solver tolerance of the timed + compared runs (see module docstring).
+TOL = 1e-13
+
+#: Score-agreement contract between the two paths (acceptance criterion).
+ATOL = 1e-12
+
+#: Speedup the many-small-sites web must reach at the largest K.
+MIN_SPEEDUP = 1.5 if SMOKE else 3.0
+
+#: The swept segment counts (largest K carries the acceptance assertion).
+SEGMENT_COUNTS = [1, 4, 8] if SMOKE else [1, 8, 32]
+
+#: The many-small-sites web (the regime the SpMM amortisation targets).
+MANY_SMALL = (150, 1200) if SMOKE else (2000, 16000)
+
+
+def _site_blocks(graph):
+    """Per-site local adjacencies — the block-solver input for *graph*."""
+    return [graph.local_adjacency(site)[0] for site in graph.sites()]
+
+
+def _preference_columns(rng, blocks, n_vectors):
+    """One random normalised (size, K) preference matrix per block."""
+    columns = []
+    for block in blocks:
+        matrix = rng.random((block.shape[0], n_vectors)) + 1e-3
+        columns.append(matrix / matrix.sum(axis=0))
+    return columns
+
+
+def _compare_paths(blocks, n_vectors, seed):
+    """Time fused vs per-vector and verify the equality contract."""
+    rng = np.random.default_rng(seed)
+    preferences = _preference_columns(rng, blocks, n_vectors)
+    fused_pack = pack_blocks(list(zip(blocks, [None] * len(blocks),
+                                      preferences)))
+    single_packs = [
+        pack_blocks([(block, None, preference[:, k])
+                     for block, preference in zip(blocks, preferences)])
+        for k in range(n_vectors)]
+
+    started = time.perf_counter()
+    singles = [solve_blocks(pack, DAMPING, tol=TOL) for pack in single_packs]
+    per_vector_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    fused = solve_blocks(fused_pack, DAMPING, tol=TOL)
+    fused_seconds = time.perf_counter() - started
+
+    assert fused.n_vectors == n_vectors
+    max_diff = 0.0
+    for k, single in enumerate(singles):
+        for b in range(len(blocks)):
+            fused_column = (fused.vectors[b][:, k] if n_vectors > 1
+                            else fused.vectors[b])
+            max_diff = max(max_diff, float(np.max(np.abs(
+                fused_column - single.vectors[b]))))
+    assert max_diff <= ATOL, \
+        (f"fused K={n_vectors} scores diverged from the per-vector "
+         f"reference by {max_diff:.3e} (> {ATOL})")
+
+    return {
+        "K": n_vectors,
+        "sites": len(blocks),
+        "per_vector_seconds": round(per_vector_seconds, 4),
+        "fused_seconds": round(fused_seconds, 4),
+        "speedup": round(per_vector_seconds / fused_seconds
+                         if fused_seconds > 0 else float("inf"), 2),
+        "max_abs_diff": float(f"{max_diff:.3e}"),
+    }
+
+
+@pytest.fixture(scope="module")
+def segment_rows(campus):
+    n_sites, n_documents = MANY_SMALL
+    webs = [
+        ("many-small", _site_blocks(generate_synthetic_web(
+            n_sites=n_sites, n_documents=n_documents, seed=42))),
+        ("campus", _site_blocks(campus.docgraph)),
+    ]
+    rows = []
+    for label, blocks in webs:
+        for n_vectors in SEGMENT_COUNTS:
+            rows.append({"web": label,
+                         **_compare_paths(blocks, n_vectors, seed=7)})
+    return rows
+
+
+@pytest.mark.benchmark(group="E17 multi-vector solver")
+def test_e17_fused_multivector_speedup_table(benchmark, segment_rows):
+    rows = benchmark.pedantic(lambda: segment_rows, rounds=1, iterations=1)
+    write_result("E17_multivector", rows,
+                 ["web", "K", "sites", "per_vector_seconds",
+                  "fused_seconds", "speedup", "max_abs_diff"],
+                 caption="Personalised solves: one fused K-column SpMM "
+                         "batch vs K sequential single-vector solves "
+                         f"(tol={TOL:g}; every segment column agrees with "
+                         f"the per-vector reference within {ATOL:g}).")
+    largest = max(SEGMENT_COUNTS)
+    fused_wins = next(row for row in rows
+                      if row["web"] == "many-small" and row["K"] == largest)
+    assert fused_wins["speedup"] >= MIN_SPEEDUP, \
+        (f"fused K={largest} solve only reached "
+         f"{fused_wins['speedup']}x on the many-small-sites web "
+         f"(target {MIN_SPEEDUP}x)")

@@ -25,9 +25,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
 from repro.graphgen import generate_campus_web, generate_synthetic_web  # noqa: E402
 from repro.io import experiment_rows_to_markdown, save_json  # noqa: E402
 
-# Benchmarks time the implementations, not the 1.x deprecation shims; the
-# non-warning spellings are re-exported here so every bench module imports
-# them from one place (a single edit when the shims are removed in 1.3).
+# The historical pipeline entry points, re-exported under their public
+# names so every bench module imports them from one place (the 1.x shims
+# were removed in 1.4; these are the private spellings that replaced them).
 from repro.web.pipeline import _flat_pagerank_ranking as flat_pagerank_ranking  # noqa: E402,F401
 from repro.web.pipeline import _layered_docrank as layered_docrank  # noqa: E402,F401
 from repro.web.incremental import IncrementalLayeredRanker as _ILR  # noqa: E402

@@ -69,7 +69,7 @@ from .serving import (
     TopKEngine,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .api import (  # noqa: E402  (api imports the layers above)
     Ranker,

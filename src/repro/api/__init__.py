@@ -25,9 +25,9 @@ Quickstart::
     result = Ranker(RankingConfig(method="layered", executor="auto")).fit(web)
     print(result.top_k_urls(5))
 
-The pre-1.2 entry points (``repro.web.layered_docrank`` and friends) keep
-working for one more minor release behind :class:`DeprecationWarning`
-shims; they are scheduled for removal in 1.4.
+The pre-1.2 entry points (``repro.web.layered_docrank`` and friends) were
+removed in 1.4 after one deprecation cycle; this facade is the only
+supported way in.
 """
 
 from .config import (

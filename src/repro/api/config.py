@@ -44,6 +44,58 @@ def _require(condition: bool, message: str) -> None:
         raise ValidationError(message)
 
 
+#: Keys a personalisation segment may carry.
+_SEGMENT_KEYS = ("sites", "documents", "background")
+
+
+def _validate_personalization(spec: Any) -> None:
+    """Validate the declarative ``personalization`` section.
+
+    Structure only — site names and document URLs are resolved against the
+    DocGraph at fit time; weights are checked here for the NaN / negative
+    failures the preference builders would reject anyway, so a config that
+    exists is a config that can run.
+    """
+    import math
+
+    _require(isinstance(spec, dict) and bool(spec),
+             "personalization must be a non-empty mapping of segment "
+             "names to segment specs")
+    for name, segment in spec.items():
+        _require(isinstance(name, str) and bool(name),
+                 f"segment names must be non-empty strings, got {name!r}")
+        _require(isinstance(segment, dict),
+                 f"segment {name!r} must be a mapping, "
+                 f"got {type(segment).__name__}")
+        unknown = sorted(set(segment) - set(_SEGMENT_KEYS))
+        _require(not unknown,
+                 f"segment {name!r} has unknown key"
+                 f"{'s' if len(unknown) > 1 else ''}: {', '.join(unknown)}; "
+                 f"known keys: {', '.join(_SEGMENT_KEYS)}")
+        for group in ("sites", "documents"):
+            weights = segment.get(group)
+            if weights is None:
+                continue
+            _require(isinstance(weights, dict),
+                     f"segment {name!r} {group} must be a mapping of "
+                     f"identifiers to weights")
+            for key, weight in weights.items():
+                _require(isinstance(key, str) and bool(key),
+                         f"segment {name!r} {group} keys must be "
+                         f"non-empty strings, got {key!r}")
+                _require(isinstance(weight, (int, float))
+                         and not isinstance(weight, bool)
+                         and math.isfinite(weight) and weight >= 0,
+                         f"segment {name!r} {group}[{key!r}] must be a "
+                         f"finite non-negative number, got {weight!r}")
+        background = segment.get("background", 0.0)
+        _require(isinstance(background, (int, float))
+                 and not isinstance(background, bool)
+                 and math.isfinite(background) and background >= 0,
+                 f"segment {name!r} background must be a finite "
+                 f"non-negative number, got {background!r}")
+
+
 @dataclass(frozen=True)
 class RankingConfig:
     """Everything needed to rank a web graph, in one immutable value.
@@ -83,6 +135,13 @@ class RankingConfig:
     n_peers, architecture, partition_policy:
         Distributed-deployment options consumed by
         :meth:`~repro.api.Ranker.distributed`.
+    personalization:
+        Optional declarative personalisation segments: a mapping from
+        segment name to ``{"sites": {site: weight}, "documents":
+        {url: weight}, "background": float}``.  The layered method solves
+        all segments as one fused multi-vector pass and the serving layer
+        answers ``segment=``-qualified queries from the resulting score
+        columns.  ``None`` (the default) disables personalisation.
     """
 
     method: str = "layered"
@@ -101,6 +160,7 @@ class RankingConfig:
     n_peers: int = 8
     architecture: str = "flat"
     partition_policy: str = "balanced"
+    personalization: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -170,6 +230,15 @@ class RankingConfig:
         _require(self.partition_policy in PARTITION_POLICY_CHOICES,
                  f"partition_policy must be one of {PARTITION_POLICY_CHOICES}, "
                  f"got {self.partition_policy!r}")
+        if self.personalization is not None:
+            _validate_personalization(self.personalization)
+
+    @property
+    def segment_names(self) -> tuple:
+        """Declared personalisation segment names, in declaration order."""
+        if not self.personalization:
+            return ()
+        return tuple(self.personalization.keys())
 
     def require_method(self):
         """The registered method callable this config names.

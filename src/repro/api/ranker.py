@@ -268,13 +268,14 @@ class Ranker:
         graph = self._graph_or_fitted(docgraph)
         executor, n_jobs, owned = self._engine_spec()
         try:
-            ranker = IncrementalLayeredRanker._create(
+            ranker = IncrementalLayeredRanker(
                 graph, self.config.damping,
                 site_damping=self.config.site_damping,
                 include_site_self_links=self.config.include_site_self_links,
                 tol=self.config.tol, max_iter=self.config.max_iter,
                 executor=executor, n_jobs=n_jobs,
-                batch_sites=self.config.batch_sites)
+                batch_sites=self.config.batch_sites,
+                personalization=self.config.personalization)
         except BaseException:
             if owned:
                 executor.close()

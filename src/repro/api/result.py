@@ -83,13 +83,26 @@ class RankingResult:
         """Scores re-indexed by document id."""
         return self.ranking.scores_by_doc_id()
 
-    def top_k(self, k: int) -> List[int]:
-        """The ``k`` best document ids, best first."""
-        return self.ranking.top_k(k)
+    def top_k(self, k: int, *, segment: str | None = None) -> List[int]:
+        """The ``k`` best document ids, best first.
 
-    def top_k_urls(self, k: int) -> List[str]:
+        *segment* ranks by that personalisation segment's score column
+        instead of the base distribution.
+        """
+        return self.ranking.top_k(k, segment=segment)
+
+    def top_k_urls(self, k: int, *, segment: str | None = None) -> List[str]:
         """The ``k`` best document URLs, best first."""
-        return self.ranking.top_k_urls(k)
+        return self.ranking.top_k_urls(k, segment=segment)
+
+    @property
+    def segments(self) -> tuple:
+        """Personalisation segment names of the run (``()`` when none)."""
+        return self.ranking.segments
+
+    def segment_scores(self, segment: str) -> np.ndarray:
+        """The named segment's score column, aligned with :attr:`doc_ids`."""
+        return self.ranking.segment_scores(segment)
 
     # ------------------------------------------------------------------ #
     def to_dict(self, *, top_k: int | None = None) -> Dict[str, Any]:

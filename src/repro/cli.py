@@ -386,10 +386,13 @@ def _command_serve(args: argparse.Namespace) -> int:
 def _command_query(args: argparse.Namespace) -> int:
     graph, service, config = _build_service(args)
     print(f"graph: {graph.n_documents} documents over {graph.n_sites} sites")
-    batches = service.query_many(args.queries, args.top)
+    segment = getattr(args, "segment", None)
+    batches = service.query_many(args.queries, args.top, segment=segment)
     for text, hits in zip(args.queries, batches):
         # config.rule, not args.rule: a --config file may set the rule.
-        print(f"\ntop-{args.top} for {text!r} ({config.rule} combination):")
+        qualifier = f", segment {segment!r}" if segment else ""
+        print(f"\ntop-{args.top} for {text!r} "
+              f"({config.rule} combination{qualifier}):")
         if not hits:
             print("  (no matching documents)")
         for rank, hit in enumerate(hits, start=1):
@@ -563,6 +566,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("queries", nargs="+", metavar="QUERY",
                        help="free-text queries (answered as one batch)")
     query.add_argument("--top", type=int, default=10)
+    query.add_argument("--segment", default=None, metavar="NAME",
+                       help="combine with a personalisation segment's "
+                            "scores instead of the base ranking (the "
+                            "segment must be declared in the --config "
+                            "file's [personalization] section)")
     query.set_defaults(handler=_command_query)
 
     calibrate = subparsers.add_parser(

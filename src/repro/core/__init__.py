@@ -67,6 +67,7 @@ from .personalization import (
     personalized_gatekeeper_vectors,
     personalized_layered_ranking,
     personalized_phase_weights,
+    profile_preference_columns,
 )
 
 __all__ = [
@@ -115,4 +116,5 @@ __all__ = [
     "personalized_gatekeeper_vectors",
     "personalized_layered_ranking",
     "personalized_phase_weights",
+    "profile_preference_columns",
 ]

@@ -5,7 +5,6 @@ from .coordinator import (
     Architecture,
     DistributedRankingCoordinator,
     SimulationReport,
-    distributed_layered_docrank,
 )
 from .cost import (
     CostBreakdown,
@@ -38,7 +37,6 @@ __all__ = [
     "Architecture",
     "DistributedRankingCoordinator",
     "SimulationReport",
-    "distributed_layered_docrank",
     "CostBreakdown",
     "CostComparison",
     "centralized_cost",

@@ -11,10 +11,10 @@ Two deployment flavours from Section 3.2 of the paper are implemented:
   and ships a single already-weighted shard, so "rank aggregation is only
   performed at super-peers" and the coordinator merely concatenates shards.
 
-Both produce the exact same global DocRank as the centralized
-:func:`repro.web.pipeline.layered_docrank` — the property the integration
-tests verify — but with different traffic patterns, which is what the
-distribution-cost benchmark (E9) measures.
+Both produce the exact same global DocRank as the centralized pipeline
+(:mod:`repro.web.pipeline`) — the property the integration tests verify —
+but with different traffic patterns, which is what the distribution-cost
+benchmark (E9) measures.
 """
 
 from __future__ import annotations
@@ -397,32 +397,3 @@ class DistributedRankingCoordinator:
                                 siterank=site_result,
                                 local_docranks=local_results,
                                 iterations=total_iterations)
-
-
-def distributed_layered_docrank(docgraph: DocGraph, *, n_peers: int = 8,
-                                architecture: Architecture = "flat",
-                                partition_policy: PartitionPolicy = "balanced",
-                                network: Optional[NetworkParameters] = None,
-                                damping: float = DEFAULT_DAMPING,
-                                tol: float = DEFAULT_TOL,
-                                max_iter: int = DEFAULT_MAX_ITER,
-                                executor: Optional[Executor] = None,
-                                n_jobs: Optional[int] = None,
-                                ) -> SimulationReport:
-    """One-call convenience wrapper around :class:`DistributedRankingCoordinator`.
-
-    Deprecated 1.x entry point: prefer
-    ``repro.api.Ranker(config).distributed(docgraph)``, which builds the
-    coordinator from the same declarative config that drives every other
-    deployment mode.  This shim forwards unchanged (and warns once per
-    process) for one release.
-    """
-    from .._deprecation import warn_deprecated
-
-    warn_deprecated("repro.distributed.distributed_layered_docrank",
-                    "repro.api.Ranker(config).distributed(docgraph)")
-    coordinator = DistributedRankingCoordinator(
-        docgraph, n_peers=n_peers, architecture=architecture,
-        partition_policy=partition_policy, network=network, damping=damping,
-        tol=tol, max_iter=max_iter, executor=executor, n_jobs=n_jobs)
-    return coordinator.run()

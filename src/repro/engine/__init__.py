@@ -21,7 +21,7 @@ compute layer of the repository:
   :class:`ArenaRef` addresses, so dispatch cost no longer scales with the
   web's size.
 
-The centralized pipeline (:func:`repro.web.pipeline.layered_docrank`), the
+The centralized pipeline (:mod:`repro.web.pipeline`), the
 incremental ranker, the distributed simulator and the serving layer all
 schedule their work through this package; the determinism-guard tests pin
 down that every backend produces bitwise-identical rankings.

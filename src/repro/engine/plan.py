@@ -37,12 +37,22 @@ import numpy as np
 
 from .. import obs
 from ..exceptions import GraphStructureError, ValidationError
-from ..linalg.block_solver import PackedBlocks, pack_blocks, solve_blocks
+from ..linalg.block_solver import (
+    PackedBlocks,
+    pack_block_vectors,
+    pack_blocks,
+    solve_blocks,
+)
 from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
 from ..markov.irreducibility import DEFAULT_DAMPING
 from ..linalg.sparse_utils import csr_arena_nbytes
 from ..web.docgraph import DocGraph
-from ..web.docrank import LocalDocRank, solve_local_docrank
+from ..web.docrank import (
+    LocalDocRank,
+    SiteColumns,
+    solve_local_columns,
+    solve_local_docrank,
+)
 from ..web.sitegraph import SiteGraph, aggregate_sitegraph
 from ..web.siterank import SiteRankResult, siterank
 from .arena import (
@@ -57,6 +67,24 @@ from .arena import (
 )
 from .executor import Executor, resolve_executor
 from .warm import WarmStartState
+
+
+def _matrix_payload(vector: object, n_rows: int, n_vectors: int, *,
+                    fill_uniform: bool = True) -> Optional[np.ndarray]:
+    """Rebuild an ``(n_rows, K)`` column matrix from a task payload.
+
+    The shared-memory arena transports 1-D buffers only, so multi-vector
+    tasks ship their preference/start matrices flattened row-major; this
+    undoes the flattening (a no-op reshape for in-process matrices).  When
+    the payload is absent, returns a uniform matrix (*fill_uniform*) or
+    ``None``.
+    """
+    payload = resolve_vector_payload(vector)
+    if payload is None:
+        if not fill_uniform:
+            return None
+        return np.full((n_rows, n_vectors), 1.0 / n_rows)
+    return np.asarray(payload, dtype=float).reshape(n_rows, n_vectors)
 
 
 @dataclass(frozen=True)
@@ -80,6 +108,12 @@ class LocalRankTask:
     tol: float = DEFAULT_TOL
     max_iter: int = DEFAULT_MAX_ITER
     start: object = None  #: optional vector, or an ArenaRef to one
+    #: Preference columns carried per document.  ``1`` is the classic
+    #: single-vector task; ``K > 1`` means ``preference``/``start`` hold an
+    #: ``(n, K)`` matrix (flattened row-major when riding the 1-D arena —
+    #: :meth:`run` reshapes) and the task yields a
+    #: :class:`~repro.web.docrank.SiteColumns` instead of a LocalDocRank.
+    n_vectors: int = 1
 
     @property
     def n_documents(self) -> int:
@@ -118,13 +152,21 @@ class LocalRankTask:
             preference=share_vector(arena, self.preference),
             start=share_vector(arena, self.start))
 
-    def run(self) -> LocalDocRank:
+    def run(self):
         """Execute the task on the calling thread (attaching shared buffers)."""
         doc_ids = self.doc_ids
         if isinstance(doc_ids, ArenaRef):
             doc_ids = [int(d) for d in resolve_vector(doc_ids)]
         else:
             doc_ids = list(doc_ids)
+        if self.n_vectors > 1:
+            return solve_local_columns(
+                self.site, resolve_matrix(self.adjacency), doc_ids,
+                _matrix_payload(self.preference, len(doc_ids),
+                                self.n_vectors),
+                self.damping, tol=self.tol, max_iter=self.max_iter,
+                start=_matrix_payload(self.start, len(doc_ids),
+                                      self.n_vectors, fill_uniform=False))
         return solve_local_docrank(
             self.site, resolve_matrix(self.adjacency), doc_ids, self.damping,
             preference=resolve_vector_payload(self.preference),
@@ -217,6 +259,11 @@ class BatchedSiteTask:
     tol: float = DEFAULT_TOL
     max_iter: int = DEFAULT_MAX_ITER
     start: object = None  #: packed vector, or an ArenaRef, or None
+    #: Preference columns per document; ``K > 1`` runs the fused SpMM
+    #: solve and yields :class:`~repro.web.docrank.SiteColumns` per site.
+    #: The packed preference/start matrices ride the 1-D arena flattened
+    #: row-major; :meth:`run` reshapes.
+    n_vectors: int = 1
 
     #: Marker the adaptive cost model keys on to re-price fused batches
     #: (duck-typed so :mod:`repro.engine.adaptive` needs no import).
@@ -262,53 +309,105 @@ class BatchedSiteTask:
             preference=share_vector(arena, self.preference),
             start=share_vector(arena, self.start))
 
-    def run(self) -> List[LocalDocRank]:
+    def run(self):
         """Solve every fused site; results in :attr:`sites` order."""
         offsets = np.asarray(resolve_vector_payload(self.offsets),
                              dtype=np.int64)
         doc_ids = np.asarray(resolve_vector_payload(self.doc_ids),
                              dtype=np.int64)
+        n_rows = int(offsets[-1])
+        if self.n_vectors > 1:
+            start = _matrix_payload(self.start, n_rows, self.n_vectors,
+                                    fill_uniform=False)
+            preference = _matrix_payload(self.preference, n_rows,
+                                         self.n_vectors, fill_uniform=False)
+        else:
+            start = resolve_vector_payload(self.start)
+            preference = resolve_vector_payload(self.preference)
         packed = PackedBlocks(
             matrix=resolve_matrix(self.adjacency), offsets=offsets,
-            start=resolve_vector_payload(self.start),
-            preference=resolve_vector_payload(self.preference))
+            start=start, preference=preference)
         solved = solve_blocks(packed, self.damping, tol=self.tol,
                               max_iter=self.max_iter)
         results = []
         for index, site in enumerate(self.sites):
-            ids = doc_ids[offsets[index]:offsets[index + 1]]
-            results.append(LocalDocRank(
-                site=site, doc_ids=[int(doc_id) for doc_id in ids],
-                scores=solved.vectors[index],
-                iterations=int(solved.iterations[index])))
+            ids = [int(doc_id)
+                   for doc_id in doc_ids[offsets[index]:offsets[index + 1]]]
+            if self.n_vectors > 1:
+                columns = solved.vectors[index]
+                if columns.ndim == 1:
+                    # All-uniform preference degenerated to one column;
+                    # every segment shares it.
+                    columns = np.broadcast_to(
+                        columns[:, None],
+                        (columns.size, self.n_vectors)).copy()
+                results.append(SiteColumns(
+                    site=site, doc_ids=ids, columns=columns,
+                    iterations=int(np.max(solved.iterations[index]))))
+            else:
+                results.append(LocalDocRank(
+                    site=site, doc_ids=ids,
+                    scores=solved.vectors[index],
+                    iterations=int(solved.iterations[index])))
         return results
 
     @classmethod
-    def from_tasks(cls, tasks: Sequence[LocalRankTask]) -> "BatchedSiteTask":
-        """Fuse per-site tasks (which must share damping/tol/max_iter)."""
+    def from_tasks(cls, tasks: Sequence[LocalRankTask], *,
+                   pack_cache: Optional[dict] = None) -> "BatchedSiteTask":
+        """Fuse per-site tasks (which must share damping/tol/max_iter/K).
+
+        *pack_cache* is a caller-owned dict reusing the packed
+        block-diagonal CSR across calls.  The key is the chunk's
+        ``(site, n_documents, nnz)`` fingerprint — exact under the
+        DocGraph's add-only mutation API, where any structural change to a
+        site moves its document or link count — so a warm-started refresh
+        of structurally unchanged sites (and the segment batch sharing a
+        refresh's base batch) skips the ``scipy`` block-diagonal rebuild
+        and only re-packs the start/preference payloads.
+        """
         if not tasks:
             raise ValidationError("cannot batch zero site tasks")
         head = tasks[0]
         for task in tasks[1:]:
-            if (task.damping, task.tol, task.max_iter) != \
-                    (head.damping, head.tol, head.max_iter):
+            if (task.damping, task.tol, task.max_iter, task.n_vectors) != \
+                    (head.damping, head.tol, head.max_iter, head.n_vectors):
                 raise ValidationError(
-                    "batched site tasks must share damping, tol and "
-                    "max_iter")
-        packed = pack_blocks([(task.adjacency, task.start, task.preference)
-                              for task in tasks])
+                    "batched site tasks must share damping, tol, max_iter "
+                    "and n_vectors")
         doc_ids = np.concatenate([
             np.asarray(task.doc_ids, dtype=np.int64) for task in tasks])
+        key = (tuple((task.site, task.n_documents, task.nnz)
+                     for task in tasks) if pack_cache is not None else None)
+        cached = pack_cache.get(key) if pack_cache is not None else None
+        if cached is not None:
+            matrix, offsets = cached
+            sizes = [task.n_documents for task in tasks]
+            start = pack_block_vectors([task.start for task in tasks],
+                                       sizes, name="start")
+            preference = pack_block_vectors(
+                [task.preference for task in tasks], sizes,
+                name="preference")
+            obs.inc("block_pack_reuse_total")
+        else:
+            packed = pack_blocks([(task.adjacency, task.start,
+                                   task.preference) for task in tasks])
+            matrix, offsets = packed.matrix, packed.offsets
+            start, preference = packed.start, packed.preference
+            if pack_cache is not None:
+                pack_cache[key] = (matrix, offsets)
+            obs.inc("block_pack_builds_total")
         return cls(sites=tuple(task.site for task in tasks),
-                   adjacency=packed.matrix, offsets=packed.offsets,
+                   adjacency=matrix, offsets=offsets,
                    doc_ids=doc_ids, damping=head.damping,
-                   preference=packed.preference, tol=head.tol,
-                   max_iter=head.max_iter, start=packed.start)
+                   preference=preference, tol=head.tol,
+                   max_iter=head.max_iter, start=start,
+                   n_vectors=head.n_vectors)
 
 
 def batch_site_tasks(tasks: Sequence[LocalRankTask], *,
                      max_docs: int = BATCH_SITE_MAX_DOCS,
-                     target_docs: int = BATCH_TARGET_DOCS
+                     target_docs: int = BATCH_TARGET_DOCS,
+                     pack_cache: Optional[dict] = None
                      ) -> List["RankTask"]:
     """Group small-site tasks into fused :class:`BatchedSiteTask` payloads.
 
@@ -318,6 +417,8 @@ def batch_site_tasks(tasks: Sequence[LocalRankTask], *,
     whose buffers already live in an arena — pass through untouched.  The
     returned list mixes fused and dedicated tasks; callers key results
     back by site, so ordering between the two kinds is irrelevant.
+    *pack_cache* reuses packed CSR structures across calls (see
+    :meth:`BatchedSiteTask.from_tasks`).
     """
     if max_docs < 0 or target_docs < 1:
         raise ValidationError(
@@ -329,7 +430,7 @@ def batch_site_tasks(tasks: Sequence[LocalRankTask], *,
                 or isinstance(task.adjacency, ArenaRef)):
             passthrough.append(task)
             continue
-        key = (task.damping, task.tol, task.max_iter)
+        key = (task.damping, task.tol, task.max_iter, task.n_vectors)
         groups.setdefault(key, []).append(task)
 
     fused: List[RankTask] = []
@@ -338,7 +439,8 @@ def batch_site_tasks(tasks: Sequence[LocalRankTask], *,
         chunk_docs = 0
         for task in grouped:
             if chunk and chunk_docs + task.n_documents > target_docs:
-                fused.append(BatchedSiteTask.from_tasks(chunk))
+                fused.append(BatchedSiteTask.from_tasks(
+                    chunk, pack_cache=pack_cache))
                 chunk, chunk_docs = [], 0
             chunk.append(task)
             chunk_docs += task.n_documents
@@ -347,7 +449,8 @@ def batch_site_tasks(tasks: Sequence[LocalRankTask], *,
             # dedicated task (and its bitwise-reference code path).
             passthrough.append(chunk[0])
         elif chunk:
-            fused.append(BatchedSiteTask.from_tasks(chunk))
+            fused.append(BatchedSiteTask.from_tasks(
+                chunk, pack_cache=pack_cache))
     return [*fused, *passthrough]
 
 

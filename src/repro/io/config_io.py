@@ -33,25 +33,38 @@ TOML_READ_AVAILABLE = tomllib is not None
 CONFIG_SUFFIXES = (".json", ".toml")
 
 
+def _toml_key(key: str) -> str:
+    """Render one mapping key as a (possibly quoted) TOML key."""
+    if key and all(c.isalnum() or c in "-_" for c in key):
+        return key
+    return json.dumps(key)  # JSON string escaping is valid TOML
+
+
 def _toml_value(key: str, value: Any) -> str:
-    """Render one scalar as a TOML literal."""
+    """Render one scalar (or nested mapping, as an inline table)."""
     if isinstance(value, bool):  # bool first: bool is a subclass of int
         return "true" if value else "false"
     if isinstance(value, (int, float)):
         return repr(value)
     if isinstance(value, str):
         return json.dumps(value)  # JSON string escaping is valid TOML
+    if isinstance(value, Mapping):
+        inner = ", ".join(
+            f"{_toml_key(k)} = {_toml_value(f'{key}.{k}', v)}"
+            for k, v in value.items() if v is not None)
+        return "{" + inner + "}"
     raise ValidationError(
         f"cannot write key {key!r} to TOML: unsupported value type "
         f"{type(value).__name__}")
 
 
 def dumps_toml(mapping: Mapping[str, Any]) -> str:
-    """Serialise a flat mapping of scalars as a TOML document.
+    """Serialise a config mapping of scalars as a TOML document.
 
     ``None`` values are skipped (TOML has no null; a missing key means
-    "default").  Nested mappings are not supported — the config surface is
-    deliberately flat so it round-trips through both formats identically.
+    "default").  Nested mappings — the ``personalization`` section is the
+    one nested key the config surface carries — render as inline tables,
+    which round-trip through :mod:`tomllib` as plain dicts.
     """
     lines = []
     for key, value in mapping.items():

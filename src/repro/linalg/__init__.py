@@ -9,6 +9,7 @@ Perron–Frobenius structure tests.  Higher layers (:mod:`repro.pagerank`,
 from .block_solver import (
     BlockSolveResult,
     PackedBlocks,
+    pack_block_vectors,
     pack_blocks,
     solve_blocks,
 )
@@ -56,6 +57,7 @@ from .stochastic import (
 __all__ = [
     "BlockSolveResult",
     "PackedBlocks",
+    "pack_block_vectors",
     "pack_blocks",
     "solve_blocks",
     "LinearSolveResult",

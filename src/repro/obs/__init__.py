@@ -69,7 +69,7 @@ __all__ = [
     "Tracer", "enable_tracing", "disable_tracing", "current_tracer",
     # phase names
     "PHASE_PLAN_BUILD", "PHASE_PLAN_EXECUTE", "PHASE_PLAN_COMPOSE",
-    "PHASE_FIT",
+    "PHASE_PLAN_SEGMENTS", "PHASE_FIT",
     # bucket presets
     "LATENCY_BUCKETS", "ITERATION_BUCKETS", "BYTES_BUCKETS",
     "FLOPS_BUCKETS", "COUNT_BUCKETS",
@@ -79,6 +79,7 @@ __all__ = [
 PHASE_PLAN_BUILD = "plan.build"
 PHASE_PLAN_EXECUTE = "plan.execute"
 PHASE_PLAN_COMPOSE = "plan.compose"
+PHASE_PLAN_SEGMENTS = "plan.segments"
 PHASE_FIT = "fit.total"
 
 _ENABLED = True
@@ -143,16 +144,27 @@ def add_gauge(name: str, delta: float, **labels: str) -> None:
 
 
 def record_solver(solver: str, iterations: int, residual: float,
-                  converged: bool) -> None:
-    """Record one solver run (called once per run, after the loop)."""
+                  converged: bool, *, vectors: int = 1) -> None:
+    """Record one solver run (called once per run, after the loop).
+
+    ``vectors`` is the number of solution columns the run advanced per
+    matrix sweep (K for a fused multi-vector solve, 1 classically); the
+    ``solver_sweeps_per_vector`` gauge is the run's iteration count
+    amortised over those columns — the SpMM win made visible.
+    """
     if not _ENABLED:
         return
     _REGISTRY.inc("solver_runs_total", 1.0, solver=solver)
     _REGISTRY.inc("solver_iterations_total", float(iterations),
                   solver=solver)
+    _REGISTRY.inc("solver_vectors_total", float(max(vectors, 1)),
+                  solver=solver)
     _REGISTRY.observe("solver_run_iterations", float(iterations),
                       solver=solver)
     _REGISTRY.set_gauge("solver_last_residual", float(residual),
+                        solver=solver)
+    _REGISTRY.set_gauge("solver_sweeps_per_vector",
+                        float(iterations) / float(max(vectors, 1)),
                         solver=solver)
     if not converged:
         _REGISTRY.inc("solver_nonconverged_total", 1.0, solver=solver)

@@ -10,6 +10,7 @@ from .personalized import (
     personalized_pagerank,
     preference_from_nodes,
     preference_from_weights,
+    preference_matrix,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "personalized_pagerank",
     "preference_from_nodes",
     "preference_from_weights",
+    "preference_matrix",
 ]

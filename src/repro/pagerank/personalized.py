@@ -40,42 +40,84 @@ def preference_from_nodes(n: int, favoured: Iterable[int], *,
     if not favoured and background <= 0.0:
         raise ValidationError(
             "preference needs at least one favoured node or background > 0")
-    vector = np.full(n, float(background))
+    weight = _ensure_finite_weight(weight, name="weight")
+    vector = np.full(n, _ensure_finite_weight(background, name="background"))
     for node in favoured:
         if not 0 <= node < n:
             raise ValidationError(f"favoured node {node} out of range [0, {n})")
-        vector[node] += float(weight)
+        vector[node] += weight
     return normalize_distribution(vector, name="preference")
+
+
+def _ensure_finite_weight(value: float, *, name: str) -> float:
+    """Reject NaN / infinite / negative weights with a :class:`ValidationError`."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+    return value
 
 
 def preference_from_weights(n: int, weights: Mapping[int, float], *,
                             background: float = 0.0) -> np.ndarray:
     """Build a preference vector from an explicit ``{node: weight}`` mapping."""
-    vector = np.full(n, float(background))
+    background = _ensure_finite_weight(background, name="background")
+    vector = np.full(n, background)
     for node, weight in weights.items():
         if not 0 <= int(node) < n:
             raise ValidationError(f"node {node} out of range [0, {n})")
-        if weight < 0:
-            raise ValidationError("preference weights must be non-negative")
-        vector[int(node)] += float(weight)
+        vector[int(node)] += _ensure_finite_weight(
+            weight, name=f"preference weight for node {node}")
     return normalize_distribution(vector, name="preference")
 
 
 def blend_preferences(vectors: Sequence[np.ndarray],
                       coefficients: Optional[Sequence[float]] = None) -> np.ndarray:
     """Convex combination of several preference vectors."""
-    if not vectors:
+    if not len(vectors):
         raise ValidationError("need at least one preference vector")
     if coefficients is None:
         coefficients = [1.0] * len(vectors)
     if len(coefficients) != len(vectors):
         raise ValidationError("coefficients and vectors must align")
     stacked = np.vstack([np.asarray(v, dtype=float) for v in vectors])
+    if not np.all(np.isfinite(stacked)):
+        raise ValidationError("preference vectors must be finite")
+    if np.any(stacked < 0):
+        raise ValidationError("preference vectors must be non-negative")
     coeffs = np.asarray(coefficients, dtype=float)
+    if not np.all(np.isfinite(coeffs)):
+        raise ValidationError("coefficients must be finite")
     if np.any(coeffs < 0):
         raise ValidationError("coefficients must be non-negative")
     blended = coeffs @ stacked
     return normalize_distribution(blended, name="blended preference")
+
+
+def preference_matrix(n: int,
+                      columns: Sequence[Optional[Mapping[int, float]]], *,
+                      background: float = 0.0) -> np.ndarray:
+    """Build an ``(n, K)`` preference matrix, one column per segment.
+
+    Each entry of *columns* is a ``{node: weight}`` mapping handed to
+    :func:`preference_from_weights` (sharing its NaN / negative-weight
+    validation and per-column renormalisation), or ``None`` / an empty
+    mapping for a uniform column.  This is the shape the fused
+    multi-vector block solver consumes directly.
+    """
+    if not len(columns):
+        raise ValidationError("need at least one preference column")
+    if n < 1:
+        raise ValidationError("n must be at least 1")
+    matrix = np.empty((n, len(columns)), dtype=float)
+    for index, weights in enumerate(columns):
+        if not weights:
+            matrix[:, index] = 1.0 / n
+            continue
+        matrix[:, index] = preference_from_weights(
+            n, weights, background=background)
+    return matrix
 
 
 def personalized_pagerank(adjacency, preference: np.ndarray,

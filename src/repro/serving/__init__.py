@@ -20,14 +20,14 @@ partition at serving time:
 
 Quickstart::
 
+    from repro.api import Ranker
     from repro.graphgen import generate_synthetic_web
     from repro.ir import synthesize_corpus
-    from repro.serving import RankingService
-    from repro.web import layered_docrank
 
     web = generate_synthetic_web(n_sites=10, n_documents=500)
-    service = RankingService.from_ranking(layered_docrank(web), web,
-                                          corpus=synthesize_corpus(web))
+    ranker = Ranker()
+    ranker.fit(web)
+    service = ranker.serve(corpus=synthesize_corpus(web))
     print(service.top(5))
     print(service.query("research database", k=5))
 """

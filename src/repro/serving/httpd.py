@@ -7,11 +7,13 @@ experimentation.
 
 Routes (all ``GET``, all returning ``application/json``):
 
-``/top?k=10[&site=example.org]``
-    Current global (or per-site) top-k documents.
-``/query?q=research+database[&q=more+queries][&k=10][&rule=linear|rrf][&weight=0.5]``
+``/top?k=10[&site=example.org][&segment=researchers]``
+    Current global (or per-site) top-k documents, optionally ranked by a
+    personalisation segment's score column (``400`` on unknown segments).
+``/query?q=research+database[&q=more+queries][&k=10][&rule=linear|rrf][&weight=0.5][&segment=researchers]``
     Combined text+link search; repeated ``q`` parameters form a batch
-    answered through :meth:`RankingService.query_many`.
+    answered through :meth:`RankingService.query_many`.  With ``segment``
+    the link component is the segment's score column.
 ``/score?doc=42``
     O(1) point lookup of one document's score.
 ``/stats``
@@ -149,12 +151,18 @@ class RankingRequestHandler(BaseHTTPRequestHandler):
         if path == "/top":
             k = self._int_param(params, "k", default=10)
             site = self._str_param(params, "site")
+            segment = self._str_param(params, "segment")
             try:
-                documents = service.top(k, site=site)
+                documents = service.top(k, site=site, segment=segment)
             except GraphStructureError as error:
                 raise _ClientError(404, str(error)) from None
-            return {"k": k, "site": site,
-                    "results": [_document_payload(d) for d in documents]}, 200
+            payload = {"k": k, "site": site,
+                       "results": [_document_payload(d) for d in documents]}
+            # Only segment-qualified requests mention the segment — the
+            # segment-less response body stays byte-identical to 1.3.
+            if segment is not None:
+                payload["segment"] = segment
+            return payload, 200
         if path == "/query":
             queries = params.get("q")
             if not queries:
@@ -164,12 +172,17 @@ class RankingRequestHandler(BaseHTTPRequestHandler):
             if rule not in (None, "linear", "rrf"):
                 raise _ClientError(400, f"unknown rule {rule!r}")
             weight = self._float_param(params, "weight")
-            batches = service.query_many(queries, k, rule=rule, weight=weight)
+            segment = self._str_param(params, "segment")
+            batches = service.query_many(queries, k, rule=rule,
+                                         weight=weight, segment=segment)
             results = [{"query": text,
                         "hits": [self._hit_payload(service, hit)
                                  for hit in hits]}
                        for text, hits in zip(queries, batches)]
-            return {"k": k, "results": results}, 200
+            payload = {"k": k, "results": results}
+            if segment is not None:
+                payload["segment"] = segment
+            return payload, 200
         if path == "/score":
             doc_id = self._int_param(params, "doc", required=True)
             document = service.describe(doc_id)

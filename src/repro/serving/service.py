@@ -212,6 +212,9 @@ class RankingService:
         #: {doc_id: score} view handed to the combination rules; kept in
         #: lockstep with the store and refreshed on shard updates.
         self._link_scores: Optional[Dict[int, float]] = None
+        #: Per-segment {doc_id: score} views (lazily built, dropped whole
+        #: on any shard rebuild).
+        self._segment_link_scores: Dict[str, Dict[int, float]] = {}
         self.queries_served = 0
         #: Rebuild accounting, surfaced in stats()["engine"] and /metrics.
         self.rebuilds = 0
@@ -262,9 +265,19 @@ class RankingService:
     # Incremental-update subscription
     # ------------------------------------------------------------------ #
     def attach(self, ranker: IncrementalLayeredRanker) -> None:
-        """Subscribe to a ranker's update notifications."""
+        """Subscribe to a ranker's update notifications.
+
+        The ranker must maintain exactly the personalisation segments the
+        store serves — otherwise the first incremental rebuild would
+        either drop segment columns mid-flight or install ones no query
+        can reach — so the mismatch is rejected here, at attach time.
+        """
         if self._ranker is not None:
             raise ValidationError("service is already attached to a ranker")
+        if tuple(ranker.segments) != self._store.segments:
+            raise ValidationError(
+                f"ranker maintains segments {list(ranker.segments)!r} but "
+                f"the store serves {list(self._store.segments)!r}")
         self._ranker = ranker
         ranker.subscribe(self._on_update)
 
@@ -367,12 +380,22 @@ class RankingService:
             weighted = [by_site[site] for site in sites]
         else:
             weighted = self._executor.map(_weight_shard, jobs)
-        replacements = {site: (doc_ids, urls, scores)
-                        for site, doc_ids, urls, scores in weighted}
+        # Segment columns are a single K-column multiply per site (trivial
+        # next to the solve the ranker already ran), so they are composed
+        # inline rather than shipped through the executor.
+        if self._store.segments:
+            replacements = {
+                site: (doc_ids, urls, scores,
+                       ranker.segment_shard_columns(site))
+                for site, doc_ids, urls, scores in weighted}
+        else:
+            replacements = {site: (doc_ids, urls, scores)
+                            for site, doc_ids, urls, scores in weighted}
         rebuilt = self._store.rebuilt(replacements, drop=drop)
         with self._lock:
             self._store = rebuilt
             self._engine = TopKEngine(rebuilt)
+            self._segment_link_scores.clear()  # rebuilt lazily per segment
             if report.siterank_recomputed:
                 self._cache.clear()
                 self._link_scores = None  # rebuilt lazily from fresh shards
@@ -382,7 +405,8 @@ class RankingService:
                 # Any global top-k may admit documents of a changed site.
                 self._cache.invalidate_tag(GLOBAL_TAG)
                 if self._link_scores is not None:
-                    for site, (doc_ids, _urls, scores) in replacements.items():
+                    for replacement in replacements.values():
+                        doc_ids, _urls, scores = replacement[:3]
                         for doc_id, score in zip(doc_ids, scores):
                             self._link_scores[doc_id] = float(score)
             self.swap_count += 1
@@ -408,10 +432,12 @@ class RankingService:
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
-    def top(self, k: int, *, site: Optional[str] = None
-            ) -> Tuple[ScoredDocument, ...]:
+    def top(self, k: int, *, site: Optional[str] = None,
+            segment: Optional[str] = None) -> Tuple[ScoredDocument, ...]:
         """The current global (or per-site) top-k, served through the cache.
 
+        Naming a *segment* answers from that personalisation segment's
+        score column — same shards, same merge, no per-segment rebuild.
         Results are tuples (here and in :meth:`query`) so callers cannot
         mutate the cached entry that later hits are served from.
         """
@@ -419,15 +445,20 @@ class RankingService:
         # pollute the hit/miss statistics.
         if k < 0:
             raise ValidationError("k must be non-negative")
-        key = ("top", k, site)
+        # Segment-less keys keep their 1.3 shape so an upgraded service
+        # reuses (and stays byte-identical to) the unpersonalised path.
+        key = ("top", k, site) if segment is None \
+            else ("top", k, site, segment)
         with self._lock:
             if site is not None:
                 self._store.shard_size(site)  # raises on unknown sites
+            if segment is not None:
+                self._store.segment_position(segment)  # raises on unknown
             cached = self._cache.get(key)
             if cached is not None:
                 self.queries_served += 1
                 return cached
-            result = tuple(self._engine.top_k(k, site=site))
+            result = tuple(self._engine.top_k(k, site=site, segment=segment))
             self._cache.put(key, result,
                             tags=(GLOBAL_TAG,) if site is None else (site,))
             self.queries_served += 1
@@ -435,13 +466,17 @@ class RankingService:
 
     def query(self, text: str, k: int = 10, *,
               rule: Optional[CombinationRule] = None,
-              weight: Optional[float] = None) -> Tuple[SearchHit, ...]:
+              weight: Optional[float] = None,
+              segment: Optional[str] = None) -> Tuple[SearchHit, ...]:
         """Answer a free-text query with combined query+link ranking.
 
-        The result is cached, tagged with the sites of *all* retrieved
-        candidates (not just the returned hits): a changed site can alter
-        the min-max normalisation — and hence the combined order — through
-        any candidate, so any such change must invalidate the entry.
+        Naming a *segment* combines the text scores with that
+        personalisation segment's score column instead of the base
+        ranking.  The result is cached, tagged with the sites of *all*
+        retrieved candidates (not just the returned hits): a changed site
+        can alter the min-max normalisation — and hence the combined
+        order — through any candidate, so any such change must invalidate
+        the entry.
         """
         if self._index is None:
             raise ValidationError(
@@ -453,15 +488,19 @@ class RankingService:
         if rule not in ("linear", "rrf"):
             raise ValidationError(f"unknown combination rule {rule!r}")
         validate_combination(weight, k)
-        key = ("query", text, k, rule, weight)
+        # Segment-less keys keep their 1.3 shape (see top()).
+        key = ("query", text, k, rule, weight) if segment is None \
+            else ("query", text, k, rule, weight, segment)
         with self._lock:
+            if segment is not None:
+                self._store.segment_position(segment)  # raises on unknown
             cached = self._cache.get(key)
             if cached is not None:
                 self.queries_served += 1
                 return cached
             candidates = self._index.search(text)
             hits = tuple(combine_candidates(
-                candidates, self._current_link_scores(), rule=rule,
+                candidates, self._current_link_scores(segment), rule=rule,
                 weight=weight, k=k, rrf_constant=self._rrf_constant))
             tags = {self._store.site_of(doc_id)
                     for doc_id, _score in candidates if doc_id in self._store}
@@ -471,7 +510,8 @@ class RankingService:
 
     def query_many(self, texts: Sequence[str], k: int = 10, *,
                    rule: Optional[CombinationRule] = None,
-                   weight: Optional[float] = None
+                   weight: Optional[float] = None,
+                   segment: Optional[str] = None
                    ) -> List[Tuple[SearchHit, ...]]:
         """Answer a batch of free-text queries.
 
@@ -480,8 +520,9 @@ class RankingService:
         materialised once for the whole batch rather than per query.
         """
         with self._lock:
-            self._current_link_scores()  # materialise once for the batch
-        return [self.query(text, k, rule=rule, weight=weight)
+            self._current_link_scores(segment)  # materialise for the batch
+        return [self.query(text, k, rule=rule, weight=weight,
+                           segment=segment)
                 for text in texts]
 
     def score_of(self, doc_id: int) -> float:
@@ -527,6 +568,11 @@ class RankingService:
         return self._engine
 
     @property
+    def segments(self) -> Tuple[str, ...]:
+        """Personalisation segment names served (``()`` for base-only)."""
+        return self._store.segments
+
+    @property
     def cache(self) -> QueryCache:
         """The result cache."""
         return self._cache
@@ -560,6 +606,7 @@ class RankingService:
                 "cache": self._cache.stats.as_dict(),
                 "has_text_index": self._index is not None,
                 "attached_to_ranker": self._ranker is not None,
+                "segments": list(self._store.segments),
                 "engine": {
                     "executor": self._executor.name,
                     "transport": str(getattr(self._executor,
@@ -576,7 +623,14 @@ class RankingService:
             }
 
     # ------------------------------------------------------------------ #
-    def _current_link_scores(self) -> Dict[int, float]:
+    def _current_link_scores(self, segment: Optional[str] = None
+                             ) -> Dict[int, float]:
+        if segment is not None:
+            view = self._segment_link_scores.get(segment)
+            if view is None:
+                view = self._store.link_scores(segment)
+                self._segment_link_scores[segment] = view
+            return view
         if self._link_scores is None:
             self._link_scores = self._store.link_scores()
         return self._link_scores

@@ -23,7 +23,7 @@ from the shards of the distributed coordinator, or incrementally from an
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,12 +55,20 @@ class ScoredDocument:
 
 
 class _Shard:
-    """One site's slice of the score vector, kept in score order."""
+    """One site's slice of the score vector, kept in score order.
 
-    __slots__ = ("site", "doc_ids", "urls", "scores", "order", "generation")
+    With personalisation, the shard additionally holds an ``(n_docs, K)``
+    block of per-segment scores; the per-segment sort orders are computed
+    lazily on the first query of each segment (a shard whose segments are
+    never queried pays nothing beyond the matrix itself).
+    """
+
+    __slots__ = ("site", "doc_ids", "urls", "scores", "order", "generation",
+                 "segment_columns", "_segment_orders")
 
     def __init__(self, site: str, doc_ids: List[int], urls: List[str],
-                 scores: np.ndarray, generation: int) -> None:
+                 scores: np.ndarray, generation: int,
+                 segment_columns: Optional[np.ndarray] = None) -> None:
         self.site = site
         self.doc_ids = doc_ids
         self.urls = urls
@@ -70,24 +78,60 @@ class _Shard:
         tie_break = np.asarray(doc_ids)
         self.order = np.lexsort((tie_break, -scores))
         self.generation = generation
+        self.segment_columns = segment_columns
+        # Lazily filled per-segment sort orders.  Shards are shared across
+        # double-buffered store generations; filling a slot is an
+        # idempotent cache write (two racing readers compute identical
+        # arrays), so no lock is needed.
+        self._segment_orders: List[Optional[np.ndarray]] = (
+            [] if segment_columns is None
+            else [None] * segment_columns.shape[1])
 
     def __len__(self) -> int:
         return len(self.doc_ids)
 
-    def document_at(self, position: int) -> ScoredDocument:
-        index = int(self.order[position])
-        return ScoredDocument(doc_id=self.doc_ids[index], url=self.urls[index],
-                              site=self.site, score=float(self.scores[index]))
+    def _order_for(self, segment_index: Optional[int]) -> np.ndarray:
+        if segment_index is None:
+            return self.order
+        order = self._segment_orders[segment_index]
+        if order is None:
+            tie_break = np.asarray(self.doc_ids)
+            order = np.lexsort((tie_break,
+                                -self.segment_columns[:, segment_index]))
+            self._segment_orders[segment_index] = order
+        return order
 
-    def iter_descending(self) -> Iterator[ScoredDocument]:
-        for position in range(len(self.order)):
-            yield self.document_at(position)
+    def document_at(self, position: int,
+                    segment_index: Optional[int] = None) -> ScoredDocument:
+        index = int(self._order_for(segment_index)[position])
+        score = (self.scores[index] if segment_index is None
+                 else self.segment_columns[index, segment_index])
+        return ScoredDocument(doc_id=self.doc_ids[index], url=self.urls[index],
+                              site=self.site, score=float(score))
+
+    def iter_descending(self, segment_index: Optional[int] = None
+                        ) -> Iterator[ScoredDocument]:
+        for position in range(len(self._order_for(segment_index))):
+            yield self.document_at(position, segment_index)
 
 
 class ShardedScoreStore:
-    """Document scores partitioned by web site with O(1) point lookup."""
+    """Document scores partitioned by web site with O(1) point lookup.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    segments:
+        Names of the personalisation segments every shard carries score
+        columns for (empty for a base-only store).  Fixed at construction
+        so all shards stay mutually consistent: with segments declared,
+        every :meth:`update_site` must supply a matching
+        ``segment_columns`` block; without, none may.
+    """
+
+    def __init__(self, segments: Sequence[str] = ()) -> None:
+        self._segments: Tuple[str, ...] = tuple(segments)
+        if len(set(self._segments)) != len(self._segments):
+            raise ValidationError("segment names must be unique")
         self._shards: Dict[str, _Shard] = {}
         #: doc_id -> (site, url, score); the O(1) lookup structure.
         self._entries: Dict[int, Tuple[str, str, float]] = {}
@@ -99,27 +143,41 @@ class ShardedScoreStore:
     @classmethod
     def from_ranking(cls, ranking: WebRankingResult,
                      docgraph: DocGraph) -> "ShardedScoreStore":
-        """Partition a computed global ranking by the DocGraph's sites."""
-        store = cls()
-        by_site: Dict[str, Tuple[List[int], List[str], List[float]]] = {}
+        """Partition a computed global ranking by the DocGraph's sites.
+
+        A ranking carrying personalisation segments yields a multi-column
+        store: each shard gets the site's rows of
+        :attr:`~repro.web.pipeline.WebRankingResult.segment_columns`.
+        """
+        store = cls(ranking.segments)
+        by_site: Dict[str, Tuple[List[int], List[str], List[float],
+                                 List[int]]] = {}
         for position, doc_id in enumerate(ranking.doc_ids):
             site = docgraph.site_of_document(doc_id)
-            doc_ids, urls, scores = by_site.setdefault(site, ([], [], []))
+            doc_ids, urls, scores, rows = by_site.setdefault(
+                site, ([], [], [], []))
             doc_ids.append(doc_id)
             urls.append(ranking.urls[position])
             scores.append(float(ranking.scores[position]))
-        for site, (doc_ids, urls, scores) in by_site.items():
+            rows.append(position)
+        for site, (doc_ids, urls, scores, rows) in by_site.items():
+            columns = (ranking.segment_columns[np.asarray(rows, dtype=int)]
+                       if ranking.segments else None)
             store.update_site(site, doc_ids, urls,
-                              np.asarray(scores, dtype=float))
+                              np.asarray(scores, dtype=float),
+                              segment_columns=columns)
         return store
 
     def update_site(self, site: str, doc_ids: Sequence[int],
-                    urls: Sequence[str], scores) -> int:
+                    urls: Sequence[str], scores, *,
+                    segment_columns=None) -> int:
         """Replace (or create) one site's shard; returns its new generation.
 
         The replaced shard's documents are removed first, so a shard may
         shrink or grow — e.g. after documents were added to the site through
-        the incremental ranker.
+        the incremental ranker.  A store with declared segments requires a
+        ``(len(doc_ids), n_segments)`` *segment_columns* block (rows
+        aligned with *doc_ids*); a base-only store rejects one.
         """
         scores = np.asarray(scores, dtype=float).ravel()
         if not (len(doc_ids) == len(urls) == scores.size):
@@ -128,6 +186,25 @@ class ShardedScoreStore:
             raise ValidationError(f"shard {site!r} has non-finite scores")
         if len(set(doc_ids)) != len(doc_ids):
             raise ValidationError(f"shard {site!r} has duplicate document ids")
+        if self._segments:
+            if segment_columns is None:
+                raise ValidationError(
+                    f"store serves segments {list(self._segments)!r}; "
+                    f"shard {site!r} update must supply segment_columns")
+            segment_columns = np.asarray(segment_columns, dtype=float)
+            if segment_columns.shape != (len(doc_ids), len(self._segments)):
+                raise ValidationError(
+                    f"shard {site!r} segment_columns must be "
+                    f"({len(doc_ids)}, {len(self._segments)}), got "
+                    f"{segment_columns.shape}")
+            if segment_columns.size and \
+                    not np.all(np.isfinite(segment_columns)):
+                raise ValidationError(
+                    f"shard {site!r} has non-finite segment scores")
+        elif segment_columns is not None:
+            raise ValidationError(
+                "store has no personalisation segments; "
+                "segment_columns must be None")
         old = self._shards.get(site)
         # Validate ownership before mutating anything, so a rejected update
         # leaves the store untouched (the old shard's own documents are
@@ -143,7 +220,7 @@ class ShardedScoreStore:
                 del self._entries[doc_id]
         self._generation += 1
         shard = _Shard(site, list(doc_ids), list(urls), scores,
-                       self._generation)
+                       self._generation, segment_columns)
         self._shards[site] = shard
         for index, doc_id in enumerate(shard.doc_ids):
             self._entries[doc_id] = (site, shard.urls[index],
@@ -158,10 +235,13 @@ class ShardedScoreStore:
         del self._shards[site]
         self._generation += 1
 
-    def rebuilt(self, replacements: Dict[str, Tuple[Sequence[int],
-                                                    Sequence[str], object]],
+    def rebuilt(self, replacements: Dict[str, Tuple],
                 *, drop: Iterable[str] = ()) -> "ShardedScoreStore":
         """A *new* store with the given shards replaced — the back buffer.
+
+        Each replacement is ``(doc_ids, urls, scores)`` or — for a store
+        with personalisation segments — ``(doc_ids, urls, scores,
+        segment_columns)``.
 
         This is the double-buffering primitive of the serving layer's
         incremental updates: the (potentially long) rebuild of invalidated
@@ -177,15 +257,18 @@ class ShardedScoreStore:
         place would have produced: drops first, then replacements in the
         order *replacements* iterates.
         """
-        clone = ShardedScoreStore()
+        clone = ShardedScoreStore(self._segments)
         clone._shards = dict(self._shards)
         clone._entries = dict(self._entries)
         clone._generation = self._generation
         for site in drop:
             if site in clone._shards:
                 clone.drop_site(site)
-        for site, (doc_ids, urls, scores) in replacements.items():
-            clone.update_site(site, doc_ids, urls, scores)
+        for site, replacement in replacements.items():
+            doc_ids, urls, scores = replacement[:3]
+            columns = replacement[3] if len(replacement) > 3 else None
+            clone.update_site(site, doc_ids, urls, scores,
+                              segment_columns=columns)
         return clone
 
     # ------------------------------------------------------------------ #
@@ -204,14 +287,21 @@ class ShardedScoreStore:
         site, url, score = self._entry(doc_id)
         return ScoredDocument(doc_id=doc_id, url=url, site=site, score=score)
 
-    def link_scores(self) -> Dict[int, float]:
+    def link_scores(self, segment: Optional[str] = None) -> Dict[int, float]:
         """``{doc_id: score}`` over all shards, for the combined ranking.
 
         Built on demand (and after that kept consistent by ``update_site``),
         this is the *link_scores_by_doc* argument the
-        :mod:`repro.ir.combined` rules expect.
+        :mod:`repro.ir.combined` rules expect.  Naming a *segment* reads
+        that segment's score column instead of the base ranking.
         """
-        return {doc_id: entry[2] for doc_id, entry in self._entries.items()}
+        if segment is None:
+            return {doc_id: entry[2]
+                    for doc_id, entry in self._entries.items()}
+        column = self.segment_position(segment)
+        return {doc_id: float(shard.segment_columns[index, column])
+                for shard in self._shards.values()
+                for index, doc_id in enumerate(shard.doc_ids)}
 
     def __contains__(self, doc_id: int) -> bool:
         return doc_id in self._entries
@@ -222,6 +312,28 @@ class ShardedScoreStore:
     def sites(self) -> List[str]:
         """All shard identifiers, in first-seen order."""
         return list(self._shards)
+
+    @property
+    def segments(self) -> Tuple[str, ...]:
+        """Personalisation segment names served (``()`` for base-only)."""
+        return self._segments
+
+    def segment_position(self, segment: str) -> int:
+        """Column index of a named segment (raises on unknown names)."""
+        try:
+            return self._segments.index(segment)
+        except ValueError:
+            raise ValidationError(
+                f"unknown segment {segment!r}; available: "
+                f"{list(self._segments)!r}") from None
+
+    def segment_score_of(self, doc_id: int, segment: str) -> float:
+        """One document's score under a named segment."""
+        column = self.segment_position(segment)
+        site = self._entry(doc_id)[0]
+        shard = self._shards[site]
+        return float(shard.segment_columns[shard.doc_ids.index(doc_id),
+                                           column])
 
     @property
     def n_documents(self) -> int:
@@ -246,17 +358,28 @@ class ShardedScoreStore:
         """Number of documents in one shard."""
         return len(self._shard(site))
 
-    def shard_top(self, site: str, k: int) -> List[ScoredDocument]:
-        """The best ``k`` documents of one site, best first."""
+    def shard_top(self, site: str, k: int, *,
+                  segment: Optional[str] = None) -> List[ScoredDocument]:
+        """The best ``k`` documents of one site, best first.
+
+        Naming a *segment* ranks by that segment's score column instead of
+        the base ranking.
+        """
         if k < 0:
             raise ValidationError("k must be non-negative")
+        column = (self.segment_position(segment)
+                  if segment is not None else None)
         shard = self._shard(site)
-        return [shard.document_at(position)
+        return [shard.document_at(position, column)
                 for position in range(min(k, len(shard)))]
 
-    def iter_shard_descending(self, site: str) -> Iterator[ScoredDocument]:
+    def iter_shard_descending(self, site: str, *,
+                              segment: Optional[str] = None
+                              ) -> Iterator[ScoredDocument]:
         """Lazily iterate one shard's documents in descending score order."""
-        return self._shard(site).iter_descending()
+        column = (self.segment_position(segment)
+                  if segment is not None else None)
+        return self._shard(site).iter_descending(column)
 
     # ------------------------------------------------------------------ #
     def _shard(self, site: str) -> _Shard:

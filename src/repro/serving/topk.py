@@ -40,8 +40,8 @@ class TopKEngine:
         """The underlying score store."""
         return self._store
 
-    def top_k(self, k: int, *, site: Optional[str] = None
-              ) -> List[ScoredDocument]:
+    def top_k(self, k: int, *, site: Optional[str] = None,
+              segment: Optional[str] = None) -> List[ScoredDocument]:
         """The best ``k`` documents, best first.
 
         Parameters
@@ -52,26 +52,37 @@ class TopKEngine:
         site:
             Restrict the query to one site's shard; per-site answers are a
             pure shard-local prefix read, no merge at all.
+        segment:
+            Rank by a personalisation segment's score column instead of
+            the base ranking.  The merge machinery is identical — only
+            the per-shard order (and the reported scores) change.
         """
         if k < 0:
             raise ValidationError("k must be non-negative")
         if site is not None:
-            return self._store.shard_top(site, k)
-        iterators = [self._store.iter_shard_descending(shard)
+            return self._store.shard_top(site, k, segment=segment)
+        if segment is not None:
+            self._store.segment_position(segment)  # raise before merging
+        iterators = [self._store.iter_shard_descending(shard, segment=segment)
                      for shard in self._store.sites()]
         merged = heapq.merge(*iterators, key=_merge_key)
         return list(islice(merged, k))
 
-    def top_k_ids(self, k: int, *, site: Optional[str] = None) -> List[int]:
+    def top_k_ids(self, k: int, *, site: Optional[str] = None,
+                  segment: Optional[str] = None) -> List[int]:
         """Document ids of :meth:`top_k`."""
-        return [document.doc_id for document in self.top_k(k, site=site)]
+        return [document.doc_id
+                for document in self.top_k(k, site=site, segment=segment)]
 
-    def top_k_urls(self, k: int, *, site: Optional[str] = None) -> List[str]:
+    def top_k_urls(self, k: int, *, site: Optional[str] = None,
+                   segment: Optional[str] = None) -> List[str]:
         """URLs of :meth:`top_k`."""
-        return [document.url for document in self.top_k(k, site=site)]
+        return [document.url
+                for document in self.top_k(k, site=site, segment=segment)]
 
 
-def naive_top_k(store: ShardedScoreStore, k: int) -> List[ScoredDocument]:
+def naive_top_k(store: ShardedScoreStore, k: int, *,
+                segment: Optional[str] = None) -> List[ScoredDocument]:
     """Full-sort baseline: gather every document, sort, slice.
 
     O(N·log N) per query regardless of ``k`` — what serving from a flat
@@ -81,6 +92,7 @@ def naive_top_k(store: ShardedScoreStore, k: int) -> List[ScoredDocument]:
     if k < 0:
         raise ValidationError("k must be non-negative")
     everything = [document for site in store.sites()
-                  for document in store.iter_shard_descending(site)]
+                  for document in store.iter_shard_descending(site,
+                                                              segment=segment)]
     everything.sort(key=_merge_key)
     return everything[:k]

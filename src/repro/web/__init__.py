@@ -2,13 +2,20 @@
 
 from .diagnostics import GraphDiagnostics, SiteDiagnostics, diagnose
 from .docgraph import DocGraph, Document
-from .docrank import LocalDocRank, all_local_docranks, local_docrank
+from .docrank import (
+    LocalDocRank,
+    SiteColumns,
+    all_local_docranks,
+    local_docrank,
+    solve_local_columns,
+)
 from .incremental import IncrementalLayeredRanker, UpdateReport
 from .pipeline import (
+    SegmentPreferences,
     WebRankingResult,
-    flat_pagerank_ranking,
-    layered_docrank,
+    build_segment_preferences,
     lmm_from_docgraph,
+    solve_segment_columns,
 )
 from .sitegraph import SiteGraph, aggregate_sitegraph
 from .siterank import SiteRankResult, siterank
@@ -30,12 +37,15 @@ __all__ = [
     "IncrementalLayeredRanker",
     "UpdateReport",
     "LocalDocRank",
+    "SiteColumns",
     "all_local_docranks",
     "local_docrank",
+    "solve_local_columns",
+    "SegmentPreferences",
     "WebRankingResult",
-    "flat_pagerank_ranking",
-    "layered_docrank",
+    "build_segment_preferences",
     "lmm_from_docgraph",
+    "solve_segment_columns",
     "SiteGraph",
     "aggregate_sitegraph",
     "SiteRankResult",

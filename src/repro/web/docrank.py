@@ -90,6 +90,70 @@ class LocalDocRank:
         return [self.doc_ids[int(i)] for i in order[:k]]
 
 
+@dataclass
+class SiteColumns:
+    """Per-segment local DocRank columns of one site (multi-vector solve).
+
+    The K-column sibling of :class:`LocalDocRank`: ``columns[:, k]`` is the
+    site's local stationary distribution under preference column ``k``.
+    Produced by :func:`solve_local_columns` and by the engine's fused
+    multi-vector batches.
+    """
+
+    site: str
+    doc_ids: List[int]
+    columns: np.ndarray
+    iterations: int
+
+    def __post_init__(self) -> None:
+        self.columns = np.asarray(self.columns, dtype=float)
+        if self.columns.ndim != 2 or len(self.doc_ids) != self.columns.shape[0]:
+            raise ValidationError("doc_ids and columns must align")
+
+    @property
+    def n_documents(self) -> int:
+        """Number of documents of the site."""
+        return len(self.doc_ids)
+
+    @property
+    def n_vectors(self) -> int:
+        """Number of preference columns solved."""
+        return int(self.columns.shape[1])
+
+    def column(self, index: int) -> np.ndarray:
+        """One segment's local distribution (view, in local doc order)."""
+        return self.columns[:, index]
+
+
+def solve_local_columns(site: str, local_adjacency, doc_ids: List[int],
+                        preference: np.ndarray,
+                        damping: float = DEFAULT_DAMPING, *,
+                        tol: float = DEFAULT_TOL,
+                        max_iter: int = DEFAULT_MAX_ITER,
+                        start: Optional[np.ndarray] = None) -> SiteColumns:
+    """Solve one site's local DocRank for K preference columns in one pass.
+
+    The multi-vector kernel behind segment personalisation: *preference* is
+    an ``(n, K)`` matrix and the site is solved as a single-block fused
+    multi-vector power iteration (:func:`repro.linalg.block_solver.solve_blocks`)
+    — one matrix sweep advances all K segment columns.
+    """
+    from ..linalg.block_solver import pack_blocks, solve_blocks
+
+    preference = np.asarray(preference, dtype=float)
+    if preference.ndim != 2 or preference.shape[0] != len(doc_ids):
+        raise ValidationError(
+            f"preference for site {site!r} must be ({len(doc_ids)}, K), "
+            f"got shape {preference.shape!r}")
+    packed = pack_blocks([(local_adjacency, start, preference)])
+    result = solve_blocks(packed, damping, tol=tol, max_iter=max_iter)
+    columns = result.vectors[0]
+    if columns.ndim == 1:  # K == 1 degenerates to the classic path
+        columns = columns[:, None]
+    return SiteColumns(site=site, doc_ids=list(doc_ids), columns=columns,
+                       iterations=int(np.max(result.iterations)))
+
+
 def solve_local_docrank(site: str, local_adjacency, doc_ids: List[int],
                         damping: float = DEFAULT_DAMPING, *,
                         preference: Optional[np.ndarray] = None,

@@ -22,15 +22,33 @@ decomposition: any change invalidates the single global vector.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+import numpy as np
 
 from ..exceptions import GraphStructureError
 from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
 from ..markov.irreducibility import DEFAULT_DAMPING
 from .docgraph import DocGraph
-from .docrank import LocalDocRank
-from .pipeline import WebRankingResult, compose_ranking
-from .sitegraph import aggregate_sitegraph
+from .docrank import LocalDocRank, SiteColumns
+from .pipeline import (
+    SITERANK_BLOCK,
+    SegmentPreferences,
+    WebRankingResult,
+    build_segment_preferences,
+    compose_ranking,
+    ensure_site_columns,
+)
+from .sitegraph import SiteGraph, aggregate_sitegraph
 from .siterank import SiteRankResult
 
 
@@ -60,6 +78,9 @@ class UpdateReport:
     siterank_iterations: int
     documents_recomputed: int
     documents_total: int
+    #: Power iterations spent re-solving personalisation segment columns
+    #: (0 when the ranker maintains no segments).
+    segment_iterations: int = 0
 
     @property
     def recompute_fraction(self) -> float:
@@ -83,31 +104,14 @@ class IncrementalLayeredRanker:
     with :meth:`ranking`.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
-        # Direct construction is the deprecated 1.x spelling; the facade
-        # (repro.api.Ranker.incremental) builds through _create below and
-        # does not warn.  Both forward verbatim to _init, which carries
-        # the one authoritative signature.
-        from .._deprecation import warn_deprecated
-
-        warn_deprecated("constructing repro.web.IncrementalLayeredRanker directly",
-                        "repro.api.Ranker(config).incremental(docgraph)")
-        self._init(*args, **kwargs)
-
-    @classmethod
-    def _create(cls, *args, **kwargs) -> "IncrementalLayeredRanker":
-        """Build a ranker without the direct-construction deprecation warning."""
-        self = cls.__new__(cls)
-        self._init(*args, **kwargs)
-        return self
-
-    def _init(self, docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
-              site_damping: Optional[float] = None,
-              include_site_self_links: bool = False,
-              tol: float = DEFAULT_TOL,
-              max_iter: int = DEFAULT_MAX_ITER,
-              executor=None, n_jobs: Optional[int] = None,
-              batch_sites: bool = True) -> None:
+    def __init__(self, docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
+                 site_damping: Optional[float] = None,
+                 include_site_self_links: bool = False,
+                 tol: float = DEFAULT_TOL,
+                 max_iter: int = DEFAULT_MAX_ITER,
+                 executor=None, n_jobs: Optional[int] = None,
+                 batch_sites: bool = True,
+                 personalization: Optional[Mapping] = None) -> None:
         from ..engine.executor import resolve_executor
 
         if docgraph.n_documents == 0:
@@ -130,7 +134,26 @@ class IncrementalLayeredRanker:
         self._local: Dict[str, LocalDocRank] = {}
         self._siterank: Optional[SiteRankResult] = None
         self._listeners: List[UpdateListener] = []
+        #: Declarative segment spec (the RankingConfig shape); the solved
+        #: per-site columns and segment-level SiteRank columns are cached
+        #: alongside the base factors and repaired by the same refreshes.
+        self._personalization = (dict(personalization) if personalization
+                                 else None)
+        self._segments: Optional[SegmentPreferences] = None
+        self._local_columns: Dict[str, SiteColumns] = {}
+        self._segment_site_state: Optional[
+            Tuple[Tuple[str, ...], np.ndarray]] = None
+        # Packed-CSR reuse across refresh batches: a refresh's segment
+        # batch shares the base batch's block-diagonal matrix, and a
+        # structurally unchanged chunk skips repacking entirely (see
+        # BatchedSiteTask.from_tasks).
+        self._pack_cache: Dict = {}
         self.full_rebuild()
+
+    @classmethod
+    def _create(cls, *args, **kwargs) -> "IncrementalLayeredRanker":
+        """Build a ranker (alias retained from the 1.x facade plumbing)."""
+        return cls(*args, **kwargs)
 
     def close(self) -> None:
         """Release the engine executor if this ranker created it."""
@@ -192,6 +215,8 @@ class IncrementalLayeredRanker:
         execution = plan.execute(executor=self._executor)
         self._siterank = execution.siterank
         self._local = dict(execution.local)
+        segment_iterations = (self._rebuild_segments()
+                              if self._personalization else 0)
         return self._notify(UpdateReport(
             recomputed_sites=list(self._local),
             siterank_recomputed=True,
@@ -200,6 +225,7 @@ class IncrementalLayeredRanker:
             siterank_iterations=self._siterank.iterations,
             documents_recomputed=self._docgraph.n_documents,
             documents_total=self._docgraph.n_documents,
+            segment_iterations=segment_iterations,
         ))
 
     def refresh(self, changed_sites: Iterable[str], *,
@@ -238,17 +264,39 @@ class IncrementalLayeredRanker:
         ordered = sorted(changed)
 
         siterank_recomputed = bool(intersite_changed or new_sites)
+        sitegraph: Optional[SiteGraph] = None
+        if self._personalization:
+            # Preference columns are re-lowered each refresh: document
+            # columns are row-aligned to the *current* local adjacency and
+            # site columns to the current SiteGraph, either of which the
+            # mutation may have changed.
+            sitegraph = self._sitegraph()
+            self._segments = build_segment_preferences(
+                self._docgraph, sitegraph, self._personalization)
+
         site_tasks = [self._local_task(site) for site in ordered]
         # The changed-site set rides the same batched path as a full plan:
         # small sites fuse into block-diagonal tasks, large ones keep
-        # dedicated tasks a parallel backend can overlap.
-        site_payload = (batch_site_tasks(site_tasks) if self._batch_sites
-                        else site_tasks)
-        tasks = list(site_payload)
+        # dedicated tasks a parallel backend can overlap.  The pack cache
+        # lets structurally unchanged chunks — and the segment batch below,
+        # which packs the same adjacencies — reuse the packed CSR.
+        site_payload = (batch_site_tasks(site_tasks,
+                                         pack_cache=self._pack_cache)
+                        if self._batch_sites else site_tasks)
+        segment_tasks: List = []
+        if self._segments is not None:
+            segment_tasks = [self._segment_local_task(site)
+                             for site in ordered]
+            if siterank_recomputed:
+                segment_tasks.append(self._segment_site_task(sitegraph))
+        segment_payload = (batch_site_tasks(segment_tasks,
+                                            pack_cache=self._pack_cache)
+                           if self._batch_sites else segment_tasks)
+        tasks = [*site_payload, *segment_payload]
         if siterank_recomputed:
             # Prepend so the site-level task overlaps the per-site work on
             # parallel backends (mirroring RankingPlan.execute).
-            tasks.insert(0, self._siterank_task())
+            tasks.insert(0, self._siterank_task(sitegraph))
         results, _wall_seconds = execute_tasks(tasks,
                                                executor=self._executor)
 
@@ -257,7 +305,8 @@ class IncrementalLayeredRanker:
             self._siterank = results.pop(0)
             siterank_iterations = self._siterank.iterations
 
-        by_site = collect_site_results(site_payload, results)
+        by_site = collect_site_results(site_payload,
+                                       results[:len(site_payload)])
         local_iterations = 0
         documents_recomputed = 0
         for site in ordered:
@@ -266,6 +315,13 @@ class IncrementalLayeredRanker:
             local_iterations += rank.iterations
             documents_recomputed += rank.n_documents
 
+        segment_iterations = 0
+        if self._segments is not None:
+            segment_iterations = self._store_segment_results(
+                collect_site_results(segment_payload,
+                                     results[len(site_payload):]),
+                sitegraph=sitegraph)
+
         return self._notify(UpdateReport(
             recomputed_sites=ordered,
             siterank_recomputed=siterank_recomputed,
@@ -273,6 +329,7 @@ class IncrementalLayeredRanker:
             siterank_iterations=siterank_iterations,
             documents_recomputed=documents_recomputed,
             documents_total=self._docgraph.n_documents,
+            segment_iterations=segment_iterations,
         ))
 
     # ------------------------------------------------------------------ #
@@ -310,11 +367,34 @@ class IncrementalLayeredRanker:
         return self._docgraph
 
     def ranking(self) -> WebRankingResult:
-        """Compose the cached factors into the current global DocRank."""
+        """Compose the cached factors into the current global DocRank.
+
+        When the ranker maintains personalisation segments, the per-segment
+        score columns are composed from the cached segment factors in the
+        same site-major document order and attached to the result.
+        """
         assert self._siterank is not None
-        return compose_ranking(self._docgraph, self._docgraph.sites(),
-                               self._siterank, dict(self._local),
-                               method="layered-incremental")
+        sites = self._docgraph.sites()
+        result = compose_ranking(self._docgraph, sites,
+                                 self._siterank, dict(self._local),
+                                 method="layered-incremental")
+        if self._segments is not None and self._segment_site_state is not None:
+            site_order, site_matrix = self._segment_site_state
+            position = {site: index for index, site in enumerate(site_order)}
+            blocks = [self._local_columns[site].columns
+                      * site_matrix[position[site]][None, :]
+                      for site in sites]
+            matrix = np.concatenate(blocks, axis=0)
+            totals = matrix.sum(axis=0)
+            result.segments = self._segments.names
+            result.segment_columns = matrix / np.where(totals > 0.0,
+                                                       totals, 1.0)
+        return result
+
+    @property
+    def segments(self) -> Tuple[str, ...]:
+        """Personalisation segment names the ranker maintains (``()`` when off)."""
+        return self._segments.names if self._segments is not None else ()
 
     @property
     def siterank(self) -> SiteRankResult:
@@ -327,6 +407,28 @@ class IncrementalLayeredRanker:
         if site not in self._local:
             raise GraphStructureError(f"unknown site {site!r}")
         return self._local[site]
+
+    def segment_shard_columns(self, site: str) -> Optional[np.ndarray]:
+        """One site's composed per-segment score columns (``None`` when off).
+
+        ``local_columns · site_weights`` — the site's slice of
+        :attr:`~repro.web.pipeline.WebRankingResult.segment_columns`, row
+        aligned with :meth:`local`'s ``doc_ids``, before the global
+        per-column renormalisation (which only absorbs float drift: every
+        composed column already sums to one by construction).  The serving
+        layer rebuilds one shard's segment scores from this without
+        touching any other site.
+        """
+        if self._segments is None or self._segment_site_state is None:
+            return None
+        site_order, site_matrix = self._segment_site_state
+        if site not in self._local_columns:
+            raise GraphStructureError(f"unknown site {site!r}")
+        try:
+            weights = site_matrix[site_order.index(site)]
+        except ValueError:
+            raise GraphStructureError(f"unknown site {site!r}") from None
+        return self._local_columns[site].columns * weights[None, :]
 
     # ------------------------------------------------------------------ #
     # Engine task construction (warm-started)
@@ -352,14 +454,19 @@ class IncrementalLayeredRanker:
                              tol=self._tol, max_iter=self._max_iter,
                              start=start)
 
-    def _siterank_task(self):
+    def _sitegraph(self) -> SiteGraph:
+        """Aggregate the current SiteGraph (step 2, cheap and serial)."""
+        return aggregate_sitegraph(
+            self._docgraph,
+            include_self_links=self._include_site_self_links)
+
+    def _siterank_task(self, sitegraph: Optional[SiteGraph] = None):
         """Build the SiteRank engine task, seeded from the cached vector."""
         from ..engine.plan import SiteRankTask
         from ..engine.warm import align_warm_start
 
-        sitegraph = aggregate_sitegraph(
-            self._docgraph,
-            include_self_links=self._include_site_self_links)
+        if sitegraph is None:
+            sitegraph = self._sitegraph()
         start = (align_warm_start(self._siterank.sites,
                                   self._siterank.scores, sitegraph.sites)
                  if self._siterank is not None else None)
@@ -374,3 +481,102 @@ class IncrementalLayeredRanker:
     def _compute_siterank(self) -> SiteRankResult:
         """Recompute the SiteRank, warm-started from the cache."""
         return self._siterank_task().run()
+
+    # ------------------------------------------------------------------ #
+    # Personalisation segment maintenance (fused multi-vector tasks)
+    # ------------------------------------------------------------------ #
+    def _segment_local_task(self, site: str):
+        """One site's K-column segment task, warm-started from the cache."""
+        from ..engine.plan import LocalRankTask
+
+        assert self._segments is not None
+        adjacency, doc_ids = self._docgraph.local_adjacency(site)
+        return LocalRankTask(
+            site=site, adjacency=adjacency, doc_ids=tuple(doc_ids),
+            damping=self._damping,
+            preference=self._segments.document_columns.get(site),
+            tol=self._tol, max_iter=self._max_iter,
+            start=self._segment_warm_start(site, doc_ids),
+            n_vectors=self._segments.n_segments)
+
+    def _segment_warm_start(self, site: str,
+                            doc_ids) -> Optional[np.ndarray]:
+        """Re-align the cached segment columns of one site, per column."""
+        from ..engine.warm import align_warm_start
+
+        previous = self._local_columns.get(site)
+        if previous is None or previous.n_vectors != self._segments.n_segments:
+            return None
+        columns = [align_warm_start(previous.doc_ids,
+                                    previous.columns[:, index], doc_ids)
+                   for index in range(previous.n_vectors)]
+        if any(column is None for column in columns):
+            return None
+        return np.stack(columns, axis=1)
+
+    def _segment_site_task(self, sitegraph: SiteGraph):
+        """The segment-level SiteRank block, riding the refresh batch.
+
+        Mirrors the pipeline's :data:`~repro.web.pipeline.SITERANK_BLOCK`
+        pseudo-site: the SiteGraph adjacency is just one more K-column
+        block for the fused solver.
+        """
+        from ..engine.plan import LocalRankTask
+        from ..engine.warm import align_warm_start
+
+        assert self._segments is not None
+        sites = list(sitegraph.sites)
+        n_segments = self._segments.n_segments
+        start = None
+        if self._segment_site_state is not None:
+            previous_sites, previous_matrix = self._segment_site_state
+            if previous_matrix.shape[1] == n_segments:
+                columns = [align_warm_start(previous_sites,
+                                            previous_matrix[:, index], sites)
+                           for index in range(n_segments)]
+                if all(column is not None for column in columns):
+                    start = np.stack(columns, axis=1)
+        return LocalRankTask(
+            site=SITERANK_BLOCK, adjacency=sitegraph.adjacency,
+            doc_ids=tuple(range(len(sites))), damping=self._site_damping,
+            preference=self._segments.site_columns,
+            tol=self._tol, max_iter=self._max_iter, start=start,
+            n_vectors=n_segments)
+
+    def _store_segment_results(self, by_site: Dict[str, SiteColumns], *,
+                               sitegraph: Optional[SiteGraph]) -> int:
+        """Fold one batch's segment results back into the caches."""
+        iterations = 0
+        for site, result in by_site.items():
+            solved = ensure_site_columns(result)
+            if site == SITERANK_BLOCK:
+                assert sitegraph is not None
+                self._segment_site_state = (tuple(sitegraph.sites),
+                                            solved.columns.copy())
+            else:
+                self._local_columns[site] = solved
+            iterations += solved.iterations
+        return iterations
+
+    def _rebuild_segments(self) -> int:
+        """Re-solve every site's segment columns (cold path, one batch)."""
+        from ..engine.plan import (
+            batch_site_tasks,
+            collect_site_results,
+            execute_tasks,
+        )
+
+        sitegraph = self._sitegraph()
+        self._segments = build_segment_preferences(
+            self._docgraph, sitegraph, self._personalization)
+        self._local_columns = {}
+        self._segment_site_state = None
+        tasks = [self._segment_local_task(site)
+                 for site in self._docgraph.sites()]
+        tasks.append(self._segment_site_task(sitegraph))
+        payload = (batch_site_tasks(tasks, pack_cache=self._pack_cache)
+                   if self._batch_sites else tasks)
+        results, _wall_seconds = execute_tasks(payload,
+                                               executor=self._executor)
+        return self._store_segment_results(
+            collect_site_results(payload, results), sitegraph=sitegraph)

@@ -12,7 +12,7 @@ This is the user-facing entry point of the web application layer: given a
 
 The result is returned as a :class:`WebRankingResult` aligned with the
 DocGraph's document ids, so it can be compared entry-by-entry with the flat
-PageRank baseline (:func:`flat_pagerank_ranking`).
+PageRank baseline (the API facade's ``method="flat"``).
 
 The correspondence with :mod:`repro.core` is direct: the DocGraph induces a
 :class:`~repro.core.lmm.LayeredMarkovModel` whose phases are the sites
@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -36,8 +36,9 @@ from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
 from ..linalg.stochastic import transition_matrix
 from ..markov.irreducibility import DEFAULT_DAMPING
 from ..pagerank.pagerank import pagerank
+from ..pagerank.personalized import preference_from_weights
 from .docgraph import DocGraph
-from .docrank import LocalDocRank
+from .docrank import LocalDocRank, SiteColumns
 from .sitegraph import SiteGraph, aggregate_sitegraph
 from .siterank import SiteRankResult
 
@@ -68,8 +69,16 @@ class WebRankingResult:
     timings:
         Wall-clock seconds per phase, keyed by the canonical phase names
         of :mod:`repro.obs` (``plan.build`` for steps 1–2,
-        ``plan.execute`` for steps 3–4, ``plan.compose`` for step 5).
+        ``plan.execute`` for steps 3–4, ``plan.compose`` for step 5,
+        ``plan.segments`` for the fused per-segment pass).
         Empty for rankings built outside the layered pipeline.
+    segments:
+        Names of the personalisation segments solved alongside the base
+        ranking (empty when personalisation is off).
+    segment_columns:
+        ``(n_documents, K)`` matrix of per-segment scores aligned with
+        *doc_ids* (one column per entry of *segments*); ``None`` when
+        personalisation is off.
     """
 
     doc_ids: List[int]
@@ -80,12 +89,25 @@ class WebRankingResult:
     local_docranks: Optional[Dict[str, LocalDocRank]] = None
     iterations: int = 0
     timings: Dict[str, float] = field(default_factory=dict)
+    segments: Tuple[str, ...] = ()
+    segment_columns: Optional[np.ndarray] = None
     _position: Dict[int, int] = field(init=False, repr=False,
                                       default_factory=dict)
 
     def __post_init__(self) -> None:
         if not (len(self.doc_ids) == len(self.urls) == self.scores.size):
             raise ValidationError("doc_ids, urls and scores must align")
+        self.segments = tuple(self.segments)
+        if self.segment_columns is not None:
+            self.segment_columns = np.asarray(self.segment_columns,
+                                              dtype=float)
+            if self.segment_columns.shape != (len(self.doc_ids),
+                                              len(self.segments)):
+                raise ValidationError(
+                    "segment_columns must be (n_documents, n_segments)")
+        elif self.segments:
+            raise ValidationError(
+                "segments named but no segment_columns given")
         self._position = {doc_id: i for i, doc_id in enumerate(self.doc_ids)}
 
     @property
@@ -108,14 +130,37 @@ class WebRankingResult:
             vector[doc_id] = self.scores[position]
         return vector
 
-    def top_k(self, k: int) -> List[int]:
-        """The ``k`` best document ids, best first."""
-        order = np.lexsort((np.arange(self.scores.size), -self.scores))
+    def segment_index(self, segment: str) -> int:
+        """Position of a named segment's score column."""
+        try:
+            return self.segments.index(segment)
+        except ValueError:
+            raise ValidationError(
+                f"unknown segment {segment!r}; available: "
+                f"{list(self.segments)!r}") from None
+
+    def segment_scores(self, segment: str) -> np.ndarray:
+        """One segment's score column, aligned with :attr:`doc_ids`."""
+        if self.segment_columns is None:
+            raise ValidationError("ranking has no personalisation segments")
+        return self.segment_columns[:, self.segment_index(segment)]
+
+    def _ranking_scores(self, segment: Optional[str]) -> np.ndarray:
+        if segment is None:
+            return self.scores
+        return self.segment_scores(segment)
+
+    def top_k(self, k: int, *, segment: Optional[str] = None) -> List[int]:
+        """The ``k`` best document ids, best first (per segment if named)."""
+        scores = self._ranking_scores(segment)
+        order = np.lexsort((np.arange(scores.size), -scores))
         return [self.doc_ids[int(i)] for i in order[:k]]
 
-    def top_k_urls(self, k: int) -> List[str]:
+    def top_k_urls(self, k: int, *,
+                   segment: Optional[str] = None) -> List[str]:
         """The ``k`` best document URLs, best first — the paper's Figure 3/4 lists."""
-        order = np.lexsort((np.arange(self.scores.size), -self.scores))
+        scores = self._ranking_scores(segment)
+        order = np.lexsort((np.arange(scores.size), -scores))
         return [self.urls[int(i)] for i in order[:k]]
 
 
@@ -147,6 +192,183 @@ def compose_ranking(docgraph: DocGraph, sites: List[str],
                             local_docranks=local, iterations=iterations)
 
 
+#: Pseudo-site key under which the SiteRank block rides a fused segment
+#: batch.  NUL is illegal in URLs/host names, so it can never collide with
+#: a real site identifier.
+SITERANK_BLOCK = "\x00siterank"
+
+
+@dataclass(frozen=True)
+class SegmentPreferences:
+    """K personalisation segments lowered to solver-ready preference columns.
+
+    Built once from the declarative ``personalization`` config section by
+    :func:`build_segment_preferences`; consumed by the fused multi-vector
+    segment pass (:func:`solve_segment_columns`) and by the incremental
+    ranker's refresh batches.
+
+    Attributes
+    ----------
+    names:
+        Segment names, in declaration order (the column order everywhere).
+    site_columns:
+        ``(n_sites, K)`` SiteRank teleport columns, in SiteGraph site
+        order.
+    document_columns:
+        Per-site ``(n_local_docs, K)`` local teleport columns, only for
+        sites some segment actually weights; untouched sites solve with
+        uniform columns.
+    """
+
+    names: Tuple[str, ...]
+    site_columns: np.ndarray
+    document_columns: Dict[str, np.ndarray]
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments K."""
+        return len(self.names)
+
+
+def build_segment_preferences(docgraph: DocGraph, sitegraph: SiteGraph,
+                              spec: Mapping[str, Mapping]
+                              ) -> SegmentPreferences:
+    """Lower a declarative ``personalization`` mapping to preference columns.
+
+    *spec* maps segment names to ``{"sites": {site: weight},
+    "documents": {url: weight}, "background": float}`` — the shape
+    :class:`repro.api.RankingConfig` validates.  Site weights become the
+    segment's SiteRank teleport column; document weights become local
+    teleport columns within their owning sites (sharing
+    :func:`repro.pagerank.personalized.preference_from_weights` and its
+    NaN / negative-weight validation).  Omitted parts stay uniform.
+    """
+    if not spec:
+        raise ValidationError("personalization must name at least one "
+                              "segment")
+    names = tuple(spec.keys())
+    sites = list(sitegraph.sites)
+    site_pos = {site: index for index, site in enumerate(sites)}
+    n_sites = len(sites)
+    site_columns = np.empty((n_sites, len(names)), dtype=float)
+    # site -> (n_local, K) built lazily, plus each site's doc_id -> local row.
+    document_columns: Dict[str, np.ndarray] = {}
+    local_rows: Dict[str, Dict[int, int]] = {}
+
+    for column, name in enumerate(names):
+        segment = spec[name] or {}
+        background = float(segment.get("background", 0.0))
+        site_weights = segment.get("sites") or {}
+        if site_weights:
+            indexed = {}
+            for site, weight in site_weights.items():
+                if site not in site_pos:
+                    raise ValidationError(
+                        f"segment {name!r} weights unknown site {site!r}")
+                indexed[site_pos[site]] = weight
+            site_columns[:, column] = preference_from_weights(
+                n_sites, indexed, background=background)
+        else:
+            site_columns[:, column] = 1.0 / n_sites
+
+        by_site: Dict[str, Dict[int, float]] = {}
+        for url, weight in (segment.get("documents") or {}).items():
+            document = docgraph.document_by_url(url)
+            by_site.setdefault(document.site, {})[document.doc_id] = weight
+        for site, weights in by_site.items():
+            if site not in local_rows:
+                _, doc_ids = docgraph.local_adjacency(site)
+                local_rows[site] = {doc_id: row
+                                    for row, doc_id in enumerate(doc_ids)}
+                document_columns[site] = np.full(
+                    (len(doc_ids), len(names)),
+                    1.0 / len(doc_ids))
+            rows = local_rows[site]
+            document_columns[site][:, column] = preference_from_weights(
+                len(rows), {rows[doc_id]: weight
+                            for doc_id, weight in weights.items()},
+                background=background)
+    return SegmentPreferences(names=names, site_columns=site_columns,
+                              document_columns=dict(document_columns))
+
+
+def ensure_site_columns(result) -> SiteColumns:
+    """Adapt an engine result to column form.
+
+    A ``n_vectors == 1`` task deliberately runs the verbatim single-vector
+    solver (so the base ranking stays byte-identical) and yields a
+    :class:`~repro.web.docrank.LocalDocRank`; the segment machinery is
+    written against :class:`~repro.web.docrank.SiteColumns`, so the
+    degenerate K=1 case is wrapped here.
+    """
+    if isinstance(result, SiteColumns):
+        return result
+    return SiteColumns(site=result.site, doc_ids=result.doc_ids,
+                       columns=result.scores[:, None],
+                       iterations=result.iterations)
+
+
+def solve_segment_columns(docgraph: DocGraph, sitegraph: SiteGraph,
+                          segments: SegmentPreferences,
+                          damping: float = DEFAULT_DAMPING, *,
+                          site_damping: Optional[float] = None,
+                          tol: float = DEFAULT_TOL,
+                          max_iter: int = DEFAULT_MAX_ITER,
+                          executor=None, n_jobs: Optional[int] = None,
+                          ) -> Tuple[np.ndarray, int]:
+    """Solve all K segments' score columns in fused multi-vector batches.
+
+    Every site becomes one K-column block; the SiteRank solve rides the
+    same packed batch as just another block (it shares the damping factor
+    whenever ``site_damping`` is unset, and the batcher fuses it whenever
+    it is small enough).  One matrix sweep per batch advances all K
+    segments — the SpMV → SpMM amortisation benchmark E17 measures.
+
+    Returns the ``(n_documents, K)`` score matrix in the site-major
+    document order of :func:`compose_ranking`, plus the iteration total.
+    """
+    from ..engine.plan import (
+        LocalRankTask,
+        batch_site_tasks,
+        collect_site_results,
+        execute_tasks,
+    )
+
+    if site_damping is None:
+        site_damping = damping
+    n_vectors = segments.n_segments
+    tasks = []
+    for site in sitegraph.sites:
+        adjacency, doc_ids = docgraph.local_adjacency(site)
+        tasks.append(LocalRankTask(
+            site=site, adjacency=adjacency, doc_ids=tuple(doc_ids),
+            damping=damping,
+            preference=segments.document_columns.get(site),
+            tol=tol, max_iter=max_iter, n_vectors=n_vectors))
+    tasks.append(LocalRankTask(
+        site=SITERANK_BLOCK, adjacency=sitegraph.adjacency,
+        doc_ids=tuple(range(len(sitegraph.sites))), damping=site_damping,
+        preference=segments.site_columns,
+        tol=tol, max_iter=max_iter, n_vectors=n_vectors))
+    payload = batch_site_tasks(tasks)
+    results, _seconds = execute_tasks(payload, executor=executor,
+                                      n_jobs=n_jobs)
+    by_site = collect_site_results(payload, results)
+
+    siterank_block = ensure_site_columns(by_site[SITERANK_BLOCK])
+    site_scores = siterank_block.columns  # (n_sites, K)
+    blocks = []
+    iterations = siterank_block.iterations
+    for index, site in enumerate(sitegraph.sites):
+        solved = ensure_site_columns(by_site[site])
+        blocks.append(solved.columns * site_scores[index][None, :])
+        iterations += solved.iterations
+    matrix = np.concatenate(blocks, axis=0)
+    totals = matrix.sum(axis=0)
+    matrix = matrix / np.where(totals > 0.0, totals, 1.0)
+    return matrix, int(iterations)
+
+
 def _layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
                      site_damping: Optional[float] = None,
                      site_preference: Optional[np.ndarray] = None,
@@ -155,7 +377,9 @@ def _layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
                      tol: float = DEFAULT_TOL,
                      max_iter: int = DEFAULT_MAX_ITER,
                      executor=None, n_jobs: Optional[int] = None,
-                     warm=None, batch_sites: bool = True) -> WebRankingResult:
+                     warm=None, batch_sites: bool = True,
+                     personalization: Optional[Mapping] = None,
+                     ) -> WebRankingResult:
     """Run the full 5-step Layered Method for DocRank on a DocGraph.
 
     The method is executed as a :class:`repro.engine.RankingPlan`: step 3's
@@ -194,6 +418,11 @@ def _layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
         Fuse small sites into block-diagonal batched tasks
         (:class:`repro.engine.plan.BatchedSiteTask`), the default;
         ``False`` opts out to the historical one-task-per-site path.
+    personalization:
+        Optional declarative segment mapping (the shape
+        :class:`repro.api.RankingConfig` validates).  The base ranking is
+        computed exactly as without it; the K segments are then solved as
+        one fused multi-vector pass and attached as score columns.
     """
     from ..engine.plan import RankingPlan
 
@@ -226,36 +455,22 @@ def _layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
         obs.PHASE_PLAN_EXECUTE: execution.wall_seconds,
         obs.PHASE_PLAN_COMPOSE: perf_counter() - compose_started,
     }
+
+    if personalization:
+        segments_started = perf_counter()
+        with obs.span(obs.PHASE_PLAN_SEGMENTS):
+            segments = build_segment_preferences(docgraph, plan.sitegraph,
+                                                 personalization)
+            columns, segment_iterations = solve_segment_columns(
+                docgraph, plan.sitegraph, segments, damping,
+                site_damping=site_damping, tol=tol, max_iter=max_iter,
+                executor=executor, n_jobs=n_jobs)
+        result.segments = segments.names
+        result.segment_columns = columns
+        result.iterations += segment_iterations
+        result.timings[obs.PHASE_PLAN_SEGMENTS] = (
+            perf_counter() - segments_started)
     return result
-
-
-def layered_docrank(docgraph: DocGraph, damping: float = DEFAULT_DAMPING, *,
-                    site_damping: Optional[float] = None,
-                    site_preference: Optional[np.ndarray] = None,
-                    document_preferences: Optional[Dict[str, np.ndarray]] = None,
-                    include_site_self_links: bool = False,
-                    tol: float = DEFAULT_TOL,
-                    max_iter: int = DEFAULT_MAX_ITER,
-                    executor=None, n_jobs: Optional[int] = None,
-                    warm=None, batch_sites: bool = True) -> WebRankingResult:
-    """Deprecated 1.x entry point for :func:`_layered_docrank`.
-
-    Use ``repro.api.Ranker(RankingConfig(method="layered")).fit(docgraph)``
-    instead — the facade produces bitwise-identical scores from a single
-    declarative config object.  This shim forwards unchanged (and warns
-    once per process) for one release.
-    """
-    from .._deprecation import warn_deprecated
-
-    warn_deprecated("repro.web.layered_docrank",
-                    "repro.api.Ranker(config).fit(docgraph)")
-    return _layered_docrank(
-        docgraph, damping, site_damping=site_damping,
-        site_preference=site_preference,
-        document_preferences=document_preferences,
-        include_site_self_links=include_site_self_links,
-        tol=tol, max_iter=max_iter, executor=executor, n_jobs=n_jobs,
-        warm=warm, batch_sites=batch_sites)
 
 
 def _flat_pagerank_ranking(docgraph: DocGraph,
@@ -278,25 +493,6 @@ def _flat_pagerank_ranking(docgraph: DocGraph,
                             method="pagerank", iterations=result.iterations)
 
 
-def flat_pagerank_ranking(docgraph: DocGraph,
-                          damping: float = DEFAULT_DAMPING, *,
-                          preference: Optional[np.ndarray] = None,
-                          tol: float = DEFAULT_TOL,
-                          max_iter: int = DEFAULT_MAX_ITER) -> WebRankingResult:
-    """Deprecated 1.x entry point for :func:`_flat_pagerank_ranking`.
-
-    Use ``repro.api.Ranker(RankingConfig(method="flat")).fit(docgraph)``
-    instead.  This shim forwards unchanged (and warns once per process)
-    for one release.
-    """
-    from .._deprecation import warn_deprecated
-
-    warn_deprecated("repro.web.flat_pagerank_ranking",
-                    'repro.api.Ranker(RankingConfig(method="flat")).fit(docgraph)')
-    return _flat_pagerank_ranking(docgraph, damping, preference=preference,
-                                  tol=tol, max_iter=max_iter)
-
-
 def lmm_from_docgraph(docgraph: DocGraph, *,
                       include_site_self_links: bool = False,
                       site_damping: float = DEFAULT_DAMPING,
@@ -309,7 +505,7 @@ def lmm_from_docgraph(docgraph: DocGraph, *,
     matrix ``M̂(G_S)`` of the SiteGraph, which is what Theorem 2 requires.
 
     The integration tests use this to check that
-    :func:`layered_docrank` coincides with
+    the layered pipeline coincides with
     :func:`repro.core.layered_method.approach_4` on the induced model.
     """
     from ..markov.irreducibility import maximal_irreducibility

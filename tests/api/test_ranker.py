@@ -1,9 +1,9 @@
 """Tests for the Ranker facade and the unified RankingResult.
 
 The load-bearing property is the acceptance criterion of the API redesign:
-``Ranker(config).fit(g)`` must be *bitwise identical* to the legacy
-``layered_docrank`` path for the serial, threaded and process executors,
-on both the toy web and the campus web.
+``Ranker(config).fit(g)`` must be *bitwise identical* to the historical
+pipeline path for the serial, threaded and process executors, on both the
+toy web and the campus web.
 """
 
 import warnings
@@ -17,12 +17,8 @@ from repro.web.pipeline import _layered_docrank
 
 
 def legacy_layered(docgraph, **kwargs):
-    """The deprecated 1.x entry point, with its warning silenced."""
-    from repro.web import layered_docrank
-
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return layered_docrank(docgraph, **kwargs)
+    """The historical pipeline entry point the facade must match bitwise."""
+    return _layered_docrank(docgraph, **kwargs)
 
 
 class TestLegacyEquivalence:

@@ -22,8 +22,7 @@ from repro.pagerank import blockrank
 from repro.web import lmm_from_docgraph
 
 
-# End-to-end runs go through the 2.x facade (the deprecated 1.x shims are
-# exercised only by tests/api/test_deprecation.py).
+# End-to-end runs go through the facade (the 1.x shims were removed in 1.4).
 def layered_docrank(graph):
     return Ranker(RankingConfig(method="layered")).fit(graph).ranking
 

@@ -18,8 +18,7 @@ from repro.graphgen import SyntheticWebConfig, generate_synthetic_web
 from repro.web import aggregate_sitegraph, lmm_from_docgraph
 
 
-# End-to-end runs go through the 2.x facade (the deprecated 1.x shims are
-# exercised only by tests/api/test_deprecation.py).
+# End-to-end runs go through the facade (the 1.x shims were removed in 1.4).
 def layered_docrank(graph, damping=0.85):
     return Ranker(RankingConfig(method="layered",
                                 damping=damping)).fit(graph).ranking

@@ -1,0 +1,153 @@
+"""Property tests for the fused multi-vector (SpMM) block solver.
+
+Two invariants the tentpole optimisation must not bend:
+
+* **Fusion is free**: solving K preference columns in one fused sweep
+  family equals K independent single-vector solves of the same blocks,
+  column by column, within 1e-12 — including dangling rows, single-document
+  blocks and the K=1 degenerate case (which dispatches to the verbatim
+  single-vector loop).
+* **Per-(block, column) freezing is free**: pinning each column the sweep
+  it converges never changes the answer versus letting every column of a
+  block run until the whole block converges.  (The comparison runs at
+  tol=1e-14: each path stops within ``tol·f/(1-f)`` of the fixed point, so
+  the paths can legitimately differ by a small multiple of the tolerance —
+  at 1e-13 the observed worst case already brushes 1e-12.)
+
+Blocks come from :mod:`repro.graphgen` synthetic webs (real per-site local
+adjacencies, not i.i.d. noise), augmented with forced dangling rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphgen import generate_synthetic_web
+from repro.linalg import pack_blocks, solve_blocks
+
+DAMPING = 0.85
+#: Acceptance bound of benchmark E17 / ISSUE 7 for both properties.
+EQ_ATOL = 1e-12
+
+
+def _site_blocks(seed, n_sites, n_documents, *, force_dangling):
+    """Per-site local adjacencies of a synthetic web (block-solver input)."""
+    web = generate_synthetic_web(n_sites=n_sites, n_documents=n_documents,
+                                 seed=seed)
+    blocks = []
+    for site in web.sites():
+        adjacency, _doc_ids = web.local_adjacency(site)
+        adjacency = adjacency.tolil()
+        if force_dangling:
+            adjacency[0, :] = 0.0  # a dangling document in every site
+        blocks.append(adjacency.tocsr())
+    return blocks
+
+
+def _preference_columns(rng, sizes, n_vectors):
+    """One random normalised (size, K) preference matrix per block."""
+    columns = []
+    for size in sizes:
+        matrix = rng.random((size, n_vectors)) + 1e-3
+        columns.append(matrix / matrix.sum(axis=0))
+    return columns
+
+
+web_cases = st.fixed_dictionaries({
+    "seed": st.integers(0, 2**16),
+    "n_sites": st.integers(2, 6),
+    "n_documents": st.integers(8, 60),
+    "n_vectors": st.sampled_from([1, 2, 3, 5]),
+    "force_dangling": st.booleans(),
+})
+
+
+class TestFusedEqualsPerVector:
+    @given(case=web_cases)
+    @settings(max_examples=20, deadline=None)
+    def test_fused_columns_match_independent_solves(self, case):
+        blocks = _site_blocks(case["seed"], case["n_sites"],
+                              case["n_documents"],
+                              force_dangling=case["force_dangling"])
+        rng = np.random.default_rng(case["seed"])
+        sizes = [block.shape[0] for block in blocks]
+        preferences = _preference_columns(rng, sizes, case["n_vectors"])
+
+        fused = solve_blocks(
+            pack_blocks([(block, None, preference)
+                         for block, preference in zip(blocks, preferences)]),
+            DAMPING, tol=1e-13, max_iter=2000)
+        assert fused.n_vectors == case["n_vectors"]
+
+        for k in range(case["n_vectors"]):
+            single = solve_blocks(
+                pack_blocks([(block, None, preference[:, k])
+                             for block, preference
+                             in zip(blocks, preferences)]),
+                DAMPING, tol=1e-13, max_iter=2000)
+            for b in range(len(blocks)):
+                fused_column = (fused.vectors[b][:, k]
+                                if case["n_vectors"] > 1
+                                else fused.vectors[b])
+                assert np.allclose(fused_column, single.vectors[b],
+                                   atol=EQ_ATOL, rtol=0.0), \
+                    f"block {b}, column {k} diverged from per-vector solve"
+
+    def test_single_document_blocks_ride_the_fused_batch(self):
+        import scipy.sparse as sp
+
+        blocks = [sp.csr_matrix((1, 1)),          # dangling singleton
+                  sp.csr_matrix(np.ones((1, 1))),  # self-loop singleton
+                  sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))]
+        preferences = [np.array([[1.0, 1.0]]),
+                       np.array([[1.0, 1.0]]),
+                       np.array([[0.9, 0.2], [0.1, 0.8]])]
+        result = solve_blocks(
+            pack_blocks(list(zip(blocks, [None] * 3, preferences))),
+            DAMPING, tol=1e-13, max_iter=500)
+        # A singleton's stationary distribution is the point mass.
+        assert np.allclose(result.vectors[0], 1.0)
+        assert np.allclose(result.vectors[1], 1.0)
+        assert np.all(result.converged)
+
+
+class TestFreezingIsInvariant:
+    @given(case=web_cases)
+    @settings(max_examples=15, deadline=None)
+    def test_freeze_columns_never_changes_results(self, case):
+        if case["n_vectors"] == 1:
+            # Single-vector batches have no per-column freezing to toggle.
+            case = dict(case, n_vectors=2)
+        blocks = _site_blocks(case["seed"], case["n_sites"],
+                              case["n_documents"],
+                              force_dangling=case["force_dangling"])
+        rng = np.random.default_rng(case["seed"])
+        sizes = [block.shape[0] for block in blocks]
+        preferences = _preference_columns(rng, sizes, case["n_vectors"])
+        packed = pack_blocks([(block, None, preference)
+                              for block, preference
+                              in zip(blocks, preferences)])
+
+        frozen = solve_blocks(packed, DAMPING, tol=1e-14, max_iter=5000)
+        unfrozen = solve_blocks(packed, DAMPING, tol=1e-14, max_iter=5000,
+                                freeze_columns=False)
+        for b in range(len(blocks)):
+            assert np.allclose(frozen.vectors[b], unfrozen.vectors[b],
+                               atol=EQ_ATOL, rtol=0.0), \
+                f"freezing changed block {b}"
+
+    def test_freezing_saves_column_updates(self, rng):
+        """The early-out must actually fire: unfrozen sweeps dominate."""
+        blocks = _site_blocks(11, 5, 80, force_dangling=False)
+        sizes = [block.shape[0] for block in blocks]
+        preferences = _preference_columns(np.random.default_rng(11),
+                                          sizes, 8)
+        packed = pack_blocks([(block, None, preference)
+                              for block, preference
+                              in zip(blocks, preferences)])
+        result = solve_blocks(packed, DAMPING, tol=1e-12, max_iter=5000)
+        # Per-(block, column) counts differ — the whole point of the
+        # granular freeze registry.
+        assert result.iterations.shape == (len(blocks), 8)
+        assert result.iterations.max() > result.iterations.min()

@@ -83,6 +83,32 @@ class TestFitInstrumentation:
                                       solver="power") >= 1.0
         assert registry.counter_value("block_solver_runs_total") >= 1.0
 
+    def test_solver_vectors_dimension_reaches_exposition(self, toy_docgraph):
+        """The SpMM amortisation is visible in /metrics (satellite of E17).
+
+        A personalised fit runs a fused K-vector segment batch, so
+        ``solver_vectors_total`` must grow by more than the run count and
+        the sweeps-per-vector gauge must be set; both must render into a
+        valid Prometheus exposition under the ``repro_`` prefix.
+        """
+        sites = toy_docgraph.sites()
+        spec = {"alpha": {"sites": {sites[0]: 2.0}, "background": 0.5},
+                "beta": {"sites": {sites[-1]: 1.0}, "background": 0.5}}
+        Ranker(RankingConfig(personalization=spec)).fit(toy_docgraph)
+        registry = obs.registry()
+        runs = registry.counter_value("solver_runs_total", solver="block")
+        vectors = registry.counter_value("solver_vectors_total",
+                                         solver="block")
+        # Base batches contribute 1 vector per run; the K=2 segment batch
+        # pushes the total strictly above the run count.
+        assert vectors > runs >= 1.0
+        gauge_names = {entry["name"] for entry in obs.snapshot()["gauges"]}
+        assert "solver_sweeps_per_vector" in gauge_names
+        exposition = obs.render_prometheus()
+        obs.validate_exposition(exposition)
+        assert "repro_solver_vectors_total" in exposition
+        assert "repro_solver_sweeps_per_vector" in exposition
+
 
 class TestWorkerDeltaMerge:
     def test_process_backend_reports_serial_counters(self, toy_docgraph):

@@ -9,8 +9,8 @@ from repro.ir import VectorSpaceIndex, combined_search, synthesize_corpus
 from repro.serving import RankingService
 
 
-# The facade spellings of the two 1.x entry points the service tests lean
-# on (the deprecated shims are exercised only by tests/api/test_deprecation).
+# The facade spellings of the two historical entry points the service
+# tests lean on (the 1.x shims were removed in 1.4).
 def layered_docrank(web):
     return Ranker().fit(web).ranking
 
