@@ -35,6 +35,15 @@ Sub-commands
     declarative ranking configs (:class:`repro.api.RankingConfig`, JSON or
     TOML).
 
+``cluster``
+    Live distributed deployment (:mod:`repro.cluster`): ``cluster
+    coordinator`` runs the round coordinator on a TCP port (with optional
+    durable ``--ledger`` for crash-resumable rounds and ``--metrics-port``
+    for Prometheus scrapes), ``cluster peer`` runs one ranking peer
+    process against it, and ``cluster rank`` is the one-command localhost
+    deployment — coordinator in-process plus ``--peers`` forked peer
+    processes, reaped on exit.
+
 ``stats``
     Rank a graph and print the telemetry snapshot (:mod:`repro.obs`) the
     run produced — solver runs/iterations, per-phase timings, engine task
@@ -60,16 +69,30 @@ with status 2).
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import os
 import sys
+import tempfile
 from typing import List, Optional
 
 from . import __version__
 from .api import Ranker, RankingConfig, available_methods, resolve_method_name
+from .cluster import (
+    DEFAULT_HEARTBEAT_SECONDS as CLUSTER_HEARTBEAT_SECONDS,
+    DEFAULT_ROUND_TIMEOUT as CLUSTER_ROUND_TIMEOUT,
+    ClusterCoordinator,
+    run_live_cluster,
+    run_peer,
+)
 from .core import all_approaches, example_lmm
 from .exceptions import ReproError, ValidationError
 from .graphgen import generate_campus_web, generate_synthetic_web
 from .io import read_docgraph, read_url_edgelist, write_docgraph
+from .linalg.power_iteration import (
+    DEFAULT_MAX_ITER as DEFAULT_SOLVER_MAX_ITER,
+    DEFAULT_TOL as DEFAULT_SOLVER_TOL,
+)
 from .ir import synthesize_corpus
 from .metrics import kendall_tau, top_k_contamination, top_k_overlap
 from .serving import RankingHTTPServer
@@ -479,6 +502,123 @@ def _command_config_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# Live cluster deployment
+# --------------------------------------------------------------------- #
+def _parse_connect(connect: str) -> tuple:
+    """Split a ``host:port`` coordinator address."""
+    host, separator, port_text = connect.rpartition(":")
+    if not separator or not host:
+        raise ValidationError(
+            f"--connect must be host:port, got {connect!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValidationError(
+            f"--connect port must be an integer, got {port_text!r}"
+        ) from None
+    return host, port
+
+
+def _print_cluster_report(report, top: int) -> None:
+    print(f"round complete: mode={report.mode} peers={report.n_peers} "
+          f"makespan={report.makespan_seconds:.3f}s")
+    if report.reassignment_count:
+        print(f"fault tolerance: {report.reassignment_count} site(s) "
+              f"re-assigned after a peer failure "
+              f"({', '.join(report.reassigned_sites)})")
+    print(f"traffic: {report.message_count} messages, "
+          f"{report.total_bytes} bytes on the wire")
+    for peer_name in sorted(report.per_peer_wall_seconds):
+        seconds = report.per_peer_wall_seconds[peer_name]
+        print(f"  {peer_name}: {seconds:.3f}s compute")
+    print(f"\ntop-{top} documents:")
+    for rank, url in enumerate(report.ranking.top_k_urls(top), start=1):
+        print(f"  {rank:3d}. {url}")
+
+
+def _cluster_report_summary(report) -> dict:
+    """The JSON artifact shape of one live round (``--json``)."""
+    return {
+        "mode": report.mode,
+        "architecture": report.architecture,
+        "n_peers": report.n_peers,
+        "makespan_seconds": report.makespan_seconds,
+        "serial_compute_seconds": report.serial_compute_seconds,
+        "coordinator_seconds": report.coordinator_seconds,
+        "per_peer_wall_seconds": report.per_peer_wall_seconds,
+        "reassigned_sites": list(report.reassigned_sites),
+        "message_count": report.message_count,
+        "total_bytes": report.total_bytes,
+        "bytes_by_type": report.bytes_by_type,
+        "messages_by_type": report.messages_by_type,
+        "iterations": report.ranking.iterations,
+    }
+
+
+def _command_cluster_coordinator(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    coordinator = ClusterCoordinator(
+        graph, host=args.host, port=args.port, n_peers=args.peers,
+        damping=args.damping, tol=args.tol, max_iter=args.max_iter,
+        batch_sites=args.batch_sites, ledger_path=args.ledger,
+        heartbeat_seconds=args.heartbeat, round_timeout=args.timeout)
+
+    async def _run():
+        await coordinator.start(metrics_port=args.metrics_port)
+        line = (f"coordinator listening on {coordinator.address} "
+                f"(waiting for {coordinator.n_slots} peers")
+        if coordinator.metrics_port is not None:
+            line += f"; metrics on port {coordinator.metrics_port}"
+        print(line + ")", flush=True)
+        if coordinator.ledger.resumed_sites:
+            print(f"ledger resume: {len(coordinator.ledger.resumed_sites)} "
+                  f"site(s) recovered, "
+                  f"{len(coordinator.ledger.pending_sites())} pending",
+                  flush=True)
+        return await coordinator.wait()
+
+    report = asyncio.run(_run())
+    _print_cluster_report(report, args.top)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(_cluster_report_summary(report), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0
+
+
+def _command_cluster_peer(args: argparse.Namespace) -> int:
+    host, port = _parse_connect(args.connect)
+    graph = _load_graph(args)
+    print(f"peer connecting to {host}:{port} "
+          f"({graph.n_sites} sites available locally)", flush=True)
+    ranked = run_peer(graph, host, port, name=args.name,
+                      fail_after=args.fail_after)
+    print(f"peer done: ranked {ranked} site(s)")
+    return 0
+
+
+def _command_cluster_rank(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+
+    async def _run():
+        with tempfile.TemporaryDirectory(prefix="repro-cluster-") as workdir:
+            return await run_live_cluster(
+                graph, workdir, n_peers=args.peers, damping=args.damping,
+                tol=args.tol, max_iter=args.max_iter,
+                batch_sites=args.batch_sites, ledger_path=args.ledger,
+                heartbeat_seconds=args.heartbeat,
+                round_timeout=args.timeout)
+
+    report = asyncio.run(_run())
+    _print_cluster_report(report, args.top)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(_cluster_report_summary(report), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for tests)."""
     # allow_abbrev=False everywhere: an abbreviated flag (--dampi) must not
@@ -597,6 +737,78 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the Prometheus text exposition instead "
                             "of the snapshot table")
     stats.set_defaults(handler=_command_stats)
+
+    cluster = subparsers.add_parser(
+        "cluster", allow_abbrev=False,
+        help="run the distributed ranking protocol over real TCP peers")
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+
+    def _add_round_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--peers", type=int, default=3,
+                         help="number of peer processes the round expects")
+        sub.add_argument("--damping", default=DEFAULT_DAMPING_ARG)
+        sub.add_argument("--tol", type=float, default=DEFAULT_SOLVER_TOL)
+        sub.add_argument("--max-iter", type=int,
+                         default=DEFAULT_SOLVER_MAX_ITER, dest="max_iter")
+        sub.add_argument("--batch-sites", action="store_true",
+                         dest="batch_sites",
+                         help="let peers fuse small sites into batched "
+                              "solves (faster, but scores then follow the "
+                              "batched path instead of the per-site serial "
+                              "reference)")
+        sub.add_argument("--ledger", metavar="PATH", default=None,
+                         help="durable job ledger: a restarted coordinator "
+                              "resumes the round instead of recomputing")
+        sub.add_argument("--heartbeat", type=float,
+                         default=CLUSTER_HEARTBEAT_SECONDS,
+                         help="seconds between peer heartbeats")
+        sub.add_argument("--timeout", type=float,
+                         default=CLUSTER_ROUND_TIMEOUT,
+                         help="seconds before the coordinator abandons "
+                              "the round")
+        sub.add_argument("--top", type=int, default=10)
+        sub.add_argument("--json", metavar="PATH", default=None,
+                         help="write the round report as JSON")
+
+    cluster_coordinator = cluster_sub.add_parser(
+        "coordinator", allow_abbrev=False,
+        help="run the round coordinator on a TCP port")
+    _add_graph_arguments(cluster_coordinator)
+    _add_round_arguments(cluster_coordinator)
+    cluster_coordinator.add_argument("--host", default="127.0.0.1")
+    cluster_coordinator.add_argument("--port", type=int, default=0,
+                                     help="bind port (0 picks a free port, "
+                                          "printed on startup)")
+    cluster_coordinator.add_argument("--metrics-port", type=int,
+                                     default=None, dest="metrics_port",
+                                     help="also serve GET /metrics "
+                                          "(Prometheus text format) on "
+                                          "this port")
+    cluster_coordinator.set_defaults(handler=_command_cluster_coordinator)
+
+    cluster_peer = cluster_sub.add_parser(
+        "peer", allow_abbrev=False,
+        help="run one ranking peer against a coordinator")
+    _add_graph_arguments(cluster_peer)
+    cluster_peer.add_argument("--connect", required=True, metavar="HOST:PORT",
+                              help="coordinator address")
+    cluster_peer.add_argument("--name", default="",
+                              help="requested peer name (the coordinator "
+                                   "assigns the logical wire name)")
+    cluster_peer.add_argument("--fail-after", type=int, default=None,
+                              dest="fail_after",
+                              help="crash the process after sending N "
+                                   "results (deterministic fault injection "
+                                   "for tests)")
+    cluster_peer.set_defaults(handler=_command_cluster_peer)
+
+    cluster_rank = cluster_sub.add_parser(
+        "rank", allow_abbrev=False,
+        help="one-command localhost deployment: coordinator + forked peers")
+    _add_graph_arguments(cluster_rank)
+    _add_round_arguments(cluster_rank)
+    cluster_rank.set_defaults(handler=_command_cluster_rank)
 
     config = subparsers.add_parser(
         "config", allow_abbrev=False, help="inspect and validate ranking configs")

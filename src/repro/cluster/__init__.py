@@ -1,0 +1,55 @@
+"""Live deployment of the distributed layered ranking protocol.
+
+Where :mod:`repro.distributed` *simulates* the peer network in-process
+(modeled clocks, accounted bytes), this package runs the identical
+protocol for real: peers are separate OS processes, every message crosses
+a TCP socket through the :mod:`repro.distributed.codec` wire format, and
+the coordinator adds what reality demands — a durable job ledger for
+crash-resumable rounds, heartbeat failure detection with site
+re-assignment, and graceful SIGTERM drains.  The compute path is the same
+engine task machinery, so a live round's scores are bitwise those of the
+serial reference — benchmark E18 asserts exactly that, kill-a-peer run
+included.
+"""
+
+from .coordinator import ClusterCoordinator
+from .ledger import JobLedger, score_digest
+from .launch import (
+    peer_command,
+    reap,
+    run_live_cluster,
+    spawn_peer,
+)
+from .peer import ClusterPeer, run_peer
+from .protocol import (
+    COORDINATOR,
+    DEFAULT_HEARTBEAT_SECONDS,
+    DEFAULT_ROUND_TIMEOUT,
+    HEARTBEAT_TIMEOUT_FACTOR,
+    Goodbye,
+    Heartbeat,
+    JoinAck,
+    JoinRequest,
+    RoundComplete,
+)
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterPeer",
+    "run_peer",
+    "JobLedger",
+    "score_digest",
+    "peer_command",
+    "spawn_peer",
+    "reap",
+    "run_live_cluster",
+    "COORDINATOR",
+    "DEFAULT_HEARTBEAT_SECONDS",
+    "DEFAULT_ROUND_TIMEOUT",
+    "HEARTBEAT_TIMEOUT_FACTOR",
+    "JoinRequest",
+    "JoinAck",
+    "Heartbeat",
+    "RoundComplete",
+    "Goodbye",
+]

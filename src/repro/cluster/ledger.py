@@ -1,0 +1,210 @@
+"""Durable job ledger of the cluster coordinator.
+
+The ledger is the coordinator's crash recovery: a JSON file (written
+atomically via :func:`repro.io.save_json`'s write-then-rename) recording,
+for every site of the round, who owns it and whether its local DocRank has
+been received — plus a companion warm-state file holding the converged
+vectors themselves.  A restarted coordinator opens the ledger, validates
+that it describes the same web (graph digest) under the same solver
+parameters, recovers the done sites' vectors *bitwise* from the warm state
+(JSON floats round-trip exactly through ``repr``), and only schedules the
+still-pending sites — resuming instead of recomputing.
+
+The shape follows the central-index manifest idiom: one registry of jobs
+with explicit per-job state, advanced by atomic whole-file rewrites, never
+edited in place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..engine.warm import WarmStartState
+from ..exceptions import ProtocolError
+from ..io import load_json, save_json
+from ..io.serialization import load_warm_state, save_warm_state
+
+#: Job states a site moves through.  ``pending`` covers both "never
+#: assigned" and "assigned but no result yet" — the ``peer`` field tells
+#: them apart; a coordinator restart re-assigns either kind.
+STATE_PENDING = "pending"
+STATE_DONE = "done"
+
+LEDGER_VERSION = 1
+
+
+def score_digest(scores: Sequence[float]) -> str:
+    """A short digest of a result vector (ledger bookkeeping, not proof)."""
+    array = np.asarray(scores, dtype=float)
+    return hashlib.sha256(array.tobytes()).hexdigest()[:16]
+
+
+class JobLedger:
+    """Assignment → state → result-digest registry for one ranking round.
+
+    Parameters
+    ----------
+    path:
+        The ledger JSON file, or ``None`` for a purely in-memory ledger
+        (the coordinator without ``--ledger``: same bookkeeping, no
+        durability).  The companion warm-state file lives next to it at
+        ``<path>.warm.json``.
+    graph_digest:
+        :func:`repro.io.docgraph_digest` of the web being ranked.
+    params:
+        Solver parameters of the round (damping, tol, max_iter, …); a
+        resume under different parameters must not reuse old vectors, so
+        a mismatch discards the previous state.
+    sites:
+        Every site of the round.
+    """
+
+    def __init__(self, path: Optional[str | os.PathLike], *,
+                 graph_digest: str, params: Dict[str, object],
+                 sites: Sequence[str]) -> None:
+        self.path = None if path is None else os.fspath(path)
+        self.graph_digest = graph_digest
+        self.params = {key: params[key] for key in sorted(params)}
+        self.jobs: Dict[str, Dict[str, object]] = {
+            site: {"state": STATE_PENDING, "peer": None,
+                   "iterations": None, "digest": None}
+            for site in sites
+        }
+        self.completed = False
+        self.warm = WarmStartState()
+        self.resumed_sites: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def warm_path(self) -> Optional[str]:
+        """Path of the companion warm-state file (``None`` when in-memory)."""
+        return None if self.path is None else self.path + ".warm.json"
+
+    @classmethod
+    def open(cls, path: Optional[str | os.PathLike], *, graph_digest: str,
+             params: Dict[str, object],
+             sites: Sequence[str]) -> "JobLedger":
+        """Open (resuming) or create the ledger for a round.
+
+        An existing ledger is resumed only when it describes the same
+        graph, the same parameters and the same site set, *and* the
+        previous round did not complete; anything else starts fresh (a
+        completed ledger means the caller wants a new round, a mismatched
+        one would poison the results).  Resumed ``done`` sites must have
+        their vector in the warm-state file — a done entry without one is
+        demoted to pending rather than trusted.
+        """
+        ledger = cls(path, graph_digest=graph_digest, params=params,
+                     sites=sites)
+        if ledger.path is None or not os.path.exists(ledger.path):
+            ledger.save()
+            return ledger
+        try:
+            payload = load_json(ledger.path)
+        except ValueError as error:
+            raise ProtocolError(
+                f"corrupt job ledger {ledger.path}: {error}") from None
+        if (not isinstance(payload, dict)
+                or payload.get("version") != LEDGER_VERSION
+                or payload.get("graph_digest") != graph_digest
+                or payload.get("params") != ledger.params
+                or set(payload.get("jobs", {})) != set(sites)
+                or payload.get("completed")):
+            ledger.save()
+            return ledger
+        warm = None
+        if os.path.exists(ledger.warm_path):
+            warm = load_warm_state(ledger.warm_path)
+        for site, entry in payload["jobs"].items():
+            if entry.get("state") != STATE_DONE:
+                continue
+            if warm is None or warm.local_vector(site) is None:
+                continue  # done without a durable vector: recompute
+            ledger.jobs[site] = {"state": STATE_DONE,
+                                 "peer": entry.get("peer"),
+                                 "iterations": int(entry.get("iterations", 0)),
+                                 "digest": entry.get("digest")}
+            ledger.resumed_sites.append(site)
+        if warm is not None:
+            ledger.warm = warm
+        ledger.save()
+        return ledger
+
+    # ------------------------------------------------------------------ #
+    def record_assignment(self, site: str, peer: str) -> None:
+        """Note which peer currently owns a pending site."""
+        job = self._job(site)
+        job["peer"] = peer
+        self.save()
+
+    def record_result(self, site: str, peer: str, doc_ids: Sequence[int],
+                      scores: Sequence[float], iterations: int) -> None:
+        """Mark a site done, persisting its vector *before* its state.
+
+        Write order matters for crash safety: the warm vector is durable
+        first, so a ledger that says ``done`` always has the vector to
+        back it (the inverse order could resume a done site with no data —
+        :meth:`open` demotes such entries, so this is belt and braces).
+        """
+        job = self._job(site)
+        self.warm.record_local(site, doc_ids, np.asarray(scores, dtype=float))
+        if self.warm_path is not None:
+            save_warm_state(self.warm, self.warm_path)
+        job.update(state=STATE_DONE, peer=peer, iterations=int(iterations),
+                   digest=score_digest(scores))
+        self.save()
+
+    def mark_complete(self) -> None:
+        """Seal the round; the next :meth:`open` starts fresh."""
+        self.completed = True
+        self.save()
+
+    # ------------------------------------------------------------------ #
+    def pending_sites(self) -> List[str]:
+        """Sites still needing a local DocRank, in ledger (site) order."""
+        return [site for site, job in self.jobs.items()
+                if job["state"] == STATE_PENDING]
+
+    def done_sites(self) -> List[str]:
+        """Sites whose result is durable, in ledger (site) order."""
+        return [site for site, job in self.jobs.items()
+                if job["state"] == STATE_DONE]
+
+    def owner_of(self, site: str) -> Optional[str]:
+        """The peer currently recorded against a site (may be ``None``)."""
+        return self._job(site)["peer"]  # type: ignore[return-value]
+
+    def iterations_of(self, site: str) -> int:
+        """Recorded power iterations of a done site."""
+        job = self._job(site)
+        if job["state"] != STATE_DONE:
+            raise ProtocolError(f"site {site!r} has no recorded result")
+        return int(job["iterations"])  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------ #
+    def save(self) -> None:
+        """Atomically rewrite the ledger file (no-op for in-memory ledgers)."""
+        if self.path is None:
+            return
+        save_json({
+            "version": LEDGER_VERSION,
+            "graph_digest": self.graph_digest,
+            "params": self.params,
+            "completed": self.completed,
+            "jobs": self.jobs,
+        }, self.path, atomic=True)
+
+    def _job(self, site: str) -> Dict[str, object]:
+        try:
+            return self.jobs[site]
+        except KeyError:
+            raise ProtocolError(
+                f"ledger has no job for site {site!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"JobLedger(path={self.path!r}, "
+                f"done={len(self.done_sites())}/{len(self.jobs)})")

@@ -1,8 +1,21 @@
-"""Simulated peer-to-peer deployment of the layered ranking computation."""
+"""Peer-to-peer deployment of the layered ranking computation.
 
+Historically simulation-only; the message hierarchy now also travels over
+real TCP sockets between OS processes via :mod:`repro.cluster`, encoded by
+the wire codec in :mod:`repro.distributed.codec`.
+"""
+
+from .codec import (
+    decode_frame,
+    decode_message,
+    encode_message,
+    encoded_size,
+    registered_message_types,
+)
 from .coordinator import (
     COORDINATOR,
     Architecture,
+    DeploymentReport,
     DistributedRankingCoordinator,
     SimulationReport,
 )
@@ -35,6 +48,7 @@ from .peer import Peer, local_work_seconds
 __all__ = [
     "COORDINATOR",
     "Architecture",
+    "DeploymentReport",
     "DistributedRankingCoordinator",
     "SimulationReport",
     "CostBreakdown",
@@ -58,4 +72,9 @@ __all__ = [
     "peer_of_site",
     "Peer",
     "local_work_seconds",
+    "decode_frame",
+    "decode_message",
+    "encode_message",
+    "encoded_size",
+    "registered_message_types",
 ]

@@ -20,7 +20,7 @@ benchmark (E9) measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional
+from typing import Dict, List, Literal, Optional, Tuple
 
 import numpy as np
 
@@ -50,9 +50,41 @@ Architecture = Literal["flat", "super-peer"]
 COORDINATOR = "coordinator"
 
 
+def assemble_sitegraph(docgraph: DocGraph, counts) -> SiteGraph:
+    """Build the SiteGraph from SiteLink count triples.
+
+    *counts* is any iterable of ``(source_site, target_site, count)``
+    triples, typically the concatenation of the peers' summaries.  The CSR
+    canonicalisation sums duplicates and orders indices, and integer count
+    sums are exact in floating point, so the result is bitwise independent
+    of triple order and of how the summaries were split across peers —
+    which is why the simulated and live coordinators (and the centralized
+    pipeline's own aggregation) produce the identical SiteRank input.
+    """
+    sites = docgraph.sites()
+    index_of_site = {site: i for i, site in enumerate(sites)}
+    edges = []
+    weights = []
+    for source, target, count in counts:
+        if source not in index_of_site or target not in index_of_site:
+            raise SimulationError(
+                f"summary references unknown site {source!r}->{target!r}")
+        edges.append((index_of_site[source], index_of_site[target]))
+        weights.append(float(count))
+    adjacency = coo_from_edges(edges, len(sites), weights=weights)
+    sizes = docgraph.site_sizes()
+    return SiteGraph(sites=sites, adjacency=adjacency,
+                     site_sizes=[sizes[site] for site in sites])
+
+
 @dataclass
-class SimulationReport:
+class DeploymentReport:
     """Everything a distributed ranking run produced.
+
+    One report type serves both deployments: the in-process network
+    simulator (``mode="simulated"``) and the live TCP cluster of
+    :mod:`repro.cluster` (``mode="live"``).  ``SimulationReport`` remains
+    an alias of this class.
 
     Attributes
     ----------
@@ -93,6 +125,17 @@ class SimulationReport:
     transport:
         How the batch's payloads reached the engine's workers
         (``"in-process"`` / ``"pickle"`` / ``"arena"``).
+    mode:
+        ``"simulated"`` (in-process network model) or ``"live"`` (real
+        TCP peers in separate OS processes).
+    per_peer_wall_seconds:
+        *Measured* wall-clock each peer spent computing, as reported by
+        the peers themselves.  Empty in simulated mode (where
+        ``per_peer_compute_seconds`` carries the modeled times instead).
+    reassigned_sites:
+        Sites that were re-assigned to a surviving peer after their
+        original owner crashed mid-round (live mode fault tolerance;
+        empty in simulated mode and in fault-free live rounds).
     """
 
     ranking: WebRankingResult
@@ -111,6 +154,14 @@ class SimulationReport:
     executor_name: str = "serial"
     dispatch_bytes: int = 0
     transport: str = "in-process"
+    mode: str = "simulated"
+    per_peer_wall_seconds: Dict[str, float] = field(default_factory=dict)
+    reassigned_sites: Tuple[str, ...] = ()
+
+    @property
+    def reassignment_count(self) -> int:
+        """Number of sites that changed owner due to a peer crash."""
+        return len(self.reassigned_sites)
 
     @property
     def parallel_speedup(self) -> float:
@@ -135,6 +186,11 @@ class SimulationReport:
             "sim.serial_compute": self.serial_compute_seconds,
             "sim.coordinator": self.coordinator_seconds,
         }
+
+
+#: Historical name of :class:`DeploymentReport` (pre-live-cluster); kept
+#: as a plain alias so existing imports and isinstance checks keep working.
+SimulationReport = DeploymentReport
 
 
 class DistributedRankingCoordinator:
@@ -205,7 +261,7 @@ class DistributedRankingCoordinator:
                                          tol=tol, max_iter=max_iter)
 
     # ------------------------------------------------------------------ #
-    def run(self) -> SimulationReport:
+    def run(self) -> DeploymentReport:
         """Execute the protocol and return the full report."""
         network = self.network
         compute_seconds: Dict[str, float] = {name: 0.0 for name in self.peers}
@@ -236,7 +292,9 @@ class DistributedRankingCoordinator:
             network.send(ComputeLocalRankRequest(sender=COORDINATOR,
                                                  recipient=peer_name,
                                                  site=task.site,
-                                                 damping=self.damping))
+                                                 damping=self.damping,
+                                                 tol=self.tol,
+                                                 max_iter=self.max_iter))
         executor, n_jobs = self._executor_spec
         resolved, owned = resolve_executor(executor, n_jobs)
         try:
@@ -282,7 +340,7 @@ class DistributedRankingCoordinator:
             ranking = self._aggregate_superpeer(site_result, site_scores)
 
         serial = sum(compute_seconds.values()) + coordinator_work
-        return SimulationReport(
+        return DeploymentReport(
             ranking=ranking,
             siterank=site_result,
             architecture=self.architecture,
@@ -304,21 +362,9 @@ class DistributedRankingCoordinator:
     # ------------------------------------------------------------------ #
     def _assemble_sitegraph(self, summaries) -> SiteGraph:
         """Build the SiteGraph from the peers' SiteLink count summaries."""
-        sites = self.docgraph.sites()
-        index_of_site = {site: i for i, site in enumerate(sites)}
-        edges = []
-        weights = []
-        for summary in summaries:
-            for source, target, count in summary.counts:
-                if source not in index_of_site or target not in index_of_site:
-                    raise SimulationError(
-                        f"summary references unknown site {source!r}->{target!r}")
-                edges.append((index_of_site[source], index_of_site[target]))
-                weights.append(float(count))
-        adjacency = coo_from_edges(edges, len(sites), weights=weights)
-        sizes = self.docgraph.site_sizes()
-        return SiteGraph(sites=sites, adjacency=adjacency,
-                         site_sizes=[sizes[site] for site in sites])
+        return assemble_sitegraph(
+            self.docgraph,
+            (triple for summary in summaries for triple in summary.counts))
 
     def _aggregate_flat(self, site_result: SiteRankResult) -> WebRankingResult:
         """Flat architecture: raw local vectors travel, coordinator weights them."""

@@ -1,24 +1,35 @@
 """Message types of the distributed ranking protocol.
 
-The simulated peer-to-peer deployment (Section 3.2 of the paper: "DocRank
+The peer-to-peer deployment (Section 3.2 of the paper: "DocRank
 computations are performed by individual peers … SiteRank could be a shared
 resource among all peers", or super-peer aggregation) exchanges a small set
-of message types.  Each message estimates its own wire size so that the
-network simulator can account for bandwidth, and the benchmarks can report
-bytes-on-the-wire for the distribution-cost experiment (E9).
+of message types.  The same classes serve two transports:
 
-Sizes are estimates of a compact binary encoding: 8 bytes per float, 4 bytes
-per int, 1 byte per URL character, plus a small fixed header.
+* the **network simulator** (:mod:`repro.distributed.network`) records them
+  in a :class:`MessageLog` to account bandwidth;
+* the **live cluster** (:mod:`repro.cluster`) moves them over TCP through
+  the binary wire codec (:mod:`repro.distributed.codec`).
+
+:attr:`Message.size_bytes` reports the *actual encoded frame size* of the
+codec (JSON envelope + raw little-endian buffers), so simulated byte
+accounting and measured socket traffic agree by construction — benchmark
+E18 asserts exactly that.  :meth:`Message.payload_bytes` remains the
+historical closed-form estimate (8 bytes per float, 4 per int, 1 per URL
+character) used by the analytic cost model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-#: Fixed per-message header estimate (type tag, ids, lengths).
+from .codec import encoded_size, wire_message
+
+#: Fixed per-message header estimate of the closed-form cost model (type
+#: tag, ids, lengths).  The wire codec's real envelope is JSON and varies;
+#: this constant only feeds :meth:`Message.estimated_size_bytes`.
 HEADER_BYTES = 32
 
 
@@ -30,15 +41,30 @@ class Message:
     recipient: str
 
     def payload_bytes(self) -> int:
-        """Estimated payload size in bytes (excluding the header)."""
+        """Closed-form payload estimate in bytes (excluding the header)."""
         return 0
 
     @property
-    def size_bytes(self) -> int:
-        """Estimated total wire size in bytes."""
+    def estimated_size_bytes(self) -> int:
+        """The analytic cost model's total size estimate."""
         return HEADER_BYTES + self.payload_bytes()
 
+    @property
+    def size_bytes(self) -> int:
+        """Actual wire size in bytes: the codec's encoded frame length.
 
+        Cached per instance (messages are frozen, so the size cannot
+        change); the simulator logs thousands of messages per run and must
+        not re-encode on every :attr:`MessageLog.total_bytes` read.
+        """
+        cached = self.__dict__.get("_wire_size")
+        if cached is None:
+            cached = encoded_size(self)
+            object.__setattr__(self, "_wire_size", cached)
+        return cached
+
+
+@wire_message()
 @dataclass(frozen=True)
 class AssignSitesMessage(Message):
     """Coordinator → peer: which web sites the peer is responsible for."""
@@ -49,22 +75,36 @@ class AssignSitesMessage(Message):
         return sum(len(site) for site in self.sites) + 4 * len(self.sites)
 
 
+@wire_message(buffers=(("start", "<f8"),))
 @dataclass(frozen=True)
 class ComputeLocalRankRequest(Message):
     """Coordinator/super-peer → peer: compute the local DocRank of one site.
 
-    Only the site identifier travels; the peer already holds its own local
-    link structure (it *is* the web server of that site), which is the whole
-    point of the decomposition.
+    Only the site identifier and solver parameters travel; the peer
+    already holds its own local link structure (it *is* the web server of
+    that site), which is the whole point of the decomposition.  *start*
+    optionally seeds the peer's power iteration with a previously
+    converged vector (warm start, in the site's local document order) —
+    empty means cold start.
     """
 
     site: str = ""
     damping: float = 0.85
+    tol: float = 1e-10
+    max_iter: int = 1000
+    start: Tuple[float, ...] = ()
 
     def payload_bytes(self) -> int:
-        return len(self.site) + 8
+        return len(self.site) + 8 + 8 * len(self.start)
+
+    def start_vector(self) -> Optional[np.ndarray]:
+        """The warm-start vector as a numpy array (``None`` when cold)."""
+        if not self.start:
+            return None
+        return np.asarray(self.start, dtype=float)
 
 
+@wire_message(buffers=(("doc_ids", "<i8"), ("scores", "<f8")))
 @dataclass(frozen=True)
 class LocalRankResult(Message):
     """Peer → aggregator: the local DocRank vector of one site."""
@@ -83,6 +123,7 @@ class LocalRankResult(Message):
         return np.asarray(self.scores, dtype=float)
 
 
+@wire_message()
 @dataclass(frozen=True)
 class SiteLinkSummary(Message):
     """Peer → coordinator: outgoing SiteLink counts of the peer's sites.
@@ -94,12 +135,17 @@ class SiteLinkSummary(Message):
     """
 
     counts: Tuple[Tuple[str, str, int], ...] = ()
+    #: Sites the summary covers (including sites with no outgoing links);
+    #: the live coordinator uses this to track summary coverage across
+    #: crashed-peer re-assignments.
+    sites: Tuple[str, ...] = ()
 
     def payload_bytes(self) -> int:
         return sum(len(source) + len(target) + 4
                    for source, target, _count in self.counts)
 
 
+@wire_message(buffers=(("scores", "<f8"),))
 @dataclass(frozen=True)
 class SiteRankAnnouncement(Message):
     """Coordinator → peers: the global SiteRank vector (a shared resource)."""
@@ -111,6 +157,7 @@ class SiteRankAnnouncement(Message):
         return sum(len(site) for site in self.sites) + 8 * len(self.scores)
 
 
+@wire_message(buffers=(("doc_ids", "<i8"), ("scores", "<f8")))
 @dataclass(frozen=True)
 class AggregatedRankShard(Message):
     """Super-peer → coordinator: the site-weighted scores of its sites."""
@@ -124,13 +171,23 @@ class AggregatedRankShard(Message):
 
 @dataclass
 class MessageLog:
-    """Accumulates traffic statistics for a simulation run."""
+    """Accumulates traffic statistics for a deployment run.
+
+    Sizes are the codec's actual encoded frame sizes.  The live cluster
+    passes the byte count it measured at the socket via *wire_bytes* so
+    logged traffic is never re-encoded; the simulator lets
+    :attr:`Message.size_bytes` (the same encoding) fill it in.
+    """
 
     messages: List[Message] = field(default_factory=list)
+    sizes: List[int] = field(default_factory=list)
 
-    def record(self, message: Message) -> None:
-        """Append a message to the log."""
+    def record(self, message: Message,
+               wire_bytes: Optional[int] = None) -> None:
+        """Append a message (and its on-the-wire size) to the log."""
         self.messages.append(message)
+        self.sizes.append(int(wire_bytes) if wire_bytes is not None
+                          else message.size_bytes)
 
     @property
     def count(self) -> int:
@@ -139,8 +196,8 @@ class MessageLog:
 
     @property
     def total_bytes(self) -> int:
-        """Total estimated bytes on the wire."""
-        return sum(message.size_bytes for message in self.messages)
+        """Total bytes on the wire."""
+        return sum(self.sizes)
 
     def count_by_type(self) -> Dict[str, int]:
         """Number of messages per message class name."""
@@ -153,7 +210,7 @@ class MessageLog:
     def bytes_by_type(self) -> Dict[str, int]:
         """Bytes on the wire per message class name."""
         totals: Dict[str, int] = {}
-        for message in self.messages:
+        for message, size in zip(self.messages, self.sizes):
             name = type(message).__name__
-            totals[name] = totals.get(name, 0) + message.size_bytes
+            totals[name] = totals.get(name, 0) + size
         return totals

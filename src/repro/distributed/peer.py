@@ -19,7 +19,7 @@ Python's actual speed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -77,14 +77,18 @@ class Peer:
     local_results: Dict[str, LocalDocRank] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
-    def summarize_sitelinks(self, recipient: str) -> SiteLinkSummary:
-        """Count the outgoing SiteLinks of this peer's sites.
+    def summarize_sitelinks(self, recipient: str,
+                            sites: Optional[List[str]] = None
+                            ) -> SiteLinkSummary:
+        """Count the outgoing SiteLinks of (a subset of) this peer's sites.
 
         Only counts leave the peer — no rank values — which is what allows
         the SiteRank computation to proceed in parallel with the local
-        DocRanks.
+        DocRanks.  *sites* restricts the summary (the live cluster uses
+        this for supplemental summaries after a crashed-peer
+        re-assignment); the default covers every owned site.
         """
-        own_sites = set(self.sites)
+        own_sites = set(self.sites if sites is None else sites)
         counts: Dict[Tuple[str, str], int] = {}
         for source, target in self.docgraph.edges():
             source_site = self.docgraph.site_of_document(source)
@@ -98,7 +102,8 @@ class Peer:
         summary = tuple((source, target, count)
                         for (source, target), count in sorted(counts.items()))
         return SiteLinkSummary(sender=self.name, recipient=recipient,
-                               counts=summary)
+                               counts=summary,
+                               sites=tuple(sorted(own_sites)))
 
     # ------------------------------------------------------------------ #
     def compute_local_rank(self, site: str) -> Tuple[LocalDocRank, float]:

@@ -652,6 +652,41 @@ class RankingPlan:
                 return task
         raise ValidationError(f"plan has no task for site {site!r}")
 
+    def partition(self, assignment: Dict[str, Sequence[str]]
+                  ) -> Dict[str, List[LocalRankTask]]:
+        """Split the step-3 tasks along a peer → sites *assignment*.
+
+        The scheduling hook of the distributed deployments: the cluster
+        coordinator derives each peer's work queue from the very same plan
+        the centralized pipeline executes, so a live round computes the
+        same task set (same subgraphs, same solver parameters) as the
+        serial reference — the precondition for the bitwise-equality
+        checks in benchmark E18.  The assignment must cover every site of
+        the plan exactly once.
+        """
+        task_of_site = {task.site: task for task in self.site_tasks}
+        partitioned: Dict[str, List[LocalRankTask]] = {}
+        seen: Dict[str, str] = {}
+        for peer, sites in assignment.items():
+            queue = []
+            for site in sites:
+                if site in seen:
+                    raise ValidationError(
+                        f"site {site!r} assigned to both {seen[site]!r} "
+                        f"and {peer!r}")
+                if site not in task_of_site:
+                    raise ValidationError(
+                        f"assignment references unknown site {site!r}")
+                seen[site] = peer
+                queue.append(task_of_site[site])
+            partitioned[peer] = queue
+        missing = set(task_of_site) - set(seen)
+        if missing:
+            raise ValidationError(
+                f"assignment leaves {len(missing)} site(s) unowned "
+                f"(e.g. {sorted(missing)[0]!r})")
+        return partitioned
+
     def with_warm_state(self, warm: WarmStartState) -> "RankingPlan":
         """A copy of this plan re-seeded from *warm* (tasks otherwise equal)."""
         tasks = [replace(task,

@@ -113,6 +113,20 @@ class WarmStartState:
         previous_doc_ids, vector = cached
         return align_warm_start(previous_doc_ids, vector, doc_ids)
 
+    def local_vector(self, site: str
+                     ) -> Optional[Tuple[Tuple[int, ...], np.ndarray]]:
+        """The exact cached ``(doc_ids, vector)`` of one site, unaligned.
+
+        Unlike :meth:`local_start` this performs no re-alignment or
+        renormalisation — it is the recovery accessor the cluster ledger
+        uses to restore a persisted result bitwise.
+        """
+        cached = self._site_vectors.get(site)
+        if cached is None:
+            return None
+        doc_ids, vector = cached
+        return doc_ids, vector.copy()
+
     def siterank_start(self, sites: Sequence[str]) -> Optional[np.ndarray]:
         """Start vector for the SiteRank (``None`` → cold start).
 

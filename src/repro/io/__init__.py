@@ -10,6 +10,7 @@ from .config_io import (
 )
 from .datasets import SPAMMY_WEB_EDGES, TOY_WEB_EDGES, spammy_web, toy_web
 from .edgelist import (
+    docgraph_digest,
     iter_url_edges,
     read_docgraph,
     read_url_edgelist,
@@ -36,6 +37,7 @@ __all__ = [
     "TOY_WEB_EDGES",
     "spammy_web",
     "toy_web",
+    "docgraph_digest",
     "iter_url_edges",
     "read_docgraph",
     "read_url_edgelist",

@@ -12,6 +12,7 @@ Two plain-text formats are supported:
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Callable, Iterable, Iterator, Optional, TextIO, Tuple
 
@@ -68,6 +69,26 @@ def write_docgraph(docgraph: DocGraph, path: str | os.PathLike) -> None:
         handle.write("*EDGES\n")
         for source, target in docgraph.edges():
             handle.write(f"{source}\t{target}\n")
+
+
+def docgraph_digest(docgraph: DocGraph) -> str:
+    """A short hex digest identifying a DocGraph's exact content.
+
+    Hashes the same lossless record stream :func:`write_docgraph` emits
+    (documents with sites and dynamic flags, then edges), so two graphs
+    have equal digests iff they would round-trip to the same file.  The
+    cluster subsystem uses it to refuse peers ranking a different web than
+    the coordinator and to validate job-ledger resumes.
+    """
+    digest = hashlib.sha256()
+    for document in docgraph.documents():
+        digest.update(f"{document.doc_id}\t{document.site}\t"
+                      f"{int(document.is_dynamic)}\t{document.url}\n"
+                      .encode("utf-8"))
+    digest.update(b"*EDGES\n")
+    for source, target in docgraph.edges():
+        digest.update(f"{source}\t{target}\n".encode("utf-8"))
+    return digest.hexdigest()[:16]
 
 
 def read_docgraph(path: str | os.PathLike) -> DocGraph:

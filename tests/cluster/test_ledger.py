@@ -1,0 +1,135 @@
+"""Tests for the durable job ledger (crash-resumable coordinator rounds)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster.ledger import (
+    LEDGER_VERSION,
+    STATE_DONE,
+    STATE_PENDING,
+    JobLedger,
+    score_digest,
+)
+from repro.exceptions import ProtocolError
+
+SITES = ["a.example", "b.example", "c.example"]
+PARAMS = {"damping": 0.85, "tol": 1e-10, "max_iter": 1000}
+DIGEST = "feedc0ffee123456"
+
+
+def open_ledger(path, **overrides):
+    return JobLedger.open(path,
+                          graph_digest=overrides.get("graph_digest", DIGEST),
+                          params=overrides.get("params", PARAMS),
+                          sites=overrides.get("sites", SITES))
+
+
+class TestFreshLedger:
+    def test_fresh_open_creates_the_file(self, tmp_path):
+        path = tmp_path / "round.json"
+        ledger = open_ledger(path)
+        assert os.path.exists(path)
+        assert ledger.pending_sites() == SITES
+        assert ledger.done_sites() == []
+        assert ledger.resumed_sites == []
+
+    def test_in_memory_mode_touches_no_files(self, tmp_path):
+        ledger = open_ledger(None)
+        ledger.record_result("a.example", "peer-0000", [1, 2], (0.5, 0.5), 7)
+        ledger.mark_complete()
+        assert ledger.warm_path is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_assignment_tracks_the_owner(self, tmp_path):
+        ledger = open_ledger(tmp_path / "round.json")
+        ledger.record_assignment("a.example", "peer-0001")
+        assert ledger.owner_of("a.example") == "peer-0001"
+        assert "a.example" in ledger.pending_sites()
+
+    def test_unknown_site_rejected(self, tmp_path):
+        ledger = open_ledger(tmp_path / "round.json")
+        with pytest.raises(ProtocolError):
+            ledger.record_assignment("nope.example", "peer-0000")
+
+
+class TestResume:
+    def test_resume_recovers_done_sites_bitwise(self, tmp_path):
+        path = tmp_path / "round.json"
+        first = open_ledger(path)
+        scores = (0.25, 0.75)
+        first.record_result("b.example", "peer-0000", [10, 11], scores, 42)
+
+        resumed = open_ledger(path)
+        assert resumed.resumed_sites == ["b.example"]
+        assert resumed.pending_sites() == ["a.example", "c.example"]
+        assert resumed.iterations_of("b.example") == 42
+        doc_ids, vector = resumed.warm.local_vector("b.example")
+        assert doc_ids == (10, 11)
+        assert np.array_equal(vector, np.asarray(scores))
+
+    def test_completed_round_starts_fresh(self, tmp_path):
+        path = tmp_path / "round.json"
+        first = open_ledger(path)
+        first.record_result("a.example", "peer-0000", [1], (1.0,), 5)
+        first.mark_complete()
+        resumed = open_ledger(path)
+        assert resumed.resumed_sites == []
+        assert resumed.pending_sites() == SITES
+
+    def test_parameter_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "round.json"
+        first = open_ledger(path)
+        first.record_result("a.example", "peer-0000", [1], (1.0,), 5)
+        resumed = open_ledger(path, params={**PARAMS, "damping": 0.9})
+        assert resumed.resumed_sites == []
+
+    def test_graph_digest_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "round.json"
+        first = open_ledger(path)
+        first.record_result("a.example", "peer-0000", [1], (1.0,), 5)
+        resumed = open_ledger(path, graph_digest="0000000000000000")
+        assert resumed.resumed_sites == []
+
+    def test_site_set_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "round.json"
+        first = open_ledger(path)
+        first.record_result("a.example", "peer-0000", [1], (1.0,), 5)
+        resumed = open_ledger(path, sites=SITES + ["d.example"])
+        assert resumed.resumed_sites == []
+        assert len(resumed.pending_sites()) == 4
+
+    def test_done_without_warm_vector_demoted_to_pending(self, tmp_path):
+        path = tmp_path / "round.json"
+        first = open_ledger(path)
+        first.record_result("a.example", "peer-0000", [1], (1.0,), 5)
+        os.remove(first.warm_path)  # crash between state and vector writes
+        resumed = open_ledger(path)
+        assert resumed.resumed_sites == []
+        assert "a.example" in resumed.pending_sites()
+
+    def test_corrupt_ledger_raises(self, tmp_path):
+        path = tmp_path / "round.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ProtocolError):
+            open_ledger(path)
+
+
+class TestOnDiskShape:
+    def test_ledger_file_is_versioned_json(self, tmp_path):
+        path = tmp_path / "round.json"
+        ledger = open_ledger(path)
+        ledger.record_result("c.example", "peer-0002", [7], (1.0,), 3)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == LEDGER_VERSION
+        assert payload["graph_digest"] == DIGEST
+        assert payload["completed"] is False
+        assert payload["jobs"]["c.example"]["state"] == STATE_DONE
+        assert payload["jobs"]["a.example"]["state"] == STATE_PENDING
+        assert payload["jobs"]["c.example"]["digest"] == score_digest((1.0,))
+
+    def test_score_digest_is_content_addressed(self):
+        assert score_digest((0.5, 0.5)) == score_digest([0.5, 0.5])
+        assert score_digest((0.5, 0.5)) != score_digest((0.5, 0.25))
