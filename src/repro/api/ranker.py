@@ -334,7 +334,8 @@ class Ranker:
 
     def serve(self, *, docgraph: Optional[DocGraph] = None,
               corpus: Optional[Dict[int, str]] = None,
-              index=None, incremental=False):
+              index=None, incremental=False, replicas: int = 1,
+              drain_grace: float = 0.0):
         """A :class:`~repro.serving.RankingService` over this config's ranking.
 
         Parameters
@@ -353,9 +354,24 @@ class Ranker:
             holds.  Pass an existing
             :class:`~repro.web.incremental.IncrementalLayeredRanker` to
             attach to it instead (you keep ownership).
+        replicas:
+            Above ``1``, returns a
+            :class:`~repro.serving.replicas.ReplicaSet` of that many
+            service replicas behind a consistent-hash router instead of a
+            single service; incremental updates then roll across the
+            replicas one drain at a time, so queries keep flowing during
+            rebuilds.  The set has the same query surface as a service.
+        drain_grace:
+            Seconds a draining replica lingers before its rebuild during
+            rolling updates (``replicas > 1`` only) — a hold-off for
+            load balancers polling ``/readyz``.
         """
+        from ..serving.replicas import ReplicaSet
         from ..serving.service import RankingService
         from ..web.incremental import IncrementalLayeredRanker
+
+        if replicas < 1:
+            raise ValidationError("replicas must be at least 1")
 
         serving_kwargs = dict(cache_size=self.config.cache_size,
                               rule=self.config.rule,
@@ -384,6 +400,16 @@ class Ranker:
             service._owns_executor = owns_executor
             return service
 
+        def _adopt_set(replica_set: "ReplicaSet") -> "ReplicaSet":
+            # All replicas share one rebuild pool; the set (not any one
+            # replica's service) owns it, so it survives until close().
+            replica_set._shared_executor = shard_executor
+            replica_set._owns_executor = owns_executor
+            return replica_set
+
+        replica_kwargs = dict(serving_kwargs, n_replicas=replicas,
+                              drain_grace=drain_grace)
+
         try:
             if incremental is not False and index is not None:
                 # from_incremental builds its index from a corpus only;
@@ -400,23 +426,34 @@ class Ranker:
                         "different DocGraph than docgraph=; an attached "
                         "service always serves the ranker's graph, so "
                         "pass one or the other")
+                if replicas > 1:
+                    return _adopt_set(ReplicaSet.from_incremental(
+                        incremental, corpus=corpus, **replica_kwargs))
                 return _adopt(RankingService.from_incremental(
                     incremental, corpus=corpus, **serving_kwargs))
             if incremental:
                 ranker = self.incremental(docgraph)
                 try:
-                    service = RankingService.from_incremental(
-                        ranker, corpus=corpus, **serving_kwargs)
+                    if replicas > 1:
+                        served = ReplicaSet.from_incremental(
+                            ranker, corpus=corpus, **replica_kwargs)
+                    else:
+                        served = RankingService.from_incremental(
+                            ranker, corpus=corpus, **serving_kwargs)
                 except BaseException:
                     ranker.close()  # nobody else holds this ranker's pool
                     raise
-                # The service is the only handle to this ranker (and to
-                # any worker pool it owns): service.close() releases both.
-                service._owns_ranker = True
-                return _adopt(service)
+                # The service (or set) is the only handle to this ranker
+                # (and to any worker pool it owns): close() releases both.
+                served._owns_ranker = True
+                return _adopt_set(served) if replicas > 1 else _adopt(served)
             graph = self._graph_or_fitted(docgraph)
             if self._result is None or graph is not self._docgraph:
                 self.fit(graph)
+            if replicas > 1:
+                return _adopt_set(ReplicaSet.from_ranking(
+                    self.result_.ranking, graph, corpus=corpus,
+                    index=index, **replica_kwargs))
             return _adopt(RankingService.from_ranking(
                 self.result_.ranking, graph, corpus=corpus, index=index,
                 **serving_kwargs))

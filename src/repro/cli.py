@@ -74,6 +74,7 @@ import json
 import os
 import sys
 import tempfile
+import time
 from typing import List, Optional
 
 from . import __version__
@@ -95,7 +96,7 @@ from .linalg.power_iteration import (
 )
 from .ir import synthesize_corpus
 from .metrics import kendall_tau, top_k_contamination, top_k_overlap
-from .serving import RankingHTTPServer
+from .serving import AsyncRankingServer, FrontendConfig, RankingHTTPServer
 from .web import DocGraph
 
 #: Exit code of anticipated failures (bad paths, malformed inputs/values).
@@ -379,29 +380,46 @@ def _build_service(args: argparse.Namespace):
     if state_path:
         ranker.save_state(state_path)
     corpus = synthesize_corpus(graph, seed=args.seed)
-    service = ranker.serve(corpus=corpus)
+    service = ranker.serve(corpus=corpus,
+                           replicas=getattr(args, "replicas", 1))
     return graph, service, config
 
 
 def _command_serve(args: argparse.Namespace) -> int:
     graph, service, _config = _build_service(args)
-    server = RankingHTTPServer(service, host=args.host, port=args.port,
-                               verbose=args.verbose or args.access_log)
+    verbose = args.verbose or args.access_log
+    if args.async_frontend:
+        config = FrontendConfig(coalesce_window=args.coalesce_window,
+                                max_inflight=args.max_inflight)
+        server = AsyncRankingServer(service, host=args.host, port=args.port,
+                                    config=config, verbose=verbose)
+        mode = (f"async front end, {args.replicas} replica(s), "
+                f"coalesce window {config.coalesce_window * 1000:.1f}ms, "
+                f"max in-flight {config.max_inflight}")
+        thread = None
+    else:
+        server = RankingHTTPServer(service, host=args.host, port=args.port,
+                                   verbose=verbose)
+        mode = f"threaded, {args.replicas} replica(s)"
+        thread = server.start_background()
     print(f"graph: {graph.n_documents} documents over {graph.n_sites} sites")
-    print(f"serving on {server.url}  "
+    print(f"serving on {server.url}  [{mode}]  "
           f"(endpoints: /top /query /score /stats /health /healthz "
-          f"/metrics)", flush=True)
-    thread = server.start_background()
+          f"/readyz /metrics)", flush=True)
     try:
         if args.duration is not None:
-            thread.join(args.duration)
+            if thread is not None:
+                thread.join(args.duration)
+            else:
+                time.sleep(args.duration)
         else:  # pragma: no cover - interactive mode
-            while thread.is_alive():
-                thread.join(1.0)
+            while True:
+                time.sleep(1.0)
     except KeyboardInterrupt:  # pragma: no cover - interactive mode
         pass
     finally:
         server.close()
+        service.close()
     print("server stopped")
     return 0
 
@@ -688,6 +706,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None,
                        help="serve for N seconds then exit "
                             "(default: until interrupted)")
+    serve.add_argument("--async", action="store_true", dest="async_frontend",
+                       help="serve through the asyncio front end "
+                            "(request coalescing + admission control) "
+                            "instead of the thread-per-connection server")
+    serve.add_argument("--replicas", type=int, default=1, metavar="N",
+                       help="serve N score-store replicas behind a "
+                            "consistent-hash router; incremental updates "
+                            "roll across them with zero downtime")
+    serve.add_argument("--max-inflight", type=int, default=256, metavar="M",
+                       dest="max_inflight",
+                       help="admission-control bound of the async front "
+                            "end: requests beyond M concurrent are shed "
+                            "with 429 + Retry-After")
+    serve.add_argument("--coalesce-window", type=float, default=0.002,
+                       metavar="SECONDS", dest="coalesce_window",
+                       help="how long the async front end waits for a "
+                            "burst to pile up before issuing one "
+                            "deduplicated batch (0 still coalesces "
+                            "arrivals during an in-flight batch)")
     serve.add_argument("--state", metavar="PATH",
                        help="warm-start state file: loaded on startup when "
                             "present, written after ranking, so a restarted "

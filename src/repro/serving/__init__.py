@@ -16,7 +16,11 @@ partition at serving time:
   including a batched ``query_many`` and a subscription to
   :class:`~repro.web.incremental.IncrementalLayeredRanker` updates;
 * :mod:`repro.serving.httpd` — :class:`RankingHTTPServer`, a stdlib
-  JSON-over-HTTP endpoint.
+  JSON-over-HTTP endpoint;
+* :mod:`repro.serving.replicas` — :class:`ReplicaSet`, N service replicas
+  behind a consistent-hash ring with rolling zero-downtime rebuilds;
+* :mod:`repro.serving.frontend` — :class:`AsyncRankingServer`, the asyncio
+  high-QPS front end with request coalescing and admission control.
 
 Quickstart::
 
@@ -33,12 +37,23 @@ Quickstart::
 """
 
 from .cache import GLOBAL_TAG, CacheStats, QueryCache
+from .frontend import (
+    AdmissionController,
+    AsyncRankingServer,
+    DeadlineExceeded,
+    FrontendConfig,
+    Overloaded,
+    QueryCoalescer,
+    serve_frontend,
+)
 from .httpd import (
     RankingHTTPServer,
     RankingRequestHandler,
     enable_access_log,
+    route_request,
     serve_ranking,
 )
+from .replicas import HashRing, Replica, ReplicaSet
 from .service import RankingService
 from .store import ScoredDocument, ShardedScoreStore
 from .topk import TopKEngine, naive_top_k
@@ -47,10 +62,21 @@ __all__ = [
     "GLOBAL_TAG",
     "CacheStats",
     "QueryCache",
+    "AdmissionController",
+    "AsyncRankingServer",
+    "DeadlineExceeded",
+    "FrontendConfig",
+    "Overloaded",
+    "QueryCoalescer",
+    "serve_frontend",
     "RankingHTTPServer",
     "RankingRequestHandler",
     "enable_access_log",
+    "route_request",
     "serve_ranking",
+    "HashRing",
+    "Replica",
+    "ReplicaSet",
     "RankingService",
     "ScoredDocument",
     "ShardedScoreStore",

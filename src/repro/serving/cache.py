@@ -7,13 +7,33 @@ every entry carries a set of *tags* — in practice the web sites whose
 scores the result depends on — and an incremental update invalidates by
 tag, evicting exactly the entries the changed site could have altered while
 keeping every other hot result warm.
+
+Under concurrency the cache also coordinates *misses*: a burst of requests
+for the same cold key (a cache stampede) would otherwise each recompute the
+result.  :meth:`QueryCache.single_flight` gates computation per key — the
+first caller computes, every concurrent caller for the same key blocks on
+the in-flight computation and shares its value — so a stampede costs one
+computation regardless of fan-in.  All entry operations are additionally
+guarded by an internal lock, so the cache is safe to share across the
+serving front end's threads without external locking.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..exceptions import ValidationError
 
@@ -35,12 +55,17 @@ class CacheStats:
         Entries dropped by the LRU policy (capacity pressure).
     invalidations:
         Entries dropped explicitly (by key, tag or ``clear``).
+    flights_coalesced:
+        Lookups that, instead of recomputing a cold key, waited on another
+        caller's in-flight computation (see
+        :meth:`QueryCache.single_flight`).
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    flights_coalesced: int = 0
 
     @property
     def lookups(self) -> int:
@@ -59,11 +84,28 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "flights_coalesced": self.flights_coalesced,
                 "hit_rate": self.hit_rate}
 
 
+class _Flight:
+    """One in-flight computation other callers of the same key wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
 class QueryCache:
-    """A bounded LRU mapping from query keys to served results."""
+    """A bounded LRU mapping from query keys to served results.
+
+    Thread-safe: entry operations are guarded by an internal lock, and
+    :meth:`single_flight` / :meth:`get_or_compute` additionally coordinate
+    concurrent misses on the same key so a stampede computes once.
+    """
 
     def __init__(self, maxsize: int = 1024) -> None:
         if maxsize <= 0:
@@ -72,6 +114,11 @@ class QueryCache:
         self._entries: "OrderedDict[Hashable, Tuple[Any, Set[Hashable]]]" = \
             OrderedDict()
         self._by_tag: Dict[Hashable, Set[Hashable]] = {}
+        # Reentrant: entry operations are routinely performed while the
+        # owning service already holds its own coarse lock, and a supplier
+        # running under single_flight() calls back into get()/put().
+        self._lock = threading.RLock()
+        self._flights: Dict[Hashable, _Flight] = {}
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------ #
@@ -89,65 +136,145 @@ class QueryCache:
 
     def keys(self) -> List[Hashable]:
         """Current keys, least recently used first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     # ------------------------------------------------------------------ #
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up a key, counting the hit/miss and refreshing recency."""
-        entry = self._entries.get(key, _MISSING)
-        if entry is _MISSING:
-            self.stats.misses += 1
-            return default
-        self.stats.hits += 1
-        self._entries.move_to_end(key)
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self.stats.misses += 1
+                return default
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry[0]
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Non-counting lookup: no hit/miss accounting, no recency refresh.
+
+        Used for the post-flight double-check so a supplier that finds the
+        entry already filled does not distort the hit-rate statistics.
+        """
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            return default if entry is _MISSING else entry[0]
 
     def put(self, key: Hashable, value: Any, *,
             tags: Iterable[Hashable] = ()) -> None:
         """Store a result under *key*, tagged for later invalidation."""
-        if key in self._entries:
-            self._unlink(key)
-        tag_set = set(tags)
-        self._entries[key] = (value, tag_set)
-        self._entries.move_to_end(key)
-        for tag in tag_set:
-            self._by_tag.setdefault(tag, set()).add(key)
-        while len(self._entries) > self._maxsize:
-            oldest, _entry = self._entries.popitem(last=False)
-            self._drop_tags(oldest, _entry[1])
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._unlink(key)
+            tag_set = set(tags)
+            self._entries[key] = (value, tag_set)
+            self._entries.move_to_end(key)
+            for tag in tag_set:
+                self._by_tag.setdefault(tag, set()).add(key)
+            while len(self._entries) > self._maxsize:
+                oldest, _entry = self._entries.popitem(last=False)
+                self._drop_tags(oldest, _entry[1])
+                self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # Stampede control
+    # ------------------------------------------------------------------ #
+    def single_flight(self, key: Hashable,
+                      supplier: Callable[[], Any]) -> Any:
+        """Run *supplier* at most once across concurrent callers of *key*.
+
+        The first caller (the leader) runs *supplier* and every caller
+        that arrives while it is in flight blocks until the leader
+        finishes, then shares its value — or its exception, which is
+        re-raised in every waiter.  The cache's entries are **not**
+        consulted here; suppliers typically do their own
+        :meth:`get`/:meth:`put` (see :meth:`get_or_compute` for the
+        packaged pattern).  The supplier runs *outside* the cache lock, so
+        it is free to take other locks and to call back into the cache.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+        if not leader:
+            flight.event.wait()
+            with self._lock:
+                self.stats.flights_coalesced += 1
+            if flight.error is not None:
+                raise flight.error
+            return flight.value
+        try:
+            flight.value = supplier()
+            return flight.value
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any], *,
+                       tags: Iterable[Hashable] = ()) -> Any:
+        """Cached lookup with per-key in-flight gating on misses.
+
+        A hit returns the cached value.  On a miss, concurrent callers of
+        the same key are coalesced: one runs *compute*, stores the result
+        under *tags*, and everyone shares the value.
+        """
+        cached = self.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+
+        def fill() -> Any:
+            # The flight may have been won after another leader already
+            # filled the entry — re-check (without recounting a miss).
+            cached = self.peek(key, _MISSING)
+            if cached is not _MISSING:
+                return cached
+            value = compute()
+            self.put(key, value, tags=tags)
+            return value
+
+        return self.single_flight(key, fill)
 
     # ------------------------------------------------------------------ #
     # Invalidation
     # ------------------------------------------------------------------ #
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it existed."""
-        if key not in self._entries:
-            return False
-        self._unlink(key)
-        self.stats.invalidations += 1
-        return True
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._unlink(key)
+            self.stats.invalidations += 1
+            return True
 
     def invalidate_tag(self, tag: Hashable) -> int:
         """Drop every entry carrying *tag*; returns how many were dropped."""
-        keys = self._by_tag.pop(tag, None)
-        if not keys:
-            return 0
-        dropped = 0
-        for key in list(keys):
-            if key in self._entries:
-                self._unlink(key)
-                dropped += 1
-        self.stats.invalidations += dropped
-        return dropped
+        with self._lock:
+            keys = self._by_tag.pop(tag, None)
+            if not keys:
+                return 0
+            dropped = 0
+            for key in list(keys):
+                if key in self._entries:
+                    self._unlink(key)
+                    dropped += 1
+            self.stats.invalidations += dropped
+            return dropped
 
     def clear(self) -> int:
         """Drop everything; returns how many entries were dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self._by_tag.clear()
-        self.stats.invalidations += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._by_tag.clear()
+            self.stats.invalidations += dropped
+            return dropped
 
     # ------------------------------------------------------------------ #
     def _unlink(self, key: Hashable) -> None:

@@ -22,6 +22,11 @@ Routes (all ``GET``, all returning ``application/json``):
     Liveness probe.
 ``/healthz``
     Structured health: store generation, shard count, uptime.
+``/readyz[?replica=name]``
+    Readiness (distinct from liveness): ``503`` while the queried replica
+    is draining for a rolling rebuild; always ``200`` for a single
+    (double-buffered) service.  Backed by ``ReplicaSet.readiness()`` when
+    the server fronts a replica set.
 ``/metrics``
     The process telemetry registry (:mod:`repro.obs`) in Prometheus text
     exposition format — the one non-JSON route.
@@ -62,7 +67,7 @@ ACCESS_LOGGER.setLevel(logging.WARNING)
 #: Endpoints the per-request metrics label by path; anything else (404s,
 #: scanners) is folded into ``other`` to bound label cardinality.
 _KNOWN_ENDPOINTS = frozenset(
-    {"/health", "/healthz", "/stats", "/top", "/query", "/score",
+    {"/health", "/healthz", "/readyz", "/stats", "/top", "/query", "/score",
      "/metrics"})
 
 
@@ -94,6 +99,210 @@ class _ClientError(Exception):
         self.status = status
 
 
+# --------------------------------------------------------------------- #
+# Parameter parsing (module-level: shared with the async front end)
+# --------------------------------------------------------------------- #
+def _str_param(params: Dict[str, List[str]], name: str) -> Optional[str]:
+    values = params.get(name)
+    return values[-1] if values else None
+
+
+def _int_param(params: Dict[str, List[str]], name: str, *,
+               default: Optional[int] = None,
+               required: bool = False) -> Optional[int]:
+    raw = _str_param(params, name)
+    if raw is None:
+        if required:
+            raise _ClientError(400, f"missing required parameter {name!r}")
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise _ClientError(400,
+                           f"parameter {name!r} must be an integer, "
+                           f"got {raw!r}") from None
+
+
+def _float_param(params: Dict[str, List[str]],
+                 name: str) -> Optional[float]:
+    raw = _str_param(params, name)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise _ClientError(400,
+                           f"parameter {name!r} must be a number, "
+                           f"got {raw!r}") from None
+
+
+def _hit_payload(service, hit) -> Dict[str, Any]:
+    payload = {"doc_id": hit.doc_id,
+               "combined_score": hit.combined_score,
+               "query_score": hit.query_score,
+               "link_score": hit.link_score}
+    record = service.describe(hit.doc_id)
+    if record is not None:
+        payload["url"] = record.url
+        payload["site"] = record.site
+    return payload
+
+
+def parse_query_request(params: Dict[str, List[str]]
+                        ) -> Tuple[List[str], Optional[int], Optional[str],
+                                   Optional[float], Optional[str]]:
+    """Validate a ``/query`` request's parameters.
+
+    Returns ``(queries, k, rule, weight, segment)``; raises
+    :class:`_ClientError` on malformed input.  Shared by the threaded
+    handler and the async front end so both reject and accept the exact
+    same requests.
+    """
+    queries = params.get("q")
+    if not queries:
+        raise _ClientError(400, "missing required parameter 'q'")
+    k = _int_param(params, "k", default=10)
+    rule = _str_param(params, "rule")
+    if rule not in (None, "linear", "rrf"):
+        raise _ClientError(400, f"unknown rule {rule!r}")
+    weight = _float_param(params, "weight")
+    segment = _str_param(params, "segment")
+    return queries, k, rule, weight, segment
+
+
+def query_response(service, queries: List[str], batches,
+                   k: Optional[int],
+                   segment: Optional[str]) -> Dict[str, Any]:
+    """The ``/query`` response body for already-computed result batches.
+
+    Factored out of the route so the async front end can hand in batches
+    produced by the request coalescer and still emit a body byte-identical
+    to the threaded server's.
+    """
+    results = [{"query": text,
+                "hits": [_hit_payload(service, hit) for hit in hits]}
+               for text, hits in zip(queries, batches)]
+    payload: Dict[str, Any] = {"k": k, "results": results}
+    if segment is not None:
+        payload["segment"] = segment
+    return payload
+
+
+def route_request(service, path: str, params: Dict[str, List[str]], *,
+                  uptime_seconds: float = 0.0
+                  ) -> Tuple[Dict[str, Any], int]:
+    """Translate one GET request into service calls; the shared router.
+
+    *service* is anything with the :class:`RankingService` query surface —
+    a single service or a :class:`~repro.serving.replicas.ReplicaSet`.
+    Both HTTP servers (threaded and asyncio) route through this function,
+    so their JSON responses are byte-identical; raises
+    :class:`_ClientError` for 4xx/5xx conditions.
+    """
+    if path == "/health":
+        return {"status": "ok"}, 200
+    if path == "/healthz":
+        store = service.store
+        return {"status": "ok",
+                "generation": store.generation,
+                "shards": store.n_shards,
+                "documents": store.n_documents,
+                "queries_served": service.queries_served,
+                "uptime_seconds": uptime_seconds}, 200
+    if path == "/readyz":
+        # Readiness is distinct from liveness: a healthy process may
+        # still be draining replicas for a rolling rebuild.  A single
+        # service is always ready (its rebuilds are double-buffered); a
+        # ReplicaSet reports its per-replica drain state.
+        readiness_of = getattr(service, "readiness", None)
+        if readiness_of is None:
+            payload: Dict[str, Any] = {"status": "ready", "ready": True,
+                                       "generation":
+                                           service.store.generation}
+            return payload, 200
+        readiness = readiness_of()
+        replica = _str_param(params, "replica")
+        if replica is not None:
+            detail = next((entry for entry in readiness["replicas"]
+                           if entry["name"] == replica), None)
+            if detail is None:
+                raise _ClientError(404, f"unknown replica {replica!r}")
+            status = 200 if detail["ready"] else 503
+            return {"status": "ready" if detail["ready"] else "draining",
+                    "ready": detail["ready"], "replica": detail}, status
+        status = 200 if readiness["ready"] else 503
+        return {"status": "ready" if readiness["ready"] else "draining",
+                "ready": readiness["ready"],
+                "draining": readiness["draining"],
+                "replicas": readiness["replicas"]}, status
+    if path == "/stats":
+        return service.stats(), 200
+    if path == "/top":
+        k = _int_param(params, "k", default=10)
+        site = _str_param(params, "site")
+        segment = _str_param(params, "segment")
+        try:
+            documents = service.top(k, site=site, segment=segment)
+        except GraphStructureError as error:
+            raise _ClientError(404, str(error)) from None
+        payload = {"k": k, "site": site,
+                   "results": [_document_payload(d) for d in documents]}
+        # Only segment-qualified requests mention the segment — the
+        # segment-less response body stays byte-identical to 1.3.
+        if segment is not None:
+            payload["segment"] = segment
+        return payload, 200
+    if path == "/query":
+        queries, k, rule, weight, segment = parse_query_request(params)
+        batches = service.query_many(queries, k, rule=rule,
+                                     weight=weight, segment=segment)
+        return query_response(service, queries, batches, k, segment), 200
+    if path == "/score":
+        doc_id = _int_param(params, "doc", required=True)
+        document = service.describe(doc_id)
+        if document is None:
+            raise _ClientError(404, f"unknown document id {doc_id}")
+        return _document_payload(document), 200
+    raise _ClientError(404, f"unknown path {path!r}")
+
+
+def serving_samples(service, uptime_seconds: float
+                    ) -> Iterable[Tuple[str, str, Dict[str, str], float]]:
+    """Scrape-time ``serving_*`` samples of one service's own counters.
+
+    Shared by both front ends' metrics collectors; *service* is a single
+    :class:`RankingService` or a :class:`~repro.serving.replicas.ReplicaSet`
+    (whose aggregate :meth:`stats` keeps the single-service shape).
+    """
+    stats = service.stats()
+    cache = stats["cache"]
+    engine = stats["engine"]
+    return [
+        ("counter", "serving_queries_served_total", {},
+         float(stats["queries_served"])),
+        ("counter", "serving_cache_hits_total", {},
+         float(cache["hits"])),
+        ("counter", "serving_cache_misses_total", {},
+         float(cache["misses"])),
+        ("counter", "serving_cache_evictions_total", {},
+         float(cache["evictions"])),
+        ("counter", "serving_cache_invalidations_total", {},
+         float(cache["invalidations"])),
+        ("gauge", "serving_cache_hit_rate", {},
+         float(cache["hit_rate"])),
+        ("gauge", "serving_cache_entries", {},
+         float(stats["cache_entries"])),
+        ("gauge", "serving_store_generation", {},
+         float(stats["generation"])),
+        ("gauge", "serving_store_shards", {}, float(stats["shards"])),
+        ("gauge", "serving_store_documents", {},
+         float(stats["documents"])),
+        ("gauge", "serving_uptime_seconds", {}, uptime_seconds),
+        ("counter", "serving_rebuild_dispatch_bytes_total", {},
+         float(engine["dispatch_bytes"])),
+    ]
+
+
 class RankingRequestHandler(BaseHTTPRequestHandler):
     """Translates HTTP requests into :class:`RankingService` calls."""
 
@@ -117,7 +326,9 @@ class RankingRequestHandler(BaseHTTPRequestHandler):
                                                 "charset=utf-8")
             else:
                 try:
-                    payload, status = self._route(split.path, params)
+                    payload, status = route_request(
+                        self.server.service, split.path, params,
+                        uptime_seconds=self.server.uptime_seconds)
                 except _ClientError as error:
                     payload, status = {"error": str(error)}, error.status
                 except (ValidationError, GraphStructureError) as error:
@@ -132,114 +343,6 @@ class RankingRequestHandler(BaseHTTPRequestHandler):
             obs.observe("http_request_seconds", duration, path=endpoint)
             ACCESS_LOGGER.info("%s %s %d %.2fms", self.command, self.path,
                                status, duration * 1000.0)
-
-    def _route(self, path: str,
-               params: Dict[str, List[str]]) -> Tuple[Dict[str, Any], int]:
-        service = self.server.service
-        if path == "/health":
-            return {"status": "ok"}, 200
-        if path == "/healthz":
-            store = service.store
-            return {"status": "ok",
-                    "generation": store.generation,
-                    "shards": store.n_shards,
-                    "documents": store.n_documents,
-                    "queries_served": service.queries_served,
-                    "uptime_seconds": self.server.uptime_seconds}, 200
-        if path == "/stats":
-            return service.stats(), 200
-        if path == "/top":
-            k = self._int_param(params, "k", default=10)
-            site = self._str_param(params, "site")
-            segment = self._str_param(params, "segment")
-            try:
-                documents = service.top(k, site=site, segment=segment)
-            except GraphStructureError as error:
-                raise _ClientError(404, str(error)) from None
-            payload = {"k": k, "site": site,
-                       "results": [_document_payload(d) for d in documents]}
-            # Only segment-qualified requests mention the segment — the
-            # segment-less response body stays byte-identical to 1.3.
-            if segment is not None:
-                payload["segment"] = segment
-            return payload, 200
-        if path == "/query":
-            queries = params.get("q")
-            if not queries:
-                raise _ClientError(400, "missing required parameter 'q'")
-            k = self._int_param(params, "k", default=10)
-            rule = self._str_param(params, "rule")
-            if rule not in (None, "linear", "rrf"):
-                raise _ClientError(400, f"unknown rule {rule!r}")
-            weight = self._float_param(params, "weight")
-            segment = self._str_param(params, "segment")
-            batches = service.query_many(queries, k, rule=rule,
-                                         weight=weight, segment=segment)
-            results = [{"query": text,
-                        "hits": [self._hit_payload(service, hit)
-                                 for hit in hits]}
-                       for text, hits in zip(queries, batches)]
-            payload = {"k": k, "results": results}
-            if segment is not None:
-                payload["segment"] = segment
-            return payload, 200
-        if path == "/score":
-            doc_id = self._int_param(params, "doc", required=True)
-            document = service.describe(doc_id)
-            if document is None:
-                raise _ClientError(404, f"unknown document id {doc_id}")
-            return _document_payload(document), 200
-        raise _ClientError(404, f"unknown path {path!r}")
-
-    @staticmethod
-    def _hit_payload(service: RankingService, hit) -> Dict[str, Any]:
-        payload = {"doc_id": hit.doc_id,
-                   "combined_score": hit.combined_score,
-                   "query_score": hit.query_score,
-                   "link_score": hit.link_score}
-        record = service.describe(hit.doc_id)
-        if record is not None:
-            payload["url"] = record.url
-            payload["site"] = record.site
-        return payload
-
-    # ------------------------------------------------------------------ #
-    # Parameter parsing
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _str_param(params: Dict[str, List[str]],
-                   name: str) -> Optional[str]:
-        values = params.get(name)
-        return values[-1] if values else None
-
-    @classmethod
-    def _int_param(cls, params: Dict[str, List[str]], name: str, *,
-                   default: Optional[int] = None,
-                   required: bool = False) -> Optional[int]:
-        raw = cls._str_param(params, name)
-        if raw is None:
-            if required:
-                raise _ClientError(400, f"missing required parameter {name!r}")
-            return default
-        try:
-            return int(raw)
-        except ValueError:
-            raise _ClientError(400,
-                               f"parameter {name!r} must be an integer, "
-                               f"got {raw!r}") from None
-
-    @classmethod
-    def _float_param(cls, params: Dict[str, List[str]],
-                     name: str) -> Optional[float]:
-        raw = cls._str_param(params, name)
-        if raw is None:
-            return None
-        try:
-            return float(raw)
-        except ValueError:
-            raise _ClientError(400,
-                               f"parameter {name!r} must be a number, "
-                               f"got {raw!r}") from None
 
     # ------------------------------------------------------------------ #
     def _respond(self, status: int, payload: Dict[str, Any]) -> None:
@@ -278,7 +381,9 @@ class RankingHTTPServer(ThreadingHTTPServer):
     Parameters
     ----------
     service:
-        The service answering the requests.
+        The service answering the requests (a
+        :class:`~repro.serving.replicas.ReplicaSet` also works — anything
+        with the service's query surface).
     host / port:
         Bind address; ``port=0`` picks a free ephemeral port (the bound
         port is available as :attr:`port`).
@@ -314,33 +419,7 @@ class RankingHTTPServer(ThreadingHTTPServer):
                                                          Dict[str, str],
                                                          float]]:
         """Scrape-time samples of the service's own counters."""
-        stats = self.service.stats()
-        cache = stats["cache"]
-        engine = stats["engine"]
-        return [
-            ("counter", "serving_queries_served_total", {},
-             float(stats["queries_served"])),
-            ("counter", "serving_cache_hits_total", {},
-             float(cache["hits"])),
-            ("counter", "serving_cache_misses_total", {},
-             float(cache["misses"])),
-            ("counter", "serving_cache_evictions_total", {},
-             float(cache["evictions"])),
-            ("counter", "serving_cache_invalidations_total", {},
-             float(cache["invalidations"])),
-            ("gauge", "serving_cache_hit_rate", {},
-             float(cache["hit_rate"])),
-            ("gauge", "serving_cache_entries", {},
-             float(stats["cache_entries"])),
-            ("gauge", "serving_store_generation", {},
-             float(stats["generation"])),
-            ("gauge", "serving_store_shards", {}, float(stats["shards"])),
-            ("gauge", "serving_store_documents", {},
-             float(stats["documents"])),
-            ("gauge", "serving_uptime_seconds", {}, self.uptime_seconds),
-            ("counter", "serving_rebuild_dispatch_bytes_total", {},
-             float(engine["dispatch_bytes"])),
-        ]
+        return serving_samples(self.service, self.uptime_seconds)
 
     @property
     def host(self) -> str:

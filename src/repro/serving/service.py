@@ -317,6 +317,11 @@ class RankingService:
         self.close()
 
     def _on_update(self, report: UpdateReport) -> None:
+        self.apply_update(report)
+
+    def apply_update(self, report: UpdateReport, *,
+                     ranker: Optional[IncrementalLayeredRanker] = None
+                     ) -> None:
         """Repair shards and cache after an incremental ranking update.
 
         Double-buffered: the invalidated shards are recomputed and
@@ -329,18 +334,28 @@ class RankingService:
         (:class:`_ShardRebuildJob`), so even the rebuild's dispatch cost
         is independent of shard sizes.
 
+        Normally invoked through the attached ranker's update
+        notifications; *ranker* lets an orchestrator rebuild an
+        *unattached* replica from a shared ranker — the rolling-rebuild
+        loop of :class:`~repro.serving.replicas.ReplicaSet` drives each
+        replica through this method, one at a time.
+
         ``_rebuild_lock`` serialises whole rebuilds against each other
         (two interleaved rebuilds could otherwise each copy the same base
         store and the second swap would silently drop the first's
         shards); queries never take it.
         """
+        source = ranker if ranker is not None else self._ranker
+        if source is None:
+            raise ValidationError(
+                "service is not attached to a ranker; pass ranker= to "
+                "rebuild from one")
         with self._rebuild_lock:
-            self._apply_update(report)
+            self._apply_update(report, source)
 
-    def _apply_update(self, report: UpdateReport) -> None:
+    def _apply_update(self, report: UpdateReport,
+                      ranker: IncrementalLayeredRanker) -> None:
         rebuild_started = perf_counter()
-        ranker = self._ranker
-        assert ranker is not None
         docgraph = ranker.docgraph
         if report.siterank_recomputed:
             # Every site's composed score changed: rebuild all shards and
@@ -356,7 +371,7 @@ class RankingService:
         # site — the same property the ranking computation itself exploits),
         # then installed into the back-buffer store in site order so shard
         # generations stay deterministic.
-        jobs = [self._shard_job(site) for site in sites]
+        jobs = [self._shard_job(site, ranker) for site in sites]
         if self._batch_sites:
             # Small shards fuse into one packed job (their per-job
             # dispatch would dominate the numpy multiply); large shards
@@ -419,9 +434,8 @@ class RankingService:
         obs.inc("serving_swaps_total")
         obs.observe("serving_rebuild_seconds", rebuild_seconds)
 
-    def _shard_job(self, site: str) -> _ShardRebuildJob:
-        ranker = self._ranker
-        assert ranker is not None
+    def _shard_job(self, site: str,
+                   ranker: IncrementalLayeredRanker) -> _ShardRebuildJob:
         local = ranker.local(site)
         urls = tuple(ranker.docgraph.document(doc_id).url
                      for doc_id in local.doc_ids)
@@ -498,15 +512,44 @@ class RankingService:
             if cached is not None:
                 self.queries_served += 1
                 return cached
-            candidates = self._index.search(text)
+
+        def compute() -> Tuple[SearchHit, ...]:
+            # A racing thread may have filled the entry between our miss
+            # and winning the flight — serve it rather than recompute.
+            cached = self._cache.peek(key)
+            if cached is not None:
+                return cached
+            # Snapshot the consistent inputs under the lock, then search
+            # and combine outside it: the (pure-Python) text retrieval is
+            # the expensive part of a query, and holding the coarse lock
+            # through it would serialise every concurrent miss.
+            with self._lock:
+                index = self._index
+                link_scores = self._current_link_scores(segment)
+                store = self._store
+                generation = store.generation
+            candidates = index.search(text)
             hits = tuple(combine_candidates(
-                candidates, self._current_link_scores(segment), rule=rule,
+                candidates, link_scores, rule=rule,
                 weight=weight, k=k, rrf_constant=self._rrf_constant))
-            tags = {self._store.site_of(doc_id)
-                    for doc_id, _score in candidates if doc_id in self._store}
-            self._cache.put(key, hits, tags=tags)
-            self.queries_served += 1
+            tags = {store.site_of(doc_id)
+                    for doc_id, _score in candidates if doc_id in store}
+            with self._lock:
+                # Admit only when no rebuild swapped the store (and no
+                # refresh replaced the index) mid-compute — a stale entry
+                # would otherwise outlive the invalidation that already
+                # ran.  The computed hits are still returned either way.
+                if self._store.generation == generation \
+                        and self._index is index:
+                    self._cache.put(key, hits, tags=tags)
             return hits
+
+        # Per-key in-flight gating: a stampede of concurrent misses on
+        # this key computes once, everyone shares the leader's result.
+        hits = self._cache.single_flight(key, compute)
+        with self._lock:
+            self.queries_served += 1
+        return hits
 
     def query_many(self, texts: Sequence[str], k: int = 10, *,
                    rule: Optional[CombinationRule] = None,
@@ -515,15 +558,26 @@ class RankingService:
                    ) -> List[Tuple[SearchHit, ...]]:
         """Answer a batch of free-text queries.
 
-        Duplicate queries in the batch are computed once — the repeats are
-        served from the result cache — and the link-score view is
-        materialised once for the whole batch rather than per query.
+        Repeated query texts within the batch are deduplicated *before*
+        hitting the retrieval engine — each distinct text is answered
+        once and the shared result fans back out to every occurrence, so
+        the response list is order- and byte-identical to answering each
+        query separately.  The link-score view is likewise materialised
+        once for the whole batch rather than per query.
         """
         with self._lock:
             self._current_link_scores(segment)  # materialise for the batch
-        return [self.query(text, k, rule=rule, weight=weight,
-                           segment=segment)
-                for text in texts]
+        unique: Dict[str, Tuple[SearchHit, ...]] = {}
+        for text in texts:
+            if text not in unique:
+                unique[text] = self.query(text, k, rule=rule, weight=weight,
+                                          segment=segment)
+        repeats = len(texts) - len(unique)
+        if repeats:
+            obs.inc("serving_batch_dedup_total", float(repeats))
+            with self._lock:
+                self.queries_served += repeats
+        return [unique[text] for text in texts]
 
     def score_of(self, doc_id: int) -> float:
         """Point lookup of one document's current global score (O(1))."""

@@ -271,6 +271,18 @@ class ShardedScoreStore:
                               segment_columns=columns)
         return clone
 
+    def clone(self) -> "ShardedScoreStore":
+        """An independent store over this one's (immutable, shared) shards.
+
+        The clone starts bitwise-identical — same shards, same generation —
+        but evolves independently from here on: replacing a shard in one
+        store never affects the other.  This is the replication primitive
+        of :class:`~repro.serving.replicas.ReplicaSet`: every replica gets
+        its own swappable store pointer at the cost of the per-document
+        lookup dict, not of the score data.
+        """
+        return self.rebuilt({})
+
     # ------------------------------------------------------------------ #
     # Point lookups (O(1))
     # ------------------------------------------------------------------ #

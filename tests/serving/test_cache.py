@@ -1,5 +1,8 @@
 """Tests for repro.serving.cache (QueryCache)."""
 
+import threading
+import time
+
 import pytest
 
 from repro.exceptions import ValidationError
@@ -95,3 +98,84 @@ class TestInvalidation:
         assert cache.clear() == 2
         assert len(cache) == 0
         assert cache.invalidate_tag("t") == 0
+
+
+class TestSingleFlight:
+    def test_peek_does_not_count_or_refresh(self):
+        cache = QueryCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.peek("missing", "fallback") == "fallback"
+        assert cache.stats.lookups == 0
+        cache.put("c", 3)            # "a" was NOT refreshed: it goes first
+        assert "a" not in cache
+
+    def test_stampede_computes_once(self):
+        cache = QueryCache()
+        start = threading.Barrier(8)
+        calls = []
+        compute_gate = threading.Event()
+
+        def compute():
+            calls.append(1)
+            compute_gate.wait(5.0)
+            return "value"
+
+        results = []
+
+        def worker():
+            start.wait(5.0)
+            results.append(cache.get_or_compute("key", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Give the stampede time to pile onto the in-flight computation,
+        # then let the single leader finish.
+        time.sleep(0.05)
+        compute_gate.set()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(calls) == 1
+        assert results == ["value"] * 8
+        assert cache.stats.flights_coalesced >= 1
+        assert cache.get("key") == "value"
+
+    def test_leader_error_propagates_to_waiters(self):
+        cache = QueryCache()
+        start = threading.Barrier(4)
+        errors = []
+
+        def compute():
+            time.sleep(0.05)         # let the waiters pile on
+            raise RuntimeError("boom")
+
+        def worker():
+            start.wait(5.0)
+            try:
+                cache.get_or_compute("key", compute)
+            except RuntimeError as error:
+                errors.append(str(error))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert errors == ["boom"] * 4
+        assert "key" not in cache    # a failed flight stores nothing
+
+    def test_sequential_flights_recompute(self):
+        cache = QueryCache()
+        calls = []
+        cache.single_flight("k", lambda: calls.append(1) or "first")
+        cache.single_flight("k", lambda: calls.append(1) or "second")
+        # single_flight itself never consults entries: both run.
+        assert len(calls) == 2
+
+    def test_get_or_compute_hit_skips_compute(self):
+        cache = QueryCache()
+        cache.put("k", "cached")
+        assert cache.get_or_compute(
+            "k", lambda: pytest.fail("must not compute")) == "cached"

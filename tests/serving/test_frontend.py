@@ -1,0 +1,394 @@
+"""Tests for repro.serving.frontend (async coalescing front end).
+
+The front end's contract has three legs the suite leans on:
+
+* responses are byte-identical to the threaded server's, coalesced or
+  not — clients cannot tell the front ends apart;
+* overload never hangs: past ``max_inflight`` a request is answered
+  ``429 + Retry-After`` immediately, and a request outliving its
+  deadline budget is answered ``504``;
+* queries keep succeeding continuously through a rolling rebuild of a
+  replica set, with the drain visible on ``/readyz``.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Ranker
+from repro.exceptions import ValidationError
+from repro.graphgen import generate_synthetic_web
+from repro.ir import synthesize_corpus
+from repro.serving import (
+    AsyncRankingServer,
+    FrontendConfig,
+    RankingService,
+    ReplicaSet,
+    serve_frontend,
+    serve_ranking,
+)
+
+
+def layered_docrank(web):
+    return Ranker().fit(web).ranking
+
+
+@pytest.fixture(scope="module")
+def web():
+    return generate_synthetic_web(n_sites=6, n_documents=200, seed=9)
+
+
+@pytest.fixture(scope="module")
+def corpus(web):
+    return synthesize_corpus(web)
+
+
+@pytest.fixture
+def service(web, corpus):
+    return RankingService.from_ranking(layered_docrank(web), web,
+                                       corpus=corpus)
+
+
+def get_raw(url, path, timeout=30, headers=None):
+    request = urllib.request.Request(url + path, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+def get_json(url, path, timeout=30):
+    _status, body = get_raw(url, path, timeout=timeout)
+    return json.loads(body)
+
+
+class TestByteIdenticalResponses:
+    PATHS = [
+        "/query?q=research+database&k=3",
+        "/query?q=research+database&q=teaching+course&k=5",
+        "/query?q=research+database&k=4&rule=rrf",
+        "/top?k=5",
+        "/score?doc=0",
+        "/health",
+        "/readyz",
+    ]
+
+    def test_frontend_matches_threaded_server(self, service):
+        threaded = serve_ranking(service)
+        frontend = serve_frontend(service)
+        try:
+            for path in self.PATHS:
+                _status, expected = get_raw(threaded.url, path)
+                _status, actual = get_raw(frontend.url, path)
+                assert actual == expected, path
+        finally:
+            frontend.close()
+            threaded.close()
+
+    def test_coalesced_and_uncoalesced_agree(self, service):
+        coalescing = serve_frontend(service, coalesce_window=0.01)
+        direct = serve_frontend(service, coalesce=False)
+        try:
+            for path in self.PATHS:
+                _status, expected = get_raw(direct.url, path)
+                _status, actual = get_raw(coalescing.url, path)
+                assert actual == expected, path
+        finally:
+            direct.close()
+            coalescing.close()
+
+
+class TestCoalescing:
+    def test_concurrent_identical_queries_form_batches(self, service):
+        frontend = serve_frontend(service, coalesce_window=0.05)
+        bodies = []
+        barrier = threading.Barrier(8)
+
+        def fire():
+            barrier.wait(10.0)
+            bodies.append(get_raw(frontend.url,
+                                  "/query?q=research+database&k=3")[1])
+
+        threads = [threading.Thread(target=fire) for _ in range(8)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+            assert len(bodies) == 8
+            assert len(set(bodies)) == 1
+            # The burst coalesced: fewer flushes than requests, and the
+            # duplicate texts were deduplicated inside a batch.
+            assert frontend.coalescer.batches < 8
+            assert frontend.coalescer.dedup_hits > 0
+        finally:
+            frontend.close()
+
+    def test_mixed_bursts_answered_correctly(self, service):
+        frontend = serve_frontend(service, coalesce_window=0.02)
+        expected = {
+            "research": service.query("research", 3),
+            "teaching": service.query("teaching", 3),
+            "home": service.query("home", 3),
+        }
+        results = {}
+
+        def fire(text):
+            results[text] = get_json(frontend.url, f"/query?q={text}&k=3")
+
+        threads = [threading.Thread(target=fire, args=(text,))
+                   for text in expected for _ in range(2)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+            for text, hits in expected.items():
+                payload = results[text]["results"][0]
+                assert payload["query"] == text
+                assert [hit["doc_id"] for hit in payload["hits"]] == \
+                    [hit.doc_id for hit in hits]
+        finally:
+            frontend.close()
+
+
+class _GatedService:
+    """Wraps a service so query_many blocks until released."""
+
+    def __init__(self, service):
+        self._service = service
+        self.gate = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self._service, name)
+
+    def query_many(self, *args, **kwargs):
+        self.gate.wait(30.0)
+        return self._service.query_many(*args, **kwargs)
+
+
+class TestBackpressure:
+    def test_overload_sheds_with_429_and_retry_after(self, service):
+        gated = _GatedService(service)
+        frontend = serve_frontend(gated, max_inflight=1)
+        results = []
+
+        def slow_request():
+            results.append(get_raw(frontend.url,
+                                   "/query?q=research&k=3")[0])
+
+        blocker = threading.Thread(target=slow_request)
+        try:
+            blocker.start()
+            time.sleep(0.3)          # let it get admitted and block
+            started = time.monotonic()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(frontend.url + "/query?q=other",
+                                       timeout=10)
+            elapsed = time.monotonic() - started
+            assert excinfo.value.code == 429
+            assert elapsed < 5.0     # shed fast, no queueing
+            retry_after = excinfo.value.headers["Retry-After"]
+            assert retry_after is not None and int(retry_after) >= 0
+            body = json.load(excinfo.value)
+            assert "retry_after" in body
+            assert frontend.admission.shed == 1
+            gated.gate.set()
+            blocker.join(30.0)
+            assert results == [200]  # the admitted request completed
+        finally:
+            gated.gate.set()
+            frontend.close()
+
+    def test_deadline_exceeded_is_504(self, service):
+        gated = _GatedService(service)
+        frontend = serve_frontend(gated)
+        try:
+            started = time.monotonic()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get_raw(frontend.url, "/query?q=research&k=3",
+                        headers={"X-Request-Deadline": "0.2"})
+            assert excinfo.value.code == 504
+            assert time.monotonic() - started < 10.0
+        finally:
+            gated.gate.set()
+            frontend.close()
+
+    def test_bad_deadline_header_is_400(self, service):
+        frontend = serve_frontend(service)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get_raw(frontend.url, "/query?q=research",
+                        headers={"X-Request-Deadline": "soon"})
+            assert excinfo.value.code == 400
+        finally:
+            frontend.close()
+
+    def test_admission_recovers_after_load_drains(self, service):
+        frontend = serve_frontend(service, max_inflight=2)
+        try:
+            for _ in range(5):       # sequential: never over budget
+                status, _body = get_raw(frontend.url, "/query?q=research")
+                assert status == 200
+            assert frontend.admission.shed == 0
+            assert frontend.admission.inflight == 0
+        finally:
+            frontend.close()
+
+
+class TestErrors:
+    def test_missing_query_parameter_is_400(self, service):
+        frontend = serve_frontend(service)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get_raw(frontend.url, "/query?k=3")
+            assert excinfo.value.code == 400
+            assert "q" in json.load(excinfo.value)["error"]
+        finally:
+            frontend.close()
+
+    def test_unknown_path_is_404(self, service):
+        frontend = serve_frontend(service)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get_raw(frontend.url, "/nope")
+            assert excinfo.value.code == 404
+        finally:
+            frontend.close()
+
+    def test_post_is_405(self, service):
+        frontend = serve_frontend(service)
+        try:
+            request = urllib.request.Request(frontend.url + "/query",
+                                             data=b"{}", method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 405
+        finally:
+            frontend.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            FrontendConfig(max_inflight=0)
+        with pytest.raises(ValidationError):
+            FrontendConfig(coalesce_window=-1.0)
+        with pytest.raises(ValidationError):
+            FrontendConfig(deadline=0.0)
+
+
+class TestMetrics:
+    def test_metrics_exposes_frontend_and_serving_samples(self, service):
+        frontend = serve_frontend(service)
+        try:
+            get_raw(frontend.url, "/query?q=research&k=3")
+            _status, body = get_raw(frontend.url, "/metrics")
+            text = body.decode("utf-8")
+            assert "repro_frontend_coalesce_batch_size" in text
+            assert "repro_serving_store_generation" in text
+            assert "repro_http_requests_total" in text
+        finally:
+            frontend.close()
+
+
+class TestRollingRebuildThroughFrontend:
+    def test_queries_survive_rolling_rebuild_of_replica_set(self, web,
+                                                            corpus):
+        ranker = Ranker().incremental(web)
+        replica_set = ReplicaSet.from_incremental(ranker, corpus=corpus,
+                                                  n_replicas=3,
+                                                  drain_grace=0.05)
+        replica_set._owns_ranker = True
+        frontend = serve_frontend(replica_set, coalesce_window=0.001)
+        stop = threading.Event()
+        failures = []
+        drains_seen = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    status, _body = get_raw(frontend.url,
+                                            "/query?q=research+database&k=3")
+                    if status != 200:
+                        failures.append(status)
+                    readyz = get_json(frontend.url, "/readyz")
+                    drains_seen.append(tuple(readyz["draining"]))
+                except Exception as error:  # noqa: BLE001
+                    failures.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        try:
+            for thread in threads:
+                thread.start()
+            for number in range(3):
+                ranker.add_document(
+                    f"http://site000.example.org/live{number}.html")
+            stop.set()
+            for thread in threads:
+                thread.join(60.0)
+            assert failures == []
+            assert replica_set.rolling_rebuilds == 3
+            # Zero failed queries even though drains were observable.
+            assert any(drained for drained in drains_seen)
+            # After the dust settles every replica serves the new store.
+            generations = {replica.service.store.generation
+                           for replica in replica_set.replicas}
+            assert len(generations) == 1
+        finally:
+            stop.set()
+            frontend.close()
+            replica_set.close()
+
+    def test_readyz_reports_draining_replica_through_frontend(self, web,
+                                                              corpus):
+        ranking = layered_docrank(web)
+        replica_set = ReplicaSet.from_ranking(ranking, web, n_replicas=2,
+                                              corpus=corpus)
+        frontend = serve_frontend(replica_set)
+        try:
+            replica_set.replicas[0].ready = False
+            payload = get_json(frontend.url, "/readyz")
+            assert payload["status"] == "ready"      # one replica remains
+            assert payload["draining"] == ["replica-0"]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get_raw(frontend.url, "/readyz?replica=replica-0")
+            assert excinfo.value.code == 503
+            status, _body = get_raw(frontend.url,
+                                    "/readyz?replica=replica-1")
+            assert status == 200
+        finally:
+            frontend.close()
+            replica_set.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_releases_port(self, service):
+        frontend = serve_frontend(service)
+        assert frontend.port > 0
+        url = frontend.url
+        frontend.close()
+        frontend.close()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            urllib.request.urlopen(url + "/health", timeout=2)
+
+    def test_context_manager(self, service):
+        with serve_frontend(service) as frontend:
+            assert get_json(frontend.url, "/health") == {"status": "ok"}
+
+    def test_keep_alive_reuses_connection(self, service):
+        import http.client
+
+        frontend = serve_frontend(service)
+        try:
+            connection = http.client.HTTPConnection(frontend.host,
+                                                    frontend.port,
+                                                    timeout=10)
+            for _ in range(3):
+                connection.request("GET", "/query?q=research&k=2")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+            connection.close()
+        finally:
+            frontend.close()

@@ -83,6 +83,12 @@ class TestEndpoints:
         assert payload["shards"] == 6
         assert "cache" in payload and "hit_rate" in payload["cache"]
 
+    def test_readyz_single_service_always_ready(self, server):
+        payload = get_json(server, "/readyz")
+        assert payload["status"] == "ready"
+        assert payload["ready"] is True
+        assert payload["generation"] == server.service.store.generation
+
 
 class TestErrors:
     def test_unknown_path_is_404(self, server):

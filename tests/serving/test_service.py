@@ -102,14 +102,20 @@ class TestTextQueries:
         texts = ["research database", "teaching course", "research database"]
         answers = service.query_many(texts, k=4)
         assert len(answers) == 3
-        assert answers[0] == answers[2]
-        # Two unique computations; the in-batch repeat and a later
-        # identical batch are all served from the cache.
+        assert answers[0] is answers[2]
+        # Two unique computations; the in-batch repeat is answered from
+        # the batch's own dedup map without ever reaching the cache, and
+        # a later identical batch hits the cache once per unique text.
         assert service.cache_stats.misses == 2
-        assert service.cache_stats.hits == 1
+        assert service.cache_stats.hits == 0
         assert service.query_many(texts, k=4) == answers
         assert service.cache_stats.misses == 2
-        assert service.cache_stats.hits == 4
+        assert service.cache_stats.hits == 2
+
+    def test_query_many_repeats_still_counted_as_served(self, service):
+        before = service.queries_served
+        service.query_many(["research database"] * 5, k=3)
+        assert service.queries_served == before + 5
 
     def test_no_match_query_returns_empty(self, service):
         assert service.query("zzz qqq nonexistent") == ()
