@@ -296,6 +296,10 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _command_rank(args: argparse.Namespace) -> int:
+    if args.on_disk:
+        return _command_rank_on_disk(args)
+    if args.output is not None:
+        raise ValidationError("--output requires --on-disk")
     config = _ranking_config(args)
     graph = _load_graph(args)
     print(f"graph: {graph.n_documents} documents, {graph.n_links} links, "
@@ -316,6 +320,58 @@ def _command_rank(args: argparse.Namespace) -> int:
             print(f"  {rank:3d}. {url}")
     if args.trace:
         print(f"\ntrace written to {args.trace}")
+    return 0
+
+
+def _command_rank_on_disk(args: argparse.Namespace) -> int:
+    """The out-of-core path: mmap'd DiskGraph, streamed solves, disk store.
+
+    The graph goes straight into an on-disk block store (URL edge lists
+    stream through in bounded memory, never materialising a DocGraph),
+    the layered solve hydrates one solve unit's adjacency at a time, and
+    the composed scores are published as a ranked generation an
+    ``repro serve --store`` process can mmap.  Re-running against the
+    same ``--output`` warm-starts from the published generation.
+    """
+    from .engine.outofcore import rank_outofcore
+    from .io.artifacts import ArtifactStore
+    from .io.diskgraph import DiskGraphBuilder, write_diskgraph
+    from .io.edgelist import stream_url_edgelist
+    from .serving.mmapstore import MmapScoreStore
+    from .serving.topk import TopKEngine
+
+    if args.output is None:
+        raise ValidationError("--on-disk requires --output DIR")
+    config = _ranking_config(args)
+    method = args.method if _is_explicit(args, "method", "layered") \
+        else config.method
+    if resolve_method_name(method) != "layered":
+        raise ValidationError(
+            f"--on-disk supports only the layered method, got {method!r}")
+    graph_dir = os.path.join(args.output, "graph")
+    if args.input is not None and args.format == "edgelist":
+        builder = DiskGraphBuilder(graph_dir)
+        try:
+            builder.consume(stream_url_edgelist(args.input))
+            graph = builder.finalize()
+        except BaseException:
+            builder.abort()
+            raise
+    else:
+        graph = write_diskgraph(_load_graph(args), graph_dir)
+    print(f"graph: {graph.n_documents} documents, {graph.n_links} links, "
+          f"{graph.n_sites} sites  [on disk: {graph.nbytes} block bytes]")
+    store = ArtifactStore(args.output, create=True)
+    warm = store.generation() if store.current is not None else None
+    if warm is not None:
+        print(f"warm-starting from generation {warm.name}")
+    result = rank_outofcore(graph, store, damping=config.damping, warm=warm)
+    print(f"published generation {result.generation.name} to {args.output} "
+          f"({result.iterations} power iterations)")
+    engine = TopKEngine(MmapScoreStore(result.generation))
+    print(f"\ntop-{args.top} by {result.method}:")
+    for rank, url in enumerate(engine.top_k_urls(args.top), start=1):
+        print(f"  {rank:3d}. {url}")
     return 0
 
 
@@ -385,8 +441,47 @@ def _build_service(args: argparse.Namespace):
     return graph, service, config
 
 
+def _build_store_service(args: argparse.Namespace):
+    """Boot the serving stack off a published artifact store (no ranking).
+
+    The score columns stay on disk: every replica's
+    :class:`~repro.serving.mmapstore.MmapScoreStore` clone shares one
+    memory mapping, so startup reads only the generation manifest and
+    queries fault in just the pages they touch.
+    """
+    from .serving.mmapstore import MmapScoreStore
+    from .serving.replicas import ReplicaSet
+    from .serving.service import RankingService
+
+    replicas = getattr(args, "replicas", 1)
+    if replicas < 1:
+        raise ValidationError("--replicas must be at least 1")
+    config = _ranking_config(args)
+    store = MmapScoreStore.from_store(args.store)
+    serving_kwargs = dict(cache_size=config.cache_size, rule=config.rule,
+                          weight=config.weight)
+    services = [RankingService(store if number == 0 else store.clone(),
+                               **serving_kwargs)
+                for number in range(replicas)]
+    service = ReplicaSet(services) if replicas > 1 else services[0]
+    generation = store.ranked_generation
+    header = (f"store: {generation.n_documents} documents over "
+              f"{store.n_shards} sites (generation {generation.name} "
+              f"of {args.store}, mmap)")
+    return service, header
+
+
 def _command_serve(args: argparse.Namespace) -> int:
-    graph, service, _config = _build_service(args)
+    if getattr(args, "store", None) is not None:
+        if args.state:
+            raise ValidationError(
+                "--state applies to ranking at startup; a --store serve "
+                "never ranks")
+        service, header = _build_store_service(args)
+    else:
+        graph, service, _config = _build_service(args)
+        header = (f"graph: {graph.n_documents} documents over "
+                  f"{graph.n_sites} sites")
     verbose = args.verbose or args.access_log
     if args.async_frontend:
         config = FrontendConfig(coalesce_window=args.coalesce_window,
@@ -402,7 +497,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                                    verbose=verbose)
         mode = f"threaded, {args.replicas} replica(s)"
         thread = server.start_background()
-    print(f"graph: {graph.n_documents} documents over {graph.n_sites} sites")
+    print(header)
     print(f"serving on {server.url}  [{mode}]  "
           f"(endpoints: /top /query /score /stats /health /healthz "
           f"/readyz /metrics)", flush=True)
@@ -662,6 +757,16 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--trace", metavar="PATH", default=None,
                       help="write the run's span trace as JSON "
                            "(repro.obs trace schema)")
+    rank.add_argument("--on-disk", action="store_true", dest="on_disk",
+                      help="rank out of core: stream the graph into an "
+                           "mmap'd disk store and solve it in bounded "
+                           "memory (requires --output; layered method "
+                           "only)")
+    rank.add_argument("--output", metavar="DIR", default=None,
+                      help="artifact-store directory --on-disk publishes "
+                           "its ranked generation into (servable with "
+                           "'repro serve --store DIR'; re-runs "
+                           "warm-start from the published generation)")
     rank.set_defaults(handler=_command_rank)
 
     generate = subparsers.add_parser("generate",
@@ -725,6 +830,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "burst to pile up before issuing one "
                             "deduplicated batch (0 still coalesces "
                             "arrivals during an in-flight batch)")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="serve a published artifact store (written by "
+                            "'rank --on-disk --output DIR') straight off "
+                            "its mmap'd score files — boots without "
+                            "ranking and without loading score columns")
     serve.add_argument("--state", metavar="PATH",
                        help="warm-start state file: loaded on startup when "
                             "present, written after ranking, so a restarted "

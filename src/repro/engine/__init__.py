@@ -19,7 +19,10 @@ compute layer of the repository:
   process backend lays each batch's CSR buffers into one
   ``SharedMemory`` segment (a :class:`GraphArena`) and ships only tiny
   :class:`ArenaRef` addresses, so dispatch cost no longer scales with the
-  web's size.
+  web's size;
+* :mod:`repro.engine.outofcore` — :func:`rank_outofcore`, the same solve
+  schedule streamed over an mmap'd :class:`~repro.io.diskgraph.DiskGraph`
+  in bounded memory, publishing scores into a ranked-artifact store.
 
 The centralized pipeline (:mod:`repro.web.pipeline`), the
 incremental ranker, the distributed simulator and the serving layer all
@@ -65,6 +68,13 @@ from .executor import (
     normalize_n_jobs,
     resolve_executor,
     warmup_for,
+)
+from .outofcore import (
+    GenerationWarmStart,
+    OutOfCoreRanking,
+    SolveUnit,
+    plan_solve_units,
+    rank_outofcore,
 )
 from .plan import (
     BATCH_SITE_MAX_DOCS,
@@ -115,6 +125,11 @@ __all__ = [
     "normalize_n_jobs",
     "resolve_executor",
     "warmup_for",
+    "GenerationWarmStart",
+    "OutOfCoreRanking",
+    "SolveUnit",
+    "plan_solve_units",
+    "rank_outofcore",
     "BATCH_SITE_MAX_DOCS",
     "BATCH_TARGET_DOCS",
     "BatchedSiteTask",

@@ -61,11 +61,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ValidationError
+from ..linalg.layout import ALIGNMENT, BumpLayout, family_nbytes
 from ..linalg.sparse_utils import csr_arena_nbytes, csr_from_buffers
 from ..web.sitegraph import SiteGraph
-
-#: Byte alignment of every array written into an arena segment.
-ALIGNMENT = 16
 
 #: Prefix of every arena segment name; the leak tests (and operators
 #: inspecting ``/dev/shm``) identify our segments by it.
@@ -73,10 +71,6 @@ SEGMENT_PREFIX = "repro-arena"
 
 #: Fallback dispatch estimate for payloads that refuse to pickle.
 TASK_OVERHEAD_BYTES = 512
-
-
-def _align(offset: int) -> int:
-    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
 
 
 @dataclass(frozen=True)
@@ -172,7 +166,8 @@ class GraphArena:
         name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
         self._shm = shared_memory.SharedMemory(name=name, create=True,
                                                size=nbytes)
-        self._cursor = 0
+        self._layout = BumpLayout(self._shm.size,
+                                  name=f"arena segment {self._shm.name!r}")
         self._disposed = False
         _LIVE_SEGMENTS.add(self._shm.name)
 
@@ -190,7 +185,7 @@ class GraphArena:
     @property
     def used(self) -> int:
         """Bytes consumed by the arrays written so far."""
-        return self._cursor
+        return self._layout.used
 
     # ------------------------------------------------------------------ #
     def _write(self, array: np.ndarray) -> int:
@@ -198,16 +193,10 @@ class GraphArena:
         if self._disposed:
             raise ValidationError("arena is disposed")
         array = np.ascontiguousarray(array)
-        offset = _align(self._cursor)
-        end = offset + array.nbytes
-        if end > self._shm.size:
-            raise ValidationError(
-                f"arena segment {self.name!r} overflow: need {end} bytes, "
-                f"have {self._shm.size}")
+        offset = self._layout.place(array.nbytes)
         view = np.ndarray(array.shape, dtype=array.dtype,
                           buffer=self._shm.buf, offset=offset)
         view[...] = array
-        self._cursor = end
         return offset
 
     def add_csr(self, matrix) -> ArenaRef:
@@ -412,8 +401,9 @@ def vector_arena_nbytes(*vectors) -> int:
     the caller holds — plus one :data:`ALIGNMENT` slack per vector, so a
     float32 or plain-list input can never overflow the segment it sized.
     """
-    return sum(_vector_payload(v).nbytes + ALIGNMENT for v in vectors
-               if v is not None and not isinstance(v, ArenaRef))
+    return family_nbytes(*(_vector_payload(v).nbytes for v in vectors
+                           if v is not None
+                           and not isinstance(v, ArenaRef)))
 
 
 def share_vector(arena: GraphArena, vector):

@@ -1,0 +1,298 @@
+"""Out-of-core execution of the layered method over an mmap'd DiskGraph.
+
+The layered decomposition is what makes ranking a web larger than RAM
+possible at all: step 3 touches one site's local adjacency at a time and
+step 4 only the (tiny) SiteGraph, so no step ever needs the global link
+matrix resident.  This module drives those steps against a
+:class:`repro.io.diskgraph.DiskGraph` — every adjacency block is hydrated
+from the store with a *fresh, short-lived* ``np.memmap`` and dropped as
+soon as its unit is solved, so the pages are unmapped again and peak RSS
+is bounded by the largest solve unit, not the web.
+
+Bitwise parity with the in-memory pipeline is a hard requirement (the
+out-of-core path must be an *optimisation*, not a different ranking), so
+the solve schedule replicates :func:`repro.engine.plan.batch_site_tasks`
+exactly — same fused chunks, same trailing-singleton rule, same dedicated
+tasks — and the solved blocks run through the verbatim
+:class:`~repro.engine.plan.BatchedSiteTask` / ``LocalRankTask`` code.
+Results stream straight into a :class:`repro.io.artifacts.GenerationWriter`
+in site-major order; its ``finalize`` performs the same single-sum
+normalisation :func:`repro._validation.normalize_distribution` applies to
+the concatenated in-memory vector.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..io.artifacts import ArtifactStore, RankedGeneration
+from ..io.diskgraph import DiskGraph
+from ..linalg.power_iteration import DEFAULT_MAX_ITER, DEFAULT_TOL
+from ..markov.irreducibility import DEFAULT_DAMPING
+from ..web.siterank import SiteRankResult, siterank
+from .plan import (
+    BATCH_SITE_MAX_DOCS,
+    BATCH_TARGET_DOCS,
+    BatchedSiteTask,
+    LocalRankTask,
+)
+from .warm import WarmStartState, align_warm_start
+
+
+@dataclass(frozen=True)
+class SolveUnit:
+    """One schedulable unit of step-3 work: a fused chunk or one big site."""
+
+    kind: str  #: ``"fused"`` (block-diagonal batch) or ``"dedicated"``
+    sites: Tuple[str, ...]
+
+
+def plan_solve_units(sites: Sequence[str], sizes: Mapping[str, int], *,
+                     max_docs: int = BATCH_SITE_MAX_DOCS,
+                     target_docs: int = BATCH_TARGET_DOCS
+                     ) -> List[SolveUnit]:
+    """The :func:`~repro.engine.plan.batch_site_tasks` schedule, from sizes only.
+
+    Because the out-of-core tasks all share one parameter set, chunk
+    membership depends only on each site's document count — which the
+    disk-graph manifest records — so the whole schedule is planned without
+    mapping a single adjacency block.  The grouping rules are replicated
+    verbatim: sites over *max_docs* get dedicated tasks, small sites fuse
+    in site order with a flush whenever a chunk would exceed *target_docs*,
+    and only a *trailing* single-site chunk falls back to a dedicated task
+    (mid-stream singleton flushes stay fused, exactly as the batcher does).
+    """
+    if max_docs < 0 or target_docs < 1:
+        raise ValidationError(
+            "max_docs must be non-negative and target_docs positive")
+    fused: List[Tuple[str, ...]] = []
+    dedicated: List[str] = []
+    chunk: List[str] = []
+    chunk_docs = 0
+    for site in sites:
+        try:
+            n_documents = int(sizes[site])
+        except KeyError:
+            raise ValidationError(f"no size recorded for site {site!r}") \
+                from None
+        if n_documents > max_docs:
+            dedicated.append(site)
+            continue
+        if chunk and chunk_docs + n_documents > target_docs:
+            fused.append(tuple(chunk))
+            chunk, chunk_docs = [], 0
+        chunk.append(site)
+        chunk_docs += n_documents
+    if len(chunk) == 1:
+        dedicated.append(chunk[0])
+    elif chunk:
+        fused.append(tuple(chunk))
+    return ([SolveUnit("fused", group) for group in fused]
+            + [SolveUnit("dedicated", (site,)) for site in dedicated])
+
+
+class GenerationWarmStart:
+    """Warm-start vectors read lazily from a previous ranked generation.
+
+    The artifact store persists every site's converged *local* vector
+    (``local_scores.bin``) next to the composed scores, so the next
+    out-of-core rank can resume power iterations from it without any
+    in-RAM :class:`~repro.engine.warm.WarmStartState` surviving between
+    runs — the vectors round-trip through the store.  Alignment semantics
+    are exactly :func:`~repro.engine.warm.align_warm_start`, so a warm
+    resume from disk is bitwise the in-memory warm resume.
+    """
+
+    def __init__(self, generation: RankedGeneration) -> None:
+        self._generation = generation
+        self._shards = {str(shard["site"]): shard
+                        for shard in generation.shards()}
+
+    def local_start(self, site: str,
+                    doc_ids: Sequence[int]) -> Optional[np.ndarray]:
+        """Start vector for one site's local DocRank (``None`` → cold)."""
+        shard = self._shards.get(site)
+        if shard is None:
+            return None
+        offset, count = int(shard["offset"]), int(shard["count"])
+        ids = self._generation.map_array("doc_ids")
+        vectors = self._generation.map_array("local_scores")
+        previous_ids = [int(doc_id) for doc_id in ids[offset:offset + count]]
+        previous = np.array(vectors[offset:offset + count], dtype=float)
+        return align_warm_start(previous_ids, previous, doc_ids)
+
+    def siterank_start(self, sites: Sequence[str]) -> Optional[np.ndarray]:
+        """Start vector for the SiteRank (``None`` → cold start)."""
+        block = self._generation.siterank()
+        previous_sites = [str(site) for site in block.get("sites", ())]
+        scores = np.asarray(block.get("scores", ()), dtype=float)
+        if len(previous_sites) != scores.size or not previous_sites:
+            return None
+        return align_warm_start(previous_sites, scores, list(sites))
+
+
+@dataclass
+class OutOfCoreRanking:
+    """What one :func:`rank_outofcore` run produced (scores stay on disk).
+
+    The composed score vector is *not* held here — it lives in the
+    published generation's ``scores.bin``; serve it with
+    :class:`repro.serving.mmapstore.MmapScoreStore` or compare it against
+    an in-memory run via :attr:`generation`'s arrays.
+    """
+
+    store: ArtifactStore
+    generation: RankedGeneration
+    siterank: SiteRankResult
+    method: str
+    iterations: int
+
+    @property
+    def n_documents(self) -> int:
+        """Documents ranked."""
+        return self.generation.n_documents
+
+
+def rank_outofcore(graph: DiskGraph,
+                   store: Union[ArtifactStore, str, os.PathLike],
+                   damping: float = DEFAULT_DAMPING, *,
+                   site_damping: Optional[float] = None,
+                   site_preference: Optional[np.ndarray] = None,
+                   tol: float = DEFAULT_TOL,
+                   max_iter: int = DEFAULT_MAX_ITER,
+                   warm: Union[WarmStartState, RankedGeneration,
+                               GenerationWarmStart, None] = None,
+                   max_docs: int = BATCH_SITE_MAX_DOCS,
+                   target_docs: int = BATCH_TARGET_DOCS,
+                   ) -> OutOfCoreRanking:
+    """Rank a DiskGraph in bounded memory, publishing a ranked generation.
+
+    Steps 2 and 4 run in RAM (the SiteGraph is orders of magnitude smaller
+    than the web); step 3 streams the solve units of
+    :func:`plan_solve_units` through memory one at a time, hydrating each
+    site's adjacency from the block file only for the lifetime of its
+    unit.  Each solved site is appended to the artifact store immediately
+    — held vectors never exceed one chunk's worth plus the units a fused
+    chunk straddles — and the finished generation is published with an
+    atomic manifest-pointer flip.
+
+    *warm* may be a live :class:`~repro.engine.warm.WarmStartState` (also
+    recorded into, like :meth:`RankingPlan.execute`) or a previous
+    :class:`~repro.io.artifacts.RankedGeneration` / the store itself
+    persisting the vectors between processes.
+    """
+    if not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store, create=True)
+
+    record: Optional[WarmStartState] = None
+    if warm is None:
+        seed = None
+    elif isinstance(warm, WarmStartState):
+        seed = record = warm
+    elif isinstance(warm, RankedGeneration):
+        seed = GenerationWarmStart(warm)
+    elif isinstance(warm, GenerationWarmStart):
+        seed = warm
+    else:
+        raise ValidationError(
+            "warm must be a WarmStartState, a RankedGeneration or a "
+            "GenerationWarmStart")
+
+    if site_damping is None:
+        site_damping = damping
+    sites = graph.sites()
+    sizes = graph.site_sizes()
+
+    # Step 4 — the SiteGraph fits in RAM by construction; its adjacency is
+    # still read straight off the block file (dropped right after).
+    sitegraph = graph.sitegraph()
+    site_start = (seed.siterank_start(sitegraph.sites)
+                  if seed is not None else None)
+    site_result = siterank(sitegraph, site_damping,
+                           preference=site_preference, tol=tol,
+                           max_iter=max_iter, start=site_start)
+    del sitegraph
+
+    preferences: Dict[str, np.ndarray] = {}
+    for site in sites:
+        preference = graph.preference(site)
+        if preference is not None:
+            preferences[site] = preference
+    method = ("layered-personalized"
+              if site_preference is not None or preferences else "layered")
+
+    unit_of: Dict[str, SolveUnit] = {}
+    for unit in plan_solve_units(sites, sizes, max_docs=max_docs,
+                                 target_docs=target_docs):
+        for site in unit.sites:
+            unit_of[site] = unit
+
+    writer = store.create_generation(method=method,
+                                     n_documents=graph.n_documents)
+    solved: Dict[str, object] = {}
+    iterations = site_result.iterations
+    try:
+        for site in sites:
+            if site not in solved:
+                unit = unit_of[site]
+                tasks = []
+                for member in unit.sites:
+                    adjacency, member_ids = graph.local_block(member)
+                    doc_ids = tuple(int(doc_id) for doc_id in member_ids)
+                    start = (seed.local_start(member, list(doc_ids))
+                             if seed is not None else None)
+                    tasks.append(LocalRankTask(
+                        site=member, adjacency=adjacency, doc_ids=doc_ids,
+                        damping=damping,
+                        preference=preferences.get(member),
+                        tol=tol, max_iter=max_iter, start=start))
+                if unit.kind == "fused":
+                    # Packing copies the blocks into one block-diagonal
+                    # CSR; dropping the tasks unmaps the source pages
+                    # before the solve runs.
+                    batched = BatchedSiteTask.from_tasks(tasks)
+                    del tasks
+                    for rank in batched.run():
+                        solved[rank.site] = rank
+                    del batched
+                else:
+                    rank = tasks[0].run()
+                    del tasks
+                    solved[rank.site] = rank
+            rank = solved.pop(site)
+            writer.append_site(site, rank.doc_ids,
+                               graph.urls_of_positions(rank.doc_ids),
+                               rank.scores, site_result.score_of(site),
+                               rank.iterations)
+            iterations += rank.iterations
+            if record is not None:
+                record.record_local(site, rank.doc_ids, rank.scores)
+        generation = writer.finalize(
+            siterank_sites=site_result.sites,
+            siterank_scores=site_result.scores,
+            siterank_iterations=site_result.iterations,
+            siterank_damping=site_result.damping,
+            iterations=iterations)
+    except BaseException:
+        writer.abort()
+        raise
+    if record is not None:
+        record.record_siterank(site_result.sites, site_result.scores)
+    store.publish(generation.name)
+    return OutOfCoreRanking(store=store, generation=generation,
+                            siterank=site_result, method=method,
+                            iterations=iterations)
+
+
+__all__ = [
+    "GenerationWarmStart",
+    "OutOfCoreRanking",
+    "SolveUnit",
+    "plan_solve_units",
+    "rank_outofcore",
+]

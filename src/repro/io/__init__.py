@@ -1,5 +1,22 @@
-"""I/O helpers: edge lists, JSON/TOML serialisation, bundled toy datasets."""
+"""I/O helpers: edge lists, serialisation, on-disk graph + ranking stores.
 
+Besides the plain-text interchange formats, two binary on-disk formats
+back the out-of-core path:
+
+* :mod:`repro.io.diskgraph` — the memory-mapped CSR graph store
+  (:class:`DiskGraph`) plus :class:`DiskGraphBuilder`, the
+  bounded-memory streaming ingest;
+* :mod:`repro.io.artifacts` — the ranked-artifact store
+  (:class:`ArtifactStore`) of published score generations a server can
+  serve straight off the page cache.
+"""
+
+from .artifacts import (
+    ArtifactStore,
+    GenerationWriter,
+    RankedGeneration,
+    open_artifact_store,
+)
 from .config_io import (
     CONFIG_SUFFIXES,
     TOML_READ_AVAILABLE,
@@ -9,11 +26,20 @@ from .config_io import (
     save_config_mapping,
 )
 from .datasets import SPAMMY_WEB_EDGES, TOY_WEB_EDGES, spammy_web, toy_web
+from .diskgraph import (
+    DiskGraph,
+    DiskGraphBuilder,
+    open_diskgraph,
+    write_diskgraph,
+)
 from .edgelist import (
+    STREAM_CHUNK_EDGES,
     docgraph_digest,
     iter_url_edges,
     read_docgraph,
     read_url_edgelist,
+    stream_url_edgelist,
+    stream_url_edges,
     write_docgraph,
     write_url_edgelist,
 )
@@ -27,6 +53,10 @@ from .serialization import (
 )
 
 __all__ = [
+    "ArtifactStore",
+    "GenerationWriter",
+    "RankedGeneration",
+    "open_artifact_store",
     "CONFIG_SUFFIXES",
     "TOML_READ_AVAILABLE",
     "dumps_toml",
@@ -37,10 +67,17 @@ __all__ = [
     "TOY_WEB_EDGES",
     "spammy_web",
     "toy_web",
+    "DiskGraph",
+    "DiskGraphBuilder",
+    "open_diskgraph",
+    "write_diskgraph",
+    "STREAM_CHUNK_EDGES",
     "docgraph_digest",
     "iter_url_edges",
     "read_docgraph",
     "read_url_edgelist",
+    "stream_url_edgelist",
+    "stream_url_edges",
     "write_docgraph",
     "write_url_edgelist",
     "experiment_rows_to_markdown",

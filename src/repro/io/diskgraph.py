@@ -1,0 +1,731 @@
+"""On-disk, memory-mapped graph store for out-of-core ranking.
+
+A *disk graph* is one versioned directory persisting exactly the buffer
+families the engine already works with in RAM:
+
+* per-site local adjacency blocks — the ``(data, indices, indptr)`` CSR
+  triples :meth:`repro.web.docgraph.DocGraph.local_adjacency` extracts;
+* the aggregated :class:`~repro.web.sitegraph.SiteGraph` (one more CSR
+  family plus the site-size vector);
+* per-site document-id vectors, optional preference vectors, and the
+  document table (URL blob + offsets, site index, dynamic flags).
+
+All arrays live back to back in a single ``blocks.bin``, placed by the
+same :class:`~repro.linalg.layout.BumpLayout` codec the shared-memory
+:class:`~repro.engine.arena.GraphArena` uses, and a ``manifest.json``
+(written atomically via :func:`repro.io.serialization.save_json`) records
+each array's dtype, byte offset and element count.  Readers rebuild every
+matrix zero-copy with ``np.memmap`` +
+:func:`repro.linalg.sparse_utils.csr_from_buffers`: opening a disk graph
+faults in manifest-sized metadata only, and ranking it touches one site
+block (or one packed batch of small sites) at a time.
+
+Two build paths exist:
+
+* :func:`write_diskgraph` — persist an in-memory :class:`DocGraph`
+  (convenient for tests and for graphs that do fit in RAM);
+* :class:`DiskGraphBuilder` — the streaming path behind
+  ``repro rank --on-disk``: it ingests an edge list chunk by chunk,
+  keeping only O(documents) vertex metadata resident while intra-site
+  edges spill to bucketed temporary files, and emits the site blocks
+  bucket by bucket at :meth:`~DiskGraphBuilder.finalize` — the full web's
+  edge set is never materialised in memory.
+
+The builder assigns document ids, sites and dynamic flags with exactly
+the :meth:`DocGraph.add_link` rules (first-seen ids, URL normalisation,
+host-based site extraction), so a streamed build of an edge list is
+block-for-block identical to writing the equivalent in-memory DocGraph.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphStructureError, ValidationError
+from ..linalg.layout import ALIGNMENT, BumpLayout
+from ..linalg.sparse_utils import coo_from_edges, csr_from_buffers
+from ..web.docgraph import DocGraph, Document
+from ..web.sitegraph import SiteGraph, aggregate_sitegraph
+from ..web.url import is_dynamic_url, normalize_url, site_of
+from .serialization import load_json, save_json
+
+#: ``format`` field every disk-graph manifest must carry.
+FORMAT_NAME = "repro-diskgraph"
+
+#: Current (and only) manifest schema version.
+FORMAT_VERSION = 1
+
+#: File names inside a disk-graph directory.
+MANIFEST_FILE = "manifest.json"
+BLOCKS_FILE = "blocks.bin"
+
+#: Number of spill buckets the streaming builder hashes sites into; the
+#: finalize pass loads one bucket's intra-site edges at a time, so peak
+#: builder memory is ~``intra_edges / SPILL_BUCKETS`` edge records.
+SPILL_BUCKETS = 64
+
+#: Edges buffered per bucket before a spill write (keeps the builder from
+#: issuing one tiny file write per edge).
+SPILL_BUFFER_EDGES = 16384
+
+
+# --------------------------------------------------------------------- #
+# Manifest array specs
+# --------------------------------------------------------------------- #
+
+def _spec(dtype: np.dtype, offset: int, count: int) -> Dict[str, object]:
+    return {"dtype": np.dtype(dtype).str, "offset": int(offset),
+            "count": int(count)}
+
+
+def _check_spec(spec: object, nbytes: int, what: str) -> Dict[str, object]:
+    """Validate one manifest array spec against the blocks-file size."""
+    if not isinstance(spec, dict):
+        raise ValidationError(f"{what}: array spec must be an object")
+    for key in ("dtype", "offset", "count"):
+        if key not in spec:
+            raise ValidationError(f"{what}: array spec is missing {key!r}")
+    try:
+        dtype = np.dtype(spec["dtype"])
+    except TypeError:
+        raise ValidationError(
+            f"{what}: unknown dtype {spec['dtype']!r}") from None
+    offset, count = spec["offset"], spec["count"]
+    if not isinstance(offset, int) or not isinstance(count, int) \
+            or offset < 0 or count < 0:
+        raise ValidationError(
+            f"{what}: offset/count must be non-negative integers")
+    if offset + count * dtype.itemsize > nbytes:
+        raise ValidationError(
+            f"{what}: array [{offset}, {offset + count * dtype.itemsize}) "
+            f"exceeds the {nbytes}-byte block file")
+    return spec
+
+
+class _BlockWriter:
+    """Append aligned arrays to a block file via the shared layout codec."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._handle = open(path, "wb")
+        self._layout = BumpLayout(name=f"block file {path!r}")
+        self._closed = False
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the layout has consumed (final block-file size)."""
+        return self._layout.used
+
+    def write_array(self, array) -> Dict[str, object]:
+        array = np.ascontiguousarray(array)
+        offset = self._layout.place(array.nbytes)
+        self._handle.seek(offset)
+        array.tofile(self._handle)
+        return _spec(array.dtype, offset, array.size)
+
+    def write_csr(self, matrix) -> Dict[str, object]:
+        csr = matrix.tocsr()
+        # Canonical family order (layout.CSR_FAMILY): data, indices, indptr
+        # — the same order GraphArena.add_csr writes into a segment.
+        return {"shape": [int(csr.shape[0]), int(csr.shape[1])],
+                "data": self.write_array(csr.data),
+                "indices": self.write_array(csr.indices),
+                "indptr": self.write_array(csr.indptr)}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Pad to the layout's end so every manifest offset lies within the
+        # file (a trailing empty array may sit past the last written byte),
+        # and make the data durable before the manifest points at it.
+        self._handle.truncate(self._layout.used)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+
+
+# --------------------------------------------------------------------- #
+# Reader
+# --------------------------------------------------------------------- #
+
+class DiskGraph:
+    """Zero-copy reader over a disk-graph directory.
+
+    Every accessor creates *fresh* ``np.memmap`` views over exactly the
+    byte ranges it needs and holds no mapping itself — when the caller
+    drops the returned arrays the pages are unmapped, so streaming over
+    the sites keeps process RSS bounded by one block regardless of graph
+    size.  Manifest problems (missing files, truncated blocks, unknown
+    versions, corrupt JSON) raise
+    :class:`~repro.exceptions.ValidationError` at open time.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+        manifest_path = os.path.join(self._path, MANIFEST_FILE)
+        try:
+            manifest = load_json(manifest_path)
+        except FileNotFoundError:
+            raise ValidationError(
+                f"{self._path!r} is not a disk graph: no {MANIFEST_FILE}"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise ValidationError(
+                f"disk-graph manifest {manifest_path!r} is corrupt: {error}"
+            ) from None
+        if not isinstance(manifest, dict) \
+                or manifest.get("format") != FORMAT_NAME:
+            raise ValidationError(
+                f"{manifest_path!r} is not a {FORMAT_NAME} manifest")
+        if manifest.get("version") != FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported disk-graph version {manifest.get('version')!r} "
+                f"(this build reads version {FORMAT_VERSION})")
+        for key in ("blocks_file", "n_documents", "n_links", "sites",
+                    "sitegraph", "documents"):
+            if key not in manifest:
+                raise ValidationError(
+                    f"disk-graph manifest is missing {key!r}")
+        self._blocks_path = os.path.join(self._path,
+                                         str(manifest["blocks_file"]))
+        try:
+            self._blocks_nbytes = os.path.getsize(self._blocks_path)
+        except OSError:
+            raise ValidationError(
+                f"disk graph {self._path!r} is missing its block file "
+                f"{manifest['blocks_file']!r}") from None
+        if not isinstance(manifest["sites"], list):
+            raise ValidationError("disk-graph manifest: sites must be a list")
+        self._entries: Dict[str, dict] = {}
+        for entry in manifest["sites"]:
+            if not isinstance(entry, dict) or "site" not in entry:
+                raise ValidationError(
+                    "disk-graph manifest: malformed site entry")
+            site = str(entry["site"])
+            if site in self._entries:
+                raise ValidationError(
+                    f"disk-graph manifest: duplicate site {site!r}")
+            self._check_csr(entry.get("adjacency"), f"site {site!r}")
+            _check_spec(entry.get("doc_ids"), self._blocks_nbytes,
+                        f"site {site!r} doc_ids")
+            if entry.get("preference") is not None:
+                _check_spec(entry["preference"], self._blocks_nbytes,
+                            f"site {site!r} preference")
+            self._entries[site] = entry
+        self._check_csr(manifest["sitegraph"].get("adjacency"), "sitegraph")
+        documents = manifest["documents"]
+        if not isinstance(documents, dict):
+            raise ValidationError(
+                "disk-graph manifest: documents must be an object")
+        for key in ("url_blob", "url_offsets", "doc_sites", "is_dynamic"):
+            _check_spec(documents.get(key), self._blocks_nbytes,
+                        f"documents.{key}")
+        self._manifest = manifest
+
+    def _check_csr(self, family: object, what: str) -> None:
+        if not isinstance(family, dict) or "shape" not in family:
+            raise ValidationError(f"{what}: malformed CSR family")
+        for name in ("data", "indices", "indptr"):
+            _check_spec(family.get(name), self._blocks_nbytes,
+                        f"{what} {name}")
+
+    # ------------------------------------------------------------------ #
+    # Mapping primitives
+    # ------------------------------------------------------------------ #
+    def _map(self, spec: Dict[str, object]) -> np.ndarray:
+        """A fresh read-only memmap over one manifest array."""
+        dtype = np.dtype(spec["dtype"])
+        count = int(spec["count"])
+        if count == 0:
+            return np.empty(0, dtype=dtype)
+        return np.memmap(self._blocks_path, dtype=dtype, mode="r",
+                         offset=int(spec["offset"]), shape=(count,))
+
+    def _map_csr(self, family: Dict[str, object]):
+        shape = tuple(int(s) for s in family["shape"])
+        return csr_from_buffers(self._map(family["data"]),
+                                self._map(family["indices"]),
+                                self._map(family["indptr"]), shape)
+
+    # ------------------------------------------------------------------ #
+    # Graph surface
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> str:
+        """The disk-graph directory."""
+        return self._path
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the block file on disk."""
+        return self._blocks_nbytes
+
+    @property
+    def n_documents(self) -> int:
+        """Number of documents ``N_D``."""
+        return int(self._manifest["n_documents"])
+
+    @property
+    def n_links(self) -> int:
+        """Number of DocLinks (counting multiplicity, inter-site included)."""
+        return int(self._manifest["n_links"])
+
+    @property
+    def n_sites(self) -> int:
+        """Number of web sites ``N_S``."""
+        return len(self._entries)
+
+    def sites(self) -> List[str]:
+        """All site identifiers, in first-seen order."""
+        return list(self._entries)
+
+    def site_sizes(self) -> Dict[str, int]:
+        """``size(s)`` for every site."""
+        return {site: int(entry["doc_ids"]["count"])
+                for site, entry in self._entries.items()}
+
+    def _entry(self, site: str) -> dict:
+        try:
+            return self._entries[site]
+        except KeyError:
+            raise GraphStructureError(f"unknown site {site!r}") from None
+
+    def doc_ids_of(self, site: str) -> np.ndarray:
+        """One site's global document ids (fresh int64 memmap)."""
+        return self._map(self._entry(site)["doc_ids"])
+
+    def local_block(self, site: str) -> Tuple[object, np.ndarray]:
+        """One site's ``(local CSR, doc-id vector)`` as fresh memmap views.
+
+        The zero-copy form the out-of-core engine hydrates per chunk;
+        dropping the returned objects unmaps the block.
+        """
+        entry = self._entry(site)
+        return self._map_csr(entry["adjacency"]), self._map(entry["doc_ids"])
+
+    def local_adjacency(self, site: str) -> Tuple[object, List[int]]:
+        """Drop-in for :meth:`DocGraph.local_adjacency` (ids as a list)."""
+        matrix, doc_ids = self.local_block(site)
+        return matrix, [int(doc_id) for doc_id in doc_ids]
+
+    def preference(self, site: str) -> Optional[np.ndarray]:
+        """One site's persisted preference vector, or ``None``."""
+        spec = self._entry(site).get("preference")
+        return None if spec is None else self._map(spec)
+
+    def sitegraph(self) -> SiteGraph:
+        """The aggregated SiteGraph (adjacency zero-copy over the blocks)."""
+        entry = self._manifest["sitegraph"]
+        return SiteGraph(sites=self.sites(),
+                         adjacency=self._map_csr(entry["adjacency"]),
+                         site_sizes=[int(size)
+                                     for size in entry["site_sizes"]],
+                         include_self_links=bool(
+                             entry.get("include_self_links", False)))
+
+    # ------------------------------------------------------------------ #
+    # Document table
+    # ------------------------------------------------------------------ #
+    def _check_doc_id(self, doc_id: int) -> int:
+        doc_id = int(doc_id)
+        if not 0 <= doc_id < self.n_documents:
+            raise GraphStructureError(f"unknown document id {doc_id}")
+        return doc_id
+
+    def url_of(self, doc_id: int) -> str:
+        """Canonical URL of one document id."""
+        doc_id = self._check_doc_id(doc_id)
+        documents = self._manifest["documents"]
+        offsets = self._map(documents["url_offsets"])
+        blob = self._map(documents["url_blob"])
+        start, end = int(offsets[doc_id]), int(offsets[doc_id + 1])
+        return bytes(blob[start:end]).decode("utf-8")
+
+    def site_of_document(self, doc_id: int) -> str:
+        """Site identifier of a document id."""
+        doc_id = self._check_doc_id(doc_id)
+        doc_sites = self._map(self._manifest["documents"]["doc_sites"])
+        return self.sites()[int(doc_sites[doc_id])]
+
+    def document(self, doc_id: int) -> Document:
+        """The full :class:`Document` record of one id."""
+        doc_id = self._check_doc_id(doc_id)
+        dynamic = self._map(self._manifest["documents"]["is_dynamic"])
+        return Document(doc_id=doc_id, url=self.url_of(doc_id),
+                        site=self.site_of_document(doc_id),
+                        is_dynamic=bool(dynamic[doc_id]))
+
+    def urls_of_positions(self, doc_ids: Sequence[int]) -> List[str]:
+        """URLs of many document ids with one mapping of the URL table."""
+        documents = self._manifest["documents"]
+        offsets = self._map(documents["url_offsets"])
+        blob = self._map(documents["url_blob"])
+        urls = []
+        for doc_id in doc_ids:
+            index = self._check_doc_id(doc_id)
+            start, end = int(offsets[index]), int(offsets[index + 1])
+            urls.append(bytes(blob[start:end]).decode("utf-8"))
+        return urls
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DiskGraph(path={self._path!r}, "
+                f"n_documents={self.n_documents}, n_sites={self.n_sites})")
+
+
+def open_diskgraph(path: str | os.PathLike) -> DiskGraph:
+    """Open (and validate) a disk-graph directory."""
+    return DiskGraph(path)
+
+
+# --------------------------------------------------------------------- #
+# Shared manifest/block emission
+# --------------------------------------------------------------------- #
+
+def _write_store(path: str, writer_fill: Callable[[_BlockWriter], dict]
+                 ) -> DiskGraph:
+    """Write blocks + manifest with crash-safe ordering.
+
+    Blocks are written to a temporary sibling and renamed into place
+    *before* the manifest (itself atomic write-then-rename with a parent
+    fsync), so readers only ever see a manifest whose offsets point at
+    complete block data — an interrupted write leaves the previous store
+    (or no store) behind, never a torn one.
+    """
+    os.makedirs(path, exist_ok=True)
+    fd, tmp_blocks = tempfile.mkstemp(dir=path, prefix=BLOCKS_FILE + ".tmp.")
+    os.close(fd)
+    writer = _BlockWriter(tmp_blocks)
+    try:
+        manifest = writer_fill(writer)
+        manifest.update({
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "alignment": ALIGNMENT,
+            "blocks_file": BLOCKS_FILE,
+            "blocks_nbytes": writer.nbytes,
+        })
+        writer.close()
+        os.replace(tmp_blocks, os.path.join(path, BLOCKS_FILE))
+    except BaseException:
+        try:
+            writer.close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+        try:
+            os.unlink(tmp_blocks)
+        except OSError:
+            pass
+        raise
+    save_json(manifest, os.path.join(path, MANIFEST_FILE), atomic=True)
+    return DiskGraph(path)
+
+
+def _document_table(writer: _BlockWriter, urls: Sequence[str],
+                    site_indices: Sequence[int],
+                    dynamic_flags: Sequence[bool]) -> dict:
+    encoded = [url.encode("utf-8") for url in urls]
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    np.cumsum([len(blob) for blob in encoded], out=offsets[1:])
+    blob = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+    return {
+        "url_blob": writer.write_array(blob),
+        "url_offsets": writer.write_array(offsets),
+        "doc_sites": writer.write_array(
+            np.asarray(site_indices, dtype=np.int32)),
+        "is_dynamic": writer.write_array(
+            np.asarray(dynamic_flags, dtype=np.uint8)),
+    }
+
+
+def write_diskgraph(docgraph: DocGraph, path: str | os.PathLike, *,
+                    preferences: Optional[Dict[str, np.ndarray]] = None,
+                    include_site_self_links: bool = False) -> DiskGraph:
+    """Persist an in-memory :class:`DocGraph` as a disk graph.
+
+    *preferences* optionally maps sites to local preference vectors (the
+    per-document personalisation the out-of-core solve should use).
+    """
+    if docgraph.n_documents == 0:
+        raise GraphStructureError("cannot persist an empty DocGraph")
+    path = os.fspath(path)
+    preferences = preferences or {}
+    unknown = set(preferences) - set(docgraph.sites())
+    if unknown:
+        raise ValidationError(
+            f"preferences reference unknown sites: {sorted(unknown)!r}")
+
+    def fill(writer: _BlockWriter) -> dict:
+        sites = docgraph.sites()
+        site_index = {site: index for index, site in enumerate(sites)}
+        entries = []
+        for site in sites:
+            local, doc_ids = docgraph.local_adjacency(site)
+            entry = {
+                "site": site,
+                "adjacency": writer.write_csr(local),
+                "doc_ids": writer.write_array(
+                    np.asarray(doc_ids, dtype=np.int64)),
+                "preference": None,
+            }
+            preference = preferences.get(site)
+            if preference is not None:
+                vector = np.ascontiguousarray(preference,
+                                              dtype=float).ravel()
+                if vector.size != len(doc_ids):
+                    raise ValidationError(
+                        f"preference for site {site!r} has length "
+                        f"{vector.size}, expected {len(doc_ids)}")
+                entry["preference"] = writer.write_array(vector)
+            entries.append(entry)
+        sitegraph = aggregate_sitegraph(
+            docgraph, include_self_links=include_site_self_links)
+        return {
+            "n_documents": docgraph.n_documents,
+            "n_links": docgraph.n_links,
+            "sites": entries,
+            "sitegraph": {
+                "adjacency": writer.write_csr(sitegraph.adjacency),
+                "site_sizes": [int(size) for size in sitegraph.site_sizes],
+                "include_self_links": bool(sitegraph.include_self_links),
+            },
+            "documents": _document_table(
+                writer,
+                [document.url for document in docgraph.documents()],
+                [site_index[document.site]
+                 for document in docgraph.documents()],
+                [document.is_dynamic for document in docgraph.documents()]),
+        }
+
+    return _write_store(path, fill)
+
+
+# --------------------------------------------------------------------- #
+# Streaming builder
+# --------------------------------------------------------------------- #
+
+class DiskGraphBuilder:
+    """Build a disk graph from a streamed edge list in bounded memory.
+
+    Only O(documents) vertex metadata stays resident (the URL→id map the
+    id assignment fundamentally requires, plus per-document site/flag
+    records); intra-site edges spill to :data:`SPILL_BUCKETS` bucketed
+    temporary files and inter-site edges collapse into SiteLink counts as
+    they arrive.  :meth:`finalize` then emits the per-site CSR blocks one
+    bucket at a time, so peak memory never scales with the edge count.
+
+    Document identity follows :meth:`DocGraph.add_link` exactly
+    (normalised URLs, first-seen dense ids, *site_extractor* defaulting to
+    the host-based :func:`repro.web.url.site_of`), which is what makes a
+    streamed build bitwise-interchangeable with
+    :func:`write_diskgraph` over the same edges.
+    """
+
+    def __init__(self, path: str | os.PathLike, *,
+                 site_extractor: Optional[Callable[[str], str]] = None,
+                 normalize: bool = True,
+                 include_site_self_links: bool = False,
+                 spill_buckets: int = SPILL_BUCKETS) -> None:
+        if spill_buckets <= 0:
+            raise ValidationError("spill_buckets must be positive")
+        self._path = os.fspath(path)
+        os.makedirs(self._path, exist_ok=True)
+        self._site_extractor = site_extractor or site_of
+        self._normalize = normalize
+        self._include_self_links = bool(include_site_self_links)
+        self._spill = tempfile.TemporaryDirectory(
+            dir=self._path, prefix=".build.")
+        self._n_buckets = int(spill_buckets)
+        self._buffers: List[List[int]] = [[] for _ in range(self._n_buckets)]
+        self._bucket_files: List[Optional[str]] = [None] * self._n_buckets
+        # Vertex metadata (the resident O(documents) state).
+        self._id_by_url: Dict[str, int] = {}
+        self._urls: List[str] = []
+        self._doc_site: List[int] = []
+        self._dynamic: List[bool] = []
+        self._sites: List[str] = []
+        self._site_index: Dict[str, int] = {}
+        self._docs_by_site: List[List[int]] = []
+        # Edge accounting.
+        self._sitelink_counts: Dict[Tuple[int, int], int] = {}
+        self._n_links = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_documents(self) -> int:
+        """Documents registered so far."""
+        return len(self._urls)
+
+    @property
+    def n_links(self) -> int:
+        """Edges ingested so far (counting multiplicity)."""
+        return self._n_links
+
+    @property
+    def n_sites(self) -> int:
+        """Distinct sites seen so far."""
+        return len(self._sites)
+
+    # ------------------------------------------------------------------ #
+    def add_document(self, url: str, *, site: Optional[str] = None,
+                     is_dynamic: Optional[bool] = None) -> int:
+        """Register a document (idempotent); mirrors ``DocGraph.add_document``."""
+        if self._finalized:
+            raise ValidationError("builder is already finalized")
+        key = normalize_url(url) if self._normalize else url
+        existing = self._id_by_url.get(key)
+        if existing is not None:
+            return existing
+        if site is None:
+            site = self._site_extractor(key)
+        if is_dynamic is None:
+            try:
+                is_dynamic = is_dynamic_url(key)
+            except ValidationError:
+                is_dynamic = False
+        site_index = self._site_index.get(site)
+        if site_index is None:
+            site_index = len(self._sites)
+            self._site_index[site] = site_index
+            self._sites.append(site)
+            self._docs_by_site.append([])
+        doc_id = len(self._urls)
+        self._id_by_url[key] = doc_id
+        self._urls.append(key)
+        self._doc_site.append(site_index)
+        self._dynamic.append(bool(is_dynamic))
+        self._docs_by_site[site_index].append(doc_id)
+        return doc_id
+
+    def add_edge(self, source_url: str, target_url: str) -> None:
+        """Ingest one DocLink (endpoints registered on first sight)."""
+        source = self.add_document(source_url)
+        target = self.add_document(target_url)
+        self._n_links += 1
+        source_site = self._doc_site[source]
+        target_site = self._doc_site[target]
+        if source_site == target_site:
+            buffer = self._buffers[source_site % self._n_buckets]
+            buffer.append(source)
+            buffer.append(target)
+            if len(buffer) >= 2 * SPILL_BUFFER_EDGES:
+                self._flush_bucket(source_site % self._n_buckets)
+            if self._include_self_links:
+                pair = (source_site, source_site)
+                self._sitelink_counts[pair] = \
+                    self._sitelink_counts.get(pair, 0) + 1
+        else:
+            pair = (source_site, target_site)
+            self._sitelink_counts[pair] = \
+                self._sitelink_counts.get(pair, 0) + 1
+
+    def add_edges(self, edges: Iterable[Tuple[str, str]]) -> None:
+        """Ingest many ``(source URL, target URL)`` pairs."""
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    def consume(self, chunks: Iterable[Sequence[Tuple[str, str]]]) -> None:
+        """Ingest a chunked stream (``repro.io.edgelist.stream_url_edgelist``)."""
+        for chunk in chunks:
+            self.add_edges(chunk)
+
+    # ------------------------------------------------------------------ #
+    def _flush_bucket(self, bucket: int) -> None:
+        buffer = self._buffers[bucket]
+        if not buffer:
+            return
+        if self._bucket_files[bucket] is None:
+            self._bucket_files[bucket] = os.path.join(
+                self._spill.name, f"bucket-{bucket:04d}.bin")
+        with open(self._bucket_files[bucket], "ab") as handle:
+            np.asarray(buffer, dtype=np.int64).tofile(handle)
+        self._buffers[bucket] = []
+
+    def _bucket_edges(self, bucket: int) -> np.ndarray:
+        path = self._bucket_files[bucket]
+        if path is None:
+            return np.empty((0, 2), dtype=np.int64)
+        edges = np.fromfile(path, dtype=np.int64)
+        return edges.reshape(-1, 2)
+
+    def finalize(self) -> DiskGraph:
+        """Emit site blocks, SiteGraph and document table; return the store."""
+        if self._finalized:
+            raise ValidationError("builder is already finalized")
+        if not self._urls:
+            raise GraphStructureError("cannot persist an empty graph")
+        self._finalized = True
+        for bucket in range(self._n_buckets):
+            self._flush_bucket(bucket)
+        doc_site = np.asarray(self._doc_site, dtype=np.int64)
+
+        def fill(writer: _BlockWriter) -> dict:
+            entries: List[Optional[dict]] = [None] * len(self._sites)
+            for bucket in range(self._n_buckets):
+                edges = self._bucket_edges(bucket)
+                source_sites = doc_site[edges[:, 0]] if edges.size else \
+                    np.empty(0, dtype=np.int64)
+                for site_index in range(bucket, len(self._sites),
+                                        self._n_buckets):
+                    doc_ids = np.asarray(self._docs_by_site[site_index],
+                                         dtype=np.int64)
+                    local_edges = edges[source_sites == site_index]
+                    # Site doc ids ascend (assigned in first-seen order),
+                    # so local indices are searchsorted positions — the
+                    # same local order DocGraph.local_adjacency uses.
+                    local_src = np.searchsorted(doc_ids, local_edges[:, 0])
+                    local_tgt = np.searchsorted(doc_ids, local_edges[:, 1])
+                    local = coo_from_edges(
+                        zip(local_src.tolist(), local_tgt.tolist()),
+                        int(doc_ids.size))
+                    entries[site_index] = {
+                        "site": self._sites[site_index],
+                        "adjacency": writer.write_csr(local),
+                        "doc_ids": writer.write_array(doc_ids),
+                        "preference": None,
+                    }
+            pairs = sorted(self._sitelink_counts)
+            weights = [float(self._sitelink_counts[pair]) for pair in pairs]
+            site_adjacency = coo_from_edges(pairs, len(self._sites),
+                                            weights=weights)
+            return {
+                "n_documents": len(self._urls),
+                "n_links": self._n_links,
+                "sites": entries,
+                "sitegraph": {
+                    "adjacency": writer.write_csr(site_adjacency),
+                    "site_sizes": [len(ids) for ids in self._docs_by_site],
+                    "include_self_links": self._include_self_links,
+                },
+                "documents": _document_table(writer, self._urls,
+                                             self._doc_site, self._dynamic),
+            }
+
+        try:
+            return _write_store(self._path, fill)
+        finally:
+            self._spill.cleanup()
+
+    def abort(self) -> None:
+        """Discard spill state without writing a store."""
+        self._finalized = True
+        self._spill.cleanup()
+
+
+__all__ = [
+    "BLOCKS_FILE",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_FILE",
+    "SPILL_BUCKETS",
+    "DiskGraph",
+    "DiskGraphBuilder",
+    "open_diskgraph",
+    "write_diskgraph",
+]

@@ -14,10 +14,13 @@ from __future__ import annotations
 
 import hashlib
 import os
-from typing import Callable, Iterable, Iterator, Optional, TextIO, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, TextIO, Tuple
 
 from ..exceptions import ValidationError
 from ..web.docgraph import DocGraph
+
+#: Default number of edges per chunk yielded by :func:`stream_url_edges`.
+STREAM_CHUNK_EDGES = 8192
 
 
 def iter_url_edges(lines: Iterable[str]) -> Iterator[Tuple[str, str]]:
@@ -35,6 +38,43 @@ def iter_url_edges(lines: Iterable[str]) -> Iterator[Tuple[str, str]]:
             raise ValidationError(
                 f"line {line_number}: expected 2 fields, got {len(fields)}")
         yield fields[0], fields[1]
+
+
+def stream_url_edges(lines: Iterable[str], *,
+                     chunk_edges: int = STREAM_CHUNK_EDGES,
+                     ) -> Iterator[List[Tuple[str, str]]]:
+    """Yield URL edge pairs in bounded chunks, never holding the whole file.
+
+    The streaming counterpart of :func:`iter_url_edges` for out-of-core
+    builds (:class:`repro.io.diskgraph.DiskGraphBuilder`): *lines* is
+    consumed lazily — at most *chunk_edges* parsed edges (plus the one
+    line being parsed) are resident at any moment, so an edge list larger
+    than RAM streams through in constant memory.  Validation is identical
+    to :func:`iter_url_edges` (same line numbering in errors).
+    """
+    if chunk_edges <= 0:
+        raise ValidationError("chunk_edges must be positive")
+    chunk: List[Tuple[str, str]] = []
+    for edge in iter_url_edges(lines):
+        chunk.append(edge)
+        if len(chunk) >= chunk_edges:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def stream_url_edgelist(path: str | os.PathLike, *,
+                        chunk_edges: int = STREAM_CHUNK_EDGES,
+                        ) -> Iterator[List[Tuple[str, str]]]:
+    """Open *path* and stream its URL edges in bounded chunks.
+
+    A generator wrapper around :func:`stream_url_edges` that owns the file
+    handle: the file is opened lazily on first iteration and closed when
+    the generator is exhausted or garbage-collected.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from stream_url_edges(handle, chunk_edges=chunk_edges)
 
 
 def read_url_edgelist(path: str | os.PathLike, *,

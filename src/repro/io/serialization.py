@@ -80,8 +80,12 @@ def save_json(payload: Any, path: str | os.PathLike, *,
     file, flushed to disk, and renamed over *path* in one
     :func:`os.replace` step — so a crash mid-save can never leave a torn
     file behind: readers see either the complete previous contents or the
-    complete new ones.  State files that a restarted process must be able
-    to trust (:func:`save_warm_state`, ``repro serve --state``) use this.
+    complete new ones.  The parent directory is fsynced after the rename,
+    making the *rename itself* durable: without it a power loss can roll
+    the directory entry back to the old file even though the new bytes
+    were synced.  State files that a restarted process must be able to
+    trust (:func:`save_warm_state`, ``repro serve --state``, the disk-graph
+    and artifact-store manifests) use this.
     """
     if not atomic:
         with open(path, "w", encoding="utf-8") as handle:
@@ -109,6 +113,21 @@ def save_json(payload: Any, path: str | os.PathLike, *,
         except OSError:
             pass
         raise
+    # Durability of the rename: the directory entry for *path* lives in
+    # the directory's own blocks, which os.fsync on the file does not
+    # touch.  Some platforms refuse to fsync a directory fd (or to open
+    # one at all) — there the rename is still atomic, just not
+    # power-loss-durable, so degrade silently.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir opens
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def load_json(path: str | os.PathLike) -> Any:

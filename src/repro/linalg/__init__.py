@@ -13,6 +13,13 @@ from .block_solver import (
     pack_blocks,
     solve_blocks,
 )
+from .layout import (
+    ALIGNMENT,
+    CSR_FAMILY,
+    BumpLayout,
+    align_offset,
+    family_nbytes,
+)
 from .linear_solvers import (
     LinearSolveResult,
     gauss_seidel_pagerank,
@@ -60,6 +67,11 @@ __all__ = [
     "pack_block_vectors",
     "pack_blocks",
     "solve_blocks",
+    "ALIGNMENT",
+    "CSR_FAMILY",
+    "BumpLayout",
+    "align_offset",
+    "family_nbytes",
     "LinearSolveResult",
     "gauss_seidel_pagerank",
     "jacobi_pagerank",

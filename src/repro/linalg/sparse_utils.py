@@ -14,6 +14,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..exceptions import ValidationError
+from .layout import ALIGNMENT, family_nbytes
 
 
 def coo_from_edges(edges: Iterable[Tuple[int, int]], n: int,
@@ -130,17 +131,17 @@ def csr_from_buffers(data, indices, indptr,
                          copy=False)
 
 
-def csr_arena_nbytes(matrix, *, alignment: int = 16) -> int:
-    """Bytes a CSR matrix occupies in a shared-memory arena.
+def csr_arena_nbytes(matrix, *, alignment: int = ALIGNMENT) -> int:
+    """Bytes a CSR matrix's buffer family occupies in an aligned span.
 
     The sum of the three CSR array payloads plus one *alignment* slack per
-    array (the arena aligns every array start).  Used both to size arena
-    segments and as the by-value cost of shipping the matrix through
-    pickle instead.
+    array (:func:`repro.linalg.layout.family_nbytes`).  Used to size arena
+    segments and disk blocks, and as the by-value cost of shipping the
+    matrix through pickle instead.
     """
     csr = matrix.tocsr()
-    return (int(csr.data.nbytes) + int(csr.indices.nbytes)
-            + int(csr.indptr.nbytes) + 3 * alignment)
+    return family_nbytes(csr.data.nbytes, csr.indices.nbytes,
+                         csr.indptr.nbytes, alignment=alignment)
 
 
 def block_diagonal(blocks: Sequence) -> sp.csr_matrix:

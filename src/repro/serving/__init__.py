@@ -20,7 +20,10 @@ partition at serving time:
 * :mod:`repro.serving.replicas` — :class:`ReplicaSet`, N service replicas
   behind a consistent-hash ring with rolling zero-downtime rebuilds;
 * :mod:`repro.serving.frontend` — :class:`AsyncRankingServer`, the asyncio
-  high-QPS front end with request coalescing and admission control.
+  high-QPS front end with request coalescing and admission control;
+* :mod:`repro.serving.mmapstore` — :class:`MmapScoreStore`, the same shard
+  protocol served straight off a published ranked generation's mmap'd
+  files (``repro serve --store``), replicas sharing one mapping.
 
 Quickstart::
 
@@ -53,6 +56,7 @@ from .httpd import (
     route_request,
     serve_ranking,
 )
+from .mmapstore import MmapScoreStore
 from .replicas import HashRing, Replica, ReplicaSet
 from .service import RankingService
 from .store import ScoredDocument, ShardedScoreStore
@@ -74,6 +78,7 @@ __all__ = [
     "enable_access_log",
     "route_request",
     "serve_ranking",
+    "MmapScoreStore",
     "HashRing",
     "Replica",
     "ReplicaSet",

@@ -1,0 +1,318 @@
+"""Serving scores straight off a ranked generation's files.
+
+:class:`MmapScoreStore` is a :class:`~repro.serving.store.ShardedScoreStore`
+whose shards read from the memory-mapped arrays of a
+:class:`repro.io.artifacts.RankedGeneration` instead of resident lists.
+Everything above it — :class:`~repro.serving.topk.TopKEngine`,
+:class:`~repro.serving.service.RankingService`,
+:class:`~repro.serving.replicas.ReplicaSet` — works unchanged, because the
+store speaks the same shard protocol; what changes is the cost profile:
+
+* booting the store reads only the generation manifest — no score column
+  is loaded;
+* a top-k query faults in exactly the pages holding the head of each
+  shard's precomputed ``order.bin`` plus the k winning score/url entries,
+  so serving RSS stays near the interpreter baseline no matter how large
+  the ranking is (benchmark E19 asserts this);
+* :meth:`clone` / :meth:`rebuilt` — the replication and double-buffering
+  primitives — *share* the underlying mapping: every replica serves the
+  same physical page-cache pages, so N replicas cost N dictionaries, not
+  N score columns.
+
+Incremental updates still work: :meth:`update_site` installs an ordinary
+in-RAM shard that masks the mapped one (the generation files are never
+written), which is exactly the rolling-rebuild flow
+:meth:`ReplicaSet.apply_update` drives.  Point lookups for unmodified
+documents resolve through the generation's ``doc_position.bin`` inverse
+permutation — O(1), one page fault.
+
+Personalisation segments require score matrices that only the in-memory
+pipeline produces, so this store is base-ranking only.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import GraphStructureError, ValidationError
+from ..io.artifacts import ArtifactStore, RankedGeneration
+from .store import ScoredDocument, ShardedScoreStore, _Shard
+
+
+class _GenerationMap:
+    """The shared memmaps of one generation plus its shard boundary table.
+
+    One instance is shared by a store and every clone/replica derived from
+    it — the object identity *is* the "replicas share the mapping"
+    guarantee.
+    """
+
+    __slots__ = ("generation", "scores", "doc_ids", "doc_position", "order",
+                 "url_offsets", "urls", "shard_sites", "shard_offsets")
+
+    def __init__(self, generation: RankedGeneration) -> None:
+        self.generation = generation
+        self.scores = generation.array("scores")
+        self.doc_ids = generation.array("doc_ids")
+        self.doc_position = generation.array("doc_position")
+        self.order = generation.array("order")
+        self.url_offsets = generation.array("url_offsets")
+        self.urls = generation.array("urls")
+        shards = generation.shards()
+        self.shard_sites = [str(shard["site"]) for shard in shards]
+        self.shard_offsets = np.asarray(
+            [int(shard["offset"]) for shard in shards]
+            + [generation.n_documents], dtype=np.int64)
+
+    @property
+    def n_documents(self) -> int:
+        return self.generation.n_documents
+
+    def url_at(self, position: int) -> str:
+        start = int(self.url_offsets[position])
+        end = int(self.url_offsets[position + 1])
+        return bytes(self.urls[start:end]).decode("utf-8")
+
+    def site_of_position(self, position: int) -> str:
+        index = int(np.searchsorted(self.shard_offsets, position,
+                                    side="right")) - 1
+        return self.shard_sites[index]
+
+
+class _MmapShard:
+    """One site's shard served through the shared generation mapping.
+
+    Duck-typed against :class:`repro.serving.store._Shard`: ``len``,
+    ``document_at`` and ``iter_descending`` are what the store and the
+    top-k engine consume.  The sort order was precomputed at generation
+    write time (``order.bin``), so construction is O(1) and ordering
+    queries fault in only the pages they touch.
+    """
+
+    __slots__ = ("site", "generation", "_map", "_offset", "_count")
+
+    #: Base-ranking only; the store never passes a segment index.
+    segment_columns = None
+
+    def __init__(self, site: str, mapping: _GenerationMap, offset: int,
+                 count: int, generation: int) -> None:
+        self.site = site
+        self.generation = generation
+        self._map = mapping
+        self._offset = int(offset)
+        self._count = int(count)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def doc_ids(self) -> List[int]:
+        """The shard's document ids (materialised — used by shard swaps)."""
+        ids = self._map.doc_ids[self._offset:self._offset + self._count]
+        return [int(doc_id) for doc_id in ids]
+
+    def document_at(self, position: int,
+                    segment_index: Optional[int] = None) -> ScoredDocument:
+        if segment_index is not None:
+            raise ValidationError(
+                "mmap-backed shards serve the base ranking only")
+        if not 0 <= position < self._count:
+            raise IndexError(
+                f"position {position} out of range for shard "
+                f"{self.site!r} of {self._count} documents")
+        index = self._offset + int(self._map.order[self._offset + position])
+        return ScoredDocument(doc_id=int(self._map.doc_ids[index]),
+                              url=self._map.url_at(index),
+                              site=self.site,
+                              score=float(self._map.scores[index]))
+
+    def iter_descending(self, segment_index: Optional[int] = None
+                        ) -> Iterator[ScoredDocument]:
+        for position in range(self._count):
+            yield self.document_at(position, segment_index)
+
+
+class MmapScoreStore(ShardedScoreStore):
+    """A sharded score store serving a :class:`RankedGeneration` from disk.
+
+    Construction wraps an already-validated generation (or a path to one);
+    :meth:`from_store` opens an artifact store's *current* generation —
+    the ``repro serve --store`` boot path.
+    """
+
+    def __init__(self, generation: Union[RankedGeneration, str, os.PathLike]
+                 ) -> None:
+        if not isinstance(generation, RankedGeneration):
+            generation = RankedGeneration(generation)
+        super().__init__(())
+        self._map = _GenerationMap(generation)
+        for shard in generation.shards():
+            self._generation += 1
+            site = str(shard["site"])
+            self._shards[site] = _MmapShard(site, self._map,
+                                            int(shard["offset"]),
+                                            int(shard["count"]),
+                                            self._generation)
+
+    @classmethod
+    def from_store(cls, store: Union[ArtifactStore, str, os.PathLike]
+                   ) -> "MmapScoreStore":
+        """Open an artifact store's current generation for serving."""
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        return cls(store.generation())
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ranked_generation(self) -> RankedGeneration:
+        """The generation backing the mapped shards (shared with clones)."""
+        return self._map.generation
+
+    # ------------------------------------------------------------------ #
+    # Lookup plumbing: _entries only holds in-RAM replacement shards; a
+    # miss resolves through the generation's inverse permutation, valid
+    # only while the owning shard is still the mapped one.
+    # ------------------------------------------------------------------ #
+    def _owner_of(self, doc_id: int) -> Optional[str]:
+        entry = self._entries.get(doc_id)
+        if entry is not None:
+            return entry[0]
+        if 0 <= doc_id < self._map.n_documents:
+            position = int(self._map.doc_position[doc_id])
+            site = self._map.site_of_position(position)
+            shard = self._shards.get(site)
+            if isinstance(shard, _MmapShard) \
+                    and int(self._map.doc_ids[position]) == doc_id:
+                return site
+        return None
+
+    def _entry(self, doc_id: int) -> Tuple[str, str, float]:
+        entry = self._entries.get(doc_id)
+        if entry is not None:
+            return entry
+        if isinstance(doc_id, (int, np.integer)) \
+                and 0 <= doc_id < self._map.n_documents:
+            position = int(self._map.doc_position[doc_id])
+            site = self._map.site_of_position(position)
+            shard = self._shards.get(site)
+            if isinstance(shard, _MmapShard) \
+                    and int(self._map.doc_ids[position]) == doc_id:
+                return (site, self._map.url_at(position),
+                        float(self._map.scores[position]))
+        raise ValidationError(f"unknown document id {doc_id}") from None
+
+    def __contains__(self, doc_id: int) -> bool:
+        try:
+            return self._owner_of(int(doc_id)) is not None
+        except (TypeError, ValueError):
+            return False
+
+    @property
+    def n_documents(self) -> int:
+        """Total documents across all shards."""
+        return sum(len(shard) for shard in self._shards.values())
+
+    def link_scores(self, segment: Optional[str] = None) -> Dict[int, float]:
+        """``{doc_id: score}`` over all shards.
+
+        This necessarily faults the whole score column in — it exists for
+        the combined text+link rules, which a store-served deployment
+        without a text corpus never invokes.
+        """
+        if segment is not None:
+            self.segment_position(segment)  # raises: base-only store
+        result: Dict[int, float] = {}
+        for shard in self._shards.values():
+            if isinstance(shard, _MmapShard):
+                offset, count = shard._offset, shard._count
+                ids = self._map.doc_ids[offset:offset + count]
+                scores = self._map.scores[offset:offset + count]
+                for doc_id, score in zip(ids, scores):
+                    result[int(doc_id)] = float(score)
+            else:
+                for index, doc_id in enumerate(shard.doc_ids):
+                    result[doc_id] = float(shard.scores[index])
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Mutation: replacements become ordinary in-RAM shards masking the
+    # mapped ones; the generation files are never written.
+    # ------------------------------------------------------------------ #
+    def update_site(self, site: str, doc_ids, urls, scores, *,
+                    segment_columns=None) -> int:
+        scores = np.asarray(scores, dtype=float).ravel()
+        if not (len(doc_ids) == len(urls) == scores.size):
+            raise ValidationError("doc_ids, urls and scores must align")
+        if scores.size and not np.all(np.isfinite(scores)):
+            raise ValidationError(f"shard {site!r} has non-finite scores")
+        if len(set(doc_ids)) != len(doc_ids):
+            raise ValidationError(f"shard {site!r} has duplicate document ids")
+        if segment_columns is not None:
+            raise ValidationError(
+                "store has no personalisation segments; "
+                "segment_columns must be None")
+        # Validate ownership before mutating anything (as the base store
+        # does): a document may reappear in its own site's replacement but
+        # never be stolen from another live shard.
+        for doc_id in doc_ids:
+            owner = self._owner_of(int(doc_id))
+            if owner is not None and owner != site:
+                raise GraphStructureError(
+                    f"document {doc_id} already belongs to shard {owner!r}")
+        old = self._shards.get(site)
+        if isinstance(old, _Shard):
+            for doc_id in old.doc_ids:
+                del self._entries[doc_id]
+        self._generation += 1
+        shard = _Shard(site, list(doc_ids), list(urls), scores,
+                       self._generation, None)
+        self._shards[site] = shard
+        for index, doc_id in enumerate(shard.doc_ids):
+            self._entries[doc_id] = (site, shard.urls[index],
+                                     float(scores[index]))
+        return shard.generation
+
+    def drop_site(self, site: str) -> None:
+        """Remove one site's shard entirely."""
+        shard = self._shard(site)
+        if isinstance(shard, _Shard):
+            for doc_id in shard.doc_ids:
+                del self._entries[doc_id]
+        del self._shards[site]
+        self._generation += 1
+
+    def rebuilt(self, replacements: Dict[str, Tuple], *,
+                drop=()) -> "MmapScoreStore":
+        """The double-buffering back buffer, sharing the mapping.
+
+        Identical contract to the base store's ``rebuilt``; the clone
+        shares the :class:`_GenerationMap` (and every untouched shard
+        object) with this store, so replication and rolling rebuilds never
+        duplicate the on-disk score column.
+        """
+        clone = MmapScoreStore.__new__(MmapScoreStore)
+        ShardedScoreStore.__init__(clone, ())
+        clone._map = self._map
+        clone._shards = dict(self._shards)
+        clone._entries = dict(self._entries)
+        clone._generation = self._generation
+        for site in drop:
+            if site in clone._shards:
+                clone.drop_site(site)
+        for site, replacement in replacements.items():
+            doc_ids, urls, scores = replacement[:3]
+            columns = replacement[3] if len(replacement) > 3 else None
+            clone.update_site(site, doc_ids, urls, scores,
+                              segment_columns=columns)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MmapScoreStore(generation={self._map.generation.name!r}, "
+                f"n_shards={self.n_shards}, "
+                f"n_documents={self.n_documents})")
+
+
+__all__ = ["MmapScoreStore"]

@@ -113,3 +113,67 @@ class TestDocGraphRoundTrip:
         path.write_text("*NODES\n0\tsite\t0\thttp://a.org/\n*EDGES\n0\ty\n")
         with pytest.raises(ValidationError):
             read_docgraph(path)
+
+
+class TestStreamUrlEdges:
+    """The chunked, constant-memory streaming reader (out-of-core builds)."""
+
+    @staticmethod
+    def _lines(n):
+        return [f"http://s{i % 5}.org/p{i} http://s{(i + 1) % 5}.org/p{i}"
+                for i in range(n)]
+
+    def test_chunks_cover_the_stream_in_order(self):
+        from repro.io import iter_url_edges, stream_url_edges
+
+        lines = self._lines(25)
+        chunks = list(stream_url_edges(lines, chunk_edges=10))
+        assert [len(chunk) for chunk in chunks] == [10, 10, 5]
+        flattened = [edge for chunk in chunks for edge in chunk]
+        assert flattened == list(iter_url_edges(lines))
+
+    def test_consumes_input_lazily(self):
+        """At most one chunk of parsed edges is ever outstanding."""
+        from repro.io import stream_url_edges
+
+        pulled = 0
+
+        def counting_lines():
+            nonlocal pulled
+            for line in self._lines(1000):
+                pulled += 1
+                yield line
+
+        stream = stream_url_edges(counting_lines(), chunk_edges=10)
+        first = next(stream)
+        assert len(first) == 10
+        # The generator advanced only far enough to fill one chunk — the
+        # remaining 990 lines were never touched, so an edge list larger
+        # than RAM streams through in bounded memory.
+        assert pulled == 10
+        next(stream)
+        assert pulled == 20
+
+    def test_rejects_non_positive_chunk_size(self):
+        from repro.io import stream_url_edges
+
+        with pytest.raises(ValidationError):
+            next(stream_url_edges(self._lines(3), chunk_edges=0))
+
+    def test_malformed_line_keeps_line_numbering(self):
+        from repro.io import stream_url_edges
+
+        lines = ["# header", "http://a.org/ http://b.org/", "broken"]
+        with pytest.raises(ValidationError, match="line 3"):
+            list(stream_url_edges(lines))
+
+    def test_file_wrapper_round_trips(self, tmp_path, toy_docgraph):
+        from repro.io import read_url_edgelist, stream_url_edgelist
+
+        path = tmp_path / "edges.txt"
+        write_url_edgelist(toy_docgraph, path)
+        streamed = [edge for chunk in
+                    stream_url_edgelist(path, chunk_edges=4)
+                    for edge in chunk]
+        loaded = read_url_edgelist(path)
+        assert len(streamed) == loaded.n_links

@@ -514,3 +514,97 @@ class TestModuleInvocation:
                                 capture_output=True, text=True, timeout=120)
         assert result.returncode == 0
         assert "approach-4" in result.stdout
+
+
+class TestOutOfCoreCommands:
+    GRAPH_ARGS = ["--sites", "6", "--documents", "150", "--seed", "13"]
+
+    def test_on_disk_requires_output(self, capsys):
+        assert main(["rank", "--on-disk"]) == EXIT_ERROR
+        assert "--on-disk requires --output" in capsys.readouterr().err
+
+    def test_output_requires_on_disk(self, tmp_path, capsys):
+        exit_code = main(["rank", "--output", str(tmp_path / "s")])
+        assert exit_code == EXIT_ERROR
+        assert "--output requires --on-disk" in capsys.readouterr().err
+
+    def test_on_disk_rejects_non_layered_methods(self, tmp_path, capsys):
+        exit_code = main(["rank", "--on-disk", "--output",
+                          str(tmp_path / "s"), "--method", "pagerank"])
+        assert exit_code == EXIT_ERROR
+        assert "only the layered method" in capsys.readouterr().err
+
+    def test_rank_then_serve_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["rank", "--on-disk", "--output", store,
+                     *self.GRAPH_ARGS, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "published generation gen-000001" in out
+        assert "top-3 by layered" in out
+
+        # A re-run warm-starts from the published generation.
+        assert main(["rank", "--on-disk", "--output", store,
+                     *self.GRAPH_ARGS, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "warm-starting from generation gen-000001" in out
+        assert "published generation gen-000002" in out
+
+        # The published store boots the serving stack without re-ranking.
+        assert main(["serve", "--store", store, "--port", "0",
+                     "--duration", "0.2", "--replicas", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "generation gen-000002" in out
+        assert "server stopped" in out
+
+    def test_serve_store_rejects_state(self, tmp_path, capsys):
+        assert main(["serve", "--store", str(tmp_path / "s"),
+                     "--state", str(tmp_path / "warm.json")]) == EXIT_ERROR
+        assert "--state" in capsys.readouterr().err
+
+    def test_serve_store_missing_store(self, tmp_path, capsys):
+        assert main(["serve", "--store", str(tmp_path / "nope"),
+                     "--port", "0", "--duration", "0.1"]) == EXIT_ERROR
+        assert "not an artifact store" in capsys.readouterr().err
+
+    def test_store_serve_is_byte_identical_to_in_memory_serve(
+            self, tmp_path, capsys):
+        """The acceptance criterion: rank --on-disk + serve --store answers
+        exactly like serving the in-memory ranking of the same web."""
+        import urllib.request
+
+        from repro.api import Ranker
+        from repro.graphgen import generate_synthetic_web
+        from repro.serving import (
+            MmapScoreStore,
+            RankingHTTPServer,
+            RankingService,
+        )
+
+        store = str(tmp_path / "store")
+        assert main(["rank", "--on-disk", "--output", store,
+                     *self.GRAPH_ARGS]) == 0
+        capsys.readouterr()
+
+        web = generate_synthetic_web(n_sites=6, n_documents=150, seed=13)
+        memory_service = RankingService.from_ranking(
+            Ranker().fit(web).ranking, web)
+        mmap_service = RankingService(MmapScoreStore.from_store(store))
+
+        def fetch(server, path):
+            with urllib.request.urlopen(server.url + path,
+                                        timeout=10) as response:
+                return response.read()
+
+        memory_server = RankingHTTPServer(memory_service, port=0)
+        mmap_server = RankingHTTPServer(mmap_service, port=0)
+        memory_server.start_background()
+        mmap_server.start_background()
+        try:
+            for path in ("/top?k=25", "/top?k=5&site=site002.example.org",
+                         "/score?doc=0", "/score?doc=149", "/health"):
+                assert fetch(memory_server, path) == fetch(mmap_server, path)
+        finally:
+            memory_server.close()
+            mmap_server.close()
+            memory_service.close()
+            mmap_service.close()
